@@ -1,0 +1,72 @@
+// Ablation: garbage collection strategy (Section 3.4).
+//
+// The paper replaces the classic reference-count/free-list collector with
+// mark-and-sweep plus memory compaction, reporting that on a workload over
+// 3x physical memory the compacting collector halved total running time,
+// while costing little on small cases. We can't overcommit memory here, but
+// the structural comparison stands: build the same circuit with
+//   (a) the depth-first package (refcount + free list, scattered reuse) and
+//   (b) the core engine (mark-compact, contiguous arenas),
+// under matched GC pressure, and report time, collections, and reclaim.
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/builder.hpp"
+#include "df/df_manager.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"mult-9"});
+  const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
+
+  std::printf("GC strategy ablation on %s (sequential builds)\n",
+              w.name.c_str());
+  util::TextTable table({"collector", "elapsed s", "collections",
+                         "final nodes", "MB"});
+
+  {
+    // (a) Depth-first package: refcount + free list.
+    df::DfConfig config;
+    config.auto_gc = true;
+    config.auto_gc_dead_fraction = 0.002;  // dead ROOTS only (children
+                                           // cascade at sweep), so tiny
+    df::DfManager mgr(w.num_vars, config);
+    util::WallTimer timer;
+    const auto outputs = circuit::build_sequential<df::DfManager, df::DfBdd>(
+        mgr, w.binarized, w.order);
+    table.add_row({"refcount+freelist (df)",
+                   util::TextTable::num(timer.elapsed_s(), 3),
+                   std::to_string(mgr.stats().gc_runs),
+                   std::to_string(mgr.live_nodes()),
+                   util::TextTable::num(
+                       static_cast<double>(mgr.bytes()) / 1048576.0, 1)});
+  }
+  {
+    // (b) Core engine: parallel-capable mark-compact, run single-threaded
+    // for an apples-to-apples comparison.
+    core::Config config = bench::config_for(cli, 1, true);
+    config.gc_min_nodes = 1u << 16;
+    config.gc_growth_factor = 1.5;
+    core::BddManager mgr(w.num_vars, config);
+    util::WallTimer timer;
+    const auto outputs =
+        circuit::build_parallel(mgr, w.binarized, w.order);
+    table.add_row({"mark-compact (core)",
+                   util::TextTable::num(timer.elapsed_s(), 3),
+                   std::to_string(mgr.gc_runs()),
+                   std::to_string(mgr.live_nodes()),
+                   util::TextTable::num(
+                       static_cast<double>(mgr.bytes()) / 1048576.0, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe paper's claim needs memory pressure beyond this harness (3x\n"
+      "physical memory): there the free list's scattered node reuse caused\n"
+      "2x slowdowns from paging, while compaction kept arenas dense. Here\n"
+      "the visible effect is the collectors' direct cost plus locality of\n"
+      "the compacted arenas.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: steal-group granularity (Section 3.3).
+//
+// When a context is pushed, its remaining unexpanded operations are
+// "partitioned into small groups" — the steal unit. Tiny groups balance
+// load finely but cost lock traffic and duplicated expansion contexts;
+// huge groups approximate static partitioning.
+#include <cstdio>
+#include <iostream>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  bench::Cli cli = bench::parse_cli(argc, argv, {"mult-10"});
+  const bench::Workload workload = bench::make_workload(cli.circuit_specs[0]);
+  const unsigned workers = cli.thread_counts.back();
+
+  std::printf("Group-size ablation on %s (%u threads, threshold %llu)\n",
+              workload.name.c_str(), workers,
+              static_cast<unsigned long long>(cli.eval_threshold));
+  util::TextTable table({"group size", "elapsed s", "ops (M)", "groups",
+                         "taken", "stolen", "tasks stolen", "stalls"});
+  for (const std::uint32_t group : {1u, 8u, 64u, 512u, 4096u}) {
+    core::Config config = bench::config_for(cli, workers, false);
+    config.group_size = group;
+    // A modest threshold so spills (and therefore groups) actually happen.
+    if (config.eval_threshold == core::Config{}.eval_threshold) {
+      config.eval_threshold = 1u << 12;
+    }
+    const bench::RunResult r = bench::run_build(workload, config);
+    table.add_row({std::to_string(group),
+                   util::TextTable::num(r.elapsed_s, 3),
+                   util::TextTable::num(
+                       static_cast<double>(r.total_ops) / 1e6, 2),
+                   std::to_string(r.stats.total.groups_created),
+                   std::to_string(r.stats.total.groups_taken),
+                   std::to_string(r.stats.total.groups_stolen),
+                   std::to_string(r.stats.total.tasks_stolen),
+                   std::to_string(r.stats.total.reduction_stalls)});
+    if (cli.csv) {
+      std::printf("csv,ablate_group,%s,%u,%.3f\n", workload.name.c_str(),
+                  group, r.elapsed_s);
+    }
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

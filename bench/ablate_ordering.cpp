@@ -1,0 +1,67 @@
+// Ablation: variable ordering (Section 2 of the paper: "BDD size can be
+// very sensitive to the variable ordering ... exponentially more compact").
+//
+// Compares, per workload: the SIS order_dfs ordering the paper uses, the
+// naive declaration order, and (on the depth-first package) what Rudell
+// sifting recovers starting from the naive order.
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/builder.hpp"
+#include "circuit/ordering.hpp"
+#include "df/df_manager.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli =
+      bench::parse_cli(argc, argv, {"add-12", "cmp-12", "mult-6"});
+
+  for (const std::string& spec : cli.circuit_specs) {
+    const bench::Workload w = bench::make_workload(spec);
+    const std::vector<unsigned> natural =
+        circuit::order_natural(w.binarized);
+
+    std::printf("\nOrdering ablation on %s\n", w.name.c_str());
+    util::TextTable table({"ordering", "summed output nodes", "elapsed s"});
+
+    auto core_row = [&](const char* label,
+                        const std::vector<unsigned>& order) {
+      core::BddManager mgr(w.num_vars);
+      util::WallTimer timer;
+      const auto outputs =
+          circuit::build_parallel(mgr, w.binarized, order);
+      std::size_t nodes = 0;
+      for (const auto& o : outputs) nodes += mgr.node_count(o);
+      table.add_row({label, std::to_string(nodes),
+                     util::TextTable::num(timer.elapsed_s(), 3)});
+    };
+    core_row("order_dfs (SIS)", w.order);
+    core_row("natural", natural);
+
+    {
+      // Sifting rescue starting from the naive order (depth-first package:
+      // the engine with in-place reordering).
+      df::DfManager mgr(w.num_vars);
+      util::WallTimer timer;
+      const auto outputs =
+          circuit::build_sequential<df::DfManager, df::DfBdd>(
+              mgr, w.binarized, natural);
+      df::SiftOptions options;
+      options.max_passes = 4;
+      mgr.reorder_sift(options);
+      std::size_t nodes = 0;
+      for (const auto& o : outputs) nodes += mgr.node_count(o);
+      table.add_row({"natural + sifting (df)", std::to_string(nodes),
+                     util::TextTable::num(timer.elapsed_s(), 3)});
+    }
+    table.print(std::cout);
+  }
+  std::printf(
+      "\nExpected: order_dfs beats the naive order (dramatically on the\n"
+      "adder/comparator, whose good orders interleave operands); sifting\n"
+      "recovers most of the gap without structural knowledge.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: unique-table lock granularity — the paper's future work.
+//
+// Section 6: "in order to solve the scaling problem for BDD construction, a
+// better distributed hashing algorithm is necessary to reduce this
+// synchronization cost." This harness implements and measures exactly that:
+// the per-variable unique tables are lock-striped into hash-selected
+// segments (Config::table_shards), replacing the one-lock-per-variable
+// discipline whose contention Figs. 16/17 expose. With striping, workers
+// producing nodes for the same node-heavy variable contend only when their
+// hashes land in the same segment.
+#include <cstdio>
+#include <iostream>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  bench::Cli cli = bench::parse_cli(argc, argv, {"mult-10"});
+  if (cli.thread_counts == std::vector<unsigned>{1, 2, 4, 8}) {
+    cli.thread_counts = {2, 4, 8};
+  }
+  const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
+
+  std::printf("Unique-table sharding ablation on %s\n", w.name.c_str());
+  util::TextTable table({"# procs", "shards", "elapsed s", "lock wait (s)",
+                         "reduction (s)", "wait/reduction"});
+  for (const unsigned workers : cli.thread_counts) {
+    for (const unsigned shards : {1u, 4u, 16u}) {
+      core::Config config = bench::config_for(cli, workers, false);
+      config.table_shards = shards;
+      const bench::RunResult r = bench::run_build(w, config);
+      const double wait =
+          static_cast<double>(r.stats.total.lock_wait_ns) * 1e-9;
+      double reduction = 0;
+      for (const auto& ws : r.stats.per_worker) {
+        reduction += static_cast<double>(ws.reduction_ns) * 1e-9;
+      }
+      table.add_row(
+          {std::to_string(workers), std::to_string(shards),
+           util::TextTable::num(r.elapsed_s, 3),
+           util::TextTable::num(wait, 3),
+           util::TextTable::num(reduction, 3),
+           util::TextTable::num(reduction > 0 ? wait / reduction : 0, 3)});
+      if (cli.csv) {
+        std::printf("csv,ablate_sharding,%s,%u,%u,%.3f,%.4f\n",
+                    w.name.c_str(), workers, shards, r.elapsed_s, wait);
+      }
+      std::fflush(stdout);
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShards = 1 is the paper's one-lock-per-variable reduction; larger\n"
+      "shard counts are the Section 6 'distributed hashing' fix. Expected:\n"
+      "the lock-wait share collapses as shards grow, at a small per-insert\n"
+      "locking overhead. (Per-insert costs dominate on a single-core host;\n"
+      "real cores convert the removed waits into reduction-phase speedup.)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: the evaluation threshold (Section 3.1).
+//
+// The partial breadth-first algorithm's whole point is bounding the working
+// set: evalThreshold = infinity degenerates to pure breadth-first expansion
+// (maximum memory overhead), tiny thresholds degenerate toward depth-first
+// behaviour (poor structured access, heavy context churn). This sweep shows
+// elapsed time, peak memory, operator-arena footprint, and context-stack
+// activity across thresholds on one workload.
+#include <cstdio>
+#include <iostream>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"mult-10"});
+  const bench::Workload workload = bench::make_workload(cli.circuit_specs[0]);
+
+  const std::uint64_t thresholds[] = {
+      1u << 6, 1u << 9, 1u << 12, 1u << 15, 1u << 18,
+      core::Config::kUnbounded};
+
+  std::printf("Threshold ablation on %s (%u threads)\n",
+              workload.name.c_str(), cli.thread_counts.back());
+  util::TextTable table({"threshold", "elapsed s", "peak MB", "ops (M)",
+                         "ctx pushed", "groups", "stolen"});
+  for (const std::uint64_t threshold : thresholds) {
+    core::Config config =
+        bench::config_for(cli, cli.thread_counts.back(), false);
+    config.eval_threshold = threshold;
+    const bench::RunResult r = bench::run_build(workload, config);
+    table.add_row(
+        {threshold == core::Config::kUnbounded ? "inf (pure BF)"
+                                               : std::to_string(threshold),
+         util::TextTable::num(r.elapsed_s, 3),
+         util::TextTable::num(r.peak_mb, 1),
+         util::TextTable::num(static_cast<double>(r.total_ops) / 1e6, 2),
+         std::to_string(r.stats.total.contexts_pushed),
+         std::to_string(r.stats.total.groups_created),
+         std::to_string(r.stats.total.groups_stolen)});
+    if (cli.csv) {
+      std::printf("csv,ablate_threshold,%s,%llu,%.3f,%.1f,%llu\n",
+                  workload.name.c_str(),
+                  static_cast<unsigned long long>(threshold), r.elapsed_s,
+                  r.peak_mb, static_cast<unsigned long long>(r.total_ops));
+    }
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected: pure BF maximizes operator-node footprint; small\n"
+      "thresholds bound memory at the cost of context churn and duplicate\n"
+      "expansions (cross-context cache misses). The paper sets the\n"
+      "threshold to a small fraction of physical memory.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Figure 7 (elapsed time for building the BDDs of each circuit,
+// "Seq" plus 1/2/4/8 processors) and Figure 8 (speedup over the sequential
+// running time) of the paper.
+//
+// Run with --circuits mult-13,mult-14,... for paper-scale workloads; the
+// defaults are sized for minutes-not-hours on a laptop. Wall-clock speedup
+// requires real cores: on a single-core machine the thread sweep still runs
+// but speedups hover around 1.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  const std::vector<bench::Workload> workloads = bench::make_workloads(cli);
+
+  struct Cell {
+    double elapsed = 0;
+    std::uint64_t checksum = 0;
+  };
+  std::map<std::string, std::map<std::string, Cell>> grid;  // row -> circuit
+  std::vector<std::string> row_labels;
+
+  auto measure = [&](const core::Config& config) {
+    const std::string row = bench::config_label(config);
+    row_labels.push_back(row);
+    for (const bench::Workload& w : workloads) {
+      const bench::RunResult r = bench::run_build(w, config);
+      grid[row][w.name] = Cell{r.elapsed_s, r.checksum};
+      if (cli.csv) {
+        std::printf("csv,fig07,%s,%s,%.3f\n", w.name.c_str(), row.c_str(),
+                    r.elapsed_s);
+      }
+      std::fflush(stdout);
+    }
+  };
+
+  if (cli.include_seq) measure(bench::config_for(cli, 1, /*sequential=*/true));
+  for (const unsigned t : cli.thread_counts) {
+    measure(bench::config_for(cli, t, /*sequential=*/false));
+  }
+
+  // Cross-configuration canonicity check (every run builds the same
+  // functions, so the node-count checksums must agree).
+  for (const bench::Workload& w : workloads) {
+    const std::uint64_t expect = grid[row_labels.front()][w.name].checksum;
+    for (const std::string& row : row_labels) {
+      if (grid[row][w.name].checksum != expect) {
+        std::fprintf(stderr, "CHECKSUM MISMATCH on %s row %s\n",
+                     w.name.c_str(), row.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("\nFigure 7: Elapsed time (seconds) for building BDDs\n");
+  {
+    std::vector<std::string> header{"# Procs"};
+    for (const bench::Workload& w : workloads) header.push_back(w.name);
+    util::TextTable table(header);
+    for (const std::string& row : row_labels) {
+      std::vector<std::string> cells{row};
+      for (const bench::Workload& w : workloads) {
+        cells.push_back(util::TextTable::num(grid[row][w.name].elapsed, 2));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+  }
+
+  if (cli.include_seq) {
+    std::printf("\nFigure 8: Speedup over the sequential running time\n");
+    std::vector<std::string> header{"# Procs"};
+    for (const bench::Workload& w : workloads) header.push_back(w.name);
+    util::TextTable table(header);
+    for (const std::string& row : row_labels) {
+      if (row == "Seq") continue;
+      std::vector<std::string> cells{row};
+      for (const bench::Workload& w : workloads) {
+        const double seq = grid["Seq"][w.name].elapsed;
+        const double par = grid[row][w.name].elapsed;
+        cells.push_back(util::TextTable::num(par > 0 ? seq / par : 0, 2));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nPaper reference (SGI Power Challenge, 8 procs): speedups of over\n"
+        "two on four processors and up to four on eight processors.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Figure 11 (total number of Shannon-expansion operations in
+// millions, per circuit and processor count) and Figure 12 (the same data
+// plotted) of the paper.
+//
+// The interesting property: compute caches are per-worker and not shared, so
+// adding workers duplicates some work — but the total operation count should
+// grow only mildly with the number of processors (the paper's Fig. 11 shows
+// e.g. 245M -> 305M from Seq to 8 processors on mult-14).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv);
+  const std::vector<bench::Workload> workloads = bench::make_workloads(cli);
+
+  std::map<std::string, std::map<std::string, std::uint64_t>> ops;
+  std::map<std::string, std::map<std::string, std::uint64_t>> dup;
+  std::vector<std::string> row_labels;
+
+  auto measure = [&](const core::Config& config) {
+    const std::string row = bench::config_label(config);
+    row_labels.push_back(row);
+    for (const bench::Workload& w : workloads) {
+      const bench::RunResult r = bench::run_build(w, config);
+      ops[row][w.name] = r.total_ops;
+      dup[row][w.name] = r.stats.total.cache_cross_ctx_misses;
+      if (cli.csv) {
+        std::printf("csv,fig11,%s,%s,%llu\n", w.name.c_str(), row.c_str(),
+                    static_cast<unsigned long long>(r.total_ops));
+      }
+      std::fflush(stdout);
+    }
+  };
+
+  if (cli.include_seq) measure(bench::config_for(cli, 1, true));
+  for (const unsigned t : cli.thread_counts) {
+    measure(bench::config_for(cli, t, false));
+  }
+
+  std::printf("\nFigure 11: Total number of operations (millions)\n");
+  std::vector<std::string> header{"# Procs"};
+  for (const bench::Workload& w : workloads) header.push_back(w.name);
+  util::TextTable table(header);
+  for (const std::string& row : row_labels) {
+    std::vector<std::string> cells{row};
+    for (const bench::Workload& w : workloads) {
+      cells.push_back(
+          util::TextTable::num(static_cast<double>(ops[row][w.name]) / 1e6, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nFigure 12 (series for plotting) plus the duplication mechanism:\n"
+      "cross-context cache misses (re-expansions an uncomputed shared cache\n"
+      "would have avoided), in millions:\n");
+  util::TextTable dup_table(header);
+  for (const std::string& row : row_labels) {
+    std::vector<std::string> cells{row};
+    for (const bench::Workload& w : workloads) {
+      cells.push_back(
+          util::TextTable::num(static_cast<double>(dup[row][w.name]) / 1e6, 3));
+    }
+    dup_table.add_row(std::move(cells));
+  }
+  dup_table.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper): operation counts stay nearly flat as\n"
+      "processors are added despite unshared compute caches.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 13 (elapsed time of the mult-14 circuit for the
+// expansion, reduction, and garbage collection phases on the first
+// processor) and Figure 14 (speedups of each phase over the one-processor
+// run) of the paper.
+//
+// Default workload is a reduced multiplier (mult-11); pass
+// "--circuits mult-14" for paper scale. The GC threshold defaults low here
+// so collections actually occur at this scale (the paper's runs collected
+// naturally at 100s-of-MB heaps).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  bench::Cli cli = bench::parse_cli(argc, argv, {"mult-11"});
+  if (cli.gc_min_nodes == core::Config{}.gc_min_nodes) {
+    cli.gc_min_nodes = 1u << 18;
+  }
+  const bench::Workload workload = bench::make_workload(cli.circuit_specs[0]);
+
+  struct Phases {
+    double expansion = 0, reduction = 0, gc = 0;
+  };
+  std::map<unsigned, Phases> grid;
+
+  for (const unsigned t : cli.thread_counts) {
+    const core::Config config = bench::config_for(cli, t, false);
+    const bench::RunResult r = bench::run_build(workload, config);
+    // "These numbers are measurements of the first processor's work load."
+    const core::WorkerStats& w0 = r.stats.per_worker[0];
+    grid[t] = Phases{w0.expansion_ns * 1e-9, w0.reduction_ns * 1e-9,
+                     w0.gc_ns * 1e-9};
+    if (cli.csv) {
+      std::printf("csv,fig13,%s,%u,%.4f,%.4f,%.4f\n", workload.name.c_str(),
+                  t, grid[t].expansion, grid[t].reduction, grid[t].gc);
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFigure 13: %s phase breakdown on the first processor "
+              "(seconds)\n", workload.name.c_str());
+  util::TextTable table({"# Procs", "Expansion", "Reduction", "GC"});
+  for (const unsigned t : cli.thread_counts) {
+    table.add_row({std::to_string(t),
+                   util::TextTable::num(grid[t].expansion, 2),
+                   util::TextTable::num(grid[t].reduction, 2),
+                   util::TextTable::num(grid[t].gc, 2)});
+  }
+  table.print(std::cout);
+
+  const unsigned base = cli.thread_counts.front();
+  std::printf("\nFigure 14: speedups of each phase over the %u-processor "
+              "run\n", base);
+  util::TextTable sp({"# Procs", "Expansion", "Reduction", "GC"});
+  for (const unsigned t : cli.thread_counts) {
+    auto ratio = [&](double b, double v) {
+      return util::TextTable::num(v > 0 ? b / v : 0, 2);
+    };
+    sp.add_row({std::to_string(t),
+                ratio(grid[base].expansion, grid[t].expansion),
+                ratio(grid[base].reduction, grid[t].reduction),
+                ratio(grid[base].gc, grid[t].gc)});
+  }
+  sp.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper, mult-14): expansion scales nicely (~6x at 8\n"
+      "procs), reduction and GC scale well to 2 procs then poorly; for one\n"
+      "processor expansion is >50%% of runtime, reduction ~40%%, GC ~10%%.\n"
+      "Per-phase times here are the first worker's, so on one processor\n"
+      "their sum approximates total elapsed time.\n");
+  return 0;
+}

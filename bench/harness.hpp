@@ -1,0 +1,82 @@
+// Shared infrastructure for the paper-figure benchmark harnesses.
+//
+// Every fig* binary reproduces one table/figure from Section 4 of the paper
+// over the same four workloads (two ISCAS-class circuits and two generated
+// multipliers). Default multiplier widths are reduced from the paper's
+// 13/14 so a full figure regenerates in minutes on a laptop; pass
+// "--circuits mult-13,mult-14" for paper scale, or point --circuits at real
+// ISCAS85 .bench files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "core/bdd_manager.hpp"
+#include "core/config.hpp"
+
+namespace pbdd::bench {
+
+struct Workload {
+  std::string name;
+  circuit::Circuit binarized;
+  std::vector<unsigned> order;  ///< order_dfs variable assignment
+  unsigned num_vars = 0;
+};
+
+struct Cli {
+  std::vector<std::string> circuit_specs;  // names, mult-N, or .bench paths
+  std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  bool include_seq = true;
+  std::uint64_t eval_threshold = core::Config{}.eval_threshold;
+  std::uint32_t group_size = core::Config{}.group_size;
+  unsigned cache_log2 = core::Config{}.cache_log2;
+  std::size_t gc_min_nodes = core::Config{}.gc_min_nodes;
+  bool csv = false;
+};
+
+/// Parse the common flags:
+///   --circuits a,b,c   workload list (default c2670s,c3540s,mult-10,mult-11)
+///   --threads 1,2,4,8  parallel worker counts
+///   --no-seq           skip the dedicated sequential configuration
+///   --threshold N      evaluation threshold
+///   --group N          steal-group size
+///   --cache-log2 N     per-worker compute-cache size
+///   --csv              machine-readable output in addition to tables
+/// Unknown flags abort with a usage message.
+Cli parse_cli(int argc, char** argv,
+              std::vector<std::string> default_circuits = {
+                  "c2670s", "c3540s", "mult-10", "mult-11"});
+
+/// Resolve one circuit spec: "c2670s" / "c3540s" / "c17" / "mult-N" /
+/// "alu-N" / "cmp-N" / "add-N" / a path ending in ".bench". The result is
+/// binarized and paired with its order_dfs variable order.
+Workload make_workload(const std::string& spec);
+
+std::vector<Workload> make_workloads(const Cli& cli);
+
+/// Engine configuration for one measurement point.
+core::Config config_for(const Cli& cli, unsigned workers, bool sequential);
+
+struct RunResult {
+  double elapsed_s = 0;
+  double peak_mb = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t gc_runs = 0;
+  std::size_t final_live_nodes = 0;
+  core::ManagerStats stats;
+  /// Checksum over output node counts: identical functions across
+  /// configurations must produce identical checksums (canonicity), so every
+  /// benchmark doubles as a correctness check.
+  std::uint64_t checksum = 0;
+};
+
+/// Build all output BDDs of the workload under the given configuration and
+/// collect the measurements the paper reports.
+RunResult run_build(const Workload& workload, const core::Config& config);
+
+/// "Seq" or the worker count, formatted as the paper's row labels.
+std::string config_label(const core::Config& config);
+
+}  // namespace pbdd::bench

@@ -1,0 +1,183 @@
+// Google-benchmark microbenchmarks for the engine's hot paths: packed-ref
+// arithmetic, terminal-case evaluation, node arena allocation, unique-table
+// probes, compute-cache probes, and end-to-end apply() throughput on both
+// engines. These guard the constants the paper's design leans on: "numerous
+// memory references to small data structures with little computational work
+// to amortize the cost of each reference" (Section 1).
+#include <benchmark/benchmark.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+#include "core/compute_cache.hpp"
+#include "core/node_arena.hpp"
+#include "core/unique_table.hpp"
+#include "df/df_manager.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace pbdd;
+using namespace pbdd::core;
+
+void BM_RefPackUnpack(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const unsigned worker = static_cast<unsigned>(rng.below(8));
+    const unsigned var = static_cast<unsigned>(rng.below(256));
+    const std::uint32_t slot = static_cast<std::uint32_t>(rng.next());
+    const Ref r = make_node_ref(worker, var, slot);
+    sink += worker_of(r) + var_of(r) + slot_of(r) + level_of(r);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RefPackUnpack);
+
+void BM_TerminalCase(benchmark::State& state) {
+  util::Xoshiro256 rng(2);
+  const Ref refs[] = {kZero, kOne, make_node_ref(0, 3, 7),
+                      make_node_ref(1, 9, 11)};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const Op op = static_cast<Op>(rng.below(kNumOps));
+    const Ref f = refs[rng.below(4)];
+    const Ref g = refs[rng.below(4)];
+    sink += terminal_case<Ref>(op, f, g, kZero, kOne, kInvalid);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TerminalCase);
+
+void BM_NodeArenaAlloc(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    NodeArena arena;
+    state.ResumeTiming();
+    for (int i = 0; i < 4096; ++i) {
+      const std::uint32_t slot = arena.alloc();
+      benchmark::DoNotOptimize(arena.at_own(slot));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NodeArenaAlloc);
+
+void BM_UniqueTableInsert(benchmark::State& state) {
+  const std::int64_t count = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    NodeArena arena;
+    VarUniqueTable table;
+    table.init(0, {&arena}, 256);
+    state.ResumeTiming();
+    bool created = false;
+    for (std::int64_t i = 0; i < count; ++i) {
+      benchmark::DoNotOptimize(table.find_or_insert(
+          0, make_node_ref(0, 1, static_cast<std::uint32_t>(i)),
+          make_node_ref(0, 2, static_cast<std::uint32_t>(i * 3 + 1)),
+          created));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_UniqueTableInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_UniqueTableHitLookup(benchmark::State& state) {
+  NodeArena arena;
+  VarUniqueTable table;
+  table.init(0, {&arena}, 256);
+  bool created = false;
+  constexpr std::uint32_t kNodes = 1u << 14;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    (void)table.find_or_insert(0, make_node_ref(0, 1, i),
+                               make_node_ref(0, 2, i), created);
+  }
+  util::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    const std::uint32_t i = static_cast<std::uint32_t>(rng.below(kNodes));
+    benchmark::DoNotOptimize(table.find_or_insert(
+        0, make_node_ref(0, 1, i), make_node_ref(0, 2, i), created));
+  }
+}
+BENCHMARK(BM_UniqueTableHitLookup);
+
+void BM_ComputeCacheProbe(benchmark::State& state) {
+  ComputeCache cache;
+  cache.init(16);
+  util::Xoshiro256 rng(7);
+  for (std::uint32_t i = 0; i < (1u << 15); ++i) {
+    const NodeRef f = make_node_ref(0, 1, i);
+    const NodeRef g = make_node_ref(0, 2, i);
+    cache.insert(cache.slot_for(Op::And, f, g), Op::And, f, g, kOne, 1);
+  }
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const std::uint32_t i =
+        static_cast<std::uint32_t>(rng.below(1u << 16));
+    const NodeRef f = make_node_ref(0, 1, i);
+    const NodeRef g = make_node_ref(0, 2, i);
+    hits += cache.lookup(cache.slot_for(Op::And, f, g), Op::And, f, g) !=
+            nullptr;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_ComputeCacheProbe);
+
+/// End-to-end apply throughput: one multiplier output cone per iteration
+/// measures ns per Shannon operation.
+void BM_CoreApplyThroughput(benchmark::State& state) {
+  const auto bin = circuit::multiplier(8).binarized();
+  const auto order = circuit::order_dfs(bin);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    Config config;
+    config.workers = static_cast<unsigned>(state.range(0));
+    config.gc_min_nodes = 1u << 30;
+    BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+    const auto outputs = circuit::build_parallel(mgr, bin, order);
+    benchmark::DoNotOptimize(outputs);
+    ops += mgr.stats().total.ops_performed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_CoreApplyThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DfApplyThroughput(benchmark::State& state) {
+  const auto bin = circuit::multiplier(8).binarized();
+  const auto order = circuit::order_dfs(bin);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    df::DfManager mgr(static_cast<unsigned>(bin.inputs().size()));
+    const auto outputs =
+        circuit::build_sequential<df::DfManager, df::DfBdd>(mgr, bin, order);
+    benchmark::DoNotOptimize(outputs);
+    ops += mgr.stats().ops_performed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_DfApplyThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_GcFullCycle(benchmark::State& state) {
+  // Cost of one full mark/fix/rehash cycle over a ~100k-node heap.
+  Config config;
+  config.workers = static_cast<unsigned>(state.range(0));
+  config.gc_min_nodes = 1u << 30;
+  const auto bin = circuit::multiplier(8).binarized();
+  const auto order = circuit::order_dfs(bin);
+  BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+  const auto outputs = circuit::build_parallel(mgr, bin, order);
+  for (auto _ : state) {
+    mgr.gc();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                static_cast<std::int64_t>(mgr.live_nodes())));
+}
+BENCHMARK(BM_GcFullCycle)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

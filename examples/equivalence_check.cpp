@@ -1,0 +1,119 @@
+// Formal equivalence checking — the paper's motivating application
+// (Section 1: compare specification and implementation, and produce a
+// counterexample by XOR-ing the two BDDs when they differ).
+//
+// This example verifies a gate-level "synthesized" carry-select adder
+// against a ripple-carry specification, then injects a single wrong-gate
+// fault and extracts the counterexample input vector that exposes it.
+//
+// Usage: ./build/examples/equivalence_check [width] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+
+namespace {
+
+using namespace pbdd;
+using circuit::Circuit;
+using core::Bdd;
+
+/// Inject a wrong-gate fault: flip the type of one internal gate.
+Circuit inject_fault(const Circuit& good, std::uint32_t victim) {
+  Circuit bad(good.name() + ".faulty");
+  for (std::uint32_t id = 0; id < good.num_gates(); ++id) {
+    const circuit::Gate& g = good.gate(id);
+    if (g.type == circuit::GateType::Input) {
+      bad.add_input(g.name);
+      continue;
+    }
+    circuit::GateType t = g.type;
+    if (id == victim) {
+      t = (t == circuit::GateType::Xor) ? circuit::GateType::Or
+                                        : circuit::GateType::Xor;
+      std::printf("injected fault: gate %u (%s) flipped\n", id,
+                  circuit::gate_type_name(g.type));
+    }
+    bad.add_gate(t, g.fanins, g.name);
+  }
+  for (std::size_t i = 0; i < good.outputs().size(); ++i) {
+    bad.mark_output(good.outputs()[i], good.output_names()[i]);
+  }
+  return bad;
+}
+
+/// Build a miter over two circuits' outputs and report equivalence; on a
+/// mismatch, extract and replay a counterexample.
+bool check(core::BddManager& mgr, const Circuit& spec, const Circuit& impl,
+           const std::vector<unsigned>& order) {
+  const auto spec_out =
+      circuit::build_parallel(mgr, spec.binarized(), order);
+  const auto impl_out =
+      circuit::build_parallel(mgr, impl.binarized(), order);
+
+  bool equivalent = true;
+  Bdd miter = mgr.zero();
+  for (std::size_t o = 0; o < spec_out.size(); ++o) {
+    if (!(spec_out[o] == impl_out[o])) {  // O(1) by canonicity
+      equivalent = false;
+      miter = mgr.apply(Op::Or, miter,
+                        mgr.apply(Op::Xor, spec_out[o], impl_out[o]));
+    }
+  }
+  if (equivalent) {
+    std::printf("EQUIVALENT: all %zu outputs match node-for-node\n",
+                spec_out.size());
+    return true;
+  }
+  std::printf("NOT EQUIVALENT: %.0f distinguishing input vectors\n",
+              mgr.sat_count(miter));
+  const auto cex = mgr.sat_one(miter);
+  std::printf("counterexample:");
+  std::vector<bool> inputs(spec.inputs().size(), false);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto v = (*cex)[order[i]];
+    inputs[i] = v == 1;
+    std::printf(" %s=%c", spec.gate(spec.inputs()[i]).name.c_str(),
+                v < 0 ? '0' : static_cast<char>('0' + v));
+  }
+  std::printf("\n");
+  // Replay through gate-level simulation to demonstrate the divergence.
+  const auto sv = spec.simulate(inputs);
+  const auto iv = impl.simulate(inputs);
+  for (std::size_t o = 0; o < sv.size(); ++o) {
+    if (sv[o] != iv[o]) {
+      std::printf("  output %-6s: spec=%d impl=%d\n",
+                  spec.output_names()[o].c_str(), int(sv[o]), int(iv[o]));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned width = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const unsigned threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+
+  const Circuit spec = circuit::ripple_adder(width);
+  const Circuit impl = circuit::carry_select_adder(width);
+  const auto order = circuit::order_dfs(spec.binarized());
+
+  core::Config config;
+  config.workers = threads;
+  core::BddManager mgr(static_cast<unsigned>(spec.inputs().size()), config);
+
+  std::printf("== verifying %u-bit carry-select adder against ripple spec "
+              "(%u threads) ==\n", width, threads);
+  if (!check(mgr, spec, impl, order)) return 1;
+
+  std::printf("\n== now with an injected wrong-gate fault ==\n");
+  const Circuit faulty = inject_fault(impl, impl.num_gates() / 2);
+  core::BddManager mgr2(static_cast<unsigned>(spec.inputs().size()), config);
+  const bool equal = check(mgr2, spec, faulty, order);
+  return equal ? 1 : 0;  // the fault must be detected
+}

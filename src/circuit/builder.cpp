@@ -1,0 +1,99 @@
+#include "circuit/builder.hpp"
+
+#include <algorithm>
+
+namespace pbdd::circuit {
+
+std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
+                                      const Circuit& circuit,
+                                      const std::vector<unsigned>& input_vars,
+                                      BuildStats* stats) {
+  using core::Bdd;
+  if (input_vars.size() != circuit.inputs().size()) {
+    throw std::invalid_argument("build: input_vars size mismatch");
+  }
+  const std::vector<std::uint32_t> level = circuit.levels();
+  const std::uint32_t max_level =
+      level.empty() ? 0 : *std::max_element(level.begin(), level.end());
+
+  // Bucket gates by level; all gates of one level are independent and form
+  // one top-level operation batch.
+  std::vector<std::vector<std::uint32_t>> by_level(max_level + 1);
+  for (std::uint32_t id = 0; id < circuit.num_gates(); ++id) {
+    by_level[level[id]].push_back(id);
+  }
+
+  std::vector<Bdd> value(circuit.num_gates());
+  std::vector<std::uint32_t> uses = circuit.fanout_counts();
+  BuildStats local;
+  const Bdd one = mgr.one();
+
+  auto live_handles = [&] {
+    return static_cast<std::size_t>(
+        std::count_if(value.begin(), value.end(),
+                      [](const Bdd& b) { return b.valid(); }));
+  };
+
+  for (std::uint32_t lvl = 0; lvl <= max_level; ++lvl) {
+    std::vector<core::BatchOp> batch;
+    std::vector<std::uint32_t> batch_gates;
+    for (const std::uint32_t id : by_level[lvl]) {
+      const Gate& g = circuit.gate(id);
+      switch (g.type) {
+        case GateType::Input: {
+          const auto pos = static_cast<std::size_t>(
+              std::find(circuit.inputs().begin(), circuit.inputs().end(),
+                        id) -
+              circuit.inputs().begin());
+          value[id] = mgr.var(input_vars[pos]);
+          break;
+        }
+        case GateType::Const0:
+          value[id] = mgr.zero();
+          break;
+        case GateType::Const1:
+          value[id] = mgr.one();
+          break;
+        case GateType::Buf:
+          value[id] = value[g.fanins[0]];
+          break;
+        case GateType::Not:
+          batch.push_back(core::BatchOp{Op::Xor, value[g.fanins[0]], one});
+          batch_gates.push_back(id);
+          break;
+        default:
+          if (g.fanins.size() != 2) {
+            throw std::invalid_argument("build: circuit not binarized");
+          }
+          batch.push_back(core::BatchOp{gate_op(g.type), value[g.fanins[0]],
+                                        value[g.fanins[1]]});
+          batch_gates.push_back(id);
+          break;
+      }
+    }
+    if (!batch.empty()) {
+      std::vector<Bdd> results = mgr.apply_batch(batch);
+      for (std::size_t k = 0; k < batch_gates.size(); ++k) {
+        value[batch_gates[k]] = std::move(results[k]);
+      }
+      ++local.batches;
+      local.gate_ops += batch.size();
+    }
+    // Release fanins whose last consumer has now been built.
+    for (const std::uint32_t id : by_level[lvl]) {
+      for (const std::uint32_t f : circuit.gate(id).fanins) {
+        if (--uses[f] == 0) value[f] = Bdd{};
+      }
+    }
+    local.peak_live_handles =
+        std::max(local.peak_live_handles, live_handles());
+  }
+
+  std::vector<Bdd> outputs;
+  outputs.reserve(circuit.outputs().size());
+  for (const std::uint32_t o : circuit.outputs()) outputs.push_back(value[o]);
+  if (stats != nullptr) *stats = local;
+  return outputs;
+}
+
+}  // namespace pbdd::circuit

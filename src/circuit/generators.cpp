@@ -1,0 +1,678 @@
+#include "circuit/generators.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/bench_io.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd::circuit {
+
+namespace {
+
+using Id = std::uint32_t;
+
+struct AdderBits {
+  Id sum;
+  Id carry;
+};
+
+AdderBits half_adder(Circuit& c, Id x, Id y) {
+  return {c.add_gate(GateType::Xor, {x, y}),
+          c.add_gate(GateType::And, {x, y})};
+}
+
+AdderBits full_adder(Circuit& c, Id x, Id y, Id z) {
+  const Id s1 = c.add_gate(GateType::Xor, {x, y});
+  const Id sum = c.add_gate(GateType::Xor, {s1, z});
+  const Id c1 = c.add_gate(GateType::And, {x, y});
+  const Id c2 = c.add_gate(GateType::And, {s1, z});
+  return {sum, c.add_gate(GateType::Or, {c1, c2})};
+}
+
+/// 2:1 mux: sel ? hi : lo.
+Id mux(Circuit& c, Id sel, Id lo, Id hi) {
+  const Id nsel = c.add_gate(GateType::Not, {sel});
+  const Id a = c.add_gate(GateType::And, {sel, hi});
+  const Id b = c.add_gate(GateType::And, {nsel, lo});
+  return c.add_gate(GateType::Or, {a, b});
+}
+
+std::vector<Id> add_input_bus(Circuit& c, const std::string& prefix,
+                              unsigned width) {
+  std::vector<Id> bus;
+  bus.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bus.push_back(c.add_input(prefix + std::to_string(i)));
+  }
+  return bus;
+}
+
+/// Ripple chain over existing signals; returns n sum bits and the carry out.
+std::vector<Id> ripple_sum(Circuit& c, const std::vector<Id>& a,
+                           const std::vector<Id>& b, Id cin, Id& cout) {
+  std::vector<Id> sums;
+  Id carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const AdderBits fa = full_adder(c, a[i], b[i], carry);
+    sums.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  cout = carry;
+  return sums;
+}
+
+}  // namespace
+
+Circuit multiplier(unsigned n) {
+  if (n < 2) throw std::invalid_argument("multiplier: need n >= 2");
+  Circuit c("mult-" + std::to_string(n));
+  const std::vector<Id> a = add_input_bus(c, "a", n);
+  const std::vector<Id> b = add_input_bus(c, "b", n);
+
+  // AND plane of partial products, bucketed by output weight.
+  std::vector<std::deque<Id>> columns(2 * n);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < n; ++j) {
+      columns[i + j].push_back(c.add_gate(GateType::And, {a[j], b[i]}));
+    }
+  }
+
+  // Column-wise carry-save reduction (the C6288-style adder array): full
+  // adders compress three bits of one weight into one sum bit plus a carry
+  // of the next weight, half adders finish off pairs.
+  for (unsigned w = 0; w < 2 * n; ++w) {
+    auto& col = columns[w];
+    while (col.size() >= 3) {
+      const Id x = col.front(); col.pop_front();
+      const Id y = col.front(); col.pop_front();
+      const Id z = col.front(); col.pop_front();
+      const AdderBits fa = full_adder(c, x, y, z);
+      col.push_back(fa.sum);
+      columns[w + 1].push_back(fa.carry);
+    }
+    if (col.size() == 2) {
+      const Id x = col.front(); col.pop_front();
+      const Id y = col.front(); col.pop_front();
+      const AdderBits ha = half_adder(c, x, y);
+      col.push_back(ha.sum);
+      columns[w + 1].push_back(ha.carry);
+    }
+  }
+  for (unsigned w = 0; w < 2 * n; ++w) {
+    const Id bit = columns[w].empty()
+                       ? c.add_gate(GateType::Const0, {})
+                       : columns[w].front();
+    c.mark_output(bit, "p" + std::to_string(w));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit ripple_adder(unsigned n) {
+  Circuit c("radd-" + std::to_string(n));
+  const std::vector<Id> a = add_input_bus(c, "a", n);
+  const std::vector<Id> b = add_input_bus(c, "b", n);
+  const Id cin = c.add_input("cin");
+  Id cout = cin;
+  const std::vector<Id> sums = ripple_sum(c, a, b, cin, cout);
+  for (unsigned i = 0; i < n; ++i) {
+    c.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  c.mark_output(cout, "cout");
+  c.validate();
+  return c;
+}
+
+Circuit carry_select_adder(unsigned n, unsigned block) {
+  if (block == 0) throw std::invalid_argument("carry_select_adder: block=0");
+  Circuit c("csadd-" + std::to_string(n));
+  const std::vector<Id> a = add_input_bus(c, "a", n);
+  const std::vector<Id> b = add_input_bus(c, "b", n);
+  const Id cin = c.add_input("cin");
+
+  std::vector<Id> sums;
+  Id carry = cin;
+  for (unsigned lo = 0; lo < n; lo += block) {
+    const unsigned hi = std::min(lo + block, n);
+    const std::vector<Id> ab(a.begin() + lo, a.begin() + hi);
+    const std::vector<Id> bb(b.begin() + lo, b.begin() + hi);
+    // Both speculative blocks: carry-in fixed to the block's first full
+    // adder by folding the constant into half-adder style logic. Simplest
+    // faithful construction: propagate x XOR y with the speculative carry.
+    std::vector<Id> sum0, sum1;
+    Id carry0 = 0, carry1 = 0;
+    {
+      // carry-in = 0 version
+      Id ca = c.add_gate(GateType::And, {ab[0], bb[0]});
+      sum0.push_back(c.add_gate(GateType::Xor, {ab[0], bb[0]}));
+      for (std::size_t i = 1; i < ab.size(); ++i) {
+        const AdderBits fa = full_adder(c, ab[i], bb[i], ca);
+        sum0.push_back(fa.sum);
+        ca = fa.carry;
+      }
+      carry0 = ca;
+    }
+    {
+      // carry-in = 1 version
+      Id ca = c.add_gate(GateType::Or, {ab[0], bb[0]});
+      sum1.push_back(c.add_gate(GateType::Xnor, {ab[0], bb[0]}));
+      for (std::size_t i = 1; i < ab.size(); ++i) {
+        const AdderBits fa = full_adder(c, ab[i], bb[i], ca);
+        sum1.push_back(fa.sum);
+        ca = fa.carry;
+      }
+      carry1 = ca;
+    }
+    for (std::size_t i = 0; i < sum0.size(); ++i) {
+      sums.push_back(mux(c, carry, sum0[i], sum1[i]));
+    }
+    carry = mux(c, carry, carry0, carry1);
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    c.mark_output(sums[i], "s" + std::to_string(i));
+  }
+  c.mark_output(carry, "cout");
+  c.validate();
+  return c;
+}
+
+Circuit comparator(unsigned n) {
+  Circuit c("cmp-" + std::to_string(n));
+  const std::vector<Id> a = add_input_bus(c, "a", n);
+  const std::vector<Id> b = add_input_bus(c, "b", n);
+  // From LSB upward: lt_i = (!a_i & b_i) | (xnor_i & lt_{i-1}).
+  Id lt = c.add_gate(GateType::And,
+                     {c.add_gate(GateType::Not, {a[0]}), b[0]});
+  Id eq = c.add_gate(GateType::Xnor, {a[0], b[0]});
+  for (unsigned i = 1; i < n; ++i) {
+    const Id bit_eq = c.add_gate(GateType::Xnor, {a[i], b[i]});
+    const Id bit_lt = c.add_gate(GateType::And,
+                                 {c.add_gate(GateType::Not, {a[i]}), b[i]});
+    lt = c.add_gate(GateType::Or,
+                    {bit_lt, c.add_gate(GateType::And, {bit_eq, lt})});
+    eq = c.add_gate(GateType::And, {bit_eq, eq});
+  }
+  const Id gt = c.add_gate(GateType::Nor, {lt, eq});
+  c.mark_output(lt, "lt");
+  c.mark_output(eq, "eq");
+  c.mark_output(gt, "gt");
+  c.validate();
+  return c;
+}
+
+Circuit parity_tree(unsigned n) {
+  if (n < 2) throw std::invalid_argument("parity_tree: need n >= 2");
+  Circuit c("par-" + std::to_string(n));
+  std::vector<Id> bus = add_input_bus(c, "e", n);
+  c.mark_output(c.add_gate(GateType::Xor, std::move(bus)), "parity");
+  c.validate();
+  return c;
+}
+
+Circuit alu(unsigned n) {
+  Circuit c("alu-" + std::to_string(n));
+  const std::vector<Id> a = add_input_bus(c, "a", n);
+  const std::vector<Id> b = add_input_bus(c, "b", n);
+  const Id cin = c.add_input("cin");
+  const std::vector<Id> sel = add_input_bus(c, "sel", 3);
+
+  // Function units.
+  Id add_cout = 0;
+  const std::vector<Id> sum = ripple_sum(c, a, b, cin, add_cout);
+  std::vector<Id> nb;
+  for (unsigned i = 0; i < n; ++i) {
+    nb.push_back(c.add_gate(GateType::Not, {b[i]}));
+  }
+  Id sub_cout = 0;
+  const std::vector<Id> diff = ripple_sum(c, a, nb, cin, sub_cout);
+
+  // Select-line minterms.
+  const Id ns0 = c.add_gate(GateType::Not, {sel[0]});
+  const Id ns1 = c.add_gate(GateType::Not, {sel[1]});
+  const Id ns2 = c.add_gate(GateType::Not, {sel[2]});
+  auto minterm = [&](bool s2, bool s1, bool s0) {
+    return c.add_gate(GateType::And, {s2 ? sel[2] : ns2,
+                                      c.add_gate(GateType::And,
+                                                 {s1 ? sel[1] : ns1,
+                                                  s0 ? sel[0] : ns0})});
+  };
+  const Id m_add = minterm(false, false, false);
+  const Id m_sub = minterm(false, false, true);
+  const Id m_and = minterm(false, true, false);
+  const Id m_or = minterm(false, true, true);
+  const Id m_xor = minterm(true, false, false);
+  const Id m_nor = minterm(true, false, true);
+  const Id m_pass = minterm(true, true, false);
+  const Id m_not = minterm(true, true, true);
+
+  std::vector<Id> result;
+  for (unsigned i = 0; i < n; ++i) {
+    const Id f_and = c.add_gate(GateType::And, {a[i], b[i]});
+    const Id f_or = c.add_gate(GateType::Or, {a[i], b[i]});
+    const Id f_xor = c.add_gate(GateType::Xor, {a[i], b[i]});
+    const Id f_nor = c.add_gate(GateType::Nor, {a[i], b[i]});
+    const Id f_not = c.add_gate(GateType::Not, {a[i]});
+    const Id r = c.add_gate(
+        GateType::Or,
+        {c.add_gate(GateType::And, {m_add, sum[i]}),
+         c.add_gate(GateType::And, {m_sub, diff[i]}),
+         c.add_gate(GateType::And, {m_and, f_and}),
+         c.add_gate(GateType::And, {m_or, f_or}),
+         c.add_gate(GateType::And, {m_xor, f_xor}),
+         c.add_gate(GateType::And, {m_nor, f_nor}),
+         c.add_gate(GateType::And, {m_pass, a[i]}),
+         c.add_gate(GateType::And, {m_not, f_not})});
+    result.push_back(r);
+    c.mark_output(r, "r" + std::to_string(i));
+  }
+  const Id carry_flag =
+      c.add_gate(GateType::Or, {c.add_gate(GateType::And, {m_add, add_cout}),
+                                c.add_gate(GateType::And, {m_sub, sub_cout})});
+  c.mark_output(carry_flag, "carry");
+  std::vector<Id> rcopy = result;
+  c.mark_output(c.add_gate(GateType::Nor, std::move(rcopy)), "zero");
+  c.validate();
+  return c;
+}
+
+namespace {
+
+/// Merge another circuit's gates into `dst` (fresh inputs, outputs returned).
+std::vector<Id> absorb(Circuit& dst, const Circuit& src,
+                       const std::string& prefix) {
+  std::vector<Id> remap(src.num_gates());
+  for (Id id = 0; id < src.num_gates(); ++id) {
+    const Gate& g = src.gate(id);
+    if (g.type == GateType::Input) {
+      remap[id] = dst.add_input(prefix + g.name);
+    } else {
+      std::vector<Id> fanins;
+      for (const Id f : g.fanins) fanins.push_back(remap[f]);
+      remap[id] = dst.add_gate(g.type, std::move(fanins));
+    }
+  }
+  std::vector<Id> outs;
+  for (const Id o : src.outputs()) outs.push_back(remap[o]);
+  return outs;
+}
+
+/// Seeded mixing layer: combine signals pairwise with random gate types so
+/// the blocks' functions interact (control-logic flavour).
+std::vector<Id> mix_layer(Circuit& c, std::vector<Id> signals,
+                          unsigned rounds, util::Xoshiro256& rng) {
+  static constexpr GateType kTypes[] = {GateType::And, GateType::Or,
+                                        GateType::Nand, GateType::Nor,
+                                        GateType::Xor, GateType::Xnor};
+  for (unsigned r = 0; r < rounds; ++r) {
+    std::vector<Id> next;
+    for (std::size_t i = 0; i + 1 < signals.size(); i += 2) {
+      const GateType t = kTypes[rng.below(std::size(kTypes))];
+      next.push_back(c.add_gate(t, {signals[i], signals[i + 1]}));
+    }
+    if (signals.size() & 1) next.push_back(signals.back());
+    signals = std::move(next);
+  }
+  return signals;
+}
+
+}  // namespace
+
+Circuit c2670_like() {
+  Circuit c("c2670s");
+  util::Xoshiro256 rng(0x2670);
+  const std::vector<Id> adder = absorb(c, carry_select_adder(32), "add.");
+  const std::vector<Id> cmp = absorb(c, comparator(24), "cmp.");
+  const std::vector<Id> par1 = absorb(c, parity_tree(24), "p1.");
+  const std::vector<Id> par2 = absorb(c, parity_tree(24), "p2.");
+  const std::vector<Id> mul = absorb(c, multiplier(10), "mul.");
+
+  // Expose the arithmetic results directly, ISCAS-style multi-output.
+  for (std::size_t i = 0; i < adder.size(); ++i) {
+    c.mark_output(adder[i], "sum" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < mul.size(); i += 2) {
+    c.mark_output(mul[i], "prod" + std::to_string(i));
+  }
+  // Control outputs: comparator and parity gated into the datapath.
+  std::vector<Id> control{cmp[0], cmp[1], cmp[2], par1[0], par2[0]};
+  for (std::size_t i = 0; i < adder.size(); i += 4) control.push_back(adder[i]);
+  for (std::size_t i = 1; i < mul.size(); i += 5) control.push_back(mul[i]);
+  const std::vector<Id> mixed = mix_layer(c, control, 3, rng);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    c.mark_output(mixed[i], "ctl" + std::to_string(i));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit c3540_like() {
+  Circuit c("c3540s");
+  util::Xoshiro256 rng(0x3540);
+  const std::vector<Id> alu_out = absorb(c, alu(16), "alu.");
+  const std::vector<Id> cmp = absorb(c, comparator(16), "cmp.");
+  const std::vector<Id> mul = absorb(c, multiplier(10), "mul.");
+  const std::vector<Id> par = absorb(c, parity_tree(24), "par.");
+
+  for (std::size_t i = 0; i < alu_out.size(); ++i) {
+    c.mark_output(alu_out[i], "alu" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < mul.size(); i += 2) {
+    c.mark_output(mul[i], "prod" + std::to_string(i));
+  }
+  std::vector<Id> control{cmp[0], cmp[2], par[0]};
+  for (std::size_t i = 0; i < alu_out.size(); i += 3) {
+    control.push_back(alu_out[i]);
+  }
+  for (std::size_t i = 1; i < mul.size(); i += 4) control.push_back(mul[i]);
+  const std::vector<Id> mixed = mix_layer(c, control, 3, rng);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    c.mark_output(mixed[i], "ctl" + std::to_string(i));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit random_circuit(unsigned num_inputs, unsigned num_gates,
+                       std::uint64_t seed) {
+  if (num_inputs < 2) throw std::invalid_argument("random_circuit: inputs<2");
+  Circuit c("rand-" + std::to_string(seed));
+  util::Xoshiro256 rng(seed);
+  std::vector<Id> signals;
+  for (unsigned i = 0; i < num_inputs; ++i) {
+    signals.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  static constexpr GateType kTypes[] = {GateType::And, GateType::Or,
+                                        GateType::Nand, GateType::Nor,
+                                        GateType::Xor, GateType::Xnor,
+                                        GateType::Not};
+  for (unsigned k = 0; k < num_gates; ++k) {
+    const GateType t = kTypes[rng.below(std::size(kTypes))];
+    // Bias fanin choice toward recent signals for a deep, narrow DAG.
+    auto pick = [&]() -> Id {
+      const std::size_t span = std::min<std::size_t>(signals.size(), 24);
+      return signals[signals.size() - 1 - rng.below(span)];
+    };
+    if (t == GateType::Not) {
+      signals.push_back(c.add_gate(t, {pick()}));
+    } else {
+      const unsigned fanin = 2 + static_cast<unsigned>(rng.below(2));
+      std::vector<Id> fanins;
+      for (unsigned i = 0; i < fanin; ++i) fanins.push_back(pick());
+      signals.push_back(c.add_gate(t, std::move(fanins)));
+    }
+  }
+  const auto fanouts = c.fanout_counts();
+  unsigned outputs = 0;
+  for (Id id = 0; id < c.num_gates(); ++id) {
+    if (fanouts[id] == 0 && c.gate(id).type != GateType::Input) {
+      c.mark_output(id, "y" + std::to_string(outputs++));
+    }
+  }
+  c.validate();
+  return c;
+}
+
+
+namespace {
+
+/// Hamming code geometry for `data_bits` data bits: number of parity bits
+/// and the codeword layout (1-indexed positions; parity at powers of two).
+struct HammingLayout {
+  unsigned parity_bits;
+  unsigned codeword_bits;
+  std::vector<unsigned> data_position;    // data bit k -> codeword position
+  std::vector<unsigned> parity_position;  // parity bit j -> position 2^j
+
+  explicit HammingLayout(unsigned data_bits) {
+    parity_bits = 0;
+    while ((1u << parity_bits) < data_bits + parity_bits + 1) ++parity_bits;
+    codeword_bits = data_bits + parity_bits;
+    for (unsigned pos = 1; pos <= codeword_bits; ++pos) {
+      if ((pos & (pos - 1)) == 0) {
+        parity_position.push_back(pos);
+      } else {
+        data_position.push_back(pos);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Circuit hamming_encoder(unsigned data_bits) {
+  if (data_bits < 1) throw std::invalid_argument("hamming: data_bits >= 1");
+  const HammingLayout layout(data_bits);
+  Circuit c("henc-" + std::to_string(data_bits));
+  const std::vector<Id> d = add_input_bus(c, "d", data_bits);
+
+  // Signal at each codeword position: data bits directly, parity bits as
+  // the XOR of the data positions they cover.
+  std::vector<Id> at_position(layout.codeword_bits + 1, 0);
+  for (unsigned k = 0; k < data_bits; ++k) {
+    at_position[layout.data_position[k]] = d[k];
+  }
+  for (unsigned j = 0; j < layout.parity_bits; ++j) {
+    const unsigned pj = layout.parity_position[j];
+    std::vector<Id> covered;
+    for (unsigned k = 0; k < data_bits; ++k) {
+      if (layout.data_position[k] & pj) covered.push_back(d[k]);
+    }
+    const Id parity = covered.size() == 1
+                          ? c.add_gate(GateType::Buf, {covered[0]})
+                          : c.add_gate(GateType::Xor, covered);
+    at_position[pj] = parity;
+  }
+  for (unsigned pos = 1; pos <= layout.codeword_bits; ++pos) {
+    c.mark_output(at_position[pos], "c" + std::to_string(pos));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit hamming_decoder(unsigned data_bits) {
+  const HammingLayout layout(data_bits);
+  Circuit c("hdec-" + std::to_string(data_bits));
+  std::vector<Id> word(layout.codeword_bits + 1, 0);
+  for (unsigned pos = 1; pos <= layout.codeword_bits; ++pos) {
+    word[pos] = c.add_input("c" + std::to_string(pos));
+  }
+  // Syndrome bit j = XOR of every position with bit j set (parity
+  // included): the syndrome spells the flipped position, 0 = clean.
+  std::vector<Id> syndrome;
+  for (unsigned j = 0; j < layout.parity_bits; ++j) {
+    std::vector<Id> covered;
+    for (unsigned pos = 1; pos <= layout.codeword_bits; ++pos) {
+      if (pos & (1u << j)) covered.push_back(word[pos]);
+    }
+    syndrome.push_back(covered.size() == 1
+                           ? c.add_gate(GateType::Buf, {covered[0]})
+                           : c.add_gate(GateType::Xor, covered));
+  }
+  std::vector<Id> not_syndrome;
+  for (const Id s : syndrome) {
+    not_syndrome.push_back(c.add_gate(GateType::Not, {s}));
+  }
+  // Corrected data bit: flip when the syndrome equals its position.
+  for (unsigned k = 0; k < data_bits; ++k) {
+    const unsigned pos = layout.data_position[k];
+    std::vector<Id> match;
+    for (unsigned j = 0; j < layout.parity_bits; ++j) {
+      match.push_back((pos >> j) & 1 ? syndrome[j] : not_syndrome[j]);
+    }
+    const Id here = match.size() == 1
+                        ? match[0]
+                        : c.add_gate(GateType::And, std::move(match));
+    c.mark_output(c.add_gate(GateType::Xor, {word[pos], here}),
+                  "d" + std::to_string(k));
+  }
+  // Any-error flag: OR of the syndrome bits.
+  c.mark_output(syndrome.size() == 1
+                    ? syndrome[0]
+                    : c.add_gate(GateType::Or, std::vector<Id>(syndrome)),
+                "err");
+  c.validate();
+  return c;
+}
+
+
+Circuit barrel_shifter(unsigned width) {
+  if (width < 2 || (width & (width - 1)) != 0) {
+    throw std::invalid_argument("barrel_shifter: width must be a power of 2");
+  }
+  unsigned log_w = 0;
+  while ((1u << log_w) < width) ++log_w;
+  Circuit c("bshift-" + std::to_string(width));
+  std::vector<Id> data = add_input_bus(c, "d", width);
+  const std::vector<Id> sel = add_input_bus(c, "s", log_w);
+  // Logarithmic stages: stage k conditionally rotates left by 2^k.
+  for (unsigned k = 0; k < log_w; ++k) {
+    const unsigned rot = 1u << k;
+    std::vector<Id> next(width);
+    for (unsigned i = 0; i < width; ++i) {
+      const unsigned src = (i + width - rot) % width;
+      next[i] = mux(c, sel[k], data[i], data[src]);
+    }
+    data = std::move(next);
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    c.mark_output(data[i], "y" + std::to_string(i));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit priority_encoder(unsigned n) {
+  if (n < 2) throw std::invalid_argument("priority_encoder: n >= 2");
+  unsigned idx_bits = 0;
+  while ((1u << idx_bits) < n) ++idx_bits;
+  Circuit c("prienc-" + std::to_string(n));
+  const std::vector<Id> in = add_input_bus(c, "r", n);
+  // first_i: input i asserted and no lower-index input asserted.
+  std::vector<Id> first;
+  Id any_below = in[0];
+  first.push_back(in[0]);
+  for (unsigned i = 1; i < n; ++i) {
+    first.push_back(c.add_gate(GateType::And,
+                               {in[i], c.add_gate(GateType::Not,
+                                                  {any_below})}));
+    any_below = c.add_gate(GateType::Or, {any_below, in[i]});
+  }
+  for (unsigned b = 0; b < idx_bits; ++b) {
+    std::vector<Id> contributors;
+    for (unsigned i = 0; i < n; ++i) {
+      if (i & (1u << b)) contributors.push_back(first[i]);
+    }
+    Id bit;
+    if (contributors.empty()) {
+      bit = c.add_gate(GateType::Const0, {});
+    } else if (contributors.size() == 1) {
+      bit = c.add_gate(GateType::Buf, {contributors[0]});
+    } else {
+      bit = c.add_gate(GateType::Or, std::move(contributors));
+    }
+    c.mark_output(bit, "i" + std::to_string(b));
+  }
+  c.mark_output(any_below, "valid");
+  c.validate();
+  return c;
+}
+
+Circuit shift_register(unsigned n) {
+  if (n < 1) throw std::invalid_argument("shift_register: n >= 1");
+  Circuit c("shreg-" + std::to_string(n));
+  std::vector<Id> q;
+  for (unsigned i = 0; i < n; ++i) {
+    q.push_back(c.add_input("q" + std::to_string(i)));
+  }
+  const Id in = c.add_input("in");
+  c.add_latch(q[0], c.add_gate(GateType::Buf, {in}));
+  for (unsigned i = 1; i < n; ++i) {
+    c.add_latch(q[i], c.add_gate(GateType::Buf, {q[i - 1]}));
+  }
+  c.mark_output(q[n - 1], "y");
+  c.validate();
+  return c;
+}
+
+Circuit lfsr(unsigned bits, const std::vector<unsigned>& taps) {
+  if (bits < 2) throw std::invalid_argument("lfsr: bits >= 2");
+  if (taps.empty()) throw std::invalid_argument("lfsr: need taps");
+  for (const unsigned t : taps) {
+    if (t >= bits) throw std::invalid_argument("lfsr: tap out of range");
+  }
+  Circuit c("lfsr-" + std::to_string(bits));
+  std::vector<Id> q;
+  for (unsigned i = 0; i < bits; ++i) {
+    q.push_back(c.add_input("q" + std::to_string(i)));
+  }
+  const Id seed = c.add_input("seed");
+  std::vector<Id> tapped;
+  for (const unsigned t : taps) tapped.push_back(q[t]);
+  const Id feedback = tapped.size() == 1
+                          ? tapped[0]
+                          : c.add_gate(GateType::Xor, std::move(tapped));
+  c.add_latch(q[0], c.add_gate(GateType::Or, {feedback, seed}));
+  for (unsigned i = 1; i < bits; ++i) {
+    c.add_latch(q[i], c.add_gate(GateType::Buf, {q[i - 1]}));
+  }
+  c.mark_output(q[bits - 1], "out");
+  c.validate();
+  return c;
+}
+
+Circuit gray_counter(unsigned n) {
+  if (n < 2) throw std::invalid_argument("gray_counter: n >= 2");
+  Circuit c("gray-" + std::to_string(n));
+  std::vector<Id> g;
+  for (unsigned i = 0; i < n; ++i) {
+    g.push_back(c.add_input("g" + std::to_string(i)));
+  }
+  const Id enable = c.add_input("en");
+  // Gray -> binary (bit n-1 is the MSB): b[i] = XOR(g[i..n-1]).
+  std::vector<Id> b(n);
+  b[n - 1] = c.add_gate(GateType::Buf, {g[n - 1]});
+  for (unsigned i = n - 1; i-- > 0;) {
+    b[i] = c.add_gate(GateType::Xor, {g[i], b[i + 1]});
+  }
+  // binary + enable (ripple increment).
+  std::vector<Id> binc(n);
+  Id carry = enable;
+  for (unsigned i = 0; i < n; ++i) {
+    binc[i] = c.add_gate(GateType::Xor, {b[i], carry});
+    carry = c.add_gate(GateType::And, {b[i], carry});
+  }
+  // binary -> Gray: g'[i] = b'[i] XOR b'[i+1].
+  for (unsigned i = 0; i < n; ++i) {
+    const Id next = i + 1 < n
+                        ? c.add_gate(GateType::Xor, {binc[i], binc[i + 1]})
+                        : c.add_gate(GateType::Buf, {binc[i]});
+    c.add_latch(g[i], next);
+    c.mark_output(g[i], "o" + std::to_string(i));
+  }
+  c.validate();
+  return c;
+}
+
+Circuit c17() {
+  static const char* kC17 = R"(# c17 (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return parse_bench_string(kC17, "c17");
+}
+
+}  // namespace pbdd::circuit

@@ -1,0 +1,99 @@
+// Synthetic circuit generators.
+//
+// The paper's four workloads are ISCAS85 C2670 and C3540 (with SIS order_dfs
+// variable orderings) and 13/14-bit multipliers generated from C6288. The
+// ISCAS85 netlist files cannot be redistributed inside this repository, so:
+//   * multiplier(n) regenerates the C6288-style carry-save array multiplier
+//     at any width (the paper itself generated mult-13/mult-14 this way);
+//   * c2670_like() and c3540_like() are deterministic multi-block
+//     arithmetic/control circuits of the same flavour (adder + comparator +
+//     parity + small multiplier + mixing logic; ALU array) standing in for
+//     the two ISCAS circuits;
+//   * every bench harness also accepts real .bench files via bench_io.
+// All generators are deterministic: the same call always yields the same
+// netlist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace pbdd::circuit {
+
+/// n x n carry-save array multiplier, 2n inputs (a then b), 2n outputs
+/// (product, LSB first). The structure mirrors C6288: an AND-plane of
+/// partial products reduced column-wise by full/half adders.
+[[nodiscard]] Circuit multiplier(unsigned n);
+
+/// n-bit ripple-carry adder: inputs a[0..n), b[0..n), cin; outputs s[0..n),
+/// cout.
+[[nodiscard]] Circuit ripple_adder(unsigned n);
+
+/// n-bit carry-select adder with the given block size: per block both
+/// carry-in possibilities are computed and muxed by the incoming carry.
+[[nodiscard]] Circuit carry_select_adder(unsigned n, unsigned block = 4);
+
+/// n-bit magnitude comparator: outputs lt, eq, gt.
+[[nodiscard]] Circuit comparator(unsigned n);
+
+/// n-input odd-parity tree.
+[[nodiscard]] Circuit parity_tree(unsigned n);
+
+/// n-bit ALU: inputs a[0..n), b[0..n), cin, sel[0..3); eight functions
+/// (add, sub, and, or, xor, nor, pass-a, not-a) selected per minterm;
+/// outputs r[0..n), carry, zero-flag.
+[[nodiscard]] Circuit alu(unsigned n);
+
+/// C2670-class substitute: 24-bit carry-select adder, 20-bit comparator,
+/// 40-input parity bank, embedded 8-bit multiplier slice, and a seeded
+/// mixing layer. ~120 inputs, ~60 outputs.
+[[nodiscard]] Circuit c2670_like();
+
+/// C3540-class substitute: 12-bit ALU plus comparator/parity side logic and
+/// a seeded mixing layer.
+[[nodiscard]] Circuit c3540_like();
+
+/// Seeded random DAG of And/Or/Nand/Nor/Xor/Xnor/Not gates; gates without
+/// fanout become primary outputs. Used by property tests.
+[[nodiscard]] Circuit random_circuit(unsigned num_inputs, unsigned num_gates,
+                                     std::uint64_t seed);
+
+/// Single-error-correcting Hamming encoder: `data_bits` inputs, a full
+/// codeword of data_bits + r outputs (r = parity bits, codeword positions
+/// 1..n with parity at powers of two). The C499/C1355 ISCAS circuits are
+/// exactly this class (32-bit SEC logic).
+[[nodiscard]] Circuit hamming_encoder(unsigned data_bits);
+
+/// Matching decoder/corrector: n codeword inputs; outputs the corrected
+/// data bits followed by an any-error flag. Corrects any single bit flip.
+[[nodiscard]] Circuit hamming_decoder(unsigned data_bits);
+
+/// w-bit logarithmic barrel shifter (left rotate): inputs d[0..w),
+/// s[0..log2 w); outputs d rotated left by s. w must be a power of two.
+[[nodiscard]] Circuit barrel_shifter(unsigned width);
+
+/// n-input priority encoder: outputs the index (ceil(log2 n) bits) of the
+/// highest-priority (lowest-index) asserted input plus a valid flag.
+[[nodiscard]] Circuit priority_encoder(unsigned n);
+
+// ---- Sequential circuits (DFF latches; drive mc::CircuitSystem) ----------
+
+/// n-bit shift register: shifts `in` through q0..q_{n-1}; output taps the
+/// last stage.
+[[nodiscard]] Circuit shift_register(unsigned n);
+
+/// Fibonacci LFSR over the given tap positions (bit indices into the
+/// register, which has `bits` stages); a `seed` input OR-ed into stage 0
+/// lets reachability leave the all-zero state.
+[[nodiscard]] Circuit lfsr(unsigned bits, const std::vector<unsigned>& taps);
+
+/// n-bit Gray-code counter with enable: steps through the reflected Gray
+/// sequence; output is the current code.
+[[nodiscard]] Circuit gray_counter(unsigned n);
+
+/// The real ISCAS85 c17 netlist (6 NAND gates), embedded as .bench text;
+/// exercises the parser and serves as a known-answer test.
+[[nodiscard]] Circuit c17();
+
+}  // namespace pbdd::circuit

@@ -1,0 +1,358 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pbdd::circuit {
+
+const char* gate_type_name(GateType t) noexcept {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Or: return "OR";
+    case GateType::Nand: return "NAND";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+  }
+  return "?";
+}
+
+bool eval_gate(GateType type, const std::vector<bool>& inputs) {
+  switch (type) {
+    case GateType::Input:
+      throw std::logic_error("eval_gate on primary input");
+    case GateType::Const0: return false;
+    case GateType::Const1: return true;
+    case GateType::Buf: return inputs.at(0);
+    case GateType::Not: return !inputs.at(0);
+    case GateType::And:
+      return std::all_of(inputs.begin(), inputs.end(),
+                         [](bool b) { return b; });
+    case GateType::Or:
+      return std::any_of(inputs.begin(), inputs.end(),
+                         [](bool b) { return b; });
+    case GateType::Nand:
+      return !std::all_of(inputs.begin(), inputs.end(),
+                          [](bool b) { return b; });
+    case GateType::Nor:
+      return !std::any_of(inputs.begin(), inputs.end(),
+                          [](bool b) { return b; });
+    case GateType::Xor:
+      return (std::count(inputs.begin(), inputs.end(), true) & 1) != 0;
+    case GateType::Xnor:
+      return (std::count(inputs.begin(), inputs.end(), true) & 1) == 0;
+  }
+  return false;
+}
+
+std::uint32_t Circuit::add_input(std::string name) {
+  const auto id = static_cast<std::uint32_t>(gates_.size());
+  gates_.push_back(Gate{GateType::Input, {}, name});
+  inputs_.push_back(id);
+  if (!name.empty()) by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+std::uint32_t Circuit::add_gate(GateType type,
+                                std::vector<std::uint32_t> fanins,
+                                std::string name) {
+  assert(type != GateType::Input);
+  const auto id = static_cast<std::uint32_t>(gates_.size());
+  for (const std::uint32_t f : fanins) {
+    if (f >= id) throw std::invalid_argument("fanin references later gate");
+  }
+  gates_.push_back(Gate{type, std::move(fanins), name});
+  if (!name.empty()) by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+void Circuit::mark_output(std::uint32_t gate, std::string name) {
+  if (gate >= gates_.size()) throw std::invalid_argument("bad output gate");
+  outputs_.push_back(gate);
+  output_names_.push_back(name.empty() ? gates_[gate].name
+                                       : std::move(name));
+}
+
+void Circuit::add_latch(std::uint32_t q, std::uint32_t d) {
+  if (q >= gates_.size() || gates_[q].type != GateType::Input) {
+    throw std::invalid_argument("add_latch: q must be an input gate");
+  }
+  if (d >= gates_.size()) throw std::invalid_argument("add_latch: bad d");
+  latches_.push_back(Latch{q, d});
+}
+
+std::vector<std::size_t> Circuit::free_input_positions() const {
+  std::vector<bool> is_latch(gates_.size(), false);
+  for (const Latch& latch : latches_) is_latch[latch.q] = true;
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (!is_latch[inputs_[i]]) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::pair<std::vector<bool>, std::vector<bool>> Circuit::simulate_step(
+    const std::vector<bool>& state,
+    const std::vector<bool>& free_inputs) const {
+  if (state.size() != latches_.size()) {
+    throw std::invalid_argument("simulate_step: wrong state size");
+  }
+  const std::vector<std::size_t> free_positions = free_input_positions();
+  if (free_inputs.size() != free_positions.size()) {
+    throw std::invalid_argument("simulate_step: wrong free-input count");
+  }
+  // Assemble the full input vector: latch q positions carry the state.
+  std::vector<bool> inputs(inputs_.size(), false);
+  {
+    std::unordered_map<std::uint32_t, std::size_t> position_of;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      position_of[inputs_[i]] = i;
+    }
+    for (std::size_t k = 0; k < latches_.size(); ++k) {
+      inputs[position_of.at(latches_[k].q)] = state[k];
+    }
+  }
+  for (std::size_t j = 0; j < free_positions.size(); ++j) {
+    inputs[free_positions[j]] = free_inputs[j];
+  }
+  // One combinational evaluation yields outputs and all next-state values.
+  std::vector<bool> value(gates_.size(), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[inputs_[i]] = inputs[i];
+  }
+  std::vector<bool> fanin_values;
+  for (std::uint32_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::Input) continue;
+    fanin_values.clear();
+    for (const std::uint32_t f : g.fanins) fanin_values.push_back(value[f]);
+    value[id] = eval_gate(g.type, fanin_values);
+  }
+  std::vector<bool> outputs;
+  for (const std::uint32_t o : outputs_) outputs.push_back(value[o]);
+  std::vector<bool> next_state;
+  for (const Latch& latch : latches_) next_state.push_back(value[latch.d]);
+  return {std::move(outputs), std::move(next_state)};
+}
+
+std::optional<std::uint32_t> Circuit::find(const std::string& name) const {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> Circuit::topological_order() const {
+  // Gates are created fanins-first (add_gate enforces it), so identity
+  // order is already topological. Kept as a function for parser-produced
+  // circuits, which are remapped into creation order by the parser.
+  std::vector<std::uint32_t> order(gates_.size());
+  for (std::uint32_t i = 0; i < gates_.size(); ++i) order[i] = i;
+  return order;
+}
+
+std::vector<std::uint32_t> Circuit::levels() const {
+  std::vector<std::uint32_t> level(gates_.size(), 0);
+  for (std::uint32_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    std::uint32_t max_in = 0;
+    for (const std::uint32_t f : g.fanins) {
+      max_in = std::max(max_in, level[f] + 1);
+    }
+    level[id] = max_in;
+  }
+  return level;
+}
+
+std::vector<std::uint32_t> Circuit::fanout_counts() const {
+  std::vector<std::uint32_t> count(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    for (const std::uint32_t f : g.fanins) ++count[f];
+  }
+  for (const std::uint32_t o : outputs_) ++count[o];
+  return count;
+}
+
+std::vector<bool> Circuit::simulate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("simulate: wrong input vector size");
+  }
+  std::vector<bool> value(gates_.size(), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[inputs_[i]] = input_values[i];
+  }
+  std::vector<bool> fanin_values;
+  for (std::uint32_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::Input) continue;
+    fanin_values.clear();
+    for (const std::uint32_t f : g.fanins) fanin_values.push_back(value[f]);
+    value[id] = eval_gate(g.type, fanin_values);
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const std::uint32_t o : outputs_) out.push_back(value[o]);
+  return out;
+}
+
+namespace {
+
+GateType base_fold_type(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+      return GateType::And;
+    case GateType::Or:
+    case GateType::Nor:
+      return GateType::Or;
+    case GateType::Xor:
+    case GateType::Xnor:
+      return GateType::Xor;
+    default:
+      return t;
+  }
+}
+
+bool is_negated(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor;
+}
+
+GateType negated_of(GateType base) {
+  switch (base) {
+    case GateType::And: return GateType::Nand;
+    case GateType::Or: return GateType::Nor;
+    case GateType::Xor: return GateType::Xnor;
+    default: throw std::logic_error("negated_of: not a foldable type");
+  }
+}
+
+}  // namespace
+
+Circuit Circuit::binarized() const {
+  Circuit out(name_ + ".bin");
+  std::vector<std::uint32_t> remap(gates_.size(), 0);
+  for (std::uint32_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::Input) {
+      remap[id] = out.add_input(g.name);
+      continue;
+    }
+    if (g.fanins.size() <= 2) {
+      std::vector<std::uint32_t> fanins;
+      for (const std::uint32_t f : g.fanins) fanins.push_back(remap[f]);
+      remap[id] = out.add_gate(g.type, std::move(fanins), g.name);
+      continue;
+    }
+    // Balanced fold of the base operation; negation (if any) is applied by
+    // the final combining gate so no extra inverter is needed.
+    const GateType base = base_fold_type(g.type);
+    std::vector<std::uint32_t> layer;
+    for (const std::uint32_t f : g.fanins) layer.push_back(remap[f]);
+    while (layer.size() > 2) {
+      std::vector<std::uint32_t> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+        next.push_back(out.add_gate(base, {layer[i], layer[i + 1]}));
+      }
+      if (layer.size() & 1) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    const GateType final_type = is_negated(g.type) ? negated_of(base) : base;
+    remap[id] = out.add_gate(final_type, {layer[0], layer[1]}, g.name);
+  }
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    out.mark_output(remap[outputs_[i]], output_names_[i]);
+  }
+  for (const Latch& latch : latches_) {
+    out.add_latch(remap[latch.q], remap[latch.d]);
+  }
+  return out;
+}
+
+Circuit Circuit::compose_series(const Circuit& producer,
+                                const Circuit& consumer,
+                                const std::vector<std::size_t>& input_wiring) {
+  if (producer.is_sequential() || consumer.is_sequential()) {
+    throw std::invalid_argument("compose_series: combinational only");
+  }
+  if (input_wiring.size() != consumer.inputs().size()) {
+    throw std::invalid_argument("compose_series: wiring size mismatch");
+  }
+  for (const std::size_t w : input_wiring) {
+    if (w >= producer.outputs().size()) {
+      throw std::invalid_argument("compose_series: wiring out of range");
+    }
+  }
+  Circuit out(producer.name() + ">" + consumer.name());
+  // Copy the producer verbatim.
+  std::vector<std::uint32_t> p_remap(producer.num_gates());
+  for (std::uint32_t id = 0; id < producer.num_gates(); ++id) {
+    const Gate& g = producer.gates_[id];
+    if (g.type == GateType::Input) {
+      p_remap[id] = out.add_input(g.name);
+    } else {
+      std::vector<std::uint32_t> fanins;
+      for (const std::uint32_t f : g.fanins) fanins.push_back(p_remap[f]);
+      p_remap[id] = out.add_gate(g.type, std::move(fanins));
+    }
+  }
+  // Copy the consumer with its inputs replaced by producer outputs.
+  std::vector<std::uint32_t> c_remap(consumer.num_gates());
+  {
+    std::unordered_map<std::uint32_t, std::size_t> input_position;
+    for (std::size_t i = 0; i < consumer.inputs().size(); ++i) {
+      input_position.emplace(consumer.inputs()[i], i);
+    }
+    for (std::uint32_t id = 0; id < consumer.num_gates(); ++id) {
+      const Gate& g = consumer.gates_[id];
+      if (g.type == GateType::Input) {
+        const std::size_t pos = input_position.at(id);
+        c_remap[id] = p_remap[producer.outputs()[input_wiring[pos]]];
+      } else {
+        std::vector<std::uint32_t> fanins;
+        for (const std::uint32_t f : g.fanins) fanins.push_back(c_remap[f]);
+        c_remap[id] = out.add_gate(g.type, std::move(fanins));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < consumer.outputs().size(); ++i) {
+    out.mark_output(c_remap[consumer.outputs()[i]],
+                    consumer.output_names_[i]);
+  }
+  out.validate();
+  return out;
+}
+
+void Circuit::validate() const {
+  for (std::uint32_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    for (const std::uint32_t f : g.fanins) {
+      if (f >= id) throw std::logic_error("fanin ordering violated");
+    }
+    switch (g.type) {
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        if (!g.fanins.empty()) throw std::logic_error("leaf with fanins");
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+        if (g.fanins.size() != 1) throw std::logic_error("bad unary gate");
+        break;
+      default:
+        if (g.fanins.size() < 2) throw std::logic_error("bad n-ary gate");
+        break;
+    }
+  }
+  for (const std::uint32_t o : outputs_) {
+    if (o >= gates_.size()) throw std::logic_error("bad output");
+  }
+}
+
+}  // namespace pbdd::circuit

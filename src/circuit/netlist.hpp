@@ -1,0 +1,148 @@
+// Gate-level combinational netlist IR.
+//
+// The paper's workloads are ISCAS85 circuits (netlists of industrial
+// combinational circuits) plus generated multipliers; this module is the
+// substrate that represents them: gates with arbitrary fanin, named primary
+// inputs/outputs, topological utilities, gate-level simulation (the oracle
+// the BDD builders are checked against), and a binarization pass that lowers
+// arbitrary-fanin gates to two-input gates for the BDD construction engines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pbdd::circuit {
+
+enum class GateType : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,   // 1 fanin
+  Not,   // 1 fanin
+  And,   // >= 2 fanins
+  Or,
+  Nand,
+  Nor,
+  Xor,   // odd parity over fanins
+  Xnor,  // complement of odd parity
+};
+
+[[nodiscard]] const char* gate_type_name(GateType t) noexcept;
+
+struct Gate {
+  GateType type = GateType::Input;
+  std::vector<std::uint32_t> fanins;
+  std::string name;  ///< may be empty for internally generated gates
+};
+
+/// State element (ISCAS89-style DFF): `q` is a pseudo-input carrying the
+/// current state; `d` is the gate computing the next state.
+struct Latch {
+  std::uint32_t q = 0;
+  std::uint32_t d = 0;
+};
+
+/// Evaluate one gate given its fanin values.
+[[nodiscard]] bool eval_gate(GateType type, const std::vector<bool>& inputs);
+
+class Circuit {
+ public:
+  explicit Circuit(std::string name = "circuit") : name_(std::move(name)) {}
+
+  // ---- Construction --------------------------------------------------------
+  std::uint32_t add_input(std::string name);
+  std::uint32_t add_gate(GateType type, std::vector<std::uint32_t> fanins,
+                         std::string name = {});
+  void mark_output(std::uint32_t gate, std::string name = {});
+  /// Register a state element: `q` (must be an input gate) holds the
+  /// current state, `d` computes the next state. Called after both exist.
+  void add_latch(std::uint32_t q, std::uint32_t d);
+
+  // ---- Access ---------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  [[nodiscard]] std::size_t num_gates() const noexcept {
+    return gates_.size();
+  }
+  [[nodiscard]] const Gate& gate(std::uint32_t id) const {
+    return gates_[id];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& output_names()
+      const noexcept {
+    return output_names_;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> find(
+      const std::string& name) const;
+  [[nodiscard]] const std::vector<Latch>& latches() const noexcept {
+    return latches_;
+  }
+  [[nodiscard]] bool is_sequential() const noexcept {
+    return !latches_.empty();
+  }
+  /// Primary (non-latch) input positions within inputs().
+  [[nodiscard]] std::vector<std::size_t> free_input_positions() const;
+
+  // ---- Analyses -------------------------------------------------------------
+  /// Gate ids in dependency order (fanins before fanouts). Throws
+  /// std::runtime_error on a combinational cycle.
+  [[nodiscard]] std::vector<std::uint32_t> topological_order() const;
+
+  /// Level of each gate: inputs/constants at 0, otherwise 1 + max fanin
+  /// level. Gates at one level are mutually independent — the unit of
+  /// top-level-operation batching for the parallel BDD builder.
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+
+  /// Number of gates that consume each gate's value (output markings count
+  /// as one extra use so output BDDs are retained).
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Gate-level simulation: the test oracle for the BDD builders. For a
+  /// sequential circuit, latch inputs are part of `input_values` (the
+  /// current state) like any other input.
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& input_values) const;
+
+  /// Sequential step: given per-latch state and free-input values, return
+  /// (outputs, next state). Oracle for the symbolic reachability bridge.
+  [[nodiscard]] std::pair<std::vector<bool>, std::vector<bool>>
+  simulate_step(const std::vector<bool>& state,
+                const std::vector<bool>& free_inputs) const;
+
+  /// Lower to 1- and 2-input gates: n-ary AND/OR/XOR become balanced fold
+  /// trees (balanced trees expose parallelism and keep intermediate BDDs
+  /// small); NAND/NOR/XNOR fold their base operation and negate in the
+  /// final gate. Input order, output order, and names are preserved.
+  [[nodiscard]] Circuit binarized() const;
+
+  /// Sanity check: fanin counts match gate types, references in range.
+  void validate() const;
+
+  /// Series composition: feed `producer`'s outputs into `consumer`'s
+  /// inputs. `input_wiring[i]` is the producer output position driving
+  /// consumer input i. The result has the producer's inputs and the
+  /// consumer's outputs. Both circuits must be combinational.
+  static Circuit compose_series(const Circuit& producer,
+                                const Circuit& consumer,
+                                const std::vector<std::size_t>& input_wiring);
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<std::uint32_t> outputs_;
+  std::vector<std::string> output_names_;
+  std::vector<Latch> latches_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+};
+
+}  // namespace pbdd::circuit

@@ -1,0 +1,53 @@
+#include "circuit/ordering.hpp"
+
+#include <vector>
+
+namespace pbdd::circuit {
+
+std::vector<unsigned> order_dfs(const Circuit& circuit) {
+  std::vector<std::uint8_t> visited(circuit.num_gates(), 0);
+  // Map gate id -> input position for primary inputs.
+  std::vector<unsigned> input_position(circuit.num_gates(), 0);
+  for (unsigned i = 0; i < circuit.inputs().size(); ++i) {
+    input_position[circuit.inputs()[i]] = i;
+  }
+  std::vector<unsigned> order(circuit.inputs().size(),
+                              static_cast<unsigned>(-1));
+  unsigned next_var = 0;
+
+  // Iterative DFS (ISCAS-size circuits are shallow, but generated
+  // multipliers at width 14 have ~8000 gate deep recursions worst case).
+  std::vector<std::uint32_t> stack;
+  for (const std::uint32_t out : circuit.outputs()) {
+    if (visited[out]) continue;
+    stack.push_back(out);
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (visited[id]) continue;
+      visited[id] = 1;
+      const Gate& g = circuit.gate(id);
+      if (g.type == GateType::Input) {
+        order[input_position[id]] = next_var++;
+        continue;
+      }
+      // Push fanins in reverse so the first fanin is visited first,
+      // matching the recursive definition of order_dfs.
+      for (auto it = g.fanins.rbegin(); it != g.fanins.rend(); ++it) {
+        if (!visited[*it]) stack.push_back(*it);
+      }
+    }
+  }
+  for (unsigned i = 0; i < order.size(); ++i) {
+    if (order[i] == static_cast<unsigned>(-1)) order[i] = next_var++;
+  }
+  return order;
+}
+
+std::vector<unsigned> order_natural(const Circuit& circuit) {
+  std::vector<unsigned> order(circuit.inputs().size());
+  for (unsigned i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+}  // namespace pbdd::circuit

@@ -1,0 +1,25 @@
+// Variable orderings for circuit-to-BDD construction.
+//
+// BDD size is extremely sensitive to variable order (Section 2 of the
+// paper). The paper uses the ordering produced by SIS's `order_dfs`; this
+// module reimplements it: a depth-first traversal from each primary output
+// in declaration order, visiting fanins in declaration order, assigning BDD
+// variables to primary inputs in first-visit order.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace pbdd::circuit {
+
+/// order_dfs (SIS): result[i] is the BDD variable assigned to the circuit's
+/// i-th primary input. Inputs never reached from any output are appended at
+/// the end in declaration order.
+[[nodiscard]] std::vector<unsigned> order_dfs(const Circuit& circuit);
+
+/// Declaration order: input i gets variable i. The known-bad baseline for
+/// ordering studies.
+[[nodiscard]] std::vector<unsigned> order_natural(const Circuit& circuit);
+
+}  // namespace pbdd::circuit

@@ -1,0 +1,134 @@
+// Boolean operator definitions shared by every construction engine in this
+// repository (the depth-first baseline, the partial breadth-first engine, and
+// the brute-force truth-table oracle used in tests).
+//
+// The packages here use plain (non-complemented) edges, as the paper's
+// figures do, so "NOT" is not a constant-time operation; it is expressed as
+// XOR with the constant one. Terminal simplification therefore only fires
+// when the result is immediately available as one of the operands or a
+// constant (Section 2.1's "terminal cases").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pbdd {
+
+enum class Op : std::uint8_t {
+  And = 0,
+  Or,
+  Xor,
+  Nand,
+  Nor,
+  Xnor,
+  Diff,     // f AND NOT g
+  Implies,  // NOT f OR g
+};
+
+inline constexpr unsigned kNumOps = 8;
+
+[[nodiscard]] constexpr std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::And: return "AND";
+    case Op::Or: return "OR";
+    case Op::Xor: return "XOR";
+    case Op::Nand: return "NAND";
+    case Op::Nor: return "NOR";
+    case Op::Xnor: return "XNOR";
+    case Op::Diff: return "DIFF";
+    case Op::Implies: return "IMPLIES";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool op_commutative(Op op) noexcept {
+  switch (op) {
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Nand:
+    case Op::Nor:
+    case Op::Xnor:
+      return true;
+    case Op::Diff:
+    case Op::Implies:
+      return false;
+  }
+  return false;
+}
+
+/// Apply `op` to two boolean constants.
+[[nodiscard]] constexpr bool apply_bits(Op op, bool f, bool g) noexcept {
+  switch (op) {
+    case Op::And: return f && g;
+    case Op::Or: return f || g;
+    case Op::Xor: return f != g;
+    case Op::Nand: return !(f && g);
+    case Op::Nor: return !(f || g);
+    case Op::Xnor: return f == g;
+    case Op::Diff: return f && !g;
+    case Op::Implies: return !f || g;
+  }
+  return false;
+}
+
+/// Terminal-case simplification over an engine-agnostic reference type.
+///
+/// `R` must be an integral reference type where `zero` and `one` are the
+/// terminal constants. Returns the simplified result, or `invalid` when the
+/// operation is not a terminal case and must be Shannon-expanded. Only rules
+/// whose result is an existing reference are applied (no complement edges).
+template <typename R>
+[[nodiscard]] constexpr R terminal_case(Op op, R f, R g, R zero, R one,
+                                        R invalid) noexcept {
+  const bool fc = (f == zero || f == one);
+  const bool gc = (g == zero || g == one);
+  if (fc && gc) {
+    return apply_bits(op, f == one, g == one) ? one : zero;
+  }
+  switch (op) {
+    case Op::And:
+      if (f == g) return f;
+      if (f == zero || g == zero) return zero;
+      if (f == one) return g;
+      if (g == one) return f;
+      break;
+    case Op::Or:
+      if (f == g) return f;
+      if (f == one || g == one) return one;
+      if (f == zero) return g;
+      if (g == zero) return f;
+      break;
+    case Op::Xor:
+      if (f == g) return zero;
+      if (f == zero) return g;
+      if (g == zero) return f;
+      break;
+    case Op::Xnor:
+      if (f == g) return one;
+      if (f == one) return g;
+      if (g == one) return f;
+      break;
+    case Op::Nand:
+      if (f == zero || g == zero) return one;
+      break;
+    case Op::Nor:
+      if (f == one || g == one) return zero;
+      break;
+    case Op::Diff:  // f AND NOT g
+      if (f == g) return zero;
+      if (f == zero) return zero;
+      if (g == one) return zero;
+      if (g == zero) return f;
+      break;
+    case Op::Implies:  // NOT f OR g
+      if (f == g) return one;
+      if (f == zero) return one;
+      if (g == one) return one;
+      if (f == one) return g;
+      break;
+  }
+  return invalid;
+}
+
+}  // namespace pbdd

@@ -1,0 +1,301 @@
+// Public API of the parallel partial breadth-first BDD package.
+//
+// BddManager owns the shared state (per-variable unique tables, the worker
+// pool, the root registry for external references) and orchestrates
+// top-level operation batches and stop-the-world garbage collection.
+// Boolean operations issued through this API are the paper's "top level
+// operations"; a batch of independent top-level operations is distributed
+// across workers, with group stealing balancing the load inside each one
+// (Section 3.3).
+//
+// Thread-safety contract: the manager parallelizes internally. External
+// calls must come from one thread at a time (the typical usage in symbolic
+// model checking and circuit sweeps), except that Bdd handles may be copied
+// and dropped from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/op.hpp"
+#include "core/config.hpp"
+#include "core/ref.hpp"
+#include "core/unique_table.hpp"
+#include "core/worker.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace pbdd::core {
+
+class BddManager;
+
+/// RAII external reference to a BDD. Internally an index into the manager's
+/// root registry rather than a raw node reference, so the mark-compact
+/// collector can relocate nodes without invalidating live handles.
+///
+/// Lifetime contract (as in every classic BDD package): handles must not
+/// outlive their manager — destroy or reset every Bdd before the
+/// BddManager is destroyed. Debug builds assert this in ~BddManager.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(BddManager* mgr, std::uint32_t root) : mgr_(mgr), root_(root) {}
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), root_(other.root_) {
+    other.mgr_ = nullptr;
+  }
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool valid() const noexcept { return mgr_ != nullptr; }
+  [[nodiscard]] BddManager* manager() const noexcept { return mgr_; }
+
+  /// Current node reference. Stable between collections only; prefer
+  /// structural comparison via ==, which is safe at any time.
+  [[nodiscard]] NodeRef ref() const noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept { return ref() == kZero; }
+  [[nodiscard]] bool is_one() const noexcept { return ref() == kOne; }
+
+  /// Functional equality (canonicity makes it a reference comparison).
+  friend bool operator==(const Bdd& a, const Bdd& b) noexcept {
+    return a.mgr_ == b.mgr_ &&
+           (a.mgr_ == nullptr || a.ref() == b.ref());
+  }
+
+  // Operator sugar; see the BddManager methods they forward to.
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  Bdd operator!() const;
+
+ private:
+  friend class BddManager;
+
+  BddManager* mgr_ = nullptr;
+  std::uint32_t root_ = 0;
+};
+
+/// One top-level operation in a batch.
+struct BatchOp {
+  Op op;
+  Bdd f;
+  Bdd g;
+};
+
+class BddManager {
+ public:
+  explicit BddManager(unsigned num_vars, Config config = {});
+  /// Debug builds assert that no external Bdd handles are still alive
+  /// (a surviving handle would dereference freed memory on destruction).
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // ---- Constants and variables --------------------------------------------
+  [[nodiscard]] Bdd zero() { return make_root(kZero); }
+  [[nodiscard]] Bdd one() { return make_root(kOne); }
+  [[nodiscard]] Bdd var(unsigned v);
+  [[nodiscard]] Bdd nvar(unsigned v);
+
+  // ---- Boolean operations --------------------------------------------------
+  [[nodiscard]] Bdd apply(Op op, const Bdd& f, const Bdd& g);
+  /// Execute a batch of independent top-level operations in parallel. This
+  /// is the parallel entry point: operations are dealt to workers and load
+  /// is balanced by group stealing.
+  [[nodiscard]] std::vector<Bdd> apply_batch(std::span<const BatchOp> batch);
+  [[nodiscard]] Bdd not_(const Bdd& f);
+  [[nodiscard]] Bdd ite(const Bdd& c, const Bdd& t, const Bdd& e);
+  [[nodiscard]] Bdd restrict_(const Bdd& f, unsigned v, bool value);
+  [[nodiscard]] Bdd exists(const Bdd& f, const std::vector<unsigned>& vars);
+  [[nodiscard]] Bdd forall(const Bdd& f, const std::vector<unsigned>& vars);
+  [[nodiscard]] Bdd compose(const Bdd& f, unsigned v, const Bdd& g);
+
+  // ---- Queries --------------------------------------------------------------
+  [[nodiscard]] double sat_count(const Bdd& f);
+  [[nodiscard]] std::optional<std::vector<std::int8_t>> sat_one(const Bdd& f);
+  [[nodiscard]] bool eval(const Bdd& f, const std::vector<bool>& assignment);
+  [[nodiscard]] std::vector<unsigned> support(const Bdd& f);
+  [[nodiscard]] std::size_t node_count(const Bdd& f);
+
+  // ---- Memory management ----------------------------------------------------
+  /// Stop-the-world parallel mark-compact collection (Section 3.4).
+  void gc();
+  /// Run gc() if the auto-GC condition holds. Returns true if it ran.
+  bool maybe_gc();
+
+  [[nodiscard]] std::size_t live_nodes() const noexcept;
+  [[nodiscard]] std::size_t bytes() const noexcept;
+  /// High-water mark of bytes(), sampled at every batch barrier (the
+  /// paper's memory-usage numbers, Figs. 9/10).
+  [[nodiscard]] std::size_t peak_bytes() const noexcept {
+    return peak_bytes_;
+  }
+  [[nodiscard]] std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+
+  // ---- Statistics -----------------------------------------------------------
+  [[nodiscard]] ManagerStats stats() const;
+  /// Clear phase timers, lock-wait tables, and per-worker counters (used by
+  /// benchmark harnesses between measurement sections).
+  void reset_stats();
+  [[nodiscard]] std::vector<std::size_t> max_nodes_per_var() const;
+  [[nodiscard]] std::vector<std::uint64_t> lock_wait_per_var_ns() const;
+
+  // ---- Root registry (used by the Bdd handle) -------------------------------
+  [[nodiscard]] Bdd make_root(NodeRef ref);
+  void root_incref(std::uint32_t root) noexcept;
+  void root_decref(std::uint32_t root) noexcept;
+  [[nodiscard]] NodeRef root_ref(std::uint32_t root) const noexcept;
+
+  // ---- Internal services for Worker -----------------------------------------
+  [[nodiscard]] BddNode& node(NodeRef r) const noexcept {
+    return workers_[worker_of(r)]->node_arena(var_of(r)).at(slot_of(r));
+  }
+
+  /// Cofactor of f with respect to variable x (Section 2.1: if x is the
+  /// root's variable, the cofactor is the child; otherwise f itself).
+  [[nodiscard]] NodeRef cofactor(NodeRef f, unsigned x, bool value) const {
+    if (level_of(f) != x) return f;
+    const BddNode& n = node(f);
+    return value ? n.high : n.low;
+  }
+
+  [[nodiscard]] VarUniqueTable& unique(unsigned var) noexcept {
+    return unique_[var];
+  }
+
+  [[nodiscard]] std::uint32_t op_generation() const noexcept {
+    return op_generation_;
+  }
+
+  [[nodiscard]] Worker& worker(unsigned id) noexcept { return *workers_[id]; }
+
+  // Batch state (read by workers during run_batch). Operands are held as
+  // Bdd handles, not raw references: a sequential-mode collection between
+  // two top-level operations of the same batch relocates nodes, and the
+  // root-registry indirection keeps the pending operands valid.
+  struct BatchState {
+    struct Item {
+      Op op;
+      Bdd f, g;
+    };
+    std::vector<Item> items;
+    std::vector<Bdd> result_handles;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+  };
+  [[nodiscard]] BatchState& batch() noexcept { return batch_state_; }
+
+  /// Root the result of a batch item as soon as its owner finishes it.
+  void register_batch_result(std::size_t index, NodeRef ref);
+
+  /// Low-level find-or-create of one node (locks the variable's table).
+  /// Exposed for the utility operations and white-box tests; apply() is the
+  /// normal construction path.
+  NodeRef mk_node(unsigned var, NodeRef low, NodeRef high);
+
+  /// Count of workers currently finding nothing to steal; busy workers poll
+  /// this and context-switch to expose sharable groups (Section 3.3).
+  std::atomic<std::uint32_t> hungry_workers{0};
+
+  /// True while the manager must honour cross-worker locking. With a single
+  /// worker in sequential mode the per-variable locks are elided.
+  [[nodiscard]] bool locking() const noexcept { return locking_; }
+
+ private:
+  friend class Worker;
+
+  struct RootEntry {
+    NodeRef ref = kInvalid;
+    std::atomic<std::uint32_t> rc{0};
+    std::uint32_t next_free = 0;
+  };
+
+  /// Run a batch of top-level operations; results are registered as roots
+  /// before the function returns.
+  void execute_batch(std::vector<BatchState::Item> items,
+                     std::vector<Bdd>& out);
+
+  void gc_driver(unsigned worker_id);
+
+  const unsigned num_vars_;
+  const Config config_;
+  const bool locking_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<VarUniqueTable> unique_;
+  rt::WorkerPool pool_;
+  rt::SpinBarrier gc_barrier_;
+
+  BatchState batch_state_;
+  std::uint32_t op_generation_ = 1;
+
+  // Root registry: deque for stable element addresses (handles touch the
+  // atomic refcount without the mutex).
+  mutable std::mutex roots_mutex_;
+  std::deque<RootEntry> roots_;
+  std::uint32_t roots_free_head_ = kNilSlot;
+
+  std::uint64_t gc_runs_ = 0;
+  std::size_t live_after_gc_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+// ---- Bdd inline members (need BddManager complete) --------------------------
+
+inline Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), root_(other.root_) {
+  if (mgr_ != nullptr) mgr_->root_incref(root_);
+}
+
+inline Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->root_incref(other.root_);
+  if (mgr_ != nullptr) mgr_->root_decref(root_);
+  mgr_ = other.mgr_;
+  root_ = other.root_;
+  return *this;
+}
+
+inline Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->root_decref(root_);
+  mgr_ = other.mgr_;
+  root_ = other.root_;
+  other.mgr_ = nullptr;
+  return *this;
+}
+
+inline Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->root_decref(root_);
+}
+
+inline NodeRef Bdd::ref() const noexcept {
+  return mgr_ != nullptr ? mgr_->root_ref(root_) : kInvalid;
+}
+
+inline Bdd Bdd::operator&(const Bdd& o) const {
+  return mgr_->apply(Op::And, *this, o);
+}
+inline Bdd Bdd::operator|(const Bdd& o) const {
+  return mgr_->apply(Op::Or, *this, o);
+}
+inline Bdd Bdd::operator^(const Bdd& o) const {
+  return mgr_->apply(Op::Xor, *this, o);
+}
+inline Bdd Bdd::operator!() const { return mgr_->not_(*this); }
+
+}  // namespace pbdd::core

@@ -1,0 +1,102 @@
+// Per-worker compute cache (Section 2.3's hybrid "compute cache").
+//
+// Unlike a depth-first computed cache, this cache holds BOTH computed
+// operations (result is a BDD reference) and uncomputed, in-flight
+// operations (result is an operator-node reference awaiting its reduction).
+// Hitting an uncomputed entry is what prevents the breadth-first expansion
+// from spawning redundant operator nodes for shared subproblems.
+//
+// The cache is direct-mapped and lossy (the paper deliberately does not
+// maintain a complete cache of either kind to bound memory overhead), and it
+// is private to one worker — the paper's data layout choice that lets the
+// expansion phase run without any synchronization, at the cost of some
+// duplicated work between workers (quantified in Figs. 11/12).
+//
+// Validity rules for a hit whose entry holds an operator node:
+//   * the entry's generation must match the current operator-arena
+//     generation (operator nodes are recycled wholesale between top-level
+//     batches);
+//   * if the operator node already has a result, the hit returns that BDD;
+//   * otherwise the operator node is only usable if it belongs to the
+//     requester's *current* evaluation context — an operator node parked in
+//     a pushed ancestor context (or handed to a thief) is not guaranteed to
+//     be reduced before the current context's reduction phase needs it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/op.hpp"
+#include "core/node.hpp"
+#include "core/ref.hpp"
+#include "util/hash.hpp"
+
+namespace pbdd::core {
+
+class ComputeCache {
+ public:
+  struct Entry {
+    NodeRef f = kInvalid;
+    NodeRef g = kInvalid;
+    Ref result = kInvalid;
+    std::uint32_t generation = 0;
+    std::uint16_t op = 0xFFFF;
+    std::uint16_t valid = 0;
+  };
+
+  void init(unsigned log2_entries) {
+    entries_.assign(std::size_t{1} << log2_entries, Entry{});
+    mask_ = (std::uint64_t{1} << log2_entries) - 1;
+  }
+
+  [[nodiscard]] std::uint32_t slot_for(Op op, NodeRef f,
+                                       NodeRef g) const noexcept {
+    return static_cast<std::uint32_t>(
+        util::hash_triple(static_cast<std::uint64_t>(op), f, g) & mask_);
+  }
+
+  /// Raw probe; interpretation of an operator-node result is the caller's
+  /// job (it needs the arena to resolve the node).
+  [[nodiscard]] const Entry* lookup(std::uint32_t slot, Op op, NodeRef f,
+                                    NodeRef g) const noexcept {
+    const Entry& e = entries_[slot];
+    if (e.valid && e.op == static_cast<std::uint16_t>(op) && e.f == f &&
+        e.g == g) {
+      return &e;
+    }
+    return nullptr;
+  }
+
+  void insert(std::uint32_t slot, Op op, NodeRef f, NodeRef g, Ref result,
+              std::uint32_t generation) noexcept {
+    entries_[slot] = Entry{f, g, result, generation,
+                           static_cast<std::uint16_t>(op), 1};
+  }
+
+  /// Reduction write-back: replace the uncomputed entry with the computed
+  /// BDD result, but only if the slot still holds this very operation.
+  void complete(std::uint32_t slot, Op op, NodeRef f, NodeRef g,
+                Ref op_ref, NodeRef result) noexcept {
+    Entry& e = entries_[slot];
+    if (e.valid && e.op == static_cast<std::uint16_t>(op) && e.f == f &&
+        e.g == g && e.result == op_ref) {
+      e.result = result;
+    }
+  }
+
+  /// Drop everything (garbage collection moves nodes, so BDD references in
+  /// the cache would dangle).
+  void flush() noexcept {
+    for (Entry& e : entries_) e.valid = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace pbdd::core

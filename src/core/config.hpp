@@ -1,0 +1,140 @@
+// Configuration and statistics for the partial breadth-first engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbdd::core {
+
+/// What to do when an evaluation context exceeds the threshold.
+enum class OverflowPolicy : std::uint8_t {
+  /// The paper's partial breadth-first algorithm: push the context, spill
+  /// the remaining operations into stealable groups, continue in a child
+  /// context (Section 3.1).
+  kContextStack,
+  /// The hybrid predecessor [Chen-Yang-Bryant 97]: switch to depth-first
+  /// recursion for the remaining operations. Bounds memory like the
+  /// context stack but loses the structured per-variable access pattern —
+  /// the drawback Section 3.1 calls out ("when a BDD operation is much
+  /// larger than the threshold, this hybrid approach will be dominated by
+  /// the depth-first portion"). Kept as an ablation.
+  kDepthFirst,
+};
+
+struct Config {
+  /// Number of workers (threads). The calling thread is worker 0.
+  unsigned workers = 1;
+
+  /// Paper's "Seq" configuration: single worker, unique-table locking
+  /// elided, GC condition checked aggressively after every top-level
+  /// operation rather than only at batch barriers (Section 4.1 explains the
+  /// sequential build checks the collection condition more eagerly).
+  /// Requires workers == 1.
+  bool sequential_mode = false;
+
+  /// Evaluation threshold: operator expansions per evaluation context
+  /// before the context is pushed and a child context starts (Fig. 5,
+  /// line 10). Set to a small fraction of memory in the paper; here an
+  /// explicit knob. kUnbounded degenerates to pure breadth-first.
+  std::uint64_t eval_threshold = std::uint64_t{1} << 15;
+  static constexpr std::uint64_t kUnbounded = ~std::uint64_t{0};
+
+  /// Threshold-overflow strategy (see OverflowPolicy). Hungry-worker
+  /// context switches always use the context stack regardless.
+  OverflowPolicy overflow = OverflowPolicy::kContextStack;
+
+  /// Operations per stealable group when a context is pushed ("partition
+  /// the remaining operators into small groups").
+  std::uint32_t group_size = 512;
+
+  /// log2 of per-worker compute-cache entries.
+  unsigned cache_log2 = 17;
+
+  /// Initial buckets per variable's unique table (power of two).
+  unsigned initial_buckets_log2 = 8;
+
+  /// Lock-striped segments per variable's unique table (power of two).
+  /// 1 = the paper's one-lock-per-variable discipline (reduction acquires
+  /// once per pass). >1 implements the finer-grained distributed hashing
+  /// the paper's Section 6 calls for: inserts lock only their hash-selected
+  /// segment. Forced to 1 in sequential mode.
+  unsigned table_shards = 1;
+
+  /// Automatic GC at a batch barrier when allocated node slots exceed this
+  /// multiple of the live count after the previous collection.
+  double gc_growth_factor = 2.0;
+  /// Never auto-collect below this many allocated nodes.
+  std::size_t gc_min_nodes = 1u << 20;
+  bool auto_gc = true;
+
+  /// Expansion polls the "hungry thief" flag every this many operations to
+  /// decide whether to context-switch and expose sharable groups.
+  std::uint32_t share_poll_interval = 256;
+};
+
+/// Per-worker counters. Plain (non-atomic): each worker writes only its own
+/// copy; aggregation happens after barriers.
+struct WorkerStats {
+  std::uint64_t ops_performed = 0;      ///< Shannon expansions (Fig. 11)
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_op_hits = 0;      ///< hits returning in-flight op nodes
+  std::uint64_t cache_cross_ctx_misses = 0;  ///< uncomputed hit, wrong context
+  std::uint64_t nodes_created = 0;
+  std::uint64_t contexts_pushed = 0;
+  std::uint64_t groups_created = 0;
+  std::uint64_t groups_taken = 0;       ///< taken back by the owner
+  std::uint64_t groups_stolen = 0;      ///< stolen by this worker
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t reduction_stalls = 0;   ///< waits on thief results
+  std::uint64_t top_ops = 0;
+
+  // Phase wall-clock accounting (Figs. 13/14, 18/19).
+  std::uint64_t expansion_ns = 0;
+  std::uint64_t reduction_ns = 0;
+  std::uint64_t lock_wait_ns = 0;       ///< total unique-table lock waits
+  std::uint64_t gc_ns = 0;
+  std::uint64_t gc_mark_ns = 0;
+  std::uint64_t gc_fix_ns = 0;
+  std::uint64_t gc_rehash_ns = 0;
+
+  WorkerStats& operator+=(const WorkerStats& o) noexcept {
+    ops_performed += o.ops_performed;
+    cache_lookups += o.cache_lookups;
+    cache_hits += o.cache_hits;
+    cache_op_hits += o.cache_op_hits;
+    cache_cross_ctx_misses += o.cache_cross_ctx_misses;
+    nodes_created += o.nodes_created;
+    contexts_pushed += o.contexts_pushed;
+    groups_created += o.groups_created;
+    groups_taken += o.groups_taken;
+    groups_stolen += o.groups_stolen;
+    tasks_stolen += o.tasks_stolen;
+    reduction_stalls += o.reduction_stalls;
+    top_ops += o.top_ops;
+    expansion_ns += o.expansion_ns;
+    reduction_ns += o.reduction_ns;
+    lock_wait_ns += o.lock_wait_ns;
+    gc_ns += o.gc_ns;
+    gc_mark_ns += o.gc_mark_ns;
+    gc_fix_ns += o.gc_fix_ns;
+    gc_rehash_ns += o.gc_rehash_ns;
+    return *this;
+  }
+};
+
+struct ManagerStats {
+  WorkerStats total;                       ///< sum over workers
+  std::vector<WorkerStats> per_worker;
+  std::uint64_t gc_runs = 0;
+  std::size_t live_nodes = 0;              ///< after the last collection
+  std::size_t allocated_nodes = 0;
+  std::size_t bytes = 0;
+  /// Per-variable unique-table high-water marks (Fig. 15).
+  std::vector<std::size_t> max_nodes_per_var;
+  /// Per-variable lock wait, summed over workers, in ns (Fig. 16).
+  std::vector<std::uint64_t> lock_wait_per_var_ns;
+};
+
+}  // namespace pbdd::core

@@ -1,0 +1,99 @@
+// Evaluation contexts, operator queues, and stealable operation groups
+// (paper Sections 3.1 and 3.3).
+//
+// An evaluation context is one "window" of breadth-first expansion: its
+// per-variable operator queues hold operations awaiting Shannon expansion
+// and its per-variable reduction queues hold expanded operations awaiting
+// the bottom-up reduction sweep. When a context exceeds the evaluation
+// threshold it is pushed onto the worker's context stack with its remaining
+// unexpanded operations partitioned into small groups; the stack doubles as
+// the distributed work queue from which idle workers steal whole groups.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+
+namespace pbdd::core {
+
+/// Intrusive singly-linked queue of operator nodes within one
+/// (worker, variable) operator arena. The paper walks operator nodes
+/// block-contiguously inside the per-variable managers; an intrusive list
+/// over bump-allocated slots preserves that access pattern while letting
+/// several contexts share one arena.
+struct OpQueue {
+  std::uint32_t head = kNilSlot;
+  std::uint32_t tail = kNilSlot;
+
+  [[nodiscard]] bool empty() const noexcept { return head == kNilSlot; }
+
+  void clear() noexcept { head = tail = kNilSlot; }
+};
+
+/// One unexpanded operation as seen by a thief: a stable pointer (operator
+/// arena blocks never move) plus its queue coordinates for the owner.
+struct GroupTask {
+  OpNode* node = nullptr;
+  std::uint32_t slot = kNilSlot;
+  std::uint16_t var = 0;
+};
+
+/// A stealable batch of unexpanded operations. Owned by the context that
+/// spilled them; protected by the owning worker's steal mutex while the
+/// context sits on the stack.
+struct Group {
+  std::vector<GroupTask> tasks;
+};
+
+class EvalContext {
+ public:
+  EvalContext(unsigned num_vars, std::uint32_t serial)
+      : serial_(serial), op_q_(num_vars), red_q_(num_vars) {}
+
+  [[nodiscard]] std::uint32_t serial() const noexcept { return serial_; }
+
+  [[nodiscard]] OpQueue& op_q(unsigned var) noexcept { return op_q_[var]; }
+  [[nodiscard]] OpQueue& red_q(unsigned var) noexcept { return red_q_[var]; }
+  [[nodiscard]] unsigned num_vars() const noexcept {
+    return static_cast<unsigned>(op_q_.size());
+  }
+
+  /// Unexpanded-operation groups awaiting this (pushed) context's turn.
+  /// Accessed under the owning worker's steal mutex.
+  std::deque<Group> groups;
+
+  /// Cumulative Shannon expansions charged to this context (diagnostics).
+  /// The evaluation threshold itself is checked against a per-round counter
+  /// (Fig. 5 resets nOpsProcessed at each expansion call), so each
+  /// expansion-reduction round's working set is bounded.
+  std::uint64_t ops_processed = 0;
+
+  /// Lowest variable that may still have queued operations; expansion
+  /// resumes its top-down sweep here instead of rescanning from variable 0.
+  unsigned sweep_var = 0;
+
+  /// Operations currently sitting in this context's operator queues
+  /// (cheap "is there anything left to spill into groups?" check).
+  std::uint32_t queued = 0;
+
+  /// Recycle this context object for a fresh use.
+  void reset(std::uint32_t serial) noexcept {
+    serial_ = serial;
+    for (auto& q : op_q_) q.clear();
+    for (auto& q : red_q_) q.clear();
+    groups.clear();
+    ops_processed = 0;
+    sweep_var = 0;
+    queued = 0;
+  }
+
+ private:
+  std::uint32_t serial_;
+  std::vector<OpQueue> op_q_;
+  std::vector<OpQueue> red_q_;
+};
+
+}  // namespace pbdd::core

@@ -1,0 +1,136 @@
+#include "core/export.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace pbdd::core {
+
+namespace {
+
+/// Stable local ids in first-visit depth-first order, so output does not
+/// depend on which worker arena a node happens to live in.
+class LocalIds {
+ public:
+  std::uint64_t id(NodeRef r) {
+    const auto [it, inserted] = ids_.emplace(r, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  [[nodiscard]] bool seen(NodeRef r) const { return ids_.count(r) != 0; }
+
+ private:
+  std::unordered_map<NodeRef, std::uint64_t> ids_;
+  std::uint64_t next_ = 2;  // 0/1 reserved for the terminals
+};
+
+std::string var_label(const std::vector<std::string>& var_names,
+                      unsigned var) {
+  if (var < var_names.size()) return var_names[var];
+  return "x" + std::to_string(var);
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, BddManager& mgr,
+               const std::vector<Bdd>& functions,
+               const std::vector<std::string>& names,
+               const std::vector<std::string>& var_names) {
+  out << "digraph bdd {\n"
+      << "  rankdir=TB;\n"
+      << "  node [shape=circle];\n"
+      << "  t0 [label=\"0\", shape=box];\n"
+      << "  t1 [label=\"1\", shape=box];\n";
+  LocalIds ids;
+  auto node_name = [&](NodeRef r) -> std::string {
+    if (r == kZero) return "t0";
+    if (r == kOne) return "t1";
+    return "n" + std::to_string(ids.id(r));
+  };
+  auto emit = [&](auto&& self, NodeRef r) -> void {
+    if (is_terminal(r) || ids.seen(r)) return;
+    const BddNode& n = mgr.node(r);
+    const std::string me = node_name(r);
+    out << "  " << me << " [label=\"" << var_label(var_names, var_of(r))
+        << "\"];\n";
+    self(self, n.low);
+    self(self, n.high);
+    out << "  " << me << " -> " << node_name(n.low) << " [style=dashed];\n";
+    out << "  " << me << " -> " << node_name(n.high) << ";\n";
+  };
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const NodeRef root = functions[i].ref();
+    emit(emit, root);
+    const std::string label =
+        i < names.size() ? names[i] : ("f" + std::to_string(i));
+    out << "  root" << i << " [label=\"" << label
+        << "\", shape=plaintext];\n";
+    out << "  root" << i << " -> " << node_name(root) << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(BddManager& mgr, const std::vector<Bdd>& functions,
+                   const std::vector<std::string>& names,
+                   const std::vector<std::string>& var_names) {
+  std::ostringstream out;
+  write_dot(out, mgr, functions, names, var_names);
+  return out.str();
+}
+
+std::string dump_function(BddManager& mgr, const Bdd& f) {
+  std::ostringstream out;
+  LocalIds ids;
+  auto name = [&](NodeRef r) -> std::string {
+    if (r == kZero) return "0";
+    if (r == kOne) return "1";
+    return "@" + std::to_string(ids.id(r));
+  };
+  auto emit = [&](auto&& self, NodeRef r) -> void {
+    if (is_terminal(r) || ids.seen(r)) return;
+    const std::string me = name(r);  // assigns the id pre-order
+    const BddNode& n = mgr.node(r);
+    self(self, n.low);
+    self(self, n.high);
+    out << me << " = x" << var_of(r) << " ? " << name(n.high) << " : "
+        << name(n.low) << "\n";
+  };
+  const NodeRef root = f.ref();
+  emit(emit, root);
+  out << "root = " << name(root) << "\n";
+  return out.str();
+}
+
+void write_stats(std::ostream& out, const BddManager& mgr) {
+  const ManagerStats s = mgr.stats();
+  out << "pbdd statistics\n"
+      << "  workers:            " << s.per_worker.size() << "\n"
+      << "  live nodes:         " << s.allocated_nodes << "\n"
+      << "  bytes:              " << s.bytes << "\n"
+      << "  shannon operations: " << s.total.ops_performed << "\n"
+      << "  nodes created:      " << s.total.nodes_created << "\n"
+      << "  cache lookups:      " << s.total.cache_lookups << "\n"
+      << "  cache hits:         " << s.total.cache_hits << " (+"
+      << s.total.cache_op_hits << " in-flight)\n"
+      << "  cross-ctx misses:   " << s.total.cache_cross_ctx_misses << "\n"
+      << "  contexts pushed:    " << s.total.contexts_pushed << "\n"
+      << "  groups created:     " << s.total.groups_created << " (taken "
+      << s.total.groups_taken << ", stolen " << s.total.groups_stolen
+      << ")\n"
+      << "  reduction stalls:   " << s.total.reduction_stalls << "\n"
+      << "  gc runs:            " << s.gc_runs << "\n";
+  const double ns = 1e-9;
+  out << "  phase seconds (sum over workers): expansion "
+      << static_cast<double>(s.total.expansion_ns) * ns << ", reduction "
+      << static_cast<double>(s.total.reduction_ns) * ns << ", lock wait "
+      << static_cast<double>(s.total.lock_wait_ns) * ns << ", gc "
+      << static_cast<double>(s.total.gc_ns) * ns << "\n";
+  for (std::size_t w = 0; w < s.per_worker.size(); ++w) {
+    const WorkerStats& ws = s.per_worker[w];
+    out << "  worker " << w << ": ops " << ws.ops_performed << ", created "
+        << ws.nodes_created << ", top-ops " << ws.top_ops << ", stolen "
+        << ws.groups_stolen << "\n";
+  }
+}
+
+}  // namespace pbdd::core

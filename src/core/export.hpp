@@ -1,0 +1,39 @@
+// Inspection and export utilities for the core engine: Graphviz DOT output
+// of one or more functions (shared subgraphs rendered once), a stable
+// textual dump used by tests and debugging, and a human-readable statistics
+// report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::core {
+
+/// Write `functions` as one Graphviz digraph. Nodes shared between
+/// functions appear once — which makes sharing visible, the property BDDs
+/// exist for. 0-branches are drawn dashed (the paper's Figure 1 style).
+/// `names` (optional) labels the root arrows; `var_names` (optional) labels
+/// levels, defaulting to x<i>.
+void write_dot(std::ostream& out, BddManager& mgr,
+               const std::vector<Bdd>& functions,
+               const std::vector<std::string>& names = {},
+               const std::vector<std::string>& var_names = {});
+
+[[nodiscard]] std::string to_dot(BddManager& mgr,
+                                 const std::vector<Bdd>& functions,
+                                 const std::vector<std::string>& names = {},
+                                 const std::vector<std::string>& var_names = {});
+
+/// Deterministic textual dump of a function's graph: one line per node,
+/// depth-first, with stable local ids. Equal functions produce equal dumps
+/// (used by golden tests); structurally different functions differ.
+[[nodiscard]] std::string dump_function(BddManager& mgr, const Bdd& f);
+
+/// Multi-line statistics report (node/operation counters, per-phase times,
+/// cache behaviour, GC activity, per-worker breakdown).
+void write_stats(std::ostream& out, const BddManager& mgr);
+
+}  // namespace pbdd::core

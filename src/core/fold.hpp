@@ -1,0 +1,63 @@
+// Balanced parallel folds over many operands.
+//
+// Combining n functions under an associative operator is the most common
+// macro-operation in circuit verification (conjoining constraints, building
+// miters). A left fold issues n-1 dependent operations — zero batch
+// parallelism and worst-case intermediate growth. These helpers fold as a
+// balanced tree instead: each level is one batch of independent top-level
+// operations, which is exactly the workload shape the paper's parallel
+// engine is built for (and intermediate BDDs stay small for typical
+// constraint sets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::core {
+
+/// Fold `operands` under a commutative, associative operator as a balanced
+/// tree of batches. Empty input returns the operator's identity (And -> 1,
+/// Or/Xor -> 0); a single operand is returned unchanged.
+[[nodiscard]] inline Bdd fold_balanced(BddManager& mgr, Op op,
+                                       std::span<const Bdd> operands) {
+  switch (op) {
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+      break;
+    default:
+      throw std::invalid_argument("fold_balanced: operator not associative");
+  }
+  if (operands.empty()) return op == Op::And ? mgr.one() : mgr.zero();
+  std::vector<Bdd> layer(operands.begin(), operands.end());
+  while (layer.size() > 1) {
+    std::vector<BatchOp> batch;
+    batch.reserve(layer.size() / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      batch.push_back(BatchOp{op, layer[i], layer[i + 1]});
+    }
+    std::vector<Bdd> next = mgr.apply_batch(batch);
+    if (layer.size() & 1) next.push_back(std::move(layer.back()));
+    layer = std::move(next);
+  }
+  return std::move(layer.front());
+}
+
+[[nodiscard]] inline Bdd and_all(BddManager& mgr,
+                                 std::span<const Bdd> operands) {
+  return fold_balanced(mgr, Op::And, operands);
+}
+
+[[nodiscard]] inline Bdd or_all(BddManager& mgr,
+                                std::span<const Bdd> operands) {
+  return fold_balanced(mgr, Op::Or, operands);
+}
+
+[[nodiscard]] inline Bdd xor_all(BddManager& mgr,
+                                 std::span<const Bdd> operands) {
+  return fold_balanced(mgr, Op::Xor, operands);
+}
+
+}  // namespace pbdd::core

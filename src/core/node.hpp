@@ -1,0 +1,71 @@
+// Node layouts for the partial breadth-first engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/op.hpp"
+#include "core/ref.hpp"
+
+namespace pbdd::core {
+
+/// Internal BDD node. The variable index is implicit: the node lives in its
+/// variable's arena (paper Section 3.1, per-variable node managers).
+///
+/// `aux` is only written during stop-the-world garbage collection, where the
+/// mark bit must tolerate concurrent marking from several workers whose
+/// nodes share a child; everywhere else it is zero.
+struct BddNode {
+  NodeRef low = kInvalid;
+  NodeRef high = kInvalid;
+  /// Unique-table chain: full reference of the next node in this bucket
+  /// (chains cross worker arenas within one variable). kZero (0) terminates
+  /// the chain — terminals are never chained.
+  NodeRef next = kZero;
+  /// GC scratch: bit 63 = mark, bits 0..31 = forwarding slot.
+  std::atomic<std::uint64_t> aux{0};
+
+  static constexpr std::uint64_t kMarkBit = std::uint64_t{1} << 63;
+};
+
+static_assert(sizeof(BddNode) == 32);
+
+/// Operator node (Figs. 4-6): one pending Shannon expansion f op g.
+///
+/// Created by its owning worker; after creation `f`, `g`, `op` are immutable,
+/// which is what makes whole groups of unexpanded operator nodes stealable
+/// as self-contained (op, f, g) tasks (Section 3.3). `result` is the only
+/// cross-thread field: a thief publishes the finished BDD with a release
+/// store and the owner's reduction acquires it.
+struct OpNode {
+  NodeRef f = kInvalid;
+  NodeRef g = kInvalid;
+  /// Cofactor results from the expansion phase; BDD node or operator node.
+  Ref branch0 = kInvalid;
+  Ref branch1 = kInvalid;
+  /// kInvalid until the reduction phase (or a thief) computes the result.
+  std::atomic<Ref> result{kInvalid};
+  /// Intrusive link for the operator / reduction queues, which the paper
+  /// folds into the per-variable operator-node managers. Slot within the
+  /// same (worker, variable) operator arena; kNilSlot terminates.
+  std::uint32_t next = 0xFFFFFFFFu;
+  /// Slot this operation occupies in the owner's compute cache, so the
+  /// reduction phase can overwrite the uncomputed entry with the computed
+  /// result (the hybrid compute cache of Section 2.3). kNoCacheSlot = none.
+  std::uint32_t cache_slot = 0xFFFFFFFFu;
+  /// Serial of the evaluation context that owns this operation. An
+  /// uncomputed cache hit is only honoured within the same context (see
+  /// ComputeCache).
+  std::uint32_t ctx_serial = 0;
+  std::uint16_t op = 0;
+  std::uint16_t flags = 0;
+
+  static constexpr std::uint16_t kStolen = 1;  // diagnostics only
+
+  [[nodiscard]] Op operation() const noexcept { return static_cast<Op>(op); }
+};
+
+inline constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kNoCacheSlot = 0xFFFFFFFFu;
+
+}  // namespace pbdd::core

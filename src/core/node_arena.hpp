@@ -1,0 +1,123 @@
+// Concurrently-readable BDD node arena.
+//
+// One instance per (worker, variable) pair. Only the owning worker
+// allocates, but *every* worker resolves references into it: expansion reads
+// cofactor children created by other workers, and the reduction phase walks
+// unique-table chains that cross worker arenas. Allocation is lock-free for
+// readers: blocks never move, and the block directory grows RCU-style — a
+// new, larger pointer array is populated and published with a release store
+// while retired arrays are kept until the arena is destroyed or compacted at
+// a stop-the-world point.
+//
+// Readers may only dereference slots they learned about through a proper
+// publication channel (unique-table mutex or an acquire load of an operator
+// node's result), which guarantees the owning worker's directory store is
+// visible.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+
+namespace pbdd::core {
+
+class NodeArena {
+ public:
+  static constexpr unsigned kLog2BlockSlots = 12;
+  static constexpr std::uint32_t kBlockSlots = 1u << kLog2BlockSlots;
+  static constexpr std::uint32_t kSlotMask = kBlockSlots - 1;
+
+  NodeArena() = default;
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  ~NodeArena() {
+    for (Block* b : blocks_) delete b;
+    for (Block** d : retired_dirs_) delete[] d;
+    delete[] dir_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-only: allocate one slot.
+  std::uint32_t alloc() {
+    const std::uint32_t slot = size_;
+    if ((slot >> kLog2BlockSlots) == blocks_.size()) add_block();
+    ++size_;
+    return slot;
+  }
+
+  /// Safe from any thread for published slots.
+  [[nodiscard]] BddNode& at(std::uint32_t slot) const noexcept {
+    Block* const* dir = dir_.load(std::memory_order_acquire);
+    return dir[slot >> kLog2BlockSlots]->slots[slot & kSlotMask];
+  }
+
+  /// Owner-only fast path (no acquire fence needed).
+  [[nodiscard]] BddNode& at_own(std::uint32_t slot) noexcept {
+    assert(slot < size_);
+    return blocks_[slot >> kLog2BlockSlots]->slots[slot & kSlotMask];
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return blocks_.size() * sizeof(Block) +
+           dir_capacity_ * sizeof(Block*);
+  }
+
+  /// Stop-the-world only: shrink the live prefix after sliding compaction
+  /// and release now-empty trailing blocks plus retired directories.
+  void truncate(std::uint32_t new_size) {
+    assert(new_size <= size_);
+    size_ = new_size;
+    const std::size_t blocks_needed =
+        (static_cast<std::size_t>(size_) + kBlockSlots - 1) / kBlockSlots;
+    Block** dir = dir_.load(std::memory_order_relaxed);
+    for (std::size_t i = blocks_needed; i < blocks_.size(); ++i) {
+      delete blocks_[i];
+      dir[i] = nullptr;
+    }
+    blocks_.resize(blocks_needed);
+    for (Block** d : retired_dirs_) delete[] d;
+    retired_dirs_.clear();
+  }
+
+ private:
+  struct Block {
+    BddNode slots[kBlockSlots];
+  };
+
+  void add_block() {
+    Block* block = new Block();
+    if (blocks_.size() == dir_capacity_) grow_dir();
+    Block** dir = dir_.load(std::memory_order_relaxed);
+    dir[blocks_.size()] = block;
+    blocks_.push_back(block);
+    // The new directory entry must be visible before any reference to a
+    // slot in this block is published; the release pairs with readers'
+    // acquire in at(). (Publication itself additionally goes through the
+    // unique-table mutex or a result release-store.)
+    dir_.store(dir, std::memory_order_release);
+  }
+
+  void grow_dir() {
+    const std::size_t new_cap = dir_capacity_ ? dir_capacity_ * 2 : 16;
+    Block** fresh = new Block*[new_cap]();
+    Block** old = dir_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < blocks_.size(); ++i) fresh[i] = old[i];
+    dir_.store(fresh, std::memory_order_release);
+    if (old != nullptr) retired_dirs_.push_back(old);
+    dir_capacity_ = new_cap;
+  }
+
+  std::vector<Block*> blocks_;          // owner-side authoritative list
+  std::atomic<Block**> dir_{nullptr};   // reader-side directory
+  std::size_t dir_capacity_ = 0;
+  std::vector<Block**> retired_dirs_;   // old directories pending reclaim
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace pbdd::core

@@ -1,0 +1,83 @@
+// Packed references for the partial breadth-first engine.
+//
+// Every BDD node lives in the block arena of exactly one (worker, variable)
+// pair — the paper's per-process, per-variable node managers — so a node
+// reference is a packed integer, not a pointer:
+//
+//   bit 63      : operator-node tag (Shannon-expansion branch fields may name
+//                 either a BDD node or an operator node, Figs. 4-6)
+//   bit 62      : internal-BDD tag (distinguishes packed refs from the
+//                 terminal constants 0 and 1)
+//   bits 48..61 : owning worker id   (up to 16384 workers)
+//   bits 32..47 : variable index     (up to 65535 variables)
+//   bits  0..31 : slot within the (worker, variable) arena
+//
+// Index-based references are what make the mark-compact collector's
+// fix-references phase (Section 3.4) a pure arithmetic pass, and they keep a
+// reference at 8 bytes regardless of pointer width.
+#pragma once
+
+#include <cstdint>
+
+namespace pbdd::core {
+
+using NodeRef = std::uint64_t;  ///< terminal constant or internal BDD node
+using Ref = std::uint64_t;      ///< NodeRef or operator-node reference
+
+inline constexpr NodeRef kZero = 0;
+inline constexpr NodeRef kOne = 1;
+inline constexpr Ref kInvalid = ~std::uint64_t{0};
+
+inline constexpr std::uint64_t kOpTag = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kNodeTag = std::uint64_t{1} << 62;
+
+/// Variable index reported for terminals: sorts strictly after every real
+/// variable (the terminal "level" of Section 2.1's variable ordering).
+inline constexpr unsigned kTermLevel = 0xFFFFu;
+
+[[nodiscard]] constexpr bool is_terminal(Ref r) noexcept { return r <= kOne; }
+[[nodiscard]] constexpr bool is_op(Ref r) noexcept {
+  return (r & kOpTag) != 0;
+}
+[[nodiscard]] constexpr bool is_bdd(Ref r) noexcept { return !is_op(r); }
+[[nodiscard]] constexpr bool is_internal(Ref r) noexcept {
+  return (r & kNodeTag) != 0 && !is_op(r);
+}
+
+[[nodiscard]] constexpr Ref make_node_ref(unsigned worker, unsigned var,
+                                          std::uint32_t slot) noexcept {
+  return kNodeTag | (std::uint64_t{worker} << 48) |
+         (std::uint64_t{var} << 32) | slot;
+}
+
+[[nodiscard]] constexpr Ref make_op_ref(unsigned worker, unsigned var,
+                                        std::uint32_t slot) noexcept {
+  return kOpTag | (std::uint64_t{worker} << 48) | (std::uint64_t{var} << 32) |
+         slot;
+}
+
+[[nodiscard]] constexpr unsigned worker_of(Ref r) noexcept {
+  return static_cast<unsigned>((r >> 48) & 0x3FFFu);
+}
+
+[[nodiscard]] constexpr unsigned var_of(Ref r) noexcept {
+  return static_cast<unsigned>((r >> 32) & 0xFFFFu);
+}
+
+[[nodiscard]] constexpr std::uint32_t slot_of(Ref r) noexcept {
+  return static_cast<std::uint32_t>(r);
+}
+
+/// Variable level for ordering comparisons; terminals sort below everything.
+[[nodiscard]] constexpr unsigned level_of(Ref r) noexcept {
+  return is_terminal(r) ? kTermLevel : var_of(r);
+}
+
+/// Rebuild a BDD reference with a new slot (used when the collector slides a
+/// node within its arena).
+[[nodiscard]] constexpr NodeRef with_slot(NodeRef r,
+                                          std::uint32_t slot) noexcept {
+  return (r & ~std::uint64_t{0xFFFFFFFFu}) | slot;
+}
+
+}  // namespace pbdd::core

@@ -1,0 +1,239 @@
+// Per-variable unique table (paper Section 3.2), with optional lock
+// striping (the paper's proposed future work, Section 6).
+//
+// One instance per variable, shared by all workers. Chains run through the
+// nodes' `next` fields and may cross worker arenas.
+//
+// Two locking disciplines, selected by the shard count:
+//
+//  * shards == 1 — the paper's layout: one lock per variable, acquired once
+//    per (worker, variable) reduction pass; all of that worker's nodes for
+//    the variable are produced under a single acquisition. Simple and
+//    cheap per node, but Figs. 16/17 show it serializing the reduction on
+//    the node-heavy variables.
+//
+//  * shards > 1 — the "better distributed hashing" the paper calls for: the
+//    bucket array is split into hash-selected segments, each with its own
+//    lock, and find_or_insert locks only its segment. Workers producing
+//    nodes for the same variable now contend only on hash collisions
+//    between segments (bench/ablate_table_sharding quantifies the effect).
+//
+// Lock-acquire wait time is metered per worker in both modes (Fig. 16/17).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/node_arena.hpp"
+#include "core/ref.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace pbdd::core {
+
+class VarUniqueTable {
+ public:
+  void init(unsigned var, std::vector<NodeArena*> arenas,
+            std::size_t initial_buckets, unsigned shards = 1) {
+    var_ = var;
+    arenas_ = std::move(arenas);
+    assert(shards >= 1 && (shards & (shards - 1)) == 0);
+    segments_ = std::vector<Segment>(shards);
+    const std::size_t per_segment =
+        std::max<std::size_t>(initial_buckets / shards, 16);
+    for (Segment& segment : segments_) {
+      segment.buckets.assign(per_segment, kZero);
+      segment.mask = per_segment - 1;
+    }
+    shard_shift_ = 0;
+    while ((1u << shard_shift_) < shards) ++shard_shift_;
+    wait_ns_.assign(arenas_.size(), 0);
+  }
+
+  [[nodiscard]] bool sharded() const noexcept {
+    return segments_.size() > 1;
+  }
+  [[nodiscard]] unsigned shards() const noexcept {
+    return static_cast<unsigned>(segments_.size());
+  }
+
+  // ---- Pass-level locking (shards == 1, the paper's discipline) ------------
+
+  /// Acquire the per-variable lock, charging the wait to `worker`.
+  void acquire(unsigned worker) { lock_timed(segments_[0], worker); }
+
+  /// Non-blocking acquire, used by the GC rehash phase: a worker finding a
+  /// variable's table locked rehashes other variables first (Section 3.4).
+  [[nodiscard]] bool try_acquire() { return segments_[0].mutex.try_lock(); }
+
+  void release() { segments_[0].mutex.unlock(); }
+
+  /// Find-or-create the node (var_, low, high), allocating in `worker`'s
+  /// arena on a miss. Pass-level mode: caller holds the variable lock.
+  /// Sharded mode: locks the owning segment internally.
+  NodeRef find_or_insert(unsigned worker, NodeRef low, NodeRef high,
+                         bool& created) {
+    const std::uint64_t h = util::hash_pair(low, high);
+    Segment& segment = segment_for(h);
+    if (sharded()) {
+      lock_timed(segment, worker);
+      const NodeRef r = find_or_insert_in(segment, h, worker, low, high,
+                                          created);
+      segment.mutex.unlock();
+      return r;
+    }
+    return find_or_insert_in(segment, h, worker, low, high, created);
+  }
+
+  // ---- GC rehash support ----------------------------------------------------
+
+  /// Drop all chains (nodes are re-inserted afterwards). Stop-the-world.
+  void reset_chains(std::size_t live_hint) {
+    const std::size_t hint_per_segment =
+        std::max<std::size_t>(live_hint / segments_.size(), 1);
+    for (Segment& segment : segments_) {
+      std::size_t size = segment.buckets.size();
+      while (size > 256 && size > hint_per_segment * 4) size /= 2;
+      while (size < hint_per_segment) size *= 2;
+      segment.buckets.assign(size, kZero);
+      segment.mask = size - 1;
+      segment.count = 0;
+    }
+  }
+
+  /// Insert a node whose fields are already final. Pass-level mode: caller
+  /// holds the lock. Sharded mode: locks the segment internally.
+  void reinsert(unsigned worker, NodeRef r, NodeRef low, NodeRef high) {
+    const std::uint64_t h = util::hash_pair(low, high);
+    Segment& segment = segment_for(h);
+    if (sharded()) lock_timed(segment, worker);
+    const std::size_t bucket = (h >> shard_shift_) & segment.mask;
+    node(r).next = segment.buckets[bucket];
+    segment.buckets[bucket] = r;
+    ++segment.count;
+    if (sharded()) segment.mutex.unlock();
+  }
+
+  // ---- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const Segment& segment : segments_) total += segment.count;
+    return total;
+  }
+  /// High-water mark of count(). With sharding this is the sum of the
+  /// per-segment high-water marks (a slight overestimate when segments
+  /// peak at different times); exact in the default one-shard mode used by
+  /// the Fig. 15 harness.
+  [[nodiscard]] std::size_t max_count() const noexcept {
+    std::size_t total = 0;
+    for (const Segment& segment : segments_) total += segment.max_count;
+    return total;
+  }
+  [[nodiscard]] std::size_t buckets() const noexcept {
+    std::size_t total = 0;
+    for (const Segment& segment : segments_) total += segment.buckets.size();
+    return total;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    std::size_t total = wait_ns_.capacity() * sizeof(std::uint64_t);
+    for (const Segment& segment : segments_) {
+      total += segment.buckets.capacity() * sizeof(NodeRef);
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t lock_wait_ns(unsigned worker) const noexcept {
+    return wait_ns_[worker];
+  }
+  [[nodiscard]] std::uint64_t lock_wait_ns_total() const noexcept {
+    std::uint64_t total = 0;
+    for (auto w : wait_ns_) total += w;
+    return total;
+  }
+  void reset_lock_waits() noexcept {
+    for (auto& w : wait_ns_) w = 0;
+  }
+
+ private:
+  struct Segment {
+    std::mutex mutex;
+    std::vector<NodeRef> buckets;
+    std::size_t mask = 0;
+    std::size_t count = 0;
+    std::size_t max_count = 0;
+  };
+
+  [[nodiscard]] Segment& segment_for(std::uint64_t hash) noexcept {
+    // Low bits select the segment; the remaining bits index its buckets.
+    return segments_[hash & (segments_.size() - 1)];
+  }
+
+  void lock_timed(Segment& segment, unsigned worker) {
+    if (segment.mutex.try_lock()) return;
+    util::WallTimer timer;
+    segment.mutex.lock();
+    wait_ns_[worker] += timer.elapsed_ns();
+  }
+
+  NodeRef find_or_insert_in(Segment& segment, std::uint64_t h,
+                            unsigned worker, NodeRef low, NodeRef high,
+                            bool& created) {
+    assert(low != high);
+    const std::size_t bucket = (h >> shard_shift_) & segment.mask;
+    for (NodeRef r = segment.buckets[bucket]; r != kZero;) {
+      const BddNode& n = node(r);
+      if (n.low == low && n.high == high) {
+        created = false;
+        return r;
+      }
+      r = n.next;
+    }
+    const std::uint32_t slot = arenas_[worker]->alloc();
+    BddNode& n = arenas_[worker]->at_own(slot);
+    const NodeRef r = make_node_ref(worker, var_, slot);
+    n.low = low;
+    n.high = high;
+    n.next = segment.buckets[bucket];
+    n.aux.store(0, std::memory_order_relaxed);
+    segment.buckets[bucket] = r;
+    ++segment.count;
+    if (segment.count > segment.max_count) segment.max_count = segment.count;
+    if (segment.count > segment.buckets.size() * 2) grow(segment);
+    created = true;
+    return r;
+  }
+
+  void grow(Segment& segment) {
+    const std::size_t new_size = segment.buckets.size() * 2;
+    std::vector<NodeRef> fresh(new_size, kZero);
+    const std::size_t new_mask = new_size - 1;
+    for (NodeRef head : segment.buckets) {
+      while (head != kZero) {
+        BddNode& n = node(head);
+        const NodeRef next = n.next;
+        const std::size_t bucket =
+            (util::hash_pair(n.low, n.high) >> shard_shift_) & new_mask;
+        n.next = fresh[bucket];
+        fresh[bucket] = head;
+        head = next;
+      }
+    }
+    segment.buckets = std::move(fresh);
+    segment.mask = new_mask;
+  }
+
+  [[nodiscard]] BddNode& node(NodeRef r) const noexcept {
+    return arenas_[worker_of(r)]->at(slot_of(r));
+  }
+
+  unsigned var_ = 0;
+  unsigned shard_shift_ = 0;
+  std::vector<NodeArena*> arenas_;  ///< this variable's arena, per worker
+  std::vector<Segment> segments_;
+  std::vector<std::uint64_t> wait_ns_;  ///< lock wait per worker (Fig. 16)
+};
+
+}  // namespace pbdd::core

@@ -1,0 +1,156 @@
+// Per-worker engine state and the partial breadth-first evaluation loop
+// (paper Figures 4-6 plus the work distribution of Section 3.3).
+//
+// Each worker privately owns, per the paper's data layout (Section 3.2):
+//   * one BDD-node arena per variable (written during reduction),
+//   * one operator-node arena per variable (doubling as the operator and
+//     reduction queues),
+//   * one compute cache,
+//   * a context stack that doubles as this worker's distributed work queue.
+// The only shared structures are the per-variable unique tables (locked) and
+// the read-only views other workers take of this worker's arenas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/op.hpp"
+#include "core/compute_cache.hpp"
+#include "core/config.hpp"
+#include "core/context.hpp"
+#include "core/node.hpp"
+#include "core/node_arena.hpp"
+#include "core/ref.hpp"
+#include "util/arena.hpp"
+
+namespace pbdd::core {
+
+class BddManager;
+
+class Worker {
+ public:
+  using OpArena = util::BlockArena<OpNode, 10>;  // 1024 ops (64 KiB) / block
+
+  Worker(BddManager* mgr, unsigned id, unsigned num_vars,
+         const Config& config);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+  ~Worker();
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+
+  [[nodiscard]] NodeArena& node_arena(unsigned var) noexcept {
+    return node_arenas_[var];
+  }
+  [[nodiscard]] const NodeArena& node_arena(unsigned var) const noexcept {
+    return node_arenas_[var];
+  }
+
+  [[nodiscard]] WorkerStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const WorkerStats& stats() const noexcept { return stats_; }
+
+  /// Top-level batch participation: pull top-level operations from the
+  /// manager's batch queue, then keep stealing until the batch completes.
+  void run_batch();
+
+  /// Evaluate one operation to completion with the partial breadth-first
+  /// algorithm (Fig. 4's pbf_op). Re-entrant: a worker stalled in its own
+  /// reduction re-enters this to compute a stolen group.
+  NodeRef evaluate(Op op, NodeRef f, NodeRef g);
+
+  /// Rewind operator arenas and recycle contexts between batches.
+  void end_of_batch_reset();
+
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+  // ---- Garbage collection phases (called by the manager's GC driver, all
+  // workers in lockstep; see gc.cpp) ---------------------------------------
+  void gc_mark_var(unsigned var);
+  void gc_forward();
+  void gc_fix();
+  void gc_move();
+  /// Insert this worker's nodes for variable `var` into the (already reset)
+  /// unique table. Returns false when the table lock was busy and the caller
+  /// should come back later (Section 3.4's "try other variables first").
+  bool gc_try_rehash_var(unsigned var);
+  [[nodiscard]] std::size_t live_after_move(unsigned var) const noexcept {
+    return live_count_[var];
+  }
+
+ private:
+  friend class BddManager;
+
+  [[nodiscard]] OpNode& own_op(Ref r) noexcept {
+    return op_arenas_[var_of(r)].at(slot_of(r));
+  }
+
+  // Fig. 4 lines 13-20: terminal check, compute-cache probe, operator-node
+  // creation + enqueue. Returns a BDD ref or an operator ref.
+  Ref preprocess(Op op, NodeRef f, NodeRef g);
+
+  // Fig. 5: top-down expansion of the current context's operator queues.
+  void expansion();
+
+  // Fig. 6: bottom-up reduction of the current context's reduction queues.
+  void reduction();
+
+  // Threshold overflow: partition the current context's unexpanded
+  // operations into groups, push it, and start a fresh child context.
+  void spill(unsigned from_var);
+
+  // Hybrid overflow ablation (OverflowPolicy::kDepthFirst): finish the
+  // remaining queued operations by depth-first recursion instead.
+  void df_drain(unsigned from_var);
+  NodeRef df_evaluate(Op op, NodeRef f, NodeRef g);
+
+  // Take one group back from the context on top of this worker's own stack
+  // into the current context. Returns false if the top context is drained.
+  bool take_group_from_top();
+
+  // Append to a queue without touching the current context's bookkeeping
+  // (used for reduction queues).
+  void link(OpQueue& q, unsigned var, std::uint32_t slot);
+
+  // Steal one group from any worker (including this one) and compute its
+  // operations, publishing results into the victim's operator nodes.
+  bool try_steal_and_run();
+
+  // Resolve an expansion branch to its BDD result, stalling (and turning
+  // thief) while a stolen operation is still in flight.
+  NodeRef resolve(Ref r);
+
+  void enqueue(OpQueue& q, unsigned var, std::uint32_t slot);
+
+  EvalContext* acquire_context();
+  void release_context(EvalContext* ctx);
+
+  BddManager* const mgr_;
+  const unsigned id_;
+  const Config& config_;
+
+  std::vector<NodeArena> node_arenas_;  // per variable
+  std::vector<OpArena> op_arenas_;      // per variable
+  ComputeCache cache_;
+
+  // Context stack (Section 3.3: doubles as the distributed work queue).
+  // stack_ mutation and group access go through steal_mutex_; the current
+  // context is private until pushed.
+  std::mutex steal_mutex_;
+  std::vector<EvalContext*> stack_;
+  EvalContext* current_ = nullptr;
+
+  std::vector<std::unique_ptr<EvalContext>> context_pool_;
+  std::vector<EvalContext*> free_contexts_;
+  std::uint32_t next_ctx_serial_ = 1;
+
+  // GC scratch: live node count per variable after the last mark phase.
+  std::vector<std::uint32_t> live_count_;
+
+  WorkerStats stats_;
+};
+
+}  // namespace pbdd::core

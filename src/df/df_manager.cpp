@@ -1,0 +1,621 @@
+#include "df/df_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace pbdd::df {
+
+// ---------------------------------------------------------------------------
+// DfBdd handle
+// ---------------------------------------------------------------------------
+
+DfBdd::DfBdd(DfManager* mgr, Ref ref) : mgr_(mgr), ref_(ref) {}
+
+DfBdd::DfBdd(const DfBdd& other) : mgr_(other.mgr_), ref_(other.ref_) {
+  if (mgr_ != nullptr) mgr_->ref_node(ref_);
+}
+
+DfBdd::DfBdd(DfBdd&& other) noexcept : mgr_(other.mgr_), ref_(other.ref_) {
+  other.mgr_ = nullptr;
+  other.ref_ = kInvalidRef;
+}
+
+DfBdd& DfBdd::operator=(const DfBdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref_node(other.ref_);
+  release();
+  mgr_ = other.mgr_;
+  ref_ = other.ref_;
+  return *this;
+}
+
+DfBdd& DfBdd::operator=(DfBdd&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  mgr_ = other.mgr_;
+  ref_ = other.ref_;
+  other.mgr_ = nullptr;
+  other.ref_ = kInvalidRef;
+  return *this;
+}
+
+DfBdd::~DfBdd() { release(); }
+
+void DfBdd::release() noexcept {
+  if (mgr_ != nullptr) {
+    mgr_->deref_node(ref_);
+    mgr_ = nullptr;
+    ref_ = kInvalidRef;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manager construction
+// ---------------------------------------------------------------------------
+
+DfManager::DfManager(unsigned num_vars, DfConfig config)
+    : num_vars_(num_vars), config_(config) {
+  var_at_level_.resize(num_vars_);
+  level_of_var_.resize(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    var_at_level_[v] = v;
+    level_of_var_[v] = v;
+  }
+  nodes_.resize(2);  // slots 0 and 1 are the terminal constants
+  nodes_[kZero].var = kTermVar;
+  nodes_[kOne].var = kTermVar;
+  const std::size_t buckets = std::size_t{1} << config_.initial_buckets_log2;
+  buckets_.assign(buckets, kInvalidRef);
+  bucket_mask_ = static_cast<std::uint32_t>(buckets - 1);
+  const std::size_t cache_size = std::size_t{1} << config_.cache_log2;
+  cache_.resize(cache_size);
+  cache_mask_ = static_cast<std::uint32_t>(cache_size - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting
+// ---------------------------------------------------------------------------
+
+void DfManager::ref_node(Ref r) noexcept {
+  Node& n = nodes_[r];
+  ++n.refcount;
+  if (n.dead) {
+    // Resurrection of a dead-but-unswept node (classic lazy-death packages
+    // allow this; the node never left the unique table).
+    n.dead = false;
+    assert(dead_estimate_ > 0);
+    --dead_estimate_;
+  }
+}
+
+void DfManager::deref_node(Ref r) noexcept {
+  Node& n = nodes_[r];
+  assert(n.refcount > 0);
+  if (--n.refcount == 0 && r > kOne) {
+    n.dead = true;
+    ++dead_estimate_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node creation / unique table
+// ---------------------------------------------------------------------------
+
+Ref DfManager::alloc_node() {
+  ++allocated_nodes_;
+  if (free_head_ != kInvalidRef) {
+    const Ref r = free_head_;
+    free_head_ = nodes_[r].next;
+    --free_nodes_;
+    return r;
+  }
+  nodes_.emplace_back();
+  return static_cast<Ref>(nodes_.size() - 1);
+}
+
+Ref DfManager::mk_node(unsigned var, Ref low, Ref high) {
+  if (low == high) return low;
+  const std::uint64_t h = util::hash_triple(var, low, high);
+  const std::uint32_t bucket = static_cast<std::uint32_t>(h) & bucket_mask_;
+  for (Ref r = buckets_[bucket]; r != kInvalidRef; r = nodes_[r].next) {
+    const Node& n = nodes_[r];
+    if (n.var == var && n.low == low && n.high == high) return r;
+  }
+  const Ref r = alloc_node();
+  Node& n = nodes_[r];
+  n.var = var;
+  n.low = low;
+  n.high = high;
+  n.refcount = 0;
+  n.next = buckets_[bucket];
+  buckets_[bucket] = r;
+  ref_node(low);
+  ref_node(high);
+  ++table_count_;
+  ++stats_.nodes_created;
+  if (table_count_ > buckets_.size()) grow_table();
+  return r;
+}
+
+void DfManager::grow_table() {
+  const std::size_t new_size = buckets_.size() * 2;
+  std::vector<Ref> fresh(new_size, kInvalidRef);
+  const std::uint32_t new_mask = static_cast<std::uint32_t>(new_size - 1);
+  for (Ref head : buckets_) {
+    while (head != kInvalidRef) {
+      Node& n = nodes_[head];
+      const Ref next = n.next;
+      const std::uint32_t bucket =
+          static_cast<std::uint32_t>(util::hash_triple(n.var, n.low, n.high)) &
+          new_mask;
+      n.next = fresh[bucket];
+      fresh[bucket] = head;
+      head = next;
+    }
+  }
+  buckets_ = std::move(fresh);
+  bucket_mask_ = new_mask;
+}
+
+// ---------------------------------------------------------------------------
+// Apply (Figure 3 of the paper)
+// ---------------------------------------------------------------------------
+
+Ref DfManager::apply_rec(Op op, Ref f, Ref g) {
+  // Line 1: terminal case.
+  const Ref simplified = terminal_case<Ref>(op, f, g, kZero, kOne, kInvalidRef);
+  if (simplified != kInvalidRef) return simplified;
+
+  if (op_commutative(op) && f > g) std::swap(f, g);
+
+  // Lines 2-3: computed cache.
+  ++stats_.cache_lookups;
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(util::hash_triple(
+          static_cast<std::uint64_t>(op), f, g)) &
+      cache_mask_;
+  CacheEntry& entry = cache_[slot];
+  if (entry.valid && entry.op == op && entry.f == f && entry.g == g) {
+    ++stats_.cache_hits;
+    return entry.result;
+  }
+
+  // Line 4: top variable = the one at the higher (smaller-index) level.
+  const unsigned var =
+      node_level(f) <= node_level(g) ? nodes_[f].var : nodes_[g].var;
+  assert(var < num_vars_);
+
+  // Lines 5-6: Shannon expansion of the cofactors.
+  ++stats_.ops_performed;
+  const Ref res0 =
+      apply_rec(op, cofactor(f, var, false), cofactor(g, var, false));
+  const Ref res1 =
+      apply_rec(op, cofactor(f, var, true), cofactor(g, var, true));
+
+  // Lines 7-12: reduction + unique table.
+  const Ref result = (res0 == res1) ? res0 : mk_node(var, res0, res1);
+
+  // Lines 13-14: cache insertion (direct-mapped, lossy).
+  entry = CacheEntry{f, g, result, op, true};
+  return result;
+}
+
+DfBdd DfManager::apply(Op op, const DfBdd& f, const DfBdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  maybe_auto_gc();
+  return make_handle(apply_rec(op, f.ref(), g.ref()));
+}
+
+DfBdd DfManager::var(unsigned v) {
+  assert(v < num_vars_);
+  return make_handle(mk_node(v, kZero, kOne));
+}
+
+DfBdd DfManager::nvar(unsigned v) {
+  assert(v < num_vars_);
+  return make_handle(mk_node(v, kOne, kZero));
+}
+
+DfBdd DfManager::not_(const DfBdd& f) {
+  maybe_auto_gc();
+  return make_handle(apply_rec(Op::Xor, f.ref(), kOne));
+}
+
+DfBdd DfManager::ite(const DfBdd& c, const DfBdd& t, const DfBdd& e) {
+  // ITE(c, t, e) = (c AND t) OR (e AND NOT c); both conjuncts are disjoint,
+  // so OR is exact. Composing through apply keeps everything in the global
+  // computed cache.
+  maybe_auto_gc();
+  const Ref ct = apply_rec(Op::And, c.ref(), t.ref());
+  const Ref ec = apply_rec(Op::Diff, e.ref(), c.ref());
+  return make_handle(apply_rec(Op::Or, ct, ec));
+}
+
+// ---------------------------------------------------------------------------
+// Cofactor / quantification / composition
+// ---------------------------------------------------------------------------
+
+DfBdd DfManager::restrict_(const DfBdd& f, unsigned v, bool value) {
+  assert(v < num_vars_);
+  maybe_auto_gc();
+  std::unordered_map<Ref, Ref> memo;
+  const unsigned v_level = level_of_var_[v];
+  auto rec = [&](auto&& self, Ref r) -> Ref {
+    if (r <= kOne || node_level(r) > v_level) return r;
+    if (var_of(r) == v) return value ? high_of(r) : low_of(r);
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Ref result =
+        mk_node(var_of(r), self(self, low_of(r)), self(self, high_of(r)));
+    memo.emplace(r, result);
+    return result;
+  };
+  return make_handle(rec(rec, f.ref()));
+}
+
+namespace {
+bool contains(const std::vector<unsigned>& sorted_vars, unsigned v) {
+  return std::binary_search(sorted_vars.begin(), sorted_vars.end(), v);
+}
+}  // namespace
+
+DfBdd DfManager::exists(const DfBdd& f, const std::vector<unsigned>& vars) {
+  maybe_auto_gc();
+  std::vector<unsigned> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<Ref, Ref> memo;
+  auto rec = [&](auto&& self, Ref r) -> Ref {
+    if (r <= kOne) return r;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Ref lo = self(self, low_of(r));
+    const Ref hi = self(self, high_of(r));
+    const Ref result = contains(sorted, var_of(r))
+                           ? apply_rec(Op::Or, lo, hi)
+                           : mk_node(var_of(r), lo, hi);
+    memo.emplace(r, result);
+    return result;
+  };
+  return make_handle(rec(rec, f.ref()));
+}
+
+DfBdd DfManager::forall(const DfBdd& f, const std::vector<unsigned>& vars) {
+  maybe_auto_gc();
+  std::vector<unsigned> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<Ref, Ref> memo;
+  auto rec = [&](auto&& self, Ref r) -> Ref {
+    if (r <= kOne) return r;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Ref lo = self(self, low_of(r));
+    const Ref hi = self(self, high_of(r));
+    const Ref result = contains(sorted, var_of(r))
+                           ? apply_rec(Op::And, lo, hi)
+                           : mk_node(var_of(r), lo, hi);
+    memo.emplace(r, result);
+    return result;
+  };
+  return make_handle(rec(rec, f.ref()));
+}
+
+DfBdd DfManager::compose(const DfBdd& f, unsigned v, const DfBdd& g) {
+  // f[v := g] = (g AND f|v=1) OR (f|v=0 AND NOT g)
+  maybe_auto_gc();
+  std::unordered_map<Ref, Ref> memo0;
+  std::unordered_map<Ref, Ref> memo1;
+  const unsigned v_level = level_of_var_[v];
+  auto rec = [&](auto&& self, Ref r, bool value,
+                 std::unordered_map<Ref, Ref>& memo) -> Ref {
+    if (r <= kOne || node_level(r) > v_level) return r;
+    if (var_of(r) == v) return value ? high_of(r) : low_of(r);
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const Ref result = mk_node(var_of(r), self(self, low_of(r), value, memo),
+                               self(self, high_of(r), value, memo));
+    memo.emplace(r, result);
+    return result;
+  };
+  const Ref f1 = rec(rec, f.ref(), true, memo1);
+  const Ref f0 = rec(rec, f.ref(), false, memo0);
+  const Ref a = apply_rec(Op::And, g.ref(), f1);
+  const Ref b = apply_rec(Op::Diff, f0, g.ref());
+  return make_handle(apply_rec(Op::Or, a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+double DfManager::sat_count(const DfBdd& f) {
+  std::unordered_map<Ref, double> memo;
+  // weight(r): satisfying fraction counted over the levels strictly below
+  // r's level; terminals sit at level num_vars_.
+  auto rec = [&](auto&& self, Ref r) -> double {
+    if (r == kZero) return 0.0;
+    if (r == kOne) return 1.0;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const unsigned my_level = node_level(r);
+    const double lo =
+        self(self, low_of(r)) *
+        std::exp2(static_cast<double>(node_level(low_of(r)) - my_level - 1));
+    const double hi =
+        self(self, high_of(r)) *
+        std::exp2(static_cast<double>(node_level(high_of(r)) - my_level - 1));
+    const double result = lo + hi;
+    memo.emplace(r, result);
+    return result;
+  };
+  return rec(rec, f.ref()) *
+         std::exp2(static_cast<double>(node_level(f.ref())));
+}
+
+std::optional<std::vector<std::int8_t>> DfManager::sat_one(const DfBdd& f) {
+  if (f.ref() == kZero) return std::nullopt;
+  std::vector<std::int8_t> assignment(num_vars_, -1);
+  Ref r = f.ref();
+  while (r > kOne) {
+    // In a reduced BDD every internal node is non-constant, so any non-zero
+    // branch leads to the one terminal.
+    if (low_of(r) != kZero) {
+      assignment[var_of(r)] = 0;
+      r = low_of(r);
+    } else {
+      assignment[var_of(r)] = 1;
+      r = high_of(r);
+    }
+  }
+  return assignment;
+}
+
+bool DfManager::eval(const DfBdd& f, const std::vector<bool>& assignment) {
+  assert(assignment.size() >= num_vars_);
+  Ref r = f.ref();
+  while (r > kOne) r = assignment[var_of(r)] ? high_of(r) : low_of(r);
+  return r == kOne;
+}
+
+std::vector<unsigned> DfManager::support(const DfBdd& f) {
+  std::unordered_set<Ref> visited;
+  std::vector<bool> in_support(num_vars_, false);
+  auto rec = [&](auto&& self, Ref r) -> void {
+    if (r <= kOne || !visited.insert(r).second) return;
+    in_support[var_of(r)] = true;
+    self(self, low_of(r));
+    self(self, high_of(r));
+  };
+  rec(rec, f.ref());
+  std::vector<unsigned> result;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (in_support[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::size_t DfManager::node_count(const DfBdd& f) {
+  std::unordered_set<Ref> visited;
+  auto rec = [&](auto&& self, Ref r) -> void {
+    if (r <= kOne || !visited.insert(r).second) return;
+    self(self, low_of(r));
+    self(self, high_of(r));
+  };
+  rec(rec, f.ref());
+  return visited.size();
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection (reference counting + free list)
+// ---------------------------------------------------------------------------
+
+void DfManager::maybe_auto_gc() {
+  if (config_.auto_gc && allocated_nodes_ > 4096 &&
+      static_cast<double>(dead_estimate_) >
+          config_.auto_gc_dead_fraction *
+              static_cast<double>(allocated_nodes_)) {
+    gc();
+  }
+}
+
+std::size_t DfManager::gc() {
+  ++stats_.gc_runs;
+  // The computed cache may reference nodes about to be reclaimed.
+  for (CacheEntry& entry : cache_) entry.valid = false;
+
+  std::vector<Ref> dead;
+  for (Ref r = 2; r < nodes_.size(); ++r) {
+    const Node& n = nodes_[r];
+    if (n.var != kFreeVar && n.refcount == 0) dead.push_back(r);
+  }
+
+  std::size_t reclaimed = 0;
+  while (!dead.empty()) {
+    const Ref r = dead.back();
+    dead.pop_back();
+    Node& n = nodes_[r];
+    // Unlink from the unique table.
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(util::hash_triple(n.var, n.low, n.high)) &
+        bucket_mask_;
+    Ref* link = &buckets_[bucket];
+    while (*link != r) link = &nodes_[*link].next;
+    *link = n.next;
+    --table_count_;
+    // Cascade: release this node's references to its children.
+    for (const Ref child : {n.low, n.high}) {
+      Node& c = nodes_[child];
+      assert(c.refcount > 0);
+      if (--c.refcount == 0 && child > kOne) dead.push_back(child);
+    }
+    // Thread onto the free list. This is the locality hazard the paper
+    // notes: reused slots are scattered wherever nodes happened to die.
+    n.var = kFreeVar;
+    n.dead = false;
+    n.next = free_head_;
+    free_head_ = r;
+    ++free_nodes_;
+    --allocated_nodes_;
+    ++reclaimed;
+  }
+  dead_estimate_ = 0;
+  stats_.nodes_reclaimed += reclaimed;
+  return reclaimed;
+}
+
+
+// ---------------------------------------------------------------------------
+// Dynamic variable reordering (Rudell sifting, [22] in the paper)
+// ---------------------------------------------------------------------------
+
+void DfManager::swap_levels(unsigned level) {
+  assert(level + 1 < num_vars_);
+  const unsigned x = var_at_level_[level];
+  const unsigned y = var_at_level_[level + 1];
+
+  // Nodes needing a rewrite: x-labeled nodes with at least one y-labeled
+  // child. All other x-nodes keep their structure (their children are
+  // strictly below level+1, so the relabeled order stays valid), and no
+  // y-node changes at all.
+  std::vector<Ref> affected;
+  for (Ref r = 2; r < nodes_.size(); ++r) {
+    const Node& n = nodes_[r];
+    if (n.var != x) continue;
+    if (nodes_[n.low].var == y || nodes_[n.high].var == y) {
+      affected.push_back(r);
+    }
+  }
+
+  for (const Ref f : affected) {
+    // Read the old cofactors before any table mutation.
+    const Ref f0 = nodes_[f].low;
+    const Ref f1 = nodes_[f].high;
+    const bool l0 = nodes_[f0].var == y;
+    const bool l1 = nodes_[f1].var == y;
+    const Ref f00 = l0 ? nodes_[f0].low : f0;
+    const Ref f01 = l0 ? nodes_[f0].high : f0;
+    const Ref f10 = l1 ? nodes_[f1].low : f1;
+    const Ref f11 = l1 ? nodes_[f1].high : f1;
+
+    // f = y ? (x ? f11 : f01) : (x ? f10 : f00) after the swap. The inner
+    // x-nodes cannot collide with any pending rewrite (their children are
+    // never y-labeled) and cannot be degenerate on both sides at once
+    // (at least one of f0/f1 is y-labeled and therefore reduced).
+    const Ref new_low = mk_node(x, f00, f10);
+    const Ref new_high = mk_node(x, f01, f11);
+    assert(new_low != new_high);
+    ref_node(new_low);
+    ref_node(new_high);
+
+    // Unlink f from its old hash chain (after mk_node, whose growth may
+    // have rebuilt the buckets), rewrite it in place, relink. The node id
+    // f is untouched, so every handle and every parent reference stays
+    // valid and keeps denoting the same function.
+    Node& n = nodes_[f];
+    {
+      const std::uint32_t bucket =
+          static_cast<std::uint32_t>(util::hash_triple(x, f0, f1)) &
+          bucket_mask_;
+      Ref* link = &buckets_[bucket];
+      while (*link != f) link = &nodes_[*link].next;
+      *link = n.next;
+    }
+    deref_node(f0);
+    deref_node(f1);
+    n.var = y;
+    n.low = new_low;
+    n.high = new_high;
+    {
+      const std::uint32_t bucket =
+          static_cast<std::uint32_t>(
+              util::hash_triple(y, new_low, new_high)) &
+          bucket_mask_;
+      n.next = buckets_[bucket];
+      buckets_[bucket] = f;
+    }
+  }
+
+  std::swap(var_at_level_[level], var_at_level_[level + 1]);
+  level_of_var_[x] = level + 1;
+  level_of_var_[y] = level;
+  // Function identities are unchanged, so the computed cache stays valid.
+}
+
+std::size_t DfManager::reorder_sift(SiftOptions options) {
+  gc();  // exact live counts and no dead-node noise during sizing
+  if (num_vars_ < 2) return live_nodes();
+  const auto live = [&] { return table_count_ - dead_estimate_; };
+
+  std::size_t previous = live();
+  for (unsigned pass = 0;; ++pass) {
+    sift_pass(options);
+    // Swapping rewrites dead-but-unswept nodes too (they must stay
+    // order-consistent for lazy resurrection); sweep between passes so
+    // sizing and the population heuristic see only live nodes.
+    gc();
+    const std::size_t now = live();
+    if (pass + 1 >= std::max(1u, options.max_passes) || now >= previous) {
+      break;
+    }
+    previous = now;
+  }
+  ++stats_.reorderings;
+  gc();
+  return live_nodes();
+}
+
+void DfManager::sift_pass(const SiftOptions& options) {
+  const auto live = [&] { return table_count_ - dead_estimate_; };
+
+  // Largest variables first (Rudell's heuristic).
+  std::vector<std::pair<std::size_t, unsigned>> population(num_vars_);
+  for (unsigned v = 0; v < num_vars_; ++v) population[v] = {0, v};
+  for (Ref r = 2; r < nodes_.size(); ++r) {
+    const Node& n = nodes_[r];
+    if (n.var < num_vars_) ++population[n.var].first;
+  }
+  std::sort(population.begin(), population.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const unsigned limit =
+      options.max_vars == 0
+          ? num_vars_
+          : std::min<unsigned>(options.max_vars, num_vars_);
+  for (unsigned i = 0; i < limit; ++i) {
+    const unsigned v = population[i].second;
+    const std::size_t start_size = live();
+    const std::size_t bound = static_cast<std::size_t>(
+        options.max_growth * static_cast<double>(start_size));
+    std::size_t best_size = start_size;
+    unsigned best_level = level_of_var_[v];
+
+    // Down to the bottom...
+    while (level_of_var_[v] + 1 < num_vars_) {
+      swap_levels(level_of_var_[v]);
+      if (live() < best_size) {
+        best_size = live();
+        best_level = level_of_var_[v];
+      }
+      if (live() > bound) break;
+    }
+    // ...then up to the top...
+    while (level_of_var_[v] > 0) {
+      swap_levels(level_of_var_[v] - 1);
+      if (live() < best_size) {
+        best_size = live();
+        best_level = level_of_var_[v];
+      }
+      if (live() > bound && level_of_var_[v] < best_level) break;
+    }
+    // ...and settle at the best position seen.
+    while (level_of_var_[v] < best_level) swap_levels(level_of_var_[v]);
+    while (level_of_var_[v] > best_level) swap_levels(level_of_var_[v] - 1);
+  }
+}
+
+std::size_t DfManager::bytes() const noexcept {
+  return nodes_.capacity() * sizeof(Node) +
+         buckets_.capacity() * sizeof(Ref) +
+         cache_.capacity() * sizeof(CacheEntry);
+}
+
+}  // namespace pbdd::df

@@ -1,0 +1,278 @@
+// Depth-first BDD package (the paper's Figure 3 baseline).
+//
+// A classic Brace–Rudell–Bryant style sequential package: one global unique
+// table, a lossy direct-mapped computed cache, recursive Shannon expansion,
+// and reference-counting garbage collection with a free list. It exists for
+// three reasons:
+//   1. It is the baseline the paper contrasts the breadth-first family with
+//      (Section 2.2/2.3), including its memory-access behaviour.
+//   2. It is the oracle for the partial breadth-first engine's tests: both
+//      packages must produce isomorphic reduced BDDs for the same inputs.
+//   3. Its free-list reference-count collector is the ablation point for the
+//      mark-compact collector study (Section 3.4).
+//
+// It additionally implements Rudell-style dynamic variable reordering by
+// sifting ([22] in the paper) through in-place adjacent level swaps — BDD
+// size is extremely order-sensitive (Section 2), and sifting is the
+// standard remedy when no good static order is known. Variables keep their
+// external identity across reorderings; only their level (precedence)
+// changes.
+//
+// Not thread-safe; this package is intentionally sequential.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/op.hpp"
+
+namespace pbdd::df {
+
+/// Internal node reference: an index into the manager's node array.
+/// 0 and 1 are the terminal constants.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kZero = 0;
+inline constexpr Ref kOne = 1;
+inline constexpr Ref kInvalidRef = 0xFFFFFFFFu;
+
+class DfManager;
+
+/// RAII external reference to a BDD. Copying bumps the node's reference
+/// count; destruction releases it. A default-constructed handle is empty.
+class DfBdd {
+ public:
+  DfBdd() = default;
+  DfBdd(DfManager* mgr, Ref ref);  // takes over one reference count
+  DfBdd(const DfBdd& other);
+  DfBdd(DfBdd&& other) noexcept;
+  DfBdd& operator=(const DfBdd& other);
+  DfBdd& operator=(DfBdd&& other) noexcept;
+  ~DfBdd();
+
+  [[nodiscard]] bool valid() const noexcept { return mgr_ != nullptr; }
+  [[nodiscard]] Ref ref() const noexcept { return ref_; }
+  [[nodiscard]] DfManager* manager() const noexcept { return mgr_; }
+
+  /// Structural equality — by BDD canonicity this is functional equality
+  /// for handles from the same manager.
+  friend bool operator==(const DfBdd& a, const DfBdd& b) noexcept {
+    return a.mgr_ == b.mgr_ && a.ref_ == b.ref_;
+  }
+
+ private:
+  void release() noexcept;
+
+  DfManager* mgr_ = nullptr;
+  Ref ref_ = kInvalidRef;
+};
+
+struct DfConfig {
+  /// log2 of the computed-cache entry count.
+  unsigned cache_log2 = 16;
+  /// Initial unique-table bucket count (power of two).
+  unsigned initial_buckets_log2 = 12;
+  /// Run garbage collection automatically at a top-level apply when the
+  /// number of dead nodes exceeds this fraction of allocated nodes.
+  double auto_gc_dead_fraction = 0.5;
+  /// Disable automatic GC entirely (tests / ablations).
+  bool auto_gc = true;
+};
+
+struct SiftOptions {
+  /// Abort sifting one variable when the table grows past this factor of
+  /// its size at the start of that variable's sift.
+  double max_growth = 1.2;
+  /// Sift at most this many variables (the largest ones first); 0 = all.
+  unsigned max_vars = 0;
+  /// Repeat whole sifting passes until a pass stops improving the size
+  /// (bounded by this count). 1 = the classic single pass.
+  unsigned max_passes = 1;
+};
+
+struct DfStats {
+  std::uint64_t ops_performed = 0;     ///< non-terminal Shannon expansions
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t nodes_created = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t nodes_reclaimed = 0;
+  std::uint64_t reorderings = 0;
+};
+
+class DfManager {
+ public:
+  explicit DfManager(unsigned num_vars, DfConfig config = {});
+
+  DfManager(const DfManager&) = delete;
+  DfManager& operator=(const DfManager&) = delete;
+
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+
+  // ---- Constants and variables -------------------------------------------
+  [[nodiscard]] DfBdd zero() { return make_handle(kZero); }
+  [[nodiscard]] DfBdd one() { return make_handle(kOne); }
+  /// BDD for variable `v` (the identity function of that input).
+  [[nodiscard]] DfBdd var(unsigned v);
+  /// BDD for NOT variable `v`.
+  [[nodiscard]] DfBdd nvar(unsigned v);
+
+  // ---- Boolean operations -------------------------------------------------
+  [[nodiscard]] DfBdd apply(Op op, const DfBdd& f, const DfBdd& g);
+  [[nodiscard]] DfBdd not_(const DfBdd& f);
+  [[nodiscard]] DfBdd ite(const DfBdd& c, const DfBdd& t, const DfBdd& e);
+
+  /// Cofactor: f with variable `v` fixed to `value`.
+  [[nodiscard]] DfBdd restrict_(const DfBdd& f, unsigned v, bool value);
+  /// Existential quantification over a set of variables.
+  [[nodiscard]] DfBdd exists(const DfBdd& f, const std::vector<unsigned>& vars);
+  /// Universal quantification over a set of variables.
+  [[nodiscard]] DfBdd forall(const DfBdd& f, const std::vector<unsigned>& vars);
+  /// Substitute BDD g for variable v in f.
+  [[nodiscard]] DfBdd compose(const DfBdd& f, unsigned v, const DfBdd& g);
+
+  // ---- Queries -------------------------------------------------------------
+  /// Number of satisfying assignments over all `num_vars()` variables.
+  [[nodiscard]] double sat_count(const DfBdd& f);
+  /// One satisfying assignment (-1 = don't care per variable), if any.
+  [[nodiscard]] std::optional<std::vector<std::int8_t>> sat_one(const DfBdd& f);
+  /// Evaluate under a complete assignment.
+  [[nodiscard]] bool eval(const DfBdd& f, const std::vector<bool>& assignment);
+  /// Variables the function actually depends on.
+  [[nodiscard]] std::vector<unsigned> support(const DfBdd& f);
+  /// Number of internal nodes in f's reachable subgraph.
+  [[nodiscard]] std::size_t node_count(const DfBdd& f);
+
+  // ---- Dynamic variable reordering ------------------------------------------
+  /// Swap the variables at adjacent levels `level` and `level+1` in place.
+  /// All handles stay valid and keep denoting the same functions. Exposed
+  /// for tests; reorder_sift() is the user-facing entry point.
+  void swap_levels(unsigned level);
+
+  /// Rudell's sifting: move each variable (largest node population first)
+  /// through every level, leave it at the position minimizing total live
+  /// nodes. Returns live nodes after reordering.
+  std::size_t reorder_sift(SiftOptions options = {});
+
+  /// Current level of a variable / variable at a level.
+  [[nodiscard]] unsigned level_of(unsigned var) const noexcept {
+    return level_of_var_[var];
+  }
+  [[nodiscard]] unsigned var_at(unsigned level) const noexcept {
+    return var_at_level_[level];
+  }
+  /// The current order as a variable list, top level first.
+  [[nodiscard]] std::vector<unsigned> current_order() const {
+    return var_at_level_;
+  }
+
+  // ---- Memory management ---------------------------------------------------
+  /// Reference-count sweep: unlink dead nodes from the unique table, cascade
+  /// child dereferences, thread the free list, flush the computed cache.
+  /// Returns the number of reclaimed nodes.
+  std::size_t gc();
+
+  /// Nodes currently in the unique table (live plus dead-but-unswept).
+  [[nodiscard]] std::size_t live_nodes() const noexcept {
+    return allocated_nodes_;
+  }
+  /// Estimate of in-table nodes whose reference count has dropped to zero.
+  [[nodiscard]] std::size_t dead_nodes() const noexcept {
+    return dead_estimate_;
+  }
+  [[nodiscard]] std::size_t allocated_slots() const noexcept {
+    return nodes_.size() - 2;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept;
+  [[nodiscard]] const DfStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  // ---- Internals shared with the handle type ------------------------------
+  void ref_node(Ref r) noexcept;
+  void deref_node(Ref r) noexcept;
+
+  [[nodiscard]] unsigned var_of(Ref r) const noexcept {
+    return nodes_[r].var;
+  }
+  [[nodiscard]] Ref low_of(Ref r) const noexcept { return nodes_[r].low; }
+  [[nodiscard]] Ref high_of(Ref r) const noexcept { return nodes_[r].high; }
+
+ private:
+  friend class DfBdd;
+
+  // Variable index used for terminals: below every real variable.
+  static constexpr unsigned kTermVar = 0xFFFFFFFFu;
+  // Variable index marking a slot on the free list.
+  static constexpr unsigned kFreeVar = 0xFFFFFFFEu;
+
+  struct Node {
+    unsigned var = kTermVar;
+    Ref low = kInvalidRef;
+    Ref high = kInvalidRef;
+    Ref next = kInvalidRef;  ///< unique-table chain / free-list link
+    std::uint32_t refcount = 0;
+    /// True while refcount is zero for a node still in the table. Needed to
+    /// keep the dead-node estimate exact across resurrections (a cache hit
+    /// can hand out a dead node, which a new reference then revives).
+    bool dead = false;
+  };
+
+  struct CacheEntry {
+    Ref f = kInvalidRef;
+    Ref g = kInvalidRef;
+    Ref result = kInvalidRef;
+    Op op = Op::And;
+    bool valid = false;
+  };
+
+  [[nodiscard]] DfBdd make_handle(Ref r) {
+    ref_node(r);
+    return DfBdd(this, r);
+  }
+
+  [[nodiscard]] Ref cofactor(Ref f, unsigned v, bool value) const noexcept {
+    const Node& n = nodes_[f];
+    if (n.var != v) return f;  // v above f's top var: f independent of v
+    return value ? n.high : n.low;
+  }
+
+  /// Level (precedence position) of a node; terminals sit below all
+  /// variables. All ordering comparisons go through levels so that dynamic
+  /// reordering only has to update the level maps.
+  [[nodiscard]] unsigned node_level(Ref r) const noexcept {
+    return r <= kOne ? num_vars_ : level_of_var_[nodes_[r].var];
+  }
+
+  Ref apply_rec(Op op, Ref f, Ref g);
+  void sift_pass(const SiftOptions& options);
+  Ref mk_node(unsigned var, Ref low, Ref high);
+  Ref alloc_node();
+  void maybe_auto_gc();
+  void grow_table();
+
+  const unsigned num_vars_;
+  const DfConfig config_;
+
+  // Dynamic order: level -> variable and its inverse.
+  std::vector<unsigned> var_at_level_;
+  std::vector<unsigned> level_of_var_;
+
+  std::vector<Node> nodes_;
+  std::vector<Ref> buckets_;
+  std::uint32_t bucket_mask_;
+  std::size_t table_count_ = 0;  ///< nodes currently chained in the table
+
+  std::vector<CacheEntry> cache_;
+  std::uint32_t cache_mask_;
+
+  Ref free_head_ = kInvalidRef;
+  std::size_t allocated_nodes_ = 0;  ///< live + dead (excludes free slots)
+  std::size_t free_nodes_ = 0;       ///< dead (refcount 0), not yet reclaimed
+  std::size_t dead_estimate_ = 0;
+
+  DfStats stats_;
+};
+
+}  // namespace pbdd::df

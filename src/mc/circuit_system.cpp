@@ -1,0 +1,63 @@
+#include "mc/circuit_system.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "circuit/builder.hpp"
+#include "core/fold.hpp"
+
+namespace pbdd::mc {
+
+CircuitSystem CircuitSystem::build(core::BddManager& manager,
+                                   const circuit::Circuit& seq) {
+  if (!seq.is_sequential()) {
+    throw std::invalid_argument("CircuitSystem: circuit has no latches");
+  }
+  CircuitSystem system;
+  system.layout = layout_for(seq);
+  if (manager.num_vars() < system.layout.total_vars()) {
+    throw std::invalid_argument("CircuitSystem: manager has too few vars");
+  }
+
+  // Variable for each input position: latch q inputs get current-state
+  // variables (in latch order); the rest get input variables.
+  const circuit::Circuit bin = seq.binarized();
+  std::unordered_map<std::uint32_t, unsigned> latch_index;
+  for (unsigned k = 0; k < bin.latches().size(); ++k) {
+    latch_index.emplace(bin.latches()[k].q, k);
+  }
+  std::vector<unsigned> input_vars(bin.inputs().size());
+  unsigned next_free = 0;
+  for (std::size_t i = 0; i < bin.inputs().size(); ++i) {
+    const auto it = latch_index.find(bin.inputs()[i]);
+    input_vars[i] = it != latch_index.end()
+                        ? system.layout.current(it->second)
+                        : system.layout.input(next_free++);
+  }
+
+  // One parallel build of the combinational logic yields both the output
+  // cones and every latch's next-state cone. Latch d-signals may not be
+  // primary outputs, so mark them in a working copy.
+  circuit::Circuit work = bin;
+  for (const circuit::Latch& latch : bin.latches()) {
+    work.mark_output(latch.d, "");
+  }
+  std::vector<core::Bdd> cones =
+      circuit::build_parallel(manager, work, input_vars);
+
+  const std::size_t num_outputs = bin.outputs().size();
+  system.outputs.assign(cones.begin(),
+                        cones.begin() + static_cast<std::ptrdiff_t>(num_outputs));
+  system.next_state.assign(
+      cones.begin() + static_cast<std::ptrdiff_t>(num_outputs), cones.end());
+
+  // All-zero initial state.
+  std::vector<core::Bdd> literals;
+  for (unsigned k = 0; k < system.layout.state_bits; ++k) {
+    literals.push_back(manager.nvar(system.layout.current(k)));
+  }
+  system.initial = core::and_all(manager, literals);
+  return system;
+}
+
+}  // namespace pbdd::mc

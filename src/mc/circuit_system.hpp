@@ -1,0 +1,42 @@
+// Bridge from sequential gate-level circuits (ISCAS89-style .bench with
+// DFF latches) to the symbolic reachability analyzer: builds the per-latch
+// next-state BDDs and per-output BDDs over the analyzer's interleaved
+// variable layout, using the parallel circuit builder.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "core/bdd_manager.hpp"
+#include "mc/reachability.hpp"
+
+namespace pbdd::mc {
+
+struct CircuitSystem {
+  VarLayout layout;
+  /// delta_i over (current-state, input) variables, one per latch, in the
+  /// circuit's latch order.
+  std::vector<core::Bdd> next_state;
+  /// Primary-output functions over the same variables.
+  std::vector<core::Bdd> outputs;
+  /// The all-zero initial state (the ISCAS89 convention).
+  core::Bdd initial;
+
+  /// Lower a sequential circuit. `manager` must have at least
+  /// 2 * latches + free-inputs variables (VarLayout::total_vars()); latch i
+  /// gets current-state variable layout.current(i), the j-th free input
+  /// gets layout.input(j).
+  static CircuitSystem build(core::BddManager& manager,
+                             const circuit::Circuit& seq);
+
+  /// Convenience: layout needed for a circuit (to size the manager).
+  static VarLayout layout_for(const circuit::Circuit& seq) {
+    VarLayout layout;
+    layout.state_bits = static_cast<unsigned>(seq.latches().size());
+    layout.input_bits =
+        static_cast<unsigned>(seq.free_input_positions().size());
+    return layout;
+  }
+};
+
+}  // namespace pbdd::mc

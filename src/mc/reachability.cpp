@@ -1,0 +1,180 @@
+#include "mc/reachability.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/fold.hpp"
+
+namespace pbdd::mc {
+
+using core::Bdd;
+using core::BddManager;
+using core::NodeRef;
+
+namespace {
+
+/// Structural variable renaming under a strictly monotone variable map
+/// (order-preserving on the function's support), memoized per node.
+NodeRef rename_rec(BddManager& mgr, NodeRef r, unsigned (*map)(unsigned),
+                   std::unordered_map<NodeRef, NodeRef>& memo) {
+  if (core::is_terminal(r)) return r;
+  if (auto it = memo.find(r); it != memo.end()) return it->second;
+  const core::BddNode& n = mgr.node(r);
+  const NodeRef low = rename_rec(mgr, n.low, map, memo);
+  const NodeRef high = rename_rec(mgr, n.high, map, memo);
+  const NodeRef result = mgr.mk_node(map(core::var_of(r)), low, high);
+  memo.emplace(r, result);
+  return result;
+}
+
+unsigned next_to_current(unsigned v) {
+  // Next-state variables are the odd ones below the input block.
+  return (v & 1u) ? v - 1 : v;
+}
+
+unsigned current_to_next(unsigned v) { return (v & 1u) ? v : v + 1; }
+
+}  // namespace
+
+Reachability::Reachability(BddManager& manager, VarLayout layout,
+                           const std::vector<Bdd>& next_state)
+    : mgr_(manager), layout_(layout) {
+  if (next_state.size() != layout_.state_bits) {
+    throw std::invalid_argument("Reachability: one delta per state bit");
+  }
+  if (mgr_.num_vars() < layout_.total_vars()) {
+    throw std::invalid_argument("Reachability: manager has too few vars");
+  }
+  for (unsigned i = 0; i < layout_.state_bits; ++i) {
+    current_vars_.push_back(layout_.current(i));
+    next_vars_.push_back(layout_.next(i));
+  }
+  current_and_input_vars_ = current_vars_;
+  next_and_input_vars_ = next_vars_;
+  for (unsigned j = 0; j < layout_.input_bits; ++j) {
+    current_and_input_vars_.push_back(layout_.input(j));
+    next_and_input_vars_.push_back(layout_.input(j));
+  }
+
+  // T(s, s', x) = AND_i (s'_i XNOR delta_i): the equivalences are
+  // independent, so they go out as one batch; the conjunction is a
+  // balanced batched fold.
+  std::vector<core::BatchOp> batch;
+  batch.reserve(layout_.state_bits);
+  for (unsigned i = 0; i < layout_.state_bits; ++i) {
+    batch.push_back(
+        core::BatchOp{Op::Xnor, mgr_.var(layout_.next(i)), next_state[i]});
+  }
+  const std::vector<Bdd> equivalences = mgr_.apply_batch(batch);
+  trans_ = core::and_all(mgr_, equivalences);
+}
+
+Bdd Reachability::rename_next_to_current(const Bdd& f) {
+  std::unordered_map<NodeRef, NodeRef> memo;
+  return mgr_.make_root(rename_rec(mgr_, f.ref(), next_to_current, memo));
+}
+
+Bdd Reachability::rename_current_to_next(const Bdd& f) {
+  std::unordered_map<NodeRef, NodeRef> memo;
+  return mgr_.make_root(rename_rec(mgr_, f.ref(), current_to_next, memo));
+}
+
+Bdd Reachability::image(const Bdd& states) {
+  const Bdd conj = mgr_.apply(Op::And, states, trans_);
+  const Bdd next_only = mgr_.exists(conj, current_and_input_vars_);
+  return rename_next_to_current(next_only);
+}
+
+Bdd Reachability::pre_image(const Bdd& states) {
+  const Bdd primed = rename_current_to_next(states);
+  const Bdd conj = mgr_.apply(Op::And, primed, trans_);
+  return mgr_.exists(conj, next_and_input_vars_);
+}
+
+namespace {
+
+/// Concrete state (current-variable values) from any nonempty set;
+/// don't-cares resolve to 0, which stays inside the set.
+std::vector<bool> pick_state(BddManager& mgr, const VarLayout& layout,
+                             const Bdd& set) {
+  const auto assignment = mgr.sat_one(set);
+  assert(assignment.has_value());
+  std::vector<bool> state(layout.state_bits);
+  for (unsigned i = 0; i < layout.state_bits; ++i) {
+    state[i] = (*assignment)[layout.current(i)] == 1;
+  }
+  return state;
+}
+
+/// Characteristic function (cube over current variables) of one state.
+Bdd state_cube(BddManager& mgr, const VarLayout& layout,
+               const std::vector<bool>& state) {
+  std::vector<Bdd> literals;
+  literals.reserve(layout.state_bits);
+  for (unsigned i = 0; i < layout.state_bits; ++i) {
+    literals.push_back(state[i] ? mgr.var(layout.current(i))
+                                : mgr.nvar(layout.current(i)));
+  }
+  return core::and_all(mgr, literals);
+}
+
+}  // namespace
+
+ReachResult Reachability::analyze(const Bdd& init,
+                                  const std::optional<Bdd>& bad,
+                                  unsigned max_iterations) {
+  ReachResult result;
+  std::vector<Bdd> frontiers{init};
+  Bdd reached = init;
+  Bdd frontier = init;
+
+  auto build_trace = [&](const Bdd& hit, std::size_t depth) {
+    result.property_holds = false;
+    std::vector<std::vector<bool>> trace(depth + 1);
+    trace[depth] = pick_state(mgr_, layout_, hit);
+    for (std::size_t j = depth; j-- > 0;) {
+      const Bdd cube = state_cube(mgr_, layout_, trace[j + 1]);
+      const Bdd preds =
+          mgr_.apply(Op::And, pre_image(cube), frontiers[j]);
+      assert(!preds.is_zero());
+      trace[j] = pick_state(mgr_, layout_, preds);
+    }
+    result.counterexample = std::move(trace);
+  };
+
+  if (bad.has_value()) {
+    const Bdd hit = mgr_.apply(Op::And, init, *bad);
+    if (!hit.is_zero()) {
+      build_trace(hit, 0);
+      result.reachable = std::move(reached);
+      return result;
+    }
+  }
+
+  for (unsigned iter = 0; iter < max_iterations; ++iter) {
+    const Bdd img = image(frontier);
+    const Bdd fresh = mgr_.apply(Op::Diff, img, reached);
+    if (fresh.is_zero()) {
+      result.fixpoint = true;
+      break;
+    }
+    ++result.iterations;
+    frontiers.push_back(fresh);
+    if (bad.has_value()) {
+      const Bdd hit = mgr_.apply(Op::And, fresh, *bad);
+      if (!hit.is_zero()) {
+        build_trace(hit, frontiers.size() - 1);
+        reached = mgr_.apply(Op::Or, reached, fresh);
+        result.reachable = std::move(reached);
+        return result;
+      }
+    }
+    reached = mgr_.apply(Op::Or, reached, fresh);
+    frontier = fresh;
+  }
+  result.reachable = std::move(reached);
+  return result;
+}
+
+}  // namespace pbdd::mc

@@ -1,0 +1,47 @@
+// Bounded exponential backoff for the stall-and-steal loops.
+//
+// Owners that reach a stolen operator node in the reduction phase spin on the
+// thief's result (Section 3.3 of the paper). Pure spinning wastes a core that
+// could run a thief; pure yielding adds latency. We spin briefly with a
+// pause hint, then escalate to yields.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pbdd::rt {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No pause hint available; fall through to a compiler barrier.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kMaxSpins) {
+      for (std::uint32_t i = 0; i < (1u << spins_); ++i) cpu_relax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 7;  // up to 128 pause hints
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace pbdd::rt

@@ -1,0 +1,96 @@
+// Persistent worker pool.
+//
+// The BDD manager keeps one pool for its whole lifetime: spawning threads per
+// top-level operation batch would dwarf the per-batch work for small batches,
+// and per-worker state (node arenas, compute caches) is indexed by a stable
+// worker id. The calling thread participates as worker 0, so a pool of size
+// one runs with no cross-thread traffic at all — that is the configuration
+// the sequential "Seq" measurements in the paper use.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbdd::rt {
+
+class WorkerPool {
+ public:
+  using Job = std::function<void(unsigned worker_id)>;
+
+  explicit WorkerPool(unsigned workers) : workers_(workers ? workers : 1) {
+    helpers_.reserve(workers_ - 1);
+    for (unsigned id = 1; id < workers_; ++id) {
+      helpers_.emplace_back([this, id] { helper_loop(id); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : helpers_) t.join();
+  }
+
+  [[nodiscard]] unsigned size() const noexcept { return workers_; }
+
+  /// Run `job(worker_id)` on every worker; the caller executes worker 0.
+  /// Blocks until all workers have finished. Not reentrant.
+  void run(Job job) {
+    if (workers_ == 1) {
+      job(0);
+      return;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      job_ = std::move(job);
+      pending_ = workers_ - 1;
+      ++epoch_;
+    }
+    start_cv_.notify_all();
+    job_(0);
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void helper_loop(unsigned id) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(mutex_);
+        start_cv_.wait(lock,
+                       [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        job = job_;  // copy: all helpers share the one job object
+      }
+      job(id);
+      {
+        std::lock_guard lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const unsigned workers_;
+  std::vector<std::thread> helpers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pbdd::rt

@@ -1,0 +1,42 @@
+// Hashing primitives shared by the unique tables and compute caches.
+//
+// BDD construction performance is dominated by hash-table behaviour: every
+// Shannon-expansion step performs one compute-cache probe and every reduction
+// step performs one unique-table probe. The paper's per-variable tables mean
+// the variable index never needs to participate in the hash; only the (low,
+// high) child pair (unique table) or the (op, f, g) triple (compute cache)
+// does.
+#pragma once
+
+#include <cstdint>
+
+namespace pbdd::util {
+
+/// Finalizer from splitmix64 / MurmurHash3. Full-avalanche mix of a 64-bit
+/// value; cheap enough (3 multiplies) to use on the hot path.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two 64-bit keys (e.g. a unique-table (low, high) pair).
+constexpr std::uint64_t hash_pair(std::uint64_t a, std::uint64_t b) noexcept {
+  // Asymmetric combine: (low, high) and (high, low) must hash differently.
+  return mix64(a + 0x9e3779b97f4a7c15ULL * b);
+}
+
+/// Combine three keys (e.g. a compute-cache (op, f, g) triple).
+constexpr std::uint64_t hash_triple(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t c) noexcept {
+  return mix64(a + 0x9e3779b97f4a7c15ULL * b + 0xc2b2ae3d27d4eb4fULL * c);
+}
+
+static_assert(mix64(0) == 0, "mix64 maps 0 to 0 (fine: keys are never 0)");
+static_assert(hash_pair(1, 2) != hash_pair(2, 1),
+              "pair hash must be order-sensitive");
+
+}  // namespace pbdd::util

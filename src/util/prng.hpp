@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for tests, workload
+// generators, and the random-circuit generator. We avoid std::mt19937 on hot
+// paths (large state, slow seeding) and need cross-platform reproducibility,
+// which the standard distributions do not guarantee.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace pbdd::util {
+
+/// xoshiro256** by Blackman & Vigna. Seeded via splitmix64 so that any
+/// 64-bit seed (including 0) produces a well-mixed state.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 stream to initialize state; guarantees not-all-zero.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Uses the widening-multiply trick; bias is
+  /// negligible for the bounds used here (< 2^32).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  constexpr bool coin() noexcept { return (next() >> 63) != 0; }
+
+  /// Probability-p coin, p in [0,1].
+  constexpr bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace pbdd::util

@@ -1,0 +1,50 @@
+// Wall-clock timing used by the phase-breakdown instrumentation (Figs. 13/14,
+// 16/17, 18/19 of the paper) and by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pbdd::util {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates intervals into a caller-owned nanosecond counter. Used for
+/// per-phase and per-variable accounting where one aggregate counter is
+/// charged from many short intervals (e.g. lock-acquire waits).
+class ScopedAccumulate {
+ public:
+  explicit ScopedAccumulate(std::uint64_t& sink) noexcept : sink_(sink) {}
+  ~ScopedAccumulate() { sink_ += timer_.elapsed_ns(); }
+
+  ScopedAccumulate(const ScopedAccumulate&) = delete;
+  ScopedAccumulate& operator=(const ScopedAccumulate&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace pbdd::util

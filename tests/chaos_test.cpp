@@ -1,0 +1,163 @@
+// Chaos test: long randomized interleavings of everything the engine can do
+// — parallel batches with pathological thresholds, explicit and automatic
+// collections, handle churn, quantifications, sequential utility operations
+// — continuously validated against the depth-first oracle and the store
+// invariants. This is the test that catches interactions no targeted test
+// provokes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/bdd_manager.hpp"
+#include "df/df_manager.hpp"
+#include "oracle.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd {
+namespace {
+
+using core::Bdd;
+using core::BddManager;
+using core::Config;
+
+void check_invariants(BddManager& mgr) {
+  std::set<std::tuple<unsigned, core::NodeRef, core::NodeRef>> seen;
+  for (unsigned w = 0; w < mgr.workers(); ++w) {
+    for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+      const core::NodeArena& arena = mgr.worker(w).node_arena(v);
+      for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
+        const core::BddNode& n = arena.at(slot);
+        ASSERT_NE(n.low, n.high);
+        ASSERT_GT(core::level_of(n.low), v);
+        ASSERT_GT(core::level_of(n.high), v);
+        ASSERT_TRUE(seen.insert({v, n.low, n.high}).second);
+      }
+    }
+  }
+}
+
+class ChaosParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {
+};
+
+TEST_P(ChaosParam, LongRandomInterleaving) {
+  const auto [workers, seed] = GetParam();
+  constexpr unsigned kVars = 7;
+
+  Config config;
+  config.workers = workers;
+  config.eval_threshold = 24;
+  config.group_size = 4;
+  config.share_poll_interval = 8;
+  config.gc_min_nodes = 4096;
+  config.gc_growth_factor = 1.4;
+  BddManager mgr(kVars, config);
+  df::DfManager oracle(kVars);
+
+  util::Xoshiro256 rng(seed);
+  // Parallel environments: matching (core, oracle) function pairs.
+  std::vector<Bdd> env;
+  std::vector<df::DfBdd> df_env;
+  for (unsigned v = 0; v < kVars; ++v) {
+    env.push_back(mgr.var(v));
+    df_env.push_back(oracle.var(v));
+  }
+
+  auto pick = [&] { return rng.below(env.size()); };
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.below(10)) {
+      case 0: case 1: case 2: case 3: case 4: {  // random binary op
+        const Op op = static_cast<Op>(rng.below(kNumOps));
+        const std::size_t a = pick(), b = pick();
+        env.push_back(mgr.apply(op, env[a], env[b]));
+        df_env.push_back(oracle.apply(op, df_env[a], df_env[b]));
+        break;
+      }
+      case 5: {  // batch of independent ops
+        std::vector<core::BatchOp> batch;
+        std::vector<std::pair<Op, std::pair<std::size_t, std::size_t>>>
+            items;
+        const unsigned count = 2 + static_cast<unsigned>(rng.below(6));
+        for (unsigned i = 0; i < count; ++i) {
+          const Op op = static_cast<Op>(rng.below(kNumOps));
+          const std::size_t a = pick(), b = pick();
+          batch.push_back(core::BatchOp{op, env[a], env[b]});
+          items.push_back({op, {a, b}});
+        }
+        auto results = mgr.apply_batch(batch);
+        for (unsigned i = 0; i < count; ++i) {
+          env.push_back(std::move(results[i]));
+          df_env.push_back(oracle.apply(items[i].first,
+                                        df_env[items[i].second.first],
+                                        df_env[items[i].second.second]));
+        }
+        break;
+      }
+      case 6: {  // restrict
+        const std::size_t a = pick();
+        const unsigned v = static_cast<unsigned>(rng.below(kVars));
+        const bool value = rng.coin();
+        env.push_back(mgr.restrict_(env[a], v, value));
+        df_env.push_back(oracle.restrict_(df_env[a], v, value));
+        break;
+      }
+      case 7: {  // quantify one variable
+        const std::size_t a = pick();
+        const unsigned v = static_cast<unsigned>(rng.below(kVars));
+        env.push_back(mgr.exists(env[a], {v}));
+        df_env.push_back(oracle.exists(df_env[a], {v}));
+        break;
+      }
+      case 8: {  // drop a prefix of handles, then maybe collect
+        if (env.size() > 2 * kVars) {
+          const std::size_t keep = kVars + rng.below(env.size() - kVars);
+          env.erase(env.begin() + static_cast<std::ptrdiff_t>(keep),
+                    env.end());
+          df_env.erase(df_env.begin() + static_cast<std::ptrdiff_t>(keep),
+                       df_env.end());
+        }
+        if (rng.coin()) mgr.gc();
+        break;
+      }
+      case 9: {  // handle churn: copies and moves
+        const std::size_t a = pick();
+        Bdd copy = env[a];
+        Bdd moved = std::move(copy);
+        env.push_back(moved);
+        df_env.push_back(df_env[a]);
+        break;
+      }
+    }
+    // Continuous validation on a sample (full check each step is too slow).
+    if (step % 50 == 49) {
+      check_invariants(mgr);
+      for (std::size_t k = 0; k < env.size(); k += 7) {
+        ASSERT_EQ(mgr.node_count(env[k]), oracle.node_count(df_env[k]))
+            << "step " << step << " fn " << k;
+        ASSERT_DOUBLE_EQ(mgr.sat_count(env[k]), oracle.sat_count(df_env[k]))
+            << "step " << step << " fn " << k;
+      }
+    }
+  }
+  // Final full audit.
+  mgr.gc();
+  check_invariants(mgr);
+  for (std::size_t k = 0; k < env.size(); ++k) {
+    ASSERT_EQ(mgr.node_count(env[k]), oracle.node_count(df_env[k]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChaosParam,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, std::uint64_t>>&
+           info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,338 @@
+// Circuit substrate: generators against integer arithmetic, the .bench
+// parser (including the real ISCAS85 c17), orderings, binarization, and the
+// circuit-to-BDD builders against gate-level simulation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+#include "df/df_manager.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd {
+namespace {
+
+using circuit::Circuit;
+
+std::vector<bool> bits_of(std::uint64_t value, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+std::uint64_t value_of(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+TEST(Generators, MultiplierComputesProducts) {
+  const Circuit mult = circuit::multiplier(5);
+  EXPECT_EQ(mult.inputs().size(), 10u);
+  EXPECT_EQ(mult.outputs().size(), 10u);
+  for (std::uint64_t a = 0; a < 32; a += 3) {
+    for (std::uint64_t b = 0; b < 32; b += 5) {
+      std::vector<bool> in = bits_of(a, 5);
+      const std::vector<bool> bb = bits_of(b, 5);
+      in.insert(in.end(), bb.begin(), bb.end());
+      EXPECT_EQ(value_of(mult.simulate(in)), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Generators, RippleAdderComputesSums) {
+  const Circuit add = circuit::ripple_adder(6);
+  for (std::uint64_t a = 0; a < 64; a += 7) {
+    for (std::uint64_t b = 0; b < 64; b += 9) {
+      for (const bool cin : {false, true}) {
+        std::vector<bool> in = bits_of(a, 6);
+        const std::vector<bool> bb = bits_of(b, 6);
+        in.insert(in.end(), bb.begin(), bb.end());
+        in.push_back(cin);
+        EXPECT_EQ(value_of(add.simulate(in)), a + b + (cin ? 1 : 0));
+      }
+    }
+  }
+}
+
+TEST(Generators, CarrySelectEqualsRipple) {
+  const Circuit csel = circuit::carry_select_adder(9, 3);
+  const Circuit ripple = circuit::ripple_adder(9);
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> in;
+    for (int i = 0; i < 19; ++i) in.push_back(rng.coin());
+    EXPECT_EQ(csel.simulate(in), ripple.simulate(in));
+  }
+}
+
+TEST(Generators, ComparatorAgainstIntegers) {
+  const Circuit cmp = circuit::comparator(5);
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) {
+      std::vector<bool> in = bits_of(a, 5);
+      const std::vector<bool> bb = bits_of(b, 5);
+      in.insert(in.end(), bb.begin(), bb.end());
+      const std::vector<bool> out = cmp.simulate(in);
+      EXPECT_EQ(out[0], a < b);
+      EXPECT_EQ(out[1], a == b);
+      EXPECT_EQ(out[2], a > b);
+    }
+  }
+}
+
+TEST(Generators, ParityTree) {
+  const Circuit par = circuit::parity_tree(9);
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> in;
+    int ones = 0;
+    for (int i = 0; i < 9; ++i) {
+      in.push_back(rng.coin());
+      ones += in.back();
+    }
+    EXPECT_EQ(par.simulate(in)[0], (ones & 1) != 0);
+  }
+}
+
+TEST(Generators, AluFunctions) {
+  const unsigned n = 5;
+  const Circuit a = circuit::alu(n);
+  util::Xoshiro256 rng(13);
+  for (unsigned sel = 0; sel < 8; ++sel) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::uint64_t x = rng.below(32), y = rng.below(32);
+      const bool cin = rng.coin();
+      std::vector<bool> in = bits_of(x, n);
+      const std::vector<bool> yb = bits_of(y, n);
+      in.insert(in.end(), yb.begin(), yb.end());
+      in.push_back(cin);
+      const std::vector<bool> sb = bits_of(sel, 3);
+      in.insert(in.end(), sb.begin(), sb.end());
+      const std::vector<bool> out = a.simulate(in);
+      const std::uint64_t r = value_of({out.begin(), out.begin() + n});
+      std::uint64_t expect = 0;
+      switch (sel) {
+        case 0: expect = (x + y + cin) & 31; break;
+        case 1: expect = (x + (~y & 31) + cin) & 31; break;
+        case 2: expect = x & y; break;
+        case 3: expect = x | y; break;
+        case 4: expect = x ^ y; break;
+        case 5: expect = ~(x | y) & 31; break;
+        case 6: expect = x; break;
+        case 7: expect = ~x & 31; break;
+      }
+      EXPECT_EQ(r, expect) << "sel=" << sel << " x=" << x << " y=" << y;
+      EXPECT_EQ(out[n + 1], r == 0) << "zero flag";
+    }
+  }
+}
+
+TEST(BenchIo, ParsesC17) {
+  const Circuit c = circuit::c17();
+  EXPECT_EQ(c.inputs().size(), 5u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.num_gates(), 11u);
+  // Known vector: all inputs 0 -> NAND chain output values.
+  // 10 = !(1&3)=1, 11 = !(3&6)=1, 16 = !(2&11)=1, 19 = !(11&7)=1,
+  // 22 = !(10&16)=0, 23 = !(16&19)=0
+  const std::vector<bool> out = c.simulate({false, false, false, false, false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(BenchIo, RoundTripsGeneratedCircuits) {
+  for (const Circuit& original :
+       {circuit::multiplier(4), circuit::comparator(6), circuit::alu(3)}) {
+    const std::string text = circuit::to_bench_string(original);
+    const Circuit parsed = circuit::parse_bench_string(text, original.name());
+    ASSERT_EQ(parsed.inputs().size(), original.inputs().size());
+    ASSERT_EQ(parsed.outputs().size(), original.outputs().size());
+    util::Xoshiro256 rng(original.num_gates());
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<bool> in;
+      for (std::size_t i = 0; i < original.inputs().size(); ++i) {
+        in.push_back(rng.coin());
+      }
+      EXPECT_EQ(parsed.simulate(in), original.simulate(in));
+    }
+  }
+}
+
+TEST(BenchIo, HandlesForwardReferences) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(m, b)
+m = NOT(a)
+)";
+  const Circuit c = circuit::parse_bench_string(text);
+  EXPECT_EQ(c.simulate({false, true}), std::vector<bool>{true});
+  EXPECT_EQ(c.simulate({true, true}), std::vector<bool>{false});
+}
+
+TEST(BenchIo, RejectsUnsupportedSequentialCyclesAndUndefined) {
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a)\nq = DFFSR(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      circuit::parse_bench_string("INPUT(a)\nx = AND(y, a)\ny = AND(x, a)\n"),
+      std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a)\nx = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, ParsesDffLatches) {
+  // A 2-bit shift register: q1 <- q0 <- in, output taps q1.
+  const char* text = R"(
+INPUT(in)
+OUTPUT(y)
+q0 = DFF(in)
+q1 = DFF(q0)
+y = BUFF(q1)
+)";
+  const circuit::Circuit c = circuit::parse_bench_string(text, "shift2");
+  ASSERT_TRUE(c.is_sequential());
+  ASSERT_EQ(c.latches().size(), 2u);
+  EXPECT_EQ(c.inputs().size(), 3u);  // q0, q1 pseudo-inputs + in
+  EXPECT_EQ(c.free_input_positions().size(), 1u);
+  // Step the register: state (q0,q1)=(1,0), in=1 -> next (1,1), y=q1=0.
+  const auto [outs, next] = c.simulate_step({true, false}, {true});
+  EXPECT_EQ(outs, std::vector<bool>{false});
+  EXPECT_EQ(next, (std::vector<bool>{true, true}));
+  // Round-trip through the writer.
+  const circuit::Circuit again =
+      circuit::parse_bench_string(circuit::to_bench_string(c), "rt");
+  ASSERT_EQ(again.latches().size(), 2u);
+  const auto [outs2, next2] = again.simulate_step({true, false}, {true});
+  EXPECT_EQ(outs2, outs);
+  EXPECT_EQ(next2, next);
+}
+
+TEST(Binarize, PreservesSemantics) {
+  for (const Circuit& original :
+       {circuit::alu(4), circuit::parity_tree(11),
+        circuit::random_circuit(8, 60, 99)}) {
+    const Circuit bin = original.binarized();
+    bin.validate();
+    for (std::uint32_t id = 0; id < bin.num_gates(); ++id) {
+      EXPECT_LE(bin.gate(id).fanins.size(), 2u);
+    }
+    util::Xoshiro256 rng(42);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<bool> in;
+      for (std::size_t i = 0; i < original.inputs().size(); ++i) {
+        in.push_back(rng.coin());
+      }
+      EXPECT_EQ(bin.simulate(in), original.simulate(in));
+    }
+  }
+}
+
+TEST(Ordering, OrderDfsIsAPermutation) {
+  for (const Circuit& c : {circuit::multiplier(6), circuit::c2670_like()}) {
+    const std::vector<unsigned> order = circuit::order_dfs(c);
+    ASSERT_EQ(order.size(), c.inputs().size());
+    std::vector<bool> seen(order.size(), false);
+    for (const unsigned v : order) {
+      ASSERT_LT(v, order.size());
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Ordering, OrderDfsInterleavesMultiplierOperands) {
+  // For the array multiplier, order_dfs visits a-bits and b-bits
+  // alternately through the partial-product plane, which is what keeps the
+  // multiplier BDD from hitting its worst case. Check it differs from the
+  // natural order (a0..an-1 then b0..bn-1).
+  const Circuit c = circuit::multiplier(6);
+  EXPECT_NE(circuit::order_dfs(c), circuit::order_natural(c));
+}
+
+class BuilderVsSimulation
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BuilderVsSimulation, ParallelBuildMatchesSimulation) {
+  const auto [circuit_kind, workers] = GetParam();
+  Circuit c = [&] {
+    switch (circuit_kind) {
+      case 0: return circuit::multiplier(5);
+      case 1: return circuit::c17();
+      case 2: return circuit::alu(4);
+      default: return circuit::random_circuit(10, 120, 5);
+    }
+  }();
+  const Circuit bin = c.binarized();
+  const std::vector<unsigned> order = circuit::order_dfs(bin);
+
+  core::Config config;
+  config.workers = static_cast<unsigned>(workers);
+  config.eval_threshold = 128;
+  config.group_size = 16;
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+  const std::vector<core::Bdd> outputs =
+      circuit::build_parallel(mgr, bin, order);
+  ASSERT_EQ(outputs.size(), bin.outputs().size());
+
+  util::Xoshiro256 rng(circuit_kind * 7919 + workers);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < bin.inputs().size(); ++i) {
+      in.push_back(rng.coin());
+    }
+    const std::vector<bool> expect = bin.simulate(in);
+    // The BDD assignment is indexed by variable; map input i -> var order[i].
+    std::vector<bool> assignment(mgr.num_vars(), false);
+    for (std::size_t i = 0; i < in.size(); ++i) assignment[order[i]] = in[i];
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      ASSERT_EQ(mgr.eval(outputs[o], assignment), expect[o])
+          << "output " << o << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, BuilderVsSimulation,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1, 3)));
+
+TEST(Builder, SequentialDfMatchesParallelCore) {
+  const Circuit bin = circuit::multiplier(5).binarized();
+  const std::vector<unsigned> order = circuit::order_dfs(bin);
+
+  core::Config config;
+  config.workers = 2;
+  config.eval_threshold = 256;
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+  df::DfManager oracle(static_cast<unsigned>(bin.inputs().size()));
+
+  const auto core_out = circuit::build_parallel(mgr, bin, order);
+  const auto df_out =
+      circuit::build_sequential<df::DfManager, df::DfBdd>(oracle, bin, order);
+  ASSERT_EQ(core_out.size(), df_out.size());
+  for (std::size_t o = 0; o < core_out.size(); ++o) {
+    EXPECT_EQ(mgr.node_count(core_out[o]), oracle.node_count(df_out[o]))
+        << "output " << o;
+  }
+}
+
+TEST(Builder, SubstituteCircuitsAreNontrivial) {
+  const Circuit a = circuit::c2670_like();
+  const Circuit b = circuit::c3540_like();
+  EXPECT_GT(a.inputs().size(), 80u);
+  EXPECT_GT(a.outputs().size(), 30u);
+  EXPECT_GT(a.num_gates(), 1000u);
+  EXPECT_GT(b.inputs().size(), 40u);
+  EXPECT_GT(b.num_gates(), 1000u);
+}
+
+}  // namespace
+}  // namespace pbdd

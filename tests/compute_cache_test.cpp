@@ -1,0 +1,119 @@
+// Per-worker compute cache: probe/insert semantics, lossy replacement,
+// generation tagging of operator-node entries, reduction write-back, and
+// flush.
+#include <gtest/gtest.h>
+
+#include "core/compute_cache.hpp"
+
+namespace pbdd {
+namespace {
+
+using namespace pbdd::core;
+
+TEST(ComputeCache, MissOnEmptyAndHitAfterInsert) {
+  ComputeCache cache;
+  cache.init(8);
+  const NodeRef f = make_node_ref(0, 1, 2);
+  const NodeRef g = make_node_ref(0, 1, 3);
+  const std::uint32_t slot = cache.slot_for(Op::And, f, g);
+  EXPECT_EQ(cache.lookup(slot, Op::And, f, g), nullptr);
+  const NodeRef result = make_node_ref(0, 0, 9);
+  cache.insert(slot, Op::And, f, g, result, 1);
+  const auto* e = cache.lookup(slot, Op::And, f, g);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->result, result);
+}
+
+TEST(ComputeCache, KeyIncludesOperatorAndOperandOrder) {
+  ComputeCache cache;
+  cache.init(8);
+  const NodeRef f = make_node_ref(0, 1, 2);
+  const NodeRef g = make_node_ref(0, 1, 3);
+  const std::uint32_t slot = cache.slot_for(Op::And, f, g);
+  cache.insert(slot, Op::And, f, g, kOne, 1);
+  EXPECT_EQ(cache.lookup(slot, Op::Or, f, g), nullptr);
+  EXPECT_EQ(cache.lookup(slot, Op::And, g, f), nullptr);
+  EXPECT_EQ(cache.lookup(slot, Op::And, f, kOne), nullptr);
+}
+
+TEST(ComputeCache, DirectMappedReplacementIsLossy) {
+  ComputeCache cache;
+  cache.init(8);
+  const NodeRef f = make_node_ref(0, 1, 2);
+  const NodeRef g = make_node_ref(0, 1, 3);
+  const std::uint32_t slot = cache.slot_for(Op::And, f, g);
+  cache.insert(slot, Op::And, f, g, kOne, 1);
+  // Any other operation mapping to the same slot evicts silently.
+  cache.insert(slot, Op::Or, g, f, kZero, 1);
+  EXPECT_EQ(cache.lookup(slot, Op::And, f, g), nullptr);
+  const auto* e = cache.lookup(slot, Op::Or, g, f);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->result, kZero);
+}
+
+TEST(ComputeCache, CompleteOverwritesOnlyMatchingOpEntry) {
+  ComputeCache cache;
+  cache.init(8);
+  const NodeRef f = make_node_ref(0, 1, 2);
+  const NodeRef g = make_node_ref(0, 1, 3);
+  const Ref op_ref = make_op_ref(0, 1, 5);
+  const std::uint32_t slot = cache.slot_for(Op::Xor, f, g);
+  cache.insert(slot, Op::Xor, f, g, op_ref, 7);
+  // Write-back with the right (op, f, g, op_ref) replaces the in-flight
+  // entry with the computed BDD.
+  const NodeRef result = make_node_ref(0, 1, 42);
+  cache.complete(slot, Op::Xor, f, g, op_ref, result);
+  const auto* e = cache.lookup(slot, Op::Xor, f, g);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->result, result);
+
+  // A stale write-back (entry since replaced) must not clobber.
+  cache.insert(slot, Op::And, f, g, kOne, 7);
+  cache.complete(slot, Op::Xor, f, g, op_ref, kZero);
+  const auto* e2 = cache.lookup(slot, Op::And, f, g);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->result, kOne);
+}
+
+TEST(ComputeCache, GenerationTagTravelsWithEntry) {
+  ComputeCache cache;
+  cache.init(8);
+  const NodeRef f = make_node_ref(0, 1, 2);
+  const NodeRef g = make_node_ref(0, 1, 3);
+  const Ref op_ref = make_op_ref(0, 1, 5);
+  const std::uint32_t slot = cache.slot_for(Op::And, f, g);
+  cache.insert(slot, Op::And, f, g, op_ref, 3);
+  const auto* e = cache.lookup(slot, Op::And, f, g);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->generation, 3u);
+  EXPECT_TRUE(is_op(e->result));
+  // The consumer (Worker::preprocess) compares generations; the cache just
+  // stores the tag faithfully.
+}
+
+TEST(ComputeCache, FlushInvalidatesEverything) {
+  ComputeCache cache;
+  cache.init(6);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const NodeRef f = make_node_ref(0, 1, i);
+    const std::uint32_t slot = cache.slot_for(Op::And, f, f);
+    cache.insert(slot, Op::And, f, f, kOne, 1);
+  }
+  cache.flush();
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const NodeRef f = make_node_ref(0, 1, i);
+    const std::uint32_t slot = cache.slot_for(Op::And, f, f);
+    EXPECT_EQ(cache.lookup(slot, Op::And, f, f), nullptr);
+  }
+}
+
+TEST(ComputeCache, BytesReflectConfiguredSize) {
+  ComputeCache small, large;
+  small.init(4);
+  large.init(10);
+  EXPECT_LT(small.bytes(), large.bytes());
+  EXPECT_EQ(large.bytes(), (1u << 10) * sizeof(ComputeCache::Entry));
+}
+
+}  // namespace
+}  // namespace pbdd

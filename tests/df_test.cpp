@@ -1,0 +1,189 @@
+// Depth-first baseline package: truth-table correctness, canonicity,
+// computed-cache behaviour, and the reference-counting free-list collector.
+#include <gtest/gtest.h>
+
+#include "df/df_manager.hpp"
+#include "oracle.hpp"
+
+namespace pbdd {
+namespace {
+
+using df::DfBdd;
+using df::DfManager;
+using test::ExprProgram;
+using test::TruthTable64;
+
+void expect_matches_truth(DfManager& mgr, const DfBdd& f,
+                          const TruthTable64& truth) {
+  const unsigned n = truth.num_vars();
+  for (unsigned i = 0; i < (1u << n); ++i) {
+    std::vector<bool> assignment(mgr.num_vars(), false);
+    for (unsigned v = 0; v < n; ++v) assignment[v] = (i >> v) & 1;
+    ASSERT_EQ(mgr.eval(f, assignment), truth.eval(i));
+  }
+}
+
+TEST(Df, TerminalsAndVars) {
+  DfManager mgr(3);
+  EXPECT_EQ(mgr.zero().ref(), df::kZero);
+  EXPECT_EQ(mgr.one().ref(), df::kOne);
+  const DfBdd x = mgr.var(1);
+  EXPECT_EQ(mgr.var_of(x.ref()), 1u);
+  EXPECT_EQ(mgr.low_of(x.ref()), df::kZero);
+  EXPECT_EQ(mgr.high_of(x.ref()), df::kOne);
+  EXPECT_EQ(mgr.var(1), x) << "canonical";
+}
+
+TEST(Df, RandomProgramsMatchTruthTables) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ExprProgram program = ExprProgram::random(5, 50, seed);
+    const auto truths = program.eval_truth();
+    DfManager mgr(5);
+    const auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+    for (std::size_t k = 0; k < bdds.size(); ++k) {
+      expect_matches_truth(mgr, bdds[k], truths[k]);
+    }
+  }
+}
+
+TEST(Df, ReducednessInvariant) {
+  // x XOR x = 0 exercises the res0 == res1 reduction path.
+  DfManager mgr(4);
+  const DfBdd x = mgr.var(0);
+  EXPECT_TRUE(mgr.apply(Op::Xor, x, x).ref() == df::kZero);
+  EXPECT_TRUE(mgr.apply(Op::Xnor, x, x).ref() == df::kOne);
+  // ITE(c, t, t) = t regardless of c.
+  const DfBdd c = mgr.var(1);
+  const DfBdd t = mgr.apply(Op::And, mgr.var(2), mgr.var(3));
+  EXPECT_EQ(mgr.ite(c, t, t), t);
+}
+
+TEST(Df, IteMatchesDefinition) {
+  DfManager mgr(6);
+  const ExprProgram program = ExprProgram::random(6, 20, 3);
+  const auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+  const DfBdd& c = bdds[17];
+  const DfBdd& t = bdds[18];
+  const DfBdd& e = bdds[19];
+  const DfBdd via_ite = mgr.ite(c, t, e);
+  const DfBdd manual = mgr.apply(
+      Op::Or, mgr.apply(Op::And, c, t), mgr.apply(Op::Diff, e, c));
+  EXPECT_EQ(via_ite, manual);
+}
+
+TEST(Df, GcReclaimsDeadAndPreservesLive) {
+  df::DfConfig config;
+  config.auto_gc = false;
+  DfManager mgr(8, config);
+  DfBdd keeper;
+  std::size_t live_with_garbage;
+  {
+    const ExprProgram program = ExprProgram::random(8, 120, 11);
+    auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+    keeper = bdds[60];
+    live_with_garbage = mgr.live_nodes();
+  }
+  EXPECT_GT(mgr.dead_nodes(), 0u);
+  const std::size_t reclaimed = mgr.gc();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_LT(mgr.live_nodes(), live_with_garbage);
+  EXPECT_EQ(mgr.dead_nodes(), 0u);
+  // Keeper still evaluates correctly (spot check a few assignments).
+  EXPECT_NO_THROW({
+    std::vector<bool> a(8, false);
+    (void)mgr.eval(keeper, a);
+  });
+  // Free-list reuse: new nodes fill reclaimed slots, the arena stays flat.
+  const std::size_t slots_before = mgr.allocated_slots();
+  const ExprProgram program2 = ExprProgram::random(8, 40, 12);
+  auto bdds2 = program2.eval_engine<DfManager, DfBdd>(mgr);
+  EXPECT_EQ(mgr.allocated_slots(), slots_before)
+      << "expected allocation from the free list, not arena growth";
+}
+
+TEST(Df, ResurrectionThroughCacheIsSafe) {
+  df::DfConfig config;
+  config.auto_gc = false;
+  DfManager mgr(4, config);
+  const DfBdd x0 = mgr.var(0);
+  const DfBdd x1 = mgr.var(1);
+  df::Ref dead_ref;
+  {
+    const DfBdd f = mgr.apply(Op::And, x0, x1);
+    dead_ref = f.ref();
+  }
+  EXPECT_GT(mgr.dead_nodes(), 0u);
+  // Recompute the same operation: the cache hit resurrects the dead node.
+  const DfBdd again = mgr.apply(Op::And, x0, x1);
+  EXPECT_EQ(again.ref(), dead_ref);
+  EXPECT_EQ(mgr.dead_nodes(), 0u);
+}
+
+TEST(Df, AutoGcTriggers) {
+  df::DfConfig config;
+  config.auto_gc = true;
+  config.auto_gc_dead_fraction = 0.25;
+  DfManager mgr(12, config);
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const ExprProgram program = ExprProgram::random(12, 40, seed);
+    auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+  }
+  EXPECT_GT(mgr.stats().gc_runs, 0u);
+  EXPECT_GT(mgr.stats().nodes_reclaimed, 0u);
+}
+
+TEST(Df, StatsCountOpsAndCacheHits) {
+  DfManager mgr(6);
+  const ExprProgram program = ExprProgram::random(6, 40, 5);
+  auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+  const df::DfStats& s = mgr.stats();
+  EXPECT_GT(s.ops_performed, 0u);
+  EXPECT_GT(s.cache_lookups, s.cache_hits);
+  EXPECT_GT(s.cache_hits, 0u);
+  EXPECT_GT(s.nodes_created, 0u);
+}
+
+TEST(Df, SatCountMatchesBruteForce) {
+  DfManager mgr(5);
+  const ExprProgram program = ExprProgram::random(5, 30, 17);
+  const auto truths = program.eval_truth();
+  const auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+  for (std::size_t k = 0; k < bdds.size(); ++k) {
+    unsigned expect = 0;
+    for (unsigned i = 0; i < 32; ++i) expect += truths[k].eval(i);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(bdds[k]), static_cast<double>(expect));
+  }
+}
+
+TEST(Df, SatOneFindsSatisfyingAssignment) {
+  DfManager mgr(5);
+  const ExprProgram program = ExprProgram::random(5, 30, 19);
+  const auto bdds = program.eval_engine<DfManager, DfBdd>(mgr);
+  for (const DfBdd& f : bdds) {
+    const auto assignment = mgr.sat_one(f);
+    if (f.ref() == df::kZero) {
+      EXPECT_FALSE(assignment.has_value());
+      continue;
+    }
+    ASSERT_TRUE(assignment.has_value());
+    std::vector<bool> concrete(5, false);
+    for (unsigned v = 0; v < 5; ++v) {
+      concrete[v] = (*assignment)[v] == 1;  // don't-cares default to 0
+    }
+    EXPECT_TRUE(mgr.eval(f, concrete));
+  }
+}
+
+TEST(Df, SupportIsExact) {
+  DfManager mgr(6);
+  // f = x1 AND (x3 XOR x5): support {1,3,5}
+  const DfBdd f = mgr.apply(Op::And, mgr.var(1),
+                            mgr.apply(Op::Xor, mgr.var(3), mgr.var(5)));
+  EXPECT_EQ(mgr.support(f), (std::vector<unsigned>{1, 3, 5}));
+  // x XOR x vanishes from the support entirely.
+  const DfBdd g = mgr.apply(Op::Xor, f, f);
+  EXPECT_TRUE(mgr.support(g).empty());
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,134 @@
+// Fold helpers (balanced batched reductions) and the export utilities
+// (DOT output, deterministic dumps, statistics report).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bdd_manager.hpp"
+#include "core/export.hpp"
+#include "core/fold.hpp"
+#include "oracle.hpp"
+
+namespace pbdd {
+namespace {
+
+using core::Bdd;
+using core::BddManager;
+using test::ExprProgram;
+
+TEST(Fold, MatchesLeftFoldForAllOperators) {
+  BddManager mgr(8);
+  const ExprProgram program = ExprProgram::random(8, 30, 41);
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  const std::vector<Bdd> operands(bdds.begin() + 5, bdds.begin() + 18);
+  for (const Op op : {Op::And, Op::Or, Op::Xor}) {
+    Bdd expect = operands[0];
+    for (std::size_t i = 1; i < operands.size(); ++i) {
+      expect = mgr.apply(op, expect, operands[i]);
+    }
+    EXPECT_EQ(core::fold_balanced(mgr, op, operands).ref(), expect.ref())
+        << op_name(op);
+  }
+}
+
+TEST(Fold, IdentitiesOnEmptyAndSingleton) {
+  BddManager mgr(4);
+  EXPECT_TRUE(core::and_all(mgr, {}).is_one());
+  EXPECT_TRUE(core::or_all(mgr, {}).is_zero());
+  EXPECT_TRUE(core::xor_all(mgr, {}).is_zero());
+  const Bdd x = mgr.var(2);
+  const std::vector<Bdd> one_item{x};
+  EXPECT_EQ(core::and_all(mgr, one_item).ref(), x.ref());
+}
+
+TEST(Fold, RejectsNonAssociativeOperator) {
+  BddManager mgr(4);
+  const std::vector<Bdd> operands{mgr.var(0), mgr.var(1)};
+  EXPECT_THROW((void)core::fold_balanced(mgr, Op::Diff, operands),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::fold_balanced(mgr, Op::Nand, operands),
+               std::invalid_argument);
+}
+
+TEST(Fold, ParallelFoldMatchesSequential) {
+  core::Config par;
+  par.workers = 3;
+  par.eval_threshold = 32;
+  BddManager seq(10), parallel(10, par);
+  std::size_t counts[2];
+  int k = 0;
+  for (BddManager* mgr : {&seq, &parallel}) {
+    std::vector<Bdd> literals;
+    for (unsigned i = 0; i < 10; ++i) {
+      literals.push_back(mgr->apply(Op::Xor, mgr->var(i),
+                                    mgr->var((i + 3) % 10)));
+    }
+    counts[k++] = mgr->node_count(core::and_all(*mgr, literals));
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(Export, DotContainsSharedSubgraphOnce) {
+  BddManager mgr(3);
+  // g = x0 OR (x1 AND x2): its else-branch is exactly f's root node, so f's
+  // subgraph is shared and must be emitted once.
+  const Bdd f = mgr.apply(Op::And, mgr.var(1), mgr.var(2));
+  const Bdd g = mgr.apply(Op::Or, mgr.var(0), f);
+  const std::string dot = core::to_dot(mgr, {f, g}, {"f", "g"});
+  EXPECT_NE(dot.find("digraph bdd"), std::string::npos);
+  EXPECT_NE(dot.find("\"f\""), std::string::npos);
+  EXPECT_NE(dot.find("\"g\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // f is a subgraph of g; its AND node must be emitted exactly once.
+  const std::string label = "[label=\"x1\"]";
+  std::size_t occurrences = 0;
+  for (std::size_t pos = dot.find(label); pos != std::string::npos;
+       pos = dot.find(label, pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST(Export, DotUsesCustomVariableNames) {
+  BddManager mgr(2);
+  const Bdd f = mgr.apply(Op::And, mgr.var(0), mgr.var(1));
+  const std::string dot =
+      core::to_dot(mgr, {f}, {"and"}, {"req", "grant"});
+  EXPECT_NE(dot.find("\"req\""), std::string::npos);
+  EXPECT_NE(dot.find("\"grant\""), std::string::npos);
+}
+
+TEST(Export, DumpIsDeterministicAndDistinguishes) {
+  BddManager mgr(5);
+  const ExprProgram program = ExprProgram::random(5, 25, 31);
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  const std::string d1 = core::dump_function(mgr, bdds[20]);
+  const std::string d2 = core::dump_function(mgr, bdds[20]);
+  EXPECT_EQ(d1, d2);
+  // Two different functions should dump differently (node ids are local,
+  // so equal dumps would mean isomorphic graphs).
+  const std::string other = core::dump_function(mgr, bdds[19]);
+  if (!(bdds[19] == bdds[20])) {
+    EXPECT_NE(d1, other);
+  }
+  // Terminal dumps.
+  EXPECT_EQ(core::dump_function(mgr, mgr.one()), "root = 1\n");
+  EXPECT_EQ(core::dump_function(mgr, mgr.zero()), "root = 0\n");
+}
+
+TEST(Export, StatsReportMentionsKeyCounters) {
+  core::Config config;
+  config.workers = 2;
+  BddManager mgr(6, config);
+  const ExprProgram program = ExprProgram::random(6, 40, 3);
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  std::ostringstream out;
+  core::write_stats(out, mgr);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("workers:            2"), std::string::npos);
+  EXPECT_NE(text.find("shannon operations"), std::string::npos);
+  EXPECT_NE(text.find("worker 1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,96 @@
+// Benchmark harness plumbing: CLI parsing, workload resolution, and the
+// run_build measurement contract (every figure harness builds on these).
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace pbdd {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(HarnessCli, DefaultsApply) {
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  const bench::Cli cli =
+      bench::parse_cli(static_cast<int>(argv.size()), argv.data(),
+                       {"mult-8"});
+  EXPECT_EQ(cli.circuit_specs, std::vector<std::string>{"mult-8"});
+  EXPECT_EQ(cli.thread_counts, (std::vector<unsigned>{1, 2, 4, 8}));
+  EXPECT_TRUE(cli.include_seq);
+  EXPECT_FALSE(cli.csv);
+}
+
+TEST(HarnessCli, ParsesEveryFlag) {
+  std::vector<std::string> args{
+      "prog",        "--circuits", "mult-6,c17", "--threads", "2,3",
+      "--no-seq",    "--threshold", "1234",      "--group",   "77",
+      "--cache-log2", "12",         "--gc-min",  "4096",      "--csv"};
+  auto argv = argv_of(args);
+  const bench::Cli cli =
+      bench::parse_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.circuit_specs, (std::vector<std::string>{"mult-6", "c17"}));
+  EXPECT_EQ(cli.thread_counts, (std::vector<unsigned>{2, 3}));
+  EXPECT_FALSE(cli.include_seq);
+  EXPECT_EQ(cli.eval_threshold, 1234u);
+  EXPECT_EQ(cli.group_size, 77u);
+  EXPECT_EQ(cli.cache_log2, 12u);
+  EXPECT_EQ(cli.gc_min_nodes, 4096u);
+  EXPECT_TRUE(cli.csv);
+}
+
+TEST(HarnessWorkload, ResolvesGeneratorSpecs) {
+  for (const char* spec :
+       {"c2670s", "c3540s", "c17", "mult-6", "alu-4", "cmp-8", "add-8",
+        "par-8", "rand-3"}) {
+    const bench::Workload w = bench::make_workload(spec);
+    EXPECT_GT(w.num_vars, 0u) << spec;
+    EXPECT_EQ(w.order.size(), w.num_vars) << spec;
+    // Binarized for the builder.
+    for (std::uint32_t id = 0; id < w.binarized.num_gates(); ++id) {
+      ASSERT_LE(w.binarized.gate(id).fanins.size(), 2u) << spec;
+    }
+  }
+  EXPECT_THROW((void)bench::make_workload("nonsense"), std::runtime_error);
+}
+
+TEST(HarnessRun, MeasurementContract) {
+  const bench::Workload w = bench::make_workload("mult-6");
+  core::Config config;
+  config.workers = 2;
+  const bench::RunResult a = bench::run_build(w, config);
+  EXPECT_GT(a.elapsed_s, 0.0);
+  EXPECT_GT(a.peak_mb, 0.0);
+  EXPECT_GT(a.total_ops, 0u);
+  EXPECT_GT(a.final_live_nodes, 0u);
+  // The checksum is a pure function of the workload (canonicity), so a
+  // sequential rebuild must reproduce it.
+  core::Config seq;
+  seq.workers = 1;
+  seq.sequential_mode = true;
+  const bench::RunResult b = bench::run_build(w, seq);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.final_live_nodes, b.final_live_nodes);
+}
+
+TEST(HarnessConfig, SequentialAndParallelLabels) {
+  std::vector<std::string> args{"prog"};
+  auto argv = argv_of(args);
+  const bench::Cli cli =
+      bench::parse_cli(static_cast<int>(argv.size()), argv.data());
+  const core::Config seq = bench::config_for(cli, 1, true);
+  EXPECT_TRUE(seq.sequential_mode);
+  EXPECT_EQ(bench::config_label(seq), "Seq");
+  const core::Config par = bench::config_for(cli, 4, false);
+  EXPECT_FALSE(par.sequential_mode);
+  EXPECT_EQ(par.workers, 4u);
+  EXPECT_EQ(bench::config_label(par), "4");
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,167 @@
+// Packed reference encoding, terminal-case rules, and operator metadata.
+#include <gtest/gtest.h>
+
+#include "common/op.hpp"
+#include "core/node.hpp"
+#include "core/ref.hpp"
+
+namespace pbdd {
+namespace {
+
+using namespace pbdd::core;
+
+TEST(Ref, TerminalsAreDistinctAndUntagged) {
+  EXPECT_TRUE(is_terminal(kZero));
+  EXPECT_TRUE(is_terminal(kOne));
+  EXPECT_FALSE(is_internal(kZero));
+  EXPECT_FALSE(is_op(kZero));
+  EXPECT_TRUE(is_bdd(kZero));
+  EXPECT_EQ(level_of(kZero), kTermLevel);
+  EXPECT_EQ(level_of(kOne), kTermLevel);
+}
+
+TEST(Ref, RoundTripsAllFields) {
+  for (const unsigned worker : {0u, 1u, 13u, 16383u}) {
+    for (const unsigned var : {0u, 7u, 65534u}) {
+      for (const std::uint32_t slot : {0u, 1u, 0xFFFFFFFFu}) {
+        const Ref node = make_node_ref(worker, var, slot);
+        EXPECT_TRUE(is_internal(node));
+        EXPECT_FALSE(is_op(node));
+        EXPECT_FALSE(is_terminal(node));
+        EXPECT_EQ(worker_of(node), worker);
+        EXPECT_EQ(var_of(node), var);
+        EXPECT_EQ(slot_of(node), slot);
+        EXPECT_EQ(level_of(node), var);
+
+        const Ref op = make_op_ref(worker, var, slot);
+        EXPECT_TRUE(is_op(op));
+        EXPECT_FALSE(is_bdd(op));
+        EXPECT_EQ(worker_of(op), worker);
+        EXPECT_EQ(var_of(op), var);
+        EXPECT_EQ(slot_of(op), slot);
+      }
+    }
+  }
+}
+
+TEST(Ref, WithSlotPreservesOtherFields) {
+  const Ref r = make_node_ref(5, 9, 1234);
+  const Ref moved = with_slot(r, 77);
+  EXPECT_EQ(worker_of(moved), 5u);
+  EXPECT_EQ(var_of(moved), 9u);
+  EXPECT_EQ(slot_of(moved), 77u);
+  EXPECT_TRUE(is_internal(moved));
+}
+
+TEST(Ref, RefsAreUniqueAcrossFields) {
+  // Distinct (worker, var, slot) triples and tags yield distinct values.
+  EXPECT_NE(make_node_ref(0, 0, 0), kZero);
+  EXPECT_NE(make_node_ref(0, 0, 0), kOne);
+  EXPECT_NE(make_node_ref(0, 0, 0), make_node_ref(0, 0, 1));
+  EXPECT_NE(make_node_ref(0, 0, 0), make_node_ref(0, 1, 0));
+  EXPECT_NE(make_node_ref(0, 0, 0), make_node_ref(1, 0, 0));
+  EXPECT_NE(make_node_ref(0, 0, 0), make_op_ref(0, 0, 0));
+  EXPECT_NE(make_node_ref(2, 3, 4), kInvalid);
+}
+
+TEST(Op, ApplyBitsTruthTables) {
+  struct Case {
+    Op op;
+    bool ff, ft, tf, tt;
+  };
+  const Case cases[] = {
+      {Op::And, false, false, false, true},
+      {Op::Or, false, true, true, true},
+      {Op::Xor, false, true, true, false},
+      {Op::Nand, true, true, true, false},
+      {Op::Nor, true, false, false, false},
+      {Op::Xnor, true, false, false, true},
+      {Op::Diff, false, false, true, false},
+      {Op::Implies, true, true, false, true},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(apply_bits(c.op, false, false), c.ff) << op_name(c.op);
+    EXPECT_EQ(apply_bits(c.op, false, true), c.ft) << op_name(c.op);
+    EXPECT_EQ(apply_bits(c.op, true, false), c.tf) << op_name(c.op);
+    EXPECT_EQ(apply_bits(c.op, true, true), c.tt) << op_name(c.op);
+  }
+}
+
+TEST(Op, CommutativityFlags) {
+  EXPECT_TRUE(op_commutative(Op::And));
+  EXPECT_TRUE(op_commutative(Op::Or));
+  EXPECT_TRUE(op_commutative(Op::Xor));
+  EXPECT_TRUE(op_commutative(Op::Nand));
+  EXPECT_TRUE(op_commutative(Op::Nor));
+  EXPECT_TRUE(op_commutative(Op::Xnor));
+  EXPECT_FALSE(op_commutative(Op::Diff));
+  EXPECT_FALSE(op_commutative(Op::Implies));
+}
+
+// Terminal-case rules must be sound (they may be incomplete — returning
+// invalid just means "expand" — but a returned result must agree with the
+// semantics on every completion of the operands).
+TEST(Op, TerminalCasesAreSoundOnConstants) {
+  const Ref zero = kZero, one = kOne, invalid = kInvalid;
+  for (unsigned o = 0; o < kNumOps; ++o) {
+    const Op op = static_cast<Op>(o);
+    for (const Ref f : {zero, one}) {
+      for (const Ref g : {zero, one}) {
+        const Ref r = terminal_case<Ref>(op, f, g, zero, one, invalid);
+        ASSERT_NE(r, invalid) << "constants must always simplify";
+        EXPECT_EQ(r == one, apply_bits(op, f == one, g == one))
+            << op_name(op);
+      }
+    }
+  }
+}
+
+TEST(Op, TerminalCasesSoundOnIdenticalOperands) {
+  // f op f must simplify only to f, 0, or 1 consistent with the operator.
+  const Ref zero = kZero, one = kOne, invalid = kInvalid;
+  const Ref f = make_node_ref(0, 3, 17);
+  for (unsigned o = 0; o < kNumOps; ++o) {
+    const Op op = static_cast<Op>(o);
+    const Ref r = terminal_case<Ref>(op, f, f, zero, one, invalid);
+    if (r == invalid) continue;  // incomplete is fine
+    // For both possible valuations b of f, result must equal op(b, b).
+    for (const bool b : {false, true}) {
+      const bool expect = apply_bits(op, b, b);
+      const bool got = (r == f) ? b : (r == one);
+      EXPECT_EQ(got, expect) << op_name(op) << " b=" << b;
+    }
+  }
+}
+
+TEST(Op, TerminalCasesSoundWithOneConstant) {
+  const Ref zero = kZero, one = kOne, invalid = kInvalid;
+  const Ref f = make_node_ref(0, 2, 5);
+  for (unsigned o = 0; o < kNumOps; ++o) {
+    const Op op = static_cast<Op>(o);
+    for (const Ref constant : {zero, one}) {
+      for (const bool const_on_left : {false, true}) {
+        const Ref lhs = const_on_left ? constant : f;
+        const Ref rhs = const_on_left ? f : constant;
+        const Ref r = terminal_case<Ref>(op, lhs, rhs, zero, one, invalid);
+        if (r == invalid) continue;
+        for (const bool b : {false, true}) {
+          const bool lv = const_on_left ? (constant == one) : b;
+          const bool rv = const_on_left ? b : (constant == one);
+          const bool expect = apply_bits(op, lv, rv);
+          const bool got = (r == f) ? b : (r == one);
+          EXPECT_EQ(got, expect)
+              << op_name(op) << " const=" << (constant == one)
+              << " left=" << const_on_left << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(Node, LayoutIsCompact) {
+  EXPECT_EQ(sizeof(core::BddNode), 32u);
+  EXPECT_LE(sizeof(core::OpNode), 64u);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,125 @@
+// Shared test oracles: brute-force truth tables over a small number of
+// variables, plus a deterministic random-expression generator used to
+// cross-check every construction engine against ground truth and against
+// each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/op.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd::test {
+
+/// A Boolean function of up to 6 variables as a 64-bit truth table
+/// (bit i = value under the assignment encoded by i, variable v = bit v of
+/// i). Enough for exhaustive small-function checks.
+class TruthTable64 {
+ public:
+  static TruthTable64 input(unsigned v, unsigned num_vars) {
+    TruthTable64 t(num_vars);
+    for (unsigned i = 0; i < (1u << num_vars); ++i) {
+      if (i & (1u << v)) t.bits_ |= std::uint64_t{1} << i;
+    }
+    return t;
+  }
+
+  static TruthTable64 constant(bool value, unsigned num_vars) {
+    TruthTable64 t(num_vars);
+    t.bits_ = value ? t.mask() : 0;
+    return t;
+  }
+
+  TruthTable64 apply(Op op, const TruthTable64& other) const {
+    TruthTable64 t(num_vars_);
+    for (unsigned i = 0; i < (1u << num_vars_); ++i) {
+      const bool a = (bits_ >> i) & 1;
+      const bool b = (other.bits_ >> i) & 1;
+      if (apply_bits(op, a, b)) t.bits_ |= std::uint64_t{1} << i;
+    }
+    return t;
+  }
+
+  [[nodiscard]] bool eval(unsigned assignment_index) const {
+    return (bits_ >> assignment_index) & 1;
+  }
+
+  [[nodiscard]] unsigned num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+
+  friend bool operator==(const TruthTable64& a,
+                         const TruthTable64& b) = default;
+
+ private:
+  explicit TruthTable64(unsigned num_vars) : num_vars_(num_vars) {}
+
+  [[nodiscard]] std::uint64_t mask() const {
+    const unsigned n = 1u << num_vars_;
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  }
+
+  unsigned num_vars_;
+  std::uint64_t bits_ = 0;
+};
+
+/// A random Boolean expression as a flat program: each step combines two
+/// previous results (or leaf variables) with a random operator. Every engine
+/// under test interprets the same program, so results are comparable.
+struct ExprProgram {
+  struct Step {
+    Op op;
+    // Operand encoding: 0..num_vars-1 = variable, then num_vars+k = result
+    // of step k.
+    unsigned lhs;
+    unsigned rhs;
+  };
+  unsigned num_vars;
+  std::vector<Step> steps;
+
+  static ExprProgram random(unsigned num_vars, unsigned num_steps,
+                            std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    ExprProgram p;
+    p.num_vars = num_vars;
+    p.steps.reserve(num_steps);
+    for (unsigned k = 0; k < num_steps; ++k) {
+      const unsigned universe = num_vars + k;
+      p.steps.push_back(Step{
+          static_cast<Op>(rng.below(kNumOps)),
+          static_cast<unsigned>(rng.below(universe)),
+          static_cast<unsigned>(rng.below(universe)),
+      });
+    }
+    return p;
+  }
+
+  /// Evaluate the whole program on truth tables; returns the per-step
+  /// results (the final step is the program's "output").
+  [[nodiscard]] std::vector<TruthTable64> eval_truth() const {
+    std::vector<TruthTable64> env;
+    env.reserve(num_vars + steps.size());
+    for (unsigned v = 0; v < num_vars; ++v) {
+      env.push_back(TruthTable64::input(v, num_vars));
+    }
+    for (const Step& s : steps) {
+      env.push_back(env[s.lhs].apply(s.op, env[s.rhs]));
+    }
+    return {env.begin() + num_vars, env.end()};
+  }
+
+  /// Evaluate through any BDD-like engine. `Engine` must provide types and
+  /// methods: Handle var(unsigned), Handle apply(Op, Handle, Handle).
+  template <typename Engine, typename Handle>
+  std::vector<Handle> eval_engine(Engine& engine) const {
+    std::vector<Handle> env;
+    env.reserve(num_vars + steps.size());
+    for (unsigned v = 0; v < num_vars; ++v) env.push_back(engine.var(v));
+    for (const Step& s : steps) {
+      env.push_back(engine.apply(s.op, env[s.lhs], env[s.rhs]));
+    }
+    return {env.begin() + num_vars, env.end()};
+  }
+};
+
+}  // namespace pbdd::test

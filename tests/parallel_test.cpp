@@ -1,0 +1,213 @@
+// Parallel engine stress: work stealing, stall-and-steal, deep context
+// nesting, batch distribution, and determinism of results (not of schedules)
+// across worker counts.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+#include "oracle.hpp"
+
+namespace pbdd {
+namespace {
+
+using core::BatchOp;
+using core::Bdd;
+using core::BddManager;
+using core::Config;
+using test::ExprProgram;
+
+Config stress_config(unsigned workers, std::uint64_t threshold,
+                     std::uint32_t group) {
+  Config c;
+  c.workers = workers;
+  c.eval_threshold = threshold;
+  c.group_size = group;
+  c.share_poll_interval = 16;  // aggressive hunger polling
+  c.gc_min_nodes = 1u << 30;
+  return c;
+}
+
+TEST(Parallel, LargeBatchAcrossWorkerCounts) {
+  // One batch of many independent mid-size operations: the main parallel
+  // distribution path. All configurations must produce identical functions.
+  const ExprProgram program = ExprProgram::random(6, 64, 2024);
+  std::vector<std::size_t> reference;
+  for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+    BddManager mgr(6, stress_config(workers, 32, 4));
+    std::vector<Bdd> env;
+    for (unsigned v = 0; v < 6; ++v) env.push_back(mgr.var(v));
+    // Issue the program as batches of independent operations, flushing
+    // whenever a step depends on a result still pending in the open batch.
+    std::vector<BatchOp> batch;
+    auto flush = [&] {
+      if (batch.empty()) return;
+      auto results = mgr.apply_batch(batch);
+      for (std::size_t k = 0; k < results.size(); ++k) {
+        env[env.size() - results.size() + k] = std::move(results[k]);
+      }
+      batch.clear();
+    };
+    for (const auto& s : program.steps) {
+      if (!env[s.lhs].valid() || !env[s.rhs].valid()) flush();
+      batch.push_back(BatchOp{s.op, env[s.lhs], env[s.rhs]});
+      env.push_back(Bdd{});  // placeholder, filled at the next flush
+      if (batch.size() == 8) flush();
+    }
+    flush();
+    std::vector<std::size_t> counts;
+    for (std::size_t k = 6; k < env.size(); ++k) {
+      counts.push_back(mgr.node_count(env[k]));
+    }
+    if (reference.empty()) {
+      reference = counts;
+    } else {
+      EXPECT_EQ(counts, reference) << workers << " workers";
+    }
+  }
+}
+
+TEST(Parallel, StealingActuallyHappensUnderTinyThresholds) {
+  const auto bin = circuit::multiplier(7).binarized();
+  const auto order = circuit::order_dfs(bin);
+  BddManager mgr(static_cast<unsigned>(bin.inputs().size()),
+                 stress_config(4, 64, 8));
+  const auto outputs = circuit::build_parallel(mgr, bin, order);
+  const auto stats = mgr.stats();
+  EXPECT_GT(stats.total.contexts_pushed, 0u);
+  EXPECT_GT(stats.total.groups_created, 0u);
+  // With 4 workers, tiny thresholds, and one-gate levels at the multiplier
+  // output ripple, idle workers must have stolen something.
+  EXPECT_GT(stats.total.groups_stolen + stats.total.groups_taken, 0u);
+  (void)outputs;
+}
+
+TEST(Parallel, StallAndStealPathIsExercised) {
+  // Force maximal theft: two workers, threshold 1, group size 1. Owners
+  // will routinely reach reduction with their operations stolen.
+  const ExprProgram program = ExprProgram::random(8, 40, 7);
+  BddManager mgr(8, stress_config(2, 1, 1));
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  BddManager oracle(8, stress_config(1, Config::kUnbounded, 64));
+  const auto expect = program.eval_engine<BddManager, Bdd>(oracle);
+  for (std::size_t k = 0; k < bdds.size(); ++k) {
+    EXPECT_EQ(mgr.node_count(bdds[k]), oracle.node_count(expect[k]));
+  }
+}
+
+TEST(Parallel, RepeatedBatchesReuseOperatorArenas) {
+  BddManager mgr(8, stress_config(2, 128, 16));
+  const ExprProgram program = ExprProgram::random(8, 30, 11);
+  auto first = program.eval_engine<BddManager, Bdd>(mgr);
+  const std::size_t bytes_after_first = mgr.bytes();
+  // Re-running the same program should reuse cached results and rewound
+  // operator blocks: memory must not balloon.
+  for (int round = 0; round < 5; ++round) {
+    auto again = program.eval_engine<BddManager, Bdd>(mgr);
+    for (std::size_t k = 0; k < again.size(); ++k) {
+      EXPECT_EQ(again[k].ref(), first[k].ref());
+    }
+  }
+  EXPECT_LE(mgr.bytes(), bytes_after_first * 2);
+}
+
+TEST(Parallel, EightWorkersOnOversubscribedHost) {
+  // More workers than hardware threads must still terminate and be correct
+  // (the batch-help loop and stall loops yield rather than spin forever).
+  const auto bin = circuit::alu(6).binarized();
+  const auto order = circuit::order_dfs(bin);
+  BddManager mgr(static_cast<unsigned>(bin.inputs().size()),
+                 stress_config(8, 256, 32));
+  const auto outputs = circuit::build_parallel(mgr, bin, order);
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < bin.inputs().size(); ++i) {
+      in.push_back(rng.coin());
+    }
+    const auto expect = bin.simulate(in);
+    std::vector<bool> assignment(mgr.num_vars(), false);
+    for (std::size_t i = 0; i < in.size(); ++i) assignment[order[i]] = in[i];
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      ASSERT_EQ(mgr.eval(outputs[o], assignment), expect[o]);
+    }
+  }
+}
+
+TEST(Parallel, OperationCountsGrowOnlyMildlyWithWorkers) {
+  // Fig. 11's property: unshared caches duplicate some work, but not much.
+  const auto bin = circuit::multiplier(7).binarized();
+  const auto order = circuit::order_dfs(bin);
+  std::uint64_t ops1 = 0;
+  for (const unsigned workers : {1u, 4u}) {
+    Config c = stress_config(workers, 1u << 12, 256);
+    BddManager mgr(static_cast<unsigned>(bin.inputs().size()), c);
+    const auto outputs = circuit::build_parallel(mgr, bin, order);
+    const std::uint64_t ops = mgr.stats().total.ops_performed;
+    if (workers == 1) {
+      ops1 = ops;
+    } else {
+      EXPECT_LT(ops, ops1 * 2) << "duplication should be bounded";
+      EXPECT_GE(ops, ops1) << "parallel run cannot do less work";
+    }
+    (void)outputs;
+  }
+}
+
+TEST(Parallel, HandlesTerminalHeavyBatches) {
+  BddManager mgr(4, stress_config(3, 4, 2));
+  const Bdd x = mgr.var(0);
+  std::vector<BatchOp> batch;
+  batch.push_back(BatchOp{Op::And, mgr.zero(), x});      // 0
+  batch.push_back(BatchOp{Op::Or, mgr.one(), x});        // 1
+  batch.push_back(BatchOp{Op::Xor, x, x});               // 0
+  batch.push_back(BatchOp{Op::And, x, x});               // x
+  batch.push_back(BatchOp{Op::Implies, mgr.zero(), x});  // 1
+  const auto results = mgr.apply_batch(batch);
+  EXPECT_TRUE(results[0].is_zero());
+  EXPECT_TRUE(results[1].is_one());
+  EXPECT_TRUE(results[2].is_zero());
+  EXPECT_EQ(results[3].ref(), x.ref());
+  EXPECT_TRUE(results[4].is_one());
+}
+
+TEST(Parallel, EmptyBatchIsANoop) {
+  BddManager mgr(4, stress_config(2, 64, 8));
+  const auto results = mgr.apply_batch({});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Parallel, RejectsInvalidBatchOperands) {
+  BddManager mgr(4, stress_config(2, 64, 8));
+  BddManager other(4);
+  const Bdd x = mgr.var(0);
+  const Bdd foreign = other.var(0);
+  std::vector<BatchOp> empty_operand;
+  empty_operand.push_back(BatchOp{Op::And, x, Bdd{}});
+  EXPECT_THROW((void)mgr.apply_batch(empty_operand), std::invalid_argument);
+  std::vector<BatchOp> cross_manager;
+  cross_manager.push_back(BatchOp{Op::And, x, foreign});
+  EXPECT_THROW((void)mgr.apply_batch(cross_manager), std::invalid_argument);
+}
+
+TEST(Parallel, HybridOverflowMatchesContextStackResults) {
+  const auto bin = circuit::multiplier(6).binarized();
+  const auto order = circuit::order_dfs(bin);
+  std::vector<std::size_t> counts[2];
+  int k = 0;
+  for (const core::OverflowPolicy policy :
+       {core::OverflowPolicy::kContextStack,
+        core::OverflowPolicy::kDepthFirst}) {
+    Config c = stress_config(2, 1u << 9, 64);
+    c.overflow = policy;
+    BddManager mgr(static_cast<unsigned>(bin.inputs().size()), c);
+    const auto outputs = circuit::build_parallel(mgr, bin, order);
+    for (const auto& o : outputs) counts[k].push_back(mgr.node_count(o));
+    ++k;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,183 @@
+// Cofactor, quantification, composition, and the query operations of both
+// packages, checked against brute force on small functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bdd_manager.hpp"
+#include "df/df_manager.hpp"
+#include "oracle.hpp"
+
+namespace pbdd {
+namespace {
+
+using core::Bdd;
+using core::BddManager;
+using df::DfBdd;
+using df::DfManager;
+using test::ExprProgram;
+using test::TruthTable64;
+
+constexpr unsigned kVars = 5;
+
+std::vector<bool> assignment_from_index(unsigned i, unsigned total_vars) {
+  std::vector<bool> a(total_vars, false);
+  for (unsigned v = 0; v < total_vars; ++v) a[v] = (i >> v) & 1;
+  return a;
+}
+
+class QuantifyBoth : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantifyBoth, RestrictAgainstBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const ExprProgram program = ExprProgram::random(kVars, 30, seed);
+  const auto truths = program.eval_truth();
+  const TruthTable64& truth = truths.back();
+
+  BddManager core_mgr(kVars);
+  DfManager df_mgr(kVars);
+  const Bdd cf = program.eval_engine<BddManager, Bdd>(core_mgr).back();
+  const DfBdd df = program.eval_engine<DfManager, DfBdd>(df_mgr).back();
+
+  for (unsigned v = 0; v < kVars; ++v) {
+    for (const bool value : {false, true}) {
+      const Bdd core_r = core_mgr.restrict_(cf, v, value);
+      const DfBdd df_r = df_mgr.restrict_(df, v, value);
+      for (unsigned i = 0; i < (1u << kVars); ++i) {
+        auto a = assignment_from_index(i, kVars);
+        auto forced = a;
+        forced[v] = value;
+        unsigned fi = 0;
+        for (unsigned k = 0; k < kVars; ++k) fi |= (forced[k] ? 1u : 0u) << k;
+        EXPECT_EQ(core_mgr.eval(core_r, a), truth.eval(fi));
+        EXPECT_EQ(df_mgr.eval(df_r, a), truth.eval(fi));
+      }
+    }
+  }
+}
+
+TEST_P(QuantifyBoth, ExistsForallAgainstBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const ExprProgram program = ExprProgram::random(kVars, 30, seed + 100);
+  const auto truth = program.eval_truth().back();
+
+  BddManager core_mgr(kVars);
+  DfManager df_mgr(kVars);
+  const Bdd cf = program.eval_engine<BddManager, Bdd>(core_mgr).back();
+  const DfBdd df = program.eval_engine<DfManager, DfBdd>(df_mgr).back();
+
+  const std::vector<std::vector<unsigned>> var_sets{
+      {0}, {2, 4}, {0, 1, 3}, {0, 1, 2, 3, 4}};
+  for (const auto& vars : var_sets) {
+    const Bdd ce = core_mgr.exists(cf, vars);
+    const Bdd ca = core_mgr.forall(cf, vars);
+    const DfBdd de = df_mgr.exists(df, vars);
+    const DfBdd da = df_mgr.forall(df, vars);
+    for (unsigned i = 0; i < (1u << kVars); ++i) {
+      const auto a = assignment_from_index(i, kVars);
+      // Brute force over the quantified variables.
+      bool any = false, all = true;
+      const unsigned count = 1u << vars.size();
+      for (unsigned m = 0; m < count; ++m) {
+        unsigned fi = i;
+        for (std::size_t k = 0; k < vars.size(); ++k) {
+          const unsigned bit = 1u << vars[k];
+          fi = (m >> k) & 1 ? (fi | bit) : (fi & ~bit);
+        }
+        const bool value = truth.eval(fi);
+        any = any || value;
+        all = all && value;
+      }
+      EXPECT_EQ(core_mgr.eval(ce, a), any);
+      EXPECT_EQ(core_mgr.eval(ca, a), all);
+      EXPECT_EQ(df_mgr.eval(de, a), any);
+      EXPECT_EQ(df_mgr.eval(da, a), all);
+    }
+  }
+}
+
+TEST_P(QuantifyBoth, ComposeAgainstBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const ExprProgram pf = ExprProgram::random(kVars, 25, seed + 200);
+  const ExprProgram pg = ExprProgram::random(kVars, 25, seed + 300);
+  const auto tf = pf.eval_truth().back();
+  const auto tg = pg.eval_truth().back();
+
+  BddManager core_mgr(kVars);
+  DfManager df_mgr(kVars);
+  const Bdd cf = pf.eval_engine<BddManager, Bdd>(core_mgr).back();
+  const Bdd cg = pg.eval_engine<BddManager, Bdd>(core_mgr).back();
+  const DfBdd df = pf.eval_engine<DfManager, DfBdd>(df_mgr).back();
+  const DfBdd dg = pg.eval_engine<DfManager, DfBdd>(df_mgr).back();
+
+  for (unsigned v = 0; v < kVars; ++v) {
+    const Bdd cc = core_mgr.compose(cf, v, cg);
+    const DfBdd dc = df_mgr.compose(df, v, dg);
+    for (unsigned i = 0; i < (1u << kVars); ++i) {
+      const auto a = assignment_from_index(i, kVars);
+      const bool gv = tg.eval(i);
+      unsigned fi = i;
+      const unsigned bit = 1u << v;
+      fi = gv ? (fi | bit) : (fi & ~bit);
+      const bool expect = tf.eval(fi);
+      EXPECT_EQ(core_mgr.eval(cc, a), expect) << "core v=" << v << " i=" << i;
+      EXPECT_EQ(df_mgr.eval(dc, a), expect) << "df v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST_P(QuantifyBoth, SatCountAndSupportAgree) {
+  const std::uint64_t seed = GetParam();
+  const ExprProgram program = ExprProgram::random(kVars, 35, seed + 400);
+  const auto truths = program.eval_truth();
+
+  BddManager core_mgr(kVars);
+  DfManager df_mgr(kVars);
+  const auto cs = program.eval_engine<BddManager, Bdd>(core_mgr);
+  const auto ds = program.eval_engine<DfManager, DfBdd>(df_mgr);
+  for (std::size_t k = 0; k < cs.size(); ++k) {
+    unsigned expect = 0;
+    for (unsigned i = 0; i < (1u << kVars); ++i) expect += truths[k].eval(i);
+    EXPECT_DOUBLE_EQ(core_mgr.sat_count(cs[k]), static_cast<double>(expect));
+    EXPECT_DOUBLE_EQ(df_mgr.sat_count(ds[k]), static_cast<double>(expect));
+    EXPECT_EQ(core_mgr.support(cs[k]), df_mgr.support(ds[k]));
+    EXPECT_EQ(core_mgr.node_count(cs[k]), df_mgr.node_count(ds[k]));
+  }
+}
+
+TEST_P(QuantifyBoth, SatOneOnCoreEngine) {
+  const std::uint64_t seed = GetParam();
+  const ExprProgram program = ExprProgram::random(kVars, 35, seed + 500);
+  BddManager mgr(kVars);
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  for (const Bdd& f : bdds) {
+    const auto assignment = mgr.sat_one(f);
+    if (f.is_zero()) {
+      EXPECT_FALSE(assignment.has_value());
+      continue;
+    }
+    ASSERT_TRUE(assignment.has_value());
+    std::vector<bool> concrete(kVars, false);
+    for (unsigned v = 0; v < kVars; ++v) concrete[v] = (*assignment)[v] == 1;
+    EXPECT_TRUE(mgr.eval(f, concrete));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantifyBoth, ::testing::Values(1, 2, 3));
+
+TEST(Ite, CoreEngineMatchesBruteForce) {
+  BddManager mgr(kVars);
+  const ExprProgram program = ExprProgram::random(kVars, 24, 9);
+  const auto truths = program.eval_truth();
+  const auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
+  const Bdd ite = mgr.ite(bdds[21], bdds[22], bdds[23]);
+  for (unsigned i = 0; i < (1u << kVars); ++i) {
+    const auto a = assignment_from_index(i, kVars);
+    const bool expect =
+        truths[21].eval(i) ? truths[22].eval(i) : truths[23].eval(i);
+    EXPECT_EQ(mgr.eval(ite, a), expect);
+  }
+}
+
+}  // namespace
+}  // namespace pbdd

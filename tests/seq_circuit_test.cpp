@@ -1,0 +1,181 @@
+// New generator blocks: barrel shifter and priority encoder against
+// reference models, and the sequential generators (shift register, LFSR,
+// Gray counter) stepped against software models and analyzed symbolically.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "core/bdd_manager.hpp"
+#include "core/fold.hpp"
+#include "mc/circuit_system.hpp"
+#include "mc/reachability.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd {
+namespace {
+
+using circuit::Circuit;
+
+std::vector<bool> bits_of(std::uint64_t value, unsigned width) {
+  std::vector<bool> bits(width);
+  for (unsigned i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+std::uint64_t value_of(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+TEST(Generators, BarrelShifterRotates) {
+  const unsigned w = 8;
+  const Circuit shifter = circuit::barrel_shifter(w);
+  util::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t data = rng.below(256);
+    const unsigned amount = static_cast<unsigned>(rng.below(8));
+    std::vector<bool> in = bits_of(data, w);
+    const std::vector<bool> sb = bits_of(amount, 3);
+    in.insert(in.end(), sb.begin(), sb.end());
+    const std::uint64_t expect =
+        ((data << amount) | (data >> (w - amount))) & 0xFF;
+    EXPECT_EQ(value_of(shifter.simulate(in)), amount ? expect : data)
+        << "data=" << data << " amount=" << amount;
+  }
+}
+
+TEST(Generators, BarrelShifterRejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)circuit::barrel_shifter(6), std::invalid_argument);
+}
+
+TEST(Generators, PriorityEncoderFindsLowestAsserted) {
+  const unsigned n = 11;  // non-power-of-two width
+  const Circuit enc = circuit::priority_encoder(n);
+  for (std::uint64_t mask = 0; mask < (1u << n); mask += 13) {
+    const std::vector<bool> out = enc.simulate(bits_of(mask, n));
+    const bool valid = mask != 0;
+    EXPECT_EQ(out.back(), valid);
+    if (valid) {
+      const unsigned expect =
+          static_cast<unsigned>(__builtin_ctzll(mask));
+      EXPECT_EQ(value_of({out.begin(), out.end() - 1}), expect)
+          << "mask=" << mask;
+    }
+  }
+}
+
+TEST(SequentialGenerators, ShiftRegisterPipesBits) {
+  const unsigned n = 5;
+  const Circuit sr = circuit::shift_register(n);
+  ASSERT_EQ(sr.latches().size(), n);
+  std::vector<bool> state(n, false);
+  util::Xoshiro256 rng(3);
+  std::vector<bool> history;
+  for (int step = 0; step < 40; ++step) {
+    const bool in = rng.coin();
+    history.push_back(in);
+    const auto [outs, next] = sr.simulate_step(state, {in});
+    // The output taps the last stage: the bit fed n-1 steps ago.
+    EXPECT_EQ(outs[0], state[n - 1]);
+    state = next;
+    // Next state is the previous state shifted with `in` at the front.
+    if (step >= static_cast<int>(n)) {
+      EXPECT_EQ(state[n - 1], history[history.size() - n]);
+    }
+  }
+}
+
+TEST(SequentialGenerators, LfsrHasFullPeriod) {
+  // x^4 + x^3 + 1 (taps 3,2 in 0-indexed shift-in form) is maximal:
+  // period 15 over the nonzero states.
+  const Circuit reg = circuit::lfsr(4, {3, 2});
+  std::vector<bool> state{true, false, false, false};
+  std::set<std::uint64_t> seen;
+  for (int step = 0; step < 15; ++step) {
+    EXPECT_TRUE(seen.insert(value_of(state)).second) << "step " << step;
+    const auto [outs, next] = reg.simulate_step(state, {false});
+    state = next;
+  }
+  EXPECT_EQ(value_of(state), 1u) << "period 15 returns to the seed state";
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(SequentialGenerators, GrayCounterStepsTheReflectedSequence) {
+  const unsigned n = 4;
+  const Circuit gray = circuit::gray_counter(n);
+  ASSERT_EQ(gray.latches().size(), n);
+  std::vector<bool> state(n, false);
+  for (unsigned step = 0; step < (1u << n); ++step) {
+    const std::uint64_t expect = step ^ (step >> 1);  // binary -> Gray
+    EXPECT_EQ(value_of(state), expect) << "step " << step;
+    // Exactly one bit flips per enabled step (after the first check).
+    const auto [outs, next] = gray.simulate_step(state, {true});
+    if (step + 1 < (1u << n)) {
+      EXPECT_EQ(__builtin_popcountll(value_of(state) ^ value_of(next)), 1);
+    }
+    state = next;
+  }
+  EXPECT_EQ(value_of(state), 0u) << "wraps around";
+  // Disabled: state holds.
+  const auto [outs, held] = gray.simulate_step(state, {false});
+  EXPECT_EQ(held, state);
+}
+
+TEST(SequentialGenerators, SymbolicReachabilityOfGrayCounter) {
+  const unsigned n = 5;
+  const Circuit gray = circuit::gray_counter(n);
+  const mc::VarLayout layout = mc::CircuitSystem::layout_for(gray);
+  core::BddManager mgr(layout.total_vars());
+  const auto system = mc::CircuitSystem::build(mgr, gray);
+  mc::Reachability analyzer(mgr, layout, system.next_state);
+  const auto result = analyzer.analyze(system.initial);
+  EXPECT_TRUE(result.fixpoint);
+  // Every Gray code is reachable; the diameter is the full cycle.
+  EXPECT_DOUBLE_EQ(
+      mgr.sat_count(result.reachable),
+      std::exp2(static_cast<double>(mgr.num_vars() - layout.state_bits)) *
+          (1u << n));
+  EXPECT_EQ(result.iterations, (1u << n) - 1);
+}
+
+TEST(SequentialGenerators, SymbolicLfsrAvoidsZeroWithoutSeed) {
+  // Without seeding, an LFSR started at 1 never reaches the all-zero
+  // state; "state == 0" is a safety property that must hold.
+  const Circuit reg = circuit::lfsr(5, {4, 2});
+  const mc::VarLayout layout = mc::CircuitSystem::layout_for(reg);
+  core::BddManager mgr(layout.total_vars());
+  const auto system = mc::CircuitSystem::build(mgr, reg);
+  mc::Reachability analyzer(mgr, layout, system.next_state);
+  // init = state 00001, seed input quantified over {0} only by restricting
+  // the transition: emulate seed=0 by conjoining NOT seed into "bad" is
+  // wrong; instead restrict each delta.
+  std::vector<core::Bdd> deltas;
+  for (const core::Bdd& d : system.next_state) {
+    deltas.push_back(mgr.restrict_(d, layout.input(0), false));
+  }
+  mc::Reachability pinned(mgr, layout, deltas);
+  std::vector<core::Bdd> literals;
+  for (unsigned i = 0; i < layout.state_bits; ++i) {
+    literals.push_back(i == 0 ? mgr.var(layout.current(i))
+                              : mgr.nvar(layout.current(i)));
+  }
+  const core::Bdd init = core::and_all(mgr, literals);
+  std::vector<core::Bdd> zeros;
+  for (unsigned i = 0; i < layout.state_bits; ++i) {
+    zeros.push_back(mgr.nvar(layout.current(i)));
+  }
+  const core::Bdd all_zero = core::and_all(mgr, zeros);
+  const auto result = pinned.analyze(init, all_zero);
+  EXPECT_TRUE(result.property_holds) << "unseeded LFSR must avoid zero";
+  EXPECT_TRUE(result.fixpoint);
+}
+
+}  // namespace
+}  // namespace pbdd

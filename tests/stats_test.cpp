@@ -1,0 +1,132 @@
+// Statistics plumbing: totals must equal per-worker sums, lock-wait totals
+// must equal per-variable sums (regression: the Fig. 17 harness once read a
+// counter that was never aggregated), reset_stats must clear what it says
+// it clears, and the memory accounting must cover its parts.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
+#include <memory>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd {
+namespace {
+
+using core::BddManager;
+using core::Config;
+
+class StatsTest : public ::testing::Test {
+ protected:
+  // The manager must outlive every handle (member order matters: outputs_
+  // is declared after mgr_ and therefore destroyed first).
+  BddManager& make_manager(Config config = {}) {
+    mgr_ = std::make_unique<BddManager>(12, config);
+    return *mgr_;
+  }
+  void build_something(BddManager& mgr) {
+    const auto bin = circuit::multiplier(6).binarized();
+    const auto order = circuit::order_dfs(bin);
+    outputs_ = circuit::build_parallel(mgr, bin, order);
+  }
+  std::unique_ptr<BddManager> mgr_;
+  std::vector<core::Bdd> outputs_;
+};
+
+TEST_F(StatsTest, TotalsEqualPerWorkerSums) {
+  Config config;
+  config.workers = 3;
+  config.eval_threshold = 256;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const core::ManagerStats s = mgr.stats();
+  ASSERT_EQ(s.per_worker.size(), 3u);
+  core::WorkerStats sum;
+  for (const auto& w : s.per_worker) sum += w;
+  EXPECT_EQ(s.total.ops_performed, sum.ops_performed);
+  EXPECT_EQ(s.total.nodes_created, sum.nodes_created);
+  EXPECT_EQ(s.total.cache_lookups, sum.cache_lookups);
+  EXPECT_EQ(s.total.cache_hits, sum.cache_hits);
+  EXPECT_EQ(s.total.top_ops, sum.top_ops);
+  EXPECT_EQ(s.total.lock_wait_ns, sum.lock_wait_ns);
+}
+
+TEST_F(StatsTest, LockWaitTotalsMatchPerVariableTable) {
+  Config config;
+  config.workers = 4;
+  config.eval_threshold = 64;
+  config.group_size = 8;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const core::ManagerStats s = mgr.stats();
+  std::uint64_t per_var = 0;
+  for (const std::uint64_t w : s.lock_wait_per_var_ns) per_var += w;
+  EXPECT_EQ(s.total.lock_wait_ns, per_var);
+}
+
+TEST_F(StatsTest, NodesCreatedMatchesLiveNodesWithoutGc) {
+  Config config;
+  config.workers = 2;
+  config.gc_min_nodes = 1u << 30;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const core::ManagerStats s = mgr.stats();
+  // No collection ran, so every created node is still allocated.
+  EXPECT_EQ(s.total.nodes_created, mgr.live_nodes());
+  EXPECT_EQ(s.gc_runs, 0u);
+}
+
+TEST_F(StatsTest, ResetClearsCountersButNotTheStore) {
+  Config config;
+  config.workers = 2;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const std::size_t live = mgr.live_nodes();
+  ASSERT_GT(mgr.stats().total.ops_performed, 0u);
+  mgr.reset_stats();
+  const core::ManagerStats s = mgr.stats();
+  EXPECT_EQ(s.total.ops_performed, 0u);
+  EXPECT_EQ(s.total.lock_wait_ns, 0u);
+  EXPECT_EQ(s.total.expansion_ns, 0u);
+  EXPECT_EQ(mgr.live_nodes(), live) << "reset_stats must not touch nodes";
+  // Outputs still evaluate.
+  EXPECT_GT(mgr.node_count(outputs_[8]), 0u);
+}
+
+TEST_F(StatsTest, MaxNodesPerVarDominatesFinalCounts) {
+  BddManager& mgr = make_manager();
+  build_something(mgr);
+  const auto maxima = mgr.max_nodes_per_var();
+  ASSERT_EQ(maxima.size(), 12u);
+  // The high-water mark of each variable is at least its current count.
+  std::size_t total_max = 0;
+  for (const std::size_t m : maxima) total_max += m;
+  EXPECT_GE(total_max, mgr.live_nodes());
+}
+
+TEST_F(StatsTest, BytesCoverCachesArenasAndTables) {
+  Config config;
+  config.workers = 2;
+  config.cache_log2 = 14;
+  BddManager& mgr = make_manager(config);
+  const std::size_t empty_bytes = mgr.bytes();
+  // Two caches of 2^14 entries are part of the footprint from the start.
+  EXPECT_GE(empty_bytes, 2u * (1u << 14) * 32u);
+  build_something(mgr);
+  EXPECT_GT(mgr.bytes(), empty_bytes);
+  EXPECT_GE(mgr.peak_bytes(), mgr.bytes());
+}
+
+TEST_F(StatsTest, PhaseTimersPopulateDuringBuilds) {
+  Config config;
+  config.workers = 2;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const core::ManagerStats s = mgr.stats();
+  EXPECT_GT(s.total.expansion_ns, 0u);
+  EXPECT_GT(s.total.reduction_ns, 0u);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,213 @@
+// Per-variable unique table: canonicity, chain integrity across worker
+// arenas, resizing, lock-wait accounting, and GC rehash support.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/node_arena.hpp"
+#include "core/unique_table.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd {
+namespace {
+
+using namespace pbdd::core;
+
+class UniqueTableTest : public ::testing::Test {
+ protected:
+  static constexpr unsigned kVar = 3;
+  static constexpr unsigned kWorkers = 2;
+
+  void SetUp() override {
+    std::vector<NodeArena*> ptrs;
+    for (auto& a : arenas_) ptrs.push_back(&a);
+    table_.init(kVar, ptrs, 16);
+  }
+
+  NodeArena arenas_[kWorkers];
+  VarUniqueTable table_;
+};
+
+TEST_F(UniqueTableTest, InsertThenFindReturnsSameRef) {
+  bool created = false;
+  const NodeRef a = table_.find_or_insert(0, kZero, kOne, created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(worker_of(a), 0u);
+  EXPECT_EQ(var_of(a), kVar);
+  const NodeRef b = table_.find_or_insert(0, kZero, kOne, created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table_.count(), 1u);
+}
+
+TEST_F(UniqueTableTest, DuplicateFromOtherWorkerIsFound) {
+  bool created = false;
+  const NodeRef a = table_.find_or_insert(0, kZero, kOne, created);
+  // Worker 1 asking for the same (low, high) must find worker 0's node,
+  // not allocate its own copy — canonicity across worker arenas.
+  const NodeRef b = table_.find_or_insert(1, kZero, kOne, created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(arenas_[1].size(), 0u);
+}
+
+TEST_F(UniqueTableTest, ManyInsertsForceResizeAndStayCanonical) {
+  util::Xoshiro256 rng(3);
+  std::vector<std::pair<NodeRef, NodeRef>> keys;
+  std::vector<NodeRef> refs;
+  bool created = false;
+  // Unique (low, high) pairs built over synthetic child refs.
+  for (unsigned i = 0; i < 2000; ++i) {
+    const NodeRef low = make_node_ref(0, kVar + 1, i);
+    const NodeRef high = make_node_ref(0, kVar + 2, i * 7 + 1);
+    keys.emplace_back(low, high);
+    refs.push_back(
+        table_.find_or_insert(i % kWorkers, low, high, created));
+    EXPECT_TRUE(created);
+  }
+  EXPECT_EQ(table_.count(), 2000u);
+  EXPECT_GT(table_.buckets(), 16u) << "table should have grown";
+  EXPECT_EQ(table_.max_count(), 2000u);
+  // Every key still finds its original node after growth rehashing.
+  for (unsigned i = 0; i < 2000; ++i) {
+    const NodeRef r =
+        table_.find_or_insert(0, keys[i].first, keys[i].second, created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(r, refs[i]);
+  }
+}
+
+TEST_F(UniqueTableTest, ResetChainsAndReinsertRebuildTheTable) {
+  bool created = false;
+  std::vector<NodeRef> refs;
+  for (unsigned i = 0; i < 100; ++i) {
+    refs.push_back(table_.find_or_insert(
+        0, make_node_ref(0, kVar + 1, i), make_node_ref(0, kVar + 2, i),
+        created));
+  }
+  table_.reset_chains(100);
+  EXPECT_EQ(table_.count(), 0u);
+  for (unsigned i = 0; i < 100; ++i) {
+    const BddNode& n = arenas_[0].at(slot_of(refs[i]));
+    table_.reinsert(0, refs[i], n.low, n.high);
+  }
+  EXPECT_EQ(table_.count(), 100u);
+  for (unsigned i = 0; i < 100; ++i) {
+    const NodeRef r = table_.find_or_insert(
+        0, make_node_ref(0, kVar + 1, i), make_node_ref(0, kVar + 2, i),
+        created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(r, refs[i]);
+  }
+  // max_count survives the rebuild (Fig. 15 uses the high-water mark).
+  EXPECT_EQ(table_.max_count(), 100u);
+}
+
+TEST_F(UniqueTableTest, LockWaitIsChargedToTheWaitingWorker) {
+  table_.acquire(0);
+  std::thread contender([&] {
+    table_.acquire(1);  // must wait until the main thread releases
+    table_.release();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  table_.release();
+  contender.join();
+  EXPECT_GT(table_.lock_wait_ns(1), 10u * 1000 * 1000)
+      << "contender should have waited >=10ms";
+  EXPECT_EQ(table_.lock_wait_ns(0), 0u);
+  EXPECT_EQ(table_.lock_wait_ns_total(), table_.lock_wait_ns(1));
+  table_.reset_lock_waits();
+  EXPECT_EQ(table_.lock_wait_ns_total(), 0u);
+}
+
+TEST_F(UniqueTableTest, TryAcquire) {
+  EXPECT_TRUE(table_.try_acquire());
+  std::thread other([&] { EXPECT_FALSE(table_.try_acquire()); });
+  other.join();
+  table_.release();
+}
+
+TEST(UniqueTableSharded, CanonicalAcrossSegmentsAndWorkers) {
+  NodeArena arenas[2];
+  VarUniqueTable table;
+  table.init(3, {&arenas[0], &arenas[1]}, 64, /*shards=*/8);
+  EXPECT_TRUE(table.sharded());
+  EXPECT_EQ(table.shards(), 8u);
+  bool created = false;
+  std::vector<NodeRef> refs;
+  // Sharded mode: find_or_insert locks internally, no acquire() needed.
+  for (unsigned i = 0; i < 3000; ++i) {
+    refs.push_back(table.find_or_insert(
+        i % 2, make_node_ref(0, 4, i), make_node_ref(0, 5, i), created));
+    EXPECT_TRUE(created);
+  }
+  EXPECT_EQ(table.count(), 3000u);
+  for (unsigned i = 0; i < 3000; ++i) {
+    const NodeRef r = table.find_or_insert(
+        (i + 1) % 2, make_node_ref(0, 4, i), make_node_ref(0, 5, i),
+        created);
+    EXPECT_FALSE(created) << i;
+    EXPECT_EQ(r, refs[i]);
+  }
+}
+
+TEST(UniqueTableSharded, ConcurrentInsertersStayCanonical) {
+  // Two threads hammer the same key set through a sharded table; every
+  // key must end up with exactly one node.
+  NodeArena arenas[2];
+  VarUniqueTable table;
+  table.init(1, {&arenas[0], &arenas[1]}, 64, /*shards=*/16);
+  constexpr unsigned kKeys = 20000;
+  std::vector<NodeRef> results[2];
+  std::thread threads[2];
+  for (unsigned t = 0; t < 2; ++t) {
+    threads[t] = std::thread([&, t] {
+      results[t].resize(kKeys);
+      bool created = false;
+      for (unsigned i = 0; i < kKeys; ++i) {
+        results[t][i] = table.find_or_insert(
+            t, make_node_ref(0, 2, i), make_node_ref(0, 3, i), created);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.count(), kKeys);
+  for (unsigned i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(results[0][i], results[1][i]) << "key " << i;
+  }
+}
+
+TEST(NodeArenaTest, ConcurrentReadsDuringGrowth) {
+  // One writer bump-allocates thousands of nodes (forcing directory
+  // growth) while readers resolve already-published slots.
+  NodeArena arena;
+  std::atomic<std::uint32_t> published{0};
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (std::uint32_t i = 0; i < 200000; ++i) {
+      const std::uint32_t slot = arena.alloc();
+      BddNode& n = arena.at_own(slot);
+      n.low = i;
+      n.high = i + 1;
+      published.store(slot + 1, std::memory_order_release);
+    }
+  });
+  std::thread reader([&] {
+    util::Xoshiro256 rng(1);
+    while (published.load(std::memory_order_acquire) < 200000) {
+      const std::uint32_t limit = published.load(std::memory_order_acquire);
+      if (limit == 0) continue;
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(rng.below(limit));
+      const BddNode& n = arena.at(slot);
+      if (n.low != slot || n.high != slot + 1) failed = true;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(arena.size(), 200000u);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -1,0 +1,156 @@
+// Utility layer: hashing, PRNG determinism, block arenas, barriers, the
+// worker pool, and the text-table formatter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "runtime/backoff.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/worker_pool.hpp"
+#include "util/arena.hpp"
+#include "util/hash.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace pbdd {
+namespace {
+
+TEST(Hash, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = util::mix64(0x123456789abcdefULL);
+    const std::uint64_t b =
+        util::mix64(0x123456789abcdefULL ^ (std::uint64_t{1} << bit));
+    total += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total) / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, PairAndTripleAreOrderSensitive) {
+  EXPECT_NE(util::hash_pair(3, 7), util::hash_pair(7, 3));
+  EXPECT_NE(util::hash_triple(1, 2, 3), util::hash_triple(1, 3, 2));
+  EXPECT_NE(util::hash_triple(1, 2, 3), util::hash_triple(2, 1, 3));
+}
+
+TEST(Prng, DeterministicAndWellDistributed) {
+  util::Xoshiro256 a(42), b(42), c(43);
+  std::set<std::uint64_t> values;
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+    values.insert(va);
+  }
+  EXPECT_TRUE(diverged);
+  EXPECT_EQ(values.size(), 1000u) << "collisions in 1000 draws";
+}
+
+TEST(Prng, BelowRespectsBound) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  // range is inclusive on both ends and hits both.
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    lo = lo || v == 3;
+    hi = hi || v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Arena, AllocTruncateRewind) {
+  util::BlockArena<int, 4> arena;  // 16 slots per block
+  for (int i = 0; i < 100; ++i) {
+    const auto slot = arena.alloc();
+    EXPECT_EQ(slot, static_cast<std::uint32_t>(i));
+    arena.at(slot) = i * 3;
+  }
+  EXPECT_EQ(arena.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(arena.at(i), i * 3);
+  const std::size_t bytes_full = arena.bytes();
+  arena.truncate(17);
+  EXPECT_EQ(arena.size(), 17u);
+  EXPECT_LT(arena.bytes(), bytes_full) << "trailing blocks freed";
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(arena.at(i), i * 3);
+  arena.rewind();
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_GT(arena.bytes(), 0u) << "rewind keeps blocks";
+  EXPECT_EQ(arena.alloc(), 0u);
+}
+
+TEST(Barrier, SynchronizesAndReturnsOneLeader) {
+  constexpr unsigned kThreads = 4;
+  rt::SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<int> leaders{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        counter.fetch_add(1);
+        if (barrier.arrive_and_wait()) leaders.fetch_add(1);
+        if (counter.load() != static_cast<int>(kThreads) * (round + 1)) {
+          failed = true;
+        }
+        if (barrier.arrive_and_wait()) leaders.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(leaders.load(), 100) << "exactly one leader per phase";
+}
+
+TEST(WorkerPool, RunsEveryWorkerExactlyOnce) {
+  rt::WorkerPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+  std::vector<std::atomic<int>> hits(5);
+  for (int round = 0; round < 20; ++round) {
+    pool.run([&](unsigned id) { hits[id].fetch_add(1); });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(WorkerPool, SizeOneRunsInline) {
+  rt::WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run([&](unsigned) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  util::TextTable table({"name", "value"});
+  table.add_row({"x", "1.50"});
+  table.add_row({"longer", "22.00"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer |"), std::string::npos);
+  EXPECT_EQ(util::TextTable::num(1.234, 2), "1.23");
+}
+
+TEST(Backoff, PausesWithoutBlocking) {
+  rt::Backoff backoff;
+  for (int i = 0; i < 20; ++i) backoff.pause();  // must terminate quickly
+  backoff.reset();
+  backoff.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pbdd

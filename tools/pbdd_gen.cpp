@@ -1,0 +1,90 @@
+// pbdd_gen — emit any generator circuit as an ISCAS-style .bench netlist.
+//
+//   pbdd_gen <spec> [out.bench]
+//
+// Specs are the same as pbdd_cli's (mult-N, alu-N, cmp-N, add-N, par-N,
+// henc-N, hdec-N, bshift-N, prienc-N, rand-N, c2670s, c3540s, c17) plus the
+// sequential generators (shreg-N, lfsr-N, gray-N), which emit DFF latches.
+// With no output file the netlist goes to stdout. Lets the workloads of
+// this repository interoperate with other tools, and lets other tools'
+// netlists be compared against these generators.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/generators.hpp"
+
+namespace {
+
+using namespace pbdd;
+
+circuit::Circuit make(const std::string& spec) {
+  auto num = [&](const char* prefix) {
+    return static_cast<unsigned>(
+        std::strtoul(spec.c_str() + std::strlen(prefix), nullptr, 10));
+  };
+  if (spec == "c2670s") return circuit::c2670_like();
+  if (spec == "c3540s") return circuit::c3540_like();
+  if (spec == "c17") return circuit::c17();
+  if (spec.rfind("mult-", 0) == 0) return circuit::multiplier(num("mult-"));
+  if (spec.rfind("alu-", 0) == 0) return circuit::alu(num("alu-"));
+  if (spec.rfind("cmp-", 0) == 0) return circuit::comparator(num("cmp-"));
+  if (spec.rfind("add-", 0) == 0) {
+    return circuit::carry_select_adder(num("add-"));
+  }
+  if (spec.rfind("par-", 0) == 0) return circuit::parity_tree(num("par-"));
+  if (spec.rfind("henc-", 0) == 0) {
+    return circuit::hamming_encoder(num("henc-"));
+  }
+  if (spec.rfind("hdec-", 0) == 0) {
+    return circuit::hamming_decoder(num("hdec-"));
+  }
+  if (spec.rfind("bshift-", 0) == 0) {
+    return circuit::barrel_shifter(num("bshift-"));
+  }
+  if (spec.rfind("prienc-", 0) == 0) {
+    return circuit::priority_encoder(num("prienc-"));
+  }
+  if (spec.rfind("shreg-", 0) == 0) {
+    return circuit::shift_register(num("shreg-"));
+  }
+  if (spec.rfind("lfsr-", 0) == 0) {
+    const unsigned bits = num("lfsr-");
+    return circuit::lfsr(bits, {bits - 1, bits - 2});
+  }
+  if (spec.rfind("gray-", 0) == 0) return circuit::gray_counter(num("gray-"));
+  if (spec.rfind("rand-", 0) == 0) {
+    return circuit::random_circuit(24, 600, num("rand-"));
+  }
+  throw std::runtime_error("unknown circuit spec '" + spec + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <spec> [out.bench]\n", argv[0]);
+    return 2;
+  }
+  try {
+    const circuit::Circuit c = make(argv[1]);
+    if (argc == 3) {
+      std::ofstream out(argv[2]);
+      if (!out) throw std::runtime_error(std::string("cannot write ") +
+                                         argv[2]);
+      circuit::write_bench(out, c);
+      std::fprintf(stderr, "%s: %zu gates, %zu inputs, %zu outputs, %zu latches -> %s\n",
+                   c.name().c_str(), c.num_gates(), c.inputs().size(),
+                   c.outputs().size(), c.latches().size(), argv[2]);
+    } else {
+      circuit::write_bench(std::cout, c);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
