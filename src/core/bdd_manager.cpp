@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "runtime/backoff.hpp"
+#include "runtime/inject.hpp"
 #include "util/timer.hpp"
 
 namespace pbdd::core {
@@ -178,6 +179,7 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   peak_bytes_ = std::max(peak_bytes_, bytes());
   ++op_generation_;
   for (auto& w : workers_) w->end_of_batch_reset();
+  PBDD_INJECT(kBatchBarrier);
   maybe_gc();
 }
 
@@ -445,6 +447,12 @@ void BddManager::gc() {
 }
 
 bool BddManager::maybe_gc() {
+  // Forced collections fire even with auto_gc off: every maybe_gc call site
+  // is a GC-safe point, and that is exactly what the torture runs probe.
+  if (PBDD_INJECT_QUERY(kForceGc)) {
+    gc();
+    return true;
+  }
   if (!config_.auto_gc) return false;
   std::size_t allocated = 0;
   for (const auto& w : workers_) {

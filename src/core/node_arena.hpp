@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/node.hpp"
+#include "runtime/inject.hpp"
 
 namespace pbdd::core {
 
@@ -91,8 +92,15 @@ class NodeArena {
   };
 
   void add_block() {
+    PBDD_INJECT(kArenaBlockAlloc);
     Block* block = new Block();
-    if (blocks_.size() == dir_capacity_) grow_dir();
+    if (blocks_.size() == dir_capacity_) {
+      grow_dir(dir_capacity_ ? dir_capacity_ * 2 : 16);
+    } else if (PBDD_INJECT_QUERY(kForceDirChurn)) {
+      // Same-capacity republication: drives the RCU retire/acquire dance
+      // concurrent readers depend on, without unbounded directory growth.
+      grow_dir(dir_capacity_);
+    }
     Block** dir = dir_.load(std::memory_order_relaxed);
     dir[blocks_.size()] = block;
     blocks_.push_back(block);
@@ -103,8 +111,8 @@ class NodeArena {
     dir_.store(dir, std::memory_order_release);
   }
 
-  void grow_dir() {
-    const std::size_t new_cap = dir_capacity_ ? dir_capacity_ * 2 : 16;
+  void grow_dir(std::size_t new_cap) {
+    PBDD_INJECT(kArenaDirGrow);
     Block** fresh = new Block*[new_cap]();
     Block** old = dir_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < blocks_.size(); ++i) fresh[i] = old[i];

@@ -29,6 +29,7 @@
 
 #include "core/node_arena.hpp"
 #include "core/ref.hpp"
+#include "runtime/inject.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
 
@@ -172,6 +173,7 @@ class VarUniqueTable {
   }
 
   void lock_timed(Segment& segment, unsigned worker) {
+    PBDD_INJECT(kTableAcquire);
     if (segment.mutex.try_lock()) return;
     util::WallTimer timer;
     segment.mutex.lock();
@@ -182,6 +184,7 @@ class VarUniqueTable {
                             unsigned worker, NodeRef low, NodeRef high,
                             bool& created) {
     assert(low != high);
+    PBDD_INJECT(kTableInsert);
     const std::size_t bucket = (h >> shard_shift_) & segment.mask;
     for (NodeRef r = segment.buckets[bucket]; r != kZero;) {
       const BddNode& n = node(r);
@@ -201,13 +204,19 @@ class VarUniqueTable {
     segment.buckets[bucket] = r;
     ++segment.count;
     if (segment.count > segment.max_count) segment.max_count = segment.count;
-    if (segment.count > segment.buckets.size() * 2) grow(segment);
+    if (segment.count > segment.buckets.size() * 2) {
+      grow(segment, segment.buckets.size() * 2);
+    } else if (PBDD_INJECT_QUERY(kForceTableGrow)) {
+      // Same-size rehash: exercises the full chain-rebuild path (the thing
+      // concurrent readers would trip over) without compounding growth.
+      grow(segment, segment.buckets.size());
+    }
     created = true;
     return r;
   }
 
-  void grow(Segment& segment) {
-    const std::size_t new_size = segment.buckets.size() * 2;
+  void grow(Segment& segment, std::size_t new_size) {
+    PBDD_INJECT(kTableGrow);
     std::vector<NodeRef> fresh(new_size, kZero);
     const std::size_t new_mask = new_size - 1;
     for (NodeRef head : segment.buckets) {

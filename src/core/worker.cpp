@@ -4,6 +4,7 @@
 
 #include "core/bdd_manager.hpp"
 #include "runtime/backoff.hpp"
+#include "runtime/inject.hpp"
 #include "util/timer.hpp"
 
 namespace pbdd::core {
@@ -160,9 +161,13 @@ void Worker::expansion() {
       bool hungry_spill = false;
       if (!threshold_hit && ++poll >= config_.share_poll_interval) {
         poll = 0;
+        PBDD_INJECT(kHungryPoll);
         hungry_spill =
             mgr_->hungry_workers.load(std::memory_order_relaxed) > 0 &&
             ctx.queued >= config_.group_size / 4;
+        if (!hungry_spill && PBDD_INJECT_QUERY(kForceSpill)) {
+          hungry_spill = true;
+        }
       }
       if ((threshold_hit || hungry_spill) && ctx.queued > 0) {
         if (threshold_hit &&
@@ -184,6 +189,7 @@ void Worker::expansion() {
 }
 
 void Worker::spill(unsigned from_var) {
+  PBDD_INJECT(kContextPush);
   EvalContext& ctx = *current_;
   std::deque<Group> groups;
   Group cur;
@@ -335,6 +341,7 @@ void Worker::reduction() {
         result = table.find_or_insert(id_, res0, res1, created);
         if (created) ++stats_.nodes_created;
       }
+      PBDD_INJECT(kReducePublish);
       n.result.store(result, std::memory_order_release);
       if (n.cache_slot != kNoCacheSlot) {
         cache_.complete(n.cache_slot, n.operation(), n.f, n.g,
@@ -360,6 +367,7 @@ NodeRef Worker::resolve(Ref r) {
   rt::Backoff backoff;
   bool hungry = false;
   while ((res = n.result.load(std::memory_order_acquire)) == kInvalid) {
+    PBDD_INJECT(kResolveStall);
     if (try_steal_and_run()) {
       backoff.reset();
     } else {
@@ -420,6 +428,7 @@ NodeRef Worker::evaluate(Op op, NodeRef f, NodeRef g) {
 }
 
 bool Worker::take_group_from_top() {
+  PBDD_INJECT(kGroupTake);
   Group group;
   {
     std::lock_guard lock(steal_mutex_);
@@ -442,6 +451,7 @@ bool Worker::take_group_from_top() {
 // ---------------------------------------------------------------------------
 
 bool Worker::try_steal_and_run() {
+  PBDD_INJECT(kStealAttempt);
   const unsigned n = mgr_->workers();
   for (unsigned i = 0; i < n; ++i) {
     Worker& victim = mgr_->worker((id_ + i) % n);
@@ -462,6 +472,7 @@ bool Worker::try_steal_and_run() {
     }
     if (!got) continue;
 
+    PBDD_INJECT(kStealSuccess);
     ++stats_.groups_stolen;
     stats_.tasks_stolen += group.tasks.size();
     for (const GroupTask& task : group.tasks) {
@@ -470,6 +481,7 @@ bool Worker::try_steal_and_run() {
       // Compute the stolen operation from scratch in our own context and
       // publish the result back into the victim's operator node.
       const NodeRef res = evaluate(node->operation(), node->f, node->g);
+      PBDD_INJECT(kStealWriteback);
       node->result.store(res, std::memory_order_release);
     }
     return true;
@@ -503,6 +515,7 @@ void Worker::run_batch() {
   rt::Backoff backoff;
   bool hungry = false;
   while (batch.completed.load(std::memory_order_acquire) < total) {
+    PBDD_INJECT(kBatchLoop);
     if (try_steal_and_run()) {
       if (hungry) {
         mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
@@ -536,6 +549,7 @@ std::size_t Worker::bytes() const noexcept {
 // ---------------------------------------------------------------------------
 
 void Worker::gc_mark_var(unsigned var) {
+  PBDD_INJECT(kGcMark);
   NodeArena& arena = node_arenas_[var];
   const std::uint32_t size = arena.size();
   for (std::uint32_t slot = 0; slot < size; ++slot) {
@@ -621,6 +635,7 @@ void Worker::gc_move() {
 }
 
 bool Worker::gc_try_rehash_var(unsigned var) {
+  PBDD_INJECT(kGcRehash);
   VarUniqueTable& table = mgr_->unique(var);
   const bool pass_lock = mgr_->locking() && !table.sharded();
   if (pass_lock && !table.try_acquire()) return false;

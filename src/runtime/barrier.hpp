@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "runtime/backoff.hpp"
+#include "runtime/inject.hpp"
 
 namespace pbdd::rt {
 
@@ -35,7 +36,13 @@ class SpinBarrier {
       return true;
     }
     Backoff backoff;
-    while (sense_.load(std::memory_order_acquire) != sense) backoff.pause();
+    while (sense_.load(std::memory_order_acquire) != sense) {
+      // In serialized torture runs this is the handoff that lets the other
+      // workers reach the barrier; without it the waiter would spin forever
+      // holding the schedule token.
+      PBDD_INJECT(kGcBarrierWait);
+      backoff.pause();
+    }
     return false;
   }
 

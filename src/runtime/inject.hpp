@@ -1,0 +1,41 @@
+// Zero-cost injection points for the torture scheduler.
+//
+// Engine hot paths mark their synchronization-critical sites with these
+// macros. In default builds (PBDD_TORTURE=OFF) every macro expands to a
+// no-op / constant-false with no call, no load, and no branch, so the hot
+// paths are bit-for-bit what they would be without instrumentation. With
+// PBDD_TORTURE=ON the sites report to the process-wide TortureScheduler
+// (see torture.hpp), which perturbs or fully serializes the schedule.
+//
+//   PBDD_INJECT(point)             worker passed a schedule point
+//   PBDD_INJECT_QUERY(point)       should this rare transition be forced?
+//   PBDD_TORTURE_EXPECT(n)         pool about to dispatch a job to n workers
+//   PBDD_TORTURE_THREAD_BEGIN(id)  worker `id` starts the job on this thread
+//   PBDD_TORTURE_THREAD_END()      worker finished the job
+#pragma once
+
+#ifdef PBDD_TORTURE_ENABLED
+
+#include "runtime/torture.hpp"
+
+#define PBDD_INJECT(point) \
+  ::pbdd::rt::TortureScheduler::instance().hit(::pbdd::rt::InjectPoint::point)
+#define PBDD_INJECT_QUERY(point)                \
+  ::pbdd::rt::TortureScheduler::instance().query( \
+      ::pbdd::rt::InjectPoint::point)
+#define PBDD_TORTURE_EXPECT(count) \
+  ::pbdd::rt::TortureScheduler::instance().expect_threads(count)
+#define PBDD_TORTURE_THREAD_BEGIN(worker_id) \
+  ::pbdd::rt::TortureScheduler::instance().thread_begin(worker_id)
+#define PBDD_TORTURE_THREAD_END() \
+  ::pbdd::rt::TortureScheduler::instance().thread_end()
+
+#else  // !PBDD_TORTURE_ENABLED
+
+#define PBDD_INJECT(point) ((void)0)
+#define PBDD_INJECT_QUERY(point) false
+#define PBDD_TORTURE_EXPECT(count) ((void)0)
+#define PBDD_TORTURE_THREAD_BEGIN(worker_id) ((void)0)
+#define PBDD_TORTURE_THREAD_END() ((void)0)
+
+#endif  // PBDD_TORTURE_ENABLED

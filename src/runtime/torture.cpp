@@ -1,0 +1,415 @@
+#include "runtime/torture.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "runtime/backoff.hpp"
+#include "util/hash.hpp"
+
+namespace pbdd::rt {
+
+namespace {
+
+struct PointInfo {
+  const char* name;
+  bool yieldable;
+};
+
+// The yieldable flag is the serialize-mode lock discipline: a point is
+// yieldable only if no call site can reach it while holding an engine mutex.
+// kTableInsert/kTableGrow/kArenaBlockAlloc/kArenaDirGrow/kReducePublish all
+// fire inside the per-variable (or per-segment) unique-table critical
+// sections, so parking a thread there could leave the running thread blocked
+// on a mutex whose holder is parked — the one deadlock this design must
+// exclude.
+constexpr PointInfo kPoints[] = {
+    {"steal_attempt", true},     {"steal_success", true},
+    {"steal_writeback", true},   {"resolve_stall", true},
+    {"hungry_poll", true},       {"context_push", true},
+    {"group_take", true},        {"batch_loop", true},
+    {"batch_barrier", true},     {"gc_barrier_wait", true},
+    {"gc_mark", true},           {"gc_rehash", true},
+    {"table_acquire", true},     {"table_insert", false},
+    {"table_grow", false},       {"arena_block_alloc", false},
+    {"arena_dir_grow", false},   {"reduce_publish", false},
+    {"force_gc", false},         {"force_spill", false},
+    {"force_table_grow", false}, {"force_dir_churn", false},
+};
+static_assert(sizeof(kPoints) / sizeof(kPoints[0]) ==
+              static_cast<std::size_t>(InjectPoint::kCount));
+
+enum Action : std::uint8_t {
+  kActHit = 0,
+  kActDelay,
+  kActYield,
+  kActBegin,
+  kActEnd,
+  kActForce,
+  kActStall,
+};
+
+constexpr const char* kActionNames[] = {"hit",   "delay", "yield", "begin",
+                                        "end",   "force", "stall"};
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint32_t session,
+                          unsigned worker) noexcept {
+  return util::hash_triple(util::mix64(seed), session + 1, worker + 1);
+}
+
+}  // namespace
+
+struct TortureScheduler::ThreadState {
+  bool registered = false;
+  unsigned depth = 0;
+  unsigned worker = 0;
+  std::uint32_t session = 0;
+  util::Xoshiro256 rng{0};
+  std::vector<Event> local;  // kPerturb event buffer, flushed at thread_end
+  std::uint64_t local_dropped = 0;
+};
+
+TortureScheduler::ThreadState& TortureScheduler::tls() noexcept {
+  static thread_local ThreadState state;
+  return state;
+}
+
+const char* point_name(InjectPoint p) noexcept {
+  return kPoints[static_cast<std::size_t>(p)].name;
+}
+
+bool point_yieldable(InjectPoint p) noexcept {
+  return kPoints[static_cast<std::size_t>(p)].yieldable;
+}
+
+TortureScheduler& TortureScheduler::instance() noexcept {
+  static TortureScheduler scheduler;
+  return scheduler;
+}
+
+void TortureScheduler::enable(const TortureConfig& config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+  if (config_.max_delay_spins == 0) config_.max_delay_spins = 1;
+  session_ = 0;
+  expected_ = 0;
+  arrived_ = 0;
+  active_ = 0;
+  current_ = kNoWorker;
+  waiting_.clear();
+  sched_rng_ = util::Xoshiro256(stream_seed(config.seed, 0, 0xFFFFu));
+  ext_rng_ = util::Xoshiro256(stream_seed(config.seed, 0, 0xFFFEu));
+  ordered_.clear();
+  per_thread_.clear();
+  logged_ = 0;
+  dropped_ = 0;
+  stall_breaks_ = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TortureScheduler::disable() noexcept {
+  // Log/counter state is retained for post-run dump_log() until the next
+  // enable(). Must only be called with no pool job in flight.
+  enabled_.store(false, std::memory_order_release);
+}
+
+void TortureScheduler::append_ordered_locked(const Event& e) {
+  if (!config_.log_events) return;
+  if (logged_ >= config_.max_log_events) {
+    ++dropped_;
+    return;
+  }
+  ordered_.push_back(e);
+  ++logged_;
+}
+
+void TortureScheduler::insert_waiting_locked(unsigned worker) {
+  auto it = waiting_.begin();
+  while (it != waiting_.end() && *it < worker) ++it;
+  if (it == waiting_.end() || *it != worker) waiting_.insert(it, worker);
+}
+
+void TortureScheduler::pick_next_locked() {
+  // Scheduling decisions wait until every expected worker of the session has
+  // registered, so the seeded pick sequence sees the same candidate set
+  // regardless of thread start-up timing.
+  if (current_ != kNoWorker || arrived_ < expected_ || waiting_.empty()) {
+    return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(sched_rng_.below(waiting_.size()));
+  current_ = waiting_[idx];
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(idx));
+  cv_.notify_all();
+}
+
+void TortureScheduler::yield_token_locked(std::unique_lock<std::mutex>& lk,
+                                          unsigned worker) {
+  insert_waiting_locked(worker);
+  if (current_ == worker) current_ = kNoWorker;
+  // Also covers the last-arriver case: no one holds the token yet, and this
+  // insert is what completes the candidate set.
+  pick_next_locked();
+  // Watchdog: only force progress after repeated timeouts with an unchanged
+  // (or absent) token holder — a healthy run never triggers this, and tests
+  // assert stall_breaks() == 0 to certify determinism.
+  unsigned timeouts = 0;
+  unsigned last_holder = current_;
+  while (current_ != worker) {
+    const auto status = cv_.wait_for(
+        lk, std::chrono::milliseconds(config_.stall_timeout_ms));
+    if (status != std::cv_status::timeout) continue;
+    if (current_ != last_holder) {
+      last_holder = current_;
+      timeouts = 0;
+      continue;
+    }
+    if (++timeouts < 3 && current_ != kNoWorker) continue;
+    ++stall_breaks_;
+    append_ordered_locked(Event{session_, static_cast<std::uint16_t>(worker),
+                                static_cast<std::uint8_t>(InjectPoint::kCount),
+                                kActStall, 0});
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (*it == worker) {
+        waiting_.erase(it);
+        break;
+      }
+    }
+    current_ = worker;
+    cv_.notify_all();
+    break;
+  }
+}
+
+void TortureScheduler::expect_threads(unsigned count) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (active_ > 0) return;  // nested pool run: keep the current session
+  ++session_;
+  expected_ = count;
+  arrived_ = 0;
+  current_ = kNoWorker;
+  waiting_.clear();
+  pending_begins_.clear();
+  sched_rng_ = util::Xoshiro256(stream_seed(config_.seed, session_, 0xFFFFu));
+}
+
+void TortureScheduler::thread_begin(unsigned worker_id) {
+  if (!enabled()) return;
+  ThreadState& ts = tls();
+  if (ts.registered) {
+    ++ts.depth;  // nested pool run on the same thread (sequential-mode GC)
+    return;
+  }
+  std::unique_lock lk(mutex_);
+  ts.registered = true;
+  ts.depth = 1;
+  ts.worker = worker_id;
+  ts.session = session_;
+  ts.rng = util::Xoshiro256(stream_seed(config_.seed, session_, worker_id));
+  ts.local.clear();
+  ++active_;
+  ++arrived_;
+  const Event e{session_, static_cast<std::uint16_t>(worker_id),
+                static_cast<std::uint8_t>(InjectPoint::kCount), kActBegin, 0};
+  if (config_.mode == TortureMode::kSerialize) {
+    // Arrival order is OS-scheduling noise; the log must not depend on it.
+    // Buffer the begins and emit them in worker-id order once the
+    // registration barrier is full.
+    pending_begins_.push_back(worker_id);
+    if (arrived_ >= expected_) {
+      std::sort(pending_begins_.begin(), pending_begins_.end());
+      for (const unsigned w : pending_begins_) {
+        append_ordered_locked(Event{session_, static_cast<std::uint16_t>(w),
+                                    static_cast<std::uint8_t>(
+                                        InjectPoint::kCount),
+                                    kActBegin, 0});
+      }
+      pending_begins_.clear();
+    }
+    yield_token_locked(lk, worker_id);
+  } else {
+    if (config_.log_events) ts.local.push_back(e);
+  }
+}
+
+void TortureScheduler::thread_end() {
+  ThreadState& ts = tls();
+  if (!ts.registered) return;
+  if (ts.depth > 1) {
+    --ts.depth;
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  const Event e{ts.session, static_cast<std::uint16_t>(ts.worker),
+                static_cast<std::uint8_t>(InjectPoint::kCount), kActEnd, 0};
+  if (config_.mode == TortureMode::kSerialize) {
+    append_ordered_locked(e);
+    if (current_ == ts.worker) {
+      current_ = kNoWorker;
+      pick_next_locked();
+    }
+  } else {
+    if (config_.log_events) ts.local.push_back(e);
+    auto& sink = per_thread_[{ts.session, ts.worker}];
+    for (const Event& ev : ts.local) {
+      if (logged_ >= config_.max_log_events) {
+        ++dropped_;
+        continue;
+      }
+      sink.push_back(ev);
+      ++logged_;
+    }
+    dropped_ += ts.local_dropped;
+    ts.local.clear();
+    ts.local_dropped = 0;
+  }
+  --active_;
+  ts.registered = false;
+  ts.depth = 0;
+}
+
+void TortureScheduler::hit(InjectPoint point) {
+  if (!enabled()) return;
+  ThreadState& ts = tls();
+  if (!ts.registered) return;
+
+  if (config_.mode == TortureMode::kPerturb) {
+    // Exactly one draw per hit keeps each worker's decision stream aligned
+    // with its hit sequence, independent of the other workers.
+    const std::uint64_t r = ts.rng.next();
+    const std::uint32_t d_delay = static_cast<std::uint32_t>(r % 1000);
+    const std::uint32_t d_yield = static_cast<std::uint32_t>((r >> 10) % 1000);
+    std::uint32_t spins = 0;
+    std::uint8_t action = kActHit;
+    if (d_delay < config_.delay_permille) {
+      spins = 1 + static_cast<std::uint32_t>((r >> 20) %
+                                             config_.max_delay_spins);
+      action = kActDelay;
+    }
+    const bool do_yield =
+        point_yieldable(point) && d_yield < config_.yield_permille;
+    if (do_yield) action = kActYield;
+    if (config_.log_events) {
+      if (ts.local.size() < config_.max_log_events) {
+        ts.local.push_back(Event{ts.session,
+                                 static_cast<std::uint16_t>(ts.worker),
+                                 static_cast<std::uint8_t>(point), action,
+                                 spins});
+      } else {
+        ++ts.local_dropped;
+      }
+    }
+    for (std::uint32_t i = 0; i < spins * 8; ++i) cpu_relax();
+    if (do_yield) std::this_thread::yield();
+    return;
+  }
+
+  std::unique_lock lk(mutex_);
+  append_ordered_locked(Event{ts.session, static_cast<std::uint16_t>(ts.worker),
+                              static_cast<std::uint8_t>(point), kActHit, 0});
+  if (!point_yieldable(point)) return;
+  yield_token_locked(lk, ts.worker);
+}
+
+bool TortureScheduler::query(InjectPoint point) {
+  if (!enabled()) return false;
+  std::uint32_t permille = 0;
+  switch (point) {
+    case InjectPoint::kForceGc: permille = config_.force_gc_permille; break;
+    case InjectPoint::kForceSpill:
+      permille = config_.force_spill_permille;
+      break;
+    case InjectPoint::kForceTableGrow:
+      permille = config_.force_table_grow_permille;
+      break;
+    case InjectPoint::kForceDirChurn:
+      permille = config_.force_dir_churn_permille;
+      break;
+    default: return false;
+  }
+  // Disabled decision points draw nothing, so turning one off does not shift
+  // the streams feeding the others.
+  if (permille == 0) return false;
+
+  ThreadState& ts = tls();
+  if (ts.registered) {
+    const bool fire = ts.rng.next() % 1000 < permille;
+    if (!fire) return false;
+    if (config_.mode == TortureMode::kSerialize) {
+      std::lock_guard lock(mutex_);
+      append_ordered_locked(Event{ts.session,
+                                  static_cast<std::uint16_t>(ts.worker),
+                                  static_cast<std::uint8_t>(point), kActForce,
+                                  0});
+    } else if (config_.log_events &&
+               ts.local.size() < config_.max_log_events) {
+      ts.local.push_back(Event{ts.session,
+                               static_cast<std::uint16_t>(ts.worker),
+                               static_cast<std::uint8_t>(point), kActForce,
+                               0});
+    }
+    return fire;
+  }
+
+  // Unregistered caller: the main thread between pool sessions (e.g. the
+  // batch-barrier GC check). Single-threaded by the manager's external-call
+  // contract, so the shared external stream stays deterministic.
+  std::lock_guard lock(mutex_);
+  const bool fire = ext_rng_.next() % 1000 < permille;
+  if (fire) {
+    append_ordered_locked(Event{session_, kExternalWorker,
+                                static_cast<std::uint8_t>(point), kActForce,
+                                0});
+  }
+  return fire;
+}
+
+std::string TortureScheduler::dump_log() {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve((ordered_.size() + logged_ + 2) * 32);
+  char line[96];
+  auto emit = [&](const Event& e) {
+    const char* point =
+        e.point < static_cast<std::uint8_t>(InjectPoint::kCount)
+            ? kPoints[e.point].name
+            : "-";
+    if (e.worker == kExternalWorker) {
+      std::snprintf(line, sizeof(line), "s%u ext %s %s %u\n", e.session,
+                    point, kActionNames[e.action], e.arg);
+    } else {
+      std::snprintf(line, sizeof(line), "s%u w%u %s %s %u\n", e.session,
+                    e.worker, point, kActionNames[e.action], e.arg);
+    }
+    out += line;
+  };
+  for (const Event& e : ordered_) emit(e);
+  for (const auto& [key, events] : per_thread_) {
+    for (const Event& e : events) emit(e);
+  }
+  std::snprintf(line, sizeof(line),
+                "# events=%llu dropped=%llu stalls=%llu\n",
+                static_cast<unsigned long long>(logged_),
+                static_cast<unsigned long long>(dropped_),
+                static_cast<unsigned long long>(stall_breaks_));
+  out += line;
+  return out;
+}
+
+std::uint64_t TortureScheduler::event_count() {
+  std::lock_guard lock(mutex_);
+  return logged_;
+}
+
+std::uint64_t TortureScheduler::dropped_events() {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t TortureScheduler::stall_breaks() {
+  std::lock_guard lock(mutex_);
+  return stall_breaks_;
+}
+
+}  // namespace pbdd::rt

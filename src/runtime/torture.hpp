@@ -1,0 +1,225 @@
+// Deterministic concurrency torture scheduler.
+//
+// The engine's riskiest mechanisms — group stealing with result writeback,
+// context-switch requests from idle workers, the three-phase mark-compact
+// collector, unique-table growth, and the arenas' RCU-style directory
+// publication — fail only under specific interleavings that the OS scheduler
+// produces by luck. This scheduler turns those interleavings into a seeded,
+// replayable input: injection points compiled into the hot paths (see
+// inject.hpp) report to it, and it perturbs or fully serializes the schedule.
+//
+// Two modes:
+//
+//  * kPerturb — threads run genuinely concurrently; every injection point
+//    may insert a seeded busy-delay and/or a forced std::this_thread::yield
+//    drawn from a per-(seed, session, worker) PRNG stream. This widens race
+//    windows by orders of magnitude and is the mode to combine with
+//    ThreadSanitizer. Not deterministic across runs (real concurrency never
+//    is), but the per-worker decision streams are.
+//
+//  * kSerialize — cooperative serialization: exactly one worker executes
+//    between yieldable injection points, and at every yieldable point the
+//    token is handed to a worker chosen by the seeded scheduler PRNG. All
+//    cross-thread communication in the engine happens between yieldable
+//    points, so the whole execution — including which worker claims which
+//    top-level operation, who steals which group, and every unique-table
+//    insertion order — is a pure function of (seed, config). Event logs are
+//    byte-identical across runs and a failing (seed, config) pair replays
+//    exactly.
+//
+// Deadlock-freedom in kSerialize rests on one discipline, enforced by the
+// per-point classification in point_yieldable(): a point that can fire while
+// an engine mutex is held is never yieldable, so a paused worker never holds
+// a lock the running worker could block on.
+//
+// Decision points (query()) deterministically force rare transitions:
+// collections at every safe point, context switches as if an idle worker
+// were hungry, same-size unique-table rehashes, and same-capacity arena
+// directory republication (the recovery/slow paths a failed fast-path
+// allocation would take).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pbdd::rt {
+
+enum class InjectPoint : std::uint8_t {
+  // Schedule points (hit) — see point_yieldable() for the lock discipline.
+  kStealAttempt = 0,  ///< thief about to scan victims
+  kStealSuccess,      ///< group popped from a victim's context stack
+  kStealWriteback,    ///< stolen result about to be published to the victim
+  kResolveStall,      ///< owner waiting on an in-flight stolen result
+  kHungryPoll,        ///< expansion polling the hungry-workers flag
+  kContextPush,       ///< context about to be pushed with stealable groups
+  kGroupTake,         ///< owner taking a group back from its own stack
+  kBatchLoop,         ///< batch-completion steal loop iteration
+  kBatchBarrier,      ///< batch epilogue, before the GC check
+  kGcBarrierWait,     ///< spinning in a GC phase barrier
+  kGcMark,            ///< start of one variable's parallel mark step
+  kGcRehash,          ///< about to try-lock a variable's table for rehash
+  kTableAcquire,      ///< about to block on a unique-table (segment) lock
+  kTableInsert,       ///< inside find_or_insert (lock may be held)
+  kTableGrow,         ///< unique-table bucket array growth/rehash
+  kArenaBlockAlloc,   ///< node arena allocating a fresh block
+  kArenaDirGrow,      ///< node arena (re)publishing its block directory
+  kReducePublish,     ///< reduction about to release-store an op result
+  // Decision points (query): deterministically force rare transitions.
+  kForceGc,           ///< run a collection at this safe point
+  kForceSpill,        ///< act as if an idle worker requested a switch
+  kForceTableGrow,    ///< same-size unique-table rehash churn
+  kForceDirChurn,     ///< same-capacity arena directory republication
+  kCount,
+};
+
+[[nodiscard]] const char* point_name(InjectPoint p) noexcept;
+
+/// True if the scheduler may park a thread at this point (kSerialize mode).
+/// Points that can fire while an engine mutex is held must return false.
+[[nodiscard]] bool point_yieldable(InjectPoint p) noexcept;
+
+enum class TortureMode : std::uint8_t { kPerturb, kSerialize };
+
+struct TortureConfig {
+  std::uint64_t seed = 1;
+  TortureMode mode = TortureMode::kPerturb;
+
+  // kPerturb knobs (ignored in kSerialize).
+  std::uint32_t delay_permille = 150;   ///< chance of a busy-delay per hit
+  std::uint32_t yield_permille = 150;   ///< chance of a yield per hit
+  std::uint32_t max_delay_spins = 64;   ///< busy-delay length, in pause units
+
+  // Decision-point firing rates (both modes).
+  std::uint32_t force_gc_permille = 0;
+  std::uint32_t force_spill_permille = 0;
+  std::uint32_t force_table_grow_permille = 0;
+  std::uint32_t force_dir_churn_permille = 0;
+
+  bool log_events = true;
+  std::size_t max_log_events = std::size_t{1} << 20;
+
+  /// kSerialize watchdog: a thread that cannot obtain the token for this
+  /// long (× a few retries while the holder is unchanged) forcibly
+  /// reschedules itself rather than hanging the suite. A triggered watchdog
+  /// is counted in stall_breaks() and voids the determinism guarantee for
+  /// that run, so tests assert it stayed zero.
+  std::uint32_t stall_timeout_ms = 2000;
+};
+
+/// Whether the engine was compiled with injection points (PBDD_TORTURE=ON).
+/// The scheduler itself is always available; without points it is simply
+/// never driven by the engine.
+[[nodiscard]] constexpr bool torture_compiled() noexcept {
+#ifdef PBDD_TORTURE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+class TortureScheduler {
+ public:
+  /// Process-wide instance, mirroring kernel-style fault injection: the hot
+  /// paths cannot thread a handle through every call, so the hooks reach the
+  /// scheduler globally. Tests enable/disable it around a run; it must not
+  /// be reconfigured while a manager is mid-operation.
+  static TortureScheduler& instance() noexcept;
+
+  void enable(const TortureConfig& config);
+  void disable() noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  // ---- Engine-side hooks (reached through the inject.hpp macros) ----------
+
+  /// A worker passed an injection point: maybe delay/yield (kPerturb) or
+  /// hand the schedule token to the next seeded choice (kSerialize).
+  void hit(InjectPoint point);
+
+  /// A decision point: returns true when the seeded stream says to force the
+  /// rare transition. Callable from unregistered threads (e.g. the main
+  /// thread between worker-pool sessions), which draw from a dedicated
+  /// external stream.
+  [[nodiscard]] bool query(InjectPoint point);
+
+  /// WorkerPool::run is about to dispatch a job to `count` workers. Starts a
+  /// new session: in kSerialize mode no worker is scheduled until all
+  /// `count` have registered, so the schedule is independent of thread
+  /// start-up jitter. Nested pool runs (sequential-mode GC) keep the
+  /// current session.
+  void expect_threads(unsigned count);
+
+  /// Worker `worker_id` starts executing a pool job on this thread.
+  void thread_begin(unsigned worker_id);
+  void thread_end();
+
+  // ---- Test-side introspection --------------------------------------------
+
+  /// Render the event log. In kSerialize mode the log is globally ordered
+  /// and byte-identical across runs of the same (seed, config); in kPerturb
+  /// mode events are grouped per (session, worker).
+  [[nodiscard]] std::string dump_log();
+
+  [[nodiscard]] std::uint64_t event_count();
+  [[nodiscard]] std::uint64_t dropped_events();
+  /// Times the kSerialize watchdog forcibly rescheduled a thread. Nonzero
+  /// means the run hit a scheduler stall and is not replay-deterministic.
+  [[nodiscard]] std::uint64_t stall_breaks();
+
+ private:
+  TortureScheduler() = default;
+
+  struct Event {
+    std::uint32_t session;
+    std::uint16_t worker;
+    std::uint8_t point;
+    std::uint8_t action;
+    std::uint32_t arg;
+  };
+  struct ThreadState;  // thread_local, defined in torture.cpp
+  static ThreadState& tls() noexcept;
+
+  void append_ordered_locked(const Event& e);
+  void yield_token_locked(std::unique_lock<std::mutex>& lk, unsigned worker);
+  void pick_next_locked();
+  void insert_waiting_locked(unsigned worker);
+
+  static constexpr unsigned kNoWorker = 0xFFFFFFFFu;
+  static constexpr std::uint16_t kExternalWorker = 0xFFFFu;
+
+  std::atomic<bool> enabled_{false};
+  TortureConfig config_{};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+
+  // Session / serialize state (guarded by mutex_).
+  std::uint32_t session_ = 0;
+  unsigned expected_ = 0;
+  unsigned arrived_ = 0;
+  unsigned active_ = 0;
+  unsigned current_ = kNoWorker;
+  std::vector<unsigned> waiting_;  // sorted worker ids parked at points
+  std::vector<unsigned> pending_begins_;  // arrivals awaiting the session log
+  util::Xoshiro256 sched_rng_{0};
+  util::Xoshiro256 ext_rng_{0};  // decision stream for unregistered threads
+
+  // Event log (guarded by mutex_).
+  std::vector<Event> ordered_;  // kSerialize: global deterministic order
+  std::map<std::pair<std::uint32_t, std::uint16_t>, std::vector<Event>>
+      per_thread_;              // kPerturb: per-(session, worker)
+  std::uint64_t logged_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t stall_breaks_ = 0;
+};
+
+}  // namespace pbdd::rt

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/inject.hpp"
+
 namespace pbdd::rt {
 
 class WorkerPool {
@@ -45,8 +47,11 @@ class WorkerPool {
   /// Run `job(worker_id)` on every worker; the caller executes worker 0.
   /// Blocks until all workers have finished. Not reentrant.
   void run(Job job) {
+    PBDD_TORTURE_EXPECT(workers_);
     if (workers_ == 1) {
+      PBDD_TORTURE_THREAD_BEGIN(0);
       job(0);
+      PBDD_TORTURE_THREAD_END();
       return;
     }
     {
@@ -56,7 +61,11 @@ class WorkerPool {
       ++epoch_;
     }
     start_cv_.notify_all();
+    // Register only after the helpers have been released: in serialized
+    // torture runs worker 0 may park until all expected workers arrive.
+    PBDD_TORTURE_THREAD_BEGIN(0);
     job_(0);
+    PBDD_TORTURE_THREAD_END();
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
   }
@@ -74,7 +83,9 @@ class WorkerPool {
         seen_epoch = epoch_;
         job = job_;  // copy: all helpers share the one job object
       }
+      PBDD_TORTURE_THREAD_BEGIN(id);
       job(id);
+      PBDD_TORTURE_THREAD_END();
       {
         std::lock_guard lock(mutex_);
         if (--pending_ == 0) done_cv_.notify_all();

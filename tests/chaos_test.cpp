@@ -6,12 +6,10 @@
 // provokes.
 #include <gtest/gtest.h>
 
-#include <set>
-#include <tuple>
-
 #include "core/bdd_manager.hpp"
 #include "df/df_manager.hpp"
 #include "oracle.hpp"
+#include "store_invariants.hpp"
 #include "util/prng.hpp"
 
 namespace pbdd {
@@ -22,19 +20,7 @@ using core::BddManager;
 using core::Config;
 
 void check_invariants(BddManager& mgr) {
-  std::set<std::tuple<unsigned, core::NodeRef, core::NodeRef>> seen;
-  for (unsigned w = 0; w < mgr.workers(); ++w) {
-    for (unsigned v = 0; v < mgr.num_vars(); ++v) {
-      const core::NodeArena& arena = mgr.worker(w).node_arena(v);
-      for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
-        const core::BddNode& n = arena.at(slot);
-        ASSERT_NE(n.low, n.high);
-        ASSERT_GT(core::level_of(n.low), v);
-        ASSERT_GT(core::level_of(n.high), v);
-        ASSERT_TRUE(seen.insert({v, n.low, n.high}).second);
-      }
-    }
-  }
+  ASSERT_EQ(test::check_store_invariants(mgr), "");
 }
 
 class ChaosParam

@@ -1,0 +1,46 @@
+// Shared node-store invariant checker, usable from gtest suites and from the
+// non-gtest torture_replay binary alike: returns an empty string when the
+// store is sound, otherwise a description of the first violation.
+#pragma once
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::test {
+
+/// Audit every allocated node across all (worker, variable) arenas:
+/// no redundant nodes (low == high), ordered children (child level strictly
+/// below this variable), and cross-arena canonicity (no two live nodes with
+/// the same (var, low, high)).
+inline std::string check_store_invariants(core::BddManager& mgr) {
+  std::set<std::tuple<unsigned, core::NodeRef, core::NodeRef>> seen;
+  for (unsigned w = 0; w < mgr.workers(); ++w) {
+    for (unsigned v = 0; v < mgr.num_vars(); ++v) {
+      const core::NodeArena& arena = mgr.worker(w).node_arena(v);
+      for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
+        const core::BddNode& n = arena.at(slot);
+        std::ostringstream where;
+        where << "worker " << w << " var " << v << " slot " << slot << ": ";
+        if (n.low == n.high) {
+          return where.str() + "redundant node (low == high)";
+        }
+        if (core::level_of(n.low) <= v) {
+          return where.str() + "low child level not below the node's var";
+        }
+        if (core::level_of(n.high) <= v) {
+          return where.str() + "high child level not below the node's var";
+        }
+        if (!seen.insert({v, n.low, n.high}).second) {
+          return where.str() + "duplicate of another live (var, low, high)";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace pbdd::test

@@ -1,0 +1,160 @@
+// Shared torture-run driver: one seeded workload, executed under an enabled
+// TortureScheduler and validated exhaustively against 64-bit truth tables
+// plus the store invariants. Used by the gtest sweep (torture_test.cpp) and
+// the non-gtest replay binary (torture_replay.cpp), so results come back as
+// data rather than assertions.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+#include "oracle.hpp"
+#include "runtime/torture.hpp"
+#include "store_invariants.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd::test {
+
+/// RAII enable/disable around a torture run. The scheduler's log survives
+/// disable(), so dump_log() stays valid after the guard is gone.
+class TortureGuard {
+ public:
+  explicit TortureGuard(const rt::TortureConfig& config) {
+    rt::TortureScheduler::instance().enable(config);
+  }
+  ~TortureGuard() { rt::TortureScheduler::instance().disable(); }
+  TortureGuard(const TortureGuard&) = delete;
+  TortureGuard& operator=(const TortureGuard&) = delete;
+};
+
+struct TortureRunResult {
+  std::string error;  ///< empty on success, first mismatch otherwise
+  std::vector<std::size_t> node_counts;  ///< per surviving function, at end
+  std::string event_log;
+  std::uint64_t groups_stolen = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t stall_breaks = 0;
+  std::uint64_t events = 0;
+};
+
+namespace detail {
+
+inline std::string validate_env(core::BddManager& mgr,
+                                const std::vector<core::Bdd>& env,
+                                const std::vector<TruthTable64>& tts,
+                                unsigned num_vars, int step) {
+  std::vector<bool> assignment(num_vars);
+  for (std::size_t k = 0; k < env.size(); ++k) {
+    for (unsigned i = 0; i < (1u << num_vars); ++i) {
+      for (unsigned v = 0; v < num_vars; ++v) {
+        assignment[v] = (i >> v) & 1;
+      }
+      if (mgr.eval(env[k], assignment) != tts[k].eval(i)) {
+        std::ostringstream msg;
+        msg << "step " << step << " fn " << k << " assignment " << i
+            << ": engine disagrees with the truth table";
+        return msg.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace detail
+
+/// Run `steps` seeded workload steps (applies, independent batches, handle
+/// churn, explicit collections) on a fresh manager, validating the whole
+/// environment exhaustively every 16 steps and once more after a final
+/// collection. The caller is expected to hold a TortureGuard; this function
+/// reads the scheduler's log and counters after the manager is destroyed.
+inline TortureRunResult run_torture_workload(const core::Config& config,
+                                             unsigned num_vars, int steps,
+                                             std::uint64_t program_seed) {
+  TortureRunResult out;
+  util::Xoshiro256 rng(program_seed);
+  std::uint64_t groups_stolen = 0;
+  std::uint64_t gc_runs = 0;
+  {
+    core::BddManager mgr(num_vars, config);
+    std::vector<core::Bdd> env;
+    std::vector<TruthTable64> tts;
+    for (unsigned v = 0; v < num_vars; ++v) {
+      env.push_back(mgr.var(v));
+      tts.push_back(TruthTable64::input(v, num_vars));
+    }
+    auto pick = [&] { return rng.below(env.size()); };
+
+    for (int step = 0; step < steps && out.error.empty(); ++step) {
+      const std::uint64_t dice = rng.below(100);
+      if (dice < 55) {  // single top-level apply
+        const Op op = static_cast<Op>(rng.below(kNumOps));
+        const std::size_t a = pick(), b = pick();
+        env.push_back(mgr.apply(op, env[a], env[b]));
+        tts.push_back(tts[a].apply(op, tts[b]));
+      } else if (dice < 80) {  // batch of independent operations
+        std::vector<core::BatchOp> batch;
+        std::vector<TruthTable64> expected;
+        const unsigned count = 2 + static_cast<unsigned>(rng.below(5));
+        for (unsigned i = 0; i < count; ++i) {
+          const Op op = static_cast<Op>(rng.below(kNumOps));
+          const std::size_t a = pick(), b = pick();
+          batch.push_back(core::BatchOp{op, env[a], env[b]});
+          expected.push_back(tts[a].apply(op, tts[b]));
+        }
+        auto results = mgr.apply_batch(batch);
+        for (unsigned i = 0; i < count; ++i) {
+          env.push_back(std::move(results[i]));
+          tts.push_back(expected[i]);
+        }
+      } else if (dice < 90) {  // handle churn: drop a suffix, copy survivors
+        if (env.size() > 2 * num_vars) {
+          const std::size_t keep =
+              num_vars + rng.below(env.size() - num_vars);
+          env.erase(env.begin() + static_cast<std::ptrdiff_t>(keep),
+                    env.end());
+          tts.erase(tts.begin() + static_cast<std::ptrdiff_t>(keep),
+                    tts.end());
+        }
+        const std::size_t a = pick();
+        env.push_back(env[a]);
+        tts.push_back(tts[a]);
+      } else if (dice < 96) {  // explicit stop-the-world collection
+        mgr.gc();
+      } else {  // ITE exercises the two-round batch path
+        const std::size_t a = pick(), b = pick(), c = pick();
+        env.push_back(mgr.ite(env[a], env[b], env[c]));
+        tts.push_back(tts[a]
+                          .apply(Op::And, tts[b])
+                          .apply(Op::Or, tts[c].apply(Op::Diff, tts[a])));
+      }
+
+      if (step % 16 == 15) {
+        out.error = detail::validate_env(mgr, env, tts, num_vars, step);
+        if (out.error.empty()) out.error = check_store_invariants(mgr);
+      }
+    }
+
+    if (out.error.empty()) {
+      mgr.gc();
+      out.error = detail::validate_env(mgr, env, tts, num_vars, steps);
+      if (out.error.empty()) out.error = check_store_invariants(mgr);
+      for (const core::Bdd& f : env) {
+        out.node_counts.push_back(mgr.node_count(f));
+      }
+    }
+    const core::ManagerStats stats = mgr.stats();
+    groups_stolen = stats.total.groups_stolen;
+    gc_runs = stats.gc_runs;
+  }
+  out.groups_stolen = groups_stolen;
+  out.gc_runs = gc_runs;
+  auto& sched = rt::TortureScheduler::instance();
+  out.event_log = sched.dump_log();
+  out.stall_breaks = sched.stall_breaks();
+  out.events = sched.event_count();
+  return out;
+}
+
+}  // namespace pbdd::test

@@ -1,0 +1,194 @@
+// Replay a captured torture seed file (tests/seeds/*.seed) and exit 0 iff
+// the run passes validation. Each seed file is wired into ctest as its own
+// named test (seed_<name>), so the corpus doubles as a permanent regression
+// suite: `ctest -R seed_` reruns every captured failure.
+//
+// Seed file format: one `key=value` per line; `#` starts a comment. Keys
+// split into scheduler knobs (seed, mode, delay_permille, ...), engine
+// config (workers, eval_threshold, ...), and workload shape (num_vars,
+// steps, program_seed). Unknown keys are an error, so a corpus file cannot
+// silently stop exercising what it was captured for.
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/bdd_manager.hpp"
+#include "runtime/torture.hpp"
+#include "torture_driver.hpp"
+
+namespace {
+
+struct ReplaySpec {
+  pbdd::rt::TortureConfig torture;
+  pbdd::core::Config config;
+  unsigned num_vars = 4;
+  int steps = 40;
+  std::uint64_t program_seed = 1;
+  bool expect_deterministic = false;  // run twice, require identical logs
+};
+
+bool apply_key(ReplaySpec& spec, const std::string& key,
+               const std::string& value, std::string& error) try {
+  const auto u64 = [&] { return std::stoull(value); };
+  const auto u32 = [&] { return static_cast<std::uint32_t>(std::stoul(value)); };
+
+  if (key == "seed") spec.torture.seed = u64();
+  else if (key == "mode") {
+    if (value == "perturb") {
+      spec.torture.mode = pbdd::rt::TortureMode::kPerturb;
+    } else if (value == "serialize") {
+      spec.torture.mode = pbdd::rt::TortureMode::kSerialize;
+    } else {
+      error = "mode must be 'perturb' or 'serialize', got '" + value + "'";
+      return false;
+    }
+  }
+  else if (key == "delay_permille") spec.torture.delay_permille = u32();
+  else if (key == "yield_permille") spec.torture.yield_permille = u32();
+  else if (key == "max_delay_spins") spec.torture.max_delay_spins = u32();
+  else if (key == "force_gc_permille") spec.torture.force_gc_permille = u32();
+  else if (key == "force_spill_permille") {
+    spec.torture.force_spill_permille = u32();
+  }
+  else if (key == "force_table_grow_permille") {
+    spec.torture.force_table_grow_permille = u32();
+  }
+  else if (key == "force_dir_churn_permille") {
+    spec.torture.force_dir_churn_permille = u32();
+  }
+  else if (key == "stall_timeout_ms") spec.torture.stall_timeout_ms = u32();
+  else if (key == "workers") spec.config.workers = u32();
+  else if (key == "sequential") spec.config.sequential_mode = u64() != 0;
+  else if (key == "eval_threshold") spec.config.eval_threshold = u64();
+  else if (key == "group_size") spec.config.group_size = u32();
+  else if (key == "share_poll_interval") {
+    spec.config.share_poll_interval = u32();
+  }
+  else if (key == "table_shards") spec.config.table_shards = u32();
+  else if (key == "gc_min_nodes") {
+    spec.config.gc_min_nodes = static_cast<std::size_t>(u64());
+  }
+  else if (key == "gc_growth_factor") {
+    spec.config.gc_growth_factor = std::stod(value);
+  }
+  else if (key == "auto_gc") spec.config.auto_gc = u64() != 0;
+  else if (key == "num_vars") spec.num_vars = u32();
+  else if (key == "steps") spec.steps = static_cast<int>(u64());
+  else if (key == "program_seed") spec.program_seed = u64();
+  else if (key == "expect_deterministic") {
+    spec.expect_deterministic = u64() != 0;
+  }
+  else {
+    error = "unknown key '" + key + "'";
+    return false;
+  }
+  return true;
+} catch (const std::exception&) {  // stoull/stoul/stod on a malformed value
+  error = "bad numeric value '" + value + "' for key '" + key + "'";
+  return false;
+}
+
+bool parse_seed_file(const char* path, ReplaySpec& spec, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = std::string("cannot open ") + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = "line " + std::to_string(lineno) + ": expected key=value";
+      return false;
+    }
+    const auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      if (b == std::string::npos) return std::string();
+      return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    std::string key_error;
+    if (!apply_key(spec, key, value, key_error)) {
+      error = "line " + std::to_string(lineno) + ": " + key_error;
+      return false;
+    }
+  }
+  if (spec.num_vars < 1 || spec.num_vars > 6) {
+    error = "num_vars must be in [1, 6] (truth-table oracle limit)";
+    return false;
+  }
+  return true;
+}
+
+pbdd::test::TortureRunResult run(const ReplaySpec& spec) {
+  pbdd::test::TortureGuard guard(spec.torture);
+  return pbdd::test::run_torture_workload(spec.config, spec.num_vars,
+                                          spec.steps, spec.program_seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: torture_replay <file.seed>\n");
+    return 2;
+  }
+  ReplaySpec spec;
+  std::string error;
+  if (!parse_seed_file(argv[1], spec, error)) {
+    std::fprintf(stderr, "torture_replay: %s: %s\n", argv[1], error.c_str());
+    return 2;
+  }
+
+  const auto first = run(spec);
+  if (!first.error.empty()) {
+    std::fprintf(stderr, "FAIL %s\n%s\n--- event log ---\n%s", argv[1],
+                 first.error.c_str(), first.event_log.c_str());
+    return 1;
+  }
+  if (first.stall_breaks != 0) {
+    std::fprintf(stderr,
+                 "FAIL %s: %llu scheduler stall break(s); run is not "
+                 "replay-deterministic\n",
+                 argv[1], static_cast<unsigned long long>(first.stall_breaks));
+    return 1;
+  }
+
+  if (spec.expect_deterministic) {
+    const auto second = run(spec);
+    if (!second.error.empty()) {
+      std::fprintf(stderr, "FAIL %s (second run)\n%s\n", argv[1],
+                   second.error.c_str());
+      return 1;
+    }
+    if (first.event_log != second.event_log ||
+        first.node_counts != second.node_counts) {
+      std::fprintf(stderr,
+                   "FAIL %s: two runs of the same (seed, config) diverged "
+                   "(%llu vs %llu events)\n",
+                   argv[1], static_cast<unsigned long long>(first.events),
+                   static_cast<unsigned long long>(second.events));
+      return 1;
+    }
+  }
+
+  std::printf("PASS %s (%llu events, %llu stolen groups, %llu collections)\n",
+              argv[1], static_cast<unsigned long long>(first.events),
+              static_cast<unsigned long long>(first.groups_stolen),
+              static_cast<unsigned long long>(first.gc_runs));
+  return 0;
+}

@@ -177,6 +177,43 @@ TEST(UniqueTableSharded, ConcurrentInsertersStayCanonical) {
   }
 }
 
+TEST(UniqueTableSharded, ConcurrentInsertDuringRehash) {
+  // All workers hammer one variable's table across forced growth: the
+  // initial bucket arrays are as small as init() allows, so every segment
+  // rehashes several times while the other threads are mid-insert on the
+  // same key universe. Every key must still resolve to exactly one node.
+  constexpr unsigned kWorkers = 4;
+  NodeArena arenas[kWorkers];
+  VarUniqueTable table;
+  table.init(1, {&arenas[0], &arenas[1], &arenas[2], &arenas[3]}, 16,
+             /*shards=*/4);
+  constexpr unsigned kKeys = 1u << 15;
+  std::vector<NodeRef> results[kWorkers];
+  std::thread threads[kWorkers];
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads[t] = std::thread([&, t] {
+      results[t].resize(kKeys);
+      bool created = false;
+      for (unsigned i = 0; i < kKeys; ++i) {
+        // Each worker walks the shared key set in a different order (odd
+        // strides permute the power-of-two universe), so chain rebuilds
+        // interleave with hits and misses from every side.
+        const unsigned key = (i * (2 * t + 1) + t * 7919) % kKeys;
+        results[t][key] = table.find_or_insert(
+            t, make_node_ref(0, 2, key), make_node_ref(0, 3, key), created);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.count(), kKeys);
+  EXPECT_GT(table.buckets(), 64u) << "growth should have been forced";
+  for (unsigned i = 0; i < kKeys; ++i) {
+    for (unsigned t = 1; t < kWorkers; ++t) {
+      ASSERT_EQ(results[0][i], results[t][i]) << "key " << i;
+    }
+  }
+}
+
 TEST(NodeArenaTest, ConcurrentReadsDuringGrowth) {
   // One writer bump-allocates thousands of nodes (forcing directory
   // growth) while readers resolve already-published slots.
