@@ -7,6 +7,7 @@
 // requires real cores: on a single-core machine the thread sweep still runs
 // but speedups hover around 1.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -91,6 +92,31 @@ int main(int argc, char** argv) {
     std::printf(
         "\nPaper reference (SGI Power Challenge, 8 procs): speedups of over\n"
         "two on four processors and up to four on eight processors.\n");
+  }
+
+  // Machine-readable dump for the CI benchmark artifact: one record per
+  // (configuration row, circuit) cell, so regressions can be diffed across
+  // commits without parsing the tables.
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"fig07_08_elapsed\",\n  \"results\": [\n";
+    bool first = true;
+    for (const std::string& row : row_labels) {
+      for (const bench::Workload& w : workloads) {
+        const Cell& cell = grid[row][w.name];
+        if (!first) out << ",\n";
+        first = false;
+        out << "    {\"config\": \"" << row << "\", \"circuit\": \""
+            << w.name << "\", \"elapsed_s\": " << cell.elapsed
+            << ", \"checksum\": " << cell.checksum << "}";
+      }
+    }
+    out << "\n  ]\n}\n";
+    std::printf("\nwrote %s\n", cli.json_path.c_str());
   }
   return 0;
 }

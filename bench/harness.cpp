@@ -30,7 +30,9 @@ std::vector<std::string> split(const std::string& s, char sep) {
   std::fprintf(stderr,
                "error: %s\n"
                "flags: --circuits a,b,c  --threads 1,2,4,8  --no-seq\n"
-               "       --threshold N  --group N  --cache-log2 N  --gc-min N  --csv\n"
+               "       --threshold N  --group N  --cache-log2 N  --gc-min N\n"
+               "       --discipline passlock|sharded|lockfree  --csv\n"
+               "       --json PATH\n"
                "circuit specs: c2670s c3540s c17 mult-N alu-N cmp-N add-N "
                "par-N rand-N or a .bench file path\n",
                message.c_str());
@@ -69,8 +71,21 @@ Cli parse_cli(int argc, char** argv,
           static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
     } else if (arg == "--gc-min") {
       cli.gc_min_nodes = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--discipline") {
+      const std::string d = next();
+      if (d == "passlock") {
+        cli.discipline = core::TableDiscipline::kPassLock;
+      } else if (d == "sharded") {
+        cli.discipline = core::TableDiscipline::kSharded;
+      } else if (d == "lockfree") {
+        cli.discipline = core::TableDiscipline::kLockFree;
+      } else {
+        usage_error("unknown discipline " + d);
+      }
     } else if (arg == "--csv") {
       cli.csv = true;
+    } else if (arg == "--json") {
+      cli.json_path = next();
     } else {
       usage_error("unknown flag " + arg);
     }
@@ -157,6 +172,7 @@ core::Config config_for(const Cli& cli, unsigned workers, bool sequential) {
   config.group_size = cli.group_size;
   config.cache_log2 = cli.cache_log2;
   config.gc_min_nodes = cli.gc_min_nodes;
+  config.table_discipline = cli.discipline;
   return config;
 }
 

@@ -33,7 +33,9 @@ struct Cli {
   std::uint32_t group_size = core::Config{}.group_size;
   unsigned cache_log2 = core::Config{}.cache_log2;
   std::size_t gc_min_nodes = core::Config{}.gc_min_nodes;
+  core::TableDiscipline discipline = core::Config{}.table_discipline;
   bool csv = false;
+  std::string json_path;  ///< when set, fig binaries dump results as JSON
 };
 
 /// Parse the common flags:
@@ -43,7 +45,9 @@ struct Cli {
 ///   --threshold N      evaluation threshold
 ///   --group N          steal-group size
 ///   --cache-log2 N     per-worker compute-cache size
+///   --discipline D     unique-table locking: passlock, sharded, lockfree
 ///   --csv              machine-readable output in addition to tables
+///   --json PATH        dump results as JSON (fig07_08_elapsed)
 /// Unknown flags abort with a usage message.
 Cli parse_cli(int argc, char** argv,
               std::vector<std::string> default_circuits = {

@@ -19,13 +19,33 @@ Config normalized(Config config) {
   if (config.workers == 0) config.workers = 1;
   if (config.sequential_mode) {
     config.workers = 1;
-    config.table_shards = 1;  // lock elision needs the pass-level discipline
+    // Lock elision needs the pass-level discipline: the engine simply never
+    // takes the (uncontended) lock, and the atomics of the lock-free path
+    // would be pure overhead with one thread.
+    config.table_discipline = TableDiscipline::kPassLock;
+    config.table_shards = 1;
   }
   if (config.group_size == 0) config.group_size = 1;
   if (config.table_shards == 0) config.table_shards = 1;
   // Round shards down to a power of two.
   while (config.table_shards & (config.table_shards - 1)) {
     config.table_shards &= config.table_shards - 1;
+  }
+  // Reconcile discipline and shard count: the lock-free table has a single
+  // bucket array (no segments), a shard count above one implies kSharded,
+  // and kSharded with one shard falls back to its default striping.
+  switch (config.table_discipline) {
+    case TableDiscipline::kLockFree:
+      config.table_shards = 1;
+      break;
+    case TableDiscipline::kSharded:
+      if (config.table_shards == 1) config.table_shards = 4;
+      break;
+    case TableDiscipline::kPassLock:
+      if (config.table_shards > 1) {
+        config.table_discipline = TableDiscipline::kSharded;
+      }
+      break;
   }
   return config;
 }
@@ -52,7 +72,7 @@ BddManager::BddManager(unsigned num_vars, Config config)
     }
     unique_[v].init(v, std::move(arenas),
                     std::size_t{1} << config_.initial_buckets_log2,
-                    config_.table_shards);
+                    config_.table_shards, config_.table_discipline);
   }
 }
 
@@ -120,7 +140,7 @@ NodeRef BddManager::root_ref(std::uint32_t root) const noexcept {
 NodeRef BddManager::mk_node(unsigned var, NodeRef low, NodeRef high) {
   if (low == high) return low;
   VarUniqueTable& table = unique_[var];
-  const bool pass_lock = locking_ && !table.sharded();
+  const bool pass_lock = locking_ && table.pass_locked();
   if (pass_lock) table.acquire(0);
   bool created = false;
   const NodeRef r = table.find_or_insert(0, low, high, created);
@@ -497,11 +517,13 @@ ManagerStats BddManager::stats() const {
   s.per_worker.reserve(workers_.size());
   for (unsigned id = 0; id < workers_.size(); ++id) {
     WorkerStats w = workers_[id]->stats();
-    // Lock waits are recorded in the unique tables (per variable, per
-    // worker); fold this worker's share into its stats.
+    // Lock waits and CAS retries are recorded in the unique tables (per
+    // variable, per worker); fold this worker's share into its stats.
     w.lock_wait_ns = 0;
+    w.cas_retries = 0;
     for (const VarUniqueTable& table : unique_) {
       w.lock_wait_ns += table.lock_wait_ns(id);
+      w.cas_retries += table.cas_retries(id);
     }
     s.per_worker.push_back(w);
     s.total += w;

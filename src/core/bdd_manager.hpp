@@ -30,6 +30,7 @@
 #include "core/worker.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/worker_pool.hpp"
+#include "util/aligned.hpp"
 
 namespace pbdd::core {
 
@@ -195,8 +196,11 @@ class BddManager {
     };
     std::vector<Item> items;
     std::vector<Bdd> result_handles;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> completed{0};
+    // Separate lines: `next` is hammered by every worker claiming items
+    // while `completed` is hammered by every worker finishing them; on one
+    // line each fetch_add would invalidate the other counter too.
+    alignas(util::kCacheLineBytes) std::atomic<std::size_t> next{0};
+    alignas(util::kCacheLineBytes) std::atomic<std::size_t> completed{0};
   };
   [[nodiscard]] BatchState& batch() noexcept { return batch_state_; }
 
@@ -209,8 +213,11 @@ class BddManager {
   NodeRef mk_node(unsigned var, NodeRef low, NodeRef high);
 
   /// Count of workers currently finding nothing to steal; busy workers poll
-  /// this and context-switch to expose sharable groups (Section 3.3).
-  std::atomic<std::uint32_t> hungry_workers{0};
+  /// this and context-switch to expose sharable groups (Section 3.3). On
+  /// its own cache line: it is polled from every expansion loop, and
+  /// sharing a line with neighbouring manager fields would turn their
+  /// writes into polling misses.
+  alignas(util::kCacheLineBytes) std::atomic<std::uint32_t> hungry_workers{0};
 
   /// True while the manager must honour cross-worker locking. With a single
   /// worker in sequential mode the per-variable locks are elided.

@@ -12,6 +12,11 @@
 // expansion phase run without any synchronization, at the cost of some
 // duplicated work between workers (quantified in Figs. 11/12).
 //
+// Layout: an entry is exactly 32 bytes — the tag fields (op, valid,
+// generation) are packed into one 64-bit meta word next to f/g/result — and
+// the entry array is 64-byte aligned, so two entries share each cache line
+// and a probe (tag compare + result read) touches exactly one line.
+//
 // Validity rules for a hit whose entry holds an operator node:
 //   * the entry's generation must match the current operator-arena
 //     generation (operator nodes are recycled wholesale between top-level
@@ -24,11 +29,13 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <new>
+#include <utility>
 
 #include "common/op.hpp"
 #include "core/node.hpp"
 #include "core/ref.hpp"
+#include "util/aligned.hpp"
 #include "util/hash.hpp"
 
 namespace pbdd::core {
@@ -39,14 +46,57 @@ class ComputeCache {
     NodeRef f = kInvalid;
     NodeRef g = kInvalid;
     Ref result = kInvalid;
-    std::uint32_t generation = 0;
-    std::uint16_t op = 0xFFFF;
-    std::uint16_t valid = 0;
+    /// bit 63 = valid, bits 32..47 = op, bits 0..31 = generation.
+    std::uint64_t meta = 0;
+
+    static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+
+    [[nodiscard]] static constexpr std::uint64_t pack(
+        Op op, std::uint32_t generation) noexcept {
+      return kValidBit |
+             (static_cast<std::uint64_t>(static_cast<std::uint16_t>(op))
+              << 32) |
+             generation;
+    }
+    [[nodiscard]] bool valid() const noexcept {
+      return (meta & kValidBit) != 0;
+    }
+    [[nodiscard]] std::uint16_t op() const noexcept {
+      return static_cast<std::uint16_t>(meta >> 32);
+    }
+    [[nodiscard]] std::uint32_t generation() const noexcept {
+      return static_cast<std::uint32_t>(meta);
+    }
+    /// Tag compare for a probe: valid bit and op in one word, then f/g.
+    [[nodiscard]] bool matches(Op op_, NodeRef f_,
+                               NodeRef g_) const noexcept {
+      return valid() && op() == static_cast<std::uint16_t>(op_) &&
+             f == f_ && g == g_;
+    }
   };
+  static_assert(sizeof(Entry) == 32,
+                "two entries per cache line; a probe stays single-line");
+  static_assert(util::kCacheLineBytes % sizeof(Entry) == 0);
+
+  ComputeCache() = default;
+  ComputeCache(const ComputeCache&) = delete;
+  ComputeCache& operator=(const ComputeCache&) = delete;
+  ComputeCache(ComputeCache&& other) noexcept { swap(other); }
+  ComputeCache& operator=(ComputeCache&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~ComputeCache() { release(); }
 
   void init(unsigned log2_entries) {
-    entries_.assign(std::size_t{1} << log2_entries, Entry{});
-    mask_ = (std::uint64_t{1} << log2_entries) - 1;
+    release();
+    count_ = std::size_t{1} << log2_entries;
+    mask_ = count_ - 1;
+    // Line-aligned storage: std::vector's allocator only guarantees
+    // alignof(Entry), which would let entries straddle line boundaries.
+    entries_ = static_cast<Entry*>(::operator new(
+        count_ * sizeof(Entry), std::align_val_t{util::kCacheLineBytes}));
+    for (std::size_t i = 0; i < count_; ++i) new (entries_ + i) Entry{};
   }
 
   [[nodiscard]] std::uint32_t slot_for(Op op, NodeRef f,
@@ -60,17 +110,12 @@ class ComputeCache {
   [[nodiscard]] const Entry* lookup(std::uint32_t slot, Op op, NodeRef f,
                                     NodeRef g) const noexcept {
     const Entry& e = entries_[slot];
-    if (e.valid && e.op == static_cast<std::uint16_t>(op) && e.f == f &&
-        e.g == g) {
-      return &e;
-    }
-    return nullptr;
+    return e.matches(op, f, g) ? &e : nullptr;
   }
 
   void insert(std::uint32_t slot, Op op, NodeRef f, NodeRef g, Ref result,
               std::uint32_t generation) noexcept {
-    entries_[slot] = Entry{f, g, result, generation,
-                           static_cast<std::uint16_t>(op), 1};
+    entries_[slot] = Entry{f, g, result, Entry::pack(op, generation)};
   }
 
   /// Reduction write-back: replace the uncomputed entry with the computed
@@ -78,24 +123,38 @@ class ComputeCache {
   void complete(std::uint32_t slot, Op op, NodeRef f, NodeRef g,
                 Ref op_ref, NodeRef result) noexcept {
     Entry& e = entries_[slot];
-    if (e.valid && e.op == static_cast<std::uint16_t>(op) && e.f == f &&
-        e.g == g && e.result == op_ref) {
-      e.result = result;
-    }
+    if (e.matches(op, f, g) && e.result == op_ref) e.result = result;
   }
 
   /// Drop everything (garbage collection moves nodes, so BDD references in
   /// the cache would dangle).
   void flush() noexcept {
-    for (Entry& e : entries_) e.valid = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      entries_[i].meta &= ~Entry::kValidBit;
+    }
   }
 
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return entries_.capacity() * sizeof(Entry);
+    return count_ * sizeof(Entry);
   }
 
  private:
-  std::vector<Entry> entries_;
+  void swap(ComputeCache& other) noexcept {
+    std::swap(entries_, other.entries_);
+    std::swap(count_, other.count_);
+    std::swap(mask_, other.mask_);
+  }
+  void release() noexcept {
+    if (entries_ != nullptr) {
+      ::operator delete(entries_, std::align_val_t{util::kCacheLineBytes});
+      entries_ = nullptr;
+    }
+    count_ = 0;
+    mask_ = 0;
+  }
+
+  Entry* entries_ = nullptr;
+  std::size_t count_ = 0;
   std::uint64_t mask_ = 0;
 };
 

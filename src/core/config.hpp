@@ -7,6 +7,21 @@
 
 namespace pbdd::core {
 
+/// Locking discipline of the per-variable unique tables (see
+/// core/unique_table.hpp for the protocols).
+enum class TableDiscipline : std::uint8_t {
+  /// The paper's layout: one mutex per variable, acquired once per
+  /// (worker, variable) reduction pass.
+  kPassLock,
+  /// Mutex-striped hash segments (Section 6's "distributed hashing");
+  /// the segment count is Config::table_shards.
+  kSharded,
+  /// Lock-free: atomic bucket heads, CAS publication with speculative
+  /// allocation, epoch-claimed growth. No mutex anywhere on the insert
+  /// path.
+  kLockFree,
+};
+
 /// What to do when an evaluation context exceeds the threshold.
 enum class OverflowPolicy : std::uint8_t {
   /// The paper's partial breadth-first algorithm: push the context, spill
@@ -54,11 +69,17 @@ struct Config {
   /// Initial buckets per variable's unique table (power of two).
   unsigned initial_buckets_log2 = 8;
 
+  /// Unique-table locking discipline. kPassLock with table_shards > 1 is
+  /// normalized to kSharded; kSharded with table_shards == 1 gets a default
+  /// shard count; kLockFree ignores table_shards (one atomic bucket array).
+  /// Sequential mode forces kPassLock, whose lock is then elided entirely.
+  TableDiscipline table_discipline = TableDiscipline::kPassLock;
+
   /// Lock-striped segments per variable's unique table (power of two).
   /// 1 = the paper's one-lock-per-variable discipline (reduction acquires
   /// once per pass). >1 implements the finer-grained distributed hashing
   /// the paper's Section 6 calls for: inserts lock only their hash-selected
-  /// segment. Forced to 1 in sequential mode.
+  /// segment. Forced to 1 in sequential mode and in kLockFree.
   unsigned table_shards = 1;
 
   /// Automatic GC at a batch barrier when allocated node slots exceed this
@@ -75,7 +96,14 @@ struct Config {
 
 /// Per-worker counters. Plain (non-atomic): each worker writes only its own
 /// copy; aggregation happens after barriers.
-struct WorkerStats {
+///
+/// False-sharing audit: each WorkerStats lives inside its own heap-allocated
+/// Worker (never in a shared array), so adjacent counters are only ever
+/// touched by one thread and need no per-field padding. The structure is
+/// still line-aligned so the hot counters of a worker cannot straddle into
+/// a neighbouring allocation's line. Shared per-worker arrays (the unique
+/// tables' wait/retry meters) use util::PaddedCounter instead.
+struct alignas(64) WorkerStats {
   std::uint64_t ops_performed = 0;      ///< Shannon expansions (Fig. 11)
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
@@ -94,6 +122,7 @@ struct WorkerStats {
   std::uint64_t expansion_ns = 0;
   std::uint64_t reduction_ns = 0;
   std::uint64_t lock_wait_ns = 0;       ///< total unique-table lock waits
+  std::uint64_t cas_retries = 0;        ///< lock-free table CAS retries/waits
   std::uint64_t gc_ns = 0;
   std::uint64_t gc_mark_ns = 0;
   std::uint64_t gc_fix_ns = 0;
@@ -116,6 +145,7 @@ struct WorkerStats {
     expansion_ns += o.expansion_ns;
     reduction_ns += o.reduction_ns;
     lock_wait_ns += o.lock_wait_ns;
+    cas_retries += o.cas_retries;
     gc_ns += o.gc_ns;
     gc_mark_ns += o.gc_mark_ns;
     gc_fix_ns += o.gc_fix_ns;

@@ -12,6 +12,11 @@ namespace pbdd::core {
 /// Internal BDD node. The variable index is implicit: the node lives in its
 /// variable's arena (paper Section 3.1, per-variable node managers).
 ///
+/// Layout is cache-conscious: 32 bytes, so exactly two nodes share one
+/// 64-byte line, and arena blocks are line-aligned (NodeArena) so a node
+/// never straddles two lines. A unique-table chain compare (`low`, `high`,
+/// `next`) therefore touches exactly one line per probed node.
+///
 /// `aux` is only written during stop-the-world garbage collection, where the
 /// mark bit must tolerate concurrent marking from several workers whose
 /// nodes share a child; everywhere else it is zero.
@@ -21,14 +26,19 @@ struct BddNode {
   /// Unique-table chain: full reference of the next node in this bucket
   /// (chains cross worker arenas within one variable). kZero (0) terminates
   /// the chain — terminals are never chained.
-  NodeRef next = kZero;
+  ///
+  /// Atomic because the lock-free table discipline publishes and rewrites
+  /// chain links while other workers walk them (acquire/release there). The
+  /// mutex disciplines use relaxed accesses — ordering comes from the lock.
+  std::atomic<NodeRef> next{kZero};
   /// GC scratch: bit 63 = mark, bits 0..31 = forwarding slot.
   std::atomic<std::uint64_t> aux{0};
 
   static constexpr std::uint64_t kMarkBit = std::uint64_t{1} << 63;
 };
 
-static_assert(sizeof(BddNode) == 32);
+static_assert(sizeof(BddNode) == 32,
+              "two nodes per cache line; chain probes stay single-line");
 
 /// Operator node (Figs. 4-6): one pending Shannon expansion f op g.
 ///

@@ -42,12 +42,32 @@ class NodeArena {
     delete[] dir_.load(std::memory_order_relaxed);
   }
 
-  /// Owner-only: allocate one slot.
+  /// Owner-only: allocate one slot. Recycled slots (free_slot) are reused
+  /// before the bump pointer advances.
   std::uint32_t alloc() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
     const std::uint32_t slot = size_;
     if ((slot >> kLog2BlockSlots) == blocks_.size()) add_block();
     ++size_;
     return slot;
+  }
+
+  /// Owner-only: return a slot that was allocated speculatively but never
+  /// published (a losing racer in the lock-free unique table). The slot is
+  /// tombstoned — low == high == kInvalid, aux clear — so store audits and
+  /// the collector's mark scan both see it as dead; the next collection
+  /// compacts it away (truncate() then drops the stale free list).
+  void free_slot(std::uint32_t slot) {
+    BddNode& n = at_own(slot);
+    n.low = kInvalid;
+    n.high = kInvalid;
+    n.next.store(kZero, std::memory_order_relaxed);
+    n.aux.store(0, std::memory_order_relaxed);
+    free_slots_.push_back(slot);
   }
 
   /// Safe from any thread for published slots.
@@ -73,6 +93,9 @@ class NodeArena {
   /// and release now-empty trailing blocks plus retired directories.
   void truncate(std::uint32_t new_size) {
     assert(new_size <= size_);
+    // Sliding compaction renumbered every live slot, so recycled-slot
+    // indices recorded before the collection are meaningless now.
+    free_slots_.clear();
     size_ = new_size;
     const std::size_t blocks_needed =
         (static_cast<std::size_t>(size_) + kBlockSlots - 1) / kBlockSlots;
@@ -87,9 +110,12 @@ class NodeArena {
   }
 
  private:
-  struct Block {
+  /// Line-aligned so the 32-byte nodes pack two per 64-byte line with no
+  /// node straddling a boundary (see BddNode's layout comment).
+  struct alignas(64) Block {
     BddNode slots[kBlockSlots];
   };
+  static_assert(sizeof(Block) % 64 == 0);
 
   void add_block() {
     PBDD_INJECT(kArenaBlockAlloc);
@@ -125,6 +151,7 @@ class NodeArena {
   std::atomic<Block**> dir_{nullptr};   // reader-side directory
   std::size_t dir_capacity_ = 0;
   std::vector<Block**> retired_dirs_;   // old directories pending reclaim
+  std::vector<std::uint32_t> free_slots_;  // owner-only recycled slots
   std::uint32_t size_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include "core/bdd_manager.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
+#include "util/aligned.hpp"
 #include "util/timer.hpp"
 
 namespace pbdd::core {
@@ -79,7 +80,7 @@ Ref Worker::preprocess(Op op, NodeRef f, NodeRef g) {
       ++stats_.cache_hits;
       return e->result;
     }
-    if (e->generation == mgr_->op_generation()) {
+    if (e->generation() == mgr_->op_generation()) {
       OpNode& cached = own_op(e->result);
       const Ref res = cached.result.load(std::memory_order_acquire);
       if (res != kInvalid) {
@@ -141,6 +142,16 @@ void Worker::expansion() {
       q.head = n.next;
       if (q.head == kNilSlot) q.tail = kNilSlot;
       --ctx.queued;
+
+      // Prefetch the next operation and its operand nodes: cofactoring
+      // reads both operands' (low, high), and those lines are the dominant
+      // expansion-phase misses on large builds.
+      if (q.head != kNilSlot) {
+        const OpNode& peek = op_arenas_[x].at(q.head);
+        util::prefetch_read(&peek);
+        if (is_internal(peek.f)) util::prefetch_read(&mgr_->node(peek.f));
+        if (is_internal(peek.g)) util::prefetch_read(&mgr_->node(peek.g));
+      }
 
       const Op op = n.operation();
       const NodeRef f = n.f;
@@ -243,7 +254,7 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
       ++stats_.cache_hits;
       return e->result;
     }
-    if (e->generation == mgr_->op_generation()) {
+    if (e->generation() == mgr_->op_generation()) {
       const Ref res =
           own_op(e->result).result.load(std::memory_order_acquire);
       if (res != kInvalid) {
@@ -266,7 +277,7 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
     result = res0;
   } else {
     VarUniqueTable& table = mgr_->unique(var);
-    const bool pass_lock = mgr_->locking() && !table.sharded();
+    const bool pass_lock = mgr_->locking() && table.pass_locked();
     if (pass_lock) table.acquire(id_);
     bool created = false;
     result = table.find_or_insert(id_, res0, res1, created);
@@ -318,19 +329,26 @@ void Worker::reduction() {
     for (std::uint32_t slot = q.head; slot != kNilSlot;
          slot = arena.at(slot).next) {
       OpNode& n = arena.at(slot);
+      if (n.next != kNilSlot) util::prefetch_write(&arena.at(n.next));
       n.branch0 = resolve(n.branch0);
       n.branch1 = resolve(n.branch1);
     }
 
     // Pass 2: produce all of this variable's BDD nodes under one lock
-    // acquisition (the paper's per-variable locking discipline) — or, with
-    // a sharded table, let each insert lock only its hash segment (the
-    // Section 6 "distributed hashing" alternative).
+    // acquisition (the paper's per-variable locking discipline) — with a
+    // sharded table, each insert locks only its hash segment (the Section 6
+    // "distributed hashing" alternative), and the lock-free table needs no
+    // bracketing at all.
     VarUniqueTable& table = mgr_->unique(x);
-    const bool pass_lock = locking && !table.sharded();
+    const bool pass_lock = locking && table.pass_locked();
     if (pass_lock) table.acquire(id_);
     for (std::uint32_t slot = q.head; slot != kNilSlot;) {
       OpNode& n = arena.at(slot);
+      if (n.next != kNilSlot) {
+        // The insert below is a hash walk with cold misses; overlap the
+        // next operation's line fill with it.
+        util::prefetch_write(&arena.at(n.next));
+      }
       const NodeRef res0 = n.branch0;
       const NodeRef res1 = n.branch1;
       NodeRef result;
@@ -626,7 +644,7 @@ void Worker::gc_move() {
       // has already been copied out.
       dst.low = src.low;
       dst.high = src.high;
-      dst.next = kZero;
+      dst.next.store(kZero, std::memory_order_relaxed);
       dst.aux.store(0, std::memory_order_relaxed);
     }
     arena.truncate(live_count_[v]);
@@ -637,7 +655,9 @@ void Worker::gc_move() {
 bool Worker::gc_try_rehash_var(unsigned var) {
   PBDD_INJECT(kGcRehash);
   VarUniqueTable& table = mgr_->unique(var);
-  const bool pass_lock = mgr_->locking() && !table.sharded();
+  // Only the pass-lock discipline can find the table busy; sharded and
+  // lock-free reinserts synchronize per insert, so the claim always works.
+  const bool pass_lock = mgr_->locking() && table.pass_locked();
   if (pass_lock && !table.try_acquire()) return false;
   NodeArena& arena = node_arenas_[var];
   const std::uint32_t size = arena.size();

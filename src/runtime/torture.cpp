@@ -23,6 +23,12 @@ struct PointInfo {
 // sections, so parking a thread there could leave the running thread blocked
 // on a mutex whose holder is parked — the one deadlock this design must
 // exclude.
+//
+// kTableCasRetry is the exception among table points: it fires only on the
+// lock-free insert path, where by construction no mutex is ever held, so it
+// is yieldable. It MUST be: a worker spinning on a moved bucket has to be
+// able to hand the serialize token to the grower rebuilding that bucket, or
+// kSerialize mode would livelock on every lock-free growth.
 constexpr PointInfo kPoints[] = {
     {"steal_attempt", true},     {"steal_success", true},
     {"steal_writeback", true},   {"resolve_stall", true},
@@ -33,6 +39,7 @@ constexpr PointInfo kPoints[] = {
     {"table_acquire", true},     {"table_insert", false},
     {"table_grow", false},       {"arena_block_alloc", false},
     {"arena_dir_grow", false},   {"reduce_publish", false},
+    {"table_cas_retry", true},
     {"force_gc", false},         {"force_spill", false},
     {"force_table_grow", false}, {"force_dir_churn", false},
 };

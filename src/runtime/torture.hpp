@@ -72,6 +72,7 @@ enum class InjectPoint : std::uint8_t {
   kArenaBlockAlloc,   ///< node arena allocating a fresh block
   kArenaDirGrow,      ///< node arena (re)publishing its block directory
   kReducePublish,     ///< reduction about to release-store an op result
+  kTableCasRetry,     ///< lock-free insert retrying (CAS lost / bucket moved)
   // Decision points (query): deterministically force rare transitions.
   kForceGc,           ///< run a collection at this safe point
   kForceSpill,        ///< act as if an idle worker requested a switch

@@ -1,0 +1,54 @@
+// Cache-line utilities: padded per-worker counters and software prefetch.
+//
+// Two memory-system problems recur across the engine's shared structures:
+//
+//  * False sharing — per-worker counters packed into one array (the
+//    unique tables' lock-wait meters, CAS-retry meters) land on shared
+//    cache lines, so a counter bump by one worker invalidates the line
+//    under every other worker. PaddedCounter gives each worker its own
+//    64-byte line.
+//
+//  * Demand-miss stalls — the reduction and expansion loops walk linked
+//    structures (unique-table chains, operator-node queues) whose next
+//    element's address is known one step ahead. prefetch_read/write issue
+//    the line fetch early so the walk overlaps the miss latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pbdd::util {
+
+/// Size every x86/ARM line-granular structure in this codebase assumes.
+/// (std::hardware_destructive_interference_size is 64 on the supported
+/// targets but drags in <new> and a GCC ABI warning; a constant is clearer.)
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// One counter, alone on its cache line. Used for per-worker slots of a
+/// shared array where neighbouring workers would otherwise false-share.
+struct alignas(kCacheLineBytes) PaddedCounter {
+  std::uint64_t value = 0;
+};
+static_assert(sizeof(PaddedCounter) == kCacheLineBytes);
+static_assert(alignof(PaddedCounter) == kCacheLineBytes);
+
+/// Hint the prefetcher at a line we will read soon. No-op on compilers
+/// without the builtin; never required for correctness.
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Hint the prefetcher at a line we will write soon.
+inline void prefetch_write(void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace pbdd::util

@@ -85,7 +85,7 @@ TEST(ComputeCache, GenerationTagTravelsWithEntry) {
   cache.insert(slot, Op::And, f, g, op_ref, 3);
   const auto* e = cache.lookup(slot, Op::And, f, g);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->generation, 3u);
+  EXPECT_EQ(e->generation(), 3u);
   EXPECT_TRUE(is_op(e->result));
   // The consumer (Worker::preprocess) compares generations; the cache just
   // stores the tag faithfully.

@@ -33,6 +33,9 @@ void check_store_invariants(BddManager& mgr) {
       const core::NodeArena& arena = mgr.worker(w).node_arena(v);
       for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
         const core::BddNode& n = arena.at(slot);
+        // Skip tombstones: speculative slots a lock-free insert lost and
+        // returned to the arena's free list (dead by construction).
+        if (n.low == core::kInvalid && n.high == core::kInvalid) continue;
         // Reducedness.
         ASSERT_NE(n.low, n.high)
             << "unreduced node at w" << w << " v" << v << " s" << slot;
@@ -61,6 +64,7 @@ struct GridParam {
   unsigned workers;
   std::uint64_t threshold;
   unsigned shards = 1;
+  core::TableDiscipline discipline = core::TableDiscipline::kPassLock;
 };
 
 class InvariantGrid : public ::testing::TestWithParam<GridParam> {};
@@ -73,6 +77,7 @@ TEST_P(InvariantGrid, RandomProgramsKeepStoreInvariants) {
   config.group_size = 8;
   config.gc_min_nodes = 1u << 30;
   config.table_shards = p.shards;
+  config.table_discipline = p.discipline;
   BddManager mgr(8, config);
   const ExprProgram program = ExprProgram::random(8, 120, p.seed);
   auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
@@ -95,6 +100,7 @@ TEST_P(InvariantGrid, InvariantsHoldAfterGc) {
   config.group_size = 8;
   config.gc_min_nodes = 1u << 30;
   config.table_shards = p.shards;
+  config.table_discipline = p.discipline;
   BddManager mgr(8, config);
   const ExprProgram program = ExprProgram::random(8, 120, p.seed + 1000);
   auto bdds = program.eval_engine<BddManager, Bdd>(mgr);
@@ -105,17 +111,27 @@ TEST_P(InvariantGrid, InvariantsHoldAfterGc) {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, InvariantGrid,
-    ::testing::Values(GridParam{1, 1, Config::kUnbounded},
-                      GridParam{2, 1, 16}, GridParam{3, 2, 64},
-                      GridParam{4, 2, 4}, GridParam{5, 4, 32},
-                      GridParam{6, 4, Config::kUnbounded}),
+    ::testing::Values(
+        GridParam{1, 1, Config::kUnbounded}, GridParam{2, 1, 16},
+        GridParam{3, 2, 64}, GridParam{4, 2, 4}, GridParam{5, 4, 32},
+        GridParam{6, 4, Config::kUnbounded},
+        // Lock-free discipline: same invariants must hold, including after a
+        // collection compacts away any tombstoned speculative slots.
+        GridParam{7, 2, 16, 1, core::TableDiscipline::kLockFree},
+        GridParam{8, 4, 32, 1, core::TableDiscipline::kLockFree},
+        GridParam{9, 4, Config::kUnbounded, 1,
+                  core::TableDiscipline::kLockFree}),
     [](const ::testing::TestParamInfo<GridParam>& info) {
+      const char* d =
+          info.param.discipline == core::TableDiscipline::kLockFree
+              ? "_lockfree"
+              : "";
       return "seed" + std::to_string(info.param.seed) + "_w" +
              std::to_string(info.param.workers) + "_t" +
              (info.param.threshold == Config::kUnbounded
                   ? std::string("inf")
                   : std::to_string(info.param.threshold)) +
-             "_s" + std::to_string(info.param.shards);
+             "_s" + std::to_string(info.param.shards) + d;
     });
 
 TEST(Properties, NodeCountsAreOrderInsensitiveForCommutativeOps) {

@@ -23,6 +23,9 @@ inline std::string check_store_invariants(core::BddManager& mgr) {
       const core::NodeArena& arena = mgr.worker(w).node_arena(v);
       for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
         const core::BddNode& n = arena.at(slot);
+        // Tombstone: a speculative slot a lock-free insert lost and returned
+        // to its arena's free list. Dead by construction; skipped.
+        if (n.low == core::kInvalid && n.high == core::kInvalid) continue;
         std::ostringstream where;
         where << "worker " << w << " var " << v << " slot " << slot << ": ";
         if (n.low == n.high) {

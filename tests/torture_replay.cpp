@@ -67,6 +67,22 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
     spec.config.share_poll_interval = u32();
   }
   else if (key == "table_shards") spec.config.table_shards = u32();
+  else if (key == "table_discipline") {
+    // Seed files are regression captures: the discipline they were captured
+    // with is part of the bug, so it is pinned here and deliberately NOT
+    // overridable via PBDD_TABLE_DISCIPLINE.
+    if (value == "passlock") {
+      spec.config.table_discipline = pbdd::core::TableDiscipline::kPassLock;
+    } else if (value == "sharded") {
+      spec.config.table_discipline = pbdd::core::TableDiscipline::kSharded;
+    } else if (value == "lockfree") {
+      spec.config.table_discipline = pbdd::core::TableDiscipline::kLockFree;
+    } else {
+      error = "table_discipline must be 'passlock', 'sharded' or "
+              "'lockfree', got '" + value + "'";
+      return false;
+    }
+  }
   else if (key == "gc_min_nodes") {
     spec.config.gc_min_nodes = static_cast<std::size_t>(u64());
   }

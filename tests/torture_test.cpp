@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "core/bdd_manager.hpp"
@@ -21,6 +23,7 @@ namespace pbdd {
 namespace {
 
 using core::Config;
+using core::TableDiscipline;
 using rt::InjectPoint;
 using rt::TortureConfig;
 using rt::TortureMode;
@@ -50,6 +53,10 @@ TEST(TortureSchedulerUnit, PointTableIsComplete) {
   EXPECT_TRUE(rt::point_yieldable(InjectPoint::kStealWriteback));
   EXPECT_TRUE(rt::point_yieldable(InjectPoint::kResolveStall));
   EXPECT_TRUE(rt::point_yieldable(InjectPoint::kGcBarrierWait));
+  // The lock-free CAS-retry point holds no mutex and MUST be yieldable: in
+  // serialize mode a spinner waiting out a moved bucket has to hand the
+  // token to the grower, or the growth never completes.
+  EXPECT_TRUE(rt::point_yieldable(InjectPoint::kTableCasRetry));
 }
 
 TEST(TortureSchedulerUnit, DisabledSchedulerIsInert) {
@@ -136,6 +143,26 @@ TEST(TortureSchedulerUnit, SerializeHandoffIsDeterministic) {
 // exhaustively validated (torture_driver.hpp)
 // ---------------------------------------------------------------------------
 
+/// Table discipline for a sweep entry: rotates through all three by seed so
+/// every CI leg tortures every discipline, unless PBDD_TABLE_DISCIPLINE
+/// ("passlock" | "sharded" | "lockfree") pins the whole sweep — the TSan
+/// matrix uses that to give the lock-free protocol a dedicated leg.
+TableDiscipline sweep_discipline(std::uint64_t seed) {
+  const char* env = std::getenv("PBDD_TABLE_DISCIPLINE");
+  if (env != nullptr && *env != '\0') {
+    const std::string s = env;
+    if (s == "passlock") return TableDiscipline::kPassLock;
+    if (s == "sharded") return TableDiscipline::kSharded;
+    if (s == "lockfree") return TableDiscipline::kLockFree;
+    ADD_FAILURE() << "unknown PBDD_TABLE_DISCIPLINE: " << s;
+  }
+  switch (seed % 3) {
+    case 0: return TableDiscipline::kPassLock;
+    case 1: return TableDiscipline::kSharded;
+    default: return TableDiscipline::kLockFree;
+  }
+}
+
 class TortureSweep
     : public ::testing::TestWithParam<
           std::tuple<unsigned, unsigned, std::uint64_t, TortureMode>> {};
@@ -159,7 +186,9 @@ TEST_P(TortureSweep, WorkloadMatchesTruthTables) {
   config.eval_threshold = threshold;
   config.group_size = 2;
   config.share_poll_interval = 4;
-  config.table_shards = (seed % 2 == 0) ? 4 : 1;
+  const TableDiscipline discipline = sweep_discipline(seed);
+  config.table_discipline = discipline;
+  config.table_shards = discipline == TableDiscipline::kSharded ? 4 : 1;
 
   const auto result =
       run_torture_workload(config, 4, 40, seed * 977 + workers);
@@ -175,7 +204,10 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, TortureSweep,
     ::testing::Combine(::testing::Values(1u, 2u, 4u),
                        ::testing::Values(1u, 12u),
-                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2}),
+                       // Three seeds so the seed-rotated table discipline
+                       // (sweep_discipline) covers all three per sweep.
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3}),
                        ::testing::Values(TortureMode::kPerturb,
                                          TortureMode::kSerialize)),
     [](const ::testing::TestParamInfo<

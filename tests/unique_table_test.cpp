@@ -214,6 +214,185 @@ TEST(UniqueTableSharded, ConcurrentInsertDuringRehash) {
   }
 }
 
+// ---- Lock-free discipline --------------------------------------------------
+
+TEST(UniqueTableLockFree, BasicCanonicityAndIntrospection) {
+  NodeArena arenas[2];
+  VarUniqueTable table;
+  table.init(3, {&arenas[0], &arenas[1]}, 16, /*shards=*/1,
+             TableDiscipline::kLockFree);
+  EXPECT_TRUE(table.lockfree());
+  EXPECT_FALSE(table.sharded());
+  EXPECT_FALSE(table.pass_locked());
+  bool created = false;
+  const NodeRef a = table.find_or_insert(0, kZero, kOne, created);
+  EXPECT_TRUE(created);
+  const NodeRef b = table.find_or_insert(1, kZero, kOne, created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.count(), 1u);
+  EXPECT_EQ(arenas[0].size() + arenas[1].size(), 1u);
+}
+
+TEST(UniqueTableLockFree, GrowthKeepsEveryKeyReachable) {
+  NodeArena arena;
+  VarUniqueTable table;
+  table.init(3, {&arena}, 16, /*shards=*/1, TableDiscipline::kLockFree);
+  bool created = false;
+  std::vector<NodeRef> refs;
+  for (unsigned i = 0; i < 2000; ++i) {
+    refs.push_back(table.find_or_insert(0, make_node_ref(0, 4, i),
+                                        make_node_ref(0, 5, i), created));
+    EXPECT_TRUE(created);
+  }
+  EXPECT_EQ(table.count(), 2000u);
+  EXPECT_GT(table.buckets(), 16u) << "table should have grown";
+  EXPECT_EQ(table.max_count(), 2000u);
+  for (unsigned i = 0; i < 2000; ++i) {
+    const NodeRef r = table.find_or_insert(0, make_node_ref(0, 4, i),
+                                           make_node_ref(0, 5, i), created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(r, refs[i]);
+  }
+}
+
+TEST(UniqueTableLockFree, ConcurrentInsertersStayCanonical) {
+  // Two threads hammer the same key set with no mutex anywhere; each key
+  // must end with exactly one canonical node, and any slot a losing racer
+  // allocated speculatively must be tombstoned and recycled, never leaked
+  // as a duplicate.
+  NodeArena arenas[2];
+  VarUniqueTable table;
+  table.init(1, {&arenas[0], &arenas[1]}, 64, /*shards=*/1,
+             TableDiscipline::kLockFree);
+  constexpr unsigned kKeys = 20000;
+  std::vector<NodeRef> results[2];
+  std::thread threads[2];
+  for (unsigned t = 0; t < 2; ++t) {
+    threads[t] = std::thread([&, t] {
+      results[t].resize(kKeys);
+      bool created = false;
+      for (unsigned i = 0; i < kKeys; ++i) {
+        results[t][i] = table.find_or_insert(
+            t, make_node_ref(0, 2, i), make_node_ref(0, 3, i), created);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.count(), kKeys);
+  for (unsigned i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(results[0][i], results[1][i]) << "key " << i;
+  }
+  // Duplicate-race audit: every allocated slot is either a published
+  // canonical node or a tombstone awaiting recycling.
+  unsigned live = 0;
+  for (const NodeArena& arena : arenas) {
+    for (std::uint32_t slot = 0; slot < arena.size(); ++slot) {
+      const BddNode& n = arena.at(slot);
+      if (n.low == kInvalid && n.high == kInvalid) continue;  // tombstone
+      ++live;
+    }
+  }
+  EXPECT_EQ(live, kKeys) << "losing racers must tombstone their slots";
+}
+
+TEST(UniqueTableLockFree, ConcurrentInsertDuringGrow) {
+  // The lock-free analogue of ConcurrentInsertDuringRehash: a tiny initial
+  // array forces repeated epoch-claimed growth while all four threads are
+  // mid-insert, so walkers cross kMovedHead buckets and chains that are
+  // being redirected into the fresh array.
+  constexpr unsigned kWorkers = 4;
+  NodeArena arenas[kWorkers];
+  VarUniqueTable table;
+  table.init(1, {&arenas[0], &arenas[1], &arenas[2], &arenas[3]}, 16,
+             /*shards=*/1, TableDiscipline::kLockFree);
+  constexpr unsigned kKeys = 1u << 15;
+  std::vector<NodeRef> results[kWorkers];
+  std::thread threads[kWorkers];
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads[t] = std::thread([&, t] {
+      results[t].resize(kKeys);
+      bool created = false;
+      for (unsigned i = 0; i < kKeys; ++i) {
+        const unsigned key = (i * (2 * t + 1) + t * 7919) % kKeys;
+        results[t][key] = table.find_or_insert(
+            t, make_node_ref(0, 2, key), make_node_ref(0, 3, key), created);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.count(), kKeys);
+  EXPECT_GT(table.buckets(), 64u) << "growth should have been forced";
+  for (unsigned i = 0; i < kKeys; ++i) {
+    for (unsigned t = 1; t < kWorkers; ++t) {
+      ASSERT_EQ(results[0][i], results[t][i]) << "key " << i;
+    }
+  }
+}
+
+TEST(UniqueTableLockFree, SpeculativeSlotIsRecycledOnHit) {
+  // Single-threaded determinism check of the recycling path: a hit never
+  // consumes an arena slot, and a slot freed by free_slot() is reused by
+  // the next miss.
+  NodeArena arena;
+  VarUniqueTable table;
+  table.init(3, {&arena}, 16, /*shards=*/1, TableDiscipline::kLockFree);
+  bool created = false;
+  const NodeRef a =
+      table.find_or_insert(0, make_node_ref(0, 4, 0), kOne, created);
+  EXPECT_EQ(arena.size(), 1u);
+  table.find_or_insert(0, make_node_ref(0, 4, 0), kOne, created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(arena.size(), 1u) << "a hit must not consume arena slots";
+  arena.free_slot(arena.alloc());
+  const NodeRef b =
+      table.find_or_insert(0, make_node_ref(0, 4, 1), kOne, created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(slot_of(b), 1u) << "freed slot should be reused";
+  EXPECT_EQ(arena.size(), 2u);
+  EXPECT_NE(a, b);
+}
+
+TEST(UniqueTableLockFree, ResetChainsAndConcurrentReinsert) {
+  // GC rehash contract: after reset_chains, several workers reinsert
+  // concurrently (the rehash phase stripes variables over workers but a
+  // lock-free table takes all comers), and max_count survives as the
+  // Fig. 15 high-water mark.
+  constexpr unsigned kWorkers = 2;
+  NodeArena arenas[kWorkers];
+  VarUniqueTable table;
+  table.init(1, {&arenas[0], &arenas[1]}, 16, /*shards=*/1,
+             TableDiscipline::kLockFree);
+  constexpr unsigned kKeys = 4000;
+  bool created = false;
+  std::vector<NodeRef> refs;
+  for (unsigned i = 0; i < kKeys; ++i) {
+    refs.push_back(table.find_or_insert(i % kWorkers, make_node_ref(0, 2, i),
+                                        make_node_ref(0, 3, i), created));
+  }
+  table.reset_chains(kKeys);
+  EXPECT_EQ(table.count(), 0u);
+  std::thread threads[kWorkers];
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads[t] = std::thread([&, t] {
+      for (unsigned i = 0; i < kKeys; ++i) {
+        if (worker_of(refs[i]) != t) continue;
+        const BddNode& n = arenas[t].at(slot_of(refs[i]));
+        table.reinsert(t, refs[i], n.low, n.high);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.count(), kKeys);
+  EXPECT_EQ(table.max_count(), kKeys);
+  for (unsigned i = 0; i < kKeys; ++i) {
+    const NodeRef r = table.find_or_insert(0, make_node_ref(0, 2, i),
+                                           make_node_ref(0, 3, i), created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(r, refs[i]);
+  }
+}
+
 TEST(NodeArenaTest, ConcurrentReadsDuringGrowth) {
   // One writer bump-allocates thousands of nodes (forcing directory
   // growth) while readers resolve already-published slots.
