@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   struct Cell {
     double elapsed = 0;
     std::uint64_t checksum = 0;
+    std::string stats_json;  ///< ManagerStats::to_json (shared serialization)
   };
   std::map<std::string, std::map<std::string, Cell>> grid;  // row -> circuit
   std::vector<std::string> row_labels;
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     row_labels.push_back(row);
     for (const bench::Workload& w : workloads) {
       const bench::RunResult r = bench::run_build(w, config);
-      grid[row][w.name] = Cell{r.elapsed_s, r.checksum};
+      grid[row][w.name] = Cell{r.elapsed_s, r.checksum, r.stats.to_json()};
       if (cli.csv) {
         std::printf("csv,fig07,%s,%s,%.3f\n", w.name.c_str(), row.c_str(),
                     r.elapsed_s);
@@ -112,7 +113,8 @@ int main(int argc, char** argv) {
         first = false;
         out << "    {\"config\": \"" << row << "\", \"circuit\": \""
             << w.name << "\", \"elapsed_s\": " << cell.elapsed
-            << ", \"checksum\": " << cell.checksum << "}";
+            << ", \"checksum\": " << cell.checksum
+            << ", \"stats\": " << cell.stats_json << "}";
       }
     }
     out << "\n  ]\n}\n";

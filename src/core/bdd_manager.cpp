@@ -170,7 +170,7 @@ void BddManager::register_batch_result(std::size_t index, NodeRef ref) {
 }
 
 void BddManager::execute_batch(std::vector<BatchState::Item> items,
-                               std::vector<Bdd>& out) {
+                               std::vector<Bdd>& out, BatchControl* control) {
   const std::size_t n = items.size();
   out.clear();
   if (n == 0) return;
@@ -185,6 +185,7 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   }
   batch_state_.items = std::move(items);
   batch_state_.result_handles.assign(n, Bdd{});
+  batch_state_.control = control;
   batch_state_.next.store(0, std::memory_order_relaxed);
   batch_state_.completed.store(0, std::memory_order_relaxed);
 
@@ -193,6 +194,7 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   out = std::move(batch_state_.result_handles);
   batch_state_.result_handles.clear();
   batch_state_.items.clear();
+  batch_state_.control = nullptr;
 
   // Batch barrier epilogue: recycle operator nodes and retire their cache
   // generation, then apply the paper's batch-boundary GC check.
@@ -213,13 +215,18 @@ Bdd BddManager::apply(Op op, const Bdd& f, const Bdd& g) {
 }
 
 std::vector<Bdd> BddManager::apply_batch(std::span<const BatchOp> batch) {
+  return apply_batch(batch, nullptr);
+}
+
+std::vector<Bdd> BddManager::apply_batch(std::span<const BatchOp> batch,
+                                         BatchControl* control) {
   std::vector<BatchState::Item> items;
   items.reserve(batch.size());
   for (const BatchOp& req : batch) {
     items.push_back({req.op, req.f, req.g});
   }
   std::vector<Bdd> out;
-  execute_batch(std::move(items), out);
+  execute_batch(std::move(items), out, control);
   return out;
 }
 

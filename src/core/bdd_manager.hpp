@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -91,6 +92,32 @@ struct BatchOp {
   Bdd g;
 };
 
+/// Cooperative cancellation and deadline control for one batch. The service
+/// layer arms one of these per request; workers poll it at item-claim
+/// checkpoints in run_batch, so an expired or cancelled batch stops claiming
+/// work and releases its partial results instead of running to completion.
+/// Items already being evaluated finish (aborting mid-expansion would leave
+/// operator queues inconsistent); items claimed after expiry are skipped and
+/// counted in `skipped`, and their result handles stay empty.
+struct BatchControl {
+  /// Set (by any thread) to abandon the batch at the next checkpoint.
+  std::atomic<bool> cancel{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Items skipped without evaluation; nonzero means the batch was cut short.
+  std::atomic<std::uint32_t> skipped{0};
+
+  void arm_deadline(std::chrono::steady_clock::time_point d) noexcept {
+    has_deadline = true;
+    deadline = d;
+  }
+  /// Checkpoint predicate (relaxed: a late claim racing the flag is benign).
+  [[nodiscard]] bool expired() const noexcept {
+    return cancel.load(std::memory_order_relaxed) ||
+           (has_deadline && std::chrono::steady_clock::now() >= deadline);
+  }
+};
+
 class BddManager {
  public:
   explicit BddManager(unsigned num_vars, Config config = {});
@@ -119,6 +146,11 @@ class BddManager {
   /// is the parallel entry point: operations are dealt to workers and load
   /// is balanced by group stealing.
   [[nodiscard]] std::vector<Bdd> apply_batch(std::span<const BatchOp> batch);
+  /// Batch execution under external control: `control` (optional, may be
+  /// null) carries a cancellation flag and deadline that workers poll at
+  /// item-claim checkpoints. Skipped items return invalid handles.
+  [[nodiscard]] std::vector<Bdd> apply_batch(std::span<const BatchOp> batch,
+                                             BatchControl* control);
   [[nodiscard]] Bdd not_(const Bdd& f);
   [[nodiscard]] Bdd ite(const Bdd& c, const Bdd& t, const Bdd& e);
   [[nodiscard]] Bdd restrict_(const Bdd& f, unsigned v, bool value);
@@ -196,6 +228,8 @@ class BddManager {
     };
     std::vector<Item> items;
     std::vector<Bdd> result_handles;
+    /// External cancellation/deadline control for this batch (may be null).
+    BatchControl* control = nullptr;
     // Separate lines: `next` is hammered by every worker claiming items
     // while `completed` is hammered by every worker finishing them; on one
     // line each fetch_add would invalidate the other counter too.
@@ -235,7 +269,7 @@ class BddManager {
   /// Run a batch of top-level operations; results are registered as roots
   /// before the function returns.
   void execute_batch(std::vector<BatchState::Item> items,
-                     std::vector<Bdd>& out);
+                     std::vector<Bdd>& out, BatchControl* control = nullptr);
 
   void gc_driver(unsigned worker_id);
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace pbdd::core {
@@ -152,6 +153,11 @@ struct alignas(64) WorkerStats {
     gc_rehash_ns += o.gc_rehash_ns;
     return *this;
   }
+
+  /// JSON object with every counter (stats_json.cpp). One serialization
+  /// shared by the benchmark harness dumps, the BENCH_* CI artifacts, and
+  /// the service metrics endpoint — keep it in sync with the fields above.
+  [[nodiscard]] std::string to_json() const;
 };
 
 struct ManagerStats {
@@ -165,6 +171,10 @@ struct ManagerStats {
   std::vector<std::size_t> max_nodes_per_var;
   /// Per-variable lock wait, summed over workers, in ns (Fig. 16).
   std::vector<std::uint64_t> lock_wait_per_var_ns;
+
+  /// JSON object: totals, per-worker counters, store/GC gauges, and the
+  /// per-variable arrays. The shared machine-readable form of this struct.
+  [[nodiscard]] std::string to_json() const;
 };
 
 }  // namespace pbdd::core

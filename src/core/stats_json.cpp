@@ -1,0 +1,106 @@
+// Shared JSON serialization of the engine statistics. Every machine-readable
+// consumer — `bench/harness` dumps, the BENCH_* CI artifacts, and the
+// service-layer metrics endpoint — goes through these two functions, so the
+// schema cannot drift between printers.
+#include <sstream>
+
+#include "core/config.hpp"
+
+namespace pbdd::core {
+
+namespace {
+
+/// Append `"key": value` pairs with standard JSON comma discipline.
+class ObjectWriter {
+ public:
+  explicit ObjectWriter(std::ostringstream& out) : out_(out) { out_ << '{'; }
+  void field(const char* key, std::uint64_t value) {
+    sep();
+    out_ << '"' << key << "\": " << value;
+  }
+  void raw(const char* key, const std::string& value) {
+    sep();
+    out_ << '"' << key << "\": " << value;
+  }
+  void close() { out_ << '}'; }
+
+ private:
+  void sep() {
+    if (!first_) out_ << ", ";
+    first_ = false;
+  }
+  std::ostringstream& out_;
+  bool first_ = true;
+};
+
+template <typename T>
+std::string array_json(const std::vector<T>& values) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << static_cast<std::uint64_t>(values[i]);
+  }
+  out << ']';
+  return out.str();
+}
+
+void worker_stats_fields(ObjectWriter& w, const WorkerStats& s) {
+  w.field("ops_performed", s.ops_performed);
+  w.field("cache_lookups", s.cache_lookups);
+  w.field("cache_hits", s.cache_hits);
+  w.field("cache_op_hits", s.cache_op_hits);
+  w.field("cache_cross_ctx_misses", s.cache_cross_ctx_misses);
+  w.field("nodes_created", s.nodes_created);
+  w.field("contexts_pushed", s.contexts_pushed);
+  w.field("groups_created", s.groups_created);
+  w.field("groups_taken", s.groups_taken);
+  w.field("groups_stolen", s.groups_stolen);
+  w.field("tasks_stolen", s.tasks_stolen);
+  w.field("reduction_stalls", s.reduction_stalls);
+  w.field("top_ops", s.top_ops);
+  w.field("expansion_ns", s.expansion_ns);
+  w.field("reduction_ns", s.reduction_ns);
+  w.field("lock_wait_ns", s.lock_wait_ns);
+  w.field("cas_retries", s.cas_retries);
+  w.field("gc_ns", s.gc_ns);
+  w.field("gc_mark_ns", s.gc_mark_ns);
+  w.field("gc_fix_ns", s.gc_fix_ns);
+  w.field("gc_rehash_ns", s.gc_rehash_ns);
+}
+
+}  // namespace
+
+std::string WorkerStats::to_json() const {
+  std::ostringstream out;
+  ObjectWriter w(out);
+  worker_stats_fields(w, *this);
+  w.close();
+  return out.str();
+}
+
+std::string ManagerStats::to_json() const {
+  std::ostringstream out;
+  ObjectWriter w(out);
+  w.raw("total", total.to_json());
+  {
+    std::ostringstream workers;
+    workers << '[';
+    for (std::size_t i = 0; i < per_worker.size(); ++i) {
+      if (i != 0) workers << ", ";
+      workers << per_worker[i].to_json();
+    }
+    workers << ']';
+    w.raw("per_worker", workers.str());
+  }
+  w.field("gc_runs", gc_runs);
+  w.field("live_nodes", live_nodes);
+  w.field("allocated_nodes", allocated_nodes);
+  w.field("bytes", bytes);
+  w.raw("max_nodes_per_var", array_json(max_nodes_per_var));
+  w.raw("lock_wait_per_var_ns", array_json(lock_wait_per_var_ns));
+  w.close();
+  return out.str();
+}
+
+}  // namespace pbdd::core

@@ -514,10 +514,19 @@ bool Worker::try_steal_and_run() {
 void Worker::run_batch() {
   BddManager::BatchState& batch = mgr_->batch();
   const std::size_t total = batch.items.size();
+  BatchControl* const control = batch.control;
 
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= total) break;
+    // Cancellation/deadline checkpoint: an expired batch stops claiming
+    // items. The claimed index is still accounted as completed so the
+    // whole batch (including workers mid-evaluation) terminates normally.
+    if (control != nullptr && control->expired()) {
+      control->skipped.fetch_add(1, std::memory_order_relaxed);
+      batch.completed.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
     const BddManager::BatchState::Item& item = batch.items[i];
     // Read operand references through the handles at the last moment: a
     // sequential-mode collection between batch items may have moved nodes.

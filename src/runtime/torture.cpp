@@ -40,6 +40,10 @@ constexpr PointInfo kPoints[] = {
     {"table_grow", false},       {"arena_block_alloc", false},
     {"arena_dir_grow", false},   {"reduce_publish", false},
     {"table_cas_retry", true},
+    // The service points fire on the dispatcher thread outside every engine
+    // and service mutex; they are yieldable by the usual rule, though in
+    // practice only the unregistered-thread perturbation path reaches them.
+    {"service_admit", true},     {"service_cancel", true},
     {"force_gc", false},         {"force_spill", false},
     {"force_table_grow", false}, {"force_dir_churn", false},
 };
@@ -68,6 +72,7 @@ std::uint64_t stream_seed(std::uint64_t seed, std::uint32_t session,
 
 struct TortureScheduler::ThreadState {
   bool registered = false;
+  bool ext_seeded = false;  // unregistered-thread perturbation stream primed
   unsigned depth = 0;
   unsigned worker = 0;
   std::uint32_t session = 0;
@@ -210,6 +215,7 @@ void TortureScheduler::thread_begin(unsigned worker_id) {
   }
   std::unique_lock lk(mutex_);
   ts.registered = true;
+  ts.ext_seeded = false;  // pool job takes over this thread's rng stream
   ts.depth = 1;
   ts.worker = worker_id;
   ts.session = session_;
@@ -279,7 +285,31 @@ void TortureScheduler::thread_end() {
 void TortureScheduler::hit(InjectPoint point) {
   if (!enabled()) return;
   ThreadState& ts = tls();
-  if (!ts.registered) return;
+  if (!ts.registered) {
+    // Service dispatcher / client threads: perturb-mode widening only. They
+    // never hold the serialize token (they are outside the pool session's
+    // candidate set) and never log (the ordered log must stay a pure
+    // function of the registered workers' schedule).
+    if (config_.mode != TortureMode::kPerturb) return;
+    if (!ts.ext_seeded) {
+      static std::atomic<std::uint32_t> ext_thread_counter{0};
+      const std::uint32_t id =
+          ext_thread_counter.fetch_add(1, std::memory_order_relaxed);
+      ts.rng = util::Xoshiro256(stream_seed(config_.seed, id + 1, 0xFFFDu));
+      ts.ext_seeded = true;
+    }
+    const std::uint64_t r = ts.rng.next();
+    if (static_cast<std::uint32_t>(r % 1000) < config_.delay_permille) {
+      const std::uint32_t spins =
+          1 + static_cast<std::uint32_t>((r >> 20) % config_.max_delay_spins);
+      for (std::uint32_t i = 0; i < spins * 8; ++i) cpu_relax();
+    }
+    if (static_cast<std::uint32_t>((r >> 10) % 1000) <
+        config_.yield_permille) {
+      std::this_thread::yield();
+    }
+    return;
+  }
 
   if (config_.mode == TortureMode::kPerturb) {
     // Exactly one draw per hit keeps each worker's decision stream aligned

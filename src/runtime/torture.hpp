@@ -73,6 +73,8 @@ enum class InjectPoint : std::uint8_t {
   kArenaDirGrow,      ///< node arena (re)publishing its block directory
   kReducePublish,     ///< reduction about to release-store an op result
   kTableCasRetry,     ///< lock-free insert retrying (CAS lost / bucket moved)
+  kServiceAdmit,      ///< service dispatcher admitted a request for execution
+  kServiceCancel,     ///< service request cancelled/expired/shed/deferred
   // Decision points (query): deterministically force rare transitions.
   kForceGc,           ///< run a collection at this safe point
   kForceSpill,        ///< act as if an idle worker requested a switch
@@ -144,6 +146,10 @@ class TortureScheduler {
 
   /// A worker passed an injection point: maybe delay/yield (kPerturb) or
   /// hand the schedule token to the next seeded choice (kSerialize).
+  /// Unregistered threads (service dispatcher and client threads, which
+  /// never run pool jobs) get perturb-mode delays/yields from a dedicated
+  /// stream but never park and never log: serialize-mode determinism is a
+  /// property of the registered pool workers only.
   void hit(InjectPoint point);
 
   /// A decision point: returns true when the seeded stream says to force the

@@ -1,0 +1,592 @@
+#include "service/bdd_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+#include "runtime/inject.hpp"
+
+namespace pbdd::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::chrono::nanoseconds since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start);
+}
+}  // namespace
+
+const char* request_status_name(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kQuotaExceeded: return "quota_exceeded";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+BddService::BddService(ServiceConfig config)
+    : config_(std::move(config)), mgr_(config_.num_vars, config_.engine) {
+  vars_.reserve(config_.num_vars);
+  nvars_.reserve(config_.num_vars);
+  for (unsigned v = 0; v < config_.num_vars; ++v) {
+    vars_.push_back(mgr_.var(v));
+    nvars_.push_back(mgr_.nvar(v));
+  }
+  zero_ = mgr_.zero();
+  one_ = mgr_.one();
+  last_nodes_created_ = mgr_.stats().total.nodes_created;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+BddService::~BddService() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  {
+    // Cut an in-flight batch short so shutdown is prompt.
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    if (inflight_control_ != nullptr) {
+      inflight_control_->cancel.store(true, std::memory_order_release);
+    }
+  }
+  dispatcher_.join();
+  // The dispatcher drained the queue on its way out; sessions (and their
+  // registered roots) go now, before the manager members destruct.
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    sessions_.clear();
+  }
+}
+
+// ---- Sessions ---------------------------------------------------------------
+
+SessionId BddService::open_session() {
+  std::lock_guard<std::mutex> lk(sessions_mutex_);
+  if (open_sessions_ >= config_.max_sessions) return kInvalidSession;
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, SessionState{});
+  ++open_sessions_;
+  return id;
+}
+
+void BddService::close_session(SessionId session) {
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    sessions_.erase(it);  // drops the session's registered roots
+    --open_sessions_;
+  }
+  roots_released_cv_.notify_all();
+  cancel_inflight_if(session);
+  // Queued requests of the vanished session resolve kCancelled on pop.
+}
+
+void BddService::cancel_session(SessionId session) {
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    ++it->second.epoch;  // lazily expires everything queued before now
+  }
+  cancel_inflight_if(session);
+}
+
+void BddService::release_session_roots(SessionId session) {
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    it->second.roots.clear();
+    it->second.accounted_nodes = 0;
+  }
+  roots_released_cv_.notify_all();  // a deferred governor may now fit
+}
+
+std::size_t BddService::session_accounted_nodes(SessionId session) const {
+  std::lock_guard<std::mutex> lk(sessions_mutex_);
+  const auto it = sessions_.find(session);
+  return it != sessions_.end() ? it->second.accounted_nodes : 0;
+}
+
+void BddService::cancel_inflight_if(SessionId session) {
+  std::lock_guard<std::mutex> lk(inflight_mutex_);
+  if (inflight_session_ == session && inflight_control_ != nullptr) {
+    inflight_control_->cancel.store(true, std::memory_order_release);
+  }
+}
+
+// ---- Operand handles --------------------------------------------------------
+
+core::Bdd BddService::var(unsigned v) const {
+  assert(v < vars_.size());
+  return vars_[v];
+}
+
+core::Bdd BddService::nvar(unsigned v) const {
+  assert(v < nvars_.size());
+  return nvars_[v];
+}
+
+// ---- Requests ---------------------------------------------------------------
+
+std::future<RequestResult> BddService::submit(SessionId session,
+                                              std::vector<core::BatchOp> ops,
+                                              SubmitOptions options) {
+  m_submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  req.session = session;
+  req.priority = options.priority;
+  req.deadline = options.deadline;
+  req.register_roots = options.register_roots;
+  req.ops = std::move(ops);
+  req.enqueued = Clock::now();
+  std::future<RequestResult> fut = req.promise.get_future();
+
+  // Fast-fail paths resolve on the caller's thread.
+  const auto fail = [&](RequestStatus status, std::string error = {},
+                        std::chrono::milliseconds retry = {}) {
+    RequestResult r;
+    r.status = status;
+    r.error = std::move(error);
+    r.retry_after = retry;
+    req.promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+
+  for (const core::BatchOp& op : req.ops) {
+    if (!op.f.valid() || !op.g.valid() || op.f.manager() != &mgr_ ||
+        op.g.manager() != &mgr_) {
+      return fail(RequestStatus::kFailed, "operand not owned by this service");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return fail(RequestStatus::kFailed, "unknown or closed session");
+    }
+    if (it->second.accounted_nodes >= config_.session_node_quota) {
+      m_rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+      return fail(RequestStatus::kQuotaExceeded, "session over node quota",
+                  retry_hint(1));
+    }
+    req.session_epoch = it->second.epoch;
+  }
+  if (req.ops.empty()) {
+    m_completed_.fetch_add(1, std::memory_order_relaxed);
+    RequestResult r;
+    r.status = RequestStatus::kOk;
+    req.promise.set_value(std::move(r));
+    return fut;
+  }
+
+  std::unique_lock<std::mutex> lk(queue_mutex_);
+  if (queued_total_ >= config_.queue_capacity && !stopping_) {
+    if (!options.block_on_full) {
+      m_rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t depth = queued_total_;
+      lk.unlock();
+      return fail(RequestStatus::kRejected, "admission queue full",
+                  retry_hint(1 + depth / std::max<std::size_t>(
+                                         1, config_.queue_capacity / 4)));
+    }
+    // Backpressure: block until the dispatcher makes room (bounded by the
+    // request's own deadline, if any).
+    const auto room = [&] {
+      return stopping_ || queued_total_ < config_.queue_capacity;
+    };
+    if (req.deadline) {
+      if (!space_cv_.wait_until(lk, *req.deadline, room)) {
+        m_expired_.fetch_add(1, std::memory_order_relaxed);
+        lk.unlock();
+        return fail(RequestStatus::kExpired, "deadline passed in backpressure");
+      }
+    } else {
+      space_cv_.wait(lk, room);
+    }
+  }
+  if (stopping_) {
+    m_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    return fail(RequestStatus::kCancelled, "service shutting down");
+  }
+  queues_[static_cast<unsigned>(req.priority)].push_back(std::move(req));
+  ++queued_total_;
+  lk.unlock();
+  work_cv_.notify_one();
+  return fut;
+}
+
+RequestResult BddService::execute(SessionId session,
+                                  std::vector<core::BatchOp> ops,
+                                  SubmitOptions options) {
+  return submit(session, std::move(ops), options).get();
+}
+
+// ---- Dispatcher -------------------------------------------------------------
+
+void BddService::dispatcher_loop() {
+  for (;;) {
+    Request req;
+    bool drain = false;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      work_cv_.wait(lk, [&] { return stopping_ || queued_total_ > 0; });
+      if (queued_total_ == 0) break;  // stopping_ and nothing left
+      for (int p = static_cast<int>(kNumPriorities) - 1; p >= 0; --p) {
+        if (!queues_[p].empty()) {
+          req = std::move(queues_[p].front());
+          queues_[p].pop_front();
+          break;
+        }
+      }
+      --queued_total_;
+      drain = stopping_;
+    }
+    space_cv_.notify_one();
+    if (drain) {
+      resolve(req, RequestStatus::kCancelled);
+      continue;
+    }
+    process_request(std::move(req));
+  }
+}
+
+void BddService::process_request(Request req) {
+  const std::chrono::nanoseconds queue_ns = since(req.enqueued);
+
+  // The session may have been closed or cancelled while this sat queued.
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    const auto it = sessions_.find(req.session);
+    if (it == sessions_.end() || req.session_epoch < it->second.epoch) {
+      resolve(req, RequestStatus::kCancelled, queue_ns);
+      return;
+    }
+  }
+  if (req.deadline && Clock::now() >= *req.deadline) {
+    resolve(req, RequestStatus::kExpired, queue_ns);
+    return;
+  }
+  if (!governor_admit(req.ops.size(), req.priority)) {
+    resolve(req, RequestStatus::kRejected, queue_ns);
+    return;
+  }
+
+  m_admitted_.fetch_add(1, std::memory_order_relaxed);
+  PBDD_INJECT(kServiceAdmit);
+
+  core::BatchControl ctl;
+  if (req.deadline) ctl.arm_deadline(*req.deadline);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    inflight_session_ = req.session;
+    inflight_control_ = &ctl;
+  }
+
+  std::vector<core::Bdd> results;
+  std::chrono::nanoseconds exec_ns{0};
+  std::size_t registered_nodes = 0;
+  std::uint32_t skipped = 0;
+  {
+    std::lock_guard<std::mutex> mlk(manager_mutex_);
+    const Clock::time_point t0 = Clock::now();
+    results = mgr_.apply_batch(
+        std::span<const core::BatchOp>(req.ops.data(), req.ops.size()), &ctl);
+    exec_ns = since(t0);
+    skipped = ctl.skipped.load(std::memory_order_relaxed);
+
+    // Calibrate the demand model on what this batch actually created.
+    const std::uint64_t created = mgr_.stats().total.nodes_created;
+    const std::size_t executed = req.ops.size() - skipped;
+    if (executed > 0) {
+      demand_samples_.push_back(
+          static_cast<double>(created - last_nodes_created_) /
+          static_cast<double>(executed));
+      while (demand_samples_.size() > config_.governor_history) {
+        demand_samples_.pop_front();
+      }
+      m_demand_per_op_milli_.store(
+          static_cast<std::uint64_t>(demand_per_op_locked() * 1000.0),
+          std::memory_order_relaxed);
+    }
+    last_nodes_created_ = created;
+
+    // Post-batch budget enforcement: a mispredicted batch can overshoot;
+    // collect immediately rather than letting the overshoot compound.
+    std::size_t allocated = mgr_.live_nodes();
+    std::size_t prev = m_max_allocated_observed_.load(std::memory_order_relaxed);
+    while (allocated > prev && !m_max_allocated_observed_.compare_exchange_weak(
+                                   prev, allocated, std::memory_order_relaxed)) {
+    }
+    if (allocated > config_.live_node_budget) {
+      mgr_.gc();
+      m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
+      allocated = mgr_.live_nodes();
+    }
+    prev = m_max_live_observed_.load(std::memory_order_relaxed);
+    while (allocated > prev && !m_max_live_observed_.compare_exchange_weak(
+                                   prev, allocated, std::memory_order_relaxed)) {
+    }
+
+    if (skipped == 0 && req.register_roots) {
+      for (const core::Bdd& b : results) registered_nodes += mgr_.node_count(b);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    inflight_session_ = kInvalidSession;
+    inflight_control_ = nullptr;
+  }
+
+  m_batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  m_ops_executed_.fetch_add(req.ops.size() - skipped,
+                            std::memory_order_relaxed);
+
+  if (skipped > 0) {
+    // Cut short: partial results go out of scope here and become garbage
+    // for the next collection. Deadline and cancellation are told apart by
+    // which trigger actually fired.
+    results.clear();
+    const bool cancelled = ctl.cancel.load(std::memory_order_acquire);
+    resolve(req, cancelled ? RequestStatus::kCancelled : RequestStatus::kExpired,
+            queue_ns, exec_ns);
+    return;
+  }
+
+  if (req.register_roots) {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    auto it = sessions_.find(req.session);
+    if (it == sessions_.end() || req.session_epoch < it->second.epoch) {
+      // Session vanished or was cancelled during execution; drop the work.
+      resolve(req, RequestStatus::kCancelled, queue_ns, exec_ns);
+      return;
+    }
+    it->second.roots.insert(it->second.roots.end(), results.begin(),
+                            results.end());
+    it->second.accounted_nodes += registered_nodes;
+  }
+
+  m_completed_.fetch_add(1, std::memory_order_relaxed);
+  RequestResult r;
+  r.status = RequestStatus::kOk;
+  r.roots = std::move(results);
+  r.queue_ns = queue_ns;
+  r.exec_ns = exec_ns;
+  req.promise.set_value(std::move(r));
+}
+
+// ---- Governor ---------------------------------------------------------------
+
+double BddService::demand_per_op_locked() const {
+  if (demand_samples_.empty()) return config_.bootstrap_demand_per_op;
+  // 0.9-quantile of the window: robust to one outlier batch, still
+  // pessimistic enough that the budget holds when demand is bursty.
+  std::vector<double> sorted(demand_samples_.begin(), demand_samples_.end());
+  const std::size_t idx = (sorted.size() * 9) / 10;
+  const auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(idx, sorted.size() - 1));
+  std::nth_element(sorted.begin(), nth, sorted.end());
+  return *nth;
+}
+
+bool BddService::governor_admit(std::size_t ops, Priority priority) {
+  unsigned deferrals = 0;
+  bool shed_done = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> mlk(manager_mutex_);
+      double demand = demand_per_op_locked() * static_cast<double>(ops);
+      if (demand_samples_.empty()) {
+        // With zero calibration evidence the bootstrap guess must not be
+        // able to starve the service on its own (a pessimistic default
+        // would otherwise reject everything and never gather a sample).
+        // Cap the blind projection at half the budget; the post-batch
+        // enforcement collects immediately if the guess was wrong.
+        demand = std::min(
+            demand, static_cast<double>(config_.live_node_budget) / 2.0);
+      }
+      const auto projected = [&](std::size_t allocated) {
+        return allocated + static_cast<std::size_t>(demand);
+      };
+      if (projected(mgr_.live_nodes()) <= config_.live_node_budget) {
+        return true;
+      }
+      // First lever: collect. Roots released since the last collection (by
+      // clients or by abandoned partial batches) come back here.
+      mgr_.gc();
+      m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
+      if (projected(mgr_.live_nodes()) <= config_.live_node_budget) {
+        return true;
+      }
+    }
+    // Still over budget with everything dead collected: the store is full
+    // of live, referenced nodes. Defer and wait for sessions to release.
+    ++deferrals;
+    m_deferrals_.fetch_add(1, std::memory_order_relaxed);
+    PBDD_INJECT(kServiceCancel);
+    if (deferrals > 2 * config_.shed_after_deferrals) {
+      m_rejected_demand_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!shed_done && deferrals >= config_.shed_after_deferrals) {
+      // Sustained pressure: shed queued work below this request's priority
+      // so those clients back off instead of compounding the demand.
+      shed_below(priority);
+      shed_done = true;
+    }
+    std::unique_lock<std::mutex> slk(sessions_mutex_);
+    roots_released_cv_.wait_for(slk, config_.deferral_wait);
+  }
+}
+
+std::size_t BddService::shed_below(Priority above) {
+  std::vector<Request> victims;
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    for (unsigned p = 0; p < static_cast<unsigned>(above); ++p) {
+      for (Request& r : queues_[p]) victims.push_back(std::move(r));
+      queued_total_ -= queues_[p].size();
+      queues_[p].clear();
+    }
+  }
+  if (!victims.empty()) space_cv_.notify_all();
+  for (Request& r : victims) resolve(r, RequestStatus::kShed);
+  return victims.size();
+}
+
+// ---- Resolution / metrics ---------------------------------------------------
+
+std::chrono::milliseconds BddService::retry_hint(
+    std::size_t scale) const noexcept {
+  const std::size_t capped = std::min<std::size_t>(scale, 64);
+  return config_.retry_after_base * static_cast<long>(std::max<std::size_t>(
+                                        1, capped));
+}
+
+void BddService::resolve(Request& req, RequestStatus status,
+                         std::chrono::nanoseconds queue_ns,
+                         std::chrono::nanoseconds exec_ns) {
+  RequestResult r;
+  r.status = status;
+  r.queue_ns = queue_ns;
+  r.exec_ns = exec_ns;
+  switch (status) {
+    case RequestStatus::kShed:
+      m_shed_.fetch_add(1, std::memory_order_relaxed);
+      r.retry_after = retry_hint(2);
+      PBDD_INJECT(kServiceCancel);
+      break;
+    case RequestStatus::kExpired:
+      m_expired_.fetch_add(1, std::memory_order_relaxed);
+      PBDD_INJECT(kServiceCancel);
+      break;
+    case RequestStatus::kCancelled:
+      m_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      PBDD_INJECT(kServiceCancel);
+      break;
+    case RequestStatus::kRejected:
+      // Counted at the rejection site (queue-full vs governor demand).
+      r.retry_after = retry_hint(4);
+      break;
+    default:
+      break;
+  }
+  req.promise.set_value(std::move(r));
+}
+
+void BddService::quiesce_and(const std::function<void(core::BddManager&)>& fn) {
+  std::lock_guard<std::mutex> lk(manager_mutex_);
+  fn(mgr_);
+}
+
+ServiceMetrics BddService::metrics() const {
+  ServiceMetrics m;
+  m.submitted = m_submitted_.load(std::memory_order_relaxed);
+  m.admitted = m_admitted_.load(std::memory_order_relaxed);
+  m.completed = m_completed_.load(std::memory_order_relaxed);
+  m.rejected_queue_full = m_rejected_queue_full_.load(std::memory_order_relaxed);
+  m.rejected_quota = m_rejected_quota_.load(std::memory_order_relaxed);
+  m.rejected_demand = m_rejected_demand_.load(std::memory_order_relaxed);
+  m.shed = m_shed_.load(std::memory_order_relaxed);
+  m.expired = m_expired_.load(std::memory_order_relaxed);
+  m.cancelled = m_cancelled_.load(std::memory_order_relaxed);
+  m.deferrals = m_deferrals_.load(std::memory_order_relaxed);
+  m.governor_gcs = m_governor_gcs_.load(std::memory_order_relaxed);
+  m.batches_executed = m_batches_executed_.load(std::memory_order_relaxed);
+  m.ops_executed = m_ops_executed_.load(std::memory_order_relaxed);
+  m.live_node_budget = config_.live_node_budget;
+  m.max_live_nodes_observed =
+      m_max_live_observed_.load(std::memory_order_relaxed);
+  m.max_allocated_observed =
+      m_max_allocated_observed_.load(std::memory_order_relaxed);
+  m.demand_per_op =
+      static_cast<double>(m_demand_per_op_milli_.load(
+          std::memory_order_relaxed)) /
+      1000.0;
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    m.queue_depth = queued_total_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    m.open_sessions = open_sessions_;
+  }
+  return m;
+}
+
+std::string BddService::metrics_json() {
+  const ServiceMetrics m = metrics();
+  std::string engine;
+  {
+    std::lock_guard<std::mutex> lk(manager_mutex_);
+    engine = mgr_.stats().to_json();
+  }
+  std::string out = "{";
+  const auto field = [&](const char* name, std::uint64_t v) {
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(v);
+    out += ", ";
+  };
+  field("submitted", m.submitted);
+  field("admitted", m.admitted);
+  field("completed", m.completed);
+  field("rejected_queue_full", m.rejected_queue_full);
+  field("rejected_quota", m.rejected_quota);
+  field("rejected_demand", m.rejected_demand);
+  field("shed", m.shed);
+  field("expired", m.expired);
+  field("cancelled", m.cancelled);
+  field("deferrals", m.deferrals);
+  field("governor_gcs", m.governor_gcs);
+  field("batches_executed", m.batches_executed);
+  field("ops_executed", m.ops_executed);
+  field("queue_depth", m.queue_depth);
+  field("open_sessions", m.open_sessions);
+  field("live_node_budget", m.live_node_budget);
+  field("max_live_nodes_observed", m.max_live_nodes_observed);
+  field("max_allocated_observed", m.max_allocated_observed);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"demand_per_op\": %.3f, ",
+                m.demand_per_op);
+  out += buf;
+  out += "\"engine\": ";
+  out += engine;
+  out += "}";
+  return out;
+}
+
+}  // namespace pbdd::service

@@ -1,0 +1,301 @@
+// Multi-session BDD service runtime.
+//
+// BddService multiplexes many concurrent client *sessions* onto one
+// BddManager + worker pool. The engine's external-call contract is "one
+// thread at a time", so the service funnels every batch through a single
+// dispatcher thread; concurrency between clients comes from the admission
+// queue, parallelism inside a batch from the engine's own worker pool (the
+// paper's top-level-operation batches).
+//
+// The pieces, in request order:
+//
+//  * Admission queue — bounded, three priority classes, FIFO within a
+//    class. A full queue exerts backpressure: submit() blocks (the default)
+//    or returns kRejected with a retry-after hint. The queue can never grow
+//    without bound.
+//  * Deadlines/cancellation — a request may carry a deadline; it is checked
+//    at admission and threaded into batch execution as a core::BatchControl,
+//    whose checkpoints in Worker::run_batch make an expired batch stop
+//    claiming items and release its partial work.
+//  * Per-session root registry + node quota — completed results are
+//    registered under their session; a session whose accounted nodes exceed
+//    its quota gets kQuotaExceeded until it releases roots, so one session
+//    cannot starve the shared store.
+//  * Memory-pressure governor — estimates a batch's node demand from the
+//    ManagerStats history (created-nodes-per-op over a sliding window),
+//    runs a collection when the projection would exceed the live-node
+//    budget, defers admission while other sessions may still release
+//    memory, sheds lowest-priority queued requests under sustained
+//    pressure, and finally rejects with a retry-after hint rather than
+//    blowing the budget.
+//
+// Lifetime contract: like Bdd/BddManager, every Bdd handle a client received
+// from the service must be dropped before the BddService is destroyed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::service {
+
+using SessionId = std::uint32_t;
+inline constexpr SessionId kInvalidSession = 0;
+
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+inline constexpr unsigned kNumPriorities = 3;
+
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,        ///< all operations executed; results in RequestResult::roots
+  kRejected,      ///< backpressure or sustained memory pressure; retry later
+  kShed,          ///< dropped from the queue by the governor under pressure
+  kExpired,       ///< deadline passed before or during execution
+  kCancelled,     ///< session cancelled or closed, or service shutting down
+  kQuotaExceeded, ///< session over its node quota; release roots first
+  kFailed,        ///< invalid request (unknown session, bad operands)
+};
+
+[[nodiscard]] const char* request_status_name(RequestStatus s) noexcept;
+
+struct ServiceConfig {
+  /// Variables of the shared manager (every session addresses the same
+  /// variable space; cross-session sharing in the unique tables is free).
+  unsigned num_vars = 16;
+  core::Config engine;
+
+  /// Total queued requests across all priority classes (bound, enforced).
+  std::size_t queue_capacity = 256;
+  std::size_t max_sessions = 256;
+
+  /// Per-session quota: sum of node_count over the session's registered
+  /// roots (shared subgraphs count once per root — an upper bound).
+  std::size_t session_node_quota = std::size_t{1} << 22;
+
+  /// Governor budget on the store's allocated node slots.
+  std::size_t live_node_budget = std::size_t{1} << 24;
+  /// Sliding calibration window (completed batches) for the demand model.
+  unsigned governor_history = 64;
+  /// Demand estimate before any history exists, in nodes per operation.
+  double bootstrap_demand_per_op = 256.0;
+  /// Over-budget deferrals before lower-priority queued work is shed, and
+  /// again before the head request itself is rejected.
+  unsigned shed_after_deferrals = 3;
+  /// How long one deferral waits for other sessions to release roots.
+  std::chrono::milliseconds deferral_wait{2};
+  /// Base of the retry-after hint (scaled by queue depth / deferrals).
+  std::chrono::milliseconds retry_after_base{5};
+};
+
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Block while the admission queue is full (backpressure). When false a
+  /// full queue rejects immediately with a retry-after hint.
+  bool block_on_full = true;
+  /// Register results in the session's root registry (they then count
+  /// against the quota and survive until released or the session closes).
+  bool register_roots = true;
+};
+
+struct RequestResult {
+  RequestStatus status = RequestStatus::kFailed;
+  /// One handle per operation, in request order; valid only for kOk.
+  std::vector<core::Bdd> roots;
+  std::chrono::nanoseconds queue_ns{0};  ///< admission to dispatch
+  std::chrono::nanoseconds exec_ns{0};   ///< batch execution
+  /// Backoff hint accompanying kRejected / kShed / kQuotaExceeded.
+  std::chrono::milliseconds retry_after{0};
+  std::string error;
+};
+
+/// Monotonic counters + governor gauges (all since construction).
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;          ///< handed to the engine
+  std::uint64_t completed = 0;         ///< resolved kOk
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_demand = 0;   ///< governor gave up after deferrals
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t governor_gcs = 0;
+  std::uint64_t batches_executed = 0;
+  std::uint64_t ops_executed = 0;
+  std::size_t queue_depth = 0;           ///< sampled now
+  std::size_t open_sessions = 0;         ///< sampled now
+  std::size_t live_node_budget = 0;
+  std::size_t max_live_nodes_observed = 0;   ///< after governor action
+  std::size_t max_allocated_observed = 0;    ///< before governor action
+  double demand_per_op = 0.0;            ///< current calibrated estimate
+};
+
+class BddService {
+ public:
+  explicit BddService(ServiceConfig config);
+  /// Cancels all queued work, joins the dispatcher, releases every
+  /// session's roots. Client-held handles must already be gone.
+  ~BddService();
+
+  BddService(const BddService&) = delete;
+  BddService& operator=(const BddService&) = delete;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+  // ---- Sessions -------------------------------------------------------------
+  /// Returns kInvalidSession when max_sessions are already open.
+  [[nodiscard]] SessionId open_session();
+  /// Cancels queued and in-flight work of the session and releases its
+  /// registered roots. Idempotent.
+  void close_session(SessionId session);
+  /// Cancel queued + in-flight work but keep the session and its roots.
+  void cancel_session(SessionId session);
+  /// Drop the session's registered roots (frees its quota; the nodes become
+  /// collectible once client-held copies are gone).
+  void release_session_roots(SessionId session);
+  [[nodiscard]] std::size_t session_accounted_nodes(SessionId session) const;
+
+  // ---- Operand handles (safe from any thread: pre-built, copy-only) --------
+  [[nodiscard]] core::Bdd var(unsigned v) const;
+  [[nodiscard]] core::Bdd nvar(unsigned v) const;
+  [[nodiscard]] core::Bdd zero() const { return zero_; }
+  [[nodiscard]] core::Bdd one() const { return one_; }
+
+  // ---- Requests -------------------------------------------------------------
+  /// Queue a batch of independent operations. The future resolves with the
+  /// results or a non-kOk status; it never blocks forever (shutdown resolves
+  /// everything kCancelled).
+  [[nodiscard]] std::future<RequestResult> submit(
+      SessionId session, std::vector<core::BatchOp> ops,
+      SubmitOptions options = {});
+  /// submit() + wait.
+  [[nodiscard]] RequestResult execute(SessionId session,
+                                      std::vector<core::BatchOp> ops,
+                                      SubmitOptions options = {});
+
+  // ---- Introspection --------------------------------------------------------
+  /// Run `fn` on the quiesced manager: no batch in flight, dispatcher held
+  /// off. For metrics, validation, and invariant checks. `fn` must not call
+  /// back into the service.
+  void quiesce_and(const std::function<void(core::BddManager&)>& fn);
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  /// Service counters + governor gauges + the engine's ManagerStats, all in
+  /// one JSON object (shares ManagerStats::to_json with the bench dumps).
+  [[nodiscard]] std::string metrics_json();
+
+ private:
+  struct Request {
+    SessionId session = kInvalidSession;
+    /// Session cancel epoch at submit time: cancel_session bumps the
+    /// session's epoch, lazily expiring everything queued before the bump.
+    std::uint64_t session_epoch = 0;
+    Priority priority = Priority::kNormal;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    bool register_roots = true;
+    std::vector<core::BatchOp> ops;  // handles keep operand roots alive
+    std::promise<RequestResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct SessionState {
+    std::uint64_t epoch = 0;  ///< bumped by cancel_session
+    std::vector<core::Bdd> roots;
+    std::size_t accounted_nodes = 0;
+  };
+
+  void dispatcher_loop();
+  void process_request(Request req);
+  /// Governor admission for `ops` operations. Returns true to execute,
+  /// false after resolving the request itself is required (rejected).
+  bool governor_admit(std::size_t ops, Priority priority);
+  /// Resolve every queued request with priority strictly below `above` as
+  /// kShed. Returns how many were shed.
+  std::size_t shed_below(Priority above);
+  /// Flip the in-flight batch's cancel flag if it belongs to `session`.
+  void cancel_inflight_if(SessionId session);
+  void resolve(Request& req, RequestStatus status,
+               std::chrono::nanoseconds queue_ns = {},
+               std::chrono::nanoseconds exec_ns = {});
+  [[nodiscard]] std::chrono::milliseconds retry_hint(
+      std::size_t scale) const noexcept;
+  [[nodiscard]] double demand_per_op_locked() const;
+
+  const ServiceConfig config_;
+
+  // Declared first so it is destroyed last: every Bdd member below (session
+  // registries, operand handles) must die before the manager.
+  core::BddManager mgr_;
+
+  /// Serializes all manager access: dispatcher batch execution and
+  /// quiesce_and() callers.
+  std::mutex manager_mutex_;
+
+  // Pre-built operand handles (handle copies are thread-safe).
+  std::vector<core::Bdd> vars_;
+  std::vector<core::Bdd> nvars_;
+  core::Bdd zero_;
+  core::Bdd one_;
+
+  // Admission queue (guarded by queue_mutex_).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable work_cv_;   ///< dispatcher waits for requests
+  std::condition_variable space_cv_;  ///< blocked submitters wait for room
+  std::deque<Request> queues_[kNumPriorities];
+  std::size_t queued_total_ = 0;
+  bool stopping_ = false;
+
+  // Sessions (guarded by sessions_mutex_).
+  mutable std::mutex sessions_mutex_;
+  std::condition_variable roots_released_cv_;  ///< wakes deferred governor
+  std::unordered_map<SessionId, SessionState> sessions_;
+  SessionId next_session_ = 1;
+  std::size_t open_sessions_ = 0;
+
+  // In-flight batch (guarded by inflight_mutex_) so cancel_session can
+  // reach a batch already handed to the engine.
+  std::mutex inflight_mutex_;
+  SessionId inflight_session_ = kInvalidSession;
+  core::BatchControl* inflight_control_ = nullptr;
+
+  // Governor calibration (guarded by manager_mutex_: dispatcher-only).
+  std::deque<double> demand_samples_;  ///< created nodes per op, per batch
+  std::uint64_t last_nodes_created_ = 0;
+
+  // Metrics (atomics: read from any thread).
+  std::atomic<std::uint64_t> m_submitted_{0};
+  std::atomic<std::uint64_t> m_admitted_{0};
+  std::atomic<std::uint64_t> m_completed_{0};
+  std::atomic<std::uint64_t> m_rejected_queue_full_{0};
+  std::atomic<std::uint64_t> m_rejected_quota_{0};
+  std::atomic<std::uint64_t> m_rejected_demand_{0};
+  std::atomic<std::uint64_t> m_shed_{0};
+  std::atomic<std::uint64_t> m_expired_{0};
+  std::atomic<std::uint64_t> m_cancelled_{0};
+  std::atomic<std::uint64_t> m_deferrals_{0};
+  std::atomic<std::uint64_t> m_governor_gcs_{0};
+  std::atomic<std::uint64_t> m_batches_executed_{0};
+  std::atomic<std::uint64_t> m_ops_executed_{0};
+  std::atomic<std::size_t> m_max_live_observed_{0};
+  std::atomic<std::size_t> m_max_allocated_observed_{0};
+  std::atomic<std::uint64_t> m_demand_per_op_milli_{0};
+
+  std::thread dispatcher_;
+};
+
+}  // namespace pbdd::service

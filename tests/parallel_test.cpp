@@ -176,6 +176,88 @@ TEST(Parallel, EmptyBatchIsANoop) {
   BddManager mgr(4, stress_config(2, 64, 8));
   const auto results = mgr.apply_batch({});
   EXPECT_TRUE(results.empty());
+  // The controlled entry point must short-circuit the same way, without
+  // touching the (absent) control.
+  core::BatchControl control;
+  EXPECT_TRUE(mgr.apply_batch({}, &control).empty());
+  EXPECT_EQ(control.skipped.load(), 0u);
+}
+
+TEST(Parallel, SelfOperandBatchesAreCanonical) {
+  // f == g on both commutative and non-commutative operators, including the
+  // ops with no f == g terminal rule (NAND/NOR must Shannon-expand a node
+  // against itself and still reduce canonically).
+  BddManager mgr(6, stress_config(3, 2, 1));
+  std::vector<Bdd> env;
+  for (unsigned v = 0; v < 6; ++v) env.push_back(mgr.var(v));
+  Bdd f = (env[0] & env[1]) | (env[2] ^ env[3]) | (env[4] & env[5]);
+  std::vector<BatchOp> batch;
+  for (const Op op : {Op::And, Op::Or, Op::Xor, Op::Xnor, Op::Nand, Op::Nor,
+                      Op::Diff, Op::Implies}) {
+    batch.push_back(BatchOp{op, f, f});
+  }
+  const auto results = mgr.apply_batch(batch);
+  EXPECT_EQ(results[0].ref(), f.ref());  // f AND f = f
+  EXPECT_EQ(results[1].ref(), f.ref());  // f OR f = f
+  EXPECT_TRUE(results[2].is_zero());     // f XOR f = 0
+  EXPECT_TRUE(results[3].is_one());      // f XNOR f = 1
+  EXPECT_TRUE(results[6].is_zero());     // f AND NOT f = 0
+  EXPECT_TRUE(results[7].is_one());      // f -> f = 1
+  // NAND/NOR have no self-operand terminal rule; validate against NOT f.
+  const Bdd not_f = !f;
+  EXPECT_EQ(results[4].ref(), not_f.ref());
+  EXPECT_EQ(results[5].ref(), not_f.ref());
+}
+
+TEST(Parallel, RepeatedIdenticalOpsInOneBatch) {
+  // The same (op, f, g) appearing many times in one batch: different workers
+  // may race to compute it, and every copy must resolve to the same node.
+  // Tiny thresholds force spills and steals between the duplicate items.
+  BddManager mgr(8, stress_config(4, 1, 1));
+  const ExprProgram program = ExprProgram::random(8, 20, 31);
+  const auto env = program.eval_engine<BddManager, Bdd>(mgr);
+  const Bdd& a = env[env.size() - 2];
+  const Bdd& b = env[env.size() - 1];
+  std::vector<BatchOp> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(BatchOp{Op::Xor, a, b});
+  const auto results = mgr.apply_batch(batch);
+  ASSERT_EQ(results.size(), 12u);
+  for (const Bdd& r : results) EXPECT_EQ(r.ref(), results[0].ref());
+  // And the result is correct, not just consistent.
+  EXPECT_EQ(results[0].ref(), mgr.apply(Op::Xor, a, b).ref());
+}
+
+TEST(Parallel, PreCancelledBatchSkipsEverything) {
+  BddManager mgr(6, stress_config(2, 64, 8));
+  const Bdd x = mgr.var(0), y = mgr.var(1);
+  std::vector<BatchOp> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(BatchOp{Op::And, x, y});
+  core::BatchControl control;
+  control.cancel.store(true);
+  const auto results = mgr.apply_batch(batch, &control);
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_EQ(control.skipped.load(), 8u);
+  for (const Bdd& r : results) EXPECT_FALSE(r.valid());
+}
+
+TEST(Parallel, ExpiredDeadlineCutsBatchShort) {
+  BddManager mgr(6, stress_config(2, 64, 8));
+  const Bdd x = mgr.var(0), y = mgr.var(1);
+  std::vector<BatchOp> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(BatchOp{Op::Or, x, y});
+  core::BatchControl control;
+  control.arm_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  const auto results = mgr.apply_batch(batch, &control);
+  EXPECT_EQ(control.skipped.load(), 8u);
+  for (const Bdd& r : results) EXPECT_FALSE(r.valid());
+  // A future deadline leaves the batch untouched.
+  core::BatchControl relaxed;
+  relaxed.arm_deadline(std::chrono::steady_clock::now() +
+                       std::chrono::hours(1));
+  const auto ok = mgr.apply_batch(batch, &relaxed);
+  EXPECT_EQ(relaxed.skipped.load(), 0u);
+  for (const Bdd& r : ok) EXPECT_EQ(r.ref(), (x | y).ref());
 }
 
 TEST(Parallel, RejectsInvalidBatchOperands) {

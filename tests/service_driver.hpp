@@ -1,0 +1,206 @@
+// Shared multi-session service workload: N closed-loop client threads, each
+// owning one session, hammering a BddService with randomized batches plus
+// per-request canary operations whose results are known a priori
+// (h XOR h == 0, h XNOR h == 1), so every kOk response is spot-validated
+// without truth-table bookkeeping. Used by the gtest suite
+// (service_test.cpp), the torture sweep (torture_test.cpp), and the seed
+// replay binary (torture_replay.cpp), so results come back as data.
+//
+// Client threads are *unregistered* from the torture scheduler's point of
+// view: under an enabled kPerturb schedule they get seeded delays/yields at
+// the kServiceAdmit/kServiceCancel points (via the dispatcher) while the
+// engine's pool workers are tortured as usual. Serialize-mode determinism
+// does not extend to this workload — client racing is inherently timing-
+// dependent — so service seeds are perturb-mode only.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/bdd_service.hpp"
+#include "store_invariants.hpp"
+#include "util/prng.hpp"
+
+namespace pbdd::test {
+
+struct ServiceWorkload {
+  unsigned sessions = 8;              ///< client threads (1 session each)
+  unsigned requests_per_session = 16;
+  unsigned ops_per_request = 6;       ///< randomized ops (+2 canaries)
+  std::uint64_t program_seed = 1;
+  /// Every Nth request carries a near-immediate deadline (0 = never); the
+  /// response must then be kOk or kExpired, nothing else.
+  unsigned deadline_every = 0;
+  /// Every Nth request is followed by cancel_session (0 = never).
+  unsigned cancel_every = 0;
+  /// Every Nth request is followed by release_session_roots (0 = never).
+  unsigned release_every = 8;
+};
+
+struct ServiceRunResult {
+  std::string error;  ///< empty on success, first violation otherwise
+  service::ServiceMetrics metrics;
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+};
+
+/// Drive `svc` with the workload and validate: canary results on every kOk,
+/// status sanity on every response, store invariants on the quiesced
+/// manager afterwards, and the governor's budget guarantee.
+inline ServiceRunResult run_service_workload(service::BddService& svc,
+                                             const ServiceWorkload& wl) {
+  std::mutex error_mutex;
+  std::string error;
+  const auto record = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lk(error_mutex);
+    if (error.empty()) error = msg;
+  };
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> non_ok{0};
+
+  const unsigned num_vars = svc.config().num_vars;
+  std::vector<std::thread> clients;
+  clients.reserve(wl.sessions);
+  for (unsigned c = 0; c < wl.sessions; ++c) {
+    clients.emplace_back([&, c] {
+      util::Xoshiro256 rng(wl.program_seed * 0x9E3779B97F4A7C15ull + c + 1);
+      const service::SessionId sid = svc.open_session();
+      if (sid == service::kInvalidSession) {
+        record("client " + std::to_string(c) + ": open_session failed");
+        return;
+      }
+      // Working set: seed with every variable (combinations spanning the
+      // full space grow into real node demand), extend with returned roots.
+      std::vector<core::Bdd> ws;
+      for (unsigned v = 0; v < num_vars; ++v) {
+        ws.push_back((c + v) % 2 == 0 ? svc.var(v) : svc.nvar(v));
+      }
+      const auto pick = [&]() -> const core::Bdd& {
+        return ws[rng.below(ws.size())];
+      };
+
+      // Demand driver: random And/Or mixes collapse to small BDDs, so each
+      // request also builds a fresh two-variable product and Xors the
+      // previous one into a per-client accumulator. XOR-of-random-monomials
+      // (bent-function style) is where BDDs genuinely grow, giving the
+      // governor real node demand to manage.
+      core::Bdd acc = svc.var(static_cast<unsigned>(rng.below(num_vars)));
+      core::Bdd mono = svc.var(static_cast<unsigned>(rng.below(num_vars)));
+
+      for (unsigned r = 0; r < wl.requests_per_session; ++r) {
+        std::vector<core::BatchOp> ops;
+        for (unsigned i = 0; i < wl.ops_per_request; ++i) {
+          const Op op = static_cast<Op>(rng.below(kNumOps));
+          ops.push_back(core::BatchOp{op, pick(), pick()});
+        }
+        ops.push_back(core::BatchOp{
+            Op::And, svc.var(static_cast<unsigned>(rng.below(num_vars))),
+            svc.var(static_cast<unsigned>(rng.below(num_vars)))});  // monomial
+        ops.push_back(core::BatchOp{Op::Xor, acc, mono});           // grower
+        // Canaries: self-operand results are known without any oracle.
+        const core::Bdd& h = pick();
+        ops.push_back(core::BatchOp{Op::Xor, h, h});   // == zero
+        ops.push_back(core::BatchOp{Op::Xnor, h, h});  // == one
+
+        service::SubmitOptions opts;
+        opts.priority = static_cast<service::Priority>(rng.below(3));
+        const bool tight_deadline =
+            wl.deadline_every != 0 && (r % wl.deadline_every) == 0;
+        if (tight_deadline) {
+          opts.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(rng.below(500));
+        }
+        const service::RequestResult res = svc.execute(sid, ops, opts);
+
+        switch (res.status) {
+          case service::RequestStatus::kOk: {
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (res.roots.size() != ops.size()) {
+              record("client " + std::to_string(c) +
+                     ": kOk with wrong result count");
+              return;
+            }
+            const core::Bdd& xor_res = res.roots[res.roots.size() - 2];
+            const core::Bdd& xnor_res = res.roots[res.roots.size() - 1];
+            if (!xor_res.is_zero() || !xnor_res.is_one()) {
+              record("client " + std::to_string(c) + " request " +
+                     std::to_string(r) + ": canary mismatch (h^h or h<=>h)");
+              return;
+            }
+            mono = res.roots[res.roots.size() - 4];
+            acc = res.roots[res.roots.size() - 3];
+            for (const core::Bdd& b : res.roots) ws.push_back(b);
+            if (ws.size() > 24) {
+              ws.erase(ws.begin(),
+                       ws.begin() + static_cast<std::ptrdiff_t>(ws.size() - 24));
+            }
+            break;
+          }
+          case service::RequestStatus::kExpired:
+            non_ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case service::RequestStatus::kRejected:
+          case service::RequestStatus::kShed:
+          case service::RequestStatus::kQuotaExceeded:
+            non_ok.fetch_add(1, std::memory_order_relaxed);
+            if (res.retry_after.count() <= 0) {
+              record("client " + std::to_string(c) +
+                     ": backpressure response without retry-after hint");
+              return;
+            }
+            break;
+          case service::RequestStatus::kCancelled:
+            // Only reachable here via our own cancel_session racing a
+            // queued successor, or shutdown; both are legitimate.
+            non_ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case service::RequestStatus::kFailed:
+            record("client " + std::to_string(c) + " request " +
+                   std::to_string(r) + ": unexpected kFailed: " + res.error);
+            return;
+        }
+
+        if (wl.cancel_every != 0 && (r % wl.cancel_every) == wl.cancel_every - 1) {
+          svc.cancel_session(sid);
+        }
+        if (wl.release_every != 0 &&
+            (r % wl.release_every) == wl.release_every - 1) {
+          svc.release_session_roots(sid);
+        }
+      }
+      ws.clear();  // drop client handles before the session goes
+      svc.close_session(sid);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  ServiceRunResult out;
+  out.ok = ok.load();
+  out.non_ok = non_ok.load();
+  {
+    std::lock_guard<std::mutex> lk(error_mutex);
+    out.error = error;
+  }
+  // The store must be coherent after the storm, checked with the service
+  // quiesced (no batch in flight, dispatcher held off).
+  if (out.error.empty()) {
+    svc.quiesce_and([&](core::BddManager& mgr) {
+      mgr.gc();
+      out.error = check_store_invariants(mgr);
+    });
+  }
+  out.metrics = svc.metrics();
+  if (out.error.empty() &&
+      out.metrics.max_live_nodes_observed > out.metrics.live_node_budget) {
+    out.error = "governor budget violated: " +
+                std::to_string(out.metrics.max_live_nodes_observed) + " > " +
+                std::to_string(out.metrics.live_node_budget);
+  }
+  return out;
+}
+
+}  // namespace pbdd::test

@@ -7,7 +7,9 @@
 #include "circuit/builder.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/ordering.hpp"
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "core/bdd_manager.hpp"
 
@@ -126,6 +128,46 @@ TEST_F(StatsTest, PhaseTimersPopulateDuringBuilds) {
   const core::ManagerStats s = mgr.stats();
   EXPECT_GT(s.total.expansion_ns, 0u);
   EXPECT_GT(s.total.reduction_ns, 0u);
+}
+
+TEST_F(StatsTest, ToJsonCarriesTheCountersItClaims) {
+  Config config;
+  config.workers = 2;
+  BddManager& mgr = make_manager(config);
+  build_something(mgr);
+  const core::ManagerStats s = mgr.stats();
+  const std::string json = s.to_json();
+
+  // Structural sanity: balanced braces/brackets, one per-worker record each.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // Spot-check values round-trip: the serialized total must contain the
+  // exact counter values, not a stale or re-sampled copy.
+  const auto contains = [&](const std::string& needle) {
+    return json.find(needle) != std::string::npos;
+  };
+  EXPECT_TRUE(contains("\"ops_performed\": " +
+                       std::to_string(s.total.ops_performed)));
+  EXPECT_TRUE(contains("\"nodes_created\": " +
+                       std::to_string(s.total.nodes_created)));
+  EXPECT_TRUE(contains("\"allocated_nodes\": " +
+                       std::to_string(s.allocated_nodes)));
+  EXPECT_TRUE(contains("\"gc_runs\": " + std::to_string(s.gc_runs)));
+  EXPECT_TRUE(contains("\"per_worker\""));
+  EXPECT_TRUE(contains("\"max_nodes_per_var\""));
+  EXPECT_TRUE(contains("\"lock_wait_per_var_ns\""));
+  // Two workers -> exactly two per-worker objects, so "ops_performed"
+  // appears three times (total + each worker).
+  std::size_t occurrences = 0;
+  for (std::size_t pos = json.find("\"ops_performed\"");
+       pos != std::string::npos;
+       pos = json.find("\"ops_performed\"", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 3u);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 
 #include "core/bdd_manager.hpp"
 #include "runtime/torture.hpp"
+#include "service_driver.hpp"
 #include "torture_driver.hpp"
 
 namespace {
@@ -27,6 +28,20 @@ struct ReplaySpec {
   int steps = 40;
   std::uint64_t program_seed = 1;
   bool expect_deterministic = false;  // run twice, require identical logs
+
+  // service_sessions > 0 switches from the single-manager workload to the
+  // multi-session BddService workload (service_driver.hpp): N client
+  // threads against one service, canary-validated, store invariants and
+  // the governor budget checked afterwards. Perturb mode only — client
+  // racing is outside the serialize-mode determinism guarantee.
+  unsigned service_sessions = 0;
+  unsigned service_requests = 10;
+  unsigned service_ops = 5;
+  unsigned service_deadline_every = 0;
+  unsigned service_cancel_every = 0;
+  unsigned service_release_every = 4;
+  std::size_t service_queue_capacity = 8;
+  std::size_t service_budget = 4096;
 };
 
 bool apply_key(ReplaySpec& spec, const std::string& key,
@@ -96,6 +111,18 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
   else if (key == "expect_deterministic") {
     spec.expect_deterministic = u64() != 0;
   }
+  else if (key == "service_sessions") spec.service_sessions = u32();
+  else if (key == "service_requests") spec.service_requests = u32();
+  else if (key == "service_ops") spec.service_ops = u32();
+  else if (key == "service_deadline_every") spec.service_deadline_every = u32();
+  else if (key == "service_cancel_every") spec.service_cancel_every = u32();
+  else if (key == "service_release_every") spec.service_release_every = u32();
+  else if (key == "service_queue_capacity") {
+    spec.service_queue_capacity = static_cast<std::size_t>(u64());
+  }
+  else if (key == "service_budget") {
+    spec.service_budget = static_cast<std::size_t>(u64());
+  }
   else {
     error = "unknown key '" + key + "'";
     return false;
@@ -143,11 +170,58 @@ bool parse_seed_file(const char* path, ReplaySpec& spec, std::string& error) {
       return false;
     }
   }
-  if (spec.num_vars < 1 || spec.num_vars > 6) {
+  if (spec.service_sessions == 0 &&
+      (spec.num_vars < 1 || spec.num_vars > 6)) {
     error = "num_vars must be in [1, 6] (truth-table oracle limit)";
     return false;
   }
+  if (spec.service_sessions > 0 &&
+      spec.torture.mode == pbdd::rt::TortureMode::kSerialize) {
+    error = "service workloads are perturb-mode only (client racing is "
+            "outside the serialize determinism guarantee)";
+    return false;
+  }
   return true;
+}
+
+/// Service-mode replay: the seed file drives the multi-session workload
+/// instead of the single-manager one. Exit-0 condition is the same shape:
+/// empty error from the driver (canaries, invariants, governor budget).
+int run_service(const ReplaySpec& spec, const char* path) {
+  pbdd::service::ServiceConfig cfg;
+  cfg.num_vars = spec.num_vars;
+  cfg.engine = spec.config;
+  cfg.queue_capacity = spec.service_queue_capacity;
+  cfg.live_node_budget = spec.service_budget;
+
+  pbdd::test::ServiceWorkload wl;
+  wl.sessions = spec.service_sessions;
+  wl.requests_per_session = spec.service_requests;
+  wl.ops_per_request = spec.service_ops;
+  wl.program_seed = spec.program_seed;
+  wl.deadline_every = spec.service_deadline_every;
+  wl.cancel_every = spec.service_cancel_every;
+  wl.release_every = spec.service_release_every;
+
+  pbdd::test::ServiceRunResult result;
+  {
+    pbdd::test::TortureGuard guard(spec.torture);
+    pbdd::service::BddService svc(cfg);
+    result = pbdd::test::run_service_workload(svc, wl);
+  }
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "FAIL %s\n%s\n", path, result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "PASS %s (service: %llu ok, %llu non-ok, %llu governor gcs, "
+      "max live %zu <= budget %zu)\n",
+      path, static_cast<unsigned long long>(result.ok),
+      static_cast<unsigned long long>(result.non_ok),
+      static_cast<unsigned long long>(result.metrics.governor_gcs),
+      result.metrics.max_live_nodes_observed,
+      result.metrics.live_node_budget);
+  return 0;
 }
 
 pbdd::test::TortureRunResult run(const ReplaySpec& spec) {
@@ -169,6 +243,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "torture_replay: %s: %s\n", argv[1], error.c_str());
     return 2;
   }
+
+  if (spec.service_sessions > 0) return run_service(spec, argv[1]);
 
   const auto first = run(spec);
   if (!first.error.empty()) {

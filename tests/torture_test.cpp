@@ -17,6 +17,7 @@
 
 #include "core/bdd_manager.hpp"
 #include "runtime/torture.hpp"
+#include "service_driver.hpp"
 #include "torture_driver.hpp"
 
 namespace pbdd {
@@ -217,6 +218,69 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param)) +
              (std::get<3>(info.param) == TortureMode::kPerturb ? "_perturb"
                                                                : "_serialize");
+    });
+
+// ---------------------------------------------------------------------------
+// Multi-session service sweep: client threads × seeds, perturb mode only.
+// The service dispatcher and client threads are unregistered with the
+// scheduler (they never run pool jobs) so they get seeded delays/yields at
+// the kServiceAdmit/kServiceCancel points while the engine's own workers
+// are tortured as usual. Serialize mode is excluded by design: client
+// racing is inherently timing-dependent, so its determinism guarantee
+// covers pool workers only.
+// ---------------------------------------------------------------------------
+
+class ServiceTortureSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(ServiceTortureSweep, MultiSessionWorkloadSurvivesPerturbation) {
+  const auto [workers, seed] = GetParam();
+
+  TortureConfig tc;
+  tc.seed = seed;
+  tc.mode = TortureMode::kPerturb;
+  tc.delay_permille = 200;
+  tc.yield_permille = 200;
+  tc.force_gc_permille = 25;
+  tc.force_spill_permille = 50;
+  TortureGuard guard(tc);
+
+  service::ServiceConfig cfg;
+  cfg.num_vars = 8;
+  cfg.engine.workers = workers;
+  cfg.engine.eval_threshold = 4;
+  cfg.engine.group_size = 2;
+  cfg.engine.share_poll_interval = 4;
+  cfg.engine.table_discipline = sweep_discipline(seed);
+  cfg.engine.table_shards =
+      cfg.engine.table_discipline == TableDiscipline::kSharded ? 4 : 1;
+  cfg.queue_capacity = 8;
+  cfg.live_node_budget = 4096;
+  service::BddService svc(cfg);
+
+  test::ServiceWorkload wl;
+  wl.sessions = 6;
+  wl.requests_per_session = 10;
+  wl.ops_per_request = 5;
+  wl.program_seed = seed * 7919 + workers;
+  wl.deadline_every = 4;
+  wl.cancel_every = 6;
+  wl.release_every = 3;
+  const test::ServiceRunResult result = test::run_service_workload(svc, wl);
+  EXPECT_EQ(result.error, "");
+  EXPECT_GT(result.ok, 0u);
+  EXPECT_LE(result.metrics.max_live_nodes_observed, cfg.live_node_budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ServiceTortureSweep,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, std::uint64_t>>&
+           info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // ---------------------------------------------------------------------------

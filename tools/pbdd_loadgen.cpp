@@ -1,0 +1,328 @@
+// Closed-loop load generator for the multi-session BDD service.
+//
+// N client threads each own one session and build real circuits through it:
+// every pass walks a circuit level by level (gates within a level are
+// independent, so each level is one BatchOp request — the paper's top-level
+// operation batches), with the variable mapping rotated per pass so
+// successive passes build genuinely different functions. The mix cycles
+// arithmetic, comparator, parity, and control circuits across sessions.
+//
+// Measures per-request latency (submit to future-ready) across all
+// sessions and reports p50/p95/p99/max plus throughput and the service's
+// own metrics (including the governor gauges) as a JSON artifact:
+//
+//   pbdd_loadgen --sessions 8 --passes 3 --json BENCH_service_latency.json
+//
+// Exit code 0 iff every session opened, every request resolved, nothing
+// came back kFailed, and every session completed at least one full pass.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "service/bdd_service.hpp"
+
+namespace {
+
+using namespace pbdd;
+using Clock = std::chrono::steady_clock;
+
+struct Cli {
+  unsigned sessions = 8;
+  unsigned passes = 3;       ///< full circuit builds per session
+  unsigned workers = 4;
+  std::size_t budget = std::size_t{1} << 22;
+  std::size_t queue_capacity = 64;
+  unsigned deadline_ms = 0;  ///< every 4th request gets this deadline (0=off)
+  std::string json_path;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: pbdd_loadgen [--sessions N] [--passes N] [--workers N]\n"
+               "                    [--budget NODES] [--queue N]\n"
+               "                    [--deadline-ms MS] [--json PATH]\n");
+  std::exit(2);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--sessions") cli.sessions = std::stoul(next());
+    else if (a == "--passes") cli.passes = std::stoul(next());
+    else if (a == "--workers") cli.workers = std::stoul(next());
+    else if (a == "--budget") cli.budget = std::stoull(next());
+    else if (a == "--queue") cli.queue_capacity = std::stoull(next());
+    else if (a == "--deadline-ms") cli.deadline_ms = std::stoul(next());
+    else if (a == "--json") cli.json_path = next();
+    else usage();
+  }
+  if (cli.sessions == 0 || cli.passes == 0) usage();
+  return cli;
+}
+
+/// The mixed workload: session s builds pool[s % pool.size()] repeatedly.
+std::vector<circuit::Circuit> make_pool() {
+  std::vector<circuit::Circuit> pool;
+  pool.push_back(circuit::multiplier(4).binarized());
+  pool.push_back(circuit::ripple_adder(8).binarized());
+  pool.push_back(circuit::comparator(8).binarized());
+  pool.push_back(circuit::parity_tree(12).binarized());
+  pool.push_back(circuit::hamming_encoder(8).binarized());
+  pool.push_back(circuit::priority_encoder(12).binarized());
+  return pool;
+}
+
+struct ClientStats {
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t ok = 0;
+  std::uint64_t non_ok = 0;
+  std::uint64_t ops = 0;
+  unsigned passes_completed = 0;
+  std::string error;
+};
+
+/// Build `circ` through the service, one request per level. Returns false
+/// if the pass had to be abandoned (a request failed twice).
+bool run_pass(service::BddService& svc, service::SessionId sid,
+              const circuit::Circuit& circ, unsigned pass, unsigned session,
+              const Cli& cli, ClientStats& stats) {
+  const unsigned num_vars = svc.config().num_vars;
+  const std::vector<std::uint32_t> levels = circ.levels();
+  std::uint32_t max_level = 0;
+  for (const std::uint32_t l : levels) max_level = std::max(max_level, l);
+
+  std::vector<core::Bdd> value(circ.num_gates());
+  // Inputs: rotate the variable mapping by pass so each pass builds
+  // different functions in the shared variable space.
+  {
+    unsigned pos = 0;
+    for (const std::uint32_t id : circ.inputs()) {
+      value[id] = svc.var((pos + pass * 7 + session * 3) % num_vars);
+      ++pos;
+    }
+  }
+
+  unsigned request_index = 0;
+  for (std::uint32_t level = 0; level <= max_level; ++level) {
+    std::vector<core::BatchOp> ops;
+    std::vector<std::uint32_t> targets;
+    for (std::uint32_t id = 0; id < circ.num_gates(); ++id) {
+      if (levels[id] != level) continue;
+      const circuit::Gate& g = circ.gate(id);
+      switch (g.type) {
+        case circuit::GateType::Input:
+          break;  // mapped above
+        case circuit::GateType::Const0:
+          value[id] = svc.zero();
+          break;
+        case circuit::GateType::Const1:
+          value[id] = svc.one();
+          break;
+        case circuit::GateType::Buf:
+          value[id] = value[g.fanins[0]];
+          break;
+        case circuit::GateType::Not:
+          // No unary service op; NAND with itself is the complement.
+          ops.push_back(core::BatchOp{Op::Nand, value[g.fanins[0]],
+                                      value[g.fanins[0]]});
+          targets.push_back(id);
+          break;
+        default:
+          ops.push_back(core::BatchOp{circuit::gate_op(g.type),
+                                      value[g.fanins[0]],
+                                      value[g.fanins[1]]});
+          targets.push_back(id);
+          break;
+      }
+    }
+    if (ops.empty()) continue;
+
+    service::SubmitOptions opts;
+    opts.priority = static_cast<service::Priority>(session % 3);
+    opts.register_roots = false;  // the client's own handles pin the values
+    const bool with_deadline =
+        cli.deadline_ms != 0 && (request_index % 4) == 3;
+    for (int attempt = 0;; ++attempt) {
+      if (with_deadline && attempt == 0) {
+        opts.deadline =
+            Clock::now() + std::chrono::milliseconds(cli.deadline_ms);
+      } else {
+        opts.deadline.reset();
+      }
+      const Clock::time_point t0 = Clock::now();
+      const service::RequestResult res = svc.execute(sid, ops, opts);
+      stats.latencies_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()));
+      if (res.status == service::RequestStatus::kOk) {
+        stats.ok += 1;
+        stats.ops += ops.size();
+        for (std::size_t k = 0; k < targets.size(); ++k) {
+          value[targets[k]] = res.roots[k];
+        }
+        break;
+      }
+      stats.non_ok += 1;
+      if (res.status == service::RequestStatus::kFailed) {
+        stats.error = "session " + std::to_string(session) +
+                      ": unexpected kFailed: " + res.error;
+        return false;
+      }
+      if (attempt >= 1) return false;  // abandoned after one retry
+      if (res.retry_after.count() > 0) {
+        std::this_thread::sleep_for(res.retry_after);
+      }
+    }
+    ++request_index;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  const std::vector<circuit::Circuit> pool = make_pool();
+
+  unsigned max_inputs = 0;
+  for (const circuit::Circuit& c : pool) {
+    max_inputs = std::max(max_inputs,
+                          static_cast<unsigned>(c.inputs().size()));
+  }
+
+  service::ServiceConfig cfg;
+  cfg.num_vars = max_inputs;
+  cfg.engine.workers = cli.workers;
+  cfg.queue_capacity = cli.queue_capacity;
+  cfg.live_node_budget = cli.budget;
+  service::BddService svc(cfg);
+
+  std::vector<ClientStats> stats(cli.sessions);
+  std::atomic<unsigned> sessions_opened{0};
+  const Clock::time_point wall0 = Clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(cli.sessions);
+    for (unsigned s = 0; s < cli.sessions; ++s) {
+      clients.emplace_back([&, s] {
+        ClientStats& my = stats[s];
+        const service::SessionId sid = svc.open_session();
+        if (sid == service::kInvalidSession) {
+          my.error = "session " + std::to_string(s) + ": open failed";
+          return;
+        }
+        sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        const circuit::Circuit& circ = pool[s % pool.size()];
+        for (unsigned pass = 0; pass < cli.passes; ++pass) {
+          if (!run_pass(svc, sid, circ, pass, s, cli, my)) break;
+          ++my.passes_completed;
+          svc.release_session_roots(sid);
+        }
+        svc.close_session(sid);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  // Aggregate.
+  std::vector<std::uint64_t> lat;
+  std::uint64_t ok = 0, non_ok = 0, ops = 0;
+  unsigned min_passes = cli.passes;
+  std::string error;
+  for (const ClientStats& s : stats) {
+    lat.insert(lat.end(), s.latencies_ns.begin(), s.latencies_ns.end());
+    ok += s.ok;
+    non_ok += s.non_ok;
+    ops += s.ops;
+    min_passes = std::min(min_passes, s.passes_completed);
+    if (error.empty() && !s.error.empty()) error = s.error;
+  }
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](double p) -> double {
+    if (lat.empty()) return 0.0;
+    const std::size_t idx = std::min(
+        lat.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(lat.size())));
+    return static_cast<double>(lat[idx]) / 1000.0;  // us
+  };
+  double mean_us = 0.0;
+  for (const std::uint64_t v : lat) {
+    mean_us += static_cast<double>(v) / 1000.0;
+  }
+  if (!lat.empty()) mean_us /= static_cast<double>(lat.size());
+
+  const service::ServiceMetrics m = svc.metrics();
+  std::printf(
+      "sessions %u  passes >= %u  requests %zu (ok %llu, non-ok %llu)\n"
+      "latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f  mean %.1f\n"
+      "throughput: %.0f requests/s, %.0f ops/s over %.2fs\n"
+      "governor: %llu gcs, %llu deferrals, %llu shed, max live %zu / %zu\n",
+      cli.sessions, min_passes, lat.size(),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(non_ok), pct(0.50), pct(0.95),
+      pct(0.99), pct(1.0), mean_us,
+      wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0.0,
+      wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0, wall_s,
+      static_cast<unsigned long long>(m.governor_gcs),
+      static_cast<unsigned long long>(m.deferrals),
+      static_cast<unsigned long long>(m.shed), m.max_live_nodes_observed,
+      m.live_node_budget);
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"service_loadgen\",\n"
+        << "  \"sessions\": " << cli.sessions << ",\n"
+        << "  \"passes\": " << cli.passes << ",\n"
+        << "  \"workers\": " << cli.workers << ",\n"
+        << "  \"wall_s\": " << wall_s << ",\n"
+        << "  \"requests\": {\"total\": " << lat.size() << ", \"ok\": " << ok
+        << ", \"non_ok\": " << non_ok << "},\n"
+        << "  \"latency_us\": {\"p50\": " << pct(0.50)
+        << ", \"p95\": " << pct(0.95) << ", \"p99\": " << pct(0.99)
+        << ", \"max\": " << pct(1.0) << ", \"mean\": " << mean_us << "},\n"
+        << "  \"throughput\": {\"requests_per_s\": "
+        << (wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0.0)
+        << ", \"ops_per_s\": "
+        << (wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0) << "},\n"
+        << "  \"service\": " << svc.metrics_json() << "\n}\n";
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+
+  if (!error.empty()) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  if (sessions_opened.load() != cli.sessions) {
+    std::fprintf(stderr, "FAIL: only %u/%u sessions opened\n",
+                 sessions_opened.load(), cli.sessions);
+    return 1;
+  }
+  if (min_passes == 0 || ok == 0) {
+    std::fprintf(stderr, "FAIL: a session completed no full pass\n");
+    return 1;
+  }
+  return 0;
+}
