@@ -1,0 +1,139 @@
+// Ablation: checkpoint/restore throughput vs worker count.
+//
+// The snapshot format (docs/FORMAT.md) is level-ordered so the manager's own
+// worker pool serializes and rebuilds per-variable sections in parallel —
+// the same decomposition the paper uses for construction and GC. This
+// harness measures what that buys: save and restore throughput (MB/s and
+// nodes/s) across worker counts on a multi-million-node store.
+//
+// Protocol per worker count W: restore a reference snapshot under W workers
+// (giving a W-worker manager holding the full store without rebuilding the
+// circuit), then time (a) full-store save from that manager and (b) the
+// ref-preserving restore of the file it wrote — the chain-adoption fast
+// path, no per-node hashing. Best of 3 repetitions each.
+//
+//   ablate_snapshot --circuits mult-11 --threads 1,2,4 --json BENCH_snapshot.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "harness.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"mult-11"});
+  const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
+  constexpr int kReps = 3;
+
+  // Build the store once, at the largest requested worker count.
+  unsigned build_workers = 1;
+  for (const unsigned t : cli.thread_counts) {
+    build_workers = std::max(build_workers, t);
+  }
+  const std::string ref_path = "ablate_snapshot_ref.snap";
+  std::uint64_t store_nodes = 0;
+  std::uint64_t file_bytes = 0;
+  {
+    core::Config config = bench::config_for(cli, build_workers, false);
+    core::BddManager mgr(w.num_vars, config);
+    const std::vector<core::Bdd> outputs =
+        circuit::build_parallel(mgr, w.binarized, w.order);
+    std::vector<snapshot::NamedRoot> named;
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      named.push_back({w.binarized.output_names()[o], outputs[o]});
+    }
+    const snapshot::SaveStats s = snapshot::save(mgr, ref_path, named);
+    store_nodes = s.nodes;
+    file_bytes = s.bytes;
+    std::printf("%s: %llu nodes in store, %.1f MB on disk\n", w.name.c_str(),
+                static_cast<unsigned long long>(store_nodes),
+                static_cast<double>(file_bytes) / 1048576.0);
+  }
+  const double file_mb = static_cast<double>(file_bytes) / 1048576.0;
+
+  struct Point {
+    unsigned workers;
+    double save_s, restore_s;
+    std::uint64_t levels_adopted, levels;
+  };
+  std::vector<Point> points;
+
+  util::TextTable table({"# procs", "save s", "save MB/s", "save Mnodes/s",
+                         "restore s", "restore MB/s", "restore Mnodes/s",
+                         "adopted"});
+  for (const unsigned workers : cli.thread_counts) {
+    core::Config config = bench::config_for(cli, workers, false);
+    snapshot::RestoreResult base = snapshot::restore(ref_path, config);
+
+    Point p{workers, 1e99, 1e99, 0, 0};
+    const std::string path =
+        "ablate_snapshot_w" + std::to_string(workers) + ".snap";
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::WallTimer t;
+      snapshot::save(*base.manager, path, base.roots);
+      p.save_s = std::min(p.save_s, t.elapsed_s());
+    }
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::WallTimer t;
+      const snapshot::RestoreResult r = snapshot::restore(path, config);
+      p.restore_s = std::min(p.restore_s, t.elapsed_s());
+      p.levels_adopted = r.stats.levels_adopted;
+      p.levels = r.stats.levels;
+    }
+    std::remove(path.c_str());
+    points.push_back(p);
+
+    const double nodes_m = static_cast<double>(store_nodes) * 1e-6;
+    table.add_row(
+        {std::to_string(workers), util::TextTable::num(p.save_s, 3),
+         util::TextTable::num(file_mb / p.save_s, 1),
+         util::TextTable::num(nodes_m / p.save_s, 2),
+         util::TextTable::num(p.restore_s, 3),
+         util::TextTable::num(file_mb / p.restore_s, 1),
+         util::TextTable::num(nodes_m / p.restore_s, 2),
+         std::to_string(p.levels_adopted) + "/" + std::to_string(p.levels)});
+    std::fflush(stdout);
+  }
+  std::remove(ref_path.c_str());
+  table.print(std::cout);
+  std::printf(
+      "\nSave writes every level section from the manager's own pool;\n"
+      "restore rebuilds arenas and adopts the stored unique-table chains\n"
+      "without hashing (ref-preserving path). Throughput should scale with\n"
+      "workers until the file I/O path saturates.\n");
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"ablate_snapshot\",\n"
+        << "  \"circuit\": \"" << w.name << "\",\n"
+        << "  \"store_nodes\": " << store_nodes << ",\n"
+        << "  \"file_bytes\": " << file_bytes << ",\n"
+        << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      const double nodes = static_cast<double>(store_nodes);
+      out << (i ? ",\n    " : "\n    ") << "{\"workers\": " << p.workers
+          << ", \"save\": {\"s\": " << p.save_s
+          << ", \"mb_per_s\": " << file_mb / p.save_s
+          << ", \"nodes_per_s\": " << nodes / p.save_s << "}"
+          << ", \"restore\": {\"s\": " << p.restore_s
+          << ", \"mb_per_s\": " << file_mb / p.restore_s
+          << ", \"nodes_per_s\": " << nodes / p.restore_s
+          << ", \"levels_adopted\": " << p.levels_adopted
+          << ", \"levels\": " << p.levels << "}}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return 0;
+}

@@ -465,6 +465,47 @@ void BddManager::gc_driver(unsigned id) {
   w.stats().gc_ns += total.elapsed_ns();
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot support: the mark phase of gc_driver run standalone, plus a raw
+// pool entry so the snapshot writer/reader can parallelize per variable.
+// ---------------------------------------------------------------------------
+
+void BddManager::run_on_workers(const std::function<void(unsigned)>& fn) {
+  pool_.run([&fn](unsigned id) { fn(id); });
+}
+
+void BddManager::snapshot_mark(std::span<const NodeRef> roots) {
+  pool_.run([this, roots](unsigned id) {
+    Worker& w = *workers_[id];
+    if (id == 0) {
+      for (const NodeRef r : roots) {
+        if (is_internal(r)) {
+          node(r).aux.fetch_or(BddNode::kMarkBit, std::memory_order_relaxed);
+        }
+      }
+    }
+    gc_barrier_.arrive_and_wait();
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      w.gc_mark_var(v);
+      gc_barrier_.arrive_and_wait();
+    }
+  });
+}
+
+void BddManager::snapshot_clear_marks() {
+  pool_.run([this](unsigned id) {
+    Worker& w = *workers_[id];
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      NodeArena& arena = w.node_arena(v);
+      const std::size_t n = arena.size();
+      for (std::size_t s = 0; s < n; ++s) {
+        arena.at_own(static_cast<std::uint32_t>(s))
+            .aux.store(0, std::memory_order_relaxed);
+      }
+    }
+  });
+}
+
 void BddManager::gc() {
   ++gc_runs_;
   pool_.run([this](unsigned id) { gc_driver(id); });

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -179,6 +180,23 @@ class BddManager {
     return peak_bytes_;
   }
   [[nodiscard]] std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+
+  // ---- Snapshot support (src/snapshot/) -------------------------------------
+  /// Run `fn(worker_id)` on every pool worker; the caller executes worker 0
+  /// and the call blocks until all workers finish. Stop-the-world helper for
+  /// the snapshot subsystem: the external-call contract applies, and `fn`
+  /// partitions its own work (typically variables round-robin by id).
+  void run_on_workers(const std::function<void(unsigned)>& fn);
+
+  /// Set the aux mark bit on every node reachable from `roots`, in parallel
+  /// on the pool — the collector's mark phase run standalone. The snapshot
+  /// writer's reachable-only export walks these marks (and stashes dense
+  /// local ids in the aux words, exactly like gc_forward). Callers must
+  /// clear the marks with snapshot_clear_marks() before any other engine
+  /// activity.
+  void snapshot_mark(std::span<const NodeRef> roots);
+  /// Zero every node's aux word (marks and stashed local ids).
+  void snapshot_clear_marks();
 
   // ---- Statistics -----------------------------------------------------------
   [[nodiscard]] ManagerStats stats() const;

@@ -205,6 +205,101 @@ class VarUniqueTable {
     if (sharded()) segment.mutex.unlock();
   }
 
+  // ---- Snapshot support -----------------------------------------------------
+  // Stop-the-world only (same contract as reset_chains): the snapshot
+  // writer serializes the bucket structure so a shape-compatible restore
+  // can adopt the stored chains without hashing a single node.
+
+  /// Bucket-array sizes per segment (a single entry for kPassLock and
+  /// kLockFree, whose one array plays the role of segment 0).
+  [[nodiscard]] std::vector<std::size_t> segment_bucket_counts() const {
+    if (lockfree_) {
+      return {lf_owner_ ? lf_owner_->mask + 1 : std::size_t{0}};
+    }
+    std::vector<std::size_t> out;
+    out.reserve(segments_.size());
+    for (const Segment& s : segments_) out.push_back(s.buckets.size());
+    return out;
+  }
+
+  /// Chained-node counts per segment (kLockFree reports its global count).
+  [[nodiscard]] std::vector<std::size_t> segment_node_counts() const {
+    if (lockfree_) return {lf_count_.load(std::memory_order_relaxed)};
+    std::vector<std::size_t> out;
+    out.reserve(segments_.size());
+    for (const Segment& s : segments_) out.push_back(s.count);
+    return out;
+  }
+
+  /// All bucket heads in segment-major order (kZero = empty). The lock-free
+  /// kMovedHead sentinel only ever lives in retired arrays, so it cannot
+  /// appear here.
+  [[nodiscard]] std::vector<NodeRef> bucket_heads() const {
+    std::vector<NodeRef> out;
+    if (lockfree_) {
+      const std::size_t n = lf_owner_ ? lf_owner_->mask + 1 : 0;
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(lf_owner_->slots[i].load(std::memory_order_relaxed));
+      }
+      return out;
+    }
+    for (const Segment& s : segments_) {
+      out.insert(out.end(), s.buckets.begin(), s.buckets.end());
+    }
+    return out;
+  }
+
+  /// Adopt pre-linked chains from a snapshot: the caller has already stored
+  /// every node's `next` field and translated `heads` (segment-major, same
+  /// layout as bucket_heads()) into live references. Valid only when the
+  /// stored shape hashes identically to this table — same discipline and
+  /// same segment count — since bucket selection depends on both. Returns
+  /// false with the table untouched when the shapes are incompatible; the
+  /// caller then falls back to reinsert().
+  bool adopt_chains(TableDiscipline saved,
+                    const std::vector<std::size_t>& seg_buckets,
+                    const std::vector<std::size_t>& seg_counts,
+                    const std::vector<NodeRef>& heads) {
+    if (saved != discipline()) return false;
+    std::size_t total_buckets = 0;
+    for (std::size_t sz : seg_buckets) {
+      if (sz < 16 || (sz & (sz - 1)) != 0) return false;
+      total_buckets += sz;
+    }
+    if (heads.size() != total_buckets ||
+        seg_counts.size() != seg_buckets.size()) {
+      return false;
+    }
+    if (lockfree_) {
+      if (seg_buckets.size() != 1) return false;
+      const std::size_t size = seg_buckets[0];
+      lf_retired_.clear();
+      lf_owner_ = std::make_unique<LfBuckets>(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        lf_owner_->slots[i].store(heads[i], std::memory_order_relaxed);
+      }
+      lf_buckets_.store(lf_owner_.get(), std::memory_order_release);
+      lf_max_count_ = std::max(
+          lf_max_count_, lf_count_.load(std::memory_order_relaxed));
+      lf_count_.store(seg_counts[0], std::memory_order_relaxed);
+      return true;
+    }
+    if (seg_buckets.size() != segments_.size()) return false;
+    std::size_t off = 0;
+    for (std::size_t si = 0; si < segments_.size(); ++si) {
+      Segment& s = segments_[si];
+      s.buckets.assign(heads.begin() + static_cast<std::ptrdiff_t>(off),
+                       heads.begin() +
+                           static_cast<std::ptrdiff_t>(off + seg_buckets[si]));
+      s.mask = seg_buckets[si] - 1;
+      s.count = seg_counts[si];
+      s.max_count = std::max(s.max_count, s.count);
+      off += seg_buckets[si];
+    }
+    return true;
+  }
+
   // ---- Introspection ---------------------------------------------------------
 
   [[nodiscard]] std::size_t count() const noexcept {

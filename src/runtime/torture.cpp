@@ -44,6 +44,10 @@ constexpr PointInfo kPoints[] = {
     // and service mutex; they are yieldable by the usual rule, though in
     // practice only the unregistered-thread perturbation path reaches them.
     {"service_admit", true},     {"service_cancel", true},
+    // Snapshot points fire per level on pool workers (save/restore) and on
+    // the dispatcher/caller thread; no engine or service mutex is held at
+    // either, so both are yieldable.
+    {"snapshot_write", true},    {"snapshot_restore", true},
     {"force_gc", false},         {"force_spill", false},
     {"force_table_grow", false}, {"force_dir_churn", false},
 };

@@ -75,6 +75,8 @@ enum class InjectPoint : std::uint8_t {
   kTableCasRetry,     ///< lock-free insert retrying (CAS lost / bucket moved)
   kServiceAdmit,      ///< service dispatcher admitted a request for execution
   kServiceCancel,     ///< service request cancelled/expired/shed/deferred
+  kSnapshotWrite,     ///< snapshot writer about to serialize one level
+  kSnapshotRestore,   ///< snapshot reader about to rebuild one level
   // Decision points (query): deterministically force rare transitions.
   kForceGc,           ///< run a collection at this safe point
   kForceSpill,        ///< act as if an idle worker requested a switch

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runtime/inject.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace pbdd::service {
 
@@ -191,6 +192,21 @@ std::future<RequestResult> BddService::submit(SessionId session,
     return fut;
   }
 
+  return enqueue(std::move(req), options, std::move(fut));
+}
+
+std::future<RequestResult> BddService::enqueue(Request req,
+                                               const SubmitOptions& options,
+                                               std::future<RequestResult> fut) {
+  const auto fail = [&](RequestStatus status, std::string error,
+                        std::chrono::milliseconds retry = {}) {
+    RequestResult r;
+    r.status = status;
+    r.error = std::move(error);
+    r.retry_after = retry;
+    req.promise.set_value(std::move(r));
+    return std::move(fut);
+  };
   std::unique_lock<std::mutex> lk(queue_mutex_);
   if (queued_total_ >= config_.queue_capacity && !stopping_) {
     if (!options.block_on_full) {
@@ -226,6 +242,51 @@ std::future<RequestResult> BddService::submit(SessionId session,
   lk.unlock();
   work_cv_.notify_one();
   return fut;
+}
+
+// ---- Checkpoint / restore ---------------------------------------------------
+
+std::future<RequestResult> BddService::submit_snapshot(
+    Request::Kind kind, SessionId session, std::string path,
+    const SubmitOptions& options) {
+  m_submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  req.kind = kind;
+  req.snapshot_path = std::move(path);
+  req.session = session;
+  req.priority = options.priority;
+  req.deadline = options.deadline;
+  req.enqueued = Clock::now();
+  std::future<RequestResult> fut = req.promise.get_future();
+  const auto fail = [&](std::string error) {
+    RequestResult r;
+    r.status = RequestStatus::kFailed;
+    r.error = std::move(error);
+    req.promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+  if (req.snapshot_path.empty()) return fail("empty snapshot path");
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return fail("unknown or closed session");
+    req.session_epoch = it->second.epoch;
+  }
+  return enqueue(std::move(req), options, std::move(fut));
+}
+
+std::future<RequestResult> BddService::save_session(SessionId session,
+                                                    std::string path,
+                                                    SubmitOptions options) {
+  return submit_snapshot(Request::Kind::kSaveSnapshot, session,
+                         std::move(path), options);
+}
+
+std::future<RequestResult> BddService::restore_session(SessionId session,
+                                                       std::string path,
+                                                       SubmitOptions options) {
+  return submit_snapshot(Request::Kind::kRestoreSnapshot, session,
+                         std::move(path), options);
 }
 
 RequestResult BddService::execute(SessionId session,
@@ -267,7 +328,9 @@ void BddService::process_request(Request req) {
   const std::chrono::nanoseconds queue_ns = since(req.enqueued);
 
   // The session may have been closed or cancelled while this sat queued.
-  {
+  // (The internal periodic checkpoint carries kInvalidSession: it snapshots
+  // every session and has no owner to outlive.)
+  if (req.session != kInvalidSession) {
     std::lock_guard<std::mutex> lk(sessions_mutex_);
     const auto it = sessions_.find(req.session);
     if (it == sessions_.end() || req.session_epoch < it->second.epoch) {
@@ -277,6 +340,14 @@ void BddService::process_request(Request req) {
   }
   if (req.deadline && Clock::now() >= *req.deadline) {
     resolve(req, RequestStatus::kExpired, queue_ns);
+    return;
+  }
+  if (req.kind == Request::Kind::kSaveSnapshot) {
+    process_save(req, queue_ns);
+    return;
+  }
+  if (req.kind == Request::Kind::kRestoreSnapshot) {
+    process_restore(req, queue_ns);
     return;
   }
   if (!governor_admit(req.ops.size(), req.priority)) {
@@ -353,6 +424,7 @@ void BddService::process_request(Request req) {
   m_batches_executed_.fetch_add(1, std::memory_order_relaxed);
   m_ops_executed_.fetch_add(req.ops.size() - skipped,
                             std::memory_order_relaxed);
+  maybe_enqueue_checkpoint();
 
   if (skipped > 0) {
     // Cut short: partial results go out of scope here and become garbage
@@ -385,6 +457,166 @@ void BddService::process_request(Request req) {
   r.queue_ns = queue_ns;
   r.exec_ns = exec_ns;
   req.promise.set_value(std::move(r));
+}
+
+void BddService::process_save(Request& req, std::chrono::nanoseconds queue_ns) {
+  PBDD_INJECT(kSnapshotWrite);
+  const bool internal = req.session == kInvalidSession;
+  // Collect the named roots first (handle copies are cheap and keep the
+  // nodes live), then drop sessions_mutex_ before pausing the engine.
+  std::vector<snapshot::NamedRoot> named;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    std::vector<SessionId> sids;
+    if (internal) {
+      sids.reserve(sessions_.size());
+      for (const auto& [sid, state] : sessions_) sids.push_back(sid);
+      std::sort(sids.begin(), sids.end());  // stable root-table order
+    } else {
+      sids.push_back(req.session);
+    }
+    for (const SessionId sid : sids) {
+      const auto it = sessions_.find(sid);
+      if (it == sessions_.end()) continue;
+      const std::vector<core::Bdd>& roots = it->second.roots;
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        std::string name = internal ? "s" + std::to_string(sid) + "/r" +
+                                          std::to_string(i)
+                                    : "r" + std::to_string(i);
+        named.push_back({std::move(name), roots[i]});
+      }
+    }
+  }
+
+  RequestResult r;
+  r.queue_ns = queue_ns;
+  try {
+    snapshot::SaveOptions opts;
+    opts.mode = snapshot::SaveMode::kExportRoots;
+    const Clock::time_point t0 = Clock::now();
+    snapshot::SaveStats s;
+    {
+      std::lock_guard<std::mutex> mlk(manager_mutex_);
+      s = snapshot::save(mgr_, req.snapshot_path, named, opts);
+    }
+    const std::uint64_t pause = static_cast<std::uint64_t>(since(t0).count());
+    record_pause(pause);
+    m_snapshots_saved_.fetch_add(1, std::memory_order_relaxed);
+    m_snapshot_bytes_.fetch_add(s.bytes, std::memory_order_relaxed);
+    m_completed_.fetch_add(1, std::memory_order_relaxed);
+    r.status = RequestStatus::kOk;
+    r.exec_ns = std::chrono::nanoseconds(pause);
+  } catch (const std::exception& e) {
+    m_snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    r.status = RequestStatus::kFailed;
+    r.error = e.what();
+  }
+  if (internal) {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    checkpoint_pending_ = false;
+  }
+  req.promise.set_value(std::move(r));
+}
+
+void BddService::process_restore(Request& req,
+                                 std::chrono::nanoseconds queue_ns) {
+  PBDD_INJECT(kSnapshotRestore);
+  RequestResult r;
+  r.queue_ns = queue_ns;
+  std::vector<snapshot::NamedRoot> named;
+  snapshot::RestoreStats rs;
+  std::size_t registered_nodes = 0;
+  try {
+    const Clock::time_point t0 = Clock::now();
+    std::lock_guard<std::mutex> mlk(manager_mutex_);
+    named = snapshot::import_into(mgr_, req.snapshot_path, &rs);
+    // The import may have overshot the budget; enforce it like a batch.
+    if (mgr_.live_nodes() > config_.live_node_budget) {
+      mgr_.gc();
+      m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const snapshot::NamedRoot& nr : named) {
+      registered_nodes += mgr_.node_count(nr.bdd);
+    }
+    r.exec_ns = since(t0);
+  } catch (const std::exception& e) {
+    m_snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    r.status = RequestStatus::kFailed;
+    r.error = e.what();
+    req.promise.set_value(std::move(r));
+    return;
+  }
+  m_snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
+  m_snapshot_nodes_restored_.fetch_add(rs.nodes, std::memory_order_relaxed);
+
+  std::vector<core::Bdd> roots;
+  roots.reserve(named.size());
+  for (snapshot::NamedRoot& nr : named) roots.push_back(std::move(nr.bdd));
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    const auto it = sessions_.find(req.session);
+    if (it == sessions_.end() || req.session_epoch < it->second.epoch) {
+      resolve(req, RequestStatus::kCancelled, queue_ns, r.exec_ns);
+      return;  // restored handles drop; the next collection reclaims them
+    }
+    if (it->second.accounted_nodes + registered_nodes >
+        config_.session_node_quota) {
+      m_rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+      r.status = RequestStatus::kQuotaExceeded;
+      r.error = "restored roots exceed session node quota";
+      r.retry_after = retry_hint(1);
+      req.promise.set_value(std::move(r));
+      return;
+    }
+    it->second.roots.insert(it->second.roots.end(), roots.begin(),
+                            roots.end());
+    it->second.accounted_nodes += registered_nodes;
+  }
+  m_completed_.fetch_add(1, std::memory_order_relaxed);
+  r.status = RequestStatus::kOk;
+  r.roots = std::move(roots);
+  req.promise.set_value(std::move(r));
+}
+
+void BddService::maybe_enqueue_checkpoint() {
+  if (config_.checkpoint_every_batches == 0) return;
+  if (m_batches_executed_.load(std::memory_order_relaxed) %
+          config_.checkpoint_every_batches !=
+      0) {
+    return;
+  }
+  Request req;
+  req.kind = Request::Kind::kSaveSnapshot;
+  req.snapshot_path = config_.checkpoint_path;
+  req.session = kInvalidSession;
+  req.priority = Priority::kHigh;
+  req.enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (stopping_ || checkpoint_pending_) return;
+    checkpoint_pending_ = true;
+    // Bypasses the capacity bound: at most one internal request exists, and
+    // the dispatcher blocking on its own queue would deadlock.
+    queues_[static_cast<unsigned>(Priority::kHigh)].push_back(std::move(req));
+    ++queued_total_;
+  }
+  work_cv_.notify_one();
+}
+
+void BddService::record_pause(std::uint64_t ns) {
+  m_pause_last_ns_.store(ns, std::memory_order_relaxed);
+  std::uint64_t prev = m_pause_max_ns_.load(std::memory_order_relaxed);
+  while (ns > prev && !m_pause_max_ns_.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+  constexpr std::size_t kWindow = 512;
+  std::lock_guard<std::mutex> lk(snapshot_mutex_);
+  if (pause_samples_ns_.size() < kWindow) {
+    pause_samples_ns_.push_back(ns);
+  } else {
+    pause_samples_ns_[pause_next_] = ns;
+    pause_next_ = (pause_next_ + 1) % kWindow;
+  }
 }
 
 // ---- Governor ---------------------------------------------------------------
@@ -535,6 +767,25 @@ ServiceMetrics BddService::metrics() const {
       static_cast<double>(m_demand_per_op_milli_.load(
           std::memory_order_relaxed)) /
       1000.0;
+  m.snapshots_saved = m_snapshots_saved_.load(std::memory_order_relaxed);
+  m.snapshots_restored = m_snapshots_restored_.load(std::memory_order_relaxed);
+  m.snapshot_failures = m_snapshot_failures_.load(std::memory_order_relaxed);
+  m.snapshot_bytes_written = m_snapshot_bytes_.load(std::memory_order_relaxed);
+  m.snapshot_nodes_restored =
+      m_snapshot_nodes_restored_.load(std::memory_order_relaxed);
+  m.snapshot_pause_ns_last = m_pause_last_ns_.load(std::memory_order_relaxed);
+  m.snapshot_pause_ns_max = m_pause_max_ns_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(snapshot_mutex_);
+    if (!pause_samples_ns_.empty()) {
+      std::vector<std::uint64_t> sorted(pause_samples_ns_);
+      const std::size_t idx =
+          std::min(sorted.size() - 1, (sorted.size() * 95) / 100);
+      const auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(idx);
+      std::nth_element(sorted.begin(), nth, sorted.end());
+      m.snapshot_pause_ns_p95 = *nth;
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(queue_mutex_);
     m.queue_depth = queued_total_;
@@ -579,6 +830,14 @@ std::string BddService::metrics_json() {
   field("live_node_budget", m.live_node_budget);
   field("max_live_nodes_observed", m.max_live_nodes_observed);
   field("max_allocated_observed", m.max_allocated_observed);
+  field("snapshots_saved", m.snapshots_saved);
+  field("snapshots_restored", m.snapshots_restored);
+  field("snapshot_failures", m.snapshot_failures);
+  field("snapshot_bytes_written", m.snapshot_bytes_written);
+  field("snapshot_nodes_restored", m.snapshot_nodes_restored);
+  field("snapshot_pause_ns_last", m.snapshot_pause_ns_last);
+  field("snapshot_pause_ns_max", m.snapshot_pause_ns_max);
+  field("snapshot_pause_ns_p95", m.snapshot_pause_ns_p95);
   char buf[64];
   std::snprintf(buf, sizeof(buf), "\"demand_per_op\": %.3f, ",
                 m.demand_per_op);

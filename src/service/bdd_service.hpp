@@ -96,6 +96,14 @@ struct ServiceConfig {
   std::chrono::milliseconds deferral_wait{2};
   /// Base of the retry-after hint (scaled by queue depth / deferrals).
   std::chrono::milliseconds retry_after_base{5};
+
+  /// Periodic checkpoint: after every N executed batches the dispatcher
+  /// self-enqueues one high-priority snapshot of every session's registered
+  /// roots to checkpoint_path (0 = off). The checkpoint rides the admission
+  /// queue like any client request, so it serializes against in-flight
+  /// batches and the governor; at most one is ever pending.
+  std::uint64_t checkpoint_every_batches = 0;
+  std::string checkpoint_path = "pbdd_checkpoint.snap";
 };
 
 struct SubmitOptions {
@@ -141,6 +149,18 @@ struct ServiceMetrics {
   std::size_t max_live_nodes_observed = 0;   ///< after governor action
   std::size_t max_allocated_observed = 0;    ///< before governor action
   double demand_per_op = 0.0;            ///< current calibrated estimate
+
+  // Snapshot counters. Pause = wall time the manager lock was held for a
+  // save (the stop-the-world cost clients observe as added queue latency);
+  // the p95 is over a bounded window of recent saves.
+  std::uint64_t snapshots_saved = 0;
+  std::uint64_t snapshots_restored = 0;
+  std::uint64_t snapshot_failures = 0;
+  std::uint64_t snapshot_bytes_written = 0;
+  std::uint64_t snapshot_nodes_restored = 0;
+  std::uint64_t snapshot_pause_ns_last = 0;
+  std::uint64_t snapshot_pause_ns_max = 0;
+  std::uint64_t snapshot_pause_ns_p95 = 0;
 };
 
 class BddService {
@@ -188,6 +208,20 @@ class BddService {
                                       std::vector<core::BatchOp> ops,
                                       SubmitOptions options = {});
 
+  // ---- Checkpoint / restore -------------------------------------------------
+  /// Queue a reachable-only snapshot of the session's registered roots to
+  /// `path` (src/snapshot/ export mode). Rides the admission queue, so it
+  /// serializes against in-flight batches; the future resolves kOk once the
+  /// file is on disk (exec_ns = the stop-the-world save pause).
+  [[nodiscard]] std::future<RequestResult> save_session(
+      SessionId session, std::string path, SubmitOptions options = {});
+  /// Queue a restore: stream the snapshot's nodes into the shared store
+  /// (deduplicating against live nodes) and register its roots under
+  /// `session`. The future's RequestResult carries the restored handles in
+  /// root-table order.
+  [[nodiscard]] std::future<RequestResult> restore_session(
+      SessionId session, std::string path, SubmitOptions options = {});
+
   // ---- Introspection --------------------------------------------------------
   /// Run `fn` on the quiesced manager: no batch in flight, dispatcher held
   /// off. For metrics, validation, and invariant checks. `fn` must not call
@@ -201,6 +235,12 @@ class BddService {
 
  private:
   struct Request {
+    enum class Kind : std::uint8_t { kBatch, kSaveSnapshot, kRestoreSnapshot };
+    Kind kind = Kind::kBatch;
+    /// Snapshot file path (save/restore kinds). A save with
+    /// session == kInvalidSession is the internal periodic checkpoint and
+    /// covers every session's roots.
+    std::string snapshot_path;
     SessionId session = kInvalidSession;
     /// Session cancel epoch at submit time: cancel_session bumps the
     /// session's epoch, lazily expiring everything queued before the bump.
@@ -221,6 +261,20 @@ class BddService {
 
   void dispatcher_loop();
   void process_request(Request req);
+  void process_save(Request& req, std::chrono::nanoseconds queue_ns);
+  void process_restore(Request& req, std::chrono::nanoseconds queue_ns);
+  /// Shared queue push with backpressure (the tail of submit()).
+  [[nodiscard]] std::future<RequestResult> enqueue(
+      Request req, const SubmitOptions& options,
+      std::future<RequestResult> fut);
+  /// Validation + queueing shared by save_session/restore_session.
+  [[nodiscard]] std::future<RequestResult> submit_snapshot(
+      Request::Kind kind, SessionId session, std::string path,
+      const SubmitOptions& options);
+  /// Self-enqueue the periodic checkpoint when the batch counter hits the
+  /// configured interval (at most one pending at a time).
+  void maybe_enqueue_checkpoint();
+  void record_pause(std::uint64_t ns);
   /// Governor admission for `ops` operations. Returns true to execute,
   /// false after resolving the request itself is required (rejected).
   bool governor_admit(std::size_t ops, Priority priority);
@@ -259,6 +313,7 @@ class BddService {
   std::deque<Request> queues_[kNumPriorities];
   std::size_t queued_total_ = 0;
   bool stopping_ = false;
+  bool checkpoint_pending_ = false;  ///< an internal checkpoint is queued
 
   // Sessions (guarded by sessions_mutex_).
   mutable std::mutex sessions_mutex_;
@@ -294,6 +349,18 @@ class BddService {
   std::atomic<std::size_t> m_max_live_observed_{0};
   std::atomic<std::size_t> m_max_allocated_observed_{0};
   std::atomic<std::uint64_t> m_demand_per_op_milli_{0};
+
+  // Snapshot metrics; the bounded pause window feeds the p95 gauge.
+  std::atomic<std::uint64_t> m_snapshots_saved_{0};
+  std::atomic<std::uint64_t> m_snapshots_restored_{0};
+  std::atomic<std::uint64_t> m_snapshot_failures_{0};
+  std::atomic<std::uint64_t> m_snapshot_bytes_{0};
+  std::atomic<std::uint64_t> m_snapshot_nodes_restored_{0};
+  std::atomic<std::uint64_t> m_pause_last_ns_{0};
+  std::atomic<std::uint64_t> m_pause_max_ns_{0};
+  mutable std::mutex snapshot_mutex_;
+  std::vector<std::uint64_t> pause_samples_ns_;  ///< bounded ring
+  std::size_t pause_next_ = 0;
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,130 @@
+// On-disk snapshot format constants and byte-stream helpers.
+//
+// The authoritative layout description lives in docs/FORMAT.md; this header
+// is its executable counterpart. Everything is serialized field-by-field in
+// little-endian byte order (no struct dumping), so the format is independent
+// of host padding and the reader can validate sizes exactly.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/ref.hpp"
+
+namespace pbdd::snapshot {
+
+inline constexpr char kMagic[8] = {'P', 'B', 'D', 'D', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Header flags. A reader must reject files carrying flags it does not know.
+inline constexpr std::uint32_t kFlagExportRoots = 1u << 0;
+inline constexpr std::uint32_t kFlagChains = 1u << 1;
+inline constexpr std::uint32_t kKnownFlags = kFlagExportRoots | kFlagChains;
+
+/// Fixed header size in bytes: magic + 6 u32 fields + 3 u64 fields +
+/// fingerprint u64 + crc u32.
+inline constexpr std::size_t kHeaderBytes = 8 + 6 * 4 + 4 * 8 + 4;
+
+/// Fixed-size part of one level-directory entry: offset u64, byte size u64,
+/// node count u32, section crc u32.
+inline constexpr std::size_t kDirEntryBytes = 8 + 8 + 4 + 4;
+
+/// "No local id" marker (chain ends, empty bucket heads).
+inline constexpr std::uint32_t kNilLocal = 0xFFFFFFFFu;
+
+// ---- Disk reference encoding ------------------------------------------------
+// Terminals serialize as themselves (0 and 1). Internal nodes serialize as
+// bit 63 | variable << 32 | level-local id, where local ids are dense per
+// level: the concatenation, in worker order, of each worker's included
+// slots. Tombstoned slots (lock-free losing racers awaiting compaction)
+// serialize their fields as kTombstoneField.
+inline constexpr std::uint64_t kDiskInternalBit = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kTombstoneField = ~std::uint64_t{0};
+
+[[nodiscard]] constexpr std::uint64_t make_disk_ref(unsigned var,
+                                                    std::uint32_t local) {
+  return kDiskInternalBit | (std::uint64_t{var} << 32) | local;
+}
+[[nodiscard]] constexpr bool disk_ref_is_terminal(std::uint64_t r) {
+  return r <= core::kOne;
+}
+[[nodiscard]] constexpr unsigned disk_ref_var(std::uint64_t r) {
+  return static_cast<unsigned>((r >> 32) & 0xFFFFu);
+}
+[[nodiscard]] constexpr std::uint32_t disk_ref_local(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r);
+}
+
+// ---- Byte-stream helpers ----------------------------------------------------
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve = 0) { buf_.reserve(reserve); }
+
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void bytes(const void* data, std::size_t n) { raw(data, n); }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  // Fields are written on little-endian hosts only (static_assert below);
+  // a big-endian port would byte-swap here.
+  std::vector<std::uint8_t> buf_;
+};
+
+static_assert(std::endian::native == std::endian::little,
+              "snapshot serialization assumes a little-endian host");
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  void bytes(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - pos_;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T fixed() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw std::runtime_error("snapshot: truncated section");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pbdd::snapshot

@@ -1,0 +1,128 @@
+// Parallel checkpoint/restore of a BDD store (docs/FORMAT.md).
+//
+// The paper's per-(worker, variable) node clustering makes a level-ordered
+// file the natural disk representation: each variable's nodes serialize as
+// one contiguous section with dense level-local ids, sections are written in
+// parallel by the manager's own worker pool (variables dealt round-robin,
+// like the reduction phase), and restore rebuilds every level concurrently
+// because the local-id -> NodeRef mapping is pure arithmetic over the
+// per-level worker counts stored in the directory.
+//
+// Two save modes:
+//  * kFullStore — every allocated slot, plus the unique-table bucket
+//    structure and chain links. A shape-compatible restore (same worker
+//    count, discipline, and segment count) adopts the stored chains without
+//    hashing a single node; anything else falls back to rehashing.
+//  * kExportRoots — only nodes reachable from the given roots, renumbered
+//    dense per level (the GC mark phase run standalone), so snapshots
+//    exclude dead nodes. Restore always rehashes.
+//
+// All entry points follow the manager's external-call contract (one thread
+// at a time, no batch in flight) and report failures as std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::snapshot {
+
+/// A root to persist, addressable by name at restore time.
+struct NamedRoot {
+  std::string name;
+  core::Bdd bdd;
+};
+
+enum class SaveMode : std::uint8_t {
+  kFullStore,
+  kExportRoots,
+};
+
+struct SaveOptions {
+  SaveMode mode = SaveMode::kFullStore;
+  /// fsync before closing (periodic service checkpoints leave this off).
+  bool sync = false;
+};
+
+/// Writer-side counters, one save. to_json emits a flat object (the shape
+/// ServiceMetrics and the CLI embed).
+struct SaveStats {
+  std::uint64_t bytes = 0;
+  std::uint32_t levels = 0;          ///< levels written (== num_vars)
+  std::uint32_t nonempty_levels = 0;
+  std::uint64_t nodes = 0;           ///< node records written
+  std::uint32_t roots = 0;
+  std::uint64_t mark_ns = 0;    ///< reachability mark (export mode only)
+  std::uint64_t layout_ns = 0;  ///< counting, local-id assignment, offsets
+  std::uint64_t write_ns = 0;   ///< parallel section serialization + I/O
+  std::uint64_t total_ns = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Reader-side counters, one restore/import.
+struct RestoreStats {
+  std::uint64_t bytes = 0;
+  std::uint32_t levels = 0;
+  std::uint64_t nodes = 0;  ///< nodes materialized (tombstones excluded)
+  std::uint32_t roots = 0;
+  bool ref_preserving = false;    ///< restored refs bit-identical to saved
+  std::uint32_t levels_adopted = 0;  ///< levels rebuilt without hashing
+  std::uint64_t read_ns = 0;   ///< header/directory/root-table validation
+  std::uint64_t build_ns = 0;  ///< parallel arena + table rebuild
+  std::uint64_t total_ns = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Write a snapshot of `mgr` to `path`. `roots` become the file's root
+/// table; in export mode they also select what is saved. Roots must belong
+/// to `mgr`. Overwrites `path` atomically enough for our purposes (plain
+/// truncate + write; callers wanting crash-safe replacement write to a temp
+/// name and rename).
+SaveStats save(core::BddManager& mgr, const std::string& path,
+               const std::vector<NamedRoot>& roots,
+               const SaveOptions& opts = {});
+
+struct RestoreResult {
+  std::unique_ptr<core::BddManager> manager;
+  std::vector<NamedRoot> roots;  ///< same order as saved
+  RestoreStats stats;
+};
+
+/// Build a fresh manager from a snapshot. `config` may differ from the
+/// saved configuration (worker count, table discipline, shard count); the
+/// chain-adoption fast path then degrades to the rehash fallback, and the
+/// restored store is re-canonicalized under the new configuration.
+RestoreResult restore(const std::string& path, core::Config config = {});
+
+/// Import a snapshot's roots into an existing manager, deduplicating
+/// against its live store through the normal find-or-insert path (levels
+/// stream bottom-up so children always resolve first). The manager must
+/// have at least the snapshot's variable count. Returns the root table as
+/// live handles.
+std::vector<NamedRoot> import_into(core::BddManager& mgr,
+                                   const std::string& path,
+                                   RestoreStats* stats = nullptr);
+
+/// Header-only peek (no node data touched beyond validation of the header
+/// checksum).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  unsigned num_vars = 0;
+  unsigned workers = 0;
+  core::TableDiscipline discipline = core::TableDiscipline::kPassLock;
+  unsigned table_shards = 1;
+  std::uint64_t total_nodes = 0;
+  std::uint32_t root_count = 0;
+  std::uint64_t file_bytes = 0;
+  [[nodiscard]] bool export_mode() const noexcept;
+  [[nodiscard]] bool has_chains() const noexcept;
+};
+SnapshotInfo inspect(const std::string& path);
+
+}  // namespace pbdd::snapshot

@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for the snapshot
+// file format. Table-driven software implementation: snapshot integrity
+// checks are bandwidth-bound on the surrounding I/O, not on the checksum,
+// so there is no need for hardware CRC intrinsics here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pbdd::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator; value() may be read at any point.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data,
+                                         std::size_t size) noexcept {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace pbdd::util

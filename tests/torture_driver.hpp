@@ -5,6 +5,10 @@
 // data rather than assertions.
 #pragma once
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,6 +16,7 @@
 #include "core/bdd_manager.hpp"
 #include "oracle.hpp"
 #include "runtime/torture.hpp"
+#include "snapshot/snapshot.hpp"
 #include "store_invariants.hpp"
 #include "util/prng.hpp"
 
@@ -37,6 +42,7 @@ struct TortureRunResult {
   std::uint64_t gc_runs = 0;
   std::uint64_t stall_breaks = 0;
   std::uint64_t events = 0;
+  std::uint64_t snapshot_cycles = 0;  ///< save+restore+swap rounds completed
 };
 
 namespace detail {
@@ -69,19 +75,32 @@ inline std::string validate_env(core::BddManager& mgr,
 /// environment exhaustively every 16 steps and once more after a final
 /// collection. The caller is expected to hold a TortureGuard; this function
 /// reads the scheduler's log and counters after the manager is destroyed.
+///
+/// snapshot_every > 0 adds checkpoint/restore churn: every N steps the whole
+/// environment is export-saved (src/snapshot/), restored into a *fresh*
+/// manager under the same config, and the run continues in the restored
+/// manager — so the kSnapshotWrite/kSnapshotRestore points interleave with
+/// the steal/GC machinery, and any restore corruption is caught by the same
+/// exhaustive truth-table validation as everything else.
 inline TortureRunResult run_torture_workload(const core::Config& config,
                                              unsigned num_vars, int steps,
-                                             std::uint64_t program_seed) {
+                                             std::uint64_t program_seed,
+                                             int snapshot_every = 0) {
   TortureRunResult out;
   util::Xoshiro256 rng(program_seed);
   std::uint64_t groups_stolen = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t snapshot_cycles = 0;
+  const std::string snap_path =
+      "/tmp/pbdd_torture_" + std::to_string(::getpid()) + "_" +
+      std::to_string(program_seed) + ".snap";
   {
-    core::BddManager mgr(num_vars, config);
+    auto mgr_owner = std::make_unique<core::BddManager>(num_vars, config);
+    core::BddManager* mgr = mgr_owner.get();
     std::vector<core::Bdd> env;
     std::vector<TruthTable64> tts;
     for (unsigned v = 0; v < num_vars; ++v) {
-      env.push_back(mgr.var(v));
+      env.push_back(mgr->var(v));
       tts.push_back(TruthTable64::input(v, num_vars));
     }
     auto pick = [&] { return rng.below(env.size()); };
@@ -91,7 +110,7 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
       if (dice < 55) {  // single top-level apply
         const Op op = static_cast<Op>(rng.below(kNumOps));
         const std::size_t a = pick(), b = pick();
-        env.push_back(mgr.apply(op, env[a], env[b]));
+        env.push_back(mgr->apply(op, env[a], env[b]));
         tts.push_back(tts[a].apply(op, tts[b]));
       } else if (dice < 80) {  // batch of independent operations
         std::vector<core::BatchOp> batch;
@@ -103,7 +122,7 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
           batch.push_back(core::BatchOp{op, env[a], env[b]});
           expected.push_back(tts[a].apply(op, tts[b]));
         }
-        auto results = mgr.apply_batch(batch);
+        auto results = mgr->apply_batch(batch);
         for (unsigned i = 0; i < count; ++i) {
           env.push_back(std::move(results[i]));
           tts.push_back(expected[i]);
@@ -121,35 +140,75 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
         env.push_back(env[a]);
         tts.push_back(tts[a]);
       } else if (dice < 96) {  // explicit stop-the-world collection
-        mgr.gc();
+        mgr->gc();
       } else {  // ITE exercises the two-round batch path
         const std::size_t a = pick(), b = pick(), c = pick();
-        env.push_back(mgr.ite(env[a], env[b], env[c]));
+        env.push_back(mgr->ite(env[a], env[b], env[c]));
         tts.push_back(tts[a]
                           .apply(Op::And, tts[b])
                           .apply(Op::Or, tts[c].apply(Op::Diff, tts[a])));
       }
 
-      if (step % 16 == 15) {
-        out.error = detail::validate_env(mgr, env, tts, num_vars, step);
-        if (out.error.empty()) out.error = check_store_invariants(mgr);
+      // Checkpoint/restore churn: swap the whole world for its snapshot.
+      if (snapshot_every > 0 && out.error.empty() &&
+          step % snapshot_every == snapshot_every - 1) {
+        std::vector<snapshot::NamedRoot> named;
+        named.reserve(env.size());
+        for (std::size_t k = 0; k < env.size(); ++k) {
+          named.push_back({std::to_string(k), env[k]});
+        }
+        snapshot::SaveOptions sopts;
+        sopts.mode = snapshot::SaveMode::kExportRoots;
+        snapshot::save(*mgr, snap_path, named, sopts);
+        named.clear();  // old-manager handles must die before the manager
+        snapshot::RestoreResult res = snapshot::restore(snap_path, config);
+        std::remove(snap_path.c_str());
+        if (res.roots.size() != env.size()) {
+          std::ostringstream msg;
+          msg << "step " << step << ": snapshot round trip returned "
+              << res.roots.size() << " roots, expected " << env.size();
+          out.error = msg.str();
+          break;
+        }
+        std::vector<core::Bdd> restored;
+        restored.reserve(env.size());
+        for (snapshot::NamedRoot& nr : res.roots) {
+          restored.push_back(std::move(nr.bdd));
+        }
+        env = std::move(restored);
+        res.roots.clear();
+        // Fold the doomed manager's counters in before it goes.
+        const core::ManagerStats old_stats = mgr->stats();
+        groups_stolen += old_stats.total.groups_stolen;
+        gc_runs += old_stats.gc_runs;
+        mgr_owner = std::move(res.manager);  // destroys the old manager
+        mgr = mgr_owner.get();
+        ++snapshot_cycles;
+        out.error = detail::validate_env(*mgr, env, tts, num_vars, step);
+        if (out.error.empty()) out.error = check_store_invariants(*mgr);
+      }
+
+      if (step % 16 == 15 && out.error.empty()) {
+        out.error = detail::validate_env(*mgr, env, tts, num_vars, step);
+        if (out.error.empty()) out.error = check_store_invariants(*mgr);
       }
     }
 
     if (out.error.empty()) {
-      mgr.gc();
-      out.error = detail::validate_env(mgr, env, tts, num_vars, steps);
-      if (out.error.empty()) out.error = check_store_invariants(mgr);
+      mgr->gc();
+      out.error = detail::validate_env(*mgr, env, tts, num_vars, steps);
+      if (out.error.empty()) out.error = check_store_invariants(*mgr);
       for (const core::Bdd& f : env) {
-        out.node_counts.push_back(mgr.node_count(f));
+        out.node_counts.push_back(mgr->node_count(f));
       }
     }
-    const core::ManagerStats stats = mgr.stats();
-    groups_stolen = stats.total.groups_stolen;
-    gc_runs = stats.gc_runs;
+    const core::ManagerStats stats = mgr->stats();
+    groups_stolen += stats.total.groups_stolen;
+    gc_runs += stats.gc_runs;
   }
   out.groups_stolen = groups_stolen;
   out.gc_runs = gc_runs;
+  out.snapshot_cycles = snapshot_cycles;
   auto& sched = rt::TortureScheduler::instance();
   out.event_log = sched.dump_log();
   out.stall_breaks = sched.stall_breaks();

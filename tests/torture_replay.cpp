@@ -27,6 +27,7 @@ struct ReplaySpec {
   unsigned num_vars = 4;
   int steps = 40;
   std::uint64_t program_seed = 1;
+  int snapshot_every = 0;  // >0: checkpoint/restore cycle every N steps
   bool expect_deterministic = false;  // run twice, require identical logs
 
   // service_sessions > 0 switches from the single-manager workload to the
@@ -108,6 +109,7 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
   else if (key == "num_vars") spec.num_vars = u32();
   else if (key == "steps") spec.steps = static_cast<int>(u64());
   else if (key == "program_seed") spec.program_seed = u64();
+  else if (key == "snapshot_every") spec.snapshot_every = static_cast<int>(u64());
   else if (key == "expect_deterministic") {
     spec.expect_deterministic = u64() != 0;
   }
@@ -227,7 +229,8 @@ int run_service(const ReplaySpec& spec, const char* path) {
 pbdd::test::TortureRunResult run(const ReplaySpec& spec) {
   pbdd::test::TortureGuard guard(spec.torture);
   return pbdd::test::run_torture_workload(spec.config, spec.num_vars,
-                                          spec.steps, spec.program_seed);
+                                          spec.steps, spec.program_seed,
+                                          spec.snapshot_every);
 }
 
 }  // namespace

@@ -221,6 +221,66 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Snapshot sweep: checkpoint/restore churn (export-save every few steps,
+// restore into a fresh manager, continue there — torture_driver.hpp) with
+// collections forced aggressively, so the kSnapshotWrite/kSnapshotRestore
+// points interleave against the steal/GC machinery on every discipline.
+// ---------------------------------------------------------------------------
+
+class SnapshotTortureSweep
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, std::uint64_t, TortureMode>> {};
+
+TEST_P(SnapshotTortureSweep, CheckpointRestoreCycleSurvivesForcedGc) {
+  const auto [workers, seed, mode] = GetParam();
+
+  TortureConfig tc;
+  tc.seed = seed;
+  tc.mode = mode;
+  tc.delay_permille = 200;
+  tc.yield_permille = 200;
+  tc.force_gc_permille = 200;  // collections race every checkpoint cycle
+  tc.force_spill_permille = 50;
+  tc.force_table_grow_permille = 25;
+  TortureGuard guard(tc);
+
+  Config config;
+  config.workers = workers;
+  config.eval_threshold = 4;
+  config.group_size = 2;
+  config.share_poll_interval = 4;
+  const TableDiscipline discipline = sweep_discipline(seed);
+  config.table_discipline = discipline;
+  config.table_shards = discipline == TableDiscipline::kSharded ? 4 : 1;
+
+  const auto result =
+      run_torture_workload(config, 4, 40, seed * 977 + workers,
+                           /*snapshot_every=*/7);
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.stall_breaks, 0u);
+  EXPECT_GE(result.snapshot_cycles, 5u);
+  if (rt::torture_compiled()) {
+    EXPECT_GT(result.events, 0u);
+    EXPECT_GT(result.gc_runs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SnapshotTortureSweep,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3}),
+                       ::testing::Values(TortureMode::kPerturb,
+                                         TortureMode::kSerialize)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<unsigned, std::uint64_t, TortureMode>>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == TortureMode::kPerturb ? "_perturb"
+                                                               : "_serialize");
+    });
+
+// ---------------------------------------------------------------------------
 // Multi-session service sweep: client threads × seeds, perturb mode only.
 // The service dispatcher and client threads are unregistered with the
 // scheduler (they never run pool jobs) so they get seeded delays/yields at
@@ -318,6 +378,34 @@ TEST(TortureDeterminism, SerializedRunReplaysByteIdentically) {
     EXPECT_GT(a.events, 0u);
     EXPECT_GT(a.gc_runs, 0u);
   }
+}
+
+// The snapshot file format has no timestamps and restore preserves chain
+// order, so a serialized run that swaps managers through disk snapshots must
+// still replay byte-identically.
+TEST(TortureDeterminism, SnapshotCycleReplaysByteIdentically) {
+  auto once = [] {
+    TortureConfig tc;
+    tc.seed = 17;
+    tc.mode = TortureMode::kSerialize;
+    tc.force_gc_permille = 150;
+    tc.force_spill_permille = 100;
+    TortureGuard guard(tc);
+    Config config;
+    config.workers = 4;
+    config.eval_threshold = 2;
+    config.group_size = 2;
+    config.share_poll_interval = 4;
+    return run_torture_workload(config, 4, 32, 13, /*snapshot_every=*/6);
+  };
+  const auto a = once();
+  const auto b = once();
+  ASSERT_EQ(a.error, "");
+  ASSERT_EQ(b.error, "");
+  EXPECT_EQ(a.stall_breaks, 0u);
+  EXPECT_GE(a.snapshot_cycles, 4u);
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_EQ(a.node_counts, b.node_counts);
 }
 
 TEST(TortureDeterminism, SingleWorkerPerturbReplaysByteIdentically) {

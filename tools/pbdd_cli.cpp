@@ -14,10 +14,19 @@
 //   --dot FILE           write the output BDDs as Graphviz DOT
 //   --counts             print per-output node counts
 //   --sat                print per-output satisfying-assignment counts
+//   --save FILE          checkpoint the built store to FILE (docs/FORMAT.md)
+//
+//   pbdd_cli --load FILE [options]
+//                        restore a checkpoint instead of building; the
+//                        report flags above apply to the restored roots,
+//                        and --threads/--save work (restore under a
+//                        different worker count, re-save, ...)
 //
 // Examples:
 //   pbdd_cli mult-12 --threads 8 --stats
 //   pbdd_cli /path/C2670.bench --order dfs --counts
+//   pbdd_cli mult-12 --threads 8 --save mult12.snap
+//   pbdd_cli --load mult12.snap --threads 4 --counts
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +39,7 @@
 #include "circuit/ordering.hpp"
 #include "core/bdd_manager.hpp"
 #include "core/export.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -41,8 +51,10 @@ using namespace pbdd;
                "usage: %s <circuit> [--threads N] [--seq] [--threshold N] "
                "[--group N]\n"
                "          [--order dfs|natural] [--stats] [--dot FILE] "
-               "[--counts] [--sat]\n",
-               argv0);
+               "[--counts] [--sat] [--save FILE]\n"
+               "       %s --load FILE [--threads N] [--stats] [--dot FILE] "
+               "[--counts] [--sat] [--save FILE]\n",
+               argv0, argv0);
   std::exit(2);
 }
 
@@ -74,17 +86,84 @@ circuit::Circuit load_circuit(const std::string& spec) {
   throw std::runtime_error("unknown circuit spec '" + spec + "'");
 }
 
+struct Report {
+  bool stats = false, counts = false, sat = false;
+  std::string dot_path;
+  std::string save_path;
+};
+
+// Shared tail of both modes: per-root report, stats, DOT, optional re-save.
+void report(core::BddManager& mgr, const std::vector<core::Bdd>& outputs,
+            const std::vector<std::string>& names, const Report& rep) {
+  if (rep.counts || rep.sat) {
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      std::printf("  %-12s", names[o].c_str());
+      if (rep.counts) std::printf(" nodes=%zu", mgr.node_count(outputs[o]));
+      if (rep.sat) std::printf(" satcount=%.6g", mgr.sat_count(outputs[o]));
+      std::printf("\n");
+    }
+  }
+  if (rep.stats) core::write_stats(std::cout, mgr);
+  if (!rep.dot_path.empty()) {
+    std::ofstream dot(rep.dot_path);
+    if (!dot) throw std::runtime_error("cannot write " + rep.dot_path);
+    core::write_dot(dot, mgr, outputs, names);
+    std::printf("wrote %s\n", rep.dot_path.c_str());
+  }
+  if (!rep.save_path.empty()) {
+    std::vector<snapshot::NamedRoot> named;
+    named.reserve(outputs.size());
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      named.push_back({names[o], outputs[o]});
+    }
+    const snapshot::SaveStats s = snapshot::save(mgr, rep.save_path, named);
+    std::printf("saved %s: %llu bytes, %llu nodes, %u roots in %.1f ms\n",
+                rep.save_path.c_str(),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.nodes), s.roots,
+                static_cast<double>(s.total_ns) / 1e6);
+  }
+}
+
+int run_load(const std::string& path, const core::Config& config,
+             const Report& rep) {
+  util::WallTimer timer;
+  snapshot::RestoreResult res = snapshot::restore(path, config);
+  core::BddManager& mgr = *res.manager;
+  std::printf(
+      "restored %s in %.3fs: %u vars, %llu nodes (%u roots), "
+      "%s restore, %u/%u levels chain-adopted\n",
+      path.c_str(), timer.elapsed_s(), mgr.num_vars(),
+      static_cast<unsigned long long>(res.stats.nodes),
+      res.stats.roots, res.stats.ref_preserving ? "ref-preserving" : "rehashed",
+      res.stats.levels_adopted, res.stats.levels);
+  std::vector<core::Bdd> outputs;
+  std::vector<std::string> names;
+  for (snapshot::NamedRoot& nr : res.roots) {
+    names.push_back(nr.name);
+    outputs.push_back(std::move(nr.bdd));
+  }
+  report(mgr, outputs, names, rep);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   const std::string spec = argv[1];
   core::Config config;
-  bool want_stats = false, want_counts = false, want_sat = false;
-  std::string dot_path;
+  Report rep;
+  std::string load_path;
   std::string order_kind = "dfs";
+  int first_opt = 2;
+  if (spec == "--load") {
+    if (argc < 3) usage(argv[0]);
+    load_path = argv[2];
+    first_opt = 3;
+  }
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_opt; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage(argv[0]);
@@ -104,19 +183,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--order") {
       order_kind = next();
     } else if (arg == "--stats") {
-      want_stats = true;
+      rep.stats = true;
     } else if (arg == "--counts") {
-      want_counts = true;
+      rep.counts = true;
     } else if (arg == "--sat") {
-      want_sat = true;
+      rep.sat = true;
     } else if (arg == "--dot") {
-      dot_path = next();
+      rep.dot_path = next();
+    } else if (arg == "--save") {
+      rep.save_path = next();
     } else {
       usage(argv[0]);
     }
   }
 
   try {
+    if (!load_path.empty()) return run_load(load_path, config, rep);
     const circuit::Circuit raw = load_circuit(spec);
     const circuit::Circuit bin = raw.binarized();
     const std::vector<unsigned> order = order_kind == "natural"
@@ -144,25 +226,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(build_stats.batches),
         static_cast<unsigned long long>(mgr.gc_runs()));
 
-    if (want_counts || want_sat) {
-      for (std::size_t o = 0; o < outputs.size(); ++o) {
-        std::printf("  %-12s", bin.output_names()[o].c_str());
-        if (want_counts) {
-          std::printf(" nodes=%zu", mgr.node_count(outputs[o]));
-        }
-        if (want_sat) {
-          std::printf(" satcount=%.6g", mgr.sat_count(outputs[o]));
-        }
-        std::printf("\n");
-      }
+    if (!rep.save_path.empty()) {
+      mgr.gc();  // drop build intermediates so the checkpoint is tight
     }
-    if (want_stats) core::write_stats(std::cout, mgr);
-    if (!dot_path.empty()) {
-      std::ofstream dot(dot_path);
-      if (!dot) throw std::runtime_error("cannot write " + dot_path);
-      core::write_dot(dot, mgr, outputs, bin.output_names());
-      std::printf("wrote %s\n", dot_path.c_str());
-    }
+    report(mgr, outputs, bin.output_names(), rep);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

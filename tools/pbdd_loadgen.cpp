@@ -44,6 +44,8 @@ struct Cli {
   std::size_t budget = std::size_t{1} << 22;
   std::size_t queue_capacity = 64;
   unsigned deadline_ms = 0;  ///< every 4th request gets this deadline (0=off)
+  unsigned checkpoint_every = 0;  ///< periodic service checkpoint (batches)
+  std::string checkpoint_path = "pbdd_checkpoint.snap";
   std::string json_path;
 };
 
@@ -51,7 +53,9 @@ struct Cli {
   std::fprintf(stderr,
                "usage: pbdd_loadgen [--sessions N] [--passes N] [--workers N]\n"
                "                    [--budget NODES] [--queue N]\n"
-               "                    [--deadline-ms MS] [--json PATH]\n");
+               "                    [--deadline-ms MS] [--json PATH]\n"
+               "                    [--checkpoint-every N] "
+               "[--checkpoint-path PATH]\n");
   std::exit(2);
 }
 
@@ -69,6 +73,8 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--budget") cli.budget = std::stoull(next());
     else if (a == "--queue") cli.queue_capacity = std::stoull(next());
     else if (a == "--deadline-ms") cli.deadline_ms = std::stoul(next());
+    else if (a == "--checkpoint-every") cli.checkpoint_every = std::stoul(next());
+    else if (a == "--checkpoint-path") cli.checkpoint_path = next();
     else if (a == "--json") cli.json_path = next();
     else usage();
   }
@@ -155,7 +161,10 @@ bool run_pass(service::BddService& svc, service::SessionId sid,
 
     service::SubmitOptions opts;
     opts.priority = static_cast<service::Priority>(session % 3);
-    opts.register_roots = false;  // the client's own handles pin the values
+    // The client's own handles pin the values; roots are registered only
+    // when checkpointing so the periodic snapshot has something to persist
+    // (release_session_roots at end of pass keeps the accounting bounded).
+    opts.register_roots = cli.checkpoint_every > 0;
     const bool with_deadline =
         cli.deadline_ms != 0 && (request_index % 4) == 3;
     for (int attempt = 0;; ++attempt) {
@@ -212,6 +221,8 @@ int main(int argc, char** argv) {
   cfg.engine.workers = cli.workers;
   cfg.queue_capacity = cli.queue_capacity;
   cfg.live_node_budget = cli.budget;
+  cfg.checkpoint_every_batches = cli.checkpoint_every;
+  cfg.checkpoint_path = cli.checkpoint_path;
   service::BddService svc(cfg);
 
   std::vector<ClientStats> stats(cli.sessions);
@@ -286,6 +297,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(m.deferrals),
       static_cast<unsigned long long>(m.shed), m.max_live_nodes_observed,
       m.live_node_budget);
+  if (cli.checkpoint_every > 0) {
+    std::printf(
+        "checkpoints: %llu saved (%llu failed), %llu bytes, "
+        "pause us: p95 %.1f  max %.1f  last %.1f\n",
+        static_cast<unsigned long long>(m.snapshots_saved),
+        static_cast<unsigned long long>(m.snapshot_failures),
+        static_cast<unsigned long long>(m.snapshot_bytes_written),
+        static_cast<double>(m.snapshot_pause_ns_p95) / 1000.0,
+        static_cast<double>(m.snapshot_pause_ns_max) / 1000.0,
+        static_cast<double>(m.snapshot_pause_ns_last) / 1000.0);
+  }
 
   if (!cli.json_path.empty()) {
     std::ofstream out(cli.json_path);
@@ -307,6 +329,16 @@ int main(int argc, char** argv) {
         << (wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0.0)
         << ", \"ops_per_s\": "
         << (wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0) << "},\n"
+        << "  \"snapshot\": {\"checkpoint_every\": " << cli.checkpoint_every
+        << ", \"saved\": " << m.snapshots_saved
+        << ", \"failures\": " << m.snapshot_failures
+        << ", \"bytes\": " << m.snapshot_bytes_written
+        << ", \"pause_us\": {\"p95\": "
+        << static_cast<double>(m.snapshot_pause_ns_p95) / 1000.0
+        << ", \"max\": "
+        << static_cast<double>(m.snapshot_pause_ns_max) / 1000.0
+        << ", \"last\": "
+        << static_cast<double>(m.snapshot_pause_ns_last) / 1000.0 << "}},\n"
         << "  \"service\": " << svc.metrics_json() << "\n}\n";
     std::printf("wrote %s\n", cli.json_path.c_str());
   }
@@ -322,6 +354,13 @@ int main(int argc, char** argv) {
   }
   if (min_passes == 0 || ok == 0) {
     std::fprintf(stderr, "FAIL: a session completed no full pass\n");
+    return 1;
+  }
+  if (cli.checkpoint_every > 0 &&
+      (m.snapshots_saved == 0 || m.snapshot_failures > 0)) {
+    std::fprintf(stderr, "FAIL: checkpointing enabled but %llu saved, %llu failed\n",
+                 static_cast<unsigned long long>(m.snapshots_saved),
+                 static_cast<unsigned long long>(m.snapshot_failures));
     return 1;
   }
   return 0;
