@@ -22,6 +22,7 @@
 
 #include "harness.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
@@ -53,11 +54,10 @@ int main(int argc, char** argv) {
       config.table_discipline = row.discipline;
       config.table_shards = row.shards;
       const bench::RunResult r = bench::run_build(w, config);
-      const double wait =
-          static_cast<double>(r.stats.total.lock_wait_ns) * 1e-9;
+      const double wait = util::ns_to_s(r.stats.total.lock_wait_ns);
       double reduction = 0;
       for (const auto& ws : r.stats.per_worker) {
-        reduction += static_cast<double>(ws.reduction_ns) * 1e-9;
+        reduction += util::ns_to_s(ws.reduction_ns);
       }
       // Throughput over the phase the disciplines contend in: every retired
       // operation passes through exactly one find_or_insert-or-forward in

@@ -13,6 +13,7 @@
 
 #include "harness.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
@@ -30,11 +31,10 @@ int main(int argc, char** argv) {
       core::Config config = bench::config_for(cli, workers, false);
       config.table_shards = shards;
       const bench::RunResult r = bench::run_build(w, config);
-      const double wait =
-          static_cast<double>(r.stats.total.lock_wait_ns) * 1e-9;
+      const double wait = util::ns_to_s(r.stats.total.lock_wait_ns);
       double reduction = 0;
       for (const auto& ws : r.stats.per_worker) {
-        reduction += static_cast<double>(ws.reduction_ns) * 1e-9;
+        reduction += util::ns_to_s(ws.reduction_ns);
       }
       table.add_row(
           {std::to_string(workers), std::to_string(shards),

@@ -13,6 +13,7 @@
 
 #include "harness.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
@@ -31,9 +32,15 @@ int main(int argc, char** argv) {
     const core::Config config = bench::config_for(cli, t, false);
     const bench::RunResult r = bench::run_build(workload, config);
     // "These numbers are measurements of the first processor's work load."
-    const core::WorkerStats& w0 = r.stats.per_worker[0];
-    grid[t] = Phases{w0.expansion_ns * 1e-9, w0.reduction_ns * 1e-9,
-                     w0.gc_ns * 1e-9};
+    // Read the published pbdd_engine_phase_ns_total{phase,worker="0"} series
+    // rather than ManagerStats fields, so the figure exercises the same
+    // names docs/OBSERVABILITY.md documents for scrapes.
+    auto phase_s = [&](const char* phase) {
+      return util::ns_to_s(r.registry->counter_value(
+          "pbdd_engine_phase_ns_total", {{"phase", phase}, {"worker", "0"}}));
+    };
+    grid[t] = Phases{phase_s("expansion"), phase_s("reduction"),
+                     phase_s("gc")};
     if (cli.csv) {
       std::printf("csv,fig13,%s,%u,%.4f,%.4f,%.4f\n", workload.name.c_str(),
                   t, grid[t].expansion, grid[t].reduction, grid[t].gc);

@@ -17,6 +17,7 @@
 
 #include "harness.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
@@ -34,13 +35,25 @@ int main(int argc, char** argv) {
   for (const unsigned t : cli.thread_counts) {
     const core::Config config = bench::config_for(cli, t, false);
     const bench::RunResult r = bench::run_build(workload, config);
-    wait_per_var[t] = r.stats.lock_wait_per_var_ns;
-    total_wait_s[t] = static_cast<double>(r.stats.total.lock_wait_ns) * 1e-9;
+    // Read the published metric series instead of ManagerStats fields: the
+    // per-variable waits come from pbdd_engine_var_lock_wait_ns_total{var},
+    // the aggregates from the engine counter families.
+    const obs::Registry& reg = *r.registry;
+    std::vector<std::uint64_t> waits(workload.num_vars, 0);
+    for (std::size_t v = 0; v < waits.size(); ++v) {
+      waits[v] = reg.counter_value("pbdd_engine_var_lock_wait_ns_total",
+                                   {{"var", std::to_string(v)}});
+    }
+    wait_per_var[t] = std::move(waits);
+    total_wait_s[t] =
+        util::ns_to_s(reg.counter_value("pbdd_engine_lock_wait_ns_total"));
     // Sum of the reduction phase across workers (the ratio in Fig. 17 is
     // lock time over total reduction cost).
     double red = 0;
-    for (const auto& w : r.stats.per_worker) {
-      red += static_cast<double>(w.reduction_ns) * 1e-9;
+    for (unsigned w = 0; w < t; ++w) {
+      red += util::ns_to_s(reg.counter_value(
+          "pbdd_engine_phase_ns_total",
+          {{"phase", "reduction"}, {"worker", std::to_string(w)}}));
     }
     reduction_s[t] = red;
     std::fflush(stdout);
@@ -57,12 +70,11 @@ int main(int argc, char** argv) {
   for (std::size_t v = 0; v < num_vars; ++v) {
     std::vector<std::string> cells{std::to_string(v)};
     for (const unsigned t : cli.thread_counts) {
-      cells.push_back(
-          util::TextTable::num(static_cast<double>(wait_per_var[t][v]) / 1e6,
-                               2));
+      cells.push_back(util::TextTable::num(util::ns_to_ms(wait_per_var[t][v]),
+                                           2));
       if (cli.csv) {
         std::printf("csv,fig16,%s,%u,%zu,%.3f\n", workload.name.c_str(), t, v,
-                    static_cast<double>(wait_per_var[t][v]) / 1e6);
+                    util::ns_to_ms(wait_per_var[t][v]));
       }
     }
     table.add_row(std::move(cells));

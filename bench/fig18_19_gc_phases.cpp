@@ -11,6 +11,7 @@
 
 #include "harness.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
@@ -30,8 +31,9 @@ int main(int argc, char** argv) {
     const core::Config config = bench::config_for(cli, t, false);
     const bench::RunResult r = bench::run_build(workload, config);
     const core::WorkerStats& w0 = r.stats.per_worker[0];
-    grid[t] = GcPhases{w0.gc_mark_ns * 1e-9, w0.gc_fix_ns * 1e-9,
-                       w0.gc_rehash_ns * 1e-9, r.gc_runs};
+    grid[t] = GcPhases{util::ns_to_s(w0.gc_mark_ns),
+                       util::ns_to_s(w0.gc_fix_ns),
+                       util::ns_to_s(w0.gc_rehash_ns), r.gc_runs};
     if (cli.csv) {
       std::printf("csv,fig18,%s,%u,%.4f,%.4f,%.4f,%llu\n",
                   workload.name.c_str(), t, grid[t].mark, grid[t].fix,

@@ -10,6 +10,7 @@
 #include "circuit/builder.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/ordering.hpp"
+#include "core/stats_metrics.hpp"
 #include "util/timer.hpp"
 
 namespace pbdd::bench {
@@ -188,6 +189,9 @@ RunResult run_build(const Workload& workload, const core::Config& config) {
   result.total_ops = result.stats.total.ops_performed;
   result.gc_runs = mgr.gc_runs();
   result.final_live_nodes = mgr.live_nodes();
+  result.registry = std::make_shared<obs::Registry>();
+  core::publish_stats(result.stats, *result.registry,
+                      {.per_worker = true, .per_var = true});
   // Canonicity checksum: order-sensitive mix of per-output node counts.
   std::uint64_t checksum = 0xcbf29ce484222325ULL;
   for (const core::Bdd& out : outputs) {

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "circuit/netlist.hpp"
 #include "core/bdd_manager.hpp"
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 
 namespace pbdd::bench {
 
@@ -70,6 +72,11 @@ struct RunResult {
   std::uint64_t gc_runs = 0;
   std::size_t final_live_nodes = 0;
   core::ManagerStats stats;
+  /// Engine counters published as metric series (core::publish_stats with
+  /// per-worker and per-variable detail). The figure harnesses read their
+  /// phase/lock breakdowns from here rather than poking ManagerStats fields,
+  /// exercising the same names an external scrape would see.
+  std::shared_ptr<obs::Registry> registry;
   /// Checksum over output node counts: identical functions across
   /// configurations must produce identical checksums (canonicity), so every
   /// benchmark doubles as a correctness check.

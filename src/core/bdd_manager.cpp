@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace_points.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
 #include "util/timer.hpp"
@@ -189,7 +190,9 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   batch_state_.next.store(0, std::memory_order_relaxed);
   batch_state_.completed.store(0, std::memory_order_relaxed);
 
+  PBDD_TRACE_INSTANT(kBatchStart, n, 0);
   pool_.run([this](unsigned id) { workers_[id]->run_batch(); });
+  PBDD_TRACE_INSTANT(kBatchEnd, 0, 0);
 
   out = std::move(batch_state_.result_handles);
   batch_state_.result_handles.clear();
@@ -385,6 +388,8 @@ void BddManager::gc_driver(unsigned id) {
   Worker& w = *workers_[id];
   util::WallTimer total;
   util::WallTimer phase;
+  PBDD_TRACE_SPAN(gc_span, kGc);
+  std::uint64_t trace_t0 = PBDD_TRACE_NOW();
 
   // --- Mark phase: roots, then top-down one variable at a time, with a
   // barrier per variable (a node's parents can belong to any worker).
@@ -403,6 +408,8 @@ void BddManager::gc_driver(unsigned id) {
     gc_barrier_.arrive_and_wait();
   }
   w.stats().gc_mark_ns += phase.elapsed_ns();
+  PBDD_TRACE_EMIT_SPAN(kGcMark, trace_t0, 0, 0);
+  trace_t0 = PBDD_TRACE_NOW();
   phase.reset();
 
   // --- Fix phase: compute forwarding slots, then rewrite child references
@@ -422,6 +429,8 @@ void BddManager::gc_driver(unsigned id) {
   }
   gc_barrier_.arrive_and_wait();
   w.stats().gc_fix_ns += phase.elapsed_ns();
+  PBDD_TRACE_EMIT_SPAN(kGcFix, trace_t0, 0, 0);
+  trace_t0 = PBDD_TRACE_NOW();
   phase.reset();
 
   // --- Rehash phase: slide nodes into place, reset each variable's bucket
@@ -462,6 +471,7 @@ void BddManager::gc_driver(unsigned id) {
   }
   gc_barrier_.arrive_and_wait();
   w.stats().gc_rehash_ns += phase.elapsed_ns();
+  PBDD_TRACE_EMIT_SPAN(kGcRehash, trace_t0, 0, 0);
   w.stats().gc_ns += total.elapsed_ns();
 }
 

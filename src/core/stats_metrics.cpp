@@ -1,0 +1,85 @@
+#include "core/stats_metrics.hpp"
+
+#include <string>
+
+namespace pbdd::core {
+
+namespace {
+
+void publish_phases(const WorkerStats& w, obs::Registry& reg,
+                    const obs::Labels& base) {
+  const std::pair<const char*, std::uint64_t> phases[] = {
+      {"expansion", w.expansion_ns}, {"reduction", w.reduction_ns},
+      {"gc", w.gc_ns},               {"gc_mark", w.gc_mark_ns},
+      {"gc_fix", w.gc_fix_ns},       {"gc_rehash", w.gc_rehash_ns},
+  };
+  for (const auto& [phase, ns] : phases) {
+    obs::Labels labels = base;
+    labels.emplace_back("phase", phase);
+    reg.counter("pbdd_engine_phase_ns_total",
+                "Wall-clock ns spent per engine phase", labels)
+        .add(ns);
+  }
+}
+
+}  // namespace
+
+void publish_stats(const ManagerStats& stats, obs::Registry& reg,
+                   const PublishOptions& options) {
+  const WorkerStats& t = stats.total;
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"pbdd_engine_ops_total", t.ops_performed},
+      {"pbdd_engine_cache_lookups_total", t.cache_lookups},
+      {"pbdd_engine_cache_hits_total", t.cache_hits},
+      {"pbdd_engine_cache_op_hits_total", t.cache_op_hits},
+      {"pbdd_engine_cache_cross_ctx_misses_total", t.cache_cross_ctx_misses},
+      {"pbdd_engine_nodes_created_total", t.nodes_created},
+      {"pbdd_engine_contexts_pushed_total", t.contexts_pushed},
+      {"pbdd_engine_groups_created_total", t.groups_created},
+      {"pbdd_engine_groups_taken_total", t.groups_taken},
+      {"pbdd_engine_groups_stolen_total", t.groups_stolen},
+      {"pbdd_engine_tasks_stolen_total", t.tasks_stolen},
+      {"pbdd_engine_reduction_stalls_total", t.reduction_stalls},
+      {"pbdd_engine_top_ops_total", t.top_ops},
+      {"pbdd_engine_lock_wait_ns_total", t.lock_wait_ns},
+      {"pbdd_engine_cas_retries_total", t.cas_retries},
+      {"pbdd_engine_gc_runs_total", stats.gc_runs},
+  };
+  for (const auto& [name, value] : counters) {
+    reg.counter(name, "Engine counter (see docs/OBSERVABILITY.md)")
+        .add(value);
+  }
+
+  reg.gauge("pbdd_engine_live_nodes", "Live nodes after the last collection")
+      .set(static_cast<double>(stats.live_nodes));
+  reg.gauge("pbdd_engine_allocated_nodes", "Allocated node slots")
+      .set(static_cast<double>(stats.allocated_nodes));
+  reg.gauge("pbdd_engine_bytes", "Store footprint in bytes")
+      .set(static_cast<double>(stats.bytes));
+
+  if (options.per_worker) {
+    for (std::size_t w = 0; w < stats.per_worker.size(); ++w) {
+      publish_phases(stats.per_worker[w], reg,
+                     {{"worker", std::to_string(w)}});
+    }
+  } else {
+    publish_phases(t, reg, {});
+  }
+
+  if (options.per_var) {
+    for (std::size_t v = 0; v < stats.lock_wait_per_var_ns.size(); ++v) {
+      reg.counter("pbdd_engine_var_lock_wait_ns_total",
+                  "Unique-table lock wait ns per variable",
+                  {{"var", std::to_string(v)}})
+          .add(stats.lock_wait_per_var_ns[v]);
+    }
+    for (std::size_t v = 0; v < stats.max_nodes_per_var.size(); ++v) {
+      reg.gauge("pbdd_engine_var_max_nodes",
+                "Unique-table high-water mark per variable",
+                {{"var", std::to_string(v)}})
+          .set(static_cast<double>(stats.max_nodes_per_var[v]));
+    }
+  }
+}
+
+}  // namespace pbdd::core

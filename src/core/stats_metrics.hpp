@@ -1,0 +1,34 @@
+// Publish ManagerStats into an obs::Registry: the bridge between the
+// engine's hot-path counters (WorkerStats, written lock-free by each worker)
+// and the unified metrics namespace the benches and the service expose.
+//
+// The engine keeps writing its existing per-worker structs — they are
+// already padded and single-writer — and a publish is a read-side fold into
+// labeled metric families. Publish into a *fresh* registry (counters are
+// cumulative; publishing the same stats twice would double them).
+#pragma once
+
+#include "core/config.hpp"
+#include "obs/metrics.hpp"
+
+namespace pbdd::core {
+
+struct PublishOptions {
+  bool per_worker = true;  ///< pbdd_engine_phase_ns_total{phase,worker} series
+  bool per_var = true;     ///< pbdd_engine_var_* per-variable families
+};
+
+/// Metric families written (all prefixed pbdd_engine_):
+///   ops_total, cache_lookups_total, cache_hits_total, cache_op_hits_total,
+///   cache_cross_ctx_misses_total, nodes_created_total,
+///   contexts_pushed_total, groups_created_total, groups_taken_total,
+///   groups_stolen_total, tasks_stolen_total, reduction_stalls_total,
+///   top_ops_total, lock_wait_ns_total, cas_retries_total, gc_runs_total
+///   phase_ns_total{phase=expansion|reduction|gc|gc_mark|gc_fix|gc_rehash
+///                  [,worker=N]}
+///   live_nodes, allocated_nodes, bytes                      (gauges)
+///   var_lock_wait_ns_total{var=N}, var_max_nodes{var=N}     (per_var)
+void publish_stats(const ManagerStats& stats, obs::Registry& registry,
+                   const PublishOptions& options = {});
+
+}  // namespace pbdd::core

@@ -56,6 +56,7 @@
 #include "core/config.hpp"
 #include "core/node_arena.hpp"
 #include "core/ref.hpp"
+#include "obs/trace_points.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
 #include "util/aligned.hpp"
@@ -406,7 +407,9 @@ class VarUniqueTable {
     if (segment.mutex.try_lock()) return;
     util::WallTimer timer;
     segment.mutex.lock();
-    wait_ns_[worker].value += timer.elapsed_ns();
+    const std::uint64_t waited = timer.elapsed_ns();
+    wait_ns_[worker].value += waited;
+    PBDD_TRACE_INSTANT(kLockWait, waited, var_);
   }
 
   NodeRef find_or_insert_in(Segment& segment, std::uint64_t h,
@@ -464,6 +467,7 @@ class VarUniqueTable {
     }
     segment.buckets = std::move(fresh);
     segment.mask = new_mask;
+    PBDD_TRACE_INSTANT(kTableGrow, new_size, var_);
   }
 
   // ---- Lock-free discipline -------------------------------------------------
@@ -583,6 +587,7 @@ class VarUniqueTable {
       }
     }
     lf_buckets_.store(fresh.get(), std::memory_order_release);
+    PBDD_TRACE_INSTANT(kTableGrow, new_size, var_);
     // Only the claim holder and stop-the-world code touch the retired list.
     lf_retired_.push_back(std::move(lf_owner_));
     lf_owner_ = std::move(fresh);

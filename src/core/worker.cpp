@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/bdd_manager.hpp"
+#include "obs/trace_points.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
 #include "util/aligned.hpp"
@@ -74,6 +75,7 @@ Ref Worker::preprocess(Op op, NodeRef f, NodeRef g) {
 
   // Line 15: compute-cache probe (computed AND uncomputed operations).
   ++stats_.cache_lookups;
+  PBDD_TRACE_CACHE_SAMPLE(stats_.cache_lookups, stats_.cache_hits);
   const std::uint32_t slot = cache_.slot_for(op, f, g);
   if (const ComputeCache::Entry* e = cache_.lookup(slot, op, f, g)) {
     if (is_bdd(e->result)) {
@@ -129,6 +131,7 @@ Ref Worker::preprocess(Op op, NodeRef f, NodeRef g) {
 
 void Worker::expansion() {
   util::WallTimer timer;
+  PBDD_TRACE_SPAN(trace_span, kExpansion);
   EvalContext& ctx = *current_;
   std::uint64_t round_ops = 0;  // Fig. 5 resets nOpsProcessed per call
   std::uint32_t poll = 0;
@@ -190,6 +193,7 @@ void Worker::expansion() {
         ctx.ops_processed += round_ops;
         spill(x);
         stats_.expansion_ns += timer.elapsed_ns();
+        PBDD_TRACE_SPAN_ARGS(trace_span, round_ops, 0);
         return;
       }
     }
@@ -197,6 +201,7 @@ void Worker::expansion() {
   ctx.sweep_var = ctx.num_vars();
   ctx.ops_processed += round_ops;
   stats_.expansion_ns += timer.elapsed_ns();
+  PBDD_TRACE_SPAN_ARGS(trace_span, round_ops, 0);
 }
 
 void Worker::spill(unsigned from_var) {
@@ -223,6 +228,7 @@ void Worker::spill(unsigned from_var) {
   ctx.sweep_var = ctx.num_vars();
   stats_.groups_created += groups.size();
   ++stats_.contexts_pushed;
+  PBDD_TRACE_INSTANT(kContextPush, groups.size(), from_var);
 
   EvalContext* child = acquire_context();
   {
@@ -248,6 +254,7 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
   }
   if (op_commutative(op) && f > g) std::swap(f, g);
   ++stats_.cache_lookups;
+  PBDD_TRACE_CACHE_SAMPLE(stats_.cache_lookups, stats_.cache_hits);
   const std::uint32_t slot = cache_.slot_for(op, f, g);
   if (const ComputeCache::Entry* e = cache_.lookup(slot, op, f, g)) {
     if (is_bdd(e->result)) {
@@ -314,6 +321,7 @@ void Worker::df_drain(unsigned from_var) {
 
 void Worker::reduction() {
   util::WallTimer timer;
+  PBDD_TRACE_SPAN(trace_span, kReduction);
   EvalContext& ctx = *current_;
   const bool locking = mgr_->locking();
 
@@ -341,6 +349,7 @@ void Worker::reduction() {
     // bracketing at all.
     VarUniqueTable& table = mgr_->unique(x);
     const bool pass_lock = locking && table.pass_locked();
+    const std::uint64_t hold_t0 = pass_lock ? PBDD_TRACE_NOW() : 0;
     if (pass_lock) table.acquire(id_);
     for (std::uint32_t slot = q.head; slot != kNilSlot;) {
       OpNode& n = arena.at(slot);
@@ -367,7 +376,10 @@ void Worker::reduction() {
       }
       slot = n.next;
     }
-    if (pass_lock) table.release();
+    if (pass_lock) {
+      table.release();
+      PBDD_TRACE_EMIT_SPAN(kLockHold, hold_t0, x, 0);
+    }
     q.clear();
   }
   stats_.reduction_ns += timer.elapsed_ns();
@@ -382,6 +394,7 @@ NodeRef Worker::resolve(Ref r) {
   // The operation was handed to a thief inside a stolen group; stall and
   // become a thief ourselves until the result is published.
   ++stats_.reduction_stalls;
+  PBDD_TRACE_SPAN(stall_span, kResolveStall);
   rt::Backoff backoff;
   bool hungry = false;
   while ((res = n.result.load(std::memory_order_acquire)) == kInvalid) {
@@ -433,6 +446,7 @@ NodeRef Worker::evaluate(Op op, NodeRef f, NodeRef g) {
       }
       release_context(current_);
       current_ = top;
+      PBDD_TRACE_INSTANT(kContextPop, stack_.size() - stack_base, 0);
       continue;
     }
     break;
@@ -456,6 +470,7 @@ bool Worker::take_group_from_top() {
     top->groups.pop_front();
   }
   ++stats_.groups_taken;
+  PBDD_TRACE_INSTANT(kGroupTake, group.tasks.size(), 0);
   EvalContext& ctx = *current_;
   for (const GroupTask& task : group.tasks) {
     task.node->ctx_serial = ctx.serial();
@@ -493,6 +508,8 @@ bool Worker::try_steal_and_run() {
     PBDD_INJECT(kStealSuccess);
     ++stats_.groups_stolen;
     stats_.tasks_stolen += group.tasks.size();
+    PBDD_TRACE_SPAN(steal_span, kStealRun);
+    PBDD_TRACE_SPAN_ARGS(steal_span, group.tasks.size(), (id_ + i) % n);
     for (const GroupTask& task : group.tasks) {
       OpNode* node = task.node;
       node->flags |= OpNode::kStolen;
@@ -501,6 +518,7 @@ bool Worker::try_steal_and_run() {
       const NodeRef res = evaluate(node->operation(), node->f, node->g);
       PBDD_INJECT(kStealWriteback);
       node->result.store(res, std::memory_order_release);
+      PBDD_TRACE_INSTANT(kStealWriteback, 0, 0);
     }
     return true;
   }
@@ -530,8 +548,12 @@ void Worker::run_batch() {
     const BddManager::BatchState::Item& item = batch.items[i];
     // Read operand references through the handles at the last moment: a
     // sequential-mode collection between batch items may have moved nodes.
-    const NodeRef result = evaluate(item.op, item.f.ref(), item.g.ref());
-    mgr_->register_batch_result(i, result);
+    {
+      PBDD_TRACE_SPAN(top_span, kEvalTop);
+      PBDD_TRACE_SPAN_ARGS(top_span, i, 0);
+      const NodeRef result = evaluate(item.op, item.f.ref(), item.g.ref());
+      mgr_->register_batch_result(i, result);
+    }
     batch.completed.fetch_add(1, std::memory_order_acq_rel);
     ++stats_.top_ops;
     if (config_.sequential_mode) mgr_->maybe_gc();
@@ -675,6 +697,7 @@ bool Worker::gc_try_rehash_var(unsigned var) {
     table.reinsert(id_, make_node_ref(id_, var, slot), n.low, n.high);
   }
   if (pass_lock) table.release();
+  PBDD_TRACE_INSTANT(kTableRehash, size, var);
   return true;
 }
 

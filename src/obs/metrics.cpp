@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pbdd::obs {
+
+namespace detail {
+
+unsigned this_thread_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      stride_(bounds_.size() + 3),  // buckets + Inf + count + sum
+      cells_(kMetricShards * stride_) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  const unsigned shard = detail::this_thread_shard();
+  // Inclusive upper edges: v lands in the first bucket whose bound >= v;
+  // past the last bound it falls into the implicit +Inf bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  cell(shard, bucket).fetch_add(1, std::memory_order_relaxed);
+  cell(shard, bounds_.size() + 1).fetch_add(1, std::memory_order_relaxed);
+  cell(shard, bounds_.size() + 2).fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1, 0);
+  for (unsigned s = 0; s < kMetricShards; ++s) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      counts[b] += cell(s, b).load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < kMetricShards; ++s) {
+    total += cell(s, bounds_.size() + 1).load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < kMetricShards; ++s) {
+    total += cell(s, bounds_.size() + 2).load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> default_latency_bounds_ns() {
+  return {1'000,       4'000,       16'000,      64'000,
+          256'000,     1'000'000,   4'000'000,   16'000'000,
+          64'000'000,  256'000'000, 1'000'000'000};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void append_label_value(std::string& out, const std::string& v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+}
+
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += extra_key;
+    out += "=\"";
+    append_label_value(out, extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Registry::Series& Registry::series(const std::string& name,
+                                   const std::string& help, Type type,
+                                   const Labels& labels) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + name);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, created] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (created) {
+    fam.type = type;
+    fam.help = help;
+  } else if (fam.type != type) {
+    throw std::invalid_argument("metric " + name +
+                                " re-registered with a different type");
+  }
+  const Labels key = sorted(labels);
+  for (const auto& s : fam.series) {
+    if (s->labels == key) return *s;
+  }
+  fam.series.push_back(std::make_unique<Series>());
+  fam.series.back()->labels = key;
+  return *fam.series.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  Series& s = series(name, help, Type::kCounter, labels);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  Series& s = series(name, help, Type::kGauge, labels);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const std::vector<std::uint64_t>& bounds,
+                               const Labels& labels) {
+  Series& s = series(name, help, Type::kHistogram, labels);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(bounds);
+  return *s.histogram;
+}
+
+const Registry::Series* Registry::find(const std::string& name,
+                                       const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return nullptr;
+  const Labels key = sorted(labels);
+  for (const auto& s : it->second.series) {
+    if (s->labels == key) return s.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  const Series* s = find(name, labels);
+  return (s != nullptr && s->counter) ? s->counter->value() : 0;
+}
+
+double Registry::gauge_value(const std::string& name,
+                             const Labels& labels) const {
+  const Series* s = find(name, labels);
+  return (s != nullptr && s->gauge) ? s->gauge->value() : 0.0;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.type) {
+      case Type::kCounter:
+        out += "counter";
+        break;
+      case Type::kGauge:
+        out += "gauge";
+        break;
+      case Type::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += "\n";
+    for (const auto& s : fam.series) {
+      switch (fam.type) {
+        case Type::kCounter:
+          out += name + label_block(s->labels) + " " +
+                 std::to_string(s->counter ? s->counter->value() : 0) + "\n";
+          break;
+        case Type::kGauge:
+          out += name + label_block(s->labels) + " " +
+                 format_double(s->gauge ? s->gauge->value() : 0.0) + "\n";
+          break;
+        case Type::kHistogram: {
+          if (!s->histogram) break;
+          const auto& bounds = s->histogram->bounds();
+          const auto counts = s->histogram->bucket_counts();
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < bounds.size(); ++b) {
+            cumulative += counts[b];
+            out += name + "_bucket" +
+                   label_block(s->labels, "le",
+                               std::to_string(bounds[b])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += counts[bounds.size()];
+          out += name + "_bucket" + label_block(s->labels, "le", "+Inf") +
+                 " " + std::to_string(cumulative) + "\n";
+          out += name + "_sum" + label_block(s->labels) + " " +
+                 std::to_string(s->histogram->sum()) + "\n";
+          out += name + "_count" + label_block(s->labels) + " " +
+                 std::to_string(s->histogram->count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) out += ", ";
+    first_fam = false;
+    out += "\"" + name + "\": {\"type\": \"";
+    out += fam.type == Type::kCounter
+               ? "counter"
+               : (fam.type == Type::kGauge ? "gauge" : "histogram");
+    out += "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& s : fam.series) {
+      if (!first_series) out += ", ";
+      first_series = false;
+      out += "{\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : s->labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += "\"" + k + "\": \"";
+        append_label_value(out, v);
+        out += "\"";
+      }
+      out += "}, ";
+      switch (fam.type) {
+        case Type::kCounter:
+          out += "\"value\": " +
+                 std::to_string(s->counter ? s->counter->value() : 0);
+          break;
+        case Type::kGauge:
+          out += "\"value\": " +
+                 format_double(s->gauge ? s->gauge->value() : 0.0);
+          break;
+        case Type::kHistogram: {
+          out += "\"buckets\": [";
+          if (s->histogram) {
+            const auto counts = s->histogram->bucket_counts();
+            for (std::size_t b = 0; b < counts.size(); ++b) {
+              if (b != 0) out += ", ";
+              out += std::to_string(counts[b]);
+            }
+          }
+          out += "], \"count\": " +
+                 std::to_string(s->histogram ? s->histogram->count() : 0) +
+                 ", \"sum\": " +
+                 std::to_string(s->histogram ? s->histogram->sum() : 0);
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pbdd::obs

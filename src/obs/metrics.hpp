@@ -1,0 +1,188 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with
+// Prometheus text exposition and a JSON dump.
+//
+// Write side: Counter and Histogram shard their cells across padded
+// cache-line-sized slots so concurrent writers (one per engine worker, or
+// arbitrary service threads) never bounce a line; a thread is pinned to a
+// shard on first use. Reads fold the shards, so `value()` is exact once the
+// writers are quiescent and a conservative running sum while they are not
+// (each shard is read atomically; increments are never lost, only possibly
+// not-yet-visible).
+//
+// Read side: Registry::prometheus_text() renders the standard exposition
+// format (# HELP / # TYPE / samples with labels); Registry::json() renders
+// the same data as one JSON object. Metric families are created on first
+// use and live for the registry's lifetime, so the references returned by
+// counter()/gauge()/histogram() are stable and lock-free to update.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace pbdd::obs {
+
+/// Label set of one series, e.g. {{"phase", "expansion"}, {"worker", "0"}}.
+/// Order-insensitive: series identity uses the sorted form.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Write shards per counter/histogram. Threads hash onto shards round-robin;
+/// collisions are correct (the cells are atomic), just slower.
+inline constexpr unsigned kMetricShards = 16;
+
+namespace detail {
+struct alignas(util::kCacheLineBytes) PaddedAtomic {
+  std::atomic<std::uint64_t> value{0};
+};
+/// Round-robin shard index of the calling thread.
+[[nodiscard]] unsigned this_thread_shard() noexcept;
+}  // namespace detail
+
+/// Monotonic counter (u64), folded on read.
+class Counter {
+ public:
+  void add(std::uint64_t v) noexcept {
+    shards_[detail::this_thread_shard()].value.fetch_add(
+        v, std::memory_order_relaxed);
+  }
+  void add(std::uint64_t v, unsigned shard) noexcept {
+    shards_[shard % kMetricShards].value.fetch_add(v,
+                                                   std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  detail::PaddedAtomic shards_[kMetricShards];
+};
+
+/// Instantaneous value (double); single atomic cell (gauges are set, not
+/// incremented, so sharding buys nothing).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return decode(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t encode(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double decode(std::uint64_t bits) noexcept {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram over u64 observations (latencies in ns by
+/// convention). Bucket upper bounds are inclusive, ascending; an implicit
+/// +Inf bucket catches the rest. Counts/sum shard like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t v) noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts folded over shards; size = bounds().size() + 1 (the
+  /// last entry is the +Inf bucket).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::size_t stride_;
+  /// cells_[shard * stride + bucket]; the two tail cells per shard are the
+  /// observation count and sum.
+  std::vector<detail::PaddedAtomic> cells_;
+  [[nodiscard]] std::atomic<std::uint64_t>& cell(unsigned shard,
+                                                 std::size_t i) noexcept {
+    return cells_[shard * stride_ + i].value;
+  }
+  [[nodiscard]] const std::atomic<std::uint64_t>& cell(
+      unsigned shard, std::size_t i) const noexcept {
+    return cells_[shard * stride_ + i].value;
+  }
+};
+
+/// Default latency bounds: 1µs..1s, roughly ×4 steps, in ns.
+[[nodiscard]] std::vector<std::uint64_t> default_latency_bounds_ns();
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. `help` is recorded on first creation of the family;
+  /// the returned reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::vector<std::uint64_t>& bounds,
+                       const Labels& labels = {});
+
+  /// Folded value of an existing series; 0 / 0.0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   const Labels& labels = {}) const;
+
+  /// Prometheus text exposition format (content type
+  /// text/plain; version=0.0.4): # HELP, # TYPE, then one sample line per
+  /// series (histograms expand to _bucket/_sum/_count).
+  [[nodiscard]] std::string prometheus_text() const;
+  /// The same data as one JSON object keyed by family name.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;  // sorted
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type;
+    std::string help;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Series& series(const std::string& name, const std::string& help, Type type,
+                 const Labels& labels);
+  [[nodiscard]] const Series* find(const std::string& name,
+                                   const Labels& labels) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace pbdd::obs

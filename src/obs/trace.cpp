@@ -1,0 +1,292 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace pbdd::obs {
+
+namespace {
+
+struct EventInfo {
+  const char* name;
+  const char* category;
+  EventType type;
+  const char* arg0;  // nullptr = omit
+  const char* arg1;
+};
+
+// Indexed by EventKind; keep in lockstep with the enum (static_asserted at
+// the bottom of the table).
+constexpr EventInfo kEvents[] = {
+    {"expansion", "phase", EventType::kSpan, "ops", nullptr},
+    {"reduction", "phase", EventType::kSpan, nullptr, nullptr},
+    {"top_op", "batch", EventType::kSpan, "item", nullptr},
+    {"steal_run", "steal", EventType::kSpan, "tasks", "victim"},
+    {"resolve_stall", "steal", EventType::kSpan, nullptr, nullptr},
+    {"lock_hold", "lock", EventType::kSpan, "var", nullptr},
+    {"gc", "gc", EventType::kSpan, nullptr, nullptr},
+    {"gc_mark", "gc", EventType::kSpan, nullptr, nullptr},
+    {"gc_fix", "gc", EventType::kSpan, nullptr, nullptr},
+    {"gc_rehash", "gc", EventType::kSpan, nullptr, nullptr},
+    {"checkpoint_save", "service", EventType::kSpan, "bytes", nullptr},
+    {"checkpoint_restore", "service", EventType::kSpan, "nodes", nullptr},
+    {"context_push", "context", EventType::kInstant, "groups", "var"},
+    {"context_pop", "context", EventType::kInstant, "depth", nullptr},
+    {"group_take", "context", EventType::kInstant, "tasks", nullptr},
+    {"steal_writeback", "steal", EventType::kInstant, nullptr, nullptr},
+    {"lock_wait", "lock", EventType::kInstant, "wait_ns", "var"},
+    {"table_grow", "table", EventType::kInstant, "buckets", "var"},
+    {"table_rehash", "table", EventType::kInstant, "nodes", "var"},
+    {"batch_start", "batch", EventType::kInstant, "items", nullptr},
+    {"batch_end", "batch", EventType::kInstant, nullptr, nullptr},
+    {"service_admit", "service", EventType::kInstant, "ops", "session"},
+    {"service_reject", "service", EventType::kInstant, nullptr, "session"},
+    {"service_shed", "service", EventType::kInstant, "victims", nullptr},
+    {"governor_defer", "service", EventType::kInstant, "deferrals", nullptr},
+    {"governor_gc", "service", EventType::kInstant, "allocated", nullptr},
+    {"compute_cache", "cache", EventType::kCounter, "lookups", "hits"},
+};
+static_assert(sizeof(kEvents) / sizeof(kEvents[0]) ==
+                  static_cast<std::size_t>(EventKind::kCount),
+              "event table out of sync with EventKind");
+
+const EventInfo& info(EventKind k) noexcept {
+  return kEvents[static_cast<std::size_t>(k)];
+}
+
+thread_local std::uint16_t t_track = kTrackExternal;
+
+struct TlsBufferRef {
+  void* buffer = nullptr;  // Tracer::ThreadBuffer*, type-erased for the TLS
+  std::uint64_t session = 0;
+};
+thread_local TlsBufferRef t_buffer;
+
+}  // namespace
+
+const char* event_name(EventKind k) noexcept { return info(k).name; }
+const char* event_category(EventKind k) noexcept { return info(k).category; }
+EventType event_type(EventKind k) noexcept { return info(k).type; }
+const char* event_arg0(EventKind k) noexcept { return info(k).arg0; }
+const char* event_arg1(EventKind k) noexcept { return info(k).arg1; }
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer& Tracer::instance() noexcept {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start(const TraceConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  capacity_ = std::max<std::size_t>(config.buffer_capacity, 16);
+  epoch_ns_.store(static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count()),
+                  std::memory_order_relaxed);
+  session_.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_track(std::uint16_t track) noexcept {
+  t_track = track;
+}
+
+std::uint16_t Tracer::thread_track() noexcept { return t_track; }
+
+Tracer::ThreadBuffer* Tracer::local_buffer() {
+  const std::uint64_t session = session_.load(std::memory_order_relaxed);
+  if (t_buffer.buffer != nullptr && t_buffer.session == session) {
+    return static_cast<ThreadBuffer*>(t_buffer.buffer);
+  }
+  // First event of this thread in this session: register a fresh buffer.
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_));
+  t_buffer.buffer = buffers_.back().get();
+  t_buffer.session = session;
+  return buffers_.back().get();
+}
+
+void Tracer::emit(EventKind kind, std::uint64_t start_ns, std::uint64_t dur_ns,
+                  std::uint64_t arg0, std::uint32_t arg1) noexcept {
+  if (!enabled()) return;
+  ThreadBuffer* buf = local_buffer();
+  const std::uint32_t n = buf->size.load(std::memory_order_relaxed);
+  if (n >= buf->records.size()) {
+    // Full: drop the new record (the retained prefix keeps the run's phase
+    // structure intact) and account for it. Tracing never blocks.
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceRecord& r = buf->records[n];
+  r.start_ns = start_ns;
+  r.dur_ns = dur_ns;
+  r.arg0 = arg0;
+  r.arg1 = arg1;
+  r.track = t_track;
+  r.kind = static_cast<std::uint8_t>(kind);
+  r.reserved = 0;
+  buf->size.store(n + 1, std::memory_order_release);
+}
+
+Tracer::Snapshot Tracer::collect() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    const std::uint32_t n = buf->size.load(std::memory_order_acquire);
+    if (n > 0) ++snap.threads;
+    snap.dropped += buf->dropped.load(std::memory_order_relaxed);
+    snap.records.insert(snap.records.end(), buf->records.begin(),
+                        buf->records.begin() + n);
+  }
+  std::stable_sort(snap.records.begin(), snap.records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return snap;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+}
+
+std::string track_name(std::uint16_t track) {
+  if (track == kTrackService) return "service";
+  if (track == kTrackExternal) return "driver";
+  return "worker " + std::to_string(track);
+}
+
+// Microsecond timestamps with sub-µs precision preserved (Chrome's "ts" is
+// conventionally µs; fractional values are accepted).
+std::string us_from_ns(std::uint64_t ns) {
+  std::string s = std::to_string(ns / 1000) + '.' +
+                  std::to_string(ns % 1000 / 100) +
+                  std::to_string(ns % 100 / 10) + std::to_string(ns % 10);
+  return s;
+}
+
+}  // namespace
+
+std::size_t Tracer::write_chrome_trace(std::ostream& os) const {
+  const Snapshot snap = collect();
+  std::string out;
+  out.reserve(snap.records.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+
+  // Metadata: name + sort the tracks so workers come first in Perfetto.
+  std::map<std::uint16_t, bool> tracks;
+  for (const TraceRecord& r : snap.records) tracks[r.track] = true;
+  bool first = true;
+  for (const auto& [track, unused] : tracks) {
+    (void)unused;
+    for (const char* meta : {"thread_name", "thread_sort_index"}) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\": \"";
+      out += meta;
+      out += "\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+      out += std::to_string(track);
+      out += ", \"args\": {";
+      if (meta[7] == 'n') {  // thread_name
+        out += "\"name\": \"";
+        append_escaped(out, track_name(track).c_str());
+        out += "\"";
+      } else {
+        out += "\"sort_index\": ";
+        out += std::to_string(track);
+      }
+      out += "}}";
+    }
+  }
+
+  std::size_t events = 0;
+  for (const TraceRecord& r : snap.records) {
+    const EventKind kind = static_cast<EventKind>(r.kind);
+    const EventInfo& ev = kEvents[r.kind];
+    if (!first) out += ",\n";
+    first = false;
+    ++events;
+    out += "{\"name\": \"";
+    out += ev.name;
+    out += "\", \"cat\": \"";
+    out += ev.category;
+    out += "\", \"ph\": \"";
+    switch (event_type(kind)) {
+      case EventType::kSpan:
+        out += "X";
+        break;
+      case EventType::kInstant:
+        out += "i";
+        break;
+      case EventType::kCounter:
+        out += "C";
+        break;
+    }
+    out += "\", \"ts\": ";
+    out += us_from_ns(r.start_ns);
+    if (event_type(kind) == EventType::kSpan) {
+      out += ", \"dur\": ";
+      out += us_from_ns(r.dur_ns);
+    }
+    if (event_type(kind) == EventType::kInstant) {
+      out += ", \"s\": \"t\"";
+    }
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(r.track);
+    if (ev.arg0 != nullptr || ev.arg1 != nullptr) {
+      out += ", \"args\": {";
+      if (ev.arg0 != nullptr) {
+        out += "\"";
+        out += ev.arg0;
+        out += "\": ";
+        out += std::to_string(r.arg0);
+      }
+      if (ev.arg1 != nullptr) {
+        if (ev.arg0 != nullptr) out += ", ";
+        out += "\"";
+        out += ev.arg1;
+        out += "\": ";
+        out += std::to_string(r.arg1);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n], \"otherData\": {\"dropped_records\": ";
+  out += std::to_string(snap.dropped);
+  out += "}}\n";
+  os << out;
+  return events;
+}
+
+std::size_t Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot write trace file " + path);
+  const std::size_t events = write_chrome_trace(os);
+  os.flush();
+  if (!os) throw std::runtime_error("short write to trace file " + path);
+  return events;
+}
+
+}  // namespace pbdd::obs

@@ -1,0 +1,296 @@
+// Per-worker event tracer.
+//
+// One fixed-capacity ring of 32-byte binary records per thread, written with
+// zero synchronization on the hot path: each buffer has exactly one writer
+// (the owning thread), readers only run while the engine is quiescent, and
+// the only shared state a record append touches is the buffer's own size
+// field (a release store so a concurrent exporter never reads a half-written
+// record). A full buffer drops new records and counts them — tracing never
+// blocks the engine and never allocates after a thread's first event.
+//
+// Instrumentation points compile down to a single relaxed load of the global
+// enabled flag when tracing is compiled in but idle, and to nothing at all
+// when the build sets PBDD_TRACE=OFF (the trace_points.hpp entry points have
+// empty bodies then, mirroring the src/runtime/inject.hpp pattern). The
+// Tracer class itself is compiled in both modes so tools and tests can drive
+// it directly.
+//
+// Timeline model: every record carries a logical *track* — the engine worker
+// id, set by the worker pool for the duration of a job, or one of the
+// special tracks below. The exporter writes Chrome-trace-event JSON (one
+// "thread" per track) loadable in ui.perfetto.dev / chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pbdd::obs {
+
+/// True when the instrumentation points in the engine are compiled in
+/// (CMake option PBDD_TRACE, on by default). Direct Tracer calls work
+/// either way; with OFF builds a trace of an engine run is simply empty.
+[[nodiscard]] constexpr bool trace_compiled() noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Event catalog (docs/OBSERVABILITY.md). Spans carry a duration; instants
+/// are points; counter kinds export as Chrome "C" events (sampled series).
+enum class EventKind : std::uint8_t {
+  // Engine spans.
+  kExpansion = 0,   ///< one expansion-phase call; arg0 = ops this round
+  kReduction,       ///< one reduction-phase call
+  kEvalTop,         ///< one top-level batch item; arg0 = item index
+  kStealRun,        ///< stolen group execution; arg0 = tasks, arg1 = victim
+  kResolveStall,    ///< owner stalled on a thief's result
+  kLockHold,        ///< pass-lock critical section; arg0 = var
+  kGc,              ///< whole collection (per worker)
+  kGcMark,          ///< GC mark phase
+  kGcFix,           ///< GC fix phase (forward + rewrite)
+  kGcRehash,        ///< GC move + rehash phase
+  kCheckpointSave,  ///< service snapshot save pause; arg0 = bytes
+  kCheckpointRestore,  ///< service snapshot restore; arg0 = nodes
+  // Engine instants.
+  kContextPush,     ///< spill; arg0 = groups made stealable, arg1 = var
+  kContextPop,      ///< parent context resumed; arg0 = stack depth
+  kGroupTake,       ///< owner took own group back; arg0 = tasks
+  kStealWriteback,  ///< stolen task result published to the victim
+  kLockWait,        ///< contended table lock; arg0 = wait ns, arg1 = var
+  kTableGrow,       ///< unique-table growth; arg0 = new buckets, arg1 = var
+  kTableRehash,     ///< GC reinsert of one variable; arg0 = nodes, arg1 = var
+  kBatchStart,      ///< top-level batch begins; arg0 = items
+  kBatchEnd,        ///< top-level batch ends
+  // Service instants.
+  kServiceAdmit,    ///< request admitted; arg0 = ops, arg1 = session
+  kServiceReject,   ///< governor gave up; arg1 = session
+  kServiceShed,     ///< queued requests shed; arg0 = victims
+  kServiceDefer,    ///< governor deferral; arg0 = deferral count
+  kGovernorGc,      ///< governor-triggered collection; arg0 = allocated nodes
+  // Sampled counters.
+  kCacheSample,     ///< compute-cache probe sample; arg0 = lookups, arg1 = hits
+  kCount
+};
+
+/// Chrome-trace phase class of a kind.
+enum class EventType : std::uint8_t { kSpan, kInstant, kCounter };
+
+[[nodiscard]] const char* event_name(EventKind k) noexcept;
+[[nodiscard]] const char* event_category(EventKind k) noexcept;
+[[nodiscard]] EventType event_type(EventKind k) noexcept;
+/// Exported names of arg0/arg1 (nullptr = omit the arg).
+[[nodiscard]] const char* event_arg0(EventKind k) noexcept;
+[[nodiscard]] const char* event_arg1(EventKind k) noexcept;
+
+/// Logical tracks beyond the engine worker ids.
+inline constexpr std::uint16_t kTrackService = 0x8000;   ///< dispatcher
+inline constexpr std::uint16_t kTrackExternal = 0x8001;  ///< other threads
+
+/// Fixed-size binary record; timestamps are ns since Tracer::start().
+struct TraceRecord {
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< 0 for instants/counters
+  std::uint64_t arg0 = 0;
+  std::uint32_t arg1 = 0;
+  std::uint16_t track = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t reserved = 0;
+};
+static_assert(sizeof(TraceRecord) == 32, "records are packed 32-byte slots");
+
+/// Compute-cache probes are sampled: one kCacheSample per
+/// (kCacheSamplePeriod) lookups per worker, so the hot path stays one
+/// relaxed load + one mask test.
+inline constexpr std::uint64_t kCacheSamplePeriod = 8192;
+
+struct TraceConfig {
+  /// Records per thread buffer. At 32 bytes/record the default is 2 MiB per
+  /// participating thread.
+  std::size_t buffer_capacity = std::size_t{1} << 16;
+};
+
+class Tracer {
+ public:
+  /// Global singleton: instrumentation points must not capture references
+  /// into any particular manager/service instance.
+  [[nodiscard]] static Tracer& instance() noexcept;
+
+  /// Arm tracing: resets the epoch, drops buffers of any previous session,
+  /// and flips the hot-path flag. Call while the engine is quiescent (the
+  /// same external-call contract as BddManager itself).
+  void start(const TraceConfig& config = {});
+  /// Disarm. Collected data stays readable until the next start().
+  void stop();
+
+  /// Hot-path gate: one relaxed load.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since start() on the steady clock.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Append one record to the calling thread's buffer (never blocks; drops
+  /// and counts when the buffer is full; no-op when disabled).
+  void emit(EventKind kind, std::uint64_t start_ns, std::uint64_t dur_ns,
+            std::uint64_t arg0, std::uint32_t arg1) noexcept;
+
+  /// The calling thread's logical track for subsequent records.
+  static void set_thread_track(std::uint16_t track) noexcept;
+  [[nodiscard]] static std::uint16_t thread_track() noexcept;
+
+  struct Snapshot {
+    std::vector<TraceRecord> records;  ///< all threads, sorted by start_ns
+    std::uint64_t dropped = 0;         ///< records lost to full buffers
+    std::size_t threads = 0;           ///< buffers that saw at least a record
+  };
+  /// Copy out everything recorded so far. Safe while disabled or while the
+  /// traced system is quiescent.
+  [[nodiscard]] Snapshot collect() const;
+
+  /// Chrome-trace-event JSON ({"traceEvents": [...]}) with one named thread
+  /// per track. Returns the number of events written.
+  std::size_t write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write_chrome_trace to a file; throws std::runtime_error
+  /// when the file cannot be written.
+  std::size_t write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity) : records(capacity) {}
+    std::vector<TraceRecord> records;
+    /// Single-writer cursor; release-published so collect() sees whole
+    /// records only.
+    std::atomic<std::uint32_t> size{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  [[nodiscard]] ThreadBuffer* local_buffer();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;  ///< buffer registry + start/stop
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = TraceConfig{}.buffer_capacity;
+  /// Bumped by every start(); stale thread-local buffer pointers from a
+  /// previous session re-register on first use.
+  std::atomic<std::uint64_t> session_{0};
+  std::atomic<std::uint64_t> epoch_ns_{0};  ///< steady-clock origin
+};
+
+/// RAII span: captures the start time on construction (when enabled) and
+/// emits a kSpan record on destruction. args() fills arg0/arg1 before any
+/// exit path.
+class TraceSpan {
+ public:
+  explicit TraceSpan(EventKind kind) noexcept : kind_(kind) {
+#ifdef PBDD_TRACE_ENABLED
+    if (Tracer::enabled()) {
+      armed_ = true;
+      start_ = Tracer::instance().now_ns();
+    }
+#endif
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+#ifdef PBDD_TRACE_ENABLED
+    if (armed_ && Tracer::enabled()) {
+      Tracer& t = Tracer::instance();
+      t.emit(kind_, start_, t.now_ns() - start_, arg0_, arg1_);
+    }
+#endif
+  }
+  void args(std::uint64_t arg0, std::uint32_t arg1 = 0) noexcept {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+
+ private:
+  EventKind kind_;
+  [[maybe_unused]] bool armed_ = false;
+  [[maybe_unused]] std::uint64_t start_ = 0;
+  std::uint64_t arg0_ = 0;
+  std::uint32_t arg1_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Instrumentation entry points (called through the PBDD_TRACE_* macros in
+// trace_points.hpp). Empty bodies when PBDD_TRACE=OFF: the call sites
+// compile to nothing, including the argument evaluation of plain counters.
+// ---------------------------------------------------------------------------
+
+inline void trace_instant(EventKind kind, std::uint64_t arg0,
+                          std::uint32_t arg1) noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  if (Tracer::enabled()) {
+    Tracer& t = Tracer::instance();
+    t.emit(kind, t.now_ns(), 0, arg0, arg1);
+  }
+#else
+  (void)kind;
+  (void)arg0;
+  (void)arg1;
+#endif
+}
+
+/// Start time for a hand-bracketed span (regions that cannot be a single
+/// RAII scope, e.g. the reduction pass-lock hold). 0 when idle or OFF.
+[[nodiscard]] inline std::uint64_t trace_now() noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  return Tracer::enabled() ? Tracer::instance().now_ns() : 0;
+#else
+  return 0;
+#endif
+}
+
+inline void trace_emit_span(EventKind kind, std::uint64_t start_ns,
+                            std::uint64_t arg0, std::uint32_t arg1) noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  if (start_ns != 0 && Tracer::enabled()) {
+    Tracer& t = Tracer::instance();
+    t.emit(kind, start_ns, t.now_ns() - start_ns, arg0, arg1);
+  }
+#else
+  (void)kind;
+  (void)start_ns;
+  (void)arg0;
+  (void)arg1;
+#endif
+}
+
+/// Sampled compute-cache counter: emits every kCacheSamplePeriod-th lookup.
+/// The mask test comes first: the cache-probe path is the engine's hottest,
+/// so the common case must not even load the enabled flag.
+inline void trace_cache_sample(std::uint64_t lookups,
+                               std::uint64_t hits) noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  if ((lookups & (kCacheSamplePeriod - 1)) == 0 && Tracer::enabled()) {
+    Tracer& t = Tracer::instance();
+    t.emit(EventKind::kCacheSample, t.now_ns(), 0, lookups,
+           static_cast<std::uint32_t>(hits));
+  }
+#else
+  (void)lookups;
+  (void)hits;
+#endif
+}
+
+inline void trace_set_thread_track(std::uint16_t track) noexcept {
+#ifdef PBDD_TRACE_ENABLED
+  Tracer::set_thread_track(track);
+#else
+  (void)track;
+#endif
+}
+
+}  // namespace pbdd::obs

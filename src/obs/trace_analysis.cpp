@@ -1,0 +1,600 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pbdd::obs {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough for the trace exporter's output (and
+// strict about it: anything malformed throws with a byte offset). Kept local
+// so the observability stack stays dependency-free.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        return null();
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            v.string += e;
+            break;
+          case 'n':
+            v.string += '\n';
+            break;
+          case 't':
+            v.string += '\t';
+            break;
+          case 'r':
+            v.string += '\r';
+            break;
+          case 'b':
+            v.string += '\b';
+            break;
+          case 'f':
+            v.string += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape digit");
+              }
+            }
+            // The exporter never emits non-ASCII; decode BMP code points to
+            // UTF-8 so foreign traces still parse.
+            if (code < 0x80) {
+              v.string += static_cast<char>(code);
+            } else if (code < 0x800) {
+              v.string += static_cast<char>(0xC0 | (code >> 6));
+              v.string += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              v.string += static_cast<char>(0xE0 | (code >> 12));
+              v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              v.string += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape character");
+        }
+        continue;
+      }
+      v.string += c;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    JsonValue v;
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double require_number(const JsonValue& ev, const char* key,
+                      std::size_t index) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+    throw std::runtime_error("trace event " + std::to_string(index) +
+                             ": missing or non-numeric \"" + key + "\"");
+  }
+  return v->number;
+}
+
+std::string require_string(const JsonValue& ev, const char* key,
+                           std::size_t index) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString) {
+    throw std::runtime_error("trace event " + std::to_string(index) +
+                             ": missing or non-string \"" + key + "\"");
+  }
+  return v->string;
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(const std::string& json_text) {
+  const JsonValue doc = JsonParser(json_text).parse();
+  if (doc.type != JsonValue::Type::kObject) {
+    throw std::runtime_error("trace document is not a JSON object");
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error("trace document has no \"traceEvents\" array");
+  }
+
+  ParsedTrace out;
+  out.events.reserve(events->array.size());
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    if (ev.type != JsonValue::Type::kObject) {
+      throw std::runtime_error("trace event " + std::to_string(i) +
+                               " is not an object");
+    }
+    const std::string name = require_string(ev, "name", i);
+    const std::string ph = require_string(ev, "ph", i);
+    if (ph.size() != 1) {
+      throw std::runtime_error("trace event " + std::to_string(i) +
+                               ": bad \"ph\"");
+    }
+    const int tid = static_cast<int>(require_number(ev, "tid", i));
+    if (ph == "M") {
+      if (name == "thread_name") {
+        const JsonValue* args = ev.find("args");
+        const JsonValue* tn =
+            args != nullptr ? args->find("name") : nullptr;
+        if (tn != nullptr && tn->type == JsonValue::Type::kString) {
+          out.tracks[tid] = tn->string;
+        }
+      }
+      continue;
+    }
+    TraceEvent parsed;
+    parsed.name = name;
+    parsed.ph = ph[0];
+    parsed.tid = tid;
+    parsed.pid = static_cast<int>(require_number(ev, "pid", i));
+    parsed.ts_us = require_number(ev, "ts", i);
+    if (parsed.ph == 'X') parsed.dur_us = require_number(ev, "dur", i);
+    if (const JsonValue* cat = ev.find("cat");
+        cat != nullptr && cat->type == JsonValue::Type::kString) {
+      parsed.cat = cat->string;
+    }
+    if (const JsonValue* args = ev.find("args");
+        args != nullptr && args->type == JsonValue::Type::kObject) {
+      for (const auto& [k, v] : args->object) {
+        if (v.type == JsonValue::Type::kNumber) parsed.args[k] = v.number;
+      }
+    }
+    out.events.push_back(std::move(parsed));
+  }
+  if (const JsonValue* other = doc.find("otherData");
+      other != nullptr && other->type == JsonValue::Type::kObject) {
+    if (const JsonValue* dropped = other->find("dropped_records");
+        dropped != nullptr && dropped->type == JsonValue::Type::kNumber) {
+      out.dropped_records = static_cast<std::uint64_t>(dropped->number);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string track_label(const ParsedTrace& trace, int tid) {
+  const auto it = trace.tracks.find(tid);
+  return it != trace.tracks.end() ? it->second : std::to_string(tid);
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+PhaseBreakdown phase_breakdown(const ParsedTrace& trace) {
+  std::map<int, PhaseBreakdown::Row> rows;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph != 'X') continue;
+    PhaseBreakdown::Row& row = rows[ev.tid];
+    row.tid = ev.tid;
+    const double s = ev.dur_us * 1e-6;
+    if (ev.name == "expansion") {
+      row.expansion_s += s;
+    } else if (ev.name == "reduction") {
+      row.reduction_s += s;
+    } else if (ev.name == "gc") {
+      row.gc_s += s;
+    } else if (ev.name == "steal_run") {
+      row.steal_run_s += s;
+    } else if (ev.name == "resolve_stall") {
+      row.stall_s += s;
+    }
+  }
+  PhaseBreakdown out;
+  for (auto& [tid, row] : rows) {
+    row.track = track_label(trace, tid);
+    if (row.expansion_s + row.reduction_s + row.gc_s + row.steal_run_s +
+            row.stall_s >
+        0.0) {
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+std::string phase_report(const ParsedTrace& trace) {
+  const PhaseBreakdown bd = phase_breakdown(trace);
+  std::string out;
+  out += "Phase breakdown (Fig. 13 view; seconds of span time per track)\n";
+  appendf(out, "  %-10s %12s %12s %12s %12s %12s\n", "track", "expansion",
+          "reduction", "gc", "steal_run", "stall");
+  for (const PhaseBreakdown::Row& row : bd.rows) {
+    appendf(out, "  %-10s %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+            row.track.c_str(), row.expansion_s, row.reduction_s, row.gc_s,
+            row.steal_run_s, row.stall_s);
+  }
+  if (bd.rows.empty()) out += "  (no phase spans in trace)\n";
+  return out;
+}
+
+std::string steal_report(const ParsedTrace& trace) {
+  std::vector<double> durs_us;
+  std::uint64_t writebacks = 0;
+  std::uint64_t group_takes = 0;
+  std::uint64_t context_pushes = 0;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph == 'X' && ev.name == "steal_run") durs_us.push_back(ev.dur_us);
+    if (ev.name == "steal_writeback") ++writebacks;
+    if (ev.name == "group_take") ++group_takes;
+    if (ev.name == "context_push") ++context_pushes;
+  }
+  std::string out = "Steal latency (steal_run span durations)\n";
+  appendf(out,
+          "  steals=%zu writebacks=%llu group_takes=%llu context_pushes=%llu\n",
+          durs_us.size(), static_cast<unsigned long long>(writebacks),
+          static_cast<unsigned long long>(group_takes),
+          static_cast<unsigned long long>(context_pushes));
+  if (durs_us.empty()) return out;
+  std::sort(durs_us.begin(), durs_us.end());
+  const auto pct = [&](double p) {
+    const std::size_t idx = std::min(
+        durs_us.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(durs_us.size())));
+    return durs_us[idx];
+  };
+  appendf(out, "  p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n", pct(0.50),
+          pct(0.90), pct(0.99), durs_us.back());
+  // Log-scale histogram: <1us, then decade-ish buckets.
+  const double edges_us[] = {1, 10, 100, 1'000, 10'000, 100'000, 1'000'000};
+  const std::size_t n_edges = sizeof(edges_us) / sizeof(edges_us[0]);
+  std::vector<std::uint64_t> counts(n_edges + 1, 0);
+  for (const double d : durs_us) {
+    std::size_t b = 0;
+    while (b < n_edges && d >= edges_us[b]) ++b;
+    ++counts[b];
+  }
+  std::uint64_t peak = 1;
+  for (const std::uint64_t c : counts) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    char label[32];
+    if (b == 0) {
+      std::snprintf(label, sizeof(label), "<%gus", edges_us[0]);
+    } else if (b == n_edges) {
+      std::snprintf(label, sizeof(label), ">=%gus", edges_us[n_edges - 1]);
+    } else {
+      std::snprintf(label, sizeof(label), "%g-%gus", edges_us[b - 1],
+                    edges_us[b]);
+    }
+    appendf(out, "  %-14s %8llu ", label,
+            static_cast<unsigned long long>(counts[b]));
+    const std::size_t bars =
+        static_cast<std::size_t>(40.0 * static_cast<double>(counts[b]) /
+                                 static_cast<double>(peak));
+    out.append(bars, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::string lock_report(const ParsedTrace& trace) {
+  struct VarLock {
+    std::uint64_t waits = 0;
+    double wait_us = 0.0;
+    std::uint64_t holds = 0;
+    double hold_us = 0.0;
+  };
+  std::map<int, VarLock> vars;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.name == "lock_wait") {
+      const auto var = ev.args.find("var");
+      const auto wait = ev.args.find("wait_ns");
+      if (var != ev.args.end()) {
+        VarLock& vl = vars[static_cast<int>(var->second)];
+        ++vl.waits;
+        if (wait != ev.args.end()) vl.wait_us += wait->second * 1e-3;
+      }
+    } else if (ev.ph == 'X' && ev.name == "lock_hold") {
+      const auto var = ev.args.find("var");
+      if (var != ev.args.end()) {
+        VarLock& vl = vars[static_cast<int>(var->second)];
+        ++vl.holds;
+        vl.hold_us += ev.dur_us;
+      }
+    }
+  }
+  std::string out =
+      "Per-variable lock table (Fig. 16 view; contended acquires and "
+      "pass-lock holds)\n";
+  if (vars.empty()) {
+    out += "  (no lock events in trace — uncontended or lock-free "
+           "discipline)\n";
+    return out;
+  }
+  std::vector<std::pair<int, VarLock>> sorted(vars.begin(), vars.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.wait_us + a.second.hold_us >
+           b.second.wait_us + b.second.hold_us;
+  });
+  appendf(out, "  %-6s %8s %12s %8s %12s\n", "var", "waits", "wait_us",
+          "holds", "hold_us");
+  const std::size_t limit = std::min<std::size_t>(sorted.size(), 24);
+  for (std::size_t i = 0; i < limit; ++i) {
+    appendf(out, "  %-6d %8llu %12.1f %8llu %12.1f\n", sorted[i].first,
+            static_cast<unsigned long long>(sorted[i].second.waits),
+            sorted[i].second.wait_us,
+            static_cast<unsigned long long>(sorted[i].second.holds),
+            sorted[i].second.hold_us);
+  }
+  if (sorted.size() > limit) {
+    appendf(out, "  ... %zu more variables\n", sorted.size() - limit);
+  }
+  return out;
+}
+
+std::string imbalance_report(const ParsedTrace& trace) {
+  const PhaseBreakdown bd = phase_breakdown(trace);
+  std::string out = "Load balance (busy seconds per worker track)\n";
+  std::vector<double> busy;
+  for (const PhaseBreakdown::Row& row : bd.rows) {
+    // Workers only: service/driver tracks measure different things.
+    if (row.track.rfind("worker", 0) != 0) continue;
+    const double b = row.expansion_s + row.reduction_s + row.gc_s;
+    busy.push_back(b);
+    appendf(out, "  %-10s busy=%.6fs (stall %.6fs)\n", row.track.c_str(), b,
+            row.stall_s);
+  }
+  if (busy.empty()) {
+    out += "  (no worker spans in trace)\n";
+    return out;
+  }
+  const double max = *std::max_element(busy.begin(), busy.end());
+  double sum = 0.0;
+  for (const double b : busy) sum += b;
+  const double mean = sum / static_cast<double>(busy.size());
+  appendf(out, "  workers=%zu mean=%.6fs max=%.6fs imbalance=%.3f\n",
+          busy.size(), mean, max, mean > 0.0 ? max / mean : 0.0);
+  return out;
+}
+
+std::string gc_report(const ParsedTrace& trace) {
+  double mark_s = 0.0, fix_s = 0.0, rehash_s = 0.0, total_s = 0.0;
+  std::uint64_t collections = 0;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph != 'X') continue;
+    const double s = ev.dur_us * 1e-6;
+    if (ev.name == "gc") {
+      total_s += s;
+      ++collections;
+    } else if (ev.name == "gc_mark") {
+      mark_s += s;
+    } else if (ev.name == "gc_fix") {
+      fix_s += s;
+    } else if (ev.name == "gc_rehash") {
+      rehash_s += s;
+    }
+  }
+  std::string out = "GC phases (Fig. 18 view; summed worker-seconds)\n";
+  appendf(out,
+          "  collections(spans)=%llu mark=%.6fs fix=%.6fs rehash=%.6fs "
+          "total=%.6fs\n",
+          static_cast<unsigned long long>(collections), mark_s, fix_s,
+          rehash_s, total_s);
+  return out;
+}
+
+std::string summary_report(const ParsedTrace& trace) {
+  std::map<std::string, std::uint64_t> by_name;
+  double first_us = 0.0, last_us = 0.0;
+  bool any = false;
+  for (const TraceEvent& ev : trace.events) {
+    ++by_name[ev.name];
+    const double end = ev.ts_us + ev.dur_us;
+    if (!any || ev.ts_us < first_us) first_us = ev.ts_us;
+    if (!any || end > last_us) last_us = end;
+    any = true;
+  }
+  std::string out;
+  appendf(out,
+          "Trace summary: %zu events, %zu tracks, %.3fms span, %llu dropped\n",
+          trace.events.size(), trace.tracks.size(),
+          any ? (last_us - first_us) * 1e-3 : 0.0,
+          static_cast<unsigned long long>(trace.dropped_records));
+  for (const auto& [name, count] : by_name) {
+    appendf(out, "  %-20s %10llu\n", name.c_str(),
+            static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+}  // namespace pbdd::obs

@@ -1,0 +1,65 @@
+// Offline trace analysis: parse a Chrome-trace-event JSON file (the
+// Tracer's export format) and derive the paper's evaluation views from it —
+// per-worker phase breakdowns (Figs. 13/14), lock hold/contention tables
+// (Figs. 16/17), GC phase shares (Figs. 18/19), steal-latency histograms,
+// and load-imbalance summaries. Shared by tools/pbdd_trace and the obs test
+// suite, so the exporter and the parser are validated against each other.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pbdd::obs {
+
+/// One parsed trace event. Timestamps/durations are in microseconds, as in
+/// the Chrome trace format ("ts"/"dur").
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = '?';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+  std::map<std::string, double> args;
+};
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;        ///< metadata events excluded
+  std::map<int, std::string> tracks;     ///< tid -> thread_name metadata
+  std::uint64_t dropped_records = 0;     ///< from otherData, when present
+};
+
+/// Parse + schema-validate a Chrome trace JSON document. Requires a
+/// top-level object with a "traceEvents" array whose entries carry string
+/// "name"/"ph", numeric "ts", and numeric "pid"/"tid" ("X" events must also
+/// carry "dur"). Throws std::runtime_error with a position-annotated message
+/// on malformed JSON or schema violations.
+[[nodiscard]] ParsedTrace parse_chrome_trace(const std::string& json_text);
+
+/// Per-worker phase totals in seconds, the Fig. 13 view of one trace.
+struct PhaseBreakdown {
+  struct Row {
+    int tid = 0;
+    std::string track;
+    double expansion_s = 0.0;
+    double reduction_s = 0.0;
+    double gc_s = 0.0;
+    double steal_run_s = 0.0;
+    double stall_s = 0.0;
+  };
+  std::vector<Row> rows;  ///< sorted by tid
+};
+[[nodiscard]] PhaseBreakdown phase_breakdown(const ParsedTrace& trace);
+
+/// Formatted reports, one table each.
+[[nodiscard]] std::string phase_report(const ParsedTrace& trace);
+[[nodiscard]] std::string steal_report(const ParsedTrace& trace);
+[[nodiscard]] std::string lock_report(const ParsedTrace& trace);
+[[nodiscard]] std::string imbalance_report(const ParsedTrace& trace);
+[[nodiscard]] std::string gc_report(const ParsedTrace& trace);
+[[nodiscard]] std::string summary_report(const ParsedTrace& trace);
+
+}  // namespace pbdd::obs

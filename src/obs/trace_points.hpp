@@ -1,0 +1,42 @@
+// Trace instrumentation macros — the tracing analogue of
+// src/runtime/inject.hpp. Engine and service code calls these; they expand
+// to the inline entry points in obs/trace.hpp, whose bodies are empty when
+// the build sets PBDD_TRACE=OFF, so every call site compiles to nothing in
+// that configuration. With tracing compiled in but idle the cost per site is
+// one relaxed load of the global enabled flag.
+//
+//   PBDD_TRACE_SPAN(name, kKind)       RAII span `name` over the enclosing
+//                                      scope
+//   PBDD_TRACE_SPAN_ARGS(name, a0, a1) fill the span's args before any exit
+//   PBDD_TRACE_INSTANT(kKind, a0, a1)  point event
+//   PBDD_TRACE_NOW()                   start a hand-bracketed span (regions
+//                                      that cannot be one RAII scope)
+//   PBDD_TRACE_EMIT_SPAN(kKind, t0, a0, a1)
+//                                      close a hand-bracketed span
+//   PBDD_TRACE_CACHE_SAMPLE(lookups, hits)
+//                                      sampled compute-cache counter event
+//   PBDD_TRACE_TRACK_BEGIN(id) / _END  bind the calling thread to a logical
+//                                      timeline track (worker id / special)
+#pragma once
+
+#include "obs/trace.hpp"
+
+#define PBDD_TRACE_SPAN(name, kind) \
+  ::pbdd::obs::TraceSpan name(::pbdd::obs::EventKind::kind)
+#define PBDD_TRACE_SPAN_ARGS(name, a0, a1) \
+  (name).args(static_cast<std::uint64_t>(a0), static_cast<std::uint32_t>(a1))
+#define PBDD_TRACE_INSTANT(kind, a0, a1)                    \
+  ::pbdd::obs::trace_instant(::pbdd::obs::EventKind::kind,  \
+                             static_cast<std::uint64_t>(a0), \
+                             static_cast<std::uint32_t>(a1))
+#define PBDD_TRACE_NOW() ::pbdd::obs::trace_now()
+#define PBDD_TRACE_EMIT_SPAN(kind, t0, a0, a1)                    \
+  ::pbdd::obs::trace_emit_span(::pbdd::obs::EventKind::kind, (t0), \
+                               static_cast<std::uint64_t>(a0),     \
+                               static_cast<std::uint32_t>(a1))
+#define PBDD_TRACE_CACHE_SAMPLE(lookups, hits) \
+  ::pbdd::obs::trace_cache_sample((lookups), (hits))
+#define PBDD_TRACE_TRACK_BEGIN(id) \
+  ::pbdd::obs::trace_set_thread_track(static_cast<std::uint16_t>(id))
+#define PBDD_TRACE_TRACK_END() \
+  ::pbdd::obs::trace_set_thread_track(::pbdd::obs::kTrackExternal)

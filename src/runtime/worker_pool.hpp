@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace_points.hpp"
 #include "runtime/inject.hpp"
 
 namespace pbdd::rt {
@@ -50,7 +51,9 @@ class WorkerPool {
     PBDD_TORTURE_EXPECT(workers_);
     if (workers_ == 1) {
       PBDD_TORTURE_THREAD_BEGIN(0);
+      PBDD_TRACE_TRACK_BEGIN(0);
       job(0);
+      PBDD_TRACE_TRACK_END();
       PBDD_TORTURE_THREAD_END();
       return;
     }
@@ -64,7 +67,9 @@ class WorkerPool {
     // Register only after the helpers have been released: in serialized
     // torture runs worker 0 may park until all expected workers arrive.
     PBDD_TORTURE_THREAD_BEGIN(0);
+    PBDD_TRACE_TRACK_BEGIN(0);
     job_(0);
+    PBDD_TRACE_TRACK_END();
     PBDD_TORTURE_THREAD_END();
     std::unique_lock lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -84,7 +89,9 @@ class WorkerPool {
         job = job_;  // copy: all helpers share the one job object
       }
       PBDD_TORTURE_THREAD_BEGIN(id);
+      PBDD_TRACE_TRACK_BEGIN(id);
       job(id);
+      PBDD_TRACE_TRACK_END();
       PBDD_TORTURE_THREAD_END();
       {
         std::lock_guard lock(mutex_);

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/stats_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_points.hpp"
 #include "runtime/inject.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -298,6 +301,7 @@ RequestResult BddService::execute(SessionId session,
 // ---- Dispatcher -------------------------------------------------------------
 
 void BddService::dispatcher_loop() {
+  PBDD_TRACE_TRACK_BEGIN(obs::kTrackService);
   for (;;) {
     Request req;
     bool drain = false;
@@ -357,6 +361,7 @@ void BddService::process_request(Request req) {
 
   m_admitted_.fetch_add(1, std::memory_order_relaxed);
   PBDD_INJECT(kServiceAdmit);
+  PBDD_TRACE_INSTANT(kServiceAdmit, req.ops.size(), req.session);
 
   core::BatchControl ctl;
   if (req.deadline) ctl.arm_deadline(*req.deadline);
@@ -402,6 +407,7 @@ void BddService::process_request(Request req) {
                                    prev, allocated, std::memory_order_relaxed)) {
     }
     if (allocated > config_.live_node_budget) {
+      PBDD_TRACE_INSTANT(kGovernorGc, allocated, 0);
       mgr_.gc();
       m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
       allocated = mgr_.live_nodes();
@@ -493,6 +499,7 @@ void BddService::process_save(Request& req, std::chrono::nanoseconds queue_ns) {
   try {
     snapshot::SaveOptions opts;
     opts.mode = snapshot::SaveMode::kExportRoots;
+    const std::uint64_t trace_t0 = PBDD_TRACE_NOW();
     const Clock::time_point t0 = Clock::now();
     snapshot::SaveStats s;
     {
@@ -500,6 +507,7 @@ void BddService::process_save(Request& req, std::chrono::nanoseconds queue_ns) {
       s = snapshot::save(mgr_, req.snapshot_path, named, opts);
     }
     const std::uint64_t pause = static_cast<std::uint64_t>(since(t0).count());
+    PBDD_TRACE_EMIT_SPAN(kCheckpointSave, trace_t0, s.bytes, 0);
     record_pause(pause);
     m_snapshots_saved_.fetch_add(1, std::memory_order_relaxed);
     m_snapshot_bytes_.fetch_add(s.bytes, std::memory_order_relaxed);
@@ -527,11 +535,13 @@ void BddService::process_restore(Request& req,
   snapshot::RestoreStats rs;
   std::size_t registered_nodes = 0;
   try {
+    const std::uint64_t trace_t0 = PBDD_TRACE_NOW();
     const Clock::time_point t0 = Clock::now();
     std::lock_guard<std::mutex> mlk(manager_mutex_);
     named = snapshot::import_into(mgr_, req.snapshot_path, &rs);
     // The import may have overshot the budget; enforce it like a batch.
     if (mgr_.live_nodes() > config_.live_node_budget) {
+      PBDD_TRACE_INSTANT(kGovernorGc, mgr_.live_nodes(), 0);
       mgr_.gc();
       m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -539,6 +549,7 @@ void BddService::process_restore(Request& req,
       registered_nodes += mgr_.node_count(nr.bdd);
     }
     r.exec_ns = since(t0);
+    PBDD_TRACE_EMIT_SPAN(kCheckpointRestore, trace_t0, rs.nodes, 0);
   } catch (const std::exception& e) {
     m_snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
     r.status = RequestStatus::kFailed;
@@ -657,6 +668,7 @@ bool BddService::governor_admit(std::size_t ops, Priority priority) {
       }
       // First lever: collect. Roots released since the last collection (by
       // clients or by abandoned partial batches) come back here.
+      PBDD_TRACE_INSTANT(kGovernorGc, mgr_.live_nodes(), 0);
       mgr_.gc();
       m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
       if (projected(mgr_.live_nodes()) <= config_.live_node_budget) {
@@ -668,8 +680,10 @@ bool BddService::governor_admit(std::size_t ops, Priority priority) {
     ++deferrals;
     m_deferrals_.fetch_add(1, std::memory_order_relaxed);
     PBDD_INJECT(kServiceCancel);
+    PBDD_TRACE_INSTANT(kServiceDefer, deferrals, 0);
     if (deferrals > 2 * config_.shed_after_deferrals) {
       m_rejected_demand_.fetch_add(1, std::memory_order_relaxed);
+      PBDD_TRACE_INSTANT(kServiceReject, 0, 0);
       return false;
     }
     if (!shed_done && deferrals >= config_.shed_after_deferrals) {
@@ -693,7 +707,10 @@ std::size_t BddService::shed_below(Priority above) {
       queues_[p].clear();
     }
   }
-  if (!victims.empty()) space_cv_.notify_all();
+  if (!victims.empty()) {
+    space_cv_.notify_all();
+    PBDD_TRACE_INSTANT(kServiceShed, victims.size(), 0);
+  }
   for (Request& r : victims) resolve(r, RequestStatus::kShed);
   return victims.size();
 }
@@ -846,6 +863,99 @@ std::string BddService::metrics_json() {
   out += engine;
   out += "}";
   return out;
+}
+
+std::string BddService::metrics_text() {
+  const ServiceMetrics m = metrics();
+  // A fresh registry per exposition: every source counter is cumulative
+  // already, so publishing into a long-lived registry would double-count.
+  obs::Registry reg;
+
+  const char* kReqHelp = "Requests by lifecycle event";
+  reg.counter("pbdd_service_requests_total", kReqHelp,
+              {{"event", "submitted"}})
+      .add(m.submitted);
+  reg.counter("pbdd_service_requests_total", kReqHelp, {{"event", "admitted"}})
+      .add(m.admitted);
+  reg.counter("pbdd_service_requests_total", kReqHelp, {{"event", "completed"}})
+      .add(m.completed);
+
+  const char* kRejHelp = "Rejected requests by reason";
+  reg.counter("pbdd_service_rejected_total", kRejHelp,
+              {{"reason", "queue_full"}})
+      .add(m.rejected_queue_full);
+  reg.counter("pbdd_service_rejected_total", kRejHelp, {{"reason", "quota"}})
+      .add(m.rejected_quota);
+  reg.counter("pbdd_service_rejected_total", kRejHelp, {{"reason", "demand"}})
+      .add(m.rejected_demand);
+
+  const char* kDropHelp = "Requests dropped after admission, by reason";
+  reg.counter("pbdd_service_dropped_total", kDropHelp, {{"reason", "shed"}})
+      .add(m.shed);
+  reg.counter("pbdd_service_dropped_total", kDropHelp, {{"reason", "expired"}})
+      .add(m.expired);
+  reg.counter("pbdd_service_dropped_total", kDropHelp,
+              {{"reason", "cancelled"}})
+      .add(m.cancelled);
+
+  reg.counter("pbdd_service_deferrals_total", "Governor admission deferrals")
+      .add(m.deferrals);
+  reg.counter("pbdd_service_governor_gc_total",
+              "Collections triggered by the memory governor")
+      .add(m.governor_gcs);
+  reg.counter("pbdd_service_batches_total", "Executed top-level batches")
+      .add(m.batches_executed);
+  reg.counter("pbdd_service_ops_total", "Executed top-level operations")
+      .add(m.ops_executed);
+
+  reg.gauge("pbdd_service_queue_depth", "Admission queue depth (sampled)")
+      .set(static_cast<double>(m.queue_depth));
+  reg.gauge("pbdd_service_open_sessions", "Open sessions (sampled)")
+      .set(static_cast<double>(m.open_sessions));
+  reg.gauge("pbdd_service_live_node_budget", "Governor live-node budget")
+      .set(static_cast<double>(m.live_node_budget));
+  reg.gauge("pbdd_service_max_live_nodes",
+            "Max live nodes observed after governor action")
+      .set(static_cast<double>(m.max_live_nodes_observed));
+  reg.gauge("pbdd_service_max_allocated_nodes",
+            "Max allocated nodes observed before governor action")
+      .set(static_cast<double>(m.max_allocated_observed));
+  reg.gauge("pbdd_service_demand_per_op",
+            "Calibrated node-demand estimate per operation")
+      .set(m.demand_per_op);
+
+  const char* kSnapHelp = "Snapshot operations by kind";
+  reg.counter("pbdd_service_snapshots_total", kSnapHelp, {{"op", "save"}})
+      .add(m.snapshots_saved);
+  reg.counter("pbdd_service_snapshots_total", kSnapHelp, {{"op", "restore"}})
+      .add(m.snapshots_restored);
+  reg.counter("pbdd_service_snapshot_failures_total",
+              "Failed snapshot saves/restores")
+      .add(m.snapshot_failures);
+  reg.counter("pbdd_service_snapshot_bytes_written_total",
+              "Bytes written by snapshot saves")
+      .add(m.snapshot_bytes_written);
+  reg.counter("pbdd_service_snapshot_nodes_restored_total",
+              "Nodes streamed in by snapshot restores")
+      .add(m.snapshot_nodes_restored);
+
+  const char* kPauseHelp = "Checkpoint stop-the-world pause (ns)";
+  reg.gauge("pbdd_service_checkpoint_pause_ns", kPauseHelp,
+            {{"stat", "last"}})
+      .set(static_cast<double>(m.snapshot_pause_ns_last));
+  reg.gauge("pbdd_service_checkpoint_pause_ns", kPauseHelp, {{"stat", "max"}})
+      .set(static_cast<double>(m.snapshot_pause_ns_max));
+  reg.gauge("pbdd_service_checkpoint_pause_ns", kPauseHelp, {{"stat", "p95"}})
+      .set(static_cast<double>(m.snapshot_pause_ns_p95));
+
+  {
+    // Engine totals only: per-worker/per-var series are a trace-analysis
+    // concern, not a scrape concern.
+    std::lock_guard<std::mutex> lk(manager_mutex_);
+    core::publish_stats(mgr_.stats(), reg,
+                        {.per_worker = false, .per_var = false});
+  }
+  return reg.prometheus_text();
 }
 
 }  // namespace pbdd::service

@@ -232,6 +232,10 @@ class BddService {
   /// Service counters + governor gauges + the engine's ManagerStats, all in
   /// one JSON object (shares ManagerStats::to_json with the bench dumps).
   [[nodiscard]] std::string metrics_json();
+  /// The same data in Prometheus text exposition format: admission,
+  /// governor, checkpoint-pause, and engine counter families (rendered
+  /// through obs::Registry; see docs/OBSERVABILITY.md for the catalog).
+  [[nodiscard]] std::string metrics_text();
 
  private:
   struct Request {

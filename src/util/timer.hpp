@@ -7,6 +7,16 @@
 
 namespace pbdd::util {
 
+/// Nanosecond-count conversions shared by the benchmarks and reports so the
+/// 1e-9/1e-6 factors live in one place.
+[[nodiscard]] constexpr double ns_to_s(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+[[nodiscard]] constexpr double ns_to_ms(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-6;
+}
+
 /// Monotonic wall-clock timer with nanosecond resolution.
 class WallTimer {
  public:
@@ -24,7 +34,7 @@ class WallTimer {
   }
 
   [[nodiscard]] double elapsed_s() const noexcept {
-    return static_cast<double>(elapsed_ns()) * 1e-9;
+    return ns_to_s(elapsed_ns());
   }
 
  private:

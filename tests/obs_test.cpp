@@ -1,0 +1,302 @@
+// Observability suite: the tracer's ring/overflow discipline, the metrics
+// registry's sharded-fold conservation, the Chrome-trace exporter validated
+// against the offline parser (schema + per-worker content), serialize-mode
+// trace determinism, and the service's Prometheus exposition.
+//
+// The suite is meaningful in every build mode: the Tracer and Registry are
+// compiled unconditionally, so their unit tests always run; tests that need
+// the engine's instrumentation points (PBDD_TRACE=ON) or the torture
+// scheduler (PBDD_TORTURE=ON) skip themselves when the build lacks them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+#include "runtime/torture.hpp"
+#include "service_driver.hpp"
+#include "torture_driver.hpp"
+
+namespace pbdd {
+namespace {
+
+using obs::EventKind;
+using obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Tracer ring discipline
+// ---------------------------------------------------------------------------
+
+TEST(ObsTracerRing, OverflowDropsNewestAndCounts) {
+  Tracer& tracer = Tracer::instance();
+  obs::TraceConfig config;
+  config.buffer_capacity = 16;  // the tracer's minimum per-thread capacity
+  tracer.start(config);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    tracer.emit(EventKind::kGroupTake, tracer.now_ns(), 0, i, 0);
+  }
+  tracer.stop();
+  const Tracer::Snapshot snap = tracer.collect();
+  ASSERT_EQ(snap.records.size(), 16u);
+  EXPECT_EQ(snap.dropped, 24u);
+  EXPECT_EQ(snap.threads, 1u);
+  // Drop-newest: the first capacity records survive, in emission order.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(snap.records[i].arg0, i);
+  }
+}
+
+TEST(ObsTracerRing, StartDropsThePreviousSession) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  for (int i = 0; i < 3; ++i) {
+    tracer.emit(EventKind::kGroupTake, tracer.now_ns(), 0, 0, 0);
+  }
+  tracer.stop();
+  ASSERT_EQ(tracer.collect().records.size(), 3u);
+
+  tracer.start();  // new epoch: old buffers must not leak into this session
+  tracer.emit(EventKind::kContextPop, tracer.now_ns(), 0, 42, 0);
+  tracer.stop();
+  const Tracer::Snapshot snap = tracer.collect();
+  ASSERT_EQ(snap.records.size(), 1u);
+  EXPECT_EQ(snap.records[0].arg0, 42u);
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(ObsTracerRing, DisabledEmitIsIgnored) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  tracer.stop();
+  tracer.emit(EventKind::kGroupTake, 1, 0, 0, 0);  // after stop: dropped
+  EXPECT_EQ(tracer.collect().records.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterFoldConservesConcurrentIncrements) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test_total", "conservation counter");
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.counter_value("test_total"), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, HistogramFoldConservesCountAndSum) {
+  obs::Registry reg;
+  obs::Histogram& h =
+      reg.histogram("test_ns", "conservation histogram", {10, 100, 1000});
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t v = 0; v < 2000; ++v) h.observe(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * 2000u);
+  EXPECT_EQ(h.sum(), kThreads * (2000u * 1999u / 2));
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // three bounds + the +Inf bucket
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(buckets[0], kThreads * 11u);  // inclusive upper bound: 0..10
+}
+
+TEST(ObsMetrics, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("pbdd_widgets_total", "Widgets made", {{"kind", "round"}})
+      .add(3);
+  reg.gauge("pbdd_depth", "Queue depth").set(7.5);
+  reg.histogram("pbdd_wait_ns", "Wait time", {100, 1000}).observe(150);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE pbdd_widgets_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pbdd_widgets_total{kind=\"round\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pbdd_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pbdd_wait_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("pbdd_wait_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pbdd_wait_ns_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exporter ↔ parser round trip over a real parallel build
+// ---------------------------------------------------------------------------
+
+struct TracedBuild {
+  obs::ParsedTrace trace;
+  std::uint64_t checksum = 0;
+  std::uint64_t stall_breaks = 0;
+  Tracer::Snapshot snapshot;
+};
+
+TracedBuild traced_build(unsigned workers, unsigned mult_width) {
+  const circuit::Circuit bin = circuit::multiplier(mult_width).binarized();
+  const std::vector<unsigned> order = circuit::order_dfs(bin);
+  core::Config config;
+  config.workers = workers;
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  TracedBuild out;
+  {
+    core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+    const std::vector<core::Bdd> outputs =
+        circuit::build_parallel(mgr, bin, order);
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    for (const core::Bdd& o : outputs) {
+      checksum = (checksum ^ mgr.node_count(o)) * 0x100000001b3ULL;
+    }
+    out.checksum = checksum;
+  }
+  tracer.stop();
+  out.snapshot = tracer.collect();
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  out.trace = obs::parse_chrome_trace(os.str());
+  return out;
+}
+
+TEST(ObsTraceExport, PerfettoSchemaRoundTrip) {
+  if (!obs::trace_compiled()) {
+    GTEST_SKIP() << "build has PBDD_TRACE=OFF";
+  }
+  const TracedBuild run = traced_build(/*workers=*/2, /*mult_width=*/6);
+  EXPECT_EQ(run.trace.dropped_records, 0u);
+  ASSERT_FALSE(run.trace.events.empty());
+
+  // One named track per worker, carrying expansion and reduction spans.
+  std::map<std::string, std::map<std::string, unsigned>> kinds_by_track;
+  for (const obs::TraceEvent& e : run.trace.events) {
+    const auto track = run.trace.tracks.find(e.tid);
+    ASSERT_NE(track, run.trace.tracks.end())
+        << "event on unnamed tid " << e.tid;
+    kinds_by_track[track->second][e.name]++;
+  }
+  for (const char* worker : {"worker 0", "worker 1"}) {
+    ASSERT_TRUE(kinds_by_track.count(worker)) << worker << " track missing";
+    EXPECT_GT(kinds_by_track[worker]["expansion"], 0u) << worker;
+    EXPECT_GT(kinds_by_track[worker]["reduction"], 0u) << worker;
+  }
+  // The driver thread brackets every top-level batch.
+  ASSERT_TRUE(kinds_by_track.count("driver"));
+  EXPECT_GT(kinds_by_track["driver"]["batch_start"], 0u);
+
+  // The analysis layer agrees: the phase view sees both worker rows with
+  // nonzero expansion time.
+  const obs::PhaseBreakdown phases = obs::phase_breakdown(run.trace);
+  unsigned workers_seen = 0;
+  for (const auto& row : phases.rows) {
+    if (row.track.rfind("worker", 0) == 0) {
+      ++workers_seen;
+      EXPECT_GT(row.expansion_s, 0.0) << row.track;
+    }
+  }
+  EXPECT_EQ(workers_seen, 2u);
+}
+
+TEST(ObsTraceExport, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(obs::parse_chrome_trace("not json"), std::runtime_error);
+  EXPECT_THROW(obs::parse_chrome_trace("{}"), std::runtime_error);
+  EXPECT_THROW(
+      obs::parse_chrome_trace(
+          R"({"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]})"),
+      std::runtime_error)
+      << "an X event without dur must fail schema validation";
+}
+
+// ---------------------------------------------------------------------------
+// Serialize-mode determinism: same seed → same per-track event sequence
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceTorture, SerializeScheduleYieldsIdenticalKindSequences) {
+  if (!obs::trace_compiled()) {
+    GTEST_SKIP() << "build has PBDD_TRACE=OFF";
+  }
+  if (!rt::torture_compiled()) {
+    GTEST_SKIP() << "build has PBDD_TORTURE=OFF";
+  }
+  auto once = [] {
+    rt::TortureConfig tc;
+    tc.seed = 11;
+    tc.mode = rt::TortureMode::kSerialize;
+    test::TortureGuard guard(tc);
+    TracedBuild run = traced_build(/*workers=*/2, /*mult_width=*/5);
+    run.stall_breaks = rt::TortureScheduler::instance().stall_breaks();
+    return run;
+  };
+  const TracedBuild first = once();
+  const TracedBuild second = once();
+  ASSERT_EQ(first.stall_breaks, 0u) << "watchdog voided determinism";
+  ASSERT_EQ(second.stall_breaks, 0u) << "watchdog voided determinism";
+  ASSERT_EQ(first.checksum, second.checksum);
+
+  // Timestamps differ across runs; the *sequence of kinds per track* must
+  // not (that is the replay guarantee the torture scheduler provides).
+  auto sequences = [](const Tracer::Snapshot& snap) {
+    std::map<std::uint16_t, std::vector<std::uint8_t>> seq;
+    for (const obs::TraceRecord& r : snap.records) {
+      seq[r.track].push_back(r.kind);
+    }
+    return seq;
+  };
+  EXPECT_EQ(sequences(first.snapshot), sequences(second.snapshot));
+}
+
+// ---------------------------------------------------------------------------
+// Service exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsService, MetricsTextCoversServiceAndEngineFamilies) {
+  service::ServiceConfig cfg;
+  cfg.engine.workers = 2;
+  service::BddService svc(cfg);
+  test::ServiceWorkload wl;
+  wl.sessions = 2;
+  wl.requests_per_session = 4;
+  const test::ServiceRunResult run = test::run_service_workload(svc, wl);
+  ASSERT_TRUE(run.error.empty()) << run.error;
+
+  const std::string text = svc.metrics_text();
+  // Admission, governor, checkpoint-pause, and engine counter families.
+  for (const char* needle :
+       {"# TYPE pbdd_service_requests_total counter",
+        "pbdd_service_requests_total{event=\"admitted\"}",
+        "pbdd_service_rejected_total{reason=\"quota\"}",
+        "pbdd_service_governor_gc_total",
+        "pbdd_service_checkpoint_pause_ns{stat=\"p95\"}",
+        "pbdd_service_queue_depth",
+        "# TYPE pbdd_engine_ops_total counter",
+        "pbdd_engine_phase_ns_total{phase=\"expansion\"}",
+        "pbdd_engine_live_nodes"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+  }
+  // Real traffic ran, so the big counters are nonzero in the rendered text.
+  EXPECT_EQ(text.find("pbdd_service_requests_total{event=\"admitted\"} 0\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("pbdd_engine_ops_total 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -15,6 +15,9 @@
 //   --counts             print per-output node counts
 //   --sat                print per-output satisfying-assignment counts
 //   --save FILE          checkpoint the built store to FILE (docs/FORMAT.md)
+//   --trace FILE         record a per-worker event trace of the run and
+//                        write Chrome-trace-event JSON (open in
+//                        ui.perfetto.dev; analyze with pbdd_trace)
 //
 //   pbdd_cli --load FILE [options]
 //                        restore a checkpoint instead of building; the
@@ -39,6 +42,7 @@
 #include "circuit/ordering.hpp"
 #include "core/bdd_manager.hpp"
 #include "core/export.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/timer.hpp"
 
@@ -51,9 +55,9 @@ using namespace pbdd;
                "usage: %s <circuit> [--threads N] [--seq] [--threshold N] "
                "[--group N]\n"
                "          [--order dfs|natural] [--stats] [--dot FILE] "
-               "[--counts] [--sat] [--save FILE]\n"
+               "[--counts] [--sat] [--save FILE] [--trace FILE]\n"
                "       %s --load FILE [--threads N] [--stats] [--dot FILE] "
-               "[--counts] [--sat] [--save FILE]\n",
+               "[--counts] [--sat] [--save FILE] [--trace FILE]\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -155,6 +159,7 @@ int main(int argc, char** argv) {
   core::Config config;
   Report rep;
   std::string load_path;
+  std::string trace_path;
   std::string order_kind = "dfs";
   int first_opt = 2;
   if (spec == "--load") {
@@ -192,13 +197,37 @@ int main(int argc, char** argv) {
       rep.dot_path = next();
     } else if (arg == "--save") {
       rep.save_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       usage(argv[0]);
     }
   }
 
+  if (!trace_path.empty()) {
+    if (!obs::trace_compiled()) {
+      std::fprintf(stderr,
+                   "error: --trace needs a build with -DPBDD_TRACE=ON "
+                   "(this binary was compiled with tracing off)\n");
+      return 2;
+    }
+    obs::Tracer::instance().start();
+  }
+  const auto finish_trace = [&] {
+    if (trace_path.empty()) return;
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    const std::size_t events = tracer.write_chrome_trace_file(trace_path);
+    std::printf("wrote %s: %zu trace events from %zu threads\n",
+                trace_path.c_str(), events, tracer.collect().threads);
+  };
+
   try {
-    if (!load_path.empty()) return run_load(load_path, config, rep);
+    if (!load_path.empty()) {
+      const int rc = run_load(load_path, config, rep);
+      finish_trace();
+      return rc;
+    }
     const circuit::Circuit raw = load_circuit(spec);
     const circuit::Circuit bin = raw.binarized();
     const std::vector<unsigned> order = order_kind == "natural"
@@ -230,6 +259,7 @@ int main(int argc, char** argv) {
       mgr.gc();  // drop build intermediates so the checkpoint is tight
     }
     report(mgr, outputs, bin.output_names(), rep);
+    finish_trace();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -30,6 +30,7 @@
 #include "circuit/builder.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist.hpp"
+#include "obs/trace.hpp"
 #include "service/bdd_service.hpp"
 
 namespace {
@@ -47,6 +48,7 @@ struct Cli {
   unsigned checkpoint_every = 0;  ///< periodic service checkpoint (batches)
   std::string checkpoint_path = "pbdd_checkpoint.snap";
   std::string json_path;
+  std::string trace_path;
 };
 
 [[noreturn]] void usage() {
@@ -55,7 +57,7 @@ struct Cli {
                "                    [--budget NODES] [--queue N]\n"
                "                    [--deadline-ms MS] [--json PATH]\n"
                "                    [--checkpoint-every N] "
-               "[--checkpoint-path PATH]\n");
+               "[--checkpoint-path PATH] [--trace PATH]\n");
   std::exit(2);
 }
 
@@ -76,6 +78,7 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--checkpoint-every") cli.checkpoint_every = std::stoul(next());
     else if (a == "--checkpoint-path") cli.checkpoint_path = next();
     else if (a == "--json") cli.json_path = next();
+    else if (a == "--trace") cli.trace_path = next();
     else usage();
   }
   if (cli.sessions == 0 || cli.passes == 0) usage();
@@ -223,6 +226,15 @@ int main(int argc, char** argv) {
   cfg.live_node_budget = cli.budget;
   cfg.checkpoint_every_batches = cli.checkpoint_every;
   cfg.checkpoint_path = cli.checkpoint_path;
+
+  if (!cli.trace_path.empty()) {
+    if (!obs::trace_compiled()) {
+      std::fprintf(stderr,
+                   "error: --trace needs a build with -DPBDD_TRACE=ON\n");
+      return 2;
+    }
+    obs::Tracer::instance().start();
+  }
   service::BddService svc(cfg);
 
   std::vector<ClientStats> stats(cli.sessions);
@@ -253,6 +265,17 @@ int main(int argc, char** argv) {
   }
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  if (!cli.trace_path.empty()) {
+    // The dispatcher still runs, but it is idle now (all clients joined),
+    // so the buffers are quiescent enough to export.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    const std::size_t events =
+        tracer.write_chrome_trace_file(cli.trace_path);
+    std::printf("wrote %s: %zu trace events\n", cli.trace_path.c_str(),
+                events);
+  }
 
   // Aggregate.
   std::vector<std::uint64_t> lat;

@@ -1,0 +1,76 @@
+// pbdd_trace — offline analyzer for Tracer Chrome-trace-event exports.
+//
+//   pbdd_trace <trace.json> [--report all|phases|steal|locks|imbalance|gc|summary]
+//
+// Reads a trace written by `pbdd_cli --trace` / `pbdd_loadgen --trace` (or
+// any conforming Chrome trace) and prints the paper's evaluation views:
+// per-worker phase breakdown (Figs. 13/14), steal-latency histogram,
+// per-variable lock tables (Figs. 16/17), load imbalance, and GC phase
+// shares (Figs. 18/19).
+//
+// Exit codes: 0 on success, 1 on parse/schema errors, 2 on bad usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> "
+               "[--report all|phases|steal|locks|imbalance|gc|summary]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string path = argv[1];
+  std::string report = "all";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report = argv[++i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  const bool all = report == "all";
+  if (!all && report != "phases" && report != "steal" && report != "locks" &&
+      report != "imbalance" && report != "gc" && report != "summary") {
+    usage(argv[0]);
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  pbdd::obs::ParsedTrace trace;
+  try {
+    trace = pbdd::obs::parse_chrome_trace(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  std::string out;
+  if (all || report == "summary") out += pbdd::obs::summary_report(trace);
+  if (all || report == "phases") out += pbdd::obs::phase_report(trace);
+  if (all || report == "gc") out += pbdd::obs::gc_report(trace);
+  if (all || report == "steal") out += pbdd::obs::steal_report(trace);
+  if (all || report == "locks") out += pbdd::obs::lock_report(trace);
+  if (all || report == "imbalance") {
+    out += pbdd::obs::imbalance_report(trace);
+  }
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Tracing-overhead gate for CI.
+
+Compares two fig07_08_elapsed --json artifacts: one from the default build
+(tracing compiled in but idle, PBDD_TRACE=ON) and one from a PBDD_TRACE=OFF
+build. The compiled-in-but-idle cost per instrumentation point is one
+relaxed atomic load, so the two runs must agree to within the threshold.
+
+Usage:
+  trace_overhead_gate.py --on on.json [on2.json ...] \
+                         --off off.json [off2.json ...] \
+                         [--threshold 0.03] [--out BENCH_trace_overhead.json]
+
+Multiple files per side are treated as repetitions: the per-(config,circuit)
+cell takes the minimum elapsed time of its side (the classic best-of-N
+noise filter). The gate fails (exit 1) when the geometric-mean ratio
+ON/OFF across all common cells exceeds 1 + threshold; the per-cell max is
+reported but only warns, since single cells on shared CI runners are noisy.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_cells(paths):
+    """{(config, circuit): min elapsed_s} across the given artifacts."""
+    cells = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        results = doc.get("results")
+        if not isinstance(results, list) or not results:
+            sys.exit(f"error: {path}: no results[] array")
+        for rec in results:
+            key = (rec["config"], rec["circuit"])
+            elapsed = float(rec["elapsed_s"])
+            if elapsed <= 0:
+                sys.exit(f"error: {path}: non-positive elapsed_s for {key}")
+            cells[key] = min(cells.get(key, elapsed), elapsed)
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--on", nargs="+", required=True,
+                    help="artifacts from the PBDD_TRACE=ON (idle) build")
+    ap.add_argument("--off", nargs="+", required=True,
+                    help="artifacts from the PBDD_TRACE=OFF build")
+    ap.add_argument("--threshold", type=float, default=0.03,
+                    help="allowed geomean overhead (default 0.03 = 3%%)")
+    ap.add_argument("--out", default=None,
+                    help="write the comparison as a JSON artifact")
+    args = ap.parse_args()
+
+    on = load_cells(args.on)
+    off = load_cells(args.off)
+    common = sorted(set(on) & set(off))
+    if not common:
+        sys.exit("error: the ON and OFF artifacts share no (config, circuit) "
+                 "cells")
+
+    rows = []
+    log_sum = 0.0
+    worst = None
+    for key in common:
+        ratio = on[key] / off[key]
+        log_sum += math.log(ratio)
+        rows.append({"config": key[0], "circuit": key[1],
+                     "on_s": on[key], "off_s": off[key],
+                     "ratio": round(ratio, 4)})
+        if worst is None or ratio > worst[1]:
+            worst = (key, ratio)
+    geomean = math.exp(log_sum / len(common))
+
+    print(f"tracing-overhead gate: {len(common)} cells, "
+          f"geomean ON/OFF = {geomean:.4f} "
+          f"(threshold {1 + args.threshold:.4f})")
+    for row in rows:
+        print(f"  {row['config']:<12} {row['circuit']:<12} "
+              f"on {row['on_s']:.3f}s  off {row['off_s']:.3f}s  "
+              f"ratio {row['ratio']:.3f}")
+    if worst[1] > 1 + args.threshold:
+        print(f"  note: worst cell {worst[0]} at {worst[1]:.3f} "
+              f"(cell-level noise is not gated)")
+
+    passed = geomean <= 1 + args.threshold
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump({"bench": "trace_overhead",
+                       "threshold": args.threshold,
+                       "geomean_ratio": round(geomean, 4),
+                       "passed": passed,
+                       "cells": rows}, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+    if not passed:
+        print(f"FAIL: idle tracing costs {100 * (geomean - 1):.1f}% "
+              f"(> {100 * args.threshold:.0f}%)")
+        return 1
+    print("OK: idle tracing within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
