@@ -1,0 +1,142 @@
+// Ablation: fault-simulation throughput (faults/sec) vs worker count.
+//
+// The stuck-at fault campaign (src/fault/) is the engine's best-shaped
+// parallel workload: every fault's cone rebuild is independent of every
+// other fault's, so a wave of faults is a stream of wide apply_batch calls
+// with no cross-item dependencies — exactly the top-level-operation batches
+// the paper's parallel construction is built around. This harness measures
+// what that independence buys across worker counts.
+//
+// Protocol per worker count W: fresh W-worker manager, build the golden
+// BDDs, run the full campaign (optionally --max-nets capped), best of
+// kReps repetitions. The per-net verdicts are also cross-checked against
+// the 1-worker run — a throughput harness that silently computed different
+// answers would be worse than useless.
+//
+//   ablate_fault --circuits c2670s --threads 1,2,4 --json BENCH_fault.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/report.hpp"
+#include "harness.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"c2670s"});
+  const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
+  constexpr int kReps = 2;
+
+  // Campaign knobs: a generous wave width keeps every batch wide, and the
+  // stride-sampled net cap keeps a full worker sweep on c2670s to minutes.
+  // The sample is deterministic, so every point evaluates the same faults
+  // and the per-net verdict cross-check below stays meaningful.
+  fault::FaultSimOptions fopts;
+  fopts.batch_faults = 64;
+  fopts.max_nets = 48;
+
+  struct Point {
+    unsigned workers = 0;
+    double campaign_s = 0, golden_s = 0;
+    std::uint64_t faults = 0, detected = 0, batches = 0;
+  };
+  std::vector<Point> points;
+  std::string reference_report;  // 1st configuration's verdicts
+
+  util::TextTable table({"# procs", "golden s", "campaign s", "faults",
+                         "faults/s", "detected", "batches", "speedup"});
+  double base_campaign_s = 0.0;
+  for (const unsigned workers : cli.thread_counts) {
+    Point p;
+    p.workers = workers;
+    p.campaign_s = 1e99;
+    std::string report;
+    for (int rep = 0; rep < kReps; ++rep) {
+      core::Config config = bench::config_for(cli, workers, false);
+      core::BddManager mgr(w.num_vars, config);
+      fault::FaultCampaign campaign(mgr, w.binarized, w.order);
+      util::WallTimer tg;
+      campaign.build_golden();
+      const double golden_s = tg.elapsed_s();
+      util::WallTimer tc;
+      const std::vector<fault::NetFaultResult> results =
+          campaign.run(fopts);
+      const double campaign_s = tc.elapsed_s();
+      if (campaign_s < p.campaign_s) {
+        p.campaign_s = campaign_s;
+        p.golden_s = golden_s;
+        const fault::CampaignStats& s = campaign.stats();
+        p.faults = s.faults_evaluated;
+        p.detected = s.faults_detected;
+        p.batches = s.batches;
+      }
+      if (rep == 0) {
+        fault::ReportInfo info;
+        info.circuit = w.name;
+        info.inputs = w.binarized.inputs().size();
+        info.outputs = w.binarized.outputs().size();
+        info.gates = w.binarized.num_gates();
+        info.total_nets = fault::enumerate_fault_sites(w.binarized).size();
+        info.reported_nets = results.size();
+        report = fault::render_report(info, results);
+      }
+    }
+    if (reference_report.empty()) {
+      reference_report = report;
+    } else if (report != reference_report) {
+      std::fprintf(stderr,
+                   "FAIL: %u-worker verdicts differ from reference\n",
+                   workers);
+      return 1;
+    }
+    if (base_campaign_s == 0.0) base_campaign_s = p.campaign_s;
+    points.push_back(p);
+
+    table.add_row(
+        {std::to_string(workers), util::TextTable::num(p.golden_s, 3),
+         util::TextTable::num(p.campaign_s, 3), std::to_string(p.faults),
+         util::TextTable::num(static_cast<double>(p.faults) / p.campaign_s,
+                              0),
+         std::to_string(p.detected), std::to_string(p.batches),
+         util::TextTable::num(base_campaign_s / p.campaign_s, 2)});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nEvery wave merges the per-level ops of %zu concurrent faults into\n"
+      "one apply_batch, so batch width stays high for the whole campaign\n"
+      "and faults/s should rise with workers.\n",
+      fopts.batch_faults);
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"ablate_fault\",\n"
+        << "  \"circuit\": \"" << w.name << "\",\n"
+        << "  \"batch_faults\": " << fopts.batch_faults << ",\n"
+        << "  \"max_nets\": " << fopts.max_nets << ",\n"
+        << "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"workers\": " << p.workers
+          << ", \"golden_s\": " << p.golden_s
+          << ", \"campaign_s\": " << p.campaign_s
+          << ", \"faults\": " << p.faults << ", \"faults_per_s\": "
+          << static_cast<double>(p.faults) / p.campaign_s
+          << ", \"detected\": " << p.detected
+          << ", \"batches\": " << p.batches
+          << ", \"speedup\": " << base_campaign_s / p.campaign_s << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return 0;
+}

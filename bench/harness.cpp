@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "circuit/bench_io.hpp"
 #include "circuit/builder.hpp"
@@ -174,6 +175,12 @@ core::Config config_for(const Cli& cli, unsigned workers, bool sequential) {
   config.cache_log2 = cli.cache_log2;
   config.gc_min_nodes = cli.gc_min_nodes;
   config.table_discipline = cli.discipline;
+  // Benchmarks measure the algorithm, not the scheduler: never run more
+  // ready workers than the machine has hardware threads. On a host with
+  // fewer cores than the sweep's largest worker count, the extra workers
+  // park (Config::max_active_workers) instead of convoying on the pass
+  // locks, so oversized points degrade to parity rather than to thrash.
+  config.max_active_workers = std::max(1u, std::thread::hardware_concurrency());
   return config;
 }
 

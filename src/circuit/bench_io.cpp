@@ -49,6 +49,26 @@ GateType gate_type_from(const std::string& token, std::size_t line) {
   fail(line, "unknown gate type '" + token + "'");
 }
 
+/// Signal names come from untrusted netlist files; a stray paren in a name
+/// means the line's paren structure was misread (e.g. a nested or unclosed
+/// call), so reject it here with the offending token instead of failing
+/// later with a baffling "undefined signal 'a('".
+void check_signal_name(const std::string& name, std::size_t line) {
+  if (name.find('(') != std::string::npos ||
+      name.find(')') != std::string::npos) {
+    fail(line, "signal name '" + name + "' contains a parenthesis");
+  }
+}
+
+/// Everything after the closing paren must be blank (comments were already
+/// stripped): trailing garbage usually means a mangled or truncated edit,
+/// and silently ignoring it would accept a different circuit than written.
+void check_no_trailing(const std::string& rest, std::size_t line) {
+  if (!trim(rest).empty()) {
+    fail(line, "trailing characters '" + trim(rest) + "' after ')'");
+  }
+}
+
 struct PendingGate {
   GateType type;
   std::vector<std::string> fanins;
@@ -93,6 +113,8 @@ Circuit parse_bench(std::istream& in, std::string name) {
       const std::string kind = upper(trim(line.substr(0, open)));
       const std::string signal = trim(line.substr(open + 1, close - open - 1));
       if (signal.empty()) fail(line_no, "empty signal name");
+      check_signal_name(signal, line_no);
+      check_no_trailing(line.substr(close + 1), line_no);
       if (kind == "INPUT") {
         input_names.push_back(signal);
       } else if (kind == "OUTPUT") {
@@ -106,6 +128,7 @@ Circuit parse_bench(std::istream& in, std::string name) {
     // name = TYPE(a, b, ...)
     const std::string lhs = trim(line.substr(0, eq));
     if (lhs.empty()) fail(line_no, "empty signal name before '='");
+    check_signal_name(lhs, line_no);
     const std::string rhs = trim(line.substr(eq + 1));
     const auto ropen = rhs.find('(');
     const auto rclose = rhs.rfind(')');
@@ -113,6 +136,7 @@ Circuit parse_bench(std::istream& in, std::string name) {
         rclose < ropen) {
       fail(line_no, "expected TYPE(fanins) after '='");
     }
+    check_no_trailing(rhs.substr(rclose + 1), line_no);
     // ISCAS89-style state element: q = DFF(d). q becomes a pseudo-input
     // carrying the current state; d is the next-state signal.
     if (upper(trim(rhs.substr(0, ropen))) == "DFF") {
@@ -120,6 +144,7 @@ Circuit parse_bench(std::istream& in, std::string name) {
       if (d.empty() || d.find(',') != std::string::npos) {
         fail(line_no, "DFF takes exactly one fanin");
       }
+      check_signal_name(d, line_no);
       latches.push_back(PendingLatch{lhs, d, line_no});
       continue;
     }
@@ -132,6 +157,7 @@ Circuit parse_bench(std::istream& in, std::string name) {
     while (std::getline(args, arg, ',')) {
       arg = trim(arg);
       if (arg.empty()) fail(line_no, "empty fanin name");
+      check_signal_name(arg, line_no);
       def.fanins.push_back(arg);
     }
     if (def.fanins.empty()) fail(line_no, "gate with no fanins");

@@ -4,10 +4,16 @@
 
 namespace pbdd::circuit {
 
-std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
-                                      const Circuit& circuit,
-                                      const std::vector<unsigned>& input_vars,
-                                      BuildStats* stats) {
+namespace {
+
+// Shared level-batched construction core. Returns the value of every gate;
+// when `release_dead` is set, a gate's handle is dropped as soon as its last
+// fanout has been built (outputs carry an extra use from fanout_counts, so
+// they survive).
+std::vector<core::Bdd> build_levels(core::BddManager& mgr,
+                                    const Circuit& circuit,
+                                    const std::vector<unsigned>& input_vars,
+                                    BuildStats* stats, bool release_dead) {
   using core::Bdd;
   if (input_vars.size() != circuit.inputs().size()) {
     throw std::invalid_argument("build: input_vars size mismatch");
@@ -79,21 +85,42 @@ std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
       ++local.batches;
       local.gate_ops += batch.size();
     }
-    // Release fanins whose last consumer has now been built.
-    for (const std::uint32_t id : by_level[lvl]) {
-      for (const std::uint32_t f : circuit.gate(id).fanins) {
-        if (--uses[f] == 0) value[f] = Bdd{};
+    if (release_dead) {
+      // Release fanins whose last consumer has now been built.
+      for (const std::uint32_t id : by_level[lvl]) {
+        for (const std::uint32_t f : circuit.gate(id).fanins) {
+          if (--uses[f] == 0) value[f] = Bdd{};
+        }
       }
     }
     local.peak_live_handles =
         std::max(local.peak_live_handles, live_handles());
   }
 
-  std::vector<Bdd> outputs;
-  outputs.reserve(circuit.outputs().size());
-  for (const std::uint32_t o : circuit.outputs()) outputs.push_back(value[o]);
   if (stats != nullptr) *stats = local;
+  return value;
+}
+
+}  // namespace
+
+std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
+                                      const Circuit& circuit,
+                                      const std::vector<unsigned>& input_vars,
+                                      BuildStats* stats) {
+  std::vector<core::Bdd> value =
+      build_levels(mgr, circuit, input_vars, stats, /*release_dead=*/true);
+  std::vector<core::Bdd> outputs;
+  outputs.reserve(circuit.outputs().size());
+  // Copy, not move: a gate may be marked as more than one output.
+  for (const std::uint32_t o : circuit.outputs()) outputs.push_back(value[o]);
   return outputs;
+}
+
+std::vector<core::Bdd> build_parallel_all(
+    core::BddManager& mgr, const Circuit& circuit,
+    const std::vector<unsigned>& input_vars, BuildStats* stats) {
+  return build_levels(mgr, circuit, input_vars, stats,
+                      /*release_dead=*/false);
 }
 
 }  // namespace pbdd::circuit

@@ -58,6 +58,16 @@ std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
                                       const std::vector<unsigned>& input_vars,
                                       BuildStats* stats = nullptr);
 
+/// Like build_parallel, but retains and returns the BDD of *every* gate,
+/// indexed by gate id, instead of only the primary outputs. The fault
+/// engine uses these as the golden fence values surrounding a faulty cone
+/// (src/fault/), so a fault campaign rebuilds only the transitive fanout of
+/// each fault site. Peak memory is proportional to the sum of all gate
+/// BDDs — use build_parallel when intermediates are disposable.
+std::vector<core::Bdd> build_parallel_all(
+    core::BddManager& mgr, const Circuit& circuit,
+    const std::vector<unsigned>& input_vars, BuildStats* stats = nullptr);
+
 /// Sequential one-gate-at-a-time construction on any engine with
 /// Handle var(unsigned), Handle zero(), Handle one(),
 /// Handle apply(Op, const Handle&, const Handle&).

@@ -61,6 +61,16 @@ BddManager::BddManager(unsigned num_vars, Config config)
       gc_barrier_(pool_.size()) {
   assert(num_vars_ >= 1 && num_vars_ < kTermLevel);
   const unsigned workers = pool_.size();
+  active_workers_ = config_.max_active_workers == 0
+                        ? workers
+                        : std::max(1u, std::min(workers,
+                                                config_.max_active_workers));
+  // Initialized before the workers: each Worker caches the pointer. A
+  // single active worker never duplicates its own work, so it keeps the
+  // strictly cheaper private-cache-only path.
+  if (active_workers_ > 1 && config_.shared_cache_log2 > 0) {
+    shared_cache_.init(config_.shared_cache_log2);
+  }
   workers_.reserve(workers);
   for (unsigned id = 0; id < workers; ++id) {
     workers_.push_back(std::make_unique<Worker>(this, id, num_vars_, config_));
@@ -437,6 +447,10 @@ void BddManager::gc_driver(unsigned id) {
   // array once, then every worker re-inserts the nodes it owns, trying
   // other variables first whenever a table lock is held (Section 3.4).
   w.gc_move();
+  // Every reference in the shared cache dangles once nodes have moved;
+  // each worker clears its partition inside the stop-the-world window,
+  // alongside the private-cache flush gc_move just performed.
+  shared_cache_.flush_partition(id, pool_.size());
   gc_barrier_.arrive_and_wait();
   const unsigned workers = pool_.size();
   for (unsigned v = id; v < num_vars_; v += workers) {
@@ -562,6 +576,7 @@ std::size_t BddManager::bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& w : workers_) total += w->bytes();
   for (const VarUniqueTable& t : unique_) total += t.bytes();
+  total += shared_cache_.bytes();
   total += roots_.size() * sizeof(RootEntry);
   return total;
 }

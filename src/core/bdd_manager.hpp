@@ -28,6 +28,7 @@
 #include "common/op.hpp"
 #include "core/config.hpp"
 #include "core/ref.hpp"
+#include "core/shared_cache.hpp"
 #include "core/unique_table.hpp"
 #include "core/worker.hpp"
 #include "runtime/barrier.hpp"
@@ -233,7 +234,20 @@ class BddManager {
     return op_generation_;
   }
 
+  /// Shared completed-results cache, or nullptr when disabled (single
+  /// worker, or Config::shared_cache_log2 == 0).
+  [[nodiscard]] SharedComputeCache* shared_cache() noexcept {
+    return shared_cache_.enabled() ? &shared_cache_ : nullptr;
+  }
+
   [[nodiscard]] Worker& worker(unsigned id) noexcept { return *workers_[id]; }
+
+  /// Workers that actively claim batch items and steal groups; workers with
+  /// id >= this return from each batch immediately (Config's
+  /// max_active_workers oversubscription guard).
+  [[nodiscard]] unsigned active_workers() const noexcept {
+    return active_workers_;
+  }
 
   // Batch state (read by workers during run_batch). Operands are held as
   // Bdd handles, not raw references: a sequential-mode collection between
@@ -299,6 +313,8 @@ class BddManager {
   std::vector<VarUniqueTable> unique_;
   rt::WorkerPool pool_;
   rt::SpinBarrier gc_barrier_;
+  SharedComputeCache shared_cache_;
+  unsigned active_workers_ = 1;
 
   BatchState batch_state_;
   std::uint32_t op_generation_ = 1;

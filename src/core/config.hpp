@@ -42,6 +42,17 @@ struct Config {
   /// Number of workers (threads). The calling thread is worker 0.
   unsigned workers = 1;
 
+  /// Cap on how many of those workers actively claim top-level operations
+  /// and steal groups (0 = all of them). Workers past the cap keep their
+  /// arenas and participate in GC, but return from each batch immediately,
+  /// parking on the pool's condition variable. The benchmark harness sets
+  /// this to the hardware thread count: running more ready threads than the
+  /// machine has cores turns every unique-table pass lock into a scheduler
+  /// convoy (the holder is descheduled while waiters burn their slices) and
+  /// measures the OS, not the algorithm. Tests deliberately leave it at 0 —
+  /// oversubscribed runs are exactly where cross-worker interleavings live.
+  unsigned max_active_workers = 0;
+
   /// Paper's "Seq" configuration: single worker, unique-table locking
   /// elided, GC condition checked aggressively after every top-level
   /// operation rather than only at batch barriers (Section 4.1 explains the
@@ -66,6 +77,23 @@ struct Config {
 
   /// log2 of per-worker compute-cache entries.
   unsigned cache_log2 = 17;
+
+  /// log2 of entries in the shared completed-results cache
+  /// (core/shared_cache.hpp), which recovers the work one worker re-derives
+  /// because another already finished it. 0 disables it; it is also
+  /// disabled automatically for single-worker managers, where the private
+  /// cache alone is strictly cheaper.
+  unsigned shared_cache_log2 = 18;
+
+  /// Only operations rooted in the top this-many variable levels go through
+  /// the shared cache (0 = every level). A duplicate caught high in the
+  /// order saves its whole subtree of expansions, while the vastly more
+  /// numerous near-terminal operations are cheaper to recompute than to
+  /// probe for — sharing them is all coherence traffic and no saved work.
+  /// On the c2670s fault campaign the cross-worker duplicate mass sits
+  /// above level ~96: gating there keeps ~98% of the shared hits of an
+  /// ungated cache at a fraction of its probe/publish traffic.
+  unsigned shared_cache_levels = 96;
 
   /// Initial buckets per variable's unique table (power of two).
   unsigned initial_buckets_log2 = 8;
@@ -110,6 +138,7 @@ struct alignas(64) WorkerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_op_hits = 0;      ///< hits returning in-flight op nodes
   std::uint64_t cache_cross_ctx_misses = 0;  ///< uncomputed hit, wrong context
+  std::uint64_t cache_shared_hits = 0;  ///< shared-cache hits after private miss
   std::uint64_t nodes_created = 0;
   std::uint64_t contexts_pushed = 0;
   std::uint64_t groups_created = 0;
@@ -135,6 +164,7 @@ struct alignas(64) WorkerStats {
     cache_hits += o.cache_hits;
     cache_op_hits += o.cache_op_hits;
     cache_cross_ctx_misses += o.cache_cross_ctx_misses;
+    cache_shared_hits += o.cache_shared_hits;
     nodes_created += o.nodes_created;
     contexts_pushed += o.contexts_pushed;
     groups_created += o.groups_created;

@@ -1,0 +1,174 @@
+// Shared completed-results compute cache.
+//
+// The paper's data layout gives every worker a private compute cache so the
+// expansion phase runs without synchronization — at the cost of duplicated
+// work between workers (Figs. 11/12 quantify it; on fault-simulation
+// campaigns we measured ~7% redundant expansions at 4 workers, because each
+// worker re-derives subfunctions another worker already finished). Modern
+// multi-core packages (HermesBDD, Sylvan) instead share one computed table.
+//
+// This cache is the compromise: private caches keep the paper's
+// synchronization-free fast path and remain the only place that may hold
+// *uncomputed* in-flight operator references, while this structure shares
+// only *completed* results (BDD references) between workers. A worker
+// probes it after a private-cache miss and publishes into it when a
+// reduction writes an operation's final result back.
+//
+// Concurrency protocol (per 32-byte entry: one atomic meta word + three
+// atomic payload words, two entries per cache line):
+//
+//   writer:  CAS meta -> {writing, seq+1} (exclusive claim; the CAS loses
+//            against any concurrent claim, including one racing for the
+//            same previous value — losers skip, the cache is lossy),
+//            store f/g/result relaxed,
+//            store meta = {valid, op, seq+1} release.
+//   reader:  m1 = meta acquire; payload loads relaxed;
+//            acquire fence; m2 = meta relaxed.
+//            Hit iff m1 == m2, m1 valid with the probed op, and f/g match.
+//
+// The per-entry sequence number makes the read a seqlock validation: any
+// concurrent overwrite bumps seq (or parks meta in the writing state), so a
+// torn read can never satisfy m1 == m2, and the claim CAS compares the full
+// meta word — two writers racing from the same observed value cannot both
+// win, so payload writers are mutually exclusive. Canonicity provides the
+// semantic safety net — two publishers of the same (op, f, g) key
+// necessarily publish the same canonical reference. The release/acquire
+// pair on meta orders the publisher's node construction before any reader
+// dereferences the result.
+//
+// Garbage collection moves nodes, so gc_driver flushes this cache (each
+// worker clears a partition) inside the stop-the-world window, exactly as
+// workers flush their private caches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+#include "common/op.hpp"
+#include "core/ref.hpp"
+#include "util/aligned.hpp"
+#include "util/hash.hpp"
+
+namespace pbdd::core {
+
+class SharedComputeCache {
+ public:
+  struct Entry {
+    /// bit 63 = valid, bits 32..47 = op, bits 0..31 = publish sequence.
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint64_t> f{0};
+    std::atomic<std::uint64_t> g{0};
+    std::atomic<std::uint64_t> result{0};
+  };
+  static_assert(sizeof(Entry) == 32,
+                "two entries per cache line; a probe stays single-line");
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+
+  static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+  /// Entry is mid-publish: payload words are being written. Mutually
+  /// exclusive with kValidBit; readers treat it as a miss.
+  static constexpr std::uint64_t kWritingBit = std::uint64_t{1} << 62;
+
+  [[nodiscard]] static constexpr std::uint64_t pack(
+      Op op, std::uint32_t seq) noexcept {
+    return kValidBit |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(op))
+            << 32) |
+           seq;
+  }
+
+  SharedComputeCache() = default;
+  SharedComputeCache(const SharedComputeCache&) = delete;
+  SharedComputeCache& operator=(const SharedComputeCache&) = delete;
+  ~SharedComputeCache() { release(); }
+
+  void init(unsigned log2_entries) {
+    release();
+    count_ = std::size_t{1} << log2_entries;
+    mask_ = count_ - 1;
+    entries_ = static_cast<Entry*>(::operator new(
+        count_ * sizeof(Entry), std::align_val_t{util::kCacheLineBytes}));
+    for (std::size_t i = 0; i < count_; ++i) new (entries_ + i) Entry{};
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return entries_ != nullptr; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return count_ * sizeof(Entry);
+  }
+
+  /// Probe for a completed result. Returns kInvalid on miss. Never blocks.
+  [[nodiscard]] NodeRef lookup(Op op, NodeRef f, NodeRef g) const noexcept {
+    const Entry& e = entries_[slot_for(op, f, g)];
+    const std::uint64_t m1 = e.meta.load(std::memory_order_acquire);
+    if ((m1 & kValidBit) == 0 ||
+        static_cast<std::uint16_t>(m1 >> 32) !=
+            static_cast<std::uint16_t>(op)) {
+      return kInvalid;
+    }
+    const std::uint64_t ff = e.f.load(std::memory_order_relaxed);
+    const std::uint64_t gg = e.g.load(std::memory_order_relaxed);
+    const std::uint64_t rr = e.result.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.meta.load(std::memory_order_relaxed) != m1 || ff != f || gg != g) {
+      return kInvalid;
+    }
+    return static_cast<NodeRef>(rr);
+  }
+
+  /// Publish a completed result. `result` must be a BDD reference (operator
+  /// references are never shared — they are private to their owner's
+  /// context stack). Lossy: losing a claim race simply skips the publish.
+  void insert(Op op, NodeRef f, NodeRef g, NodeRef result) noexcept {
+    Entry& e = entries_[slot_for(op, f, g)];
+    std::uint64_t m = e.meta.load(std::memory_order_relaxed);
+    if ((m & kWritingBit) != 0) return;  // another publish is in flight
+    const std::uint32_t seq = static_cast<std::uint32_t>(m) + 1;
+    // Exclusive claim: the full-word compare means two writers racing from
+    // the same observed meta cannot both win, and a mid-write entry (its
+    // seq already bumped) loses every claim race against it.
+    if (!e.meta.compare_exchange_strong(m, kWritingBit | seq,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+    e.f.store(f, std::memory_order_relaxed);
+    e.g.store(g, std::memory_order_relaxed);
+    e.result.store(result, std::memory_order_relaxed);
+    e.meta.store(pack(op, seq), std::memory_order_release);
+  }
+
+  /// Invalidate a partition of the cache — collection moves nodes, so every
+  /// stored reference would dangle. Workers split [0, partitions) between
+  /// themselves inside the stop-the-world GC window.
+  void flush_partition(unsigned index, unsigned partitions) noexcept {
+    if (entries_ == nullptr) return;
+    const std::size_t begin = count_ * index / partitions;
+    const std::size_t end = count_ * (index + 1) / partitions;
+    for (std::size_t i = begin; i < end; ++i) {
+      entries_[i].meta.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t slot_for(Op op, NodeRef f,
+                                       NodeRef g) const noexcept {
+    return static_cast<std::uint32_t>(
+        util::hash_triple(static_cast<std::uint64_t>(op), f, g) & mask_);
+  }
+
+  void release() noexcept {
+    if (entries_ != nullptr) {
+      ::operator delete(entries_, std::align_val_t{util::kCacheLineBytes});
+      entries_ = nullptr;
+    }
+    count_ = 0;
+    mask_ = 0;
+  }
+
+  Entry* entries_ = nullptr;
+  std::size_t count_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace pbdd::core

@@ -51,6 +51,7 @@ void worker_stats_fields(ObjectWriter& w, const WorkerStats& s) {
   w.field("cache_hits", s.cache_hits);
   w.field("cache_op_hits", s.cache_op_hits);
   w.field("cache_cross_ctx_misses", s.cache_cross_ctx_misses);
+  w.field("cache_shared_hits", s.cache_shared_hits);
   w.field("nodes_created", s.nodes_created);
   w.field("contexts_pushed", s.contexts_pushed);
   w.field("groups_created", s.groups_created);

@@ -33,6 +33,7 @@ void publish_stats(const ManagerStats& stats, obs::Registry& reg,
       {"pbdd_engine_cache_hits_total", t.cache_hits},
       {"pbdd_engine_cache_op_hits_total", t.cache_op_hits},
       {"pbdd_engine_cache_cross_ctx_misses_total", t.cache_cross_ctx_misses},
+      {"pbdd_engine_cache_shared_hits_total", t.cache_shared_hits},
       {"pbdd_engine_nodes_created_total", t.nodes_created},
       {"pbdd_engine_contexts_pushed_total", t.contexts_pushed},
       {"pbdd_engine_groups_created_total", t.groups_created},

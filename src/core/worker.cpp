@@ -20,6 +20,9 @@ Worker::Worker(BddManager* mgr, unsigned id, unsigned num_vars,
       op_arenas_(num_vars),
       live_count_(num_vars, 0) {
   cache_.init(config.cache_log2);
+  shared_cache_ = mgr->shared_cache();
+  shared_levels_ = config.shared_cache_levels == 0 ? num_vars
+                                                   : config.shared_cache_levels;
 }
 
 Worker::~Worker() = default;
@@ -104,8 +107,22 @@ Ref Worker::preprocess(Op op, NodeRef f, NodeRef g) {
     ++stats_.cache_cross_ctx_misses;
   }
 
-  // Lines 16-19: create the operator node and queue it for expansion.
   const unsigned var = std::min(level_of(f), level_of(g));
+
+  // Private miss: another worker may already have finished this very
+  // operation (core/shared_cache.hpp); only top-level-rooted operations
+  // are shared (Config::shared_cache_levels). A hit is copied into the
+  // private cache so repeats stay on the synchronization-free path.
+  if (shared_cache_ != nullptr && var < shared_levels_) {
+    const NodeRef shared = shared_cache_->lookup(op, f, g);
+    if (shared != kInvalid) {
+      ++stats_.cache_shared_hits;
+      cache_.insert(slot, op, f, g, shared, mgr_->op_generation());
+      return shared;
+    }
+  }
+
+  // Lines 16-19: create the operator node and queue it for expansion.
   assert(var < node_arenas_.size());
   OpArena& arena = op_arenas_[var];
   const std::uint32_t op_slot = arena.alloc();
@@ -273,8 +290,16 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
     // recursion; recompute (bounded duplication, as with unshared caches).
     ++stats_.cache_cross_ctx_misses;
   }
-  ++stats_.ops_performed;
   const unsigned var = std::min(level_of(f), level_of(g));
+  if (shared_cache_ != nullptr && var < shared_levels_) {
+    const NodeRef shared = shared_cache_->lookup(op, f, g);
+    if (shared != kInvalid) {
+      ++stats_.cache_shared_hits;
+      cache_.insert(slot, op, f, g, shared, mgr_->op_generation());
+      return shared;
+    }
+  }
+  ++stats_.ops_performed;
   const NodeRef res0 = df_evaluate(op, mgr_->cofactor(f, var, false),
                                    mgr_->cofactor(g, var, false));
   const NodeRef res1 = df_evaluate(op, mgr_->cofactor(f, var, true),
@@ -292,6 +317,9 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
     if (pass_lock) table.release();
   }
   cache_.insert(slot, op, f, g, result, mgr_->op_generation());
+  if (shared_cache_ != nullptr && var < shared_levels_) {
+    shared_cache_->insert(op, f, g, result);
+  }
   return result;
 }
 
@@ -379,6 +407,17 @@ void Worker::reduction() {
     if (pass_lock) {
       table.release();
       PBDD_TRACE_EMIT_SPAN(kLockHold, hold_t0, x, 0);
+    }
+    if (shared_cache_ != nullptr && x < shared_levels_) {
+      // Publish outside the lock bracket: the walk re-reads warm arena
+      // lines, and keeping CASes out of the pass-lock window matters more.
+      for (std::uint32_t slot = q.head; slot != kNilSlot;) {
+        const OpNode& n = arena.at(slot);
+        shared_cache_->insert(
+            n.operation(), n.f, n.g,
+            n.result.load(std::memory_order_relaxed));
+        slot = n.next;
+      }
     }
     q.clear();
   }
@@ -530,6 +569,11 @@ bool Worker::try_steal_and_run() {
 // ---------------------------------------------------------------------------
 
 void Worker::run_batch() {
+  // Oversubscription guard (Config::max_active_workers): a passive worker
+  // neither claims items nor steals — it parks on the pool's condition
+  // variable instead of turning the batch into a scheduler convoy. Its
+  // arenas stay live and it still walks every GC phase in lockstep.
+  if (id_ >= mgr_->active_workers()) return;
   BddManager::BatchState& batch = mgr_->batch();
   const std::size_t total = batch.items.size();
   BatchControl* const control = batch.control;

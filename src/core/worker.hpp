@@ -20,6 +20,7 @@
 #include "common/op.hpp"
 #include "core/compute_cache.hpp"
 #include "core/config.hpp"
+#include "core/shared_cache.hpp"
 #include "core/context.hpp"
 #include "core/node.hpp"
 #include "core/node_arena.hpp"
@@ -135,6 +136,10 @@ class Worker {
   std::vector<NodeArena> node_arenas_;  // per variable
   std::vector<OpArena> op_arenas_;      // per variable
   ComputeCache cache_;
+  /// Manager's shared completed-results cache; nullptr when disabled.
+  SharedComputeCache* shared_cache_ = nullptr;
+  /// Operations rooted at levels below this go through the shared cache.
+  unsigned shared_levels_ = 0;
 
   // Context stack (Section 3.3: doubles as the distributed work queue).
   // stack_ mutation and group access go through steal_mutex_; the current

@@ -1,0 +1,84 @@
+#include "fault/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/sha256.hpp"
+
+namespace pbdd::fault {
+
+namespace {
+
+constexpr std::string_view kMagic = "# pbdd fault report v1\n";
+constexpr std::string_view kFooterPrefix = "# sha256 ";
+
+}  // namespace
+
+std::string render_report(const ReportInfo& info,
+                          std::span<const NetFaultResult> results) {
+  std::ostringstream out;
+  out << kMagic;
+  out << "# circuit " << info.circuit << " inputs " << info.inputs
+      << " outputs " << info.outputs << " gates " << info.gates << " nets "
+      << info.total_nets << "\n";
+  if (info.reported_nets != info.total_nets) {
+    out << "# sampled " << info.reported_nets << " of " << info.total_nets
+        << " nets\n";
+  }
+  for (const NetFaultResult& r : results) {
+    out << r.net << ' ' << (r.sa0_equivalent ? '1' : '0') << ' '
+        << (r.sa1_equivalent ? '1' : '0') << '\n';
+  }
+  std::string body = std::move(out).str();
+  const std::string digest = util::Sha256::hex(body);
+  body.append(kFooterPrefix);
+  body.append(digest);
+  body.push_back('\n');
+  return body;
+}
+
+bool verify_report(std::string_view report, std::string* error) {
+  auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (report.substr(0, kMagic.size()) != kMagic) {
+    return fail("missing report magic line");
+  }
+  // The footer is the last line: "# sha256 <64 hex>\n".
+  if (report.empty() || report.back() != '\n') {
+    return fail("report does not end in newline");
+  }
+  const std::size_t last_line_start =
+      report.find_last_of('\n', report.size() - 2);
+  if (last_line_start == std::string_view::npos) {
+    return fail("missing sha256 footer");
+  }
+  const std::string_view footer =
+      report.substr(last_line_start + 1,
+                    report.size() - last_line_start - 2);
+  if (footer.substr(0, kFooterPrefix.size()) != kFooterPrefix) {
+    return fail("missing sha256 footer");
+  }
+  const std::string_view claimed = footer.substr(kFooterPrefix.size());
+  if (claimed.size() != 64) return fail("malformed sha256 footer");
+  // The hash covers every byte up to and including the newline that
+  // precedes the footer line.
+  const std::string actual =
+      util::Sha256::hex(report.substr(0, last_line_start + 1));
+  if (actual != claimed) {
+    return fail("sha256 mismatch: footer " + std::string(claimed) +
+                ", body hashes to " + actual);
+  }
+  return true;
+}
+
+bool verify_report_file(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return verify_report(std::move(buf).str(), error);
+}
+
+}  // namespace pbdd::fault

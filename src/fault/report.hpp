@@ -1,0 +1,47 @@
+// Deterministic fault-campaign reports with a SHA-256 integrity footer.
+//
+// A report is a pure function of the circuit topology and the campaign's
+// sampling cap — no timing, worker count, or table discipline leaks into
+// the bytes, so the same circuit produces the byte-identical report under
+// any engine configuration. That property is what makes the checked-in
+// goldens under tests/goldens/ meaningful: any semantic divergence in the
+// engine shows up as a byte diff. The footer hash makes each file
+// self-verifying. Format details in docs/FAULTSIM.md.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "fault/fault.hpp"
+
+namespace pbdd::fault {
+
+/// Header fields of a report. All values derive from the circuit and the
+/// sampling cap, never from the run.
+struct ReportInfo {
+  std::string circuit;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates = 0;
+  std::size_t total_nets = 0;    ///< faultable nets in the circuit
+  std::size_t reported_nets = 0; ///< rows in this report (after sampling)
+};
+
+/// Render the canonical report: header comments, one `net sa0_eq sa1_eq`
+/// row per result (0/1 flags), and the `# sha256 <hex>` footer hashing
+/// every preceding byte.
+[[nodiscard]] std::string render_report(
+    const ReportInfo& info, std::span<const NetFaultResult> results);
+
+/// Check a report's footer hash against its body. Returns false (with a
+/// diagnostic in *error if given) on a missing or mismatching footer.
+[[nodiscard]] bool verify_report(std::string_view report,
+                                 std::string* error = nullptr);
+
+/// Read a report file and verify its footer. Throws std::runtime_error if
+/// the file cannot be read; returns the verdict of verify_report.
+[[nodiscard]] bool verify_report_file(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace pbdd::fault

@@ -3,9 +3,14 @@
 // Owners that reach a stolen operator node in the reduction phase spin on the
 // thief's result (Section 3.3 of the paper). Pure spinning wastes a core that
 // could run a thief; pure yielding adds latency. We spin briefly with a
-// pause hint, then escalate to yields.
+// pause hint, escalate to yields, and finally to short sleeps: on an
+// oversubscribed host (more workers than cores) a yield loop still burns a
+// scheduler timeslice per pass, and the burned slice belongs to the very
+// thread that would have produced the awaited result. The sleep cap stays
+// small enough that a worker woken by fresh work is at most ~0.1 ms late.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -32,15 +37,20 @@ class Backoff {
     if (spins_ < kMaxSpins) {
       for (std::uint32_t i = 0; i < (1u << spins_); ++i) cpu_relax();
       ++spins_;
-    } else {
+    } else if (spins_ < kMaxSpins + kMaxYields) {
+      ++spins_;
       std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(kSleepUs));
     }
   }
 
   void reset() noexcept { spins_ = 0; }
 
  private:
-  static constexpr std::uint32_t kMaxSpins = 7;  // up to 128 pause hints
+  static constexpr std::uint32_t kMaxSpins = 7;   // up to 128 pause hints
+  static constexpr std::uint32_t kMaxYields = 16; // then ~16 reschedules
+  static constexpr std::uint32_t kSleepUs = 100;
   std::uint32_t spins_ = 0;
 };
 

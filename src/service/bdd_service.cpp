@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "circuit/ordering.hpp"
 #include "core/stats_metrics.hpp"
+#include "fault/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_points.hpp"
 #include "runtime/inject.hpp"
@@ -298,6 +300,53 @@ RequestResult BddService::execute(SessionId session,
   return submit(session, std::move(ops), options).get();
 }
 
+// ---- Fault campaigns --------------------------------------------------------
+
+std::future<RequestResult> BddService::submit_fault_campaign(
+    SessionId session, std::shared_ptr<const circuit::Circuit> circuit,
+    FaultCampaignOptions campaign, SubmitOptions options) {
+  m_submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  req.kind = Request::Kind::kFaultCampaign;
+  req.fault_circuit = std::move(circuit);
+  req.fault_options = campaign;
+  req.session = session;
+  req.priority = options.priority;
+  req.deadline = options.deadline;
+  req.enqueued = Clock::now();
+  std::future<RequestResult> fut = req.promise.get_future();
+  const auto fail = [&](std::string error) {
+    RequestResult r;
+    r.status = RequestStatus::kFailed;
+    r.error = std::move(error);
+    req.promise.set_value(std::move(r));
+    return std::move(fut);
+  };
+  if (req.fault_circuit == nullptr) return fail("null circuit");
+  if (req.fault_circuit->inputs().size() > config_.num_vars) {
+    return fail("circuit has more inputs than service variables");
+  }
+  for (std::uint32_t id = 0; id < req.fault_circuit->num_gates(); ++id) {
+    if (req.fault_circuit->gate(id).fanins.size() > 2) {
+      return fail("circuit not binarized");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return fail("unknown or closed session");
+    req.session_epoch = it->second.epoch;
+  }
+  return enqueue(std::move(req), options, std::move(fut));
+}
+
+RequestResult BddService::run_fault_campaign(
+    SessionId session, std::shared_ptr<const circuit::Circuit> circuit,
+    FaultCampaignOptions campaign, SubmitOptions options) {
+  return submit_fault_campaign(session, std::move(circuit), campaign, options)
+      .get();
+}
+
 // ---- Dispatcher -------------------------------------------------------------
 
 void BddService::dispatcher_loop() {
@@ -352,6 +401,10 @@ void BddService::process_request(Request req) {
   }
   if (req.kind == Request::Kind::kRestoreSnapshot) {
     process_restore(req, queue_ns);
+    return;
+  }
+  if (req.kind == Request::Kind::kFaultCampaign) {
+    process_fault(req, queue_ns);
     return;
   }
   if (!governor_admit(req.ops.size(), req.priority)) {
@@ -589,6 +642,127 @@ void BddService::process_restore(Request& req,
   req.promise.set_value(std::move(r));
 }
 
+void BddService::process_fault(Request& req,
+                               std::chrono::nanoseconds queue_ns) {
+  const circuit::Circuit& circuit = *req.fault_circuit;
+  // Governor admission with a topology-derived demand estimate: the golden
+  // build issues roughly one op per gate and every fault wave revisits its
+  // cone gates, so a small multiple of the gate count is the right scale.
+  const std::size_t ops_estimate = circuit.num_gates() * 4;
+  if (!governor_admit(ops_estimate, req.priority)) {
+    resolve(req, RequestStatus::kRejected, queue_ns);
+    return;
+  }
+  m_admitted_.fetch_add(1, std::memory_order_relaxed);
+  PBDD_TRACE_INSTANT(kServiceAdmit, ops_estimate, req.session);
+
+  core::BatchControl ctl;
+  if (req.deadline) ctl.arm_deadline(*req.deadline);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    inflight_session_ = req.session;
+    inflight_control_ = &ctl;
+  }
+
+  auto outcome = std::make_shared<FaultCampaignOutcome>();
+  std::chrono::nanoseconds exec_ns{0};
+  std::string error;
+  {
+    std::lock_guard<std::mutex> mlk(manager_mutex_);
+    const Clock::time_point t0 = Clock::now();
+    try {
+      // The campaign (and its golden BDD handles) lives and dies inside the
+      // manager lock — handle churn is a manager call like any other.
+      const std::vector<unsigned> order = circuit::order_dfs(circuit);
+      fault::FaultCampaign campaign(mgr_, circuit, order);
+      fault::FaultSimOptions fopts;
+      fopts.batch_faults = req.fault_options.batch_faults;
+      fopts.max_nets = req.fault_options.max_nets;
+      fopts.control = &ctl;
+      outcome->results = campaign.run(fopts);
+      outcome->stats = campaign.stats();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    exec_ns = since(t0);
+    // The campaign's node churn is not a per-op demand sample; rebase the
+    // calibration so the next batch's delta is its own.
+    last_nodes_created_ = mgr_.stats().total.nodes_created;
+    // Post-campaign budget enforcement, same as after a batch.
+    std::size_t allocated = mgr_.live_nodes();
+    std::size_t prev =
+        m_max_allocated_observed_.load(std::memory_order_relaxed);
+    while (allocated > prev &&
+           !m_max_allocated_observed_.compare_exchange_weak(
+               prev, allocated, std::memory_order_relaxed)) {
+    }
+    if (allocated > config_.live_node_budget) {
+      PBDD_TRACE_INSTANT(kGovernorGc, allocated, 0);
+      mgr_.gc();
+      m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
+      allocated = mgr_.live_nodes();
+    }
+    prev = m_max_live_observed_.load(std::memory_order_relaxed);
+    while (allocated > prev && !m_max_live_observed_.compare_exchange_weak(
+                                   prev, allocated, std::memory_order_relaxed)) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(inflight_mutex_);
+    inflight_session_ = kInvalidSession;
+    inflight_control_ = nullptr;
+  }
+
+  const fault::CampaignStats& cs = outcome->stats;
+  m_batches_executed_.fetch_add(cs.batches + cs.golden_batches,
+                                std::memory_order_relaxed);
+  m_ops_executed_.fetch_add(cs.cone_ops + cs.miter_ops,
+                            std::memory_order_relaxed);
+  m_fault_batches_.fetch_add(cs.batches + cs.golden_batches,
+                             std::memory_order_relaxed);
+  m_fault_evaluated_.fetch_add(cs.faults_evaluated, std::memory_order_relaxed);
+  m_fault_detected_.fetch_add(cs.faults_detected, std::memory_order_relaxed);
+  m_fault_equivalent_.fetch_add(cs.faults_equivalent,
+                                std::memory_order_relaxed);
+  maybe_enqueue_checkpoint();
+
+  if (!error.empty()) {
+    RequestResult r;
+    r.status = RequestStatus::kFailed;
+    r.error = std::move(error);
+    r.queue_ns = queue_ns;
+    r.exec_ns = exec_ns;
+    req.promise.set_value(std::move(r));
+    return;
+  }
+  if (cs.cancelled) {
+    m_fault_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    const bool cancelled = ctl.cancel.load(std::memory_order_acquire);
+    resolve(req,
+            cancelled ? RequestStatus::kCancelled : RequestStatus::kExpired,
+            queue_ns, exec_ns);
+    return;
+  }
+
+  fault::ReportInfo info;
+  info.circuit = circuit.name();
+  info.inputs = circuit.inputs().size();
+  info.outputs = circuit.outputs().size();
+  info.gates = circuit.num_gates();
+  info.total_nets = fault::enumerate_fault_sites(circuit).size();
+  info.reported_nets = outcome->results.size();
+  outcome->report = fault::render_report(info, outcome->results);
+
+  m_fault_completed_.fetch_add(1, std::memory_order_relaxed);
+  m_completed_.fetch_add(1, std::memory_order_relaxed);
+  RequestResult r;
+  r.status = RequestStatus::kOk;
+  r.fault = std::move(outcome);
+  r.queue_ns = queue_ns;
+  r.exec_ns = exec_ns;
+  req.promise.set_value(std::move(r));
+}
+
 void BddService::maybe_enqueue_checkpoint() {
   if (config_.checkpoint_every_batches == 0) return;
   if (m_batches_executed_.load(std::memory_order_relaxed) %
@@ -792,6 +966,15 @@ ServiceMetrics BddService::metrics() const {
       m_snapshot_nodes_restored_.load(std::memory_order_relaxed);
   m.snapshot_pause_ns_last = m_pause_last_ns_.load(std::memory_order_relaxed);
   m.snapshot_pause_ns_max = m_pause_max_ns_.load(std::memory_order_relaxed);
+  m.fault_campaigns_completed =
+      m_fault_completed_.load(std::memory_order_relaxed);
+  m.fault_campaigns_cancelled =
+      m_fault_cancelled_.load(std::memory_order_relaxed);
+  m.fault_faults_evaluated = m_fault_evaluated_.load(std::memory_order_relaxed);
+  m.fault_faults_detected = m_fault_detected_.load(std::memory_order_relaxed);
+  m.fault_faults_equivalent =
+      m_fault_equivalent_.load(std::memory_order_relaxed);
+  m.fault_batches = m_fault_batches_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(snapshot_mutex_);
     if (!pause_samples_ns_.empty()) {
@@ -855,6 +1038,12 @@ std::string BddService::metrics_json() {
   field("snapshot_pause_ns_last", m.snapshot_pause_ns_last);
   field("snapshot_pause_ns_max", m.snapshot_pause_ns_max);
   field("snapshot_pause_ns_p95", m.snapshot_pause_ns_p95);
+  field("fault_campaigns_completed", m.fault_campaigns_completed);
+  field("fault_campaigns_cancelled", m.fault_campaigns_cancelled);
+  field("fault_faults_evaluated", m.fault_faults_evaluated);
+  field("fault_faults_detected", m.fault_faults_detected);
+  field("fault_faults_equivalent", m.fault_faults_equivalent);
+  field("fault_batches", m.fault_batches);
   char buf[64];
   std::snprintf(buf, sizeof(buf), "\"demand_per_op\": %.3f, ",
                 m.demand_per_op);
@@ -938,6 +1127,24 @@ std::string BddService::metrics_text() {
   reg.counter("pbdd_service_snapshot_nodes_restored_total",
               "Nodes streamed in by snapshot restores")
       .add(m.snapshot_nodes_restored);
+
+  const char* kCampHelp = "Fault campaigns by outcome";
+  reg.counter("pbdd_service_fault_campaigns_total", kCampHelp,
+              {{"outcome", "completed"}})
+      .add(m.fault_campaigns_completed);
+  reg.counter("pbdd_service_fault_campaigns_total", kCampHelp,
+              {{"outcome", "cancelled"}})
+      .add(m.fault_campaigns_cancelled);
+  const char* kFaultHelp = "Stuck-at faults by verdict";
+  reg.counter("pbdd_service_faults_total", kFaultHelp,
+              {{"verdict", "detected"}})
+      .add(m.fault_faults_detected);
+  reg.counter("pbdd_service_faults_total", kFaultHelp,
+              {{"verdict", "equivalent"}})
+      .add(m.fault_faults_equivalent);
+  reg.counter("pbdd_service_fault_batches_total",
+              "Engine batches issued by fault campaigns")
+      .add(m.fault_batches);
 
   const char* kPauseHelp = "Checkpoint stop-the-world pause (ns)";
   reg.gauge("pbdd_service_checkpoint_pause_ns", kPauseHelp,

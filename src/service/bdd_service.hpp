@@ -40,6 +40,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -47,7 +48,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "circuit/netlist.hpp"
 #include "core/bdd_manager.hpp"
+#include "fault/fault.hpp"
 
 namespace pbdd::service {
 
@@ -117,10 +120,27 @@ struct SubmitOptions {
   bool register_roots = true;
 };
 
+/// Client-facing knobs of a fault-campaign request (the service supplies
+/// the cancellation control and ordering itself).
+struct FaultCampaignOptions {
+  std::size_t batch_faults = 32;  ///< fault::FaultSimOptions::batch_faults
+  std::size_t max_nets = 0;       ///< fault::FaultSimOptions::max_nets
+};
+
+/// Result payload of a completed fault campaign: verdicts, engine-side
+/// stats, and the canonical SHA-sealed report (docs/FAULTSIM.md).
+struct FaultCampaignOutcome {
+  std::vector<fault::NetFaultResult> results;
+  fault::CampaignStats stats;
+  std::string report;
+};
+
 struct RequestResult {
   RequestStatus status = RequestStatus::kFailed;
   /// One handle per operation, in request order; valid only for kOk.
   std::vector<core::Bdd> roots;
+  /// Campaign payload; set only for kOk fault-campaign requests.
+  std::shared_ptr<const FaultCampaignOutcome> fault;
   std::chrono::nanoseconds queue_ns{0};  ///< admission to dispatch
   std::chrono::nanoseconds exec_ns{0};   ///< batch execution
   /// Backoff hint accompanying kRejected / kShed / kQuotaExceeded.
@@ -161,6 +181,14 @@ struct ServiceMetrics {
   std::uint64_t snapshot_pause_ns_last = 0;
   std::uint64_t snapshot_pause_ns_max = 0;
   std::uint64_t snapshot_pause_ns_p95 = 0;
+
+  // Fault-campaign counters (src/fault/ requests).
+  std::uint64_t fault_campaigns_completed = 0;
+  std::uint64_t fault_campaigns_cancelled = 0;
+  std::uint64_t fault_faults_evaluated = 0;
+  std::uint64_t fault_faults_detected = 0;
+  std::uint64_t fault_faults_equivalent = 0;
+  std::uint64_t fault_batches = 0;  ///< engine batches issued by campaigns
 };
 
 class BddService {
@@ -208,6 +236,21 @@ class BddService {
                                       std::vector<core::BatchOp> ops,
                                       SubmitOptions options = {});
 
+  // ---- Fault campaigns ------------------------------------------------------
+  /// Queue a stuck-at fault campaign over `circuit` (must be binarized;
+  /// shared_ptr because the request can outlive the caller's scope in the
+  /// queue). Rides the admission queue like a batch: priority-ordered,
+  /// deadline- and cancel_session-aware (the campaign stops at the next
+  /// wave checkpoint), governed by the memory budget. The future's
+  /// RequestResult carries a FaultCampaignOutcome on kOk.
+  [[nodiscard]] std::future<RequestResult> submit_fault_campaign(
+      SessionId session, std::shared_ptr<const circuit::Circuit> circuit,
+      FaultCampaignOptions campaign = {}, SubmitOptions options = {});
+  /// submit_fault_campaign() + wait.
+  [[nodiscard]] RequestResult run_fault_campaign(
+      SessionId session, std::shared_ptr<const circuit::Circuit> circuit,
+      FaultCampaignOptions campaign = {}, SubmitOptions options = {});
+
   // ---- Checkpoint / restore -------------------------------------------------
   /// Queue a reachable-only snapshot of the session's registered roots to
   /// `path` (src/snapshot/ export mode). Rides the admission queue, so it
@@ -239,8 +282,16 @@ class BddService {
 
  private:
   struct Request {
-    enum class Kind : std::uint8_t { kBatch, kSaveSnapshot, kRestoreSnapshot };
+    enum class Kind : std::uint8_t {
+      kBatch,
+      kSaveSnapshot,
+      kRestoreSnapshot,
+      kFaultCampaign,
+    };
     Kind kind = Kind::kBatch;
+    /// Fault-campaign payload (kFaultCampaign kind only).
+    std::shared_ptr<const circuit::Circuit> fault_circuit;
+    FaultCampaignOptions fault_options;
     /// Snapshot file path (save/restore kinds). A save with
     /// session == kInvalidSession is the internal periodic checkpoint and
     /// covers every session's roots.
@@ -267,6 +318,7 @@ class BddService {
   void process_request(Request req);
   void process_save(Request& req, std::chrono::nanoseconds queue_ns);
   void process_restore(Request& req, std::chrono::nanoseconds queue_ns);
+  void process_fault(Request& req, std::chrono::nanoseconds queue_ns);
   /// Shared queue push with backpressure (the tail of submit()).
   [[nodiscard]] std::future<RequestResult> enqueue(
       Request req, const SubmitOptions& options,
@@ -362,6 +414,14 @@ class BddService {
   std::atomic<std::uint64_t> m_snapshot_nodes_restored_{0};
   std::atomic<std::uint64_t> m_pause_last_ns_{0};
   std::atomic<std::uint64_t> m_pause_max_ns_{0};
+
+  // Fault-campaign metrics.
+  std::atomic<std::uint64_t> m_fault_completed_{0};
+  std::atomic<std::uint64_t> m_fault_cancelled_{0};
+  std::atomic<std::uint64_t> m_fault_evaluated_{0};
+  std::atomic<std::uint64_t> m_fault_detected_{0};
+  std::atomic<std::uint64_t> m_fault_equivalent_{0};
+  std::atomic<std::uint64_t> m_fault_batches_{0};
   mutable std::mutex snapshot_mutex_;
   std::vector<std::uint64_t> pause_samples_ns_;  ///< bounded ring
   std::size_t pause_next_ = 0;

@@ -189,6 +189,41 @@ TEST(BenchIo, RejectsUnsupportedSequentialCyclesAndUndefined) {
                std::runtime_error);
 }
 
+TEST(BenchIo, RejectsTrailingGarbageAfterCloseParen) {
+  // Ignoring trailing text would silently accept a different circuit than
+  // the file says (e.g. a mangled merge leaving half a line behind).
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a) junk\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      circuit::parse_bench_string("INPUT(a)\nOUTPUT(y) = AND(a, a)\n"),
+      std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string(
+                   "INPUT(a)\nINPUT(b)\ny = AND(a, b) extra\n"),
+               std::runtime_error);
+  // A '#' comment after the ')' is still fine.
+  const circuit::Circuit ok = circuit::parse_bench_string(
+      "INPUT(a)  # primary\nOUTPUT(y)\ny = NOT(a)  # inverter\n");
+  EXPECT_EQ(ok.simulate({false}), std::vector<bool>{true});
+}
+
+TEST(BenchIo, RejectsParenthesesInSignalNames) {
+  // A paren inside a name means the line's paren structure was misread
+  // (nested or unclosed call); the error must name the token instead of
+  // surfacing later as a baffling undefined-signal failure.
+  EXPECT_THROW(
+      circuit::parse_bench_string("INPUT(a)\nINPUT(b)\ny = AND(a(, b)\n"),
+      std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string(
+                   "INPUT(a)\nINPUT(b)\ny = AND(NOT(a), b)\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a(\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a)\nx) = NOT(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit::parse_bench_string("INPUT(a)\nq = DFF(d(\n"),
+               std::runtime_error);
+}
+
 TEST(BenchIo, ParsesDffLatches) {
   // A 2-bit shift register: q1 <- q0 <- in, output taps q1.
   const char* text = R"(

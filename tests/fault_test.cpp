@@ -1,0 +1,301 @@
+// Fault-simulation engine (src/fault/) against the exhaustive gate-level
+// stuck-at oracle, plus the report format's determinism and SHA-256 sealing.
+//
+// The load-bearing claims: (1) the campaign's per-net verdicts match
+// brute-force simulation over every input assignment, for every worker
+// count and unique-table discipline; (2) the rendered report is a pure
+// function of circuit + sampling cap — byte-identical no matter how the
+// campaign was parallelized; (3) a report that was tampered with fails
+// verification.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+#include "fault/fault.hpp"
+#include "fault/report.hpp"
+#include "oracle.hpp"
+
+namespace pbdd {
+namespace {
+
+struct EngineConfig {
+  unsigned workers;
+  core::TableDiscipline discipline;
+};
+
+std::vector<EngineConfig> engine_matrix() {
+  std::vector<EngineConfig> m;
+  for (const unsigned w : {1u, 2u, 4u}) {
+    for (const core::TableDiscipline d :
+         {core::TableDiscipline::kPassLock, core::TableDiscipline::kSharded,
+          core::TableDiscipline::kLockFree}) {
+      m.push_back({w, d});
+    }
+  }
+  return m;
+}
+
+core::Config make_config(const EngineConfig& ec) {
+  core::Config config;
+  config.workers = ec.workers;
+  config.table_discipline = ec.discipline;
+  return config;
+}
+
+std::vector<fault::NetFaultResult> run_campaign(
+    const circuit::Circuit& bin, const EngineConfig& ec,
+    const fault::FaultSimOptions& fopts = {},
+    fault::CampaignStats* stats_out = nullptr) {
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()),
+                       make_config(ec));
+  fault::FaultCampaign campaign(mgr, bin, circuit::order_dfs(bin));
+  std::vector<fault::NetFaultResult> results = campaign.run(fopts);
+  if (stats_out != nullptr) *stats_out = campaign.stats();
+  return results;
+}
+
+void expect_matches_oracle(const circuit::Circuit& bin,
+                           const EngineConfig& ec) {
+  SCOPED_TRACE(testing::Message()
+               << bin.name() << " workers=" << ec.workers << " discipline="
+               << static_cast<int>(ec.discipline));
+  const std::vector<fault::NetFaultResult> results = run_campaign(bin, ec);
+  ASSERT_EQ(results.size(), fault::enumerate_fault_sites(bin).size());
+  for (const fault::NetFaultResult& r : results) {
+    SCOPED_TRACE("net " + r.net);
+    EXPECT_EQ(r.sa0_equivalent, !test::fault_detectable(bin, r.gate, false));
+    EXPECT_EQ(r.sa1_equivalent, !test::fault_detectable(bin, r.gate, true));
+  }
+}
+
+std::string render(const circuit::Circuit& bin,
+                   const std::vector<fault::NetFaultResult>& results) {
+  fault::ReportInfo info;
+  info.circuit = bin.name();
+  info.inputs = bin.inputs().size();
+  info.outputs = bin.outputs().size();
+  info.gates = bin.num_gates();
+  info.total_nets = fault::enumerate_fault_sites(bin).size();
+  info.reported_nets = results.size();
+  return fault::render_report(info, results);
+}
+
+TEST(FaultOracle, C17AllConfigurations) {
+  const circuit::Circuit bin = circuit::c17().binarized();
+  for (const EngineConfig& ec : engine_matrix()) {
+    expect_matches_oracle(bin, ec);
+  }
+}
+
+TEST(FaultOracle, ParityTree) {
+  // XOR trees are fully testable and exercise deep shared cones.
+  const circuit::Circuit bin = circuit::parity_tree(8).binarized();
+  for (const EngineConfig& ec : engine_matrix()) {
+    expect_matches_oracle(bin, ec);
+  }
+}
+
+TEST(FaultOracle, RandomCircuits) {
+  // Random netlists are where redundant (equivalent) faults actually show
+  // up; sweep several seeds on the full worker/discipline matrix.
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const circuit::Circuit bin =
+        circuit::random_circuit(6, 40, seed).binarized();
+    for (const EngineConfig& ec : engine_matrix()) {
+      expect_matches_oracle(bin, ec);
+    }
+  }
+}
+
+TEST(FaultOracle, RedundantNetIsEquivalent) {
+  // Hand-built redundancy: y = a AND (a OR b). The inner OR stuck at 1
+  // leaves y = a unchanged, so sa1 on that net must be equivalent while
+  // both polarities on `a` are detectable.
+  circuit::Circuit c("redundant");
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b");
+  const auto o = c.add_gate(circuit::GateType::Or, {a, b}, "inner");
+  const auto y = c.add_gate(circuit::GateType::And, {a, o}, "y");
+  c.mark_output(y, "y");
+  const std::vector<fault::NetFaultResult> results =
+      run_campaign(c, {2, core::TableDiscipline::kPassLock});
+  ASSERT_EQ(results.size(), 4u);
+  for (const fault::NetFaultResult& r : results) {
+    if (r.net == "inner") {
+      EXPECT_FALSE(r.sa0_equivalent);
+      EXPECT_TRUE(r.sa1_equivalent);
+    }
+    if (r.net == "a") {
+      EXPECT_FALSE(r.sa0_equivalent);
+      EXPECT_FALSE(r.sa1_equivalent);
+    }
+    EXPECT_EQ(r.sa0_equivalent, !test::fault_detectable(c, r.gate, false));
+    EXPECT_EQ(r.sa1_equivalent, !test::fault_detectable(c, r.gate, true));
+  }
+}
+
+TEST(FaultReport, ByteIdenticalAcrossWorkersAndDisciplines) {
+  const circuit::Circuit bin =
+      circuit::carry_select_adder(8).binarized();
+  std::string reference;
+  for (const EngineConfig& ec : engine_matrix()) {
+    fault::FaultSimOptions fopts;
+    fopts.batch_faults = ec.workers * 8;  // batch width must not leak either
+    const std::string report =
+        render(bin, run_campaign(bin, ec, fopts));
+    std::string error;
+    EXPECT_TRUE(fault::verify_report(report, &error)) << error;
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference)
+          << "workers=" << ec.workers
+          << " discipline=" << static_cast<int>(ec.discipline);
+    }
+  }
+}
+
+TEST(FaultReport, SamplingIsDeterministicPrefixFree) {
+  // max_nets stride-samples the enumeration: same cap -> same sites, and
+  // every sampled site's verdict matches the full campaign's.
+  const circuit::Circuit bin = circuit::c17().binarized();
+  const EngineConfig ec{1, core::TableDiscipline::kPassLock};
+  fault::FaultSimOptions capped;
+  capped.max_nets = 4;
+  const std::vector<fault::NetFaultResult> sampled =
+      run_campaign(bin, ec, capped);
+  const std::vector<fault::NetFaultResult> again =
+      run_campaign(bin, ec, capped);
+  const std::vector<fault::NetFaultResult> full = run_campaign(bin, ec);
+  ASSERT_EQ(sampled.size(), 4u);
+  ASSERT_EQ(again.size(), 4u);
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    EXPECT_EQ(sampled[i].net, again[i].net);
+    bool found = false;
+    for (const fault::NetFaultResult& f : full) {
+      if (f.gate != sampled[i].gate) continue;
+      found = true;
+      EXPECT_EQ(f.sa0_equivalent, sampled[i].sa0_equivalent);
+      EXPECT_EQ(f.sa1_equivalent, sampled[i].sa1_equivalent);
+    }
+    EXPECT_TRUE(found) << sampled[i].net;
+  }
+  // The sampled header must disclose the cap.
+  const std::string report = render(bin, sampled);
+  EXPECT_NE(report.find("# sampled 4 of "), std::string::npos);
+}
+
+TEST(FaultReport, TamperingIsDetected) {
+  const circuit::Circuit bin = circuit::c17().binarized();
+  const std::string report =
+      render(bin,
+             run_campaign(bin, {1, core::TableDiscipline::kPassLock}));
+  std::string error;
+  ASSERT_TRUE(fault::verify_report(report, &error)) << error;
+
+  // Flip one verdict bit in the body.
+  std::string flipped = report;
+  const std::size_t pos = flipped.find(" 0 0\n");
+  const std::size_t alt = flipped.find(" 0 1\n");
+  const std::size_t hit = pos != std::string::npos ? pos : alt;
+  ASSERT_NE(hit, std::string::npos);
+  flipped[hit + 1] = flipped[hit + 1] == '0' ? '1' : '0';
+  EXPECT_FALSE(fault::verify_report(flipped, &error));
+
+  // Truncate the footer entirely.
+  const std::string truncated =
+      report.substr(0, report.rfind("# sha256 "));
+  EXPECT_FALSE(fault::verify_report(truncated, &error));
+
+  // Corrupt the digest itself.
+  std::string bad_digest = report;
+  const std::size_t dpos = bad_digest.rfind("# sha256 ") + 9;
+  bad_digest[dpos] = bad_digest[dpos] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(fault::verify_report(bad_digest, &error));
+
+  // Missing magic line.
+  EXPECT_FALSE(fault::verify_report(report.substr(1), &error));
+}
+
+TEST(FaultCampaign, DifferenceFunctionMatchesOracle) {
+  const circuit::Circuit bin = circuit::c17().binarized();
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), {});
+  fault::FaultCampaign campaign(mgr, bin, circuit::order_dfs(bin));
+  for (const fault::FaultSite& site : fault::enumerate_fault_sites(bin)) {
+    for (const bool stuck_one : {false, true}) {
+      const core::Bdd diff = campaign.difference_function(
+          site.gate,
+          stuck_one ? fault::StuckAt::kOne : fault::StuckAt::kZero);
+      const bool detectable = mgr.sat_count(diff) != 0.0;
+      EXPECT_EQ(detectable,
+                test::fault_detectable(bin, site.gate, stuck_one))
+          << site.net << " sa" << (stuck_one ? 1 : 0);
+    }
+  }
+}
+
+TEST(FaultCampaign, CancellationReturnsResolvedPrefix) {
+  const circuit::Circuit bin =
+      circuit::carry_select_adder(8).binarized();
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), {});
+  fault::FaultCampaign campaign(mgr, bin, circuit::order_dfs(bin));
+  core::BatchControl control;
+  fault::FaultSimOptions fopts;
+  fopts.batch_faults = 8;  // several waves
+  fopts.control = &control;
+  fopts.wave_callback = [&control](std::size_t wave) {
+    if (wave == 1) control.cancel.store(true);
+  };
+  const std::vector<fault::NetFaultResult> results = campaign.run(fopts);
+  const std::size_t total = fault::enumerate_fault_sites(bin).size();
+  EXPECT_TRUE(campaign.stats().cancelled);
+  EXPECT_LT(results.size(), total);
+  EXPECT_GT(results.size(), 0u);
+  // The resolved prefix must still be correct.
+  for (const fault::NetFaultResult& r : results) {
+    EXPECT_EQ(r.sa0_equivalent, !test::fault_detectable(bin, r.gate, false));
+    EXPECT_EQ(r.sa1_equivalent, !test::fault_detectable(bin, r.gate, true));
+  }
+}
+
+TEST(FaultCampaign, StatsAccounting) {
+  const circuit::Circuit bin = circuit::c17().binarized();
+  fault::CampaignStats stats;
+  const std::vector<fault::NetFaultResult> results =
+      run_campaign(bin, {1, core::TableDiscipline::kPassLock}, {}, &stats);
+  EXPECT_EQ(stats.nets, results.size());
+  EXPECT_EQ(stats.nets_resolved, results.size());
+  EXPECT_EQ(stats.faults_evaluated, 2 * results.size());
+  EXPECT_EQ(stats.faults_detected + stats.faults_equivalent,
+            stats.faults_evaluated);
+  EXPECT_GT(stats.waves, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.golden_batches, 0u);
+  EXPECT_FALSE(stats.cancelled);
+  // c17 is the textbook fully-testable circuit.
+  EXPECT_EQ(stats.faults_equivalent, 0u);
+}
+
+TEST(FaultCampaign, GoldenAccessorsAndReuse) {
+  const circuit::Circuit bin = circuit::c17().binarized();
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), {});
+  fault::FaultCampaign campaign(mgr, bin, circuit::order_dfs(bin));
+  campaign.build_golden();
+  const std::uint64_t golden_batches = campaign.stats().golden_batches;
+  EXPECT_GT(golden_batches, 0u);
+  EXPECT_EQ(campaign.golden_values().size(), bin.num_gates());
+  EXPECT_EQ(campaign.golden_outputs().size(), bin.outputs().size());
+  campaign.build_golden();  // idempotent: no rebuild
+  EXPECT_EQ(campaign.stats().golden_batches, golden_batches);
+  // run() reuses the same goldens rather than rebuilding.
+  (void)campaign.run({});
+  EXPECT_EQ(campaign.stats().golden_batches, golden_batches);
+}
+
+}  // namespace
+}  // namespace pbdd

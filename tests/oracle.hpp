@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "circuit/netlist.hpp"
 #include "common/op.hpp"
 #include "util/prng.hpp"
 
@@ -121,5 +123,59 @@ struct ExprProgram {
     return {env.begin() + num_vars, env.end()};
   }
 };
+
+/// Gate-level simulation with one gate forced to a constant — the faulty
+/// half of the stuck-at oracle. Identical to Circuit::simulate except that
+/// `gate`'s computed (or input) value is replaced by `stuck_value` before
+/// any fanout consumes it.
+inline std::vector<bool> simulate_stuck_at(const circuit::Circuit& c,
+                                           const std::vector<bool>& inputs,
+                                           std::uint32_t gate,
+                                           bool stuck_value) {
+  if (gate >= c.num_gates()) {
+    throw std::invalid_argument("simulate_stuck_at: gate out of range");
+  }
+  std::vector<bool> value(c.num_gates(), false);
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    value[c.inputs()[i]] = inputs[i];
+  }
+  std::vector<bool> fanin_values;
+  for (std::uint32_t id = 0; id < c.num_gates(); ++id) {
+    const circuit::Gate& g = c.gate(id);
+    if (g.type != circuit::GateType::Input) {
+      fanin_values.clear();
+      for (const std::uint32_t f : g.fanins) {
+        fanin_values.push_back(value[f]);
+      }
+      value[id] = circuit::eval_gate(g.type, fanin_values);
+    }
+    if (id == gate) value[id] = stuck_value;
+  }
+  std::vector<bool> out;
+  out.reserve(c.outputs().size());
+  for (const std::uint32_t o : c.outputs()) out.push_back(value[o]);
+  return out;
+}
+
+/// Exhaustive stuck-at observability oracle: ground truth for src/fault/.
+/// A fault is *detectable* iff some input assignment drives at least one
+/// primary output to a value different from the fault-free circuit.
+/// Exponential in the input count — keep oracle circuits small (the fault
+/// tests stay at or below 8 inputs).
+inline bool fault_detectable(const circuit::Circuit& c, std::uint32_t gate,
+                             bool stuck_value) {
+  const unsigned n = static_cast<unsigned>(c.inputs().size());
+  if (n > 20) {
+    throw std::invalid_argument("fault_detectable: too many inputs");
+  }
+  std::vector<bool> inputs(n, false);
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a) {
+    for (unsigned v = 0; v < n; ++v) inputs[v] = (a >> v) & 1;
+    if (c.simulate(inputs) != simulate_stuck_at(c, inputs, gate, stuck_value)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace pbdd::test

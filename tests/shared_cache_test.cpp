@@ -1,0 +1,190 @@
+// Shared completed-results cache: key semantics, lossy publication, the
+// seqlock torn-read guarantee under concurrent hammering, GC partition
+// flushes, and the manager-level oversubscription guard that decides
+// whether the cache is engaged at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+#include "core/shared_cache.hpp"
+
+namespace pbdd {
+namespace {
+
+using namespace pbdd::core;
+
+NodeRef nref(unsigned worker, unsigned var, std::uint32_t slot) {
+  return make_node_ref(worker, var, slot);
+}
+
+TEST(SharedComputeCache, DisabledUntilInit) {
+  SharedComputeCache cache;
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.entry_count(), 0u);
+  cache.init(6);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.entry_count(), 64u);
+  EXPECT_EQ(cache.bytes(), 64u * 32u);
+}
+
+TEST(SharedComputeCache, MissThenHitRoundTrip) {
+  SharedComputeCache cache;
+  cache.init(8);
+  const NodeRef f = nref(0, 3, 7);
+  const NodeRef g = nref(1, 5, 9);
+  EXPECT_EQ(cache.lookup(Op::And, f, g), kInvalid);
+  const NodeRef result = nref(0, 2, 11);
+  cache.insert(Op::And, f, g, result);
+  EXPECT_EQ(cache.lookup(Op::And, f, g), result);
+}
+
+TEST(SharedComputeCache, KeyIncludesOperatorAndOperandOrder) {
+  SharedComputeCache cache;
+  cache.init(8);
+  const NodeRef f = nref(0, 3, 7);
+  const NodeRef g = nref(1, 5, 9);
+  cache.insert(Op::And, f, g, kOne);
+  EXPECT_EQ(cache.lookup(Op::Or, f, g), kInvalid);
+  EXPECT_EQ(cache.lookup(Op::Xor, f, g), kInvalid);
+  // A different-slot key misses outright; a same-slot different key is
+  // rejected by the stored f/g comparison even when the op tag matches.
+  EXPECT_EQ(cache.lookup(Op::And, g, f), kInvalid);
+}
+
+TEST(SharedComputeCache, RepublishOverwritesLossily) {
+  SharedComputeCache cache;
+  cache.init(4);
+  const NodeRef f = nref(0, 1, 1);
+  const NodeRef g = nref(0, 1, 2);
+  cache.insert(Op::And, f, g, kOne);
+  // Same key again: a fresh claim bumps the sequence and overwrites.
+  cache.insert(Op::And, f, g, kZero);
+  EXPECT_EQ(cache.lookup(Op::And, f, g), kZero);
+}
+
+TEST(SharedComputeCache, FlushPartitionInvalidatesExactlyItsRange) {
+  SharedComputeCache cache;
+  cache.init(10);
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    cache.insert(Op::Or, nref(0, 1, i), nref(0, 2, i), nref(0, 0, i));
+  }
+  std::size_t before = 0;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    if (cache.lookup(Op::Or, nref(0, 1, i), nref(0, 2, i)) != kInvalid) {
+      ++before;
+    }
+  }
+  ASSERT_GT(before, 0u);
+  for (unsigned part = 0; part < 4; ++part) cache.flush_partition(part, 4);
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(cache.lookup(Op::Or, nref(0, 1, i), nref(0, 2, i)), kInvalid);
+  }
+}
+
+// The anti-tearing property the seqlock protocol must provide: every hit
+// returns the result that was published *with* the matching key, never a
+// mix of two publications that raced on the same slot. Each (f, g, op) key
+// deterministically encodes its own correct result, so any torn read is
+// detected immediately.
+TEST(SharedComputeCache, ConcurrentHammerNeverTearsAnEntry) {
+  SharedComputeCache cache;
+  cache.init(6);  // tiny: 64 entries maximizes same-slot collisions
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kKeys = 512;
+  constexpr int kRounds = 2000;
+  auto key_f = [](std::uint32_t k) { return nref(0, k % 37, k); };
+  auto key_g = [](std::uint32_t k) { return nref(1, k % 41, k * 3 + 1); };
+  auto key_result = [](std::uint32_t k) { return nref(2, k % 29, k ^ 0x5a5a); };
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint32_t rng = 0x9e3779b9u * (t + 1);
+      for (int round = 0; round < kRounds && !failed.load(); ++round) {
+        rng = rng * 1664525u + 1013904223u;
+        const std::uint32_t k = rng % kKeys;
+        if ((rng >> 16) & 1) {
+          cache.insert(Op::Xor, key_f(k), key_g(k), key_result(k));
+        } else {
+          const NodeRef hit = cache.lookup(Op::Xor, key_f(k), key_g(k));
+          if (hit != kInvalid && hit != key_result(k)) failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load()) << "lookup returned a torn or foreign result";
+}
+
+// Manager level: the oversubscription guard. With max_active_workers = 1 a
+// four-worker manager must compute bit-identical functions while only
+// worker 0 ever claims a top-level operation.
+TEST(SharedComputeCache, MaxActiveWorkersCapsParticipationNotResults) {
+  auto build = [](unsigned workers, unsigned cap) {
+    Config config;
+    config.workers = workers;
+    config.max_active_workers = cap;
+    config.gc_min_nodes = 1u << 10;
+    BddManager mgr(8, config);
+    std::vector<Bdd> vars;
+    for (unsigned v = 0; v < 8; ++v) vars.push_back(mgr.var(v));
+    Bdd acc = mgr.one();
+    for (unsigned v = 0; v + 1 < 8; ++v) {
+      acc = mgr.apply(Op::And, acc, mgr.apply(Op::Xor, vars[v], vars[v + 1]));
+    }
+    const double count = mgr.sat_count(acc);
+    const ManagerStats stats = mgr.stats();
+    std::uint64_t passive_top_ops = 0;
+    const unsigned active = cap == 0 ? workers : cap;
+    for (unsigned id = active; id < workers; ++id) {
+      passive_top_ops += stats.per_worker[id].top_ops;
+    }
+    return std::pair<double, std::uint64_t>(count, passive_top_ops);
+  };
+  const auto [uncapped_count, dummy] = build(4, 0);
+  const auto [capped_count, passive_ops] = build(4, 1);
+  EXPECT_EQ(uncapped_count, capped_count);
+  EXPECT_EQ(passive_ops, 0u) << "a passive worker claimed a batch item";
+}
+
+// With a single active worker the shared cache must stay disengaged (the
+// private cache alone is strictly cheaper), and with several active workers
+// an oversubscribed build must still agree with the 1-worker oracle.
+TEST(SharedComputeCache, SharedHitsOnlyWhenMultipleWorkersActive) {
+  auto run = [](unsigned workers, unsigned cap) {
+    Config config;
+    config.workers = workers;
+    config.max_active_workers = cap;
+    config.shared_cache_log2 = 12;
+    config.shared_cache_levels = 0;  // every level: maximize traffic
+    config.eval_threshold = 1u << 6;
+    BddManager mgr(12, config);
+    std::vector<Bdd> vars;
+    for (unsigned v = 0; v < 12; ++v) vars.push_back(mgr.var(v));
+    std::vector<BatchOp> batch;
+    for (unsigned v = 0; v < 12; ++v) {
+      batch.push_back({Op::Xor, vars[v], vars[(v * 5 + 3) % 12]});
+    }
+    std::vector<Bdd> firsts = mgr.apply_batch(batch);
+    Bdd acc = mgr.zero();
+    for (Bdd& b : firsts) acc = mgr.apply(Op::Or, acc, b);
+    const double count = mgr.sat_count(acc);
+    return std::pair<double, std::uint64_t>(
+        count, mgr.stats().total.cache_shared_hits);
+  };
+  const auto [capped_count, capped_hits] = run(4, 1);
+  EXPECT_EQ(capped_hits, 0u)
+      << "shared cache engaged with a single active worker";
+  const auto [full_count, full_hits] = run(4, 0);
+  EXPECT_EQ(full_count, capped_count);
+  (void)full_hits;  // hit count is timing-dependent; correctness is not
+}
+
+}  // namespace
+}  // namespace pbdd

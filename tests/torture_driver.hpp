@@ -13,7 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
 #include "core/bdd_manager.hpp"
+#include "fault/fault.hpp"
 #include "oracle.hpp"
 #include "runtime/torture.hpp"
 #include "snapshot/snapshot.hpp"
@@ -213,6 +216,87 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
   out.event_log = sched.dump_log();
   out.stall_breaks = sched.stall_breaks();
   out.events = sched.event_count();
+  return out;
+}
+
+struct FaultTortureResult {
+  std::string error;  ///< empty on success
+  std::uint64_t waves = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t gc_interleaves = 0;        ///< collections forced mid-campaign
+  std::uint64_t snapshot_interleaves = 0;  ///< checkpoint writes mid-campaign
+};
+
+/// Fault-campaign torture run: a full stuck-at campaign over a seeded
+/// 6-input random circuit, with stop-the-world collections and snapshot
+/// writes injected *between waves* via the campaign's wave callback — so
+/// the shared golden BDDs, the wave batching, and the GC/checkpoint
+/// machinery race under the active torture schedule. Every verdict is then
+/// checked against the exhaustive simulate-all-assignments oracle. The
+/// caller holds the TortureGuard.
+inline FaultTortureResult run_fault_torture(const core::Config& config,
+                                            std::uint64_t program_seed,
+                                            std::size_t batch_faults,
+                                            int gc_every,
+                                            int snapshot_every) {
+  FaultTortureResult out;
+  const circuit::Circuit bin =
+      circuit::random_circuit(6, 48, program_seed).binarized();
+  const std::vector<unsigned> order = circuit::order_dfs(bin);
+  const std::string snap_path =
+      "/tmp/pbdd_fault_torture_" + std::to_string(::getpid()) + "_" +
+      std::to_string(program_seed) + ".snap";
+
+  core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+  {
+    fault::FaultCampaign campaign(mgr, bin, order);
+    fault::FaultSimOptions fopts;
+    fopts.batch_faults = batch_faults;
+    fopts.wave_callback = [&](std::size_t wave) {
+      if (gc_every > 0 && (wave + 1) % static_cast<std::size_t>(gc_every) == 0) {
+        mgr.gc();  // collection races the campaign's retained goldens
+        ++out.gc_interleaves;
+      }
+      if (snapshot_every > 0 &&
+          (wave + 1) % static_cast<std::size_t>(snapshot_every) == 0) {
+        // Checkpoint write mid-campaign: export the golden outputs while
+        // fault waves are in flight, as the service's periodic checkpoints
+        // do around a live campaign.
+        std::vector<snapshot::NamedRoot> named;
+        const std::vector<core::Bdd> outs = campaign.golden_outputs();
+        for (std::size_t k = 0; k < outs.size(); ++k) {
+          named.push_back({std::to_string(k), outs[k]});
+        }
+        snapshot::SaveOptions sopts;
+        sopts.mode = snapshot::SaveMode::kExportRoots;
+        snapshot::save(mgr, snap_path, named, sopts);
+        std::remove(snap_path.c_str());
+        ++out.snapshot_interleaves;
+      }
+    };
+
+    const std::vector<fault::NetFaultResult> results = campaign.run(fopts);
+    out.waves = campaign.stats().waves;
+    out.faults = campaign.stats().faults_evaluated;
+
+    const std::size_t expected = fault::enumerate_fault_sites(bin).size();
+    if (results.size() != expected) {
+      std::ostringstream msg;
+      msg << "campaign resolved " << results.size() << " nets, expected "
+          << expected;
+      out.error = msg.str();
+      return out;
+    }
+    for (const fault::NetFaultResult& r : results) {
+      const bool want_sa0 = !fault_detectable(bin, r.gate, false);
+      const bool want_sa1 = !fault_detectable(bin, r.gate, true);
+      if (r.sa0_equivalent != want_sa0 || r.sa1_equivalent != want_sa1) {
+        out.error = "net " + r.net + ": verdict disagrees with the oracle";
+        return out;
+      }
+    }
+  }
+  out.error = check_store_invariants(mgr);
   return out;
 }
 

@@ -30,6 +30,15 @@ struct ReplaySpec {
   int snapshot_every = 0;  // >0: checkpoint/restore cycle every N steps
   bool expect_deterministic = false;  // run twice, require identical logs
 
+  // fault_campaign=1 switches to the stuck-at fault-campaign workload
+  // (torture_driver.hpp run_fault_torture): a full campaign over a seeded
+  // random circuit with collections / checkpoint writes forced between
+  // waves, every verdict checked against the exhaustive oracle.
+  bool fault_campaign = false;
+  std::size_t fault_batch = 8;    // faults rebuilt concurrently per wave
+  int fault_gc_every = 2;         // force mgr.gc() every N waves (0 = off)
+  int fault_snapshot_every = 3;   // checkpoint write every N waves (0 = off)
+
   // service_sessions > 0 switches from the single-manager workload to the
   // multi-session BddService workload (service_driver.hpp): N client
   // threads against one service, canary-validated, store invariants and
@@ -113,6 +122,16 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
   else if (key == "expect_deterministic") {
     spec.expect_deterministic = u64() != 0;
   }
+  else if (key == "fault_campaign") spec.fault_campaign = u64() != 0;
+  else if (key == "fault_batch") {
+    spec.fault_batch = static_cast<std::size_t>(u64());
+  }
+  else if (key == "fault_gc_every") {
+    spec.fault_gc_every = static_cast<int>(u64());
+  }
+  else if (key == "fault_snapshot_every") {
+    spec.fault_snapshot_every = static_cast<int>(u64());
+  }
   else if (key == "service_sessions") spec.service_sessions = u32();
   else if (key == "service_requests") spec.service_requests = u32();
   else if (key == "service_ops") spec.service_ops = u32();
@@ -183,7 +202,40 @@ bool parse_seed_file(const char* path, ReplaySpec& spec, std::string& error) {
             "outside the serialize determinism guarantee)";
     return false;
   }
+  if (spec.fault_campaign && spec.service_sessions > 0) {
+    error = "fault_campaign and service_sessions are mutually exclusive";
+    return false;
+  }
+  if (spec.fault_campaign && spec.fault_batch == 0) {
+    error = "fault_batch must be >= 1";
+    return false;
+  }
   return true;
+}
+
+/// Fault-campaign replay: a stuck-at campaign with GC/checkpoint writes
+/// forced between waves, every verdict oracle-checked
+/// (torture_driver.hpp run_fault_torture).
+int run_fault(const ReplaySpec& spec, const char* path) {
+  pbdd::test::FaultTortureResult result;
+  {
+    pbdd::test::TortureGuard guard(spec.torture);
+    result = pbdd::test::run_fault_torture(
+        spec.config, spec.program_seed, spec.fault_batch, spec.fault_gc_every,
+        spec.fault_snapshot_every);
+  }
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "FAIL %s\n%s\n", path, result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "PASS %s (fault campaign: %llu faults over %llu waves, %llu gc + %llu "
+      "checkpoint interleaves)\n",
+      path, static_cast<unsigned long long>(result.faults),
+      static_cast<unsigned long long>(result.waves),
+      static_cast<unsigned long long>(result.gc_interleaves),
+      static_cast<unsigned long long>(result.snapshot_interleaves));
+  return 0;
 }
 
 /// Service-mode replay: the seed file drives the multi-session workload
@@ -247,6 +299,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (spec.fault_campaign) return run_fault(spec, argv[1]);
   if (spec.service_sessions > 0) return run_service(spec, argv[1]);
 
   const auto first = run(spec);

@@ -344,6 +344,67 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Fault-campaign sweep: a full stuck-at campaign (src/fault/) whose wave
+// boundaries force collections and checkpoint writes against the shared
+// golden BDDs (torture_driver.hpp's run_fault_torture), across worker
+// counts and all three disciplines, under both schedule modes. Every
+// verdict is cross-checked against the exhaustive simulation oracle, so a
+// GC that frees a live golden or a wave that reads a stale cone value is a
+// test failure, not a silent wrong verdict.
+// ---------------------------------------------------------------------------
+
+class FaultTortureSweep
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, std::uint64_t, TortureMode>> {};
+
+TEST_P(FaultTortureSweep, CampaignSurvivesGcAndCheckpointRaces) {
+  const auto [workers, seed, mode] = GetParam();
+
+  TortureConfig tc;
+  tc.seed = seed;
+  tc.mode = mode;
+  tc.delay_permille = 200;
+  tc.yield_permille = 200;
+  tc.force_gc_permille = 100;  // collections also fire inside batches
+  tc.force_spill_permille = 50;
+  tc.force_table_grow_permille = 25;
+  TortureGuard guard(tc);
+
+  Config config;
+  config.workers = workers;
+  config.eval_threshold = 4;
+  config.group_size = 2;
+  config.share_poll_interval = 4;
+  const TableDiscipline discipline = sweep_discipline(seed);
+  config.table_discipline = discipline;
+  config.table_shards = discipline == TableDiscipline::kSharded ? 4 : 1;
+
+  const auto result = test::run_fault_torture(
+      config, seed * 131 + workers, /*batch_faults=*/6,
+      /*gc_every=*/2, /*snapshot_every=*/3);
+  EXPECT_EQ(result.error, "");
+  EXPECT_GT(result.waves, 1u);
+  EXPECT_GT(result.faults, 0u);
+  EXPECT_GT(result.gc_interleaves, 0u);
+  EXPECT_GT(result.snapshot_interleaves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultTortureSweep,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3}),
+                       ::testing::Values(TortureMode::kPerturb,
+                                         TortureMode::kSerialize)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<unsigned, std::uint64_t, TortureMode>>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == TortureMode::kPerturb ? "_perturb"
+                                                               : "_serialize");
+    });
+
+// ---------------------------------------------------------------------------
 // Replay determinism: the acceptance criterion. The same (seed, config) pair
 // must produce byte-identical event logs across consecutive runs — and the
 // same results.

@@ -13,6 +13,7 @@
 #include "util/arena.hpp"
 #include "util/hash.hpp"
 #include "util/prng.hpp"
+#include "util/sha256.hpp"
 #include "util/table.hpp"
 
 namespace pbdd {
@@ -36,6 +37,55 @@ TEST(Hash, PairAndTripleAreOrderSensitive) {
   EXPECT_NE(util::hash_pair(3, 7), util::hash_pair(7, 3));
   EXPECT_NE(util::hash_triple(1, 2, 3), util::hash_triple(1, 3, 2));
   EXPECT_NE(util::hash_triple(1, 2, 3), util::hash_triple(2, 1, 3));
+}
+
+TEST(Sha256, KnownAnswerVectors) {
+  // FIPS 180-4 test vectors. The fault-report footer (docs/FAULTSIM.md)
+  // leans on this implementation, so pin it to the standard exactly.
+  EXPECT_EQ(
+      util::Sha256::hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      util::Sha256::hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      util::Sha256::hex(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalUpdatesMatchOneShot) {
+  // Split points around the 64-byte block boundary are where a buggy
+  // padding/length path would diverge.
+  std::string msg;
+  for (int i = 0; i < 150; ++i) msg.push_back(static_cast<char>('a' + i % 26));
+  const std::string expected = util::Sha256::hex(msg);
+  for (const std::size_t split : {std::size_t{1}, std::size_t{55},
+                                  std::size_t{56}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{65},
+                                  std::size_t{128}}) {
+    util::Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.hex_digest(), expected) << "split at " << split;
+  }
+  // One million 'a's: the classic long-message vector.
+  util::Sha256 big;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) big.update(chunk);
+  EXPECT_EQ(
+      big.hex_digest(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ResetStartsFresh) {
+  util::Sha256 h;
+  h.update("garbage");
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(
+      h.hex_digest(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
 TEST(Prng, DeterministicAndWellDistributed) {

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,6 +31,7 @@
 #include "circuit/builder.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist.hpp"
+#include "fault/report.hpp"
 #include "obs/trace.hpp"
 #include "service/bdd_service.hpp"
 
@@ -49,6 +51,13 @@ struct Cli {
   std::string checkpoint_path = "pbdd_checkpoint.snap";
   std::string json_path;
   std::string trace_path;
+  /// Fault mode: every pass is one stuck-at fault campaign instead of a
+  /// circuit build — the highest-traffic workload the service has. Reports
+  /// are cross-checked for byte determinism between sessions sharing a
+  /// circuit.
+  bool fault = false;
+  unsigned fault_batch = 16;       ///< faults per campaign wave
+  std::size_t fault_max_nets = 48; ///< site cap per campaign (0 = all)
 };
 
 [[noreturn]] void usage() {
@@ -57,7 +66,9 @@ struct Cli {
                "                    [--budget NODES] [--queue N]\n"
                "                    [--deadline-ms MS] [--json PATH]\n"
                "                    [--checkpoint-every N] "
-               "[--checkpoint-path PATH] [--trace PATH]\n");
+               "[--checkpoint-path PATH] [--trace PATH]\n"
+               "                    [--fault] [--fault-batch N] "
+               "[--fault-max-nets N]\n");
   std::exit(2);
 }
 
@@ -79,6 +90,9 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--checkpoint-path") cli.checkpoint_path = next();
     else if (a == "--json") cli.json_path = next();
     else if (a == "--trace") cli.trace_path = next();
+    else if (a == "--fault") cli.fault = true;
+    else if (a == "--fault-batch") cli.fault_batch = std::stoul(next());
+    else if (a == "--fault-max-nets") cli.fault_max_nets = std::stoull(next());
     else usage();
   }
   if (cli.sessions == 0 || cli.passes == 0) usage();
@@ -207,6 +221,68 @@ bool run_pass(service::BddService& svc, service::SessionId sid,
   return true;
 }
 
+/// Cross-session determinism check for fault mode: the first report per
+/// pool circuit is the reference; every later campaign on the same circuit
+/// must reproduce it byte-for-byte.
+struct FaultReportStore {
+  std::mutex mutex;
+  std::vector<std::string> reports;  // one slot per pool circuit
+};
+
+/// One pass in fault mode = one stuck-at campaign through the service.
+bool run_fault_pass(service::BddService& svc, service::SessionId sid,
+                    const std::shared_ptr<const circuit::Circuit>& circ,
+                    std::size_t pool_index, unsigned session, const Cli& cli,
+                    ClientStats& stats, FaultReportStore& store) {
+  service::SubmitOptions opts;
+  opts.priority = static_cast<service::Priority>(session % 3);
+  opts.register_roots = false;
+  service::FaultCampaignOptions fo;
+  fo.batch_faults = cli.fault_batch;
+  fo.max_nets = cli.fault_max_nets;
+
+  for (int attempt = 0;; ++attempt) {
+    const Clock::time_point t0 = Clock::now();
+    const service::RequestResult res =
+        svc.run_fault_campaign(sid, circ, fo, opts);
+    stats.latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+    if (res.status == service::RequestStatus::kOk) {
+      stats.ok += 1;
+      stats.ops += res.fault->stats.faults_evaluated;
+      std::string verify_error;
+      if (!fault::verify_report(res.fault->report, &verify_error)) {
+        stats.error = "session " + std::to_string(session) +
+                      ": report self-check failed: " + verify_error;
+        return false;
+      }
+      std::lock_guard<std::mutex> lk(store.mutex);
+      std::string& reference = store.reports[pool_index];
+      if (reference.empty()) {
+        reference = res.fault->report;
+      } else if (reference != res.fault->report) {
+        stats.error = "session " + std::to_string(session) +
+                      ": fault report diverged from another session's on " +
+                      circ->name();
+        return false;
+      }
+      return true;
+    }
+    stats.non_ok += 1;
+    if (res.status == service::RequestStatus::kFailed) {
+      stats.error = "session " + std::to_string(session) +
+                    ": unexpected kFailed: " + res.error;
+      return false;
+    }
+    if (attempt >= 1) return false;
+    if (res.retry_after.count() > 0) {
+      std::this_thread::sleep_for(res.retry_after);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +313,18 @@ int main(int argc, char** argv) {
   }
   service::BddService svc(cfg);
 
+  // Fault mode shares the circuits across sessions via shared_ptr (queued
+  // requests can outlive a client's scope) and pins per-circuit reports for
+  // the cross-session determinism check.
+  std::vector<std::shared_ptr<const circuit::Circuit>> shared_pool;
+  FaultReportStore report_store;
+  if (cli.fault) {
+    for (const circuit::Circuit& c : pool) {
+      shared_pool.push_back(std::make_shared<const circuit::Circuit>(c));
+    }
+    report_store.reports.resize(pool.size());
+  }
+
   std::vector<ClientStats> stats(cli.sessions);
   std::atomic<unsigned> sessions_opened{0};
   const Clock::time_point wall0 = Clock::now();
@@ -252,9 +340,15 @@ int main(int argc, char** argv) {
           return;
         }
         sessions_opened.fetch_add(1, std::memory_order_relaxed);
-        const circuit::Circuit& circ = pool[s % pool.size()];
+        const std::size_t pool_index = s % pool.size();
+        const circuit::Circuit& circ = pool[pool_index];
         for (unsigned pass = 0; pass < cli.passes; ++pass) {
-          if (!run_pass(svc, sid, circ, pass, s, cli, my)) break;
+          const bool pass_ok =
+              cli.fault ? run_fault_pass(svc, sid, shared_pool[pool_index],
+                                         pool_index, s, cli, my,
+                                         report_store)
+                        : run_pass(svc, sid, circ, pass, s, cli, my);
+          if (!pass_ok) break;
           ++my.passes_completed;
           svc.release_session_roots(sid);
         }
@@ -320,6 +414,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(m.deferrals),
       static_cast<unsigned long long>(m.shed), m.max_live_nodes_observed,
       m.live_node_budget);
+  if (cli.fault) {
+    std::printf(
+        "fault: %llu campaigns (%llu cancelled), %llu faults "
+        "(%llu detected, %llu equivalent), %llu engine batches\n",
+        static_cast<unsigned long long>(m.fault_campaigns_completed),
+        static_cast<unsigned long long>(m.fault_campaigns_cancelled),
+        static_cast<unsigned long long>(m.fault_faults_evaluated),
+        static_cast<unsigned long long>(m.fault_faults_detected),
+        static_cast<unsigned long long>(m.fault_faults_equivalent),
+        static_cast<unsigned long long>(m.fault_batches));
+  }
   if (cli.checkpoint_every > 0) {
     std::printf(
         "checkpoints: %llu saved (%llu failed), %llu bytes, "
@@ -352,6 +457,12 @@ int main(int argc, char** argv) {
         << (wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0.0)
         << ", \"ops_per_s\": "
         << (wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0) << "},\n"
+        << "  \"fault\": {\"enabled\": " << (cli.fault ? 1 : 0)
+        << ", \"campaigns\": " << m.fault_campaigns_completed
+        << ", \"cancelled\": " << m.fault_campaigns_cancelled
+        << ", \"faults\": " << m.fault_faults_evaluated
+        << ", \"detected\": " << m.fault_faults_detected
+        << ", \"equivalent\": " << m.fault_faults_equivalent << "},\n"
         << "  \"snapshot\": {\"checkpoint_every\": " << cli.checkpoint_every
         << ", \"saved\": " << m.snapshots_saved
         << ", \"failures\": " << m.snapshot_failures
