@@ -13,7 +13,8 @@
 // the 1-worker run — a throughput harness that silently computed different
 // answers would be worse than useless.
 //
-//   ablate_fault --circuits c2670s --threads 1,2,4 --json BENCH_fault.json
+//   ablate_fault --circuits c2670b --threads 1,2,4 --json BENCH_fault.json
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,9 +29,9 @@
 
 int main(int argc, char** argv) {
   using namespace pbdd;
-  const bench::Cli cli = bench::parse_cli(argc, argv, {"c2670s"});
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"c2670b"});
   const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
-  constexpr int kReps = 2;
+  const int kReps = static_cast<int>(std::max(2u, cli.repeat));
 
   // Campaign knobs: a generous wave width keeps every batch wide, and the
   // stride-sampled net cap keeps a full worker sweep on c2670s to minutes.
@@ -44,12 +45,16 @@ int main(int argc, char** argv) {
     unsigned workers = 0;
     double campaign_s = 0, golden_s = 0;
     std::uint64_t faults = 0, detected = 0, batches = 0;
+    /// Mean and min of the per-wave worker-utilization samples
+    /// (CampaignStats::wave_utilization) from the fastest repetition.
+    double util_mean = 0, util_min = 0;
+    std::vector<double> wave_utilization;
   };
   std::vector<Point> points;
   std::string reference_report;  // 1st configuration's verdicts
 
   util::TextTable table({"# procs", "golden s", "campaign s", "faults",
-                         "faults/s", "detected", "batches", "speedup"});
+                         "faults/s", "detected", "batches", "util", "speedup"});
   double base_campaign_s = 0.0;
   for (const unsigned workers : cli.thread_counts) {
     Point p;
@@ -74,6 +79,16 @@ int main(int argc, char** argv) {
         p.faults = s.faults_evaluated;
         p.detected = s.faults_detected;
         p.batches = s.batches;
+        p.wave_utilization = s.wave_utilization;
+        p.util_mean = 0;
+        p.util_min = p.wave_utilization.empty() ? 0.0 : 1e99;
+        for (const double u : p.wave_utilization) {
+          p.util_mean += u;
+          p.util_min = std::min(p.util_min, u);
+        }
+        if (!p.wave_utilization.empty()) {
+          p.util_mean /= static_cast<double>(p.wave_utilization.size());
+        }
       }
       if (rep == 0) {
         fault::ReportInfo info;
@@ -103,6 +118,7 @@ int main(int argc, char** argv) {
          util::TextTable::num(static_cast<double>(p.faults) / p.campaign_s,
                               0),
          std::to_string(p.detected), std::to_string(p.batches),
+         util::TextTable::num(p.util_mean, 2),
          util::TextTable::num(base_campaign_s / p.campaign_s, 2)});
     std::fflush(stdout);
   }
@@ -133,7 +149,13 @@ int main(int argc, char** argv) {
           << static_cast<double>(p.faults) / p.campaign_s
           << ", \"detected\": " << p.detected
           << ", \"batches\": " << p.batches
-          << ", \"speedup\": " << base_campaign_s / p.campaign_s << "}";
+          << ", \"utilization_mean\": " << p.util_mean
+          << ", \"utilization_min\": " << p.util_min
+          << ", \"wave_utilization\": [";
+      for (std::size_t u = 0; u < p.wave_utilization.size(); ++u) {
+        out << (u ? ", " : "") << p.wave_utilization[u];
+      }
+      out << "], \"speedup\": " << base_campaign_s / p.campaign_s << "}";
     }
     out << "\n  ]\n}\n";
     std::printf("wrote %s\n", cli.json_path.c_str());

@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   for (const std::uint32_t group : {1u, 8u, 64u, 512u, 4096u}) {
     core::Config config = bench::config_for(cli, workers, false);
     config.group_size = group;
+    // Pin the fixed size under test: the adaptive policy would override it.
+    config.adaptive_group_size = false;
     // A modest threshold so spills (and therefore groups) actually happen.
     if (config.eval_threshold == core::Config{}.eval_threshold) {
       config.eval_threshold = 1u << 12;

@@ -2,21 +2,25 @@
 // "Seq" plus 1/2/4/8 processors) and Figure 8 (speedup over the sequential
 // running time) of the paper.
 //
-// Run with --circuits mult-13,mult-14,... for paper-scale workloads; the
-// defaults are sized for minutes-not-hours on a laptop. Wall-clock speedup
-// requires real cores: on a single-core machine the thread sweep still runs
-// but speedups hover around 1.
+// Defaults are the paper-scale workloads (mult-13, mult-14, and the deep
+// c2670b): circuits big enough that per-level parallelism dominates the
+// scheduling overhead — the regime where the paper's speedup fight is won
+// or lost. Pass --circuits mult-10,mult-11 for a quick laptop run.
+// Wall-clock speedup requires real cores: on a single-core machine the
+// thread sweep still runs but speedups hover around 1.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <thread>
 
 #include "harness.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pbdd;
-  const bench::Cli cli = bench::parse_cli(argc, argv);
+  const bench::Cli cli =
+      bench::parse_cli(argc, argv, {"c2670b", "mult-13", "mult-14"});
   const std::vector<bench::Workload> workloads = bench::make_workloads(cli);
 
   struct Cell {
@@ -31,7 +35,8 @@ int main(int argc, char** argv) {
     const std::string row = bench::config_label(config);
     row_labels.push_back(row);
     for (const bench::Workload& w : workloads) {
-      const bench::RunResult r = bench::run_build(w, config);
+      const bench::RunResult r =
+          bench::run_build_repeated(w, config, cli.warmup, cli.repeat);
       grid[row][w.name] = Cell{r.elapsed_s, r.checksum, r.stats.to_json()};
       if (cli.csv) {
         std::printf("csv,fig07,%s,%s,%.3f\n", w.name.c_str(), row.c_str(),
@@ -104,7 +109,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
       return 1;
     }
-    out << "{\n  \"bench\": \"fig07_08_elapsed\",\n  \"results\": [\n";
+    out << "{\n  \"bench\": \"fig07_08_elapsed\",\n"
+        << "  \"warmup\": " << cli.warmup << ",\n"
+        << "  \"repeat\": " << cli.repeat << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+        << "  \"results\": [\n";
     bool first = true;
     for (const std::string& row : row_labels) {
       for (const bench::Workload& w : workloads) {

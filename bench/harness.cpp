@@ -34,9 +34,9 @@ std::vector<std::string> split(const std::string& s, char sep) {
                "flags: --circuits a,b,c  --threads 1,2,4,8  --no-seq\n"
                "       --threshold N  --group N  --cache-log2 N  --gc-min N\n"
                "       --discipline passlock|sharded|lockfree  --csv\n"
-               "       --json PATH\n"
-               "circuit specs: c2670s c3540s c17 mult-N alu-N cmp-N add-N "
-               "par-N rand-N or a .bench file path\n",
+               "       --json PATH  --warmup N  --repeat N\n"
+               "circuit specs: c2670s c2670b c3540s c17 mult-N alu-N cmp-N "
+               "add-N par-N rand-N or a .bench file path\n",
                message.c_str());
   std::exit(2);
 }
@@ -84,6 +84,12 @@ Cli parse_cli(int argc, char** argv,
       } else {
         usage_error("unknown discipline " + d);
       }
+    } else if (arg == "--warmup") {
+      cli.warmup =
+          static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--repeat") {
+      cli.repeat = std::max(
+          1u, static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10)));
     } else if (arg == "--csv") {
       cli.csv = true;
     } else if (arg == "--json") {
@@ -106,6 +112,7 @@ unsigned suffix_number(const std::string& spec, const std::string& prefix) {
 
 circuit::Circuit make_circuit(const std::string& spec) {
   if (spec == "c2670s") return circuit::c2670_like();
+  if (spec == "c2670b") return circuit::c2670_big();
   if (spec == "c3540s") return circuit::c3540_like();
   if (spec == "c17") return circuit::c17();
   if (spec.rfind("mult-", 0) == 0) {
@@ -206,6 +213,26 @@ RunResult run_build(const Workload& workload, const core::Config& config) {
   }
   result.checksum = checksum;
   return result;
+}
+
+RunResult run_build_repeated(const Workload& workload,
+                             const core::Config& config, unsigned warmup,
+                             unsigned repeat) {
+  for (unsigned i = 0; i < warmup; ++i) {
+    (void)run_build(workload, config);
+  }
+  RunResult best = run_build(workload, config);
+  for (unsigned i = 1; i < repeat; ++i) {
+    RunResult r = run_build(workload, config);
+    if (r.checksum != best.checksum) {
+      throw std::runtime_error("run_build_repeated: checksum varies across "
+                               "repeats on " + workload.name);
+    }
+    // Min-of-N: the least-disturbed run is the best estimate of the
+    // algorithm's cost; the others measure the machine's noise.
+    if (r.elapsed_s < best.elapsed_s) best = std::move(r);
+  }
+  return best;
 }
 
 std::string config_label(const core::Config& config) {

@@ -38,6 +38,8 @@ struct Cli {
   core::TableDiscipline discipline = core::Config{}.table_discipline;
   bool csv = false;
   std::string json_path;  ///< when set, fig binaries dump results as JSON
+  unsigned warmup = 0;    ///< discarded runs before measuring
+  unsigned repeat = 1;    ///< measured runs per point; min is reported
 };
 
 /// Parse the common flags:
@@ -50,6 +52,8 @@ struct Cli {
 ///   --discipline D     unique-table locking: passlock, sharded, lockfree
 ///   --csv              machine-readable output in addition to tables
 ///   --json PATH        dump results as JSON (fig07_08_elapsed)
+///   --warmup N         discarded runs per point before measuring
+///   --repeat N         measured runs per point (the minimum is reported)
 /// Unknown flags abort with a usage message.
 Cli parse_cli(int argc, char** argv,
               std::vector<std::string> default_circuits = {
@@ -86,6 +90,14 @@ struct RunResult {
 /// Build all output BDDs of the workload under the given configuration and
 /// collect the measurements the paper reports.
 RunResult run_build(const Workload& workload, const core::Config& config);
+
+/// run_build with `warmup` discarded runs followed by `repeat` measured
+/// runs; returns the fastest measured run (min-of-N rejects scheduler and
+/// cache noise, the standard protocol for shared machines). Throws if the
+/// canonicity checksum varies across repeats.
+RunResult run_build_repeated(const Workload& workload,
+                             const core::Config& config, unsigned warmup,
+                             unsigned repeat);
 
 /// "Seq" or the worker count, formatted as the paper's row labels.
 std::string config_label(const core::Config& config);

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI gate on the parallel speedup of the BDD construction benchmark.
+
+Reads the fig07_08_elapsed JSON artifact and fails (exit 1) unless the
+N-worker configuration beats the dedicated sequential build on at least
+--min-pass large circuits, with byte-identical canonicity checksums across
+every configuration. "Large" filters out toy circuits whose runtimes are
+all scheduling noise: a circuit qualifies when its sequential build takes
+at least --min-large-seconds.
+
+The pass bar is scale-aware. Speedup over Seq needs real cores: the
+recorded hardware_concurrency decides whether the artifact was produced on
+a machine that can exhibit parallel speedup at all.
+
+  effective cores >= 2  ->  speedup must exceed --threshold   (default 1.0)
+  single core           ->  speedup must exceed --parity      (default 0.9)
+
+On a single-core host the sweep still runs, but 4 workers time-slice one
+core, so the gate only insists the scheduling machinery stays within 10%
+of the sequential build (parity) — a regression in barrier or steal cost
+shows up as a parity failure long before multicore numbers move.
+
+Always writes a scaling-curve artifact (--out): per circuit, the elapsed
+time and speedup of every configuration row, plus the gate's verdict —
+the file CI uploads so scaling can be diffed across commits.
+
+Usage:
+  speedup_gate.py --input bench/BENCH_elapsed.json \
+                  --out bench/BENCH_scaling.json [--workers 4] \
+                  [--threshold 1.0] [--parity 0.9] \
+                  [--min-large-seconds 0.5] [--min-pass 2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--input", required=True, help="BENCH_elapsed.json path")
+    ap.add_argument("--out", required=True, help="scaling-curve artifact path")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="worker count whose speedup is gated")
+    ap.add_argument("--threshold", type=float, default=1.0,
+                    help="required speedup with >= 2 effective cores")
+    ap.add_argument("--parity", type=float, default=0.9,
+                    help="required speedup on a single-core host")
+    ap.add_argument("--min-large-seconds", type=float, default=0.5,
+                    help="sequential time below which a circuit is too "
+                         "small to gate on")
+    ap.add_argument("--min-pass", type=int, default=2,
+                    help="large circuits that must meet the bar")
+    args = ap.parse_args()
+
+    try:
+        with open(args.input, encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot read {args.input}: {e}", file=sys.stderr)
+        return 1
+
+    results = bench.get("results", [])
+    if not results:
+        print(f"FAIL: {args.input} has no results", file=sys.stderr)
+        return 1
+
+    cores = int(bench.get("hardware_concurrency", 1))
+    multicore = cores >= 2
+    bar = args.threshold if multicore else args.parity
+
+    # results[] -> circuit -> config row -> (elapsed, checksum)
+    grid = {}
+    for r in results:
+        grid.setdefault(r["circuit"], {})[r["config"]] = (
+            float(r["elapsed_s"]), int(r["checksum"]))
+
+    gated_row = str(args.workers)
+    failures = []
+    passes = []
+    curves = []
+    for circuit, rows in grid.items():
+        checksums = {c for _, c in rows.values()}
+        if len(checksums) != 1:
+            failures.append(f"{circuit}: checksums differ across "
+                            f"configurations ({sorted(checksums)})")
+            continue
+        if "Seq" not in rows:
+            failures.append(f"{circuit}: no Seq row to compute speedup from")
+            continue
+        seq_s = rows["Seq"][0]
+        curve = {
+            "circuit": circuit,
+            "seq_s": seq_s,
+            "rows": [
+                {"config": cfg, "elapsed_s": el,
+                 "speedup": (seq_s / el) if el > 0 else 0.0}
+                for cfg, (el, _) in sorted(
+                    rows.items(), key=lambda kv: (kv[0] != "Seq", kv[0]))
+            ],
+        }
+        large = seq_s >= args.min_large_seconds
+        curve["large"] = large
+        if large:
+            if gated_row not in rows:
+                failures.append(f"{circuit}: no {gated_row}-worker row")
+            else:
+                speedup = seq_s / rows[gated_row][0]
+                curve["gated_speedup"] = speedup
+                if speedup >= bar:
+                    passes.append((circuit, speedup))
+                else:
+                    failures.append(
+                        f"{circuit}: {gated_row}-worker speedup "
+                        f"{speedup:.3f} < {bar:.2f}")
+        curves.append(curve)
+
+    ok = len(passes) >= args.min_pass and not failures
+    verdict = {
+        "bench": "speedup_gate",
+        "source": args.input,
+        "hardware_concurrency": cores,
+        "gated_workers": args.workers,
+        "required_speedup": bar,
+        "mode": "speedup" if multicore else "single-core-parity",
+        "min_large_seconds": args.min_large_seconds,
+        "min_pass": args.min_pass,
+        "passed_circuits": [
+            {"circuit": c, "speedup": s} for c, s in passes],
+        "failures": failures,
+        "ok": ok,
+        "curves": curves,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(verdict, f, indent=2)
+        f.write("\n")
+
+    for c, s in passes:
+        print(f"PASS {c}: {args.workers}-worker speedup {s:.3f} "
+              f">= {bar:.2f} ({verdict['mode']})")
+    for msg in failures:
+        print(f"FAIL {msg}", file=sys.stderr)
+    if len(passes) < args.min_pass:
+        print(f"FAIL: only {len(passes)} large circuit(s) met the bar; "
+              f"{args.min_pass} required", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,24 +6,30 @@ namespace pbdd::circuit {
 
 namespace {
 
-// Shared level-batched construction core. Returns the value of every gate;
-// when `release_dead` is set, a gate's handle is dropped as soon as its last
-// fanout has been built (outputs carry an extra use from fanout_counts, so
-// they survive).
+// Shared construction core. Gates are processed in windows of
+// `opts.dag_window` consecutive topological levels; each window's operation
+// gates go out as ONE dependency-carrying batch, with in-window fanins
+// expressed as BatchOp dep back references instead of materialized handles.
+// A window of 1 is the classic one-batch-per-level construction with its
+// barrier between every level. Returns the value of every gate; when
+// `release_dead` is set, a gate's handle is dropped at the first window
+// boundary after its last fanout has been built (outputs carry an extra use
+// from fanout_counts, so they survive).
 std::vector<core::Bdd> build_levels(core::BddManager& mgr,
                                     const Circuit& circuit,
                                     const std::vector<unsigned>& input_vars,
-                                    BuildStats* stats, bool release_dead) {
+                                    BuildStats* stats, bool release_dead,
+                                    const BuildOptions& opts) {
   using core::Bdd;
   if (input_vars.size() != circuit.inputs().size()) {
     throw std::invalid_argument("build: input_vars size mismatch");
   }
+  const std::uint32_t window = std::max<std::uint32_t>(1, opts.dag_window);
   const std::vector<std::uint32_t> level = circuit.levels();
   const std::uint32_t max_level =
       level.empty() ? 0 : *std::max_element(level.begin(), level.end());
 
-  // Bucket gates by level; all gates of one level are independent and form
-  // one top-level operation batch.
+  // Bucket gates by level; gates of one level are mutually independent.
   std::vector<std::vector<std::uint32_t>> by_level(max_level + 1);
   for (std::uint32_t id = 0; id < circuit.num_gates(); ++id) {
     by_level[level[id]].push_back(id);
@@ -31,6 +37,9 @@ std::vector<core::Bdd> build_levels(core::BddManager& mgr,
 
   std::vector<Bdd> value(circuit.num_gates());
   std::vector<std::uint32_t> uses = circuit.fanout_counts();
+  // Batch item producing each in-window gate (-1 = materialized in value).
+  // Buf gates alias their source's item, so chains collapse to one dep.
+  std::vector<std::int32_t> item_of(circuit.num_gates(), -1);
   BuildStats local;
   const Bdd one = mgr.one();
 
@@ -40,41 +49,63 @@ std::vector<core::Bdd> build_levels(core::BddManager& mgr,
                       [](const Bdd& b) { return b.valid(); }));
   };
 
-  for (std::uint32_t lvl = 0; lvl <= max_level; ++lvl) {
+  for (std::uint32_t w0 = 0; w0 <= max_level; w0 += window) {
+    const std::uint32_t w1 = std::min<std::uint32_t>(max_level, w0 + window - 1);
     std::vector<core::BatchOp> batch;
     std::vector<std::uint32_t> batch_gates;
-    for (const std::uint32_t id : by_level[lvl]) {
-      const Gate& g = circuit.gate(id);
-      switch (g.type) {
-        case GateType::Input: {
-          const auto pos = static_cast<std::size_t>(
-              std::find(circuit.inputs().begin(), circuit.inputs().end(),
-                        id) -
-              circuit.inputs().begin());
-          value[id] = mgr.var(input_vars[pos]);
-          break;
-        }
-        case GateType::Const0:
-          value[id] = mgr.zero();
-          break;
-        case GateType::Const1:
-          value[id] = mgr.one();
-          break;
-        case GateType::Buf:
-          value[id] = value[g.fanins[0]];
-          break;
-        case GateType::Not:
-          batch.push_back(core::BatchOp{Op::Xor, value[g.fanins[0]], one});
-          batch_gates.push_back(id);
-          break;
-        default:
-          if (g.fanins.size() != 2) {
-            throw std::invalid_argument("build: circuit not binarized");
+    // Operand for a fanin: a dep on the in-window item producing it, or its
+    // materialized handle from an earlier window.
+    auto fanin_op = [&](std::uint32_t f, Bdd& h) -> std::int32_t {
+      if (item_of[f] >= 0) return item_of[f];
+      h = value[f];
+      return -1;
+    };
+    for (std::uint32_t lvl = w0; lvl <= w1; ++lvl) {
+      for (const std::uint32_t id : by_level[lvl]) {
+        const Gate& g = circuit.gate(id);
+        switch (g.type) {
+          case GateType::Input: {
+            const auto pos = static_cast<std::size_t>(
+                std::find(circuit.inputs().begin(), circuit.inputs().end(),
+                          id) -
+                circuit.inputs().begin());
+            value[id] = mgr.var(input_vars[pos]);
+            break;
           }
-          batch.push_back(core::BatchOp{gate_op(g.type), value[g.fanins[0]],
-                                        value[g.fanins[1]]});
-          batch_gates.push_back(id);
-          break;
+          case GateType::Const0:
+            value[id] = mgr.zero();
+            break;
+          case GateType::Const1:
+            value[id] = mgr.one();
+            break;
+          case GateType::Buf:
+            if (item_of[g.fanins[0]] >= 0) {
+              item_of[id] = item_of[g.fanins[0]];
+            } else {
+              value[id] = value[g.fanins[0]];
+            }
+            break;
+          case GateType::Not: {
+            core::BatchOp op{Op::Xor, Bdd{}, one, -1, -1};
+            op.f_dep = fanin_op(g.fanins[0], op.f);
+            item_of[id] = static_cast<std::int32_t>(batch.size());
+            batch.push_back(std::move(op));
+            batch_gates.push_back(id);
+            break;
+          }
+          default: {
+            if (g.fanins.size() != 2) {
+              throw std::invalid_argument("build: circuit not binarized");
+            }
+            core::BatchOp op{gate_op(g.type), Bdd{}, Bdd{}, -1, -1};
+            op.f_dep = fanin_op(g.fanins[0], op.f);
+            op.g_dep = fanin_op(g.fanins[1], op.g);
+            item_of[id] = static_cast<std::int32_t>(batch.size());
+            batch.push_back(std::move(op));
+            batch_gates.push_back(id);
+            break;
+          }
+        }
       }
     }
     if (!batch.empty()) {
@@ -85,11 +116,23 @@ std::vector<core::Bdd> build_levels(core::BddManager& mgr,
       ++local.batches;
       local.gate_ops += batch.size();
     }
+    // Materialize Buf aliases of in-window items, then clear the item map
+    // for the next window (only window gates were touched).
+    for (std::uint32_t lvl = w0; lvl <= w1; ++lvl) {
+      for (const std::uint32_t id : by_level[lvl]) {
+        if (circuit.gate(id).type == GateType::Buf && item_of[id] >= 0) {
+          value[id] = value[circuit.gate(id).fanins[0]];
+        }
+        item_of[id] = -1;
+      }
+    }
     if (release_dead) {
       // Release fanins whose last consumer has now been built.
-      for (const std::uint32_t id : by_level[lvl]) {
-        for (const std::uint32_t f : circuit.gate(id).fanins) {
-          if (--uses[f] == 0) value[f] = Bdd{};
+      for (std::uint32_t lvl = w0; lvl <= w1; ++lvl) {
+        for (const std::uint32_t id : by_level[lvl]) {
+          for (const std::uint32_t f : circuit.gate(id).fanins) {
+            if (--uses[f] == 0) value[f] = Bdd{};
+          }
         }
       }
     }
@@ -106,9 +149,10 @@ std::vector<core::Bdd> build_levels(core::BddManager& mgr,
 std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
                                       const Circuit& circuit,
                                       const std::vector<unsigned>& input_vars,
-                                      BuildStats* stats) {
-  std::vector<core::Bdd> value =
-      build_levels(mgr, circuit, input_vars, stats, /*release_dead=*/true);
+                                      BuildStats* stats,
+                                      const BuildOptions& opts) {
+  std::vector<core::Bdd> value = build_levels(mgr, circuit, input_vars, stats,
+                                              /*release_dead=*/true, opts);
   std::vector<core::Bdd> outputs;
   outputs.reserve(circuit.outputs().size());
   // Copy, not move: a gate may be marked as more than one output.
@@ -118,9 +162,10 @@ std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
 
 std::vector<core::Bdd> build_parallel_all(
     core::BddManager& mgr, const Circuit& circuit,
-    const std::vector<unsigned>& input_vars, BuildStats* stats) {
+    const std::vector<unsigned>& input_vars, BuildStats* stats,
+    const BuildOptions& opts) {
   return build_levels(mgr, circuit, input_vars, stats,
-                      /*release_dead=*/false);
+                      /*release_dead=*/false, opts);
 }
 
 }  // namespace pbdd::circuit

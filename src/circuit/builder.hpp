@@ -34,6 +34,19 @@ struct BuildStats {
   std::size_t peak_live_handles = 0;
 };
 
+/// Tuning knobs for the parallel construction drivers.
+struct BuildOptions {
+  /// Topological levels per batch. Gates of up to this many consecutive
+  /// levels are issued as ONE dependency-carrying batch: in-window fanins
+  /// become BatchOp::f_dep/g_dep back references resolved inside the apply
+  /// pipeline, so narrow levels no longer drain the worker pool at a
+  /// barrier per level. 1 reproduces the classic one-batch-per-level
+  /// construction. Dead intermediate handles are released at window
+  /// boundaries, so a larger window trades a bounded amount of handle
+  /// lifetime (and thus GC eagerness) for barrier-free scheduling.
+  std::uint32_t dag_window = 8;
+};
+
 /// Map a two-input (or unary) gate type to the engine operator. Not is
 /// lowered to XOR with constant one (no complement edges in these packages).
 [[nodiscard]] constexpr Op gate_op(GateType t) {
@@ -56,7 +69,8 @@ struct BuildStats {
 std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
                                       const Circuit& circuit,
                                       const std::vector<unsigned>& input_vars,
-                                      BuildStats* stats = nullptr);
+                                      BuildStats* stats = nullptr,
+                                      const BuildOptions& opts = {});
 
 /// Like build_parallel, but retains and returns the BDD of *every* gate,
 /// indexed by gate id, instead of only the primary outputs. The fault
@@ -66,7 +80,8 @@ std::vector<core::Bdd> build_parallel(core::BddManager& mgr,
 /// BDDs — use build_parallel when intermediates are disposable.
 std::vector<core::Bdd> build_parallel_all(
     core::BddManager& mgr, const Circuit& circuit,
-    const std::vector<unsigned>& input_vars, BuildStats* stats = nullptr);
+    const std::vector<unsigned>& input_vars, BuildStats* stats = nullptr,
+    const BuildOptions& opts = {});
 
 /// Sequential one-gate-at-a-time construction on any engine with
 /// Handle var(unsigned), Handle zero(), Handle one(),

@@ -375,6 +375,40 @@ Circuit c3540_like() {
   return c;
 }
 
+Circuit c2670_big() {
+  Circuit c("c2670b");
+  util::Xoshiro256 rng(0xb2670);
+  const std::vector<Id> adder = absorb(c, carry_select_adder(48), "add.");
+  const std::vector<Id> cmp = absorb(c, comparator(32), "cmp.");
+  const std::vector<Id> par1 = absorb(c, parity_tree(32), "p1.");
+  const std::vector<Id> par2 = absorb(c, parity_tree(32), "p2.");
+  const std::vector<Id> mul = absorb(c, multiplier(10), "mul.");
+  const std::vector<Id> shf = absorb(c, barrel_shifter(16), "sh.");
+  const std::vector<Id> pri = absorb(c, priority_encoder(32), "pe.");
+
+  for (std::size_t i = 0; i < adder.size(); ++i) {
+    c.mark_output(adder[i], "sum" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < mul.size(); i += 2) {
+    c.mark_output(mul[i], "prod" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < shf.size(); i += 2) {
+    c.mark_output(shf[i], "rot" + std::to_string(i));
+  }
+  // Deep control spine: every block feeds the mixer, five rounds deep.
+  std::vector<Id> control{cmp[0], cmp[1], cmp[2], par1[0], par2[0]};
+  control.insert(control.end(), pri.begin(), pri.end());
+  for (std::size_t i = 0; i < adder.size(); i += 3) control.push_back(adder[i]);
+  for (std::size_t i = 1; i < mul.size(); i += 4) control.push_back(mul[i]);
+  for (std::size_t i = 1; i < shf.size(); i += 3) control.push_back(shf[i]);
+  const std::vector<Id> mixed = mix_layer(c, control, 5, rng);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    c.mark_output(mixed[i], "ctl" + std::to_string(i));
+  }
+  c.validate();
+  return c;
+}
+
 Circuit random_circuit(unsigned num_inputs, unsigned num_gates,
                        std::uint64_t seed) {
   if (num_inputs < 2) throw std::invalid_argument("random_circuit: inputs<2");

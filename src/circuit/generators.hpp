@@ -54,6 +54,13 @@ namespace pbdd::circuit {
 /// a seeded mixing layer.
 [[nodiscard]] Circuit c3540_like();
 
+/// Deeper C2670-class circuit for scaling runs: wider adder/comparator and
+/// parity banks, a barrel-shifter and priority-encoder control block, a
+/// 10-bit multiplier slice, and five mixing rounds — roughly twice the
+/// gates and depth of c2670_like(), sized so the parallel apply pipeline
+/// has enough work per level to amortize scheduling.
+[[nodiscard]] Circuit c2670_big();
+
 /// Seeded random DAG of And/Or/Nand/Nor/Xor/Xnor/Not gates; gates without
 /// fanout become primary outputs. Used by property tests.
 [[nodiscard]] Circuit random_circuit(unsigned num_inputs, unsigned num_gates,

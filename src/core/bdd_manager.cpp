@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -58,9 +59,13 @@ BddManager::BddManager(unsigned num_vars, Config config)
       locking_(!config_.sequential_mode),
       unique_(num_vars),
       pool_(config_.workers),
-      gc_barrier_(pool_.size()) {
+      gc_barrier_(pool_.size(),
+                  /*spin=*/pool_.size() <=
+                      std::max(1u, std::thread::hardware_concurrency())) {
   assert(num_vars_ >= 1 && num_vars_ < kTermLevel);
   const unsigned workers = pool_.size();
+  oversubscribed_ =
+      workers > std::max(1u, std::thread::hardware_concurrency());
   active_workers_ = config_.max_active_workers == 0
                         ? workers
                         : std::max(1u, std::min(workers,
@@ -178,6 +183,11 @@ void BddManager::register_batch_result(std::size_t index, NodeRef ref) {
   // Root the result immediately so a sequential-mode collection between
   // top-level operations keeps it alive (and gets its reference fixed).
   batch_state_.result_handles[index] = make_root(ref);
+  // Publish after the handle is in place: dependent items acquire-load the
+  // state word, then read the handle (never the raw ref — a sequential-mode
+  // collection between items may have moved the node).
+  batch_state_.item_state[index].store(BatchState::kItemDone,
+                                       std::memory_order_release);
 }
 
 void BddManager::execute_batch(std::vector<BatchState::Item> items,
@@ -185,17 +195,32 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   const std::size_t n = items.size();
   out.clear();
   if (n == 0) return;
-  for (const BatchState::Item& item : items) {
-    // Batch operations must be independent and fully materialized; a
-    // default-constructed or foreign handle here would corrupt the engine.
-    if (!item.f.valid() || !item.g.valid() || item.f.manager() != this ||
-        item.g.manager() != this) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchState::Item& item = items[i];
+    // Each operand is either a materialized handle of this manager or a
+    // backward reference to an earlier item of the same batch; anything
+    // else (empty handle, foreign manager, forward or self dependency)
+    // would corrupt the engine or deadlock the DAG.
+    const auto operand_ok = [&](const Bdd& h, std::int32_t dep) {
+      if (dep >= 0) return static_cast<std::size_t>(dep) < i;
+      return h.valid() && h.manager() == this;
+    };
+    if (!operand_ok(item.f, item.f_dep) || !operand_ok(item.g, item.g_dep)) {
       throw std::invalid_argument(
-          "apply_batch: operand is empty or from another manager");
+          "apply_batch: operand is empty, from another manager, or a "
+          "non-backward dependency");
     }
   }
   batch_state_.items = std::move(items);
   batch_state_.result_handles.assign(n, Bdd{});
+  if (batch_state_.item_state_capacity < n) {
+    batch_state_.item_state = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    batch_state_.item_state_capacity = n;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_state_.item_state[i].store(BatchState::kItemPending,
+                                     std::memory_order_relaxed);
+  }
   batch_state_.control = control;
   batch_state_.next.store(0, std::memory_order_relaxed);
   batch_state_.completed.store(0, std::memory_order_relaxed);
@@ -236,7 +261,7 @@ std::vector<Bdd> BddManager::apply_batch(std::span<const BatchOp> batch,
   std::vector<BatchState::Item> items;
   items.reserve(batch.size());
   for (const BatchOp& req : batch) {
-    items.push_back({req.op, req.f, req.g});
+    items.push_back({req.op, req.f, req.g, req.f_dep, req.g_dep});
   }
   std::vector<Bdd> out;
   execute_batch(std::move(items), out, control);
@@ -249,13 +274,16 @@ Bdd BddManager::not_(const Bdd& f) {
 
 Bdd BddManager::ite(const Bdd& c, const Bdd& t, const Bdd& e) {
   // ITE(c, t, e) = (c AND t) OR (e AND NOT c); the two conjuncts are
-  // independent top-level operations, so they go out as one batch.
+  // independent top-level operations and the combining OR names them as
+  // in-batch dependencies, so the whole ITE goes out as one batch with no
+  // barrier between the rounds.
   std::vector<BatchState::Item> items;
   items.push_back({Op::And, c, t});
   items.push_back({Op::Diff, e, c});
+  items.push_back({Op::Or, Bdd{}, Bdd{}, 0, 1});
   std::vector<Bdd> parts;
   execute_batch(std::move(items), parts);
-  return apply(Op::Or, parts[0], parts[1]);
+  return std::move(parts[2]);
 }
 
 // ---------------------------------------------------------------------------

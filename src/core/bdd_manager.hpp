@@ -87,11 +87,21 @@ class Bdd {
   std::uint32_t root_ = 0;
 };
 
-/// One top-level operation in a batch.
+/// One top-level operation in a batch. Operands come either from handles
+/// (`f`/`g`) or — when `f_dep`/`g_dep` is >= 0 — from the result of an
+/// *earlier* item of the same batch, turning the batch into a dependency
+/// DAG. Forward references are rejected (execute_batch validates
+/// dep < own index), so the DAG is acyclic by construction and a worker
+/// claiming an item whose dependency is still in flight stalls-and-steals
+/// exactly like a reduction stall. This is what lets a whole circuit window
+/// or a fault wave's cones+miters+fold go out as one batch instead of
+/// serializing at every level barrier.
 struct BatchOp {
   Op op;
   Bdd f;
   Bdd g;
+  std::int32_t f_dep = -1;  ///< index of an earlier item producing operand f
+  std::int32_t g_dep = -1;  ///< index of an earlier item producing operand g
 };
 
 /// Cooperative cancellation and deadline control for one batch. The service
@@ -257,9 +267,19 @@ class BddManager {
     struct Item {
       Op op;
       Bdd f, g;
+      std::int32_t f_dep = -1;
+      std::int32_t g_dep = -1;
     };
+    /// Per-item lifecycle for the dependency DAG. `kItemSkipped` cascades:
+    /// an item whose dependency was skipped (cancellation) is skipped too,
+    /// so no item ever evaluates with a missing operand.
+    enum : std::uint8_t { kItemPending = 0, kItemDone = 1, kItemSkipped = 2 };
     std::vector<Item> items;
     std::vector<Bdd> result_handles;
+    /// State word per item, written with release after the result handle is
+    /// rooted; dependents acquire-load it before reading the handle.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> item_state;
+    std::size_t item_state_capacity = 0;
     /// External cancellation/deadline control for this batch (may be null).
     BatchControl* control = nullptr;
     // Separate lines: `next` is hammered by every worker claiming items
@@ -284,6 +304,55 @@ class BddManager {
   /// sharing a line with neighbouring manager fields would turn their
   /// writes into polling misses.
   alignas(util::kCacheLineBytes) std::atomic<std::uint32_t> hungry_workers{0};
+
+  // ---- Work-epoch wake protocol ---------------------------------------------
+  // Every cross-worker publication an idle worker could be waiting for —
+  // a context spill exposing stealable groups, a thief's result writeback,
+  // a batch item completing or being skipped — bumps this counter and wakes
+  // parked waiters. Idle workers capture the epoch *before* scanning for
+  // work and futex-park on the captured value, so a publication racing the
+  // scan turns the park into an immediate return instead of a lost wakeup.
+  // This replaces the old spin/sleep backoff in the stall loops: a worker
+  // with nothing to do costs nothing, which is what lets oversubscribed
+  // runs (more workers than cores) degrade to parity instead of convoying.
+
+  /// Current epoch; capture before scanning for work.
+  [[nodiscard]] std::uint64_t work_epoch() const noexcept {
+    return work_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Publish "new work / new result exists": bump and wake all waiters.
+  /// libstdc++ tracks waiters per word, so with nobody parked this is one
+  /// uncontended load — cheap enough for the steal-writeback path.
+  void bump_work_epoch() noexcept {
+    work_epoch_.fetch_add(1, std::memory_order_release);
+    work_epoch_.notify_all();
+  }
+
+  /// Park until the epoch moves past `seen`. Spins briefly first unless the
+  /// pool is oversubscribed (then the spin would burn the producer's
+  /// timeslice). Returns immediately if the epoch already advanced.
+  void wait_for_work(std::uint64_t seen) noexcept {
+#ifdef PBDD_TORTURE_ENABLED
+    // Serialized torture runs park inside the caller's inject points; a
+    // futex wait here would strand the schedule token.
+    if (rt::TortureScheduler::instance().enabled()) {
+      rt::cpu_relax();
+      return;
+    }
+#endif
+    if (!oversubscribed_) {
+      for (unsigned i = 0; i < 128; ++i) {
+        if (work_epoch_.load(std::memory_order_acquire) != seen) return;
+        rt::cpu_relax();
+      }
+    }
+    work_epoch_.wait(seen, std::memory_order_acquire);
+  }
+
+  /// True when the pool has more workers than the host has hardware
+  /// threads; spin windows are skipped in that regime.
+  [[nodiscard]] bool oversubscribed() const noexcept { return oversubscribed_; }
 
   /// True while the manager must honour cross-worker locking. With a single
   /// worker in sequential mode the per-variable locks are elided.
@@ -312,9 +381,12 @@ class BddManager {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<VarUniqueTable> unique_;
   rt::WorkerPool pool_;
-  rt::SpinBarrier gc_barrier_;
+  rt::PhaseBarrier gc_barrier_;
   SharedComputeCache shared_cache_;
   unsigned active_workers_ = 1;
+  bool oversubscribed_ = false;
+
+  alignas(util::kCacheLineBytes) std::atomic<std::uint64_t> work_epoch_{0};
 
   BatchState batch_state_;
   std::uint32_t op_generation_ = 1;

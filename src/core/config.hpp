@@ -75,6 +75,15 @@ struct Config {
   /// the remaining operators into small groups").
   std::uint32_t group_size = 512;
 
+  /// Scale the steal granularity with the spill size: when a context is
+  /// pushed with far more queued operations than the workers could drain at
+  /// `group_size` apiece, partition into proportionally larger groups
+  /// (capped at kMaxAdaptiveGroup) so one steal amortizes its lock and
+  /// cache-migration cost over more work. `group_size` stays the floor; off
+  /// reproduces the paper's fixed partitioning exactly.
+  bool adaptive_group_size = true;
+  static constexpr std::uint32_t kMaxAdaptiveGroup = 1u << 15;
+
   /// log2 of per-worker compute-cache entries.
   unsigned cache_log2 = 17;
 
@@ -146,6 +155,7 @@ struct alignas(64) WorkerStats {
   std::uint64_t groups_stolen = 0;      ///< stolen by this worker
   std::uint64_t tasks_stolen = 0;
   std::uint64_t reduction_stalls = 0;   ///< waits on thief results
+  std::uint64_t batch_dep_stalls = 0;   ///< waits on in-batch dependencies
   std::uint64_t top_ops = 0;
 
   // Phase wall-clock accounting (Figs. 13/14, 18/19).
@@ -172,6 +182,7 @@ struct alignas(64) WorkerStats {
     groups_stolen += o.groups_stolen;
     tasks_stolen += o.tasks_stolen;
     reduction_stalls += o.reduction_stalls;
+    batch_dep_stalls += o.batch_dep_stalls;
     top_ops += o.top_ops;
     expansion_ns += o.expansion_ns;
     reduction_ns += o.reduction_ns;

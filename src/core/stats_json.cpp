@@ -59,6 +59,7 @@ void worker_stats_fields(ObjectWriter& w, const WorkerStats& s) {
   w.field("groups_stolen", s.groups_stolen);
   w.field("tasks_stolen", s.tasks_stolen);
   w.field("reduction_stalls", s.reduction_stalls);
+  w.field("batch_dep_stalls", s.batch_dep_stalls);
   w.field("top_ops", s.top_ops);
   w.field("expansion_ns", s.expansion_ns);
   w.field("reduction_ns", s.reduction_ns);

@@ -41,6 +41,7 @@ void publish_stats(const ManagerStats& stats, obs::Registry& reg,
       {"pbdd_engine_groups_stolen_total", t.groups_stolen},
       {"pbdd_engine_tasks_stolen_total", t.tasks_stolen},
       {"pbdd_engine_reduction_stalls_total", t.reduction_stalls},
+      {"pbdd_engine_batch_dep_stalls_total", t.batch_dep_stalls},
       {"pbdd_engine_top_ops_total", t.top_ops},
       {"pbdd_engine_lock_wait_ns_total", t.lock_wait_ns},
       {"pbdd_engine_cas_retries_total", t.cas_retries},

@@ -224,6 +224,21 @@ void Worker::expansion() {
 void Worker::spill(unsigned from_var) {
   PBDD_INJECT(kContextPush);
   EvalContext& ctx = *current_;
+  // Steal granularity scales with the spill: a context pushed with far more
+  // queued operations than the workers could drain at group_size apiece is
+  // partitioned into proportionally coarser groups, so one steal amortizes
+  // its lock and cache-migration cost over more work. The divisor keeps a
+  // few groups per active worker in flight for load balance; group_size
+  // stays the floor so small spills partition exactly as the paper's fixed
+  // scheme (and as adaptive_group_size = false always does).
+  std::size_t group_cap = config_.group_size;
+  if (config_.adaptive_group_size) {
+    const std::size_t streams = std::size_t{4} * mgr_->active_workers();
+    const std::size_t scaled = ctx.queued / std::max<std::size_t>(streams, 1);
+    if (scaled > group_cap) {
+      group_cap = std::min<std::size_t>(scaled, Config::kMaxAdaptiveGroup);
+    }
+  }
   std::deque<Group> groups;
   Group cur;
   for (unsigned v = from_var; v < ctx.num_vars(); ++v) {
@@ -233,7 +248,7 @@ void Worker::spill(unsigned from_var) {
       cur.tasks.push_back(
           GroupTask{&n, slot, static_cast<std::uint16_t>(v)});
       slot = n.next;
-      if (cur.tasks.size() >= config_.group_size) {
+      if (cur.tasks.size() >= group_cap) {
         groups.push_back(std::move(cur));
         cur = Group{};
       }
@@ -250,10 +265,14 @@ void Worker::spill(unsigned from_var) {
   EvalContext* child = acquire_context();
   {
     std::lock_guard lock(steal_mutex_);
+    groups_avail_.fetch_add(static_cast<std::uint32_t>(groups.size()),
+                            std::memory_order_relaxed);
     ctx.groups = std::move(groups);
     stack_.push_back(current_);
   }
   current_ = child;
+  // Fresh stealable work exists: wake parked thieves.
+  mgr_->bump_work_epoch();
 }
 
 // ---------------------------------------------------------------------------
@@ -431,22 +450,30 @@ NodeRef Worker::resolve(Ref r) {
   if (res != kInvalid) return res;
 
   // The operation was handed to a thief inside a stolen group; stall and
-  // become a thief ourselves until the result is published.
+  // become a thief ourselves until the result is published. The epoch is
+  // captured before every scan and the thief's writeback bumps it, so a
+  // publication racing the scan turns the park into an immediate return —
+  // no lost wakeups, and no spin/sleep ladder burning the producer's
+  // timeslice on an oversubscribed host.
   ++stats_.reduction_stalls;
   PBDD_TRACE_SPAN(stall_span, kResolveStall);
-  rt::Backoff backoff;
   bool hungry = false;
   while ((res = n.result.load(std::memory_order_acquire)) == kInvalid) {
     PBDD_INJECT(kResolveStall);
+    const std::uint64_t seen = mgr_->work_epoch();
     if (try_steal_and_run()) {
-      backoff.reset();
-    } else {
-      if (!hungry) {
-        mgr_->hungry_workers.fetch_add(1, std::memory_order_relaxed);
-        hungry = true;
+      if (hungry) {
+        mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
+        hungry = false;
       }
-      backoff.pause();
+      continue;
     }
+    if (!hungry) {
+      mgr_->hungry_workers.fetch_add(1, std::memory_order_relaxed);
+      hungry = true;
+    }
+    if ((res = n.result.load(std::memory_order_acquire)) != kInvalid) break;
+    mgr_->wait_for_work(seen);
   }
   if (hungry) mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
   return res;
@@ -507,6 +534,7 @@ bool Worker::take_group_from_top() {
     if (top->groups.empty()) return false;
     group = std::move(top->groups.front());
     top->groups.pop_front();
+    groups_avail_.fetch_sub(1, std::memory_order_relaxed);
   }
   ++stats_.groups_taken;
   PBDD_TRACE_INSTANT(kGroupTake, group.tasks.size(), 0);
@@ -527,6 +555,11 @@ bool Worker::try_steal_and_run() {
   const unsigned n = mgr_->workers();
   for (unsigned i = 0; i < n; ++i) {
     Worker& victim = mgr_->worker((id_ + i) % n);
+    // Lock-free emptiness probe: with several workers hungry at once, the
+    // old sweep serialized them all on every victim's steal_mutex_ even
+    // when there was nothing to take. A stale zero is benign — the spill
+    // that publishes fresh groups bumps the work epoch and the scan reruns.
+    if (victim.groups_avail_.load(std::memory_order_relaxed) == 0) continue;
     Group group;
     bool got = false;
     {
@@ -537,6 +570,7 @@ bool Worker::try_steal_and_run() {
         if (!ctx->groups.empty()) {
           group = std::move(ctx->groups.front());
           ctx->groups.pop_front();
+          victim.groups_avail_.fetch_sub(1, std::memory_order_relaxed);
           got = true;
           break;
         }
@@ -557,6 +591,8 @@ bool Worker::try_steal_and_run() {
       const NodeRef res = evaluate(node->operation(), node->f, node->g);
       PBDD_INJECT(kStealWriteback);
       node->result.store(res, std::memory_order_release);
+      // The victim may be parked on this very result; wake it.
+      mgr_->bump_work_epoch();
       PBDD_TRACE_INSTANT(kStealWriteback, 0, 0);
     }
     return true;
@@ -578,50 +614,110 @@ void Worker::run_batch() {
   const std::size_t total = batch.items.size();
   BatchControl* const control = batch.control;
 
+  // Resolve one operand of a claimed item: a plain handle, or (dep >= 0)
+  // the result of an earlier item of the same batch. A pending dependency
+  // is always owned by another worker (indices are claimed in fetch_add
+  // order, and a claim deterministically ends in done or skipped), so the
+  // wait terminates; meanwhile this worker stalls-and-steals like a
+  // reduction stall. References are read through the handles at the last
+  // moment: a sequential-mode collection between batch items may have
+  // moved nodes.
+  const auto operand = [&](std::int32_t dep, const Bdd& handle,
+                           bool& ok) -> NodeRef {
+    if (dep < 0) return handle.ref();
+    std::atomic<std::uint8_t>& state = batch.item_state[dep];
+    std::uint8_t s = state.load(std::memory_order_acquire);
+    if (s == BddManager::BatchState::kItemPending) {
+      ++stats_.batch_dep_stalls;
+      bool hungry = false;
+      for (;;) {
+        PBDD_INJECT(kBatchLoop);
+        const std::uint64_t seen = mgr_->work_epoch();
+        s = state.load(std::memory_order_acquire);
+        if (s != BddManager::BatchState::kItemPending) break;
+        if (try_steal_and_run()) {
+          if (hungry) {
+            mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
+            hungry = false;
+          }
+          continue;
+        }
+        if (!hungry) {
+          mgr_->hungry_workers.fetch_add(1, std::memory_order_relaxed);
+          hungry = true;
+        }
+        s = state.load(std::memory_order_acquire);
+        if (s != BddManager::BatchState::kItemPending) break;
+        mgr_->wait_for_work(seen);
+      }
+      if (hungry) {
+        mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (s == BddManager::BatchState::kItemSkipped) {
+      ok = false;
+      return kInvalid;
+    }
+    return batch.result_handles[dep].ref();
+  };
+
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= total) break;
+    const BddManager::BatchState::Item& item = batch.items[i];
     // Cancellation/deadline checkpoint: an expired batch stops claiming
-    // items. The claimed index is still accounted as completed so the
-    // whole batch (including workers mid-evaluation) terminates normally.
-    if (control != nullptr && control->expired()) {
-      control->skipped.fetch_add(1, std::memory_order_relaxed);
+    // items, and skips cascade through the dependency DAG (an item whose
+    // dependency was skipped is skipped too, never evaluated with a
+    // missing operand). Skipped items are accounted as completed so the
+    // whole batch terminates normally.
+    bool ok = control == nullptr || !control->expired();
+    NodeRef f = kInvalid;
+    NodeRef g = kInvalid;
+    if (ok) f = operand(item.f_dep, item.f, ok);
+    if (ok) g = operand(item.g_dep, item.g, ok);
+    if (!ok) {
+      batch.item_state[i].store(BddManager::BatchState::kItemSkipped,
+                                std::memory_order_release);
+      if (control != nullptr) {
+        control->skipped.fetch_add(1, std::memory_order_relaxed);
+      }
       batch.completed.fetch_add(1, std::memory_order_acq_rel);
+      mgr_->bump_work_epoch();
       continue;
     }
-    const BddManager::BatchState::Item& item = batch.items[i];
-    // Read operand references through the handles at the last moment: a
-    // sequential-mode collection between batch items may have moved nodes.
     {
       PBDD_TRACE_SPAN(top_span, kEvalTop);
       PBDD_TRACE_SPAN_ARGS(top_span, i, 0);
-      const NodeRef result = evaluate(item.op, item.f.ref(), item.g.ref());
+      const NodeRef result = evaluate(item.op, f, g);
       mgr_->register_batch_result(i, result);
     }
     batch.completed.fetch_add(1, std::memory_order_acq_rel);
+    // Dependents and the batch tail loop may be parked on this completion.
+    mgr_->bump_work_epoch();
     ++stats_.top_ops;
     if (config_.sequential_mode) mgr_->maybe_gc();
   }
 
   // Keep the pipeline busy: steal until every top-level operation in the
-  // batch has completed.
-  rt::Backoff backoff;
+  // batch has completed, parking on the work epoch when there is nothing
+  // to take.
   bool hungry = false;
   while (batch.completed.load(std::memory_order_acquire) < total) {
     PBDD_INJECT(kBatchLoop);
+    const std::uint64_t seen = mgr_->work_epoch();
     if (try_steal_and_run()) {
       if (hungry) {
         mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
         hungry = false;
       }
-      backoff.reset();
-    } else {
-      if (!hungry) {
-        mgr_->hungry_workers.fetch_add(1, std::memory_order_relaxed);
-        hungry = true;
-      }
-      backoff.pause();
+      continue;
     }
+    if (!hungry) {
+      mgr_->hungry_workers.fetch_add(1, std::memory_order_relaxed);
+      hungry = true;
+    }
+    if (batch.completed.load(std::memory_order_acquire) >= total) break;
+    mgr_->wait_for_work(seen);
   }
   if (hungry) mgr_->hungry_workers.fetch_sub(1, std::memory_order_relaxed);
 }

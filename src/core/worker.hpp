@@ -148,6 +148,15 @@ class Worker {
   std::vector<EvalContext*> stack_;
   EvalContext* current_ = nullptr;
 
+  // Stealable-group count across every pushed context, maintained under
+  // steal_mutex_ but readable without it. Thieves probe this before
+  // touching the mutex, so an idle sweep over P victims with nothing to
+  // offer is P relaxed loads instead of P lock acquisitions — the convoy
+  // the old protocol built on steal_mutex_ whenever several workers went
+  // hungry at once. Own cache line: it is the one word of this worker
+  // every other worker polls.
+  alignas(64) std::atomic<std::uint32_t> groups_avail_{0};
+
   std::vector<std::unique_ptr<EvalContext>> context_pool_;
   std::vector<EvalContext*> free_contexts_;
   std::uint32_t next_ctx_serial_ = 1;

@@ -38,15 +38,23 @@ std::vector<FaultSite> enumerate_fault_sites(const circuit::Circuit& circuit,
   return sites;
 }
 
-/// One in-flight fault: the cone to rebuild (grouped into per-level rounds),
-/// the faulty values computed so far, and the output miters.
-struct FaultCampaign::Job {
-  std::size_t site_index = 0;
-  bool stuck_one = false;
+/// The recompute region of one fault site: the strict transitive fanout,
+/// level-sorted, with per-level round ranges. Polarity-independent, so one
+/// cone is shared read-only by the sa0 and sa1 jobs of a net.
+struct FaultCampaign::Cone {
+  std::uint32_t gate = 0;
   /// Strict transitive fanout of the site, (level, id) sorted.
   std::vector<std::uint32_t> recompute;
   /// [begin, end) ranges into `recompute`, one per topological level.
   std::vector<std::pair<std::size_t, std::size_t>> rounds;
+};
+
+/// One in-flight fault: the shared cone to rebuild, the faulty values
+/// computed so far, and the output miters.
+struct FaultCampaign::Job {
+  std::size_t site_index = 0;
+  bool stuck_one = false;
+  std::shared_ptr<const Cone> cone;
   std::size_t next_round = 0;
   /// Faulty value of every cone gate built so far (site preset to the
   /// stuck constant). Gates outside the map read golden values — the fence.
@@ -91,12 +99,10 @@ std::vector<Bdd> FaultCampaign::golden_outputs() const {
   return outs;
 }
 
-FaultCampaign::Job FaultCampaign::make_job(std::size_t site_index,
-                                           std::uint32_t gate,
-                                           bool stuck_one) {
-  Job job;
-  job.site_index = site_index;
-  job.stuck_one = stuck_one;
+std::shared_ptr<const FaultCampaign::Cone> FaultCampaign::make_cone(
+    std::uint32_t gate) {
+  auto cone = std::make_shared<Cone>();
+  cone->gate = gate;
   // BFS over the fanout adjacency for the strict transitive fanout.
   std::vector<char> in_cone(circuit_.num_gates(), 0);
   in_cone[gate] = 1;
@@ -107,26 +113,36 @@ FaultCampaign::Job FaultCampaign::make_job(std::size_t site_index,
     for (const std::uint32_t out : fanouts_[id]) {
       if (!in_cone[out]) {
         in_cone[out] = 1;
-        job.recompute.push_back(out);
+        cone->recompute.push_back(out);
         frontier.push_back(out);
       }
     }
   }
-  std::sort(job.recompute.begin(), job.recompute.end(),
+  std::sort(cone->recompute.begin(), cone->recompute.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               return levels_[a] != levels_[b] ? levels_[a] < levels_[b]
                                               : a < b;
             });
-  for (std::size_t i = 0; i < job.recompute.size();) {
+  for (std::size_t i = 0; i < cone->recompute.size();) {
     std::size_t j = i;
-    while (j < job.recompute.size() &&
-           levels_[job.recompute[j]] == levels_[job.recompute[i]]) {
+    while (j < cone->recompute.size() &&
+           levels_[cone->recompute[j]] == levels_[cone->recompute[i]]) {
       ++j;
     }
-    job.rounds.emplace_back(i, j);
+    cone->rounds.emplace_back(i, j);
     i = j;
   }
-  job.value.emplace(gate, stuck_one ? mgr_.one() : mgr_.zero());
+  return cone;
+}
+
+FaultCampaign::Job FaultCampaign::make_job(std::size_t site_index,
+                                           std::shared_ptr<const Cone> cone,
+                                           bool stuck_one) {
+  Job job;
+  job.site_index = site_index;
+  job.stuck_one = stuck_one;
+  job.value.emplace(cone->gate, stuck_one ? mgr_.one() : mgr_.zero());
+  job.cone = std::move(cone);
   return job;
 }
 
@@ -156,12 +172,12 @@ bool FaultCampaign::advance_cones(std::vector<Job>& jobs,
     std::vector<std::pair<Job*, std::uint32_t>> targets;
     bool any_rounds_left = false;
     for (Job& job : jobs) {
-      if (job.next_round >= job.rounds.size()) continue;
-      const auto [begin, end] = job.rounds[job.next_round];
+      if (job.next_round >= job.cone->rounds.size()) continue;
+      const auto [begin, end] = job.cone->rounds[job.next_round];
       ++job.next_round;
-      if (job.next_round < job.rounds.size()) any_rounds_left = true;
+      if (job.next_round < job.cone->rounds.size()) any_rounds_left = true;
       for (std::size_t k = begin; k < end; ++k) {
-        const std::uint32_t id = job.recompute[k];
+        const std::uint32_t id = job.cone->recompute[k];
         const Gate& g = circuit_.gate(id);
         switch (g.type) {
           case GateType::Buf:
@@ -221,8 +237,119 @@ bool FaultCampaign::build_miters(std::vector<Job>& jobs,
   return true;
 }
 
+// The whole wave — every job's cone rebuild, output miters, and OR fold —
+// issued as ONE dependency-carrying batch. The round-lockstep pipeline
+// (below) drains the worker pool at a barrier per topological level; here a
+// worker finishing one fault's shallow cone immediately moves on to another
+// fault's miters, so the pool stays saturated across the wave.
+bool FaultCampaign::run_wave_dag(std::vector<Job>& jobs,
+                                 const FaultSimOptions& options) {
+  if (!check_cancel(options)) return false;
+  const Bdd one = mgr_.one();
+  std::vector<BatchOp> batch;
+  // Per-job root item of the OR fold (-1: no output in the cone).
+  std::vector<std::int32_t> root(jobs.size(), -1);
+  std::uint64_t cone_ops = 0;
+  std::uint64_t miter_ops = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    Job& job = jobs[j];
+    // Batch item producing each in-cone gate (gates absent from the map and
+    // from job.value read the golden fence).
+    std::unordered_map<std::uint32_t, std::int32_t> item;
+    item.reserve(job.cone->recompute.size() + 1);
+    // Operand for a fanin: a dep on the item computing it, the job's preset
+    // faulty constant, or the golden fence value.
+    auto fanin_op = [&](std::uint32_t f, Bdd& h) -> std::int32_t {
+      const auto it = item.find(f);
+      if (it != item.end()) return it->second;
+      const auto vt = job.value.find(f);
+      h = vt != job.value.end() ? vt->second : golden_[f];
+      return -1;
+    };
+    for (const std::uint32_t id : job.cone->recompute) {
+      const Gate& g = circuit_.gate(id);
+      switch (g.type) {
+        case GateType::Buf: {
+          Bdd h;
+          const std::int32_t dep = fanin_op(g.fanins[0], h);
+          if (dep >= 0) {
+            item.emplace(id, dep);
+          } else {
+            job.value[id] = h;
+          }
+          break;
+        }
+        case GateType::Not: {
+          BatchOp op{Op::Xor, Bdd{}, one, -1, -1};
+          op.f_dep = fanin_op(g.fanins[0], op.f);
+          item.emplace(id, static_cast<std::int32_t>(batch.size()));
+          batch.push_back(std::move(op));
+          ++cone_ops;
+          break;
+        }
+        default: {
+          BatchOp op{circuit::gate_op(g.type), Bdd{}, Bdd{}, -1, -1};
+          op.f_dep = fanin_op(g.fanins[0], op.f);
+          op.g_dep = fanin_op(g.fanins[1], op.g);
+          item.emplace(id, static_cast<std::int32_t>(batch.size()));
+          batch.push_back(std::move(op));
+          ++cone_ops;
+          break;
+        }
+      }
+    }
+    // Miters: XOR(golden, faulty) for every output the cone reaches, chained
+    // straight onto the cone items.
+    std::vector<std::int32_t> fold;
+    for (const std::uint32_t o : circuit_.outputs()) {
+      BatchOp op{Op::Xor, golden_[o], Bdd{}, -1, -1};
+      const auto it = item.find(o);
+      if (it != item.end()) {
+        op.g_dep = it->second;
+      } else {
+        const auto vt = job.value.find(o);
+        if (vt == job.value.end()) continue;  // untouched by the fault
+        op.g = vt->second;
+      }
+      fold.push_back(static_cast<std::int32_t>(batch.size()));
+      batch.push_back(std::move(op));
+      ++miter_ops;
+    }
+    // Balanced OR fold of the miter items, still inside the same batch.
+    while (fold.size() > 1) {
+      std::vector<std::int32_t> next;
+      next.reserve(fold.size() / 2 + 1);
+      for (std::size_t i = 0; i + 1 < fold.size(); i += 2) {
+        next.push_back(static_cast<std::int32_t>(batch.size()));
+        batch.push_back(BatchOp{Op::Or, Bdd{}, Bdd{}, fold[i], fold[i + 1]});
+        ++miter_ops;
+      }
+      if (fold.size() & 1) next.push_back(fold.back());
+      fold = std::move(next);
+    }
+    if (!fold.empty()) root[j] = fold.front();
+  }
+  std::vector<Bdd> results;
+  if (!batch.empty()) {
+    results = mgr_.apply_batch(batch, options.control);
+    ++stats_.batches;
+    stats_.cone_ops += cone_ops;
+    stats_.miter_ops += miter_ops;
+    if (!check_cancel(options)) return false;
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::int32_t r = root[j];
+    jobs[j].detected = r >= 0 && results[static_cast<std::size_t>(r)].valid() &&
+                       mgr_.sat_count(results[static_cast<std::size_t>(r)]) !=
+                           0.0;
+    jobs[j].value.clear();
+  }
+  return true;
+}
+
 bool FaultCampaign::run_wave(std::vector<Job>& jobs,
                              const FaultSimOptions& options) {
+  if (options.dag_pipeline) return run_wave_dag(jobs, options);
   if (!advance_cones(jobs, options)) return false;
   if (!build_miters(jobs, options)) return false;
   // OR-fold every job's miters as balanced trees, all jobs per level merged
@@ -286,10 +413,31 @@ std::vector<NetFaultResult> FaultCampaign::run(
     std::vector<Job> jobs;
     jobs.reserve(2 * (end - begin));
     for (std::size_t s = begin; s < end; ++s) {
-      jobs.push_back(make_job(s, sites[s].gate, /*stuck_one=*/false));
-      jobs.push_back(make_job(s, sites[s].gate, /*stuck_one=*/true));
+      // One BFS + sort per net, shared read-only by both polarities.
+      auto cone = make_cone(sites[s].gate);
+      jobs.push_back(make_job(s, cone, /*stuck_one=*/false));
+      jobs.push_back(make_job(s, std::move(cone), /*stuck_one=*/true));
+    }
+    // Per-wave utilization: expansion-count deltas across the active pool.
+    const unsigned active = mgr_.active_workers();
+    std::vector<std::uint64_t> ops_before(active);
+    for (unsigned w = 0; w < active; ++w) {
+      ops_before[w] = mgr_.worker(w).stats().ops_performed;
     }
     if (!run_wave(jobs, options)) break;
+    std::uint64_t ops_sum = 0;
+    std::uint64_t ops_max = 0;
+    for (unsigned w = 0; w < active; ++w) {
+      const std::uint64_t d =
+          mgr_.worker(w).stats().ops_performed - ops_before[w];
+      ops_sum += d;
+      ops_max = std::max(ops_max, d);
+    }
+    stats_.wave_utilization.push_back(
+        ops_max > 0 ? static_cast<double>(ops_sum) /
+                          (static_cast<double>(active) *
+                           static_cast<double>(ops_max))
+                    : 1.0);
     for (std::size_t s = begin; s < end; ++s) {
       const Job& sa0 = jobs[2 * (s - begin)];
       const Job& sa1 = jobs[2 * (s - begin) + 1];
@@ -325,7 +473,7 @@ core::Bdd FaultCampaign::difference_function(std::uint32_t gate,
   build_golden();
   FaultSimOptions options;
   std::vector<Job> jobs;
-  jobs.push_back(make_job(0, gate, value == StuckAt::kOne));
+  jobs.push_back(make_job(0, make_cone(gate), value == StuckAt::kOne));
   advance_cones(jobs, options);
   build_miters(jobs, options);
   return core::or_all(mgr_, jobs.front().miters);

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct CampaignStats {
   std::uint64_t miter_ops = 0;         ///< XOR + OR-fold operations
   std::uint64_t golden_batches = 0;    ///< batches in the golden build
   bool cancelled = false;              ///< cut short by BatchControl
+  /// Per-wave worker utilization: sum of per-active-worker expansion counts
+  /// over (active_workers x max per-worker count) for the wave's batches —
+  /// 1.0 is a perfectly balanced wave, 1/active_workers is one worker doing
+  /// everything. Sampled from the engine's ops_performed counters.
+  std::vector<double> wave_utilization;
 };
 
 struct FaultSimOptions {
@@ -70,6 +76,13 @@ struct FaultSimOptions {
   /// deterministic stride over the topological enumeration, so the same
   /// cap always selects the same nets.
   std::size_t max_nets = 0;
+  /// Issue each wave as one dependency-carrying batch (cone rebuilds,
+  /// miters, and the OR fold chained through BatchOp deps) instead of one
+  /// batch per topological round. The lockstep rounds drain the worker pool
+  /// at every barrier — a wave of shallow cones is mostly barrier — while
+  /// the DAG form keeps every worker busy across the whole wave. Off
+  /// reproduces the round-lockstep pipeline (same verdicts either way).
+  bool dag_pipeline = true;
   /// Optional cooperative cancellation/deadline, polled between batches and
   /// observed mid-batch at item-claim checkpoints. On cancellation run()
   /// returns the resolved prefix and stats().cancelled is set.
@@ -128,16 +141,26 @@ class FaultCampaign {
   [[nodiscard]] std::vector<core::Bdd> golden_outputs() const;
 
  private:
+  struct Cone;
   struct Job;
 
-  [[nodiscard]] Job make_job(std::size_t site_index, std::uint32_t gate,
+  // The transitive-fanout cone of a net is identical for both stuck-at
+  // polarities, so it is computed once per net and shared read-only by the
+  // sa0 and sa1 jobs (and any repeated difference_function calls would
+  // otherwise redo the BFS + sort per fault).
+  [[nodiscard]] std::shared_ptr<const Cone> make_cone(std::uint32_t gate);
+  [[nodiscard]] Job make_job(std::size_t site_index,
+                             std::shared_ptr<const Cone> cone,
                              bool stuck_one);
   // Each phase returns false on cancellation. A wave = advance all jobs'
   // cone rebuilds in lockstep rounds, build the output miters, OR-fold
-  // them, decide detectability.
+  // them, decide detectability. run_wave dispatches to the DAG pipeline
+  // (whole wave as one dependency-carrying batch) unless
+  // FaultSimOptions::dag_pipeline is off.
   bool advance_cones(std::vector<Job>& jobs, const FaultSimOptions& options);
   bool build_miters(std::vector<Job>& jobs, const FaultSimOptions& options);
   bool run_wave(std::vector<Job>& jobs, const FaultSimOptions& options);
+  bool run_wave_dag(std::vector<Job>& jobs, const FaultSimOptions& options);
   [[nodiscard]] bool check_cancel(const FaultSimOptions& options);
 
   core::BddManager& mgr_;

@@ -1,47 +1,79 @@
-// Reusable sense-reversing barrier.
+// Phase-counted sense-reversing barrier.
 //
 // The parallel garbage collector synchronizes all workers once per variable
 // during the mark phase (Section 3.4: "each process will synchronize at each
 // variable"), so for a 64-variable multiplier a full collection crosses the
-// barrier ~70 times. A centralized sense-reversing barrier with a short spin
-// then yield keeps that cheap without requiring C++20 std::barrier's
-// completion-function machinery.
+// barrier ~70 times. The barrier is centralized but cheap: arrival is one
+// fetch_add, and the phase counter doubles as the reversing sense — a waiter
+// only ever compares against the phase it captured on arrival, so the
+// counter never needs resetting and ABA cannot occur across back-to-back
+// phases. Waiters spin briefly (the common case: all workers reach the
+// barrier within a few hundred cycles of each other), then park on the
+// phase word with std::atomic::wait. The futex path is what keeps an
+// oversubscribed or single-core host honest: a descheduled straggler no
+// longer costs every other worker its full timeslice of spinning, and on
+// such hosts the spin window is skipped entirely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
+#ifdef PBDD_TORTURE_ENABLED
+#include "runtime/torture.hpp"
+#endif
 
 namespace pbdd::rt {
 
-class SpinBarrier {
+class PhaseBarrier {
  public:
-  explicit SpinBarrier(std::uint32_t participants) noexcept
-      : participants_(participants) {}
+  /// `spin` disables the pre-wait spin window when false — the right setting
+  /// whenever more runnable workers exist than hardware threads, where a
+  /// spinning waiter burns exactly the timeslice the straggler needs.
+  explicit PhaseBarrier(std::uint32_t participants, bool spin = true) noexcept
+      : participants_(participants), spin_(spin) {}
 
-  SpinBarrier(const SpinBarrier&) = delete;
-  SpinBarrier& operator=(const SpinBarrier&) = delete;
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
 
   /// Block until all participants arrive. Returns true for exactly one
   /// caller per phase (the last arriver), which is convenient for
   /// single-threaded epilogues between parallel phases.
   bool arrive_and_wait() noexcept {
-    const bool sense = !sense_.load(std::memory_order_relaxed);
+    const std::uint32_t phase = phase_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         participants_) {
       arrived_.store(0, std::memory_order_relaxed);
-      sense_.store(sense, std::memory_order_release);
+      phase_.fetch_add(1, std::memory_order_release);
+      // libstdc++ tracks waiters per word: when everyone arrived inside the
+      // spin window this is a plain load, not a syscall.
+      phase_.notify_all();
       return true;
     }
-    Backoff backoff;
-    while (sense_.load(std::memory_order_acquire) != sense) {
-      // In serialized torture runs this is the handoff that lets the other
-      // workers reach the barrier; without it the waiter would spin forever
-      // holding the schedule token.
+#ifdef PBDD_TORTURE_ENABLED
+    if (TortureScheduler::instance().enabled()) {
+      // Serialized torture runs hand the schedule token through the inject
+      // point; a futex-parked waiter would never reach it again, so the
+      // torture path keeps the classic spin-with-handoff loop.
+      Backoff backoff;
+      while (phase_.load(std::memory_order_acquire) == phase) {
+        PBDD_INJECT(kGcBarrierWait);
+        backoff.pause();
+      }
+      return false;
+    }
+#endif
+    if (spin_) {
+      for (std::uint32_t i = 0; i < kSpinLimit; ++i) {
+        if (phase_.load(std::memory_order_acquire) != phase) return false;
+        cpu_relax();
+      }
+    }
+    while (phase_.load(std::memory_order_acquire) == phase) {
       PBDD_INJECT(kGcBarrierWait);
-      backoff.pause();
+      phase_.wait(phase, std::memory_order_acquire);
     }
     return false;
   }
@@ -51,9 +83,15 @@ class SpinBarrier {
   }
 
  private:
+  static constexpr std::uint32_t kSpinLimit = 1024;
+
   const std::uint32_t participants_;
+  const bool spin_;
   std::atomic<std::uint32_t> arrived_{0};
-  std::atomic<bool> sense_{false};
+  std::atomic<std::uint32_t> phase_{0};
 };
+
+/// Historical name; the GC driver predates the phase-counted rewrite.
+using SpinBarrier = PhaseBarrier;
 
 }  // namespace pbdd::rt

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -152,7 +153,7 @@ struct TracedBuild {
   Tracer::Snapshot snapshot;
 };
 
-TracedBuild traced_build(unsigned workers, unsigned mult_width) {
+TracedBuild traced_build_once(unsigned workers, unsigned mult_width) {
   const circuit::Circuit bin = circuit::multiplier(mult_width).binarized();
   const std::vector<unsigned> order = circuit::order_dfs(bin);
   core::Config config;
@@ -175,6 +176,24 @@ TracedBuild traced_build(unsigned workers, unsigned mult_width) {
   std::ostringstream os;
   tracer.write_chrome_trace(os);
   out.trace = obs::parse_chrome_trace(os.str());
+  return out;
+}
+
+// On a preempted machine a fast worker can legitimately steal the whole
+// build before a slow sibling is ever scheduled, leaving that sibling's
+// track empty. The export tests assert per-worker track contents, not
+// scheduling fairness, so retry until every worker recorded an expansion
+// (practically always the first attempt on an idle machine).
+TracedBuild traced_build(unsigned workers, unsigned mult_width) {
+  TracedBuild out;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    out = traced_build_once(workers, mult_width);
+    std::set<std::uint64_t> expanding_tids;
+    for (const obs::TraceEvent& e : out.trace.events) {
+      if (e.name == "expansion") expanding_tids.insert(e.tid);
+    }
+    if (expanding_tids.size() >= workers) break;
+  }
   return out;
 }
 

@@ -1,0 +1,161 @@
+// Determinism across the scheduling configuration space.
+//
+// The scale-aware scheduling work (adaptive steal groups, the phase-counted
+// GC barrier, dependency-carrying batches, windowed circuit construction)
+// must never change WHAT gets built — only how fast. Canonicity makes this
+// checkable: two runs that build the same Boolean functions must produce
+// BDDs with identical per-output node counts, whatever the worker count,
+// steal granularity, or batch shape. These tests sweep the configuration
+// grid and demand byte-identical checksums everywhere, including against
+// the dedicated sequential engine — the same cross-configuration invariant
+// the benchmark harness and the CI speedup gate enforce on every run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/ordering.hpp"
+#include "core/bdd_manager.hpp"
+
+namespace pbdd {
+namespace {
+
+struct Workload {
+  circuit::Circuit binarized;
+  std::vector<unsigned> order;
+};
+
+Workload make_workload(circuit::Circuit raw) {
+  Workload w{raw.binarized(), {}};
+  w.order = circuit::order_dfs(w.binarized);
+  return w;
+}
+
+// Order-sensitive FNV mix of per-output node counts — the same checksum
+// bench/harness.cpp computes, so a failure here reproduces a benchmark
+// checksum mismatch in a unit test.
+std::uint64_t build_checksum(const Workload& w, const core::Config& config,
+                             const circuit::BuildOptions& opts = {}) {
+  core::BddManager mgr(static_cast<unsigned>(w.binarized.inputs().size()),
+                       config);
+  const std::vector<core::Bdd> outputs =
+      circuit::build_parallel(mgr, w.binarized, w.order, nullptr, opts);
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const core::Bdd& out : outputs) {
+    checksum = (checksum ^ mgr.node_count(out)) * 0x100000001b3ULL;
+  }
+  return checksum;
+}
+
+core::Config parallel_config(unsigned workers) {
+  core::Config config;
+  config.workers = workers;
+  // Modest threshold so spills, steals, and the adaptive group policy all
+  // actually engage on a mid-size circuit.
+  config.eval_threshold = 1u << 12;
+  return config;
+}
+
+TEST(ScalingDeterminism, ChecksumsAgreeAcrossWorkersGroupsAndWindows) {
+  const Workload w = make_workload(circuit::c2670_like());
+
+  core::Config seq;
+  seq.workers = 1;
+  seq.sequential_mode = true;
+  const std::uint64_t expect = build_checksum(w, seq);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    for (const bool adaptive : {false, true}) {
+      for (const std::uint32_t group : {4u, 64u}) {
+        core::Config config = parallel_config(workers);
+        config.adaptive_group_size = adaptive;
+        config.group_size = group;
+        for (const std::uint32_t window : {1u, 8u}) {
+          circuit::BuildOptions opts;
+          opts.dag_window = window;
+          EXPECT_EQ(build_checksum(w, config, opts), expect)
+              << workers << " workers, group " << group << ", adaptive "
+              << adaptive << ", dag_window " << window;
+        }
+        // One fixed group size is enough for the non-adaptive × window
+        // product; the adaptive policy ignores group_size anyway.
+        if (adaptive) break;
+      }
+    }
+  }
+}
+
+TEST(ScalingDeterminism, MultiplierChecksumsAgreeAcrossBatchShapes) {
+  const Workload w = make_workload(circuit::multiplier(7));
+
+  core::Config seq;
+  seq.workers = 1;
+  seq.sequential_mode = true;
+  const std::uint64_t expect = build_checksum(w, seq);
+
+  for (const unsigned workers : {1u, 4u}) {
+    const core::Config config = parallel_config(workers);
+    for (const std::uint32_t window : {1u, 4u, 16u}) {
+      circuit::BuildOptions opts;
+      opts.dag_window = window;
+      EXPECT_EQ(build_checksum(w, config, opts), expect)
+          << workers << " workers, dag_window " << window;
+    }
+  }
+}
+
+// The DAG form of a batch must produce exactly the handles of the
+// materialized two-phase form — same ops, same roots.
+TEST(ScalingDeterminism, DagBatchMatchesMaterializedBatch) {
+  core::Config config = parallel_config(2);
+  core::BddManager mgr(8, config);
+
+  std::vector<core::Bdd> vars;
+  for (unsigned v = 0; v < 8; ++v) vars.push_back(mgr.var(v));
+
+  // Materialized: two rounds with a barrier between them.
+  std::vector<core::BatchOp> round1;
+  for (unsigned v = 0; v + 1 < 8; v += 2) {
+    round1.push_back(core::BatchOp{Op::And, vars[v], vars[v + 1]});
+  }
+  std::vector<core::Bdd> mids = mgr.apply_batch(round1);
+  std::vector<core::BatchOp> round2;
+  for (std::size_t i = 0; i + 1 < mids.size(); i += 2) {
+    round2.push_back(core::BatchOp{Op::Xor, mids[i], mids[i + 1]});
+  }
+  std::vector<core::Bdd> top = mgr.apply_batch(round2);
+
+  // DAG: the whole tree as one batch with dep back references.
+  std::vector<core::BatchOp> dag;
+  for (unsigned v = 0; v + 1 < 8; v += 2) {
+    dag.push_back(core::BatchOp{Op::And, vars[v], vars[v + 1]});
+  }
+  dag.push_back(core::BatchOp{Op::Xor, core::Bdd{}, core::Bdd{}, 0, 1});
+  dag.push_back(core::BatchOp{Op::Xor, core::Bdd{}, core::Bdd{}, 2, 3});
+  std::vector<core::Bdd> dag_out = mgr.apply_batch(dag);
+
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(dag_out[4].ref(), top[0].ref());
+  EXPECT_EQ(dag_out[5].ref(), top[1].ref());
+}
+
+TEST(ScalingDeterminism, ForwardDependenciesAreRejected) {
+  core::Config config = parallel_config(1);
+  core::BddManager mgr(4, config);
+  const core::Bdd a = mgr.var(0);
+  const core::Bdd b = mgr.var(1);
+
+  // Self-reference and forward reference are both non-backward.
+  std::vector<core::BatchOp> self{core::BatchOp{Op::And, core::Bdd{}, b, 0, -1}};
+  EXPECT_THROW((void)mgr.apply_batch(self), std::invalid_argument);
+  std::vector<core::BatchOp> fwd{
+      core::BatchOp{Op::And, core::Bdd{}, b, 1, -1},
+      core::BatchOp{Op::Or, a, b}};
+  EXPECT_THROW((void)mgr.apply_batch(fwd), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbdd

@@ -79,6 +79,13 @@ inline std::string validate_env(core::BddManager& mgr,
 /// collection. The caller is expected to hold a TortureGuard; this function
 /// reads the scheduler's log and counters after the manager is destroyed.
 ///
+/// dag_permille > 0 turns that fraction (out of 1000) of the batch steps
+/// into dependency-carrying batches: items reference earlier items of the
+/// same batch through BatchOp::f_dep/g_dep, so the workers' in-batch dep
+/// resolution races the steal and GC machinery under the active schedule.
+/// The extra dice are drawn only when the knob is nonzero, so every
+/// existing seed's random stream — and therefore its replay — is unchanged.
+///
 /// snapshot_every > 0 adds checkpoint/restore churn: every N steps the whole
 /// environment is export-saved (src/snapshot/), restored into a *fresh*
 /// manager under the same config, and the run continues in the restored
@@ -88,7 +95,8 @@ inline std::string validate_env(core::BddManager& mgr,
 inline TortureRunResult run_torture_workload(const core::Config& config,
                                              unsigned num_vars, int steps,
                                              std::uint64_t program_seed,
-                                             int snapshot_every = 0) {
+                                             int snapshot_every = 0,
+                                             int dag_permille = 0) {
   TortureRunResult out;
   util::Xoshiro256 rng(program_seed);
   std::uint64_t groups_stolen = 0;
@@ -115,15 +123,30 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
         const std::size_t a = pick(), b = pick();
         env.push_back(mgr->apply(op, env[a], env[b]));
         tts.push_back(tts[a].apply(op, tts[b]));
-      } else if (dice < 80) {  // batch of independent operations
+      } else if (dice < 80) {  // batch of independent or dep-carrying ops
+        const bool dag =
+            dag_permille > 0 &&
+            rng.below(1000) < static_cast<std::uint64_t>(dag_permille);
         std::vector<core::BatchOp> batch;
         std::vector<TruthTable64> expected;
         const unsigned count = 2 + static_cast<unsigned>(rng.below(5));
         for (unsigned i = 0; i < count; ++i) {
           const Op op = static_cast<Op>(rng.below(kNumOps));
-          const std::size_t a = pick(), b = pick();
-          batch.push_back(core::BatchOp{op, env[a], env[b]});
-          expected.push_back(tts[a].apply(op, tts[b]));
+          core::BatchOp item{op, core::Bdd{}, core::Bdd{}, -1, -1};
+          auto operand = [&](std::int32_t& dep,
+                             core::Bdd& h) -> TruthTable64 {
+            if (dag && i > 0 && rng.below(2) == 0) {
+              dep = static_cast<std::int32_t>(rng.below(i));
+              return expected[static_cast<std::size_t>(dep)];
+            }
+            const std::size_t a = pick();
+            h = env[a];
+            return tts[a];
+          };
+          const TruthTable64 ta = operand(item.f_dep, item.f);
+          const TruthTable64 tb = operand(item.g_dep, item.g);
+          batch.push_back(std::move(item));
+          expected.push_back(ta.apply(op, tb));
         }
         auto results = mgr->apply_batch(batch);
         for (unsigned i = 0; i < count; ++i) {

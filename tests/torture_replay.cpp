@@ -28,6 +28,7 @@ struct ReplaySpec {
   int steps = 40;
   std::uint64_t program_seed = 1;
   int snapshot_every = 0;  // >0: checkpoint/restore cycle every N steps
+  int dag_permille = 0;    // fraction of batch steps made dep-carrying
   bool expect_deterministic = false;  // run twice, require identical logs
 
   // fault_campaign=1 switches to the stuck-at fault-campaign workload
@@ -119,6 +120,7 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
   else if (key == "steps") spec.steps = static_cast<int>(u64());
   else if (key == "program_seed") spec.program_seed = u64();
   else if (key == "snapshot_every") spec.snapshot_every = static_cast<int>(u64());
+  else if (key == "dag_permille") spec.dag_permille = static_cast<int>(u64());
   else if (key == "expect_deterministic") {
     spec.expect_deterministic = u64() != 0;
   }
@@ -282,7 +284,8 @@ pbdd::test::TortureRunResult run(const ReplaySpec& spec) {
   pbdd::test::TortureGuard guard(spec.torture);
   return pbdd::test::run_torture_workload(spec.config, spec.num_vars,
                                           spec.steps, spec.program_seed,
-                                          spec.snapshot_every);
+                                          spec.snapshot_every,
+                                          spec.dag_permille);
 }
 
 }  // namespace

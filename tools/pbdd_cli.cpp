@@ -3,7 +3,7 @@
 //   pbdd_cli <circuit> [options]
 //
 //   <circuit>            a .bench netlist path or a generator spec
-//                        (c2670s, c3540s, c17, mult-N, alu-N, cmp-N, add-N,
+//                        (c2670s, c2670b, c3540s, c17, mult-N, alu-N, cmp-N, add-N,
 //                        par-N, rand-N)
 //   --threads N          parallel workers (default 1)
 //   --seq                dedicated sequential mode (lock elision)
@@ -71,6 +71,7 @@ circuit::Circuit load_circuit(const std::string& spec) {
         std::strtoul(spec.c_str() + std::strlen(prefix), nullptr, 10));
   };
   if (spec == "c2670s") return circuit::c2670_like();
+  if (spec == "c2670b") return circuit::c2670_big();
   if (spec == "c3540s") return circuit::c3540_like();
   if (spec == "c17") return circuit::c17();
   if (spec.rfind("mult-", 0) == 0) return circuit::multiplier(num("mult-"));

@@ -3,7 +3,7 @@
 //   pbdd_fault <circuit> [options]
 //
 //   <circuit>            a .bench netlist path or a generator spec
-//                        (c2670s, c3540s, c17, mult-N, add-N, lfsr-N, ...)
+//                        (c2670s, c2670b, c3540s, c17, mult-N, add-N, lfsr-N, ...)
 //   --workers N          parallel workers (default 1)
 //   --discipline D       unique-table discipline: passlock|sharded|lockfree
 //   --batch N            faults rebuilt concurrently per wave (default 32)
@@ -55,6 +55,7 @@ circuit::Circuit load_circuit(const std::string& spec) {
         std::strtoul(spec.c_str() + std::strlen(prefix), nullptr, 10));
   };
   if (spec == "c2670s") return circuit::c2670_like();
+  if (spec == "c2670b") return circuit::c2670_big();
   if (spec == "c3540s") return circuit::c3540_like();
   if (spec == "c17") return circuit::c17();
   if (spec.rfind("mult-", 0) == 0) return circuit::multiplier(num("mult-"));

@@ -27,6 +27,7 @@ circuit::Circuit make(const std::string& spec) {
         std::strtoul(spec.c_str() + std::strlen(prefix), nullptr, 10));
   };
   if (spec == "c2670s") return circuit::c2670_like();
+  if (spec == "c2670b") return circuit::c2670_big();
   if (spec == "c3540s") return circuit::c3540_like();
   if (spec == "c17") return circuit::c17();
   if (spec.rfind("mult-", 0) == 0) return circuit::multiplier(num("mult-"));
