@@ -1,0 +1,167 @@
+// Ablation: out-of-core paging cost vs resident-node budget.
+//
+// The pager (src/ooc/) exploits the breadth-first discipline — one level in
+// flight at a time — to spill cold levels to disk at batch barriers and
+// fault them back on first touch. This harness measures what that paging
+// discipline costs: full construction under shrinking resident budgets,
+// expressed as fractions of the unbudgeted build's final live-node count,
+// across worker counts.
+//
+// Protocol per worker count W: build once unbudgeted (the baseline and the
+// budget reference), then rebuild under each budget ratio with a LevelPager
+// attached. Every run's canonicity checksum (FNV over per-output node
+// counts) must equal the baseline's — a build that pages wrong fails here,
+// not in a plot.
+//
+//   ablate_ooc --circuits mult-11 --threads 1,2,4 --json BENCH_ooc.json
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "harness.hpp"
+#include "ooc/level_pager.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Canonicity checksum over per-output node counts (the scaling suite's
+/// idiom): identical functions must hash identically under every budget.
+std::uint64_t outputs_checksum(pbdd::core::BddManager& mgr,
+                               const std::vector<pbdd::core::Bdd>& outputs) {
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const pbdd::core::Bdd& out : outputs) {
+    checksum = (checksum ^ mgr.node_count(out)) * 0x100000001b3ULL;
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  const bench::Cli cli = bench::parse_cli(argc, argv, {"mult-11"});
+  const bench::Workload w = bench::make_workload(cli.circuit_specs[0]);
+  const std::vector<double> ratios{0.5, 0.25};
+
+  const std::string spill_dir =
+      "/tmp/pbdd_ablate_ooc_" + std::to_string(::getpid());
+  ::mkdir(spill_dir.c_str(), 0755);
+
+  struct Point {
+    unsigned workers;
+    double ratio;  ///< 1.0 = unbudgeted baseline (no pager)
+    std::size_t budget;
+    double elapsed_s;
+    ooc::PagerStats pager;
+    std::uint64_t checksum;
+  };
+  std::vector<Point> points;
+  bool checksums_ok = true;
+
+  util::TextTable table({"# procs", "budget", "elapsed s", "slowdown",
+                         "demotions", "faults", "pf hits", "MB written",
+                         "MB read"});
+  for (const unsigned workers : cli.thread_counts) {
+    std::size_t baseline_live = 0;
+    std::uint64_t baseline_checksum = 0;
+    double baseline_s = 0;
+    for (std::size_t ri = 0; ri <= ratios.size(); ++ri) {
+      const bool budgeted = ri > 0;
+      const double ratio = budgeted ? ratios[ri - 1] : 1.0;
+      const core::Config config = bench::config_for(cli, workers, false);
+      core::BddManager mgr(w.num_vars, config);
+      std::unique_ptr<ooc::LevelPager> pager;
+      std::size_t budget = 0;
+      if (budgeted) {
+        budget = std::max<std::size_t>(
+            1, static_cast<std::size_t>(static_cast<double>(baseline_live) *
+                                        ratio));
+        ooc::PagerConfig pc;
+        pc.spill_dir = spill_dir;
+        pc.node_budget = budget;
+        pager = std::make_unique<ooc::LevelPager>(mgr, pc);
+      }
+
+      util::WallTimer t;
+      const std::vector<core::Bdd> outputs =
+          circuit::build_parallel(mgr, w.binarized, w.order);
+      const double elapsed = t.elapsed_s();
+
+      Point p{workers, ratio, budget, elapsed, {}, 0};
+      // node_count faults every spilled level back in; counted outside the
+      // timed build, as a consumer of the finished store would.
+      p.checksum = outputs_checksum(mgr, outputs);
+      if (pager) {
+        p.pager = pager->stats();
+        if (p.checksum != baseline_checksum) {
+          checksums_ok = false;
+          std::fprintf(stderr,
+                       "CHECKSUM MISMATCH: w=%u ratio=%.2f %016llx != "
+                       "baseline %016llx\n",
+                       workers, ratio,
+                       static_cast<unsigned long long>(p.checksum),
+                       static_cast<unsigned long long>(baseline_checksum));
+        }
+      } else {
+        baseline_live = mgr.live_nodes();
+        baseline_checksum = p.checksum;
+        baseline_s = elapsed;
+      }
+      points.push_back(p);
+
+      table.add_row(
+          {std::to_string(workers),
+           budgeted ? util::TextTable::num(ratio, 2) : "none",
+           util::TextTable::num(elapsed, 3),
+           util::TextTable::num(elapsed / baseline_s, 2),
+           std::to_string(p.pager.demotions), std::to_string(p.pager.faults),
+           std::to_string(p.pager.prefetch_hits),
+           util::TextTable::num(
+               static_cast<double>(p.pager.bytes_written) / 1048576.0, 1),
+           util::TextTable::num(
+               static_cast<double>(p.pager.bytes_read) / 1048576.0, 1)});
+      std::fflush(stdout);
+    }
+  }
+  ::rmdir(spill_dir.c_str());
+  table.print(std::cout);
+  std::printf(
+      "\nBudgets are fractions of the unbudgeted build's final live nodes.\n"
+      "Every budgeted build's output checksum is enforced against the\n"
+      "baseline's; the slowdown column is the price of paging, the\n"
+      "prefetch-hit column how much of it the sequential reader hides.\n");
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"ablate_ooc\",\n"
+        << "  \"circuit\": \"" << w.name << "\",\n"
+        << "  \"checksums_ok\": " << (checksums_ok ? "true" : "false")
+        << ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"workers\": " << p.workers
+          << ", \"budget_ratio\": " << p.ratio
+          << ", \"budget_nodes\": " << p.budget << ", \"s\": " << p.elapsed_s
+          << ", \"demotions\": " << p.pager.demotions
+          << ", \"faults\": " << p.pager.faults
+          << ", \"prefetch_hits\": " << p.pager.prefetch_hits
+          << ", \"bytes_written\": " << p.pager.bytes_written
+          << ", \"bytes_read\": " << p.pager.bytes_read << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return checksums_ok ? 0 : 1;
+}

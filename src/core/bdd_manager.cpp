@@ -10,6 +10,7 @@
 #include "obs/trace_points.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/inject.hpp"
+#include "util/hash.hpp"
 #include "util/timer.hpp"
 
 namespace pbdd::core {
@@ -155,6 +156,7 @@ NodeRef BddManager::root_ref(std::uint32_t root) const noexcept {
 
 NodeRef BddManager::mk_node(unsigned var, NodeRef low, NodeRef high) {
   if (low == high) return low;
+  touch_level(var);  // find_or_insert walks this level's chains
   VarUniqueTable& table = unique_[var];
   const bool pass_lock = locking_ && table.pass_locked();
   if (pass_lock) table.acquire(0);
@@ -239,6 +241,9 @@ void BddManager::execute_batch(std::vector<BatchState::Item> items,
   peak_bytes_ = std::max(peak_bytes_, bytes());
   ++op_generation_;
   for (auto& w : workers_) w->end_of_batch_reset();
+  // Quiet point: no operation in flight, so the pager may demote cold
+  // levels before the GC check (which would fault everything back in).
+  if (pager_ != nullptr) pager_->batch_barrier();
   PBDD_INJECT(kBatchBarrier);
   maybe_gc();
 }
@@ -294,6 +299,7 @@ namespace {
 NodeRef restrict_rec(BddManager& mgr, NodeRef r, unsigned v, bool value,
                      std::unordered_map<NodeRef, NodeRef>& memo) {
   if (is_terminal(r) || var_of(r) > v) return r;
+  mgr.touch_level(var_of(r));
   const BddNode& n = mgr.node(r);
   if (var_of(r) == v) return value ? n.high : n.low;
   if (auto it = memo.find(r); it != memo.end()) return it->second;
@@ -334,11 +340,120 @@ Bdd BddManager::compose(const Bdd& f, unsigned v, const Bdd& g) {
   return ite(g, restrict_(f, v, true), restrict_(f, v, false));
 }
 
+namespace {
+/// Memo key for binary recursions over commutatively-normalized operand
+/// pairs (and_exists, its OR combiner).
+struct RefPairHash {
+  std::size_t operator()(const std::pair<NodeRef, NodeRef>& p) const noexcept {
+    return static_cast<std::size_t>(util::hash_pair(p.first, p.second));
+  }
+};
+}  // namespace
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g,
+                           const std::vector<unsigned>& vars) {
+  if (!f.valid() || f.manager() != this || !g.valid() ||
+      g.manager() != this) {
+    throw std::invalid_argument(
+        "and_exists: operand is empty or from another manager");
+  }
+  std::vector<bool> quantified(num_vars_, false);
+  unsigned last_q = 0;
+  bool any_q = false;
+  for (const unsigned v : vars) {
+    assert(v < num_vars_);
+    quantified[v] = true;
+    last_q = std::max(last_q, v);
+    any_q = true;
+  }
+
+  using Key = std::pair<NodeRef, NodeRef>;
+  std::unordered_map<Key, NodeRef, RefPairHash> and_memo;
+  std::unordered_map<Key, NodeRef, RefPairHash> or_memo;
+  std::unordered_map<NodeRef, NodeRef> ex_memo;
+
+  // Sequential OR used to combine the two quantified cofactors. Separate
+  // from the batch machinery on purpose: the recursion interleaves with the
+  // AND-EXISTS walk and must not hit a batch barrier (GC would invalidate
+  // the unrooted intermediates in the memo tables).
+  auto or_rec = [&](auto&& self, NodeRef a, NodeRef b) -> NodeRef {
+    if (a == kOne || b == kOne) return kOne;
+    if (a == kZero) return b;
+    if (b == kZero || a == b) return a;
+    if (a > b) std::swap(a, b);
+    if (const auto it = or_memo.find(Key{a, b}); it != or_memo.end()) {
+      return it->second;
+    }
+    const unsigned v = std::min(level_of(a), level_of(b));
+    touch_level(v);
+    const NodeRef r0 = self(self, cofactor(a, v, false),
+                            cofactor(b, v, false));
+    const NodeRef r1 = self(self, cofactor(a, v, true),
+                            cofactor(b, v, true));
+    const NodeRef res = mk_node(v, r0, r1);
+    or_memo.emplace(Key{a, b}, res);
+    return res;
+  };
+
+  // Single-operand tail: exists(vars, r) once the other conjunct collapsed
+  // to 1. Levels below the deepest quantified variable pass through.
+  auto ex_rec = [&](auto&& self, NodeRef r) -> NodeRef {
+    if (is_terminal(r) || !any_q || var_of(r) > last_q) return r;
+    if (const auto it = ex_memo.find(r); it != ex_memo.end()) {
+      return it->second;
+    }
+    const unsigned v = var_of(r);
+    touch_level(v);
+    const BddNode& n = node(r);
+    const NodeRef low = n.low;
+    const NodeRef high = n.high;
+    NodeRef res;
+    if (quantified[v]) {
+      const NodeRef r0 = self(self, low);
+      res = r0 == kOne ? kOne : or_rec(or_rec, r0, self(self, high));
+    } else {
+      res = mk_node(v, self(self, low), self(self, high));
+    }
+    ex_memo.emplace(r, res);
+    return res;
+  };
+
+  auto rec = [&](auto&& self, NodeRef a, NodeRef b) -> NodeRef {
+    if (a == kZero || b == kZero) return kZero;
+    if (a == kOne) return ex_rec(ex_rec, b);
+    if (b == kOne || a == b) return ex_rec(ex_rec, a);
+    if (a > b) std::swap(a, b);  // AND is commutative
+    if (const auto it = and_memo.find(Key{a, b}); it != and_memo.end()) {
+      return it->second;
+    }
+    const unsigned v = std::min(level_of(a), level_of(b));
+    touch_level(v);
+    const NodeRef f0 = cofactor(a, v, false);
+    const NodeRef g0 = cofactor(b, v, false);
+    const NodeRef f1 = cofactor(a, v, true);
+    const NodeRef g1 = cofactor(b, v, true);
+    NodeRef res;
+    if (quantified[v]) {
+      const NodeRef r0 = self(self, f0, g0);
+      // Early exit: 1 OR anything is 1, so the high cofactor pair — often
+      // the bulk of the work — is never expanded.
+      res = r0 == kOne ? kOne : or_rec(or_rec, r0, self(self, f1, g1));
+    } else {
+      res = mk_node(v, self(self, f0, g0), self(self, f1, g1));
+    }
+    and_memo.emplace(Key{a, b}, res);
+    return res;
+  };
+
+  return make_root(rec(rec, f.ref(), g.ref()));
+}
+
 // ---------------------------------------------------------------------------
 // Queries
 // ---------------------------------------------------------------------------
 
 double BddManager::sat_count(const Bdd& f) {
+  ensure_all_resident();
   std::unordered_map<NodeRef, double> memo;
   auto level = [&](NodeRef r) -> unsigned {
     return is_terminal(r) ? num_vars_ : var_of(r);
@@ -362,6 +477,7 @@ double BddManager::sat_count(const Bdd& f) {
 }
 
 std::optional<std::vector<std::int8_t>> BddManager::sat_one(const Bdd& f) {
+  ensure_all_resident();
   if (f.ref() == kZero) return std::nullopt;
   std::vector<std::int8_t> assignment(num_vars_, -1);
   NodeRef r = f.ref();
@@ -380,6 +496,7 @@ std::optional<std::vector<std::int8_t>> BddManager::sat_one(const Bdd& f) {
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
   assert(assignment.size() >= num_vars_);
+  ensure_all_resident();
   NodeRef r = f.ref();
   while (!is_terminal(r)) {
     const BddNode& n = node(r);
@@ -389,6 +506,7 @@ bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
 }
 
 std::vector<unsigned> BddManager::support(const Bdd& f) {
+  ensure_all_resident();
   std::unordered_set<NodeRef> visited;
   std::vector<bool> in_support(num_vars_, false);
   auto rec = [&](auto&& self, NodeRef r) -> void {
@@ -407,6 +525,7 @@ std::vector<unsigned> BddManager::support(const Bdd& f) {
 }
 
 std::size_t BddManager::node_count(const Bdd& f) {
+  ensure_all_resident();
   std::unordered_set<NodeRef> visited;
   auto rec = [&](auto&& self, NodeRef r) -> void {
     if (is_terminal(r) || !visited.insert(r).second) return;
@@ -527,6 +646,7 @@ void BddManager::run_on_workers(const std::function<void(unsigned)>& fn) {
 }
 
 void BddManager::snapshot_mark(std::span<const NodeRef> roots) {
+  ensure_all_resident();
   pool_.run([this, roots](unsigned id) {
     Worker& w = *workers_[id];
     if (id == 0) {
@@ -559,11 +679,15 @@ void BddManager::snapshot_clear_marks() {
 }
 
 void BddManager::gc() {
+  // Compaction rewrites every NodeRef: nothing may stay on disk across it,
+  // and every by-ref spill segment is garbage afterwards.
+  ensure_all_resident();
   ++gc_runs_;
   pool_.run([this](unsigned id) { gc_driver(id); });
   live_after_gc_ = live_nodes();
   // Operator nodes from the current generation hold stale references.
   ++op_generation_;
+  if (pager_ != nullptr) pager_->refs_invalidated();
 }
 
 bool BddManager::maybe_gc() {

@@ -27,6 +27,7 @@
 
 #include "common/op.hpp"
 #include "core/config.hpp"
+#include "core/pager_hook.hpp"
 #include "core/ref.hpp"
 #include "core/shared_cache.hpp"
 #include "core/unique_table.hpp"
@@ -168,6 +169,13 @@ class BddManager {
   [[nodiscard]] Bdd restrict_(const Bdd& f, unsigned v, bool value);
   [[nodiscard]] Bdd exists(const Bdd& f, const std::vector<unsigned>& vars);
   [[nodiscard]] Bdd forall(const Bdd& f, const std::vector<unsigned>& vars);
+  /// Relational product: exists(vars, f AND g) in one pass, without ever
+  /// materializing the conjunction — the workhorse of symbolic reachability
+  /// (image computation), where f AND g can be orders of magnitude larger
+  /// than the quantified result. Early-exits on 1 under each quantified
+  /// variable.
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g,
+                               const std::vector<unsigned>& vars);
   [[nodiscard]] Bdd compose(const Bdd& f, unsigned v, const Bdd& g);
 
   // ---- Queries --------------------------------------------------------------
@@ -191,6 +199,25 @@ class BddManager {
     return peak_bytes_;
   }
   [[nodiscard]] std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+
+  // ---- Out-of-core paging (src/ooc/) ----------------------------------------
+  /// Attach/detach the paging tier. Must be called with no batch in flight
+  /// and every level resident (i.e. before first use, or at a quiet point).
+  void attach_pager(PagerHook* pager) noexcept { pager_ = pager; }
+  [[nodiscard]] PagerHook* pager() const noexcept { return pager_; }
+  [[nodiscard]] bool paged() const noexcept { return pager_ != nullptr; }
+
+  /// Fault barrier: guarantee level `var` is resident before any of its
+  /// nodes is dereferenced or inserted. One branch when no pager is
+  /// attached; one acquire load when the level is resident.
+  void touch_level(unsigned var) const {
+    if (pager_ != nullptr) pager_->touch_level(var);
+  }
+  /// Fault every spilled level back in (whole-store walks: queries, GC,
+  /// snapshot save, DOT export).
+  void ensure_all_resident() const {
+    if (pager_ != nullptr) pager_->ensure_all_resident();
+  }
 
   // ---- Snapshot support (src/snapshot/) -------------------------------------
   /// Run `fn(worker_id)` on every pool worker; the caller executes worker 0
@@ -400,6 +427,9 @@ class BddManager {
   std::uint64_t gc_runs_ = 0;
   std::size_t live_after_gc_ = 0;
   std::size_t peak_bytes_ = 0;
+
+  /// Out-of-core paging tier, or nullptr (the common case). Not owned.
+  PagerHook* pager_ = nullptr;
 };
 
 // ---- Bdd inline members (need BddManager complete) --------------------------

@@ -89,8 +89,26 @@ class NodeArena {
            dir_capacity_ * sizeof(Block*);
   }
 
+  /// Stop-the-world spill support: the recycled-slot list, verbatim. Its
+  /// LIFO order decides which slot alloc() hands out next, so a spill
+  /// segment must persist it exactly — a faulted-in level that re-allocates
+  /// in a different order would break byte-identical determinism.
+  [[nodiscard]] const std::vector<std::uint32_t>& free_slots() const noexcept {
+    return free_slots_;
+  }
+
+  /// Stop-the-world only: reinstate a recycled-slot list captured by
+  /// free_slots() before this arena was released to disk (truncate(0)
+  /// clears it). All slots must already be re-allocated.
+  void restore_free_slots(std::vector<std::uint32_t> slots) {
+    assert(free_slots_.empty());
+    free_slots_ = std::move(slots);
+  }
+
   /// Stop-the-world only: shrink the live prefix after sliding compaction
   /// and release now-empty trailing blocks plus retired directories.
+  /// truncate(0) is the spill path: the whole level's storage is released
+  /// and the arena is refilled from disk by in-order alloc() on fault.
   void truncate(std::uint32_t new_size) {
     assert(new_size <= size_);
     // Sliding compaction renumbered every live slot, so recycled-slot

@@ -1,0 +1,42 @@
+// Residency hook between the node store and an out-of-core paging tier.
+//
+// The engine only ever needs four notifications to page safely, all rooted
+// in the breadth-first invariant that a pass touches one variable level at a
+// time (Section 2.2): a *fault barrier* before any node of a level is read
+// or created, a *quiet point* after each batch where levels may be demoted,
+// and bracketing around the collector, whose sliding compaction rewrites
+// every NodeRef and therefore invalidates any by-ref spill segment.
+//
+// src/core depends only on this interface; the implementation (LevelPager)
+// lives in src/ooc and is attached with BddManager::attach_pager. With no
+// pager attached every call site is a single branch on a null pointer.
+#pragma once
+
+namespace pbdd::core {
+
+class PagerHook {
+ public:
+  virtual ~PagerHook() = default;
+
+  /// Fault barrier: called before any node at `var` may be dereferenced or
+  /// inserted. Must be cheap when the level is resident (one acquire load);
+  /// may block the calling thread while a spilled level is read back.
+  /// Called concurrently from every worker.
+  virtual void touch_level(unsigned var) = 0;
+
+  /// Fault every spilled level back in. Used by whole-store walks that do
+  /// not proceed level by level: queries, GC, snapshot save, DOT export.
+  virtual void ensure_all_resident() = 0;
+
+  /// Batch-barrier quiet point: no operation is in flight, so the pager may
+  /// demote cold levels here. Called from execute_batch's epilogue on the
+  /// external caller thread.
+  virtual void batch_barrier() = 0;
+
+  /// The collector just rewrote every NodeRef (ensure_all_resident was
+  /// called before it ran, so nothing is spilled). Any staged or on-disk
+  /// segment now holds dangling references and must be discarded.
+  virtual void refs_invalidated() = 0;
+};
+
+}  // namespace pbdd::core

@@ -153,9 +153,14 @@ void Worker::expansion() {
   std::uint64_t round_ops = 0;  // Fig. 5 resets nOpsProcessed per call
   std::uint32_t poll = 0;
   const bool bounded = config_.eval_threshold != Config::kUnbounded;
+  const bool paged = mgr_->paged();
 
   for (unsigned x = ctx.sweep_var; x < ctx.num_vars(); ++x) {
     OpQueue& q = ctx.op_q(x);
+    // Fault barrier: every node this iteration dereferences — cofactored
+    // operands, unique-table chains — sits at level x (Section 2.2), so one
+    // touch makes the whole sweep level safe under paging.
+    if (q.head != kNilSlot) mgr_->touch_level(x);
     while (q.head != kNilSlot) {
       const std::uint32_t slot = q.head;
       OpNode& n = op_arenas_[x].at(slot);
@@ -169,8 +174,15 @@ void Worker::expansion() {
       if (q.head != kNilSlot) {
         const OpNode& peek = op_arenas_[x].at(q.head);
         util::prefetch_read(&peek);
-        if (is_internal(peek.f)) util::prefetch_read(&mgr_->node(peek.f));
-        if (is_internal(peek.g)) util::prefetch_read(&mgr_->node(peek.g));
+        // Under paging, only level-x operands are guaranteed resident (the
+        // barrier above); a deeper operand may live in a released arena,
+        // where computing its address chases a null directory entry.
+        if (is_internal(peek.f) && (!paged || level_of(peek.f) == x)) {
+          util::prefetch_read(&mgr_->node(peek.f));
+        }
+        if (is_internal(peek.g) && (!paged || level_of(peek.g) == x)) {
+          util::prefetch_read(&mgr_->node(peek.g));
+        }
       }
 
       const Op op = n.operation();
@@ -310,6 +322,7 @@ NodeRef Worker::df_evaluate(Op op, NodeRef f, NodeRef g) {
     ++stats_.cache_cross_ctx_misses;
   }
   const unsigned var = std::min(level_of(f), level_of(g));
+  mgr_->touch_level(var);
   if (shared_cache_ != nullptr && var < shared_levels_) {
     const NodeRef shared = shared_cache_->lookup(op, f, g);
     if (shared != kInvalid) {
@@ -375,6 +388,9 @@ void Worker::reduction() {
   for (unsigned x = ctx.num_vars(); x-- > 0;) {
     OpQueue& q = ctx.red_q(x);
     if (q.head == kNilSlot) continue;
+    // Fault barrier for the descending sweep: pass 2's chain walks and
+    // inserts dereference only level-x nodes.
+    mgr_->touch_level(x);
     OpArena& arena = op_arenas_[x];
 
     // Pass 1 (no lock held): resolve branches to BDD results. This is where

@@ -81,15 +81,16 @@ Bdd Reachability::rename_current_to_next(const Bdd& f) {
 }
 
 Bdd Reachability::image(const Bdd& states) {
-  const Bdd conj = mgr_.apply(Op::And, states, trans_);
-  const Bdd next_only = mgr_.exists(conj, current_and_input_vars_);
+  // Relational product: quantify while conjoining, so S ∧ T — often far
+  // larger than either operand or the result — is never materialized.
+  const Bdd next_only =
+      mgr_.and_exists(states, trans_, current_and_input_vars_);
   return rename_next_to_current(next_only);
 }
 
 Bdd Reachability::pre_image(const Bdd& states) {
   const Bdd primed = rename_current_to_next(states);
-  const Bdd conj = mgr_.apply(Op::And, primed, trans_);
-  return mgr_.exists(conj, next_and_input_vars_);
+  return mgr_.and_exists(primed, trans_, next_and_input_vars_);
 }
 
 namespace {

@@ -49,6 +49,9 @@ constexpr EventInfo kEvents[] = {
     {"governor_defer", "service", EventType::kInstant, "deferrals", nullptr},
     {"governor_gc", "service", EventType::kInstant, "allocated", nullptr},
     {"compute_cache", "cache", EventType::kCounter, "lookups", "hits"},
+    {"ooc_demote", "ooc", EventType::kInstant, "nodes", "var"},
+    {"ooc_fault", "ooc", EventType::kInstant, "nodes", "var"},
+    {"ooc_prefetch", "ooc", EventType::kInstant, "bytes", "var"},
 };
 static_assert(sizeof(kEvents) / sizeof(kEvents[0]) ==
                   static_cast<std::size_t>(EventKind::kCount),

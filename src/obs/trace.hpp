@@ -76,6 +76,10 @@ enum class EventKind : std::uint8_t {
   kGovernorGc,      ///< governor-triggered collection; arg0 = allocated nodes
   // Sampled counters.
   kCacheSample,     ///< compute-cache probe sample; arg0 = lookups, arg1 = hits
+  // Out-of-core pager instants.
+  kOocDemote,       ///< level spilled to disk; arg0 = nodes, arg1 = var
+  kOocFault,        ///< level faulted back in; arg0 = nodes, arg1 = var
+  kOocPrefetch,     ///< prefetch staged a level; arg0 = bytes, arg1 = var
   kCount
 };
 

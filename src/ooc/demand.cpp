@@ -1,0 +1,95 @@
+#include "ooc/demand.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace pbdd::ooc {
+
+using core::NodeRef;
+
+namespace {
+
+/// Cut profile of one operand: profile[v] = edges of the DAG live across
+/// level v (an edge u@l -> c is live at v in [l+1, min(level(c), V-1)];
+/// the external edge to the root is live at [0, level(root)]). Built with a
+/// difference array, then prefix-summed. Returns false once the shared
+/// visit budget runs out.
+bool cut_profile(core::BddManager& mgr, NodeRef root, unsigned num_vars,
+                 std::vector<std::int64_t>& diff, std::size_t& visits_left) {
+  diff.assign(num_vars + 1, 0);
+  // A terminal operand expands nothing: every pair it forms resolves
+  // immediately, so it contributes no cut width at any level.
+  if (core::is_terminal(root)) return true;
+  // Root edge.
+  diff[0] += 1;
+  diff[std::min(core::var_of(root), num_vars - 1) + 1] -= 1;
+
+  std::unordered_set<NodeRef> visited;
+  std::vector<NodeRef> stack{root};
+  visited.insert(root);
+  while (!stack.empty()) {
+    if (visits_left == 0) return false;
+    --visits_left;
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    const unsigned l = core::var_of(r);
+    mgr.touch_level(l);
+    const core::BddNode& n = mgr.node(r);
+    for (const NodeRef c : {n.low, n.high}) {
+      // Child edge live below l down to the child's own level (terminals
+      // clamp to the deepest variable: the edge crosses every cut).
+      const unsigned lc = std::min(core::level_of(c), num_vars - 1);
+      if (lc >= l + 1) {
+        diff[l + 1] += 1;
+        diff[lc + 1] -= 1;
+      }
+      if (core::is_internal(c) && visited.insert(c).second) {
+        stack.push_back(c);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DemandEstimate estimate_batch_demand(core::BddManager& mgr,
+                                     std::span<const core::BatchOp> batch,
+                                     std::size_t visit_cap) {
+  DemandEstimate est;
+  const unsigned num_vars = mgr.num_vars();
+  if (num_vars == 0) return est;
+  std::size_t visits_left = visit_cap;
+  std::vector<std::int64_t> diff_f, diff_g;
+  std::vector<std::uint64_t> cut_f(num_vars), cut_g(num_vars);
+
+  for (const core::BatchOp& item : batch) {
+    // In-batch dependencies produce operands that do not exist yet; their
+    // width is unknowable here.
+    if (item.f_dep >= 0 || item.g_dep >= 0 || !item.f.valid() ||
+        !item.g.valid()) {
+      est.exact = false;
+      continue;
+    }
+    if (!cut_profile(mgr, item.f.ref(), num_vars, diff_f, visits_left) ||
+        !cut_profile(mgr, item.g.ref(), num_vars, diff_g, visits_left)) {
+      est.exact = false;
+      break;  // budget exhausted; later items would also be partial
+    }
+    std::int64_t running_f = 0;
+    std::int64_t running_g = 0;
+    for (unsigned v = 0; v < num_vars; ++v) {
+      running_f += diff_f[v];
+      running_g += diff_g[v];
+      cut_f[v] = static_cast<std::uint64_t>(running_f);
+      cut_g[v] = static_cast<std::uint64_t>(running_g);
+    }
+    for (unsigned v = 0; v < num_vars; ++v) {
+      est.nodes += cut_f[v] * cut_g[v];
+    }
+  }
+  return est;
+}
+
+}  // namespace pbdd::ooc

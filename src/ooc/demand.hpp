@@ -1,0 +1,42 @@
+// Per-request memory-demand prediction for out-of-core admission control
+// (docs/OOC.md).
+//
+// A breadth-first apply's working set at level v is bounded by the number of
+// operator pairs the expansion frontier can carry there, which is itself
+// bounded by the product of the operands' *cut widths* at v — the max-cut
+// argument behind the paper's memory model. One cheap traversal per operand
+// yields its cut profile (edges crossing each level, accumulated with a
+// difference array); the pairwise product, summed over levels and batch
+// items, upper-bounds the nodes the request can allocate.
+//
+// The estimate is advisory: `exact` is false when a traversal hit the visit
+// cap or an operand is an unresolved in-batch dependency, and the caller
+// (the service governor) should fall back to observed history instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/bdd_manager.hpp"
+
+namespace pbdd::ooc {
+
+struct DemandEstimate {
+  /// Upper bound on nodes the batch may allocate (sum over items of the
+  /// per-level cut-product).
+  std::uint64_t nodes = 0;
+  /// True when every operand was fully profiled; false means `nodes` is a
+  /// partial bound and history should take precedence.
+  bool exact = true;
+};
+
+/// Profile every item of `batch` against `mgr`. Spends at most `visit_cap`
+/// node visits in total. Observes the paging fault barrier (touch_level
+/// before every dereference), so spilled operand levels fault back in —
+/// call only from a context allowed to fault, e.g. the service dispatcher
+/// between batches.
+[[nodiscard]] DemandEstimate estimate_batch_demand(
+    core::BddManager& mgr, std::span<const core::BatchOp> batch,
+    std::size_t visit_cap = 1u << 20);
+
+}  // namespace pbdd::ooc

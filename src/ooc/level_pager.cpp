@@ -1,0 +1,347 @@
+#include "ooc/level_pager.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace_points.hpp"
+#include "runtime/inject.hpp"
+#include "snapshot/level_codec.hpp"
+
+namespace pbdd::ooc {
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return {};
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(buf.data()), size)) return {};
+  return buf;
+}
+
+}  // namespace
+
+LevelPager::LevelPager(core::BddManager& mgr, PagerConfig config)
+    : mgr_(mgr), config_(std::move(config)), levels_(mgr.num_vars()) {
+  if (config_.spill_dir.empty()) {
+    throw std::invalid_argument("LevelPager: spill_dir must be set");
+  }
+  // Fail now, not at the first demotion under memory pressure.
+  const std::string probe = config_.spill_dir + "/.pbdd-spill-probe";
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("LevelPager: spill_dir not writable: " +
+                               config_.spill_dir);
+    }
+  }
+  std::remove(probe.c_str());
+  std::uint64_t resident = 0;
+  for (unsigned v = 0; v < levels_.size(); ++v) resident += level_slots(v);
+  resident_nodes_.store(resident, std::memory_order_relaxed);
+  if (config_.prefetch) {
+    prefetch_thread_ = std::thread([this] { prefetch_loop(); });
+  }
+  mgr_.attach_pager(this);
+}
+
+LevelPager::~LevelPager() {
+  // The manager never dereferences node storage on teardown, so spilled
+  // levels can stay spilled; just make sure nothing faults through us again.
+  if (mgr_.pager() == this) mgr_.attach_pager(nullptr);
+  stop_prefetch_thread();
+  delete_segments();
+}
+
+std::string LevelPager::segment_path(unsigned var) const {
+  return config_.spill_dir + "/pbdd-level-" + std::to_string(var) + ".spill";
+}
+
+std::size_t LevelPager::level_slots(unsigned var) const noexcept {
+  std::size_t total = 0;
+  for (unsigned w = 0; w < mgr_.workers(); ++w) {
+    total += mgr_.worker(w).node_arena(var).size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// PagerHook
+// ---------------------------------------------------------------------------
+
+void LevelPager::touch_level(unsigned var) {
+  Level& lvl = levels_[var];
+  lvl.last_touch.store(clock_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  if (lvl.spilled.load(std::memory_order_acquire)) fault_in(var);
+}
+
+void LevelPager::ensure_all_resident() {
+  for (unsigned v = 0; v < levels_.size(); ++v) {
+    if (levels_[v].spilled.load(std::memory_order_acquire)) fault_in(v);
+  }
+}
+
+void LevelPager::batch_barrier() {
+  clock_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.node_budget != 0) demote_until(config_.node_budget);
+  // Quiet point: resynchronize the resident estimate with the arenas.
+  std::uint64_t resident = 0;
+  for (unsigned v = 0; v < levels_.size(); ++v) {
+    if (!levels_[v].spilled.load(std::memory_order_relaxed)) {
+      resident += level_slots(v);
+    }
+  }
+  resident_nodes_.store(resident, std::memory_order_relaxed);
+}
+
+void LevelPager::refs_invalidated() {
+  // The collector moved nodes, so every segment's raw child NodeRefs are
+  // stale. gc() faulted everything in first (ensure_all_resident), so no
+  // level is spilled here — only staged prefetch buffers and queued
+  // requests can still reference the dead generation.
+  {
+    std::lock_guard<std::mutex> lk(prefetch_mu_);
+    prefetch_queue_.clear();
+  }
+  for (Level& lvl : levels_) {
+    std::lock_guard<std::mutex> lk(lvl.mu);
+    ++lvl.seq;
+    lvl.staged.clear();
+    lvl.staged.shrink_to_fit();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Demotion (quiet points only)
+// ---------------------------------------------------------------------------
+
+bool LevelPager::demote_level(unsigned var) {
+  Level& lvl = levels_[var];
+  if (lvl.spilled.load(std::memory_order_acquire)) return false;
+  if (level_slots(var) == 0) return false;
+  PBDD_INJECT(kOocSpill);
+
+  std::vector<std::uint8_t> bytes;
+  const snapshot::SpillStats stats =
+      snapshot::encode_spill_level(mgr_, var, bytes);
+
+  std::lock_guard<std::mutex> lk(lvl.mu);
+  {
+    std::ofstream out(segment_path(var), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw std::runtime_error("LevelPager: failed to write spill segment " +
+                               segment_path(var));
+    }
+  }
+  ++lvl.seq;
+  lvl.nodes.store(stats.nodes, std::memory_order_relaxed);
+  lvl.staged.clear();
+  lvl.staged.shrink_to_fit();
+
+  // Release the in-memory copy: arenas drop to size 0 (live_nodes() no
+  // longer counts this level) and the unique table shrinks to its floor.
+  for (unsigned w = 0; w < mgr_.workers(); ++w) {
+    mgr_.worker(w).node_arena(var).truncate(0);
+  }
+  mgr_.unique(var).reset_chains(0);
+
+  lvl.spilled.store(true, std::memory_order_release);
+  resident_nodes_.fetch_sub(stats.nodes, std::memory_order_relaxed);
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  PBDD_TRACE_INSTANT(kOocDemote, stats.nodes, var);
+  return true;
+}
+
+unsigned LevelPager::demote_until(std::size_t target_nodes) {
+  struct Candidate {
+    std::uint64_t last_touch;
+    unsigned var;
+    std::size_t slots;
+  };
+  std::vector<Candidate> order;
+  std::size_t resident = 0;
+  for (unsigned v = 0; v < levels_.size(); ++v) {
+    if (levels_[v].spilled.load(std::memory_order_acquire)) continue;
+    const std::size_t slots = level_slots(v);
+    if (slots == 0) continue;
+    resident += slots;
+    order.push_back(
+        {levels_[v].last_touch.load(std::memory_order_relaxed), v, slots});
+  }
+  if (resident <= target_nodes) return 0;
+
+  // Coldest first; among equals, deeper levels first — the next pass starts
+  // from the top, so shallow levels are the ones about to be touched.
+  std::sort(order.begin(), order.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    if (a.last_touch != b.last_touch) return a.last_touch < b.last_touch;
+    return a.var > b.var;
+  });
+
+  const std::uint64_t now = clock_.load(std::memory_order_relaxed);
+  unsigned demoted = 0;
+  // Two passes: demote idle levels first, then — only if the budget still
+  // isn't met — the recently-touched ones (the budget is a hard target).
+  for (const bool allow_hot : {false, true}) {
+    for (const Candidate& c : order) {
+      if (resident <= target_nodes) return demoted;
+      const bool hot = now - levels_[c.var].last_touch.load(
+                                 std::memory_order_relaxed) <=
+                       config_.min_idle_barriers;
+      if (hot != allow_hot) continue;
+      if (demote_level(c.var)) {
+        resident -= c.slots;
+        ++demoted;
+      }
+    }
+  }
+  return demoted;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-in
+// ---------------------------------------------------------------------------
+
+void LevelPager::fault_in(unsigned var) {
+  // Outside the level mutex so a parked serialize-mode token holder never
+  // blocks the thread that is actually faulting.
+  PBDD_INJECT(kOocFault);
+  Level& lvl = levels_[var];
+  std::uint64_t restored = 0;
+  {
+    std::unique_lock<std::mutex> lk(lvl.mu);
+    if (!lvl.spilled.load(std::memory_order_relaxed)) return;  // lost race
+    std::vector<std::uint8_t> bytes;
+    if (!lvl.staged.empty() && lvl.staged_seq == lvl.seq) {
+      bytes = std::move(lvl.staged);
+      prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      bytes = read_file(segment_path(var));
+      bytes_read_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    }
+    lvl.staged.clear();
+    if (bytes.empty()) {
+      throw std::runtime_error("LevelPager: missing spill segment " +
+                               segment_path(var));
+    }
+    restored = snapshot::decode_spill_level(mgr_, var, bytes.data(),
+                                            bytes.size());
+    // Publishes the rebuilt arenas/chains to every worker that acquires
+    // residency through touch_level's acquire load.
+    lvl.spilled.store(false, std::memory_order_release);
+  }
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  resident_nodes_.fetch_add(lvl.nodes.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  PBDD_TRACE_INSTANT(kOocFault, restored, var);
+
+  const unsigned prev = last_fault_var_.exchange(var,
+                                                 std::memory_order_relaxed);
+  direction_.store(var >= prev ? 1 : -1, std::memory_order_relaxed);
+  if (config_.prefetch) issue_prefetch(var);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch
+// ---------------------------------------------------------------------------
+
+void LevelPager::issue_prefetch(unsigned from_var) {
+  const int dir = direction_.load(std::memory_order_relaxed);
+  int v = static_cast<int>(from_var) + dir;
+  for (; v >= 0 && v < static_cast<int>(levels_.size()); v += dir) {
+    if (levels_[static_cast<unsigned>(v)].spilled.load(
+            std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(prefetch_mu_);
+      prefetch_queue_.push_back(static_cast<unsigned>(v));
+      prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+      prefetch_cv_.notify_one();
+      return;
+    }
+  }
+}
+
+void LevelPager::prefetch_loop() {
+  for (;;) {
+    unsigned var = 0;
+    {
+      std::unique_lock<std::mutex> lk(prefetch_mu_);
+      prefetch_cv_.wait(lk, [this] {
+        return prefetch_stop_ || !prefetch_queue_.empty();
+      });
+      if (prefetch_stop_) return;
+      var = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+    }
+    Level& lvl = levels_[var];
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lk(lvl.mu);
+      if (!lvl.spilled.load(std::memory_order_relaxed)) continue;
+      if (!lvl.staged.empty()) continue;  // already staged
+      seq = lvl.seq;
+    }
+    // Disk I/O and the integrity probe run without any pager lock held;
+    // the generation check below discards a read that raced a demotion.
+    std::vector<std::uint8_t> bytes = read_file(segment_path(var));
+    if (bytes.empty() ||
+        !snapshot::spill_payload_ok(bytes.data(), bytes.size())) {
+      continue;  // the synchronous fault path will report a real error
+    }
+    bytes_read_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(lvl.mu);
+    if (lvl.spilled.load(std::memory_order_relaxed) && lvl.seq == seq &&
+        lvl.staged.empty()) {
+      PBDD_TRACE_INSTANT(kOocPrefetch, bytes.size(), var);
+      lvl.staged = std::move(bytes);
+      lvl.staged_seq = seq;
+    }
+  }
+}
+
+void LevelPager::stop_prefetch_thread() {
+  if (!prefetch_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(prefetch_mu_);
+    prefetch_stop_ = true;
+  }
+  prefetch_cv_.notify_one();
+  prefetch_thread_.join();
+}
+
+void LevelPager::delete_segments() {
+  for (unsigned v = 0; v < levels_.size(); ++v) {
+    std::remove(segment_path(v).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+PagerStats LevelPager::stats() const {
+  PagerStats s;
+  s.demotions = demotions_.load(std::memory_order_relaxed);
+  s.faults = faults_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.resident_nodes = resident_nodes_.load(std::memory_order_relaxed);
+  for (unsigned v = 0; v < levels_.size(); ++v) {
+    if (levels_[v].spilled.load(std::memory_order_acquire)) {
+      ++s.spilled_levels;
+      s.spilled_nodes += levels_[v].nodes.load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+}  // namespace pbdd::ooc

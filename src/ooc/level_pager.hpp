@@ -1,0 +1,154 @@
+// Out-of-core paging tier: spill cold BDD levels to disk, fault them back on
+// first touch (docs/OOC.md).
+//
+// The breadth-first discipline makes the variable level the natural paging
+// granule: a pass works on exactly one level at a time, deeper operands are
+// queued, not dereferenced, and the expansion/reduction sweeps visit levels
+// in order. LevelPager exploits this three ways:
+//
+//  * Residency is tracked per level. The fault barrier (BddManager::
+//    touch_level) is one relaxed store plus one acquire load when the level
+//    is resident — cheap enough for mk_node.
+//  * Demotion happens only at quiet points (batch barriers, explicit calls),
+//    when no worker holds references into arena storage. Fault-in may happen
+//    mid-batch: a spilled level is by definition one no worker has touched
+//    since the last barrier, so rebuilding it under the per-level mutex
+//    races nothing.
+//  * Sequential prefetch follows the pass direction (expansion ascends,
+//    reduction descends): each fault enqueues the next spilled level in the
+//    direction of travel to a background reader that stages the file
+//    contents so the next fault skips the disk wait.
+//
+// Spill segments reuse the snapshot level codec (snapshot/level_codec.hpp):
+// CRC-guarded, self-contained, with child references stored as raw NodeRefs.
+// Cross-level slots only move at a collection — so gc() faults everything in
+// first and then invalidates every segment (PagerHook::refs_invalidated).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+#include "core/pager_hook.hpp"
+
+namespace pbdd::ooc {
+
+struct PagerConfig {
+  /// Directory for spill segment files (one per level). Must exist.
+  std::string spill_dir;
+  /// Resident-node target: each batch barrier demotes least-recently-touched
+  /// levels until the allocated-slot total is at or below this. 0 = no
+  /// automatic demotion (explicit demote_level()/demote_until() only).
+  std::size_t node_budget = 0;
+  /// Stage the next spilled level in the pass direction off-thread.
+  bool prefetch = true;
+  /// Keep the hottest levels resident even over budget: never demote a
+  /// level touched within this many barriers of now.
+  std::uint64_t min_idle_barriers = 1;
+};
+
+/// Counter snapshot (monotonic since attach; see also metrics families in
+/// service metrics_text()).
+struct PagerStats {
+  std::uint64_t demotions = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t prefetch_hits = 0;    ///< faults served from staged buffers
+  std::uint64_t prefetch_issued = 0;  ///< requests handed to the reader
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;       ///< fault + prefetch file reads
+  std::uint64_t spilled_levels = 0;   ///< currently on disk
+  std::uint64_t spilled_nodes = 0;    ///< allocated slots currently on disk
+  std::uint64_t resident_nodes = 0;   ///< allocated slots currently in RAM
+};
+
+class LevelPager final : public core::PagerHook {
+ public:
+  /// Attaches itself to `mgr`. Every level must be resident (a fresh
+  /// manager, or a quiet point) and no batch may be in flight.
+  LevelPager(core::BddManager& mgr, PagerConfig config);
+  /// Faults nothing back in (the manager never dereferences node storage on
+  /// destruction); detaches, stops the prefetch reader, deletes segments.
+  ~LevelPager() override;
+
+  LevelPager(const LevelPager&) = delete;
+  LevelPager& operator=(const LevelPager&) = delete;
+
+  // ---- PagerHook ------------------------------------------------------------
+  void touch_level(unsigned var) override;
+  void ensure_all_resident() override;
+  void batch_barrier() override;
+  void refs_invalidated() override;
+
+  // ---- Explicit control (tests, service governor) ---------------------------
+  /// Demote one resident level now. Quiet point only. Returns false if the
+  /// level was already spilled or holds no allocated slots.
+  bool demote_level(unsigned var);
+  /// Demote least-recently-touched levels until the resident allocated-slot
+  /// total is at or below `target_nodes`. Quiet point only. Returns the
+  /// number of levels demoted.
+  unsigned demote_until(std::size_t target_nodes);
+
+  [[nodiscard]] bool is_spilled(unsigned var) const noexcept {
+    return levels_[var].spilled.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] PagerStats stats() const;
+  [[nodiscard]] const PagerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Level {
+    std::mutex mu;                   ///< serializes fault-in / staging
+    std::atomic<bool> spilled{false};
+    std::atomic<std::uint64_t> last_touch{0};
+    std::uint64_t seq = 0;           ///< segment generation (guarded by mu)
+    std::atomic<std::uint64_t> nodes{0};  ///< slots in the current segment
+    std::vector<std::uint8_t> staged;     ///< prefetched bytes (guarded by mu)
+    std::uint64_t staged_seq = 0;    ///< generation `staged` was read at
+  };
+
+  [[nodiscard]] std::string segment_path(unsigned var) const;
+  [[nodiscard]] std::size_t level_slots(unsigned var) const noexcept;
+  void fault_in(unsigned var);
+  void issue_prefetch(unsigned var);
+  void prefetch_loop();
+  void stop_prefetch_thread();
+  void delete_segments();
+
+  core::BddManager& mgr_;
+  PagerConfig config_;
+  std::vector<Level> levels_;
+  std::atomic<std::uint64_t> clock_{1};  ///< barrier counter (touch recency)
+
+  // Direction of travel: +1 while faults ascend (expansion), -1 while they
+  // descend (reduction). Updated under the faulted level's mutex; read
+  // racily — a stale direction only mis-aims one prefetch.
+  std::atomic<int> direction_{1};
+  std::atomic<unsigned> last_fault_var_{0};
+
+  // Stats (relaxed counters).
+  std::atomic<std::uint64_t> demotions_{0};
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> prefetch_hits_{0};
+  std::atomic<std::uint64_t> prefetch_issued_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  /// Resident allocated-slot estimate, adjusted at demote/fault and
+  /// recomputed exactly at every batch barrier (a quiet point) — so
+  /// stats() never walks arena sizes concurrently with a running batch.
+  std::atomic<std::uint64_t> resident_nodes_{0};
+
+  // Prefetch reader.
+  std::thread prefetch_thread_;
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  std::deque<unsigned> prefetch_queue_;
+  bool prefetch_stop_ = false;
+};
+
+}  // namespace pbdd::ooc

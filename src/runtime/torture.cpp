@@ -50,6 +50,9 @@ constexpr PointInfo kPoints[] = {
     {"snapshot_write", true},    {"snapshot_restore", true},
     {"force_gc", false},         {"force_spill", false},
     {"force_table_grow", false}, {"force_dir_churn", false},
+    // Pager points fire outside the pager's per-level mutexes by
+    // construction (see LevelPager), so the token holder can park.
+    {"ooc_spill", true},         {"ooc_fault", true},
 };
 static_assert(sizeof(kPoints) / sizeof(kPoints[0]) ==
               static_cast<std::size_t>(InjectPoint::kCount));

@@ -82,6 +82,9 @@ enum class InjectPoint : std::uint8_t {
   kForceSpill,        ///< act as if an idle worker requested a switch
   kForceTableGrow,    ///< same-size unique-table rehash churn
   kForceDirChurn,     ///< same-capacity arena directory republication
+  // Appended (event logs store the point ordinal; never renumber).
+  kOocSpill,          ///< pager about to demote one level to disk
+  kOocFault,          ///< pager about to fault one level back in
   kCount,
 };
 

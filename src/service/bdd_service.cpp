@@ -10,6 +10,8 @@
 #include "fault/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_points.hpp"
+#include "ooc/demand.hpp"
+#include "ooc/level_pager.hpp"
 #include "runtime/inject.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -47,6 +49,12 @@ BddService::BddService(ServiceConfig config)
   }
   zero_ = mgr_.zero();
   one_ = mgr_.one();
+  if (!config_.spill_dir.empty()) {
+    ooc::PagerConfig pc;
+    pc.spill_dir = config_.spill_dir;
+    pc.node_budget = config_.pager_node_budget;
+    pager_ = std::make_unique<ooc::LevelPager>(mgr_, pc);
+  }
   last_nodes_created_ = mgr_.stats().total.nodes_created;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -407,7 +415,9 @@ void BddService::process_request(Request req) {
     process_fault(req, queue_ns);
     return;
   }
-  if (!governor_admit(req.ops.size(), req.priority)) {
+  if (!governor_admit(req.ops.size(), req.priority,
+                      std::span<const core::BatchOp>(req.ops.data(),
+                                                     req.ops.size()))) {
     resolve(req, RequestStatus::kRejected, queue_ns);
     return;
   }
@@ -818,21 +828,37 @@ double BddService::demand_per_op_locked() const {
   return *nth;
 }
 
-bool BddService::governor_admit(std::size_t ops, Priority priority) {
+bool BddService::governor_admit(std::size_t ops, Priority priority,
+                                std::span<const core::BatchOp> batch) {
   unsigned deferrals = 0;
   bool shed_done = false;
+  std::optional<double> estimated;  // max-cut demand, priced once
   for (;;) {
     {
       std::lock_guard<std::mutex> mlk(manager_mutex_);
-      double demand = demand_per_op_locked() * static_cast<double>(ops);
-      if (demand_samples_.empty()) {
-        // With zero calibration evidence the bootstrap guess must not be
-        // able to starve the service on its own (a pessimistic default
-        // would otherwise reject everything and never gather a sample).
-        // Cap the blind projection at half the budget; the post-batch
-        // enforcement collects immediately if the guess was wrong.
-        demand = std::min(
-            demand, static_cast<double>(config_.live_node_budget) / 2.0);
+      if (config_.use_demand_estimator && !batch.empty() && !estimated) {
+        const ooc::DemandEstimate est =
+            ooc::estimate_batch_demand(mgr_, batch);
+        if (est.exact) {
+          estimated = static_cast<double>(est.nodes);
+          m_demand_estimates_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      double demand;
+      if (estimated) {
+        // The operands were actually profiled: trust the max-cut bound.
+        demand = *estimated;
+      } else {
+        demand = demand_per_op_locked() * static_cast<double>(ops);
+        if (demand_samples_.empty()) {
+          // With zero calibration evidence the bootstrap guess must not be
+          // able to starve the service on its own (a pessimistic default
+          // would otherwise reject everything and never gather a sample).
+          // Cap the blind projection at half the budget; the post-batch
+          // enforcement collects immediately if the guess was wrong.
+          demand = std::min(
+              demand, static_cast<double>(config_.live_node_budget) / 2.0);
+        }
       }
       const auto projected = [&](std::size_t allocated) {
         return allocated + static_cast<std::size_t>(demand);
@@ -847,6 +873,19 @@ bool BddService::governor_admit(std::size_t ops, Priority priority) {
       m_governor_gcs_.fetch_add(1, std::memory_order_relaxed);
       if (projected(mgr_.live_nodes()) <= config_.live_node_budget) {
         return true;
+      }
+      // Second lever: page. Cold levels move to disk instead of anyone's
+      // work being deferred or shed — live_nodes() drops with each level
+      // released, and the batch faults back only what it actually touches.
+      if (pager_ != nullptr) {
+        const auto need = static_cast<std::size_t>(demand);
+        const std::size_t target = config_.live_node_budget > need
+                                       ? config_.live_node_budget - need
+                                       : 0;
+        if (pager_->demote_until(target) > 0 &&
+            projected(mgr_.live_nodes()) <= config_.live_node_budget) {
+          return true;
+        }
       }
     }
     // Still over budget with everything dead collected: the store is full
@@ -975,6 +1014,17 @@ ServiceMetrics BddService::metrics() const {
   m.fault_faults_equivalent =
       m_fault_equivalent_.load(std::memory_order_relaxed);
   m.fault_batches = m_fault_batches_.load(std::memory_order_relaxed);
+  m.demand_estimates = m_demand_estimates_.load(std::memory_order_relaxed);
+  if (pager_ != nullptr) {
+    const ooc::PagerStats ps = pager_->stats();
+    m.ooc_demotions = ps.demotions;
+    m.ooc_faults = ps.faults;
+    m.ooc_prefetch_hits = ps.prefetch_hits;
+    m.ooc_bytes_written = ps.bytes_written;
+    m.ooc_bytes_read = ps.bytes_read;
+    m.ooc_spilled_levels = ps.spilled_levels;
+    m.ooc_spilled_nodes = ps.spilled_nodes;
+  }
   {
     std::lock_guard<std::mutex> lk(snapshot_mutex_);
     if (!pause_samples_ns_.empty()) {
@@ -1044,6 +1094,14 @@ std::string BddService::metrics_json() {
   field("fault_faults_detected", m.fault_faults_detected);
   field("fault_faults_equivalent", m.fault_faults_equivalent);
   field("fault_batches", m.fault_batches);
+  field("ooc_demotions", m.ooc_demotions);
+  field("ooc_faults", m.ooc_faults);
+  field("ooc_prefetch_hits", m.ooc_prefetch_hits);
+  field("ooc_bytes_written", m.ooc_bytes_written);
+  field("ooc_bytes_read", m.ooc_bytes_read);
+  field("ooc_spilled_levels", m.ooc_spilled_levels);
+  field("ooc_spilled_nodes", m.ooc_spilled_nodes);
+  field("demand_estimates", m.demand_estimates);
   char buf[64];
   std::snprintf(buf, sizeof(buf), "\"demand_per_op\": %.3f, ",
                 m.demand_per_op);
@@ -1145,6 +1203,33 @@ std::string BddService::metrics_text() {
   reg.counter("pbdd_service_fault_batches_total",
               "Engine batches issued by fault campaigns")
       .add(m.fault_batches);
+
+  const char* kOocEvtHelp = "Out-of-core pager events";
+  reg.counter("pbdd_service_ooc_events_total", kOocEvtHelp,
+              {{"event", "demote"}})
+      .add(m.ooc_demotions);
+  reg.counter("pbdd_service_ooc_events_total", kOocEvtHelp,
+              {{"event", "fault"}})
+      .add(m.ooc_faults);
+  reg.counter("pbdd_service_ooc_events_total", kOocEvtHelp,
+              {{"event", "prefetch_hit"}})
+      .add(m.ooc_prefetch_hits);
+  const char* kOocBytesHelp = "Spill segment bytes by direction";
+  reg.counter("pbdd_service_ooc_bytes_total", kOocBytesHelp,
+              {{"dir", "written"}})
+      .add(m.ooc_bytes_written);
+  reg.counter("pbdd_service_ooc_bytes_total", kOocBytesHelp,
+              {{"dir", "read"}})
+      .add(m.ooc_bytes_read);
+  reg.gauge("pbdd_service_ooc_spilled_levels",
+            "Variable levels currently spilled to disk")
+      .set(static_cast<double>(m.ooc_spilled_levels));
+  reg.gauge("pbdd_service_ooc_spilled_nodes",
+            "Node slots currently spilled to disk")
+      .set(static_cast<double>(m.ooc_spilled_nodes));
+  reg.counter("pbdd_service_demand_estimates_total",
+              "Admissions priced by the max-cut demand estimator")
+      .add(m.demand_estimates);
 
   const char* kPauseHelp = "Checkpoint stop-the-world pause (ns)";
   reg.gauge("pbdd_service_checkpoint_pause_ns", kPauseHelp,

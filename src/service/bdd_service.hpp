@@ -44,6 +44,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,10 @@
 #include "circuit/netlist.hpp"
 #include "core/bdd_manager.hpp"
 #include "fault/fault.hpp"
+
+namespace pbdd::ooc {
+class LevelPager;
+}  // namespace pbdd::ooc
 
 namespace pbdd::service {
 
@@ -107,6 +112,17 @@ struct ServiceConfig {
   /// batches and the governor; at most one is ever pending.
   std::uint64_t checkpoint_every_batches = 0;
   std::string checkpoint_path = "pbdd_checkpoint.snap";
+
+  /// Out-of-core paging tier (docs/OOC.md). Non-empty: cold levels spill to
+  /// this directory, and the governor demotes before it defers — and defers
+  /// before it sheds. The directory must exist and be writable.
+  std::string spill_dir;
+  /// Pager resident-node target for barrier-time demotion (0 = demote only
+  /// when the governor projects a budget overflow).
+  std::size_t pager_node_budget = 0;
+  /// Price each batch with the max-cut demand estimator (src/ooc/demand.hpp)
+  /// when its estimate is exact; history model otherwise.
+  bool use_demand_estimator = false;
 };
 
 struct SubmitOptions {
@@ -189,6 +205,16 @@ struct ServiceMetrics {
   std::uint64_t fault_faults_detected = 0;
   std::uint64_t fault_faults_equivalent = 0;
   std::uint64_t fault_batches = 0;  ///< engine batches issued by campaigns
+
+  // Out-of-core pager (src/ooc/; all zero when no spill_dir is configured).
+  std::uint64_t ooc_demotions = 0;
+  std::uint64_t ooc_faults = 0;
+  std::uint64_t ooc_prefetch_hits = 0;
+  std::uint64_t ooc_bytes_written = 0;
+  std::uint64_t ooc_bytes_read = 0;
+  std::uint64_t ooc_spilled_levels = 0;  ///< gauge, sampled now
+  std::uint64_t ooc_spilled_nodes = 0;   ///< gauge, sampled now
+  std::uint64_t demand_estimates = 0;  ///< admissions priced by the estimator
 };
 
 class BddService {
@@ -333,7 +359,10 @@ class BddService {
   void record_pause(std::uint64_t ns);
   /// Governor admission for `ops` operations. Returns true to execute,
   /// false after resolving the request itself is required (rejected).
-  bool governor_admit(std::size_t ops, Priority priority);
+  /// `batch` (optional) lets the max-cut demand estimator price the actual
+  /// operands instead of the history model.
+  bool governor_admit(std::size_t ops, Priority priority,
+                      std::span<const core::BatchOp> batch = {});
   /// Resolve every queued request with priority strictly below `above` as
   /// kShed. Returns how many were shed.
   std::size_t shed_below(Priority above);
@@ -355,6 +384,10 @@ class BddService {
   /// Serializes all manager access: dispatcher batch execution and
   /// quiesce_and() callers.
   std::mutex manager_mutex_;
+
+  /// Out-of-core paging tier; null unless config_.spill_dir is set.
+  /// Declared after mgr_ so it detaches before the manager dies.
+  std::unique_ptr<ooc::LevelPager> pager_;
 
   // Pre-built operand handles (handle copies are thread-safe).
   std::vector<core::Bdd> vars_;
@@ -405,6 +438,7 @@ class BddService {
   std::atomic<std::size_t> m_max_live_observed_{0};
   std::atomic<std::size_t> m_max_allocated_observed_{0};
   std::atomic<std::uint64_t> m_demand_per_op_milli_{0};
+  std::atomic<std::uint64_t> m_demand_estimates_{0};
 
   // Snapshot metrics; the bounded pause window feeds the p95 gauge.
   std::atomic<std::uint64_t> m_snapshots_saved_{0};

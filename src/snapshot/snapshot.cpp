@@ -11,6 +11,8 @@
 // materialized.
 #include "snapshot/snapshot.hpp"
 
+#include "snapshot/level_codec.hpp"
+
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -103,7 +105,6 @@ void pread_all(int fd, void* data, std::size_t size, std::uint64_t offset) {
       util::hash_pair(static_cast<std::uint64_t>(discipline), shards));
 }
 
-constexpr std::size_t kFullRecordBytes = 8 + 8 + 4;  // low, high, next
 constexpr std::size_t kExportRecordBytes = 8 + 8;
 
 // ---- Parsed file metadata ---------------------------------------------------
@@ -325,6 +326,9 @@ SaveStats save(BddManager& mgr, const std::string& path,
   const unsigned num_vars = mgr.num_vars();
   const unsigned workers = mgr.workers();
   const bool export_mode = opts.mode == SaveMode::kExportRoots;
+  // The layout and write phases walk every arena directly; nothing may stay
+  // on disk in the paging tier while they run.
+  mgr.ensure_all_resident();
 
   std::vector<NodeRef> root_refs;
   root_refs.reserve(roots.size());
@@ -450,17 +454,19 @@ SaveStats save(BddManager& mgr, const std::string& path,
         ByteWriter out(dir[v].byte_size);
         out.u32(v);
         if (!export_mode) {
-          out.u32(static_cast<std::uint32_t>(seg_buckets[v].size()));
-          for (std::size_t si = 0; si < seg_buckets[v].size(); ++si) {
-            out.u64(seg_buckets[v][si]);
-            out.u64(seg_counts[v][si]);
+          LevelChains chains;
+          chains.seg_buckets = seg_buckets[v];
+          chains.seg_counts = seg_counts[v];
+          const std::vector<NodeRef> heads = mgr.unique(v).bucket_heads();
+          chains.head_locals.reserve(heads.size());
+          for (const NodeRef head : heads) {
+            chains.head_locals.push_back(
+                head == core::kZero
+                    ? kNilLocal
+                    : prefix[v][core::worker_of(head)] +
+                          core::slot_of(head));
           }
-          for (const NodeRef head : mgr.unique(v).bucket_heads()) {
-            out.u32(head == core::kZero
-                        ? kNilLocal
-                        : prefix[v][core::worker_of(head)] +
-                              core::slot_of(head));
-          }
+          encode_chains(out, chains);
         }
         for (unsigned w = 0; w < workers; ++w) {
           const core::NodeArena& arena = mgr.worker(w).node_arena(v);
@@ -621,22 +627,8 @@ RestoreResult restore(const std::string& path, core::Config config) {
         ByteReader rd(buf.data(), buf.size());
         if (rd.u32() != v) throw std::runtime_error("level tag mismatch");
 
-        std::vector<std::size_t> seg_buckets;
-        std::vector<std::size_t> seg_counts;
-        std::vector<std::uint32_t> head_locals;
-        if (meta.has_chains()) {
-          const std::uint32_t segs = rd.u32();
-          seg_buckets.resize(segs);
-          seg_counts.resize(segs);
-          std::size_t total_buckets = 0;
-          for (std::uint32_t si = 0; si < segs; ++si) {
-            seg_buckets[si] = rd.u64();
-            seg_counts[si] = rd.u64();
-            total_buckets += seg_buckets[si];
-          }
-          head_locals.resize(total_buckets);
-          for (std::uint32_t& h : head_locals) h = rd.u32();
-        }
+        LevelChains chains;
+        if (meta.has_chains()) chains = decode_chains(rd);
 
         // Materialize this level's nodes; slots come out 0..count-1 per
         // worker because the arenas are untouched until now.
@@ -690,13 +682,14 @@ RestoreResult restore(const std::string& path, core::Config config) {
         bool level_adopted = false;
         if (meta.has_chains() && ref_preserving) {
           std::vector<NodeRef> heads;
-          heads.reserve(head_locals.size());
-          for (const std::uint32_t h : head_locals) {
+          heads.reserve(chains.head_locals.size());
+          for (const std::uint32_t h : chains.head_locals) {
             heads.push_back(h == kNilLocal ? core::kZero
                                            : local_to_ref(v, h));
           }
-          level_adopted = table.adopt_chains(meta.info.discipline,
-                                             seg_buckets, seg_counts, heads);
+          level_adopted =
+              table.adopt_chains(meta.info.discipline, chains.seg_buckets,
+                                 chains.seg_counts, heads);
         }
         if (!level_adopted && live > 0) {
           table.reset_chains(live);
@@ -780,13 +773,7 @@ std::vector<NamedRoot> import_into(BddManager& mgr, const std::string& path,
     if (rd.u32() != v) fail("level " + std::to_string(v) + ": tag mismatch");
     if (meta.has_chains()) {
       // Chain structure is meaningless across managers; skip it.
-      const std::uint32_t segs = rd.u32();
-      std::size_t total_buckets = 0;
-      for (std::uint32_t si = 0; si < segs; ++si) {
-        total_buckets += rd.u64();
-        (void)rd.u64();
-      }
-      for (std::size_t i = 0; i < total_buckets; ++i) (void)rd.u32();
+      skip_chains(rd);
     }
     local2ref[v].assign(e.node_count, core::kInvalid);
     for (std::uint32_t i = 0; i < e.node_count; ++i) {

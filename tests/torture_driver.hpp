@@ -5,6 +5,7 @@
 // data rather than assertions.
 #pragma once
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "circuit/ordering.hpp"
 #include "core/bdd_manager.hpp"
 #include "fault/fault.hpp"
+#include "ooc/level_pager.hpp"
 #include "oracle.hpp"
 #include "runtime/torture.hpp"
 #include "snapshot/snapshot.hpp"
@@ -46,6 +48,8 @@ struct TortureRunResult {
   std::uint64_t stall_breaks = 0;
   std::uint64_t events = 0;
   std::uint64_t snapshot_cycles = 0;  ///< save+restore+swap rounds completed
+  std::uint64_t ooc_demotions = 0;    ///< levels spilled to disk (ooc_budget)
+  std::uint64_t ooc_faults = 0;       ///< levels faulted back in (ooc_budget)
 };
 
 namespace detail {
@@ -92,11 +96,19 @@ inline std::string validate_env(core::BddManager& mgr,
 /// manager — so the kSnapshotWrite/kSnapshotRestore points interleave with
 /// the steal/GC machinery, and any restore corruption is caught by the same
 /// exhaustive truth-table validation as everything else.
+///
+/// ooc_budget > 0 attaches an out-of-core LevelPager (src/ooc/) with that
+/// resident-node budget: every batch barrier demotes cold levels to disk and
+/// every touch of a spilled level faults it back, so the kOocSpill/kOocFault
+/// points race the steal, GC and checkpoint machinery, and any paging
+/// corruption is caught by the exhaustive validation. A tiny budget (1)
+/// thrashes maximally: every level spills at every barrier.
 inline TortureRunResult run_torture_workload(const core::Config& config,
                                              unsigned num_vars, int steps,
                                              std::uint64_t program_seed,
                                              int snapshot_every = 0,
-                                             int dag_permille = 0) {
+                                             int dag_permille = 0,
+                                             std::size_t ooc_budget = 0) {
   TortureRunResult out;
   util::Xoshiro256 rng(program_seed);
   std::uint64_t groups_stolen = 0;
@@ -105,9 +117,31 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
   const std::string snap_path =
       "/tmp/pbdd_torture_" + std::to_string(::getpid()) + "_" +
       std::to_string(program_seed) + ".snap";
+  const std::string spill_dir =
+      "/tmp/pbdd_ooc_torture_" + std::to_string(::getpid()) + "_" +
+      std::to_string(program_seed);
+  if (ooc_budget > 0) ::mkdir(spill_dir.c_str(), 0755);
   {
     auto mgr_owner = std::make_unique<core::BddManager>(num_vars, config);
     core::BddManager* mgr = mgr_owner.get();
+    // Destroyed before the manager it is attached to (declared after it);
+    // recreated for the restored manager on every snapshot swap.
+    std::unique_ptr<ooc::LevelPager> pager;
+    auto attach_pager = [&] {
+      if (ooc_budget == 0) return;
+      ooc::PagerConfig pc;
+      pc.spill_dir = spill_dir;
+      pc.node_budget = ooc_budget;
+      pager = std::make_unique<ooc::LevelPager>(*mgr, pc);
+    };
+    auto fold_pager = [&] {
+      if (!pager) return;
+      const ooc::PagerStats ps = pager->stats();
+      out.ooc_demotions += ps.demotions;
+      out.ooc_faults += ps.faults;
+      pager.reset();
+    };
+    attach_pager();
     std::vector<core::Bdd> env;
     std::vector<TruthTable64> tts;
     for (unsigned v = 0; v < num_vars; ++v) {
@@ -203,12 +237,16 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
         }
         env = std::move(restored);
         res.roots.clear();
-        // Fold the doomed manager's counters in before it goes.
+        // Fold the doomed manager's counters in before it goes. The pager
+        // must detach from the old manager before it dies and re-attach to
+        // the restored one.
+        fold_pager();
         const core::ManagerStats old_stats = mgr->stats();
         groups_stolen += old_stats.total.groups_stolen;
         gc_runs += old_stats.gc_runs;
         mgr_owner = std::move(res.manager);  // destroys the old manager
         mgr = mgr_owner.get();
+        attach_pager();
         ++snapshot_cycles;
         out.error = detail::validate_env(*mgr, env, tts, num_vars, step);
         if (out.error.empty()) out.error = check_store_invariants(*mgr);
@@ -228,10 +266,12 @@ inline TortureRunResult run_torture_workload(const core::Config& config,
         out.node_counts.push_back(mgr->node_count(f));
       }
     }
+    fold_pager();
     const core::ManagerStats stats = mgr->stats();
     groups_stolen += stats.total.groups_stolen;
     gc_runs += stats.gc_runs;
   }
+  if (ooc_budget > 0) ::rmdir(spill_dir.c_str());
   out.groups_stolen = groups_stolen;
   out.gc_runs = gc_runs;
   out.snapshot_cycles = snapshot_cycles;

@@ -29,6 +29,7 @@ struct ReplaySpec {
   std::uint64_t program_seed = 1;
   int snapshot_every = 0;  // >0: checkpoint/restore cycle every N steps
   int dag_permille = 0;    // fraction of batch steps made dep-carrying
+  std::size_t ooc_budget = 0;  // >0: attach a LevelPager with this budget
   bool expect_deterministic = false;  // run twice, require identical logs
 
   // fault_campaign=1 switches to the stuck-at fault-campaign workload
@@ -121,6 +122,9 @@ bool apply_key(ReplaySpec& spec, const std::string& key,
   else if (key == "program_seed") spec.program_seed = u64();
   else if (key == "snapshot_every") spec.snapshot_every = static_cast<int>(u64());
   else if (key == "dag_permille") spec.dag_permille = static_cast<int>(u64());
+  else if (key == "ooc_budget") {
+    spec.ooc_budget = static_cast<std::size_t>(u64());
+  }
   else if (key == "expect_deterministic") {
     spec.expect_deterministic = u64() != 0;
   }
@@ -212,6 +216,12 @@ bool parse_seed_file(const char* path, ReplaySpec& spec, std::string& error) {
     error = "fault_batch must be >= 1";
     return false;
   }
+  if (spec.ooc_budget > 0 &&
+      (spec.fault_campaign || spec.service_sessions > 0)) {
+    error = "ooc_budget applies to the single-manager workload only (the "
+            "service attaches its own pager via spill_dir)";
+    return false;
+  }
   return true;
 }
 
@@ -285,7 +295,7 @@ pbdd::test::TortureRunResult run(const ReplaySpec& spec) {
   return pbdd::test::run_torture_workload(spec.config, spec.num_vars,
                                           spec.steps, spec.program_seed,
                                           spec.snapshot_every,
-                                          spec.dag_permille);
+                                          spec.dag_permille, spec.ooc_budget);
 }
 
 }  // namespace
@@ -337,6 +347,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (spec.ooc_budget > 0) {
+    std::printf(
+        "PASS %s (%llu events, %llu stolen groups, %llu collections, "
+        "%llu demotions / %llu faults)\n",
+        argv[1], static_cast<unsigned long long>(first.events),
+        static_cast<unsigned long long>(first.groups_stolen),
+        static_cast<unsigned long long>(first.gc_runs),
+        static_cast<unsigned long long>(first.ooc_demotions),
+        static_cast<unsigned long long>(first.ooc_faults));
+    return 0;
+  }
   std::printf("PASS %s (%llu events, %llu stolen groups, %llu collections)\n",
               argv[1], static_cast<unsigned long long>(first.events),
               static_cast<unsigned long long>(first.groups_stolen),

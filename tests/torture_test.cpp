@@ -281,6 +281,74 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Out-of-core paging sweep: a LevelPager with a 1-node resident budget
+// (torture_driver.hpp ooc_budget) spills every level at every batch barrier
+// and faults them back on the next touch, while checkpoint/restore swaps and
+// forced collections (which fault everything in and then invalidate every
+// segment) run on top — so the kOocSpill/kOocFault points race the steal,
+// GC and snapshot machinery on every discipline, and a level that comes back
+// from disk wrong fails the exhaustive truth-table validation.
+// ---------------------------------------------------------------------------
+
+class OocTortureSweep
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, std::uint64_t, TortureMode>> {};
+
+TEST_P(OocTortureSweep, PagingSurvivesGcAndCheckpointRaces) {
+  const auto [workers, seed, mode] = GetParam();
+
+  TortureConfig tc;
+  tc.seed = seed;
+  tc.mode = mode;
+  tc.delay_permille = 200;
+  tc.yield_permille = 200;
+  tc.force_gc_permille = 150;  // collections invalidate every spill segment
+  tc.force_spill_permille = 50;
+  tc.force_table_grow_permille = 25;
+  TortureGuard guard(tc);
+
+  Config config;
+  config.workers = workers;
+  config.eval_threshold = 4;
+  config.group_size = 2;
+  config.share_poll_interval = 4;
+  const TableDiscipline discipline = sweep_discipline(seed);
+  config.table_discipline = discipline;
+  config.table_shards = discipline == TableDiscipline::kSharded ? 4 : 1;
+
+  const auto result =
+      run_torture_workload(config, 4, 40, seed * 977 + workers,
+                           /*snapshot_every=*/7, /*dag_permille=*/0,
+                           /*ooc_budget=*/1);
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.stall_breaks, 0u);
+  EXPECT_GE(result.snapshot_cycles, 5u);
+  // Budget 1 with nonempty levels means demotion fires at every barrier and
+  // the workload's next touch faults — independent of the torture build.
+  EXPECT_GT(result.ooc_demotions, 0u);
+  EXPECT_GT(result.ooc_faults, 0u);
+  if (rt::torture_compiled()) {
+    EXPECT_GT(result.events, 0u);
+    EXPECT_GT(result.gc_runs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OocTortureSweep,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3}),
+                       ::testing::Values(TortureMode::kPerturb,
+                                         TortureMode::kSerialize)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<unsigned, std::uint64_t, TortureMode>>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == TortureMode::kPerturb ? "_perturb"
+                                                               : "_serialize");
+    });
+
+// ---------------------------------------------------------------------------
 // Multi-session service sweep: client threads × seeds, perturb mode only.
 // The service dispatcher and client threads are unregistered with the
 // scheduler (they never run pool jobs) so they get seeded delays/yields at

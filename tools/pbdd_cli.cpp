@@ -18,6 +18,10 @@
 //   --trace FILE         record a per-worker event trace of the run and
 //                        write Chrome-trace-event JSON (open in
 //                        ui.perfetto.dev; analyze with pbdd_trace)
+//   --mem-budget N       out-of-core paging: demote cold levels to disk at
+//                        each batch barrier until at most N node slots stay
+//                        resident (docs/OOC.md); needs --spill-dir
+//   --spill-dir DIR      directory for spill segments (must exist)
 //
 //   pbdd_cli --load FILE [options]
 //                        restore a checkpoint instead of building; the
@@ -43,6 +47,7 @@
 #include "core/bdd_manager.hpp"
 #include "core/export.hpp"
 #include "obs/trace.hpp"
+#include "ooc/level_pager.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/timer.hpp"
 
@@ -56,6 +61,7 @@ using namespace pbdd;
                "[--group N]\n"
                "          [--order dfs|natural] [--stats] [--dot FILE] "
                "[--counts] [--sat] [--save FILE] [--trace FILE]\n"
+               "          [--mem-budget N --spill-dir DIR]\n"
                "       %s --load FILE [--threads N] [--stats] [--dot FILE] "
                "[--counts] [--sat] [--save FILE] [--trace FILE]\n",
                argv0, argv0);
@@ -162,6 +168,8 @@ int main(int argc, char** argv) {
   std::string load_path;
   std::string trace_path;
   std::string order_kind = "dfs";
+  std::string spill_dir;
+  std::size_t mem_budget = 0;
   int first_opt = 2;
   if (spec == "--load") {
     if (argc < 3) usage(argv[0]);
@@ -200,6 +208,10 @@ int main(int argc, char** argv) {
       rep.save_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--mem-budget") {
+      mem_budget = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--spill-dir") {
+      spill_dir = next();
     } else {
       usage(argv[0]);
     }
@@ -239,6 +251,18 @@ int main(int argc, char** argv) {
                 raw.outputs().size(), order_kind.c_str());
 
     core::BddManager mgr(static_cast<unsigned>(bin.inputs().size()), config);
+    std::unique_ptr<ooc::LevelPager> pager;
+    if (!spill_dir.empty()) {
+      ooc::PagerConfig pc;
+      pc.spill_dir = spill_dir;
+      pc.node_budget = mem_budget;
+      pager = std::make_unique<ooc::LevelPager>(mgr, pc);
+      std::printf("paging: spill-dir=%s budget=%zu nodes\n",
+                  spill_dir.c_str(), mem_budget);
+    } else if (mem_budget != 0) {
+      std::fprintf(stderr, "error: --mem-budget needs --spill-dir\n");
+      return 2;
+    }
     util::WallTimer timer;
     circuit::BuildStats build_stats;
     const std::vector<core::Bdd> outputs =
@@ -256,6 +280,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(build_stats.batches),
         static_cast<unsigned long long>(mgr.gc_runs()));
 
+    if (pager != nullptr) {
+      const ooc::PagerStats ps = pager->stats();
+      std::printf(
+          "paging: %llu demotions, %llu faults (%llu prefetch hits), "
+          "%.1f MB written, %.1f MB read, %llu levels on disk\n",
+          static_cast<unsigned long long>(ps.demotions),
+          static_cast<unsigned long long>(ps.faults),
+          static_cast<unsigned long long>(ps.prefetch_hits),
+          static_cast<double>(ps.bytes_written) / 1048576.0,
+          static_cast<double>(ps.bytes_read) / 1048576.0,
+          static_cast<unsigned long long>(ps.spilled_levels));
+    }
     if (!rep.save_path.empty()) {
       mgr.gc();  // drop build intermediates so the checkpoint is tight
     }

@@ -58,6 +58,12 @@ struct Cli {
   bool fault = false;
   unsigned fault_batch = 16;       ///< faults per campaign wave
   std::size_t fault_max_nets = 48; ///< site cap per campaign (0 = all)
+  /// Out-of-core paging: spill directory + barrier-time resident target.
+  /// With a spill dir set, the governor demotes before it defers or sheds —
+  /// the demote-not-shed traffic pattern (docs/OOC.md).
+  std::string spill_dir;
+  std::size_t pager_budget = 0;
+  bool estimate_demand = false;  ///< price batches with the max-cut model
 };
 
 [[noreturn]] void usage() {
@@ -68,7 +74,9 @@ struct Cli {
                "                    [--checkpoint-every N] "
                "[--checkpoint-path PATH] [--trace PATH]\n"
                "                    [--fault] [--fault-batch N] "
-               "[--fault-max-nets N]\n");
+               "[--fault-max-nets N]\n"
+               "                    [--spill-dir DIR] [--pager-budget NODES] "
+               "[--estimate-demand]\n");
   std::exit(2);
 }
 
@@ -93,6 +101,9 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--fault") cli.fault = true;
     else if (a == "--fault-batch") cli.fault_batch = std::stoul(next());
     else if (a == "--fault-max-nets") cli.fault_max_nets = std::stoull(next());
+    else if (a == "--spill-dir") cli.spill_dir = next();
+    else if (a == "--pager-budget") cli.pager_budget = std::stoull(next());
+    else if (a == "--estimate-demand") cli.estimate_demand = true;
     else usage();
   }
   if (cli.sessions == 0 || cli.passes == 0) usage();
@@ -302,6 +313,9 @@ int main(int argc, char** argv) {
   cfg.live_node_budget = cli.budget;
   cfg.checkpoint_every_batches = cli.checkpoint_every;
   cfg.checkpoint_path = cli.checkpoint_path;
+  cfg.spill_dir = cli.spill_dir;
+  cfg.pager_node_budget = cli.pager_budget;
+  cfg.use_demand_estimator = cli.estimate_demand;
 
   if (!cli.trace_path.empty()) {
     if (!obs::trace_compiled()) {
@@ -424,6 +438,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.fault_faults_detected),
         static_cast<unsigned long long>(m.fault_faults_equivalent),
         static_cast<unsigned long long>(m.fault_batches));
+  }
+  if (!cli.spill_dir.empty()) {
+    std::printf(
+        "paging: %llu demotions, %llu faults (%llu prefetch hits), "
+        "%llu levels / %llu nodes on disk, shed=%llu\n",
+        static_cast<unsigned long long>(m.ooc_demotions),
+        static_cast<unsigned long long>(m.ooc_faults),
+        static_cast<unsigned long long>(m.ooc_prefetch_hits),
+        static_cast<unsigned long long>(m.ooc_spilled_levels),
+        static_cast<unsigned long long>(m.ooc_spilled_nodes),
+        static_cast<unsigned long long>(m.shed));
   }
   if (cli.checkpoint_every > 0) {
     std::printf(
