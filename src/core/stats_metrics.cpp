@@ -1,6 +1,7 @@
 #include "core/stats_metrics.hpp"
 
 #include <string>
+#include <tuple>
 
 namespace pbdd::core {
 
@@ -27,29 +28,51 @@ void publish_phases(const WorkerStats& w, obs::Registry& reg,
 void publish_stats(const ManagerStats& stats, obs::Registry& reg,
                    const PublishOptions& options) {
   const WorkerStats& t = stats.total;
-  const std::pair<const char*, std::uint64_t> counters[] = {
-      {"pbdd_engine_ops_total", t.ops_performed},
-      {"pbdd_engine_cache_lookups_total", t.cache_lookups},
-      {"pbdd_engine_cache_hits_total", t.cache_hits},
-      {"pbdd_engine_cache_op_hits_total", t.cache_op_hits},
-      {"pbdd_engine_cache_cross_ctx_misses_total", t.cache_cross_ctx_misses},
-      {"pbdd_engine_cache_shared_hits_total", t.cache_shared_hits},
-      {"pbdd_engine_nodes_created_total", t.nodes_created},
-      {"pbdd_engine_contexts_pushed_total", t.contexts_pushed},
-      {"pbdd_engine_groups_created_total", t.groups_created},
-      {"pbdd_engine_groups_taken_total", t.groups_taken},
-      {"pbdd_engine_groups_stolen_total", t.groups_stolen},
-      {"pbdd_engine_tasks_stolen_total", t.tasks_stolen},
-      {"pbdd_engine_reduction_stalls_total", t.reduction_stalls},
-      {"pbdd_engine_batch_dep_stalls_total", t.batch_dep_stalls},
-      {"pbdd_engine_top_ops_total", t.top_ops},
-      {"pbdd_engine_lock_wait_ns_total", t.lock_wait_ns},
-      {"pbdd_engine_cas_retries_total", t.cas_retries},
-      {"pbdd_engine_gc_runs_total", stats.gc_runs},
+  // name, help, value. Help strings are per family (docs/OBSERVABILITY.md
+  // carries the longer discussion; the exposition should stand on its own).
+  const std::tuple<const char*, const char*, std::uint64_t> counters[] = {
+      {"pbdd_engine_ops_total", "BDD operations executed (expansion tasks)",
+       t.ops_performed},
+      {"pbdd_engine_cache_lookups_total", "Compute-cache probes",
+       t.cache_lookups},
+      {"pbdd_engine_cache_hits_total", "Compute-cache hits (any kind)",
+       t.cache_hits},
+      {"pbdd_engine_cache_op_hits_total",
+       "Compute-cache hits on completed results", t.cache_op_hits},
+      {"pbdd_engine_cache_cross_ctx_misses_total",
+       "Compute-cache entries skipped because they belong to a spilled "
+       "context",
+       t.cache_cross_ctx_misses},
+      {"pbdd_engine_cache_shared_hits_total",
+       "Hits in the shared (cross-worker) compute-cache tier",
+       t.cache_shared_hits},
+      {"pbdd_engine_nodes_created_total", "Unique-table node insertions",
+       t.nodes_created},
+      {"pbdd_engine_contexts_pushed_total",
+       "Breadth-first contexts spilled for work stealing", t.contexts_pushed},
+      {"pbdd_engine_groups_created_total",
+       "Task groups published as stealable", t.groups_created},
+      {"pbdd_engine_groups_taken_total",
+       "Task groups reclaimed by their owning worker", t.groups_taken},
+      {"pbdd_engine_groups_stolen_total", "Task groups executed by a thief",
+       t.groups_stolen},
+      {"pbdd_engine_tasks_stolen_total", "Individual tasks run by a thief",
+       t.tasks_stolen},
+      {"pbdd_engine_reduction_stalls_total",
+       "Reduction waits on a thief's in-flight result", t.reduction_stalls},
+      {"pbdd_engine_batch_dep_stalls_total",
+       "Batch items that stalled on an unfinished dependency",
+       t.batch_dep_stalls},
+      {"pbdd_engine_top_ops_total", "Top-level batch items executed",
+       t.top_ops},
+      {"pbdd_engine_lock_wait_ns_total",
+       "Nanoseconds spent waiting on unique-table locks", t.lock_wait_ns},
+      {"pbdd_engine_cas_retries_total",
+       "Lock-free insertion CAS retries", t.cas_retries},
+      {"pbdd_engine_gc_runs_total", "Mark-compact collections", stats.gc_runs},
   };
-  for (const auto& [name, value] : counters) {
-    reg.counter(name, "Engine counter (see docs/OBSERVABILITY.md)")
-        .add(value);
+  for (const auto& [name, help, value] : counters) {
+    reg.counter(name, help).add(value);
   }
 
   reg.gauge("pbdd_engine_live_nodes", "Live nodes after the last collection")

@@ -1,0 +1,87 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace pbdd::net {
+
+namespace {
+
+constexpr std::size_t kHeadBytes = 4 + 2 + 2 + 4;  // magic, type, flags, len
+
+void put_u16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+[[nodiscard]] std::uint16_t get_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+void send_frame(Socket& sock, std::uint16_t type, const std::uint8_t* payload,
+                std::size_t payload_len, std::uint16_t flags) {
+  if (payload_len > 0xFFFFFFFFu) {
+    throw std::runtime_error("net: frame payload too large");
+  }
+  std::uint8_t head[kHeadBytes];
+  put_u32(head, kFrameMagic);
+  put_u16(head + 4, type);
+  put_u16(head + 6, flags);
+  put_u32(head + 8, static_cast<std::uint32_t>(payload_len));
+  // CRC over type..payload: the covered header fields first, then the
+  // payload continued through the same running register.
+  util::Crc32 crc;
+  crc.update(head + 4, kHeadBytes - 4);
+  if (payload_len > 0) crc.update(payload, payload_len);
+  std::uint8_t foot[4];
+  put_u32(foot, crc.value());
+  sock.send_all(head, sizeof(head));
+  if (payload_len > 0) sock.send_all(payload, payload_len);
+  sock.send_all(foot, sizeof(foot));
+}
+
+void send_frame(Socket& sock, std::uint16_t type,
+                const std::vector<std::uint8_t>& payload,
+                std::uint16_t flags) {
+  send_frame(sock, type, payload.data(), payload.size(), flags);
+}
+
+std::optional<Frame> recv_frame(Socket& sock, std::uint32_t max_payload) {
+  std::uint8_t head[kHeadBytes];
+  if (!sock.recv_all(head, sizeof(head))) return std::nullopt;
+  if (get_u32(head) != kFrameMagic) {
+    throw std::runtime_error("net: bad frame magic");
+  }
+  Frame f;
+  f.type = get_u16(head + 4);
+  f.flags = get_u16(head + 6);
+  const std::uint32_t len = get_u32(head + 8);
+  if (len > max_payload) {
+    throw std::runtime_error("net: frame payload exceeds receive cap");
+  }
+  f.payload.resize(len);
+  if (len > 0 && !sock.recv_all(f.payload.data(), len)) {
+    throw std::runtime_error("net: connection closed mid-frame");
+  }
+  std::uint8_t foot[4];
+  if (!sock.recv_all(foot, sizeof(foot))) {
+    throw std::runtime_error("net: connection closed mid-frame");
+  }
+  util::Crc32 crc;
+  crc.update(head + 4, kHeadBytes - 4);
+  if (len > 0) crc.update(f.payload.data(), len);
+  if (crc.value() != get_u32(foot)) {
+    throw std::runtime_error("net: frame checksum mismatch");
+  }
+  return f;
+}
+
+}  // namespace pbdd::net

@@ -1,0 +1,48 @@
+// Length-prefixed, CRC-guarded frames over a Socket (docs/FORMAT.md,
+// "Replication wire format").
+//
+// Every replication message travels as one frame:
+//
+//   magic u32 ("PBDF"), type u16, flags u16, payload_len u32,
+//   payload bytes, crc u32
+//
+// The CRC-32 covers type..payload (everything after the magic, before the
+// crc), so a flipped bit anywhere in a message is loud. payload_len is
+// bounded by the receiver's max_payload — a garbage length (port scanner,
+// protocol confusion) fails fast instead of allocating gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace pbdd::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46444250u;  // "PBDF" LE
+/// Default receive cap: generous for full-snapshot level sections, small
+/// enough that a corrupt length cannot exhaust memory.
+inline constexpr std::uint32_t kDefaultMaxPayload = 1u << 30;
+
+struct Frame {
+  std::uint16_t type = 0;
+  std::uint16_t flags = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize and send one frame.
+void send_frame(Socket& sock, std::uint16_t type,
+                const std::uint8_t* payload, std::size_t payload_len,
+                std::uint16_t flags = 0);
+void send_frame(Socket& sock, std::uint16_t type,
+                const std::vector<std::uint8_t>& payload,
+                std::uint16_t flags = 0);
+
+/// Receive one frame. nullopt on a clean peer close between frames; throws
+/// on corruption (bad magic, CRC mismatch, oversized payload), timeout, or
+/// mid-frame EOF.
+[[nodiscard]] std::optional<Frame> recv_frame(
+    Socket& sock, std::uint32_t max_payload = kDefaultMaxPayload);
+
+}  // namespace pbdd::net

@@ -1,0 +1,161 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace pbdd::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("net: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const auto* p = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a reset peer must surface as EPIPE, not kill the
+    // process with SIGPIPE (the failover path depends on catching it).
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t size) {
+  auto* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) fail("receive timeout");
+      fail_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean close on a frame boundary
+      fail("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::set_recv_timeout(std::chrono::milliseconds timeout) {
+  struct timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    fail_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void Socket::set_nodelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    fail_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+Listener::Listener(std::uint16_t port, bool any) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    fail_errno("setsockopt(SO_REUSEADDR)");
+  }
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = any ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("bind");
+  }
+  if (::listen(fd, 16) != 0) fail_errno("listen");
+  // Recover the kernel-assigned port when 0 was requested.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  sock_ = std::move(sock);
+}
+
+Socket Listener::accept_client() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();  // closed listener (shutdown path) or hard error
+  }
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    fail("bad address '" + host + "' (IPv4 dotted quad or localhost only)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail_errno("socket");
+  Socket sock(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    fail_errno("connect " + resolved + ":" + std::to_string(port));
+  }
+}
+
+std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    fail("bad endpoint '" + endpoint + "' (want host:port)");
+  }
+  const unsigned long port = std::strtoul(endpoint.c_str() + colon + 1,
+                                          nullptr, 10);
+  if (port == 0 || port > 0xFFFF) {
+    fail("bad port in endpoint '" + endpoint + "'");
+  }
+  return {endpoint.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace pbdd::net

@@ -1,0 +1,98 @@
+// Minimal RAII TCP sockets for the replication tier (docs/REPLICATION.md).
+//
+// Deliberately tiny: blocking POSIX stream sockets over loopback or a
+// trusted LAN, with EINTR-safe full-buffer send/recv, optional receive
+// timeouts, and ephemeral-port listeners (port 0) so tests and the CI smoke
+// job never collide on a fixed port. No TLS, no non-blocking state machine —
+// the replication protocol is one writer and a handful of replicas, and
+// every connection gets its own thread.
+//
+// Errors are std::runtime_error("net: ..."); a clean peer close surfaces as
+// recv_some() == 0, which frame.hpp turns into "no more frames".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace pbdd::net {
+
+/// Move-only owner of one socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Close the fd (idempotent). Also the way to unblock a thread parked in
+  /// accept()/recv on this socket from another thread (via shutdown first).
+  void close() noexcept;
+  /// shutdown(SHUT_RDWR): wakes any thread blocked on this socket without
+  /// racing the fd number the way close() alone would.
+  void shutdown() noexcept;
+
+  /// Block-until-done send; throws on error or peer reset.
+  void send_all(const void* data, std::size_t size);
+  /// Block-until-done receive of exactly `size` bytes. Returns false on a
+  /// clean EOF *before the first byte*; throws on error, timeout, or EOF
+  /// mid-buffer (a torn frame is corruption, not a clean close).
+  [[nodiscard]] bool recv_all(void* data, std::size_t size);
+
+  /// SO_RCVTIMEO for subsequent receives (zero = block forever). A timeout
+  /// expiring inside recv_all throws ("net: receive timeout").
+  void set_recv_timeout(std::chrono::milliseconds timeout);
+  /// Disable Nagle: the protocol is request/response with small frames
+  /// between the ship bursts.
+  void set_nodelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 (or INADDR_ANY with `any` = true).
+/// Construct with port 0 for an ephemeral port; port() reports the bound one.
+class Listener {
+ public:
+  Listener() = default;
+  explicit Listener(std::uint16_t port, bool any = false);
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block for one connection. Returns an invalid Socket once close() has
+  /// been called (the accept loop's shutdown path).
+  [[nodiscard]] Socket accept_client();
+  void close() noexcept {
+    sock_.shutdown();
+    sock_.close();
+  }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to host:port (IPv4 dotted quad or "localhost").
+/// Throws on failure.
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// "host:port" split; throws on malformed input.
+[[nodiscard]] std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& endpoint);
+
+}  // namespace pbdd::net

@@ -52,6 +52,9 @@ constexpr EventInfo kEvents[] = {
     {"ooc_demote", "ooc", EventType::kInstant, "nodes", "var"},
     {"ooc_fault", "ooc", EventType::kInstant, "nodes", "var"},
     {"ooc_prefetch", "ooc", EventType::kInstant, "bytes", "var"},
+    {"repl_ship", "repl", EventType::kInstant, "bytes", "replica"},
+    {"repl_apply", "repl", EventType::kInstant, "nodes", "levels"},
+    {"repl_failover", "repl", EventType::kInstant, nullptr, "replica"},
 };
 static_assert(sizeof(kEvents) / sizeof(kEvents[0]) ==
                   static_cast<std::size_t>(EventKind::kCount),

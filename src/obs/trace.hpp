@@ -80,6 +80,10 @@ enum class EventKind : std::uint8_t {
   kOocDemote,       ///< level spilled to disk; arg0 = nodes, arg1 = var
   kOocFault,        ///< level faulted back in; arg0 = nodes, arg1 = var
   kOocPrefetch,     ///< prefetch staged a level; arg0 = bytes, arg1 = var
+  // Replication instants (src/replica/, docs/REPLICATION.md).
+  kReplShip,        ///< epoch shipped to a replica; arg0 = bytes, arg1 = replica
+  kReplApply,       ///< replica applied an epoch; arg0 = nodes, arg1 = levels
+  kReplFailover,    ///< read failed over to the writer; arg1 = replica
   kCount
 };
 

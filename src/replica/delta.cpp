@@ -1,0 +1,187 @@
+#include "replica/delta.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace pbdd::repl {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("repl: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+void pwrite_all(int fd, const void* data, std::size_t size,
+                std::uint64_t offset) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void pread_all(int fd, void* data, std::size_t size, std::uint64_t offset) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read");
+    }
+    if (n == 0) fail("unexpected end of applied snapshot");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> plan_delta(
+    const snapshot::LevelDirectory& next, std::uint64_t acked_epoch,
+    std::uint32_t acked_num_vars,
+    const std::vector<std::uint32_t>& acked_crc_row) {
+  if (acked_epoch == 0) return std::nullopt;
+  if (acked_num_vars != next.info.num_vars) return std::nullopt;
+  if (acked_crc_row.size() != next.levels.size()) return std::nullopt;
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t v = 0; v < next.levels.size(); ++v) {
+    if (next.levels[v].crc != acked_crc_row[v]) {
+      dirty.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  return dirty;
+}
+
+std::vector<std::uint32_t> crc_row_of(const snapshot::LevelDirectory& dir) {
+  std::vector<std::uint32_t> row;
+  row.reserve(dir.levels.size());
+  for (const snapshot::LevelDirEntry& e : dir.levels) row.push_back(e.crc);
+  return row;
+}
+
+Assembler::Assembler(const ShipBegin& begin, std::string tmp_path,
+                     std::string applied_path)
+    : epoch_(begin.epoch),
+      mode_(begin.mode),
+      tmp_path_(std::move(tmp_path)),
+      applied_path_(std::move(applied_path)),
+      dir_(snapshot::parse_meta_blob(begin.meta.data(), begin.meta.size(),
+                                     begin.file_bytes)),
+      roots_(begin.roots) {
+  if (begin.meta.size() != dir_.meta_bytes()) {
+    fail("meta blob size mismatch");
+  }
+  if (roots_.size() != dir_.root_table_bytes) {
+    fail("root blob size mismatch");
+  }
+  received_.assign(dir_.levels.size(), false);
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) fail_errno("open " + tmp_path_);
+  if (::ftruncate(fd_, static_cast<off_t>(dir_.info.file_bytes)) != 0) {
+    fail_errno("truncate " + tmp_path_);
+  }
+  pwrite_all(fd_, begin.meta.data(), begin.meta.size(), 0);
+}
+
+Assembler::~Assembler() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!finished_) std::remove(tmp_path_.c_str());
+}
+
+void Assembler::add_level(const ShipLevel& lvl) {
+  if (finished_) fail("ship already finished");
+  if (lvl.epoch != epoch_) fail("ship level from wrong epoch");
+  if (lvl.var >= dir_.levels.size()) fail("ship level out of range");
+  if (received_[lvl.var]) fail("duplicate ship level");
+  const snapshot::LevelDirEntry& e = dir_.levels[lvl.var];
+  if (lvl.section.size() != e.byte_size) {
+    fail("level " + std::to_string(lvl.var) + " section size mismatch");
+  }
+  if (util::crc32(lvl.section.data(), lvl.section.size()) != e.crc) {
+    fail("level " + std::to_string(lvl.var) + " section checksum mismatch");
+  }
+  if (e.byte_size > 0) {
+    pwrite_all(fd_, lvl.section.data(), lvl.section.size(), e.offset);
+  }
+  received_[lvl.var] = true;
+  ++received_count_;
+}
+
+void Assembler::finish(std::uint32_t levels_shipped) {
+  if (finished_) fail("ship already finished");
+  if (levels_shipped != received_count_) {
+    fail("ship truncated: expected " + std::to_string(levels_shipped) +
+         " levels, received " + std::to_string(received_count_));
+  }
+
+  // Splice every section the writer did not ship from the applied file.
+  if (received_count_ < dir_.levels.size()) {
+    if (mode_ != ShipMode::kDelta) fail("full ship missing levels");
+    snapshot::LevelDirectory old = snapshot::inspect_levels(applied_path_);
+    if (old.info.num_vars != dir_.info.num_vars) {
+      fail("applied snapshot variable count diverged");
+    }
+    const int old_fd =
+        ::open(applied_path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (old_fd < 0) fail_errno("open " + applied_path_);
+    std::vector<std::uint8_t> buf;
+    try {
+      for (std::size_t v = 0; v < dir_.levels.size(); ++v) {
+        if (received_[v]) continue;
+        const snapshot::LevelDirEntry& ne = dir_.levels[v];
+        const snapshot::LevelDirEntry& oe = old.levels[v];
+        // The clean-splice precondition: the replica's section must be the
+        // byte-identical one the writer diffed against. Any mismatch means
+        // the acked row diverged from the file on disk — Nak, never guess.
+        if (oe.crc != ne.crc || oe.byte_size != ne.byte_size ||
+            oe.node_count != ne.node_count) {
+          fail("level " + std::to_string(v) + " diverged from applied epoch");
+        }
+        if (ne.byte_size == 0) continue;
+        buf.resize(ne.byte_size);
+        pread_all(old_fd, buf.data(), buf.size(), oe.offset);
+        if (util::crc32(buf.data(), buf.size()) != ne.crc) {
+          fail("level " + std::to_string(v) + " applied section corrupt");
+        }
+        pwrite_all(fd_, buf.data(), buf.size(), ne.offset);
+        ++spliced_;
+      }
+    } catch (...) {
+      ::close(old_fd);
+      throw;
+    }
+    ::close(old_fd);
+  }
+
+  if (!roots_.empty()) {
+    pwrite_all(fd_, roots_.data(), roots_.size(), dir_.root_table_offset);
+  }
+  if (::fsync(fd_) != 0) fail_errno("fsync " + tmp_path_);
+  ::close(fd_);
+  fd_ = -1;
+  if (std::rename(tmp_path_.c_str(), applied_path_.c_str()) != 0) {
+    fail_errno("rename " + tmp_path_);
+  }
+  finished_ = true;
+}
+
+}  // namespace pbdd::repl

@@ -1,0 +1,82 @@
+// Level-delta computation and snapshot reassembly (docs/REPLICATION.md).
+//
+// Writer side: plan_delta compares the new export snapshot's per-level CRC
+// column against the replica's acked row and returns the set of levels that
+// must travel. Replica side: Assembler rebuilds a complete, byte-identical
+// snapshot file from the shipped meta prefix + root table + dirty sections,
+// splicing every clean section out of the previously applied file. Any
+// validation failure throws std::runtime_error whose message becomes the
+// ShipNak reason (and the writer falls back to a full ship).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replica/wire.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pbdd::repl {
+
+/// Levels whose section changed relative to the acked CRC row, or
+/// std::nullopt when the row is unusable (no epoch applied, variable count
+/// mismatch) and the writer must ship full. A CRC match with a diverged
+/// section is caught replica-side (size/count/CRC re-check before splicing).
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> plan_delta(
+    const snapshot::LevelDirectory& next, std::uint64_t acked_epoch,
+    std::uint32_t acked_num_vars,
+    const std::vector<std::uint32_t>& acked_crc_row);
+
+/// CRC row of a level directory, the shape HelloAck and plan_delta consume.
+[[nodiscard]] std::vector<std::uint32_t> crc_row_of(
+    const snapshot::LevelDirectory& dir);
+
+/// Rebuilds one epoch's snapshot file. Frames stream in ship order:
+///   Assembler asm(begin, tmp_path, applied_path);
+///   for each ShipLevel: asm.add_level(lvl);
+///   asm.finish(end.levels_shipped);   // splices, writes roots, renames
+/// After finish() the file at `applied_path` is complete and CRC-clean;
+/// restore it with the replica's own core::Config.
+class Assembler {
+ public:
+  /// Parses + validates the meta blob and opens `tmp_path` for writing.
+  /// `applied_path` is the currently applied snapshot to splice clean
+  /// sections from (only consulted in delta mode).
+  Assembler(const ShipBegin& begin, std::string tmp_path,
+            std::string applied_path);
+  ~Assembler();
+  Assembler(const Assembler&) = delete;
+  Assembler& operator=(const Assembler&) = delete;
+
+  void add_level(const ShipLevel& lvl);
+
+  /// Completes the file and renames tmp over `applied_path`.
+  void finish(std::uint32_t levels_shipped);
+
+  [[nodiscard]] const snapshot::LevelDirectory& dir() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t levels_received() const noexcept {
+    return received_count_;
+  }
+  [[nodiscard]] std::uint32_t levels_spliced() const noexcept {
+    return spliced_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  ShipMode mode_;
+  std::string tmp_path_;
+  std::string applied_path_;
+  snapshot::LevelDirectory dir_;
+  std::vector<std::uint8_t> roots_;
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t spliced_ = 0;
+  int fd_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace pbdd::repl

@@ -1,0 +1,286 @@
+#include "replica/replica_server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_points.hpp"
+#include "replica/delta.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pbdd::repl {
+
+ReplicaServer::ReplicaServer(ReplicaOptions opts)
+    : opts_(std::move(opts)),
+      applied_path_(opts_.dir + "/applied.snap"),
+      incoming_path_(opts_.dir + "/incoming.snap") {}
+
+ReplicaServer::~ReplicaServer() { stop(); }
+
+void ReplicaServer::start() {
+  listener_ = net::Listener(opts_.port);
+  port_ = listener_.port();
+  stopping_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ReplicaServer::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_mutex_);
+    for (Conn& c : conns_) c.sock.shutdown();
+  }
+  // Connection threads only exit; they never erase their own list entry, so
+  // joining without the lock is safe.
+  for (Conn& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mutex_);
+    conns_.clear();
+  }
+  started_ = false;
+}
+
+std::uint64_t ReplicaServer::applied_epoch() const {
+  std::lock_guard<std::mutex> lk(state_mutex_);
+  return epoch_;
+}
+
+ReplicaServer::Counters ReplicaServer::counters() const {
+  Counters c;
+  c.ships_applied = c_ships_applied_.load(std::memory_order_relaxed);
+  c.ship_naks = c_ship_naks_.load(std::memory_order_relaxed);
+  c.levels_received = c_levels_received_.load(std::memory_order_relaxed);
+  c.levels_spliced = c_levels_spliced_.load(std::memory_order_relaxed);
+  c.bytes_received = c_bytes_received_.load(std::memory_order_relaxed);
+  c.reads_served = c_reads_served_.load(std::memory_order_relaxed);
+  c.read_errors = c_read_errors_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string ReplicaServer::metrics_text() const {
+  const Counters c = counters();
+  obs::Registry reg;
+  reg.gauge("pbdd_replica_up", "1 while the replica server is accepting")
+      .set(1.0);
+  reg.gauge("pbdd_repl_applied_epoch",
+            "Last snapshot epoch applied (0 = none yet)")
+      .set(static_cast<double>(applied_epoch()));
+  reg.counter("pbdd_repl_ships_applied_total",
+              "Snapshot epochs applied successfully")
+      .add(c.ships_applied);
+  reg.counter("pbdd_repl_ship_naks_total",
+              "Ships rejected (divergence or validation failure)")
+      .add(c.ship_naks);
+  reg.counter("pbdd_repl_levels_received_total",
+              "Level sections received over the wire")
+      .add(c.levels_received);
+  reg.counter("pbdd_repl_levels_spliced_total",
+              "Level sections spliced from the previously applied snapshot")
+      .add(c.levels_spliced);
+  reg.counter("pbdd_repl_bytes_received_total",
+              "Ship payload bytes received")
+      .add(c.bytes_received);
+  reg.counter("pbdd_repl_reads_total", "Read requests served").add(
+      c.reads_served);
+  reg.counter("pbdd_repl_read_errors_total",
+              "Read requests answered with a non-OK status")
+      .add(c.read_errors);
+  return reg.prometheus_text();
+}
+
+void ReplicaServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    net::Socket sock = listener_.accept_client();
+    if (!sock.valid()) break;  // listener closed
+    sock.set_nodelay();
+    std::lock_guard<std::mutex> lk(conns_mutex_);
+    conns_.emplace_back();
+    Conn& conn = conns_.back();
+    conn.sock = std::move(sock);
+    conn.thread = std::thread([this, &conn] {
+      try {
+        serve(conn.sock);
+      } catch (const std::exception&) {
+        // Torn frame, protocol violation, or peer reset: drop the
+        // connection; the writer/router reconnects.
+      }
+      conn.sock.close();
+    });
+  }
+}
+
+void ReplicaServer::serve(net::Socket& sock) {
+  // In-progress ship on this connection. A failure mid-ship records the
+  // reason and keeps consuming that epoch's frames so the Nak lands after
+  // ShipEnd, when the writer is reading again.
+  std::unique_ptr<Assembler> assembler;
+  std::string ship_error;
+  std::uint64_t ship_epoch = 0;
+
+  for (;;) {
+    std::optional<net::Frame> f = net::recv_frame(sock, opts_.max_payload);
+    if (!f) return;  // clean close
+    switch (f->type) {
+      case kHello: {
+        (void)decode_hello(f->payload);
+        HelloAck ack;
+        {
+          std::lock_guard<std::mutex> lk(state_mutex_);
+          ack.applied_epoch = epoch_;
+          ack.num_vars = num_vars_;
+          ack.crc_row = crc_row_;
+        }
+        net::send_frame(sock, kHelloAck, encode(ack));
+        break;
+      }
+      case kShipBegin: {
+        const ShipBegin begin = decode_ship_begin(f->payload);
+        c_bytes_received_.fetch_add(f->payload.size(),
+                                    std::memory_order_relaxed);
+        ship_epoch = begin.epoch;
+        ship_error.clear();
+        assembler.reset();
+        try {
+          assembler = std::make_unique<Assembler>(begin, incoming_path_,
+                                                  applied_path_);
+        } catch (const std::exception& e) {
+          ship_error = e.what();
+        }
+        break;
+      }
+      case kShipLevel: {
+        const ShipLevel lvl = decode_ship_level(f->payload);
+        c_bytes_received_.fetch_add(f->payload.size(),
+                                    std::memory_order_relaxed);
+        if (assembler != nullptr && ship_error.empty()) {
+          try {
+            assembler->add_level(lvl);
+            c_levels_received_.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::exception& e) {
+            ship_error = e.what();
+          }
+        }
+        break;
+      }
+      case kShipEnd: {
+        const ShipEnd end = decode_ship_end(f->payload);
+        if (assembler == nullptr && ship_error.empty()) {
+          ship_error = "ShipEnd without ShipBegin";
+        }
+        if (ship_error.empty()) {
+          try {
+            assembler->finish(end.levels_shipped);
+            c_levels_spliced_.fetch_add(assembler->levels_spliced(),
+                                        std::memory_order_relaxed);
+            // The file at applied_path_ is complete; build the new store
+            // outside state_mutex_ (nothing shared), swap under it.
+            snapshot::RestoreResult rr =
+                snapshot::restore(applied_path_, opts_.config);
+            const std::vector<std::uint32_t> row = crc_row_of(assembler->dir());
+            {
+              std::lock_guard<std::mutex> lk(state_mutex_);
+              roots_.clear();  // handles must die before their manager
+              for (snapshot::NamedRoot& nr : rr.roots) {
+                roots_.emplace(std::move(nr.name), std::move(nr.bdd));
+              }
+              manager_ = std::move(rr.manager);
+              epoch_ = ship_epoch;
+              num_vars_ = manager_->num_vars();
+              crc_row_ = row;
+            }
+            c_ships_applied_.fetch_add(1, std::memory_order_relaxed);
+            PBDD_TRACE_INSTANT(kReplApply, rr.stats.nodes,
+                               assembler->levels_received());
+            ShipAck ack;
+            ack.epoch = ship_epoch;
+            ack.nodes = rr.stats.nodes;
+            net::send_frame(sock, kShipAck, encode(ack));
+          } catch (const std::exception& e) {
+            ship_error = e.what();
+          }
+        }
+        if (!ship_error.empty()) {
+          c_ship_naks_.fetch_add(1, std::memory_order_relaxed);
+          ShipNak nak;
+          nak.epoch = ship_epoch;
+          nak.reason = ship_error;
+          net::send_frame(sock, kShipNak, encode(nak));
+        }
+        assembler.reset();
+        ship_error.clear();
+        break;
+      }
+      case kReadReq: {
+        const ReadReq req = decode_read_req(f->payload);
+        const ReadResp resp = handle_read(req);
+        c_reads_served_.fetch_add(1, std::memory_order_relaxed);
+        if (resp.status != ReadStatus::kOk) {
+          c_read_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        net::send_frame(sock, kReadResp, encode(resp));
+        break;
+      }
+      case kPing: {
+        const Ping ping = decode_ping(f->payload);
+        Pong pong;
+        pong.nonce = ping.nonce;
+        pong.epoch = applied_epoch();
+        net::send_frame(sock, kPong, encode(pong));
+        break;
+      }
+      default:
+        throw std::runtime_error("repl: unexpected frame type " +
+                                 std::to_string(f->type));
+    }
+  }
+}
+
+ReadResp ReplicaServer::handle_read(const ReadReq& req) {
+  ReadResp resp;
+  resp.req_id = req.req_id;
+  std::lock_guard<std::mutex> lk(state_mutex_);
+  resp.epoch = epoch_;
+  if (manager_ == nullptr) {
+    resp.status = ReadStatus::kNotReady;
+    resp.error = "no snapshot applied yet";
+    return resp;
+  }
+  const auto it = roots_.find(req.root);
+  if (it == roots_.end()) {
+    resp.status = ReadStatus::kUnknownRoot;
+    resp.error = "unknown root " + req.root;
+    return resp;
+  }
+  try {
+    switch (req.op) {
+      case ReadOp::kEval: {
+        if (req.assignment.size() != manager_->num_vars()) {
+          resp.status = ReadStatus::kError;
+          resp.error = "assignment size mismatch";
+          return resp;
+        }
+        resp.value = manager_->eval(it->second, req.assignment) ? 1 : 0;
+        break;
+      }
+      case ReadOp::kSatCount:
+        resp.sat = manager_->sat_count(it->second);
+        break;
+      case ReadOp::kRootInfo:
+        resp.value = manager_->node_count(it->second);
+        break;
+    }
+    resp.status = ReadStatus::kOk;
+  } catch (const std::exception& e) {
+    resp.status = ReadStatus::kError;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+}  // namespace pbdd::repl

@@ -1,0 +1,115 @@
+// Read replica: applies shipped snapshot epochs, serves reads at the last
+// applied epoch (docs/REPLICATION.md).
+//
+// One acceptor thread plus one thread per connection. The writer's shipping
+// link and the router's read links all speak the same framed protocol, so a
+// connection's role is whatever frames arrive on it. Applied state — the
+// restored BddManager, its root table, the epoch, and the per-level CRC row
+// the next delta is computed against — swaps atomically under one mutex;
+// reads serialize on the same mutex (the manager's external-call contract:
+// one thread at a time).
+//
+// Every answer carries the epoch it was computed at, so staleness is always
+// visible to clients rather than silent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bdd_manager.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "replica/wire.hpp"
+
+namespace pbdd::repl {
+
+struct ReplicaOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; ReplicaServer::port() tells
+  std::string dir = ".";   ///< holds applied.snap + incoming.snap
+  /// Restore configuration. May differ from the writer's (fewer workers, a
+  /// different table discipline); restore falls back to rehashing then.
+  core::Config config;
+  std::uint32_t max_payload = net::kDefaultMaxPayload;
+  /// Numeric id stamped into kReplApply trace events (writer assigns them
+  /// by endpoint order; purely observability).
+  std::uint32_t replica_id = 0;
+};
+
+class ReplicaServer {
+ public:
+  explicit ReplicaServer(ReplicaOptions opts);
+  ~ReplicaServer();
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// Bind + start the acceptor. Throws on bind failure.
+  void start();
+  /// Shut every connection down and join all threads (idempotent).
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t applied_epoch() const;
+
+  struct Counters {
+    std::uint64_t ships_applied = 0;
+    std::uint64_t ship_naks = 0;
+    std::uint64_t levels_received = 0;
+    std::uint64_t levels_spliced = 0;
+    std::uint64_t bytes_received = 0;  ///< ship payload bytes
+    std::uint64_t reads_served = 0;
+    std::uint64_t read_errors = 0;  ///< non-kOk responses
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// pbdd_repl_* families in Prometheus text exposition format.
+  [[nodiscard]] std::string metrics_text() const;
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve(net::Socket& sock);
+  [[nodiscard]] ReadResp handle_read(const ReadReq& req);
+
+  const ReplicaOptions opts_;
+  const std::string applied_path_;
+  const std::string incoming_path_;
+
+  net::Listener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex conns_mutex_;
+  std::list<Conn> conns_;
+
+  /// Applied state (manager + roots + epoch + CRC row), swapped whole on
+  /// every successful apply.
+  mutable std::mutex state_mutex_;
+  std::unique_ptr<core::BddManager> manager_;
+  std::map<std::string, core::Bdd> roots_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t num_vars_ = 0;
+  std::vector<std::uint32_t> crc_row_;
+
+  std::atomic<std::uint64_t> c_ships_applied_{0};
+  std::atomic<std::uint64_t> c_ship_naks_{0};
+  std::atomic<std::uint64_t> c_levels_received_{0};
+  std::atomic<std::uint64_t> c_levels_spliced_{0};
+  std::atomic<std::uint64_t> c_bytes_received_{0};
+  std::atomic<std::uint64_t> c_reads_served_{0};
+  std::atomic<std::uint64_t> c_read_errors_{0};
+};
+
+}  // namespace pbdd::repl

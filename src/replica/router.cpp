@@ -1,0 +1,126 @@
+#include "replica/router.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "obs/trace_points.hpp"
+#include "util/hash.hpp"
+
+namespace pbdd::repl {
+
+namespace {
+
+/// FNV-1a over the endpoint string, mixed per vnode with hash_pair — the
+/// ring layout must be identical across processes, so no std::hash.
+std::uint64_t hash_endpoint(const std::string& addr, unsigned vnode) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : addr) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return util::hash_pair(h, vnode);
+}
+
+std::uint64_t hash_key(std::uint64_t key) {
+  return util::hash_pair(key, 0x5e551057u);
+}
+
+}  // namespace
+
+SessionRouter::SessionRouter(RouterOptions opts, LocalRead local)
+    : opts_(std::move(opts)), local_(std::move(local)) {
+  endpoints_.reserve(opts_.endpoints.size());
+  for (std::size_t i = 0; i < opts_.endpoints.size(); ++i) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->addr = opts_.endpoints[i];
+    endpoints_.push_back(std::move(ep));
+    for (unsigned v = 0; v < opts_.vnodes; ++v) {
+      ring_.emplace_back(hash_endpoint(opts_.endpoints[i], v),
+                         static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t SessionRouter::endpoint_of(std::uint64_t key) const {
+  if (ring_.empty()) return SIZE_MAX;
+  const std::uint64_t h = hash_key(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& e, std::uint64_t v) {
+        return e.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+ReadResp SessionRouter::read_endpoint(Endpoint& ep, const ReadReq& req) {
+  std::lock_guard<std::mutex> lk(ep.mutex);
+  if (!ep.sock.valid()) {
+    const auto [host, port] = net::parse_endpoint(ep.addr);
+    ep.sock = net::connect_to(host, port);
+    ep.sock.set_nodelay();
+    ep.sock.set_recv_timeout(opts_.io_timeout);
+  }
+  net::send_frame(ep.sock, kReadReq, encode(req));
+  std::optional<net::Frame> f = net::recv_frame(ep.sock, opts_.max_payload);
+  if (!f || f->type != kReadResp) {
+    throw std::runtime_error("repl: read connection broken");
+  }
+  ReadResp resp = decode_read_resp(f->payload);
+  if (resp.req_id != req.req_id) {
+    throw std::runtime_error("repl: response id mismatch");
+  }
+  return resp;
+}
+
+ReadResp SessionRouter::read(std::uint64_t key, const ReadReq& req) {
+  c_reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t idx = endpoint_of(key);
+  if (idx != SIZE_MAX) {
+    Endpoint& ep = *endpoints_[idx];
+    bool attempt = true;
+    if (ep.down.load(std::memory_order_relaxed)) {
+      // Lazy recovery: retry a down endpoint once in a while instead of on
+      // every request (dial timeouts are the expensive part).
+      attempt =
+          ep.skipped.fetch_add(1, std::memory_order_relaxed) % kRetryEvery ==
+          kRetryEvery - 1;
+    }
+    if (attempt) {
+      try {
+        ReadResp resp = read_endpoint(ep, req);
+        ep.down.store(false, std::memory_order_relaxed);
+        if (resp.status == ReadStatus::kNotReady) {
+          // Replica is alive but has no applied epoch; answer locally so
+          // warmup is invisible to clients.
+          c_stale_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          c_replica_reads_.fetch_add(1, std::memory_order_relaxed);
+          return resp;
+        }
+      } catch (const std::exception&) {
+        {
+          std::lock_guard<std::mutex> lk(ep.mutex);
+          ep.sock.close();
+        }
+        ep.down.store(true, std::memory_order_relaxed);
+        PBDD_TRACE_INSTANT(kReplFailover, 0, idx);
+      }
+    }
+  }
+  c_failovers_.fetch_add(1, std::memory_order_relaxed);
+  return local_(req);
+}
+
+SessionRouter::Counters SessionRouter::counters() const {
+  Counters c;
+  c.reads_total = c_reads_.load(std::memory_order_relaxed);
+  c.replica_reads = c_replica_reads_.load(std::memory_order_relaxed);
+  c.failovers = c_failovers_.load(std::memory_order_relaxed);
+  c.stale_fallbacks = c_stale_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace pbdd::repl

@@ -1,0 +1,95 @@
+// Consistent-hash session router for read-class requests
+// (docs/REPLICATION.md).
+//
+// Each replica endpoint owns `vnodes` points on a 64-bit hash ring; a read
+// keyed by session id (or any stable u64) goes to the first endpoint
+// clockwise of the key's hash. Consistent hashing keeps the key->replica
+// mapping stable when the fleet changes — only keys on the failed node's
+// arcs move — which keeps each replica's warm answer locality intact.
+//
+// Failover: any transport error (or a replica that has not applied an epoch
+// yet) answers the request from the `local` fallback — the writer's own
+// read path — so a killed replica degrades to writer reads, never to a
+// request error. Failed endpoints are marked down and re-dialed lazily
+// every kRetryEvery-th read routed at them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "replica/wire.hpp"
+
+namespace pbdd::repl {
+
+struct RouterOptions {
+  std::vector<std::string> endpoints;  ///< "host:port" per replica
+  unsigned vnodes = 64;                ///< ring points per endpoint
+  std::chrono::milliseconds io_timeout{2000};
+  std::uint32_t max_payload = net::kDefaultMaxPayload;
+};
+
+class SessionRouter {
+ public:
+  /// The writer-local read path (e.g. BddService::read_root wrapped into
+  /// the wire shapes). Must not throw.
+  using LocalRead = std::function<ReadResp(const ReadReq&)>;
+
+  SessionRouter(RouterOptions opts, LocalRead local);
+
+  /// Route + execute one read. Never throws; worst case is the local
+  /// fallback's answer.
+  [[nodiscard]] ReadResp read(std::uint64_t key, const ReadReq& req);
+
+  /// Ring lookup only (which endpoint index a key maps to); for tests and
+  /// the loadgen report. Returns SIZE_MAX with no endpoints.
+  [[nodiscard]] std::size_t endpoint_of(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t endpoint_count() const noexcept {
+    return endpoints_.size();
+  }
+
+  struct Counters {
+    std::uint64_t reads_total = 0;
+    std::uint64_t replica_reads = 0;  ///< answered by a replica
+    std::uint64_t failovers = 0;      ///< fell back to the local path
+    std::uint64_t stale_fallbacks = 0;  ///< replica had no epoch yet
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  /// A down endpoint is re-dialed on every kRetryEvery-th read routed at
+  /// it, so recovery needs no background thread.
+  static constexpr std::uint32_t kRetryEvery = 32;
+
+  struct Endpoint {
+    std::string addr;
+    std::mutex mutex;  ///< guards sock (one in-flight read per endpoint)
+    net::Socket sock;
+    std::atomic<bool> down{false};
+    std::atomic<std::uint32_t> skipped{0};
+  };
+
+  /// Send req on the endpoint's connection (dialing if needed); throws on
+  /// transport failure.
+  [[nodiscard]] ReadResp read_endpoint(Endpoint& ep, const ReadReq& req);
+
+  const RouterOptions opts_;
+  LocalRead local_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Sorted (hash, endpoint index) ring.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+
+  std::atomic<std::uint64_t> c_reads_{0};
+  std::atomic<std::uint64_t> c_replica_reads_{0};
+  std::atomic<std::uint64_t> c_failovers_{0};
+  std::atomic<std::uint64_t> c_stale_{0};
+};
+
+}  // namespace pbdd::repl

@@ -1,0 +1,300 @@
+#include "replica/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pbdd::repl {
+
+namespace {
+
+using snapshot::ByteReader;
+using snapshot::ByteWriter;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("repl: " + what);
+}
+
+ByteReader reader(const std::vector<std::uint8_t>& p) {
+  return ByteReader(p.data(), p.size());
+}
+
+void put_u8(ByteWriter& wr, std::uint8_t v) { wr.bytes(&v, 1); }
+
+std::uint8_t get_u8(ByteReader& rd) {
+  std::uint8_t v = 0;
+  rd.bytes(&v, 1);
+  return v;
+}
+
+void done(ByteReader& rd, const char* msg) {
+  if (rd.remaining() != 0) fail(std::string("trailing bytes in ") + msg);
+}
+
+void put_blob(ByteWriter& wr, const std::vector<std::uint8_t>& b) {
+  wr.u32(static_cast<std::uint32_t>(b.size()));
+  wr.bytes(b.data(), b.size());
+}
+
+std::vector<std::uint8_t> get_blob(ByteReader& rd) {
+  const std::uint32_t len = rd.u32();
+  if (len > rd.remaining()) fail("blob length out of bounds");
+  std::vector<std::uint8_t> out(len);
+  rd.bytes(out.data(), len);
+  return out;
+}
+
+void put_string(ByteWriter& wr, const std::string& s) {
+  if (s.size() > 0xFFFF) fail("string too long");
+  wr.u16(static_cast<std::uint16_t>(s.size()));
+  wr.bytes(s.data(), s.size());
+}
+
+std::string get_string(ByteReader& rd) {
+  const std::uint16_t len = rd.u16();
+  if (len > rd.remaining()) fail("string length out of bounds");
+  std::string out(len, '\0');
+  rd.bytes(out.data(), len);
+  return out;
+}
+
+void put_u32s(ByteWriter& wr, const std::vector<std::uint32_t>& v) {
+  wr.u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint32_t x : v) wr.u32(x);
+}
+
+std::vector<std::uint32_t> get_u32s(ByteReader& rd) {
+  const std::uint32_t n = rd.u32();
+  if (std::uint64_t{n} * 4 > rd.remaining()) fail("array length out of bounds");
+  std::vector<std::uint32_t> out(n);
+  for (std::uint32_t& x : out) x = rd.u32();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Hello& m) {
+  ByteWriter wr(4);
+  wr.u32(m.version);
+  return wr.data();
+}
+
+Hello decode_hello(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  Hello m;
+  m.version = rd.u32();
+  done(rd, "Hello");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const HelloAck& m) {
+  ByteWriter wr(20 + m.crc_row.size() * 4);
+  wr.u32(m.version);
+  wr.u64(m.applied_epoch);
+  wr.u32(m.num_vars);
+  put_u32s(wr, m.crc_row);
+  return wr.data();
+}
+
+HelloAck decode_hello_ack(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  HelloAck m;
+  m.version = rd.u32();
+  m.applied_epoch = rd.u64();
+  m.num_vars = rd.u32();
+  m.crc_row = get_u32s(rd);
+  done(rd, "HelloAck");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShipBegin& m) {
+  ByteWriter wr(32 + m.meta.size() + m.roots.size() + m.dirty.size() * 4);
+  wr.u64(m.epoch);
+  put_u8(wr, static_cast<std::uint8_t>(m.mode));
+  wr.u64(m.file_bytes);
+  put_blob(wr, m.meta);
+  put_blob(wr, m.roots);
+  put_u32s(wr, m.dirty);
+  return wr.data();
+}
+
+ShipBegin decode_ship_begin(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ShipBegin m;
+  m.epoch = rd.u64();
+  const std::uint8_t mode = get_u8(rd);
+  if (mode > 1) fail("unknown ship mode");
+  m.mode = static_cast<ShipMode>(mode);
+  m.file_bytes = rd.u64();
+  m.meta = get_blob(rd);
+  m.roots = get_blob(rd);
+  m.dirty = get_u32s(rd);
+  done(rd, "ShipBegin");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShipLevel& m) {
+  ByteWriter wr(16 + m.section.size());
+  wr.u64(m.epoch);
+  wr.u32(m.var);
+  put_blob(wr, m.section);
+  return wr.data();
+}
+
+ShipLevel decode_ship_level(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ShipLevel m;
+  m.epoch = rd.u64();
+  m.var = rd.u32();
+  m.section = get_blob(rd);
+  done(rd, "ShipLevel");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShipEnd& m) {
+  ByteWriter wr(12);
+  wr.u64(m.epoch);
+  wr.u32(m.levels_shipped);
+  return wr.data();
+}
+
+ShipEnd decode_ship_end(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ShipEnd m;
+  m.epoch = rd.u64();
+  m.levels_shipped = rd.u32();
+  done(rd, "ShipEnd");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShipAck& m) {
+  ByteWriter wr(16);
+  wr.u64(m.epoch);
+  wr.u64(m.nodes);
+  return wr.data();
+}
+
+ShipAck decode_ship_ack(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ShipAck m;
+  m.epoch = rd.u64();
+  m.nodes = rd.u64();
+  done(rd, "ShipAck");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShipNak& m) {
+  ByteWriter wr(10 + m.reason.size());
+  wr.u64(m.epoch);
+  put_string(wr, m.reason);
+  return wr.data();
+}
+
+ShipNak decode_ship_nak(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ShipNak m;
+  m.epoch = rd.u64();
+  m.reason = get_string(rd);
+  done(rd, "ShipNak");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ReadReq& m) {
+  ByteWriter wr(16 + m.root.size() + m.assignment.size() / 8 + 8);
+  wr.u64(m.req_id);
+  put_u8(wr, static_cast<std::uint8_t>(m.op));
+  put_string(wr, m.root);
+  wr.u32(static_cast<std::uint32_t>(m.assignment.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < m.assignment.size(); ++i) {
+    if (m.assignment[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7 || i + 1 == m.assignment.size()) {
+      put_u8(wr, acc);
+      acc = 0;
+    }
+  }
+  return wr.data();
+}
+
+ReadReq decode_read_req(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ReadReq m;
+  m.req_id = rd.u64();
+  const std::uint8_t op = get_u8(rd);
+  if (op > 2) fail("unknown read op");
+  m.op = static_cast<ReadOp>(op);
+  m.root = get_string(rd);
+  const std::uint32_t nbits = rd.u32();
+  if ((std::uint64_t{nbits} + 7) / 8 > rd.remaining()) {
+    fail("assignment length out of bounds");
+  }
+  m.assignment.resize(nbits);
+  std::uint8_t acc = 0;
+  for (std::uint32_t i = 0; i < nbits; ++i) {
+    if (i % 8 == 0) acc = get_u8(rd);
+    m.assignment[i] = (acc >> (i % 8)) & 1u;
+  }
+  done(rd, "ReadReq");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ReadResp& m) {
+  ByteWriter wr(36 + m.error.size());
+  wr.u64(m.req_id);
+  put_u8(wr, static_cast<std::uint8_t>(m.status));
+  wr.u64(m.epoch);
+  wr.u64(m.value);
+  std::uint64_t sat_bits = 0;
+  static_assert(sizeof(sat_bits) == sizeof(m.sat), "double width");
+  std::memcpy(&sat_bits, &m.sat, sizeof(sat_bits));
+  wr.u64(sat_bits);
+  put_string(wr, m.error);
+  return wr.data();
+}
+
+ReadResp decode_read_resp(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  ReadResp m;
+  m.req_id = rd.u64();
+  const std::uint8_t status = get_u8(rd);
+  if (status > 3) fail("unknown read status");
+  m.status = static_cast<ReadStatus>(status);
+  m.epoch = rd.u64();
+  m.value = rd.u64();
+  const std::uint64_t sat_bits = rd.u64();
+  std::memcpy(&m.sat, &sat_bits, sizeof(m.sat));
+  m.error = get_string(rd);
+  done(rd, "ReadResp");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Ping& m) {
+  ByteWriter wr(8);
+  wr.u64(m.nonce);
+  return wr.data();
+}
+
+Ping decode_ping(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  Ping m;
+  m.nonce = rd.u64();
+  done(rd, "Ping");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const Pong& m) {
+  ByteWriter wr(16);
+  wr.u64(m.nonce);
+  wr.u64(m.epoch);
+  return wr.data();
+}
+
+Pong decode_pong(const std::vector<std::uint8_t>& p) {
+  ByteReader rd = reader(p);
+  Pong m;
+  m.nonce = rd.u64();
+  m.epoch = rd.u64();
+  done(rd, "Pong");
+  return m;
+}
+
+}  // namespace pbdd::repl

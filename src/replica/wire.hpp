@@ -1,0 +1,157 @@
+// Replication message catalog + payload codecs (docs/FORMAT.md,
+// "Replication wire format"; topology in docs/REPLICATION.md).
+//
+// Every message is one net:: frame whose payload is serialized with the
+// snapshot ByteWriter/ByteReader (field-by-field little-endian — the same
+// discipline as the on-disk format, so a shipped level section is the
+// file's bytes verbatim).
+//
+// Conversation shapes:
+//   writer -> replica:  Hello, ShipBegin, ShipLevel*, ShipEnd, Ping
+//   replica -> writer:  HelloAck (acked epoch + per-level CRC row),
+//                       ShipAck | ShipNak, Pong
+//   router -> replica:  ReadReq;  replica -> router: ReadResp
+//
+// A replica accepts any mix on one connection and dispatches per frame, so
+// the shipping link and read links need no out-of-band role negotiation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "snapshot/format.hpp"
+
+namespace pbdd::repl {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum MsgType : std::uint16_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kShipBegin = 3,
+  kShipLevel = 4,
+  kShipEnd = 5,
+  kShipAck = 6,
+  kShipNak = 7,
+  kReadReq = 8,
+  kReadResp = 9,
+  kPing = 10,
+  kPong = 11,
+};
+
+enum class ShipMode : std::uint8_t { kFull = 0, kDelta = 1 };
+
+enum class ReadOp : std::uint8_t { kEval = 0, kSatCount = 1, kRootInfo = 2 };
+
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownRoot = 1,
+  kNotReady = 2,  ///< no epoch applied yet
+  kError = 3,
+};
+
+struct Hello {
+  std::uint32_t version = kProtocolVersion;
+};
+
+/// Replica's acked state: the writer computes deltas against crc_row. An
+/// empty row (epoch 0) means "no snapshot applied, ship full".
+struct HelloAck {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t applied_epoch = 0;
+  std::uint32_t num_vars = 0;
+  std::vector<std::uint32_t> crc_row;  ///< per-level section CRCs
+};
+
+/// Opens one epoch ship. `meta` is the new snapshot's header + level
+/// directory, byte-verbatim; `roots` is the root table, byte-verbatim.
+/// In delta mode only `dirty` levels follow as ShipLevel frames; the
+/// replica splices every other section out of its applied file.
+struct ShipBegin {
+  std::uint64_t epoch = 0;
+  ShipMode mode = ShipMode::kFull;
+  std::uint64_t file_bytes = 0;  ///< size of the complete new file
+  std::vector<std::uint8_t> meta;
+  std::vector<std::uint8_t> roots;
+  std::vector<std::uint32_t> dirty;  ///< vars shipped (all vars in full mode)
+};
+
+struct ShipLevel {
+  std::uint64_t epoch = 0;
+  std::uint32_t var = 0;
+  std::vector<std::uint8_t> section;
+};
+
+struct ShipEnd {
+  std::uint64_t epoch = 0;
+  std::uint32_t levels_shipped = 0;
+};
+
+struct ShipAck {
+  std::uint64_t epoch = 0;
+  std::uint64_t nodes = 0;  ///< live nodes after restore
+};
+
+/// Divergence or validation failure; the writer retries this replica with a
+/// full ship.
+struct ShipNak {
+  std::uint64_t epoch = 0;
+  std::string reason;
+};
+
+struct ReadReq {
+  std::uint64_t req_id = 0;
+  ReadOp op = ReadOp::kEval;
+  std::string root;                   ///< root-table name, e.g. "s3/r0"
+  std::vector<bool> assignment;       ///< eval only
+};
+
+struct ReadResp {
+  std::uint64_t req_id = 0;
+  ReadStatus status = ReadStatus::kError;
+  std::uint64_t epoch = 0;  ///< snapshot epoch the answer is valid at
+  std::uint64_t value = 0;  ///< eval: 0/1; root_info: node count
+  double sat = 0.0;         ///< sat_count
+  std::string error;
+};
+
+struct Ping {
+  std::uint64_t nonce = 0;
+};
+
+struct Pong {
+  std::uint64_t nonce = 0;
+  std::uint64_t epoch = 0;  ///< replica's applied epoch (staleness probe)
+};
+
+// ---- Codecs -----------------------------------------------------------------
+// encode_* produce a frame payload; decode_* parse one and throw
+// std::runtime_error("repl: ...") on malformed input.
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const Hello& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const HelloAck& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ShipBegin& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ShipLevel& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ShipEnd& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ShipAck& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ShipNak& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ReadReq& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ReadResp& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Ping& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Pong& m);
+
+[[nodiscard]] Hello decode_hello(const std::vector<std::uint8_t>& p);
+[[nodiscard]] HelloAck decode_hello_ack(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ShipBegin decode_ship_begin(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ShipLevel decode_ship_level(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ShipEnd decode_ship_end(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ShipAck decode_ship_ack(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ShipNak decode_ship_nak(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ReadReq decode_read_req(const std::vector<std::uint8_t>& p);
+[[nodiscard]] ReadResp decode_read_resp(const std::vector<std::uint8_t>& p);
+[[nodiscard]] Ping decode_ping(const std::vector<std::uint8_t>& p);
+[[nodiscard]] Pong decode_pong(const std::vector<std::uint8_t>& p);
+
+}  // namespace pbdd::repl

@@ -1,0 +1,341 @@
+#include "replica/writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_points.hpp"
+#include "replica/delta.hpp"
+
+namespace pbdd::repl {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("repl: " + what + ": " + std::strerror(errno));
+}
+
+void pread_all(int fd, void* data, std::size_t size, std::uint64_t offset) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("read snapshot");
+    }
+    if (n == 0) throw std::runtime_error("repl: snapshot truncated");
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+/// RAII fd for the snapshot being shipped.
+struct Fd {
+  explicit Fd(const std::string& path)
+      : fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC)) {
+    if (fd < 0) fail_errno("open " + path);
+  }
+  ~Fd() { ::close(fd); }
+  int fd;
+};
+
+}  // namespace
+
+ReplicationWriter::ReplicationWriter(WriterOptions opts)
+    : opts_(std::move(opts)) {
+  peers_.reserve(opts_.endpoints.size());
+  for (const std::string& ep : opts_.endpoints) {
+    peers_.emplace_back();
+    peers_.back().endpoint = ep;
+  }
+}
+
+ReplicationWriter::~ReplicationWriter() {
+  {
+    std::lock_guard<std::mutex> lk(hb_mutex_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+bool ReplicationWriter::connect_peer(Peer& peer) {
+  try {
+    const auto [host, port] = net::parse_endpoint(peer.endpoint);
+    peer.sock = net::connect_to(host, port);
+    peer.sock.set_nodelay();
+    peer.sock.set_recv_timeout(opts_.io_timeout);
+    net::send_frame(peer.sock, kHello, encode(Hello{}));
+    std::optional<net::Frame> f = net::recv_frame(peer.sock,
+                                                  opts_.max_payload);
+    if (!f || f->type != kHelloAck) {
+      throw std::runtime_error("repl: handshake failed");
+    }
+    const HelloAck ack = decode_hello_ack(f->payload);
+    if (ack.version != kProtocolVersion) {
+      throw std::runtime_error("repl: protocol version mismatch");
+    }
+    peer.acked_epoch = ack.applied_epoch;
+    peer.acked_num_vars = ack.num_vars;
+    peer.acked_crc_row = ack.crc_row;
+    peer.up = true;
+    c_reconnects_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::exception&) {
+    peer.sock.close();
+    peer.up = false;
+    return false;
+  }
+}
+
+std::size_t ReplicationWriter::connect() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::size_t up = 0;
+  for (Peer& peer : peers_) {
+    if (peer.up || connect_peer(peer)) ++up;
+  }
+  return up;
+}
+
+std::optional<std::string> ReplicationWriter::ship_attempt(
+    Peer& peer, int fd, const snapshot::LevelDirectory& dir,
+    const std::vector<std::uint8_t>& meta,
+    const std::vector<std::uint8_t>& roots,
+    const std::vector<std::uint32_t>& dirty, ShipMode mode,
+    std::uint64_t epoch, ReplicaShip& out) {
+  ShipBegin begin;
+  begin.epoch = epoch;
+  begin.mode = mode;
+  begin.file_bytes = dir.info.file_bytes;
+  begin.meta = meta;
+  begin.roots = roots;
+  begin.dirty = dirty;
+  {
+    const std::vector<std::uint8_t> p = encode(begin);
+    net::send_frame(peer.sock, kShipBegin, p);
+    out.bytes_sent += p.size();
+  }
+  std::vector<std::uint8_t> section;
+  for (const std::uint32_t var : dirty) {
+    const snapshot::LevelDirEntry& e = dir.levels[var];
+    ShipLevel lvl;
+    lvl.epoch = epoch;
+    lvl.var = var;
+    if (e.byte_size > 0) {
+      section.resize(e.byte_size);
+      pread_all(fd, section.data(), section.size(), e.offset);
+      lvl.section = section;
+    }
+    const std::vector<std::uint8_t> p = encode(lvl);
+    net::send_frame(peer.sock, kShipLevel, p);
+    out.bytes_sent += p.size();
+  }
+  ShipEnd end;
+  end.epoch = epoch;
+  end.levels_shipped = static_cast<std::uint32_t>(dirty.size());
+  {
+    const std::vector<std::uint8_t> p = encode(end);
+    net::send_frame(peer.sock, kShipEnd, p);
+    out.bytes_sent += p.size();
+  }
+  out.mode = mode;
+  out.levels_shipped = end.levels_shipped;
+
+  std::optional<net::Frame> f = net::recv_frame(peer.sock, opts_.max_payload);
+  if (!f) throw std::runtime_error("repl: replica closed during ship");
+  if (f->type == kShipAck) {
+    const ShipAck ack = decode_ship_ack(f->payload);
+    if (ack.epoch != epoch) throw std::runtime_error("repl: ack wrong epoch");
+    out.acked_nodes = ack.nodes;
+    peer.acked_epoch = epoch;
+    peer.acked_num_vars = dir.info.num_vars;
+    peer.acked_crc_row = crc_row_of(dir);
+    return std::nullopt;
+  }
+  if (f->type == kShipNak) {
+    return decode_ship_nak(f->payload).reason;
+  }
+  throw std::runtime_error("repl: unexpected frame during ship");
+}
+
+ShipReport ReplicationWriter::ship_file(const std::string& path) {
+  const snapshot::LevelDirectory dir = snapshot::inspect_levels(path);
+  Fd fd(path);
+  std::vector<std::uint8_t> meta(dir.meta_bytes());
+  pread_all(fd.fd, meta.data(), meta.size(), 0);
+  std::vector<std::uint8_t> roots(dir.root_table_bytes);
+  pread_all(fd.fd, roots.data(), roots.size(), dir.root_table_offset);
+
+  std::vector<std::uint32_t> all_levels(dir.levels.size());
+  for (std::size_t v = 0; v < all_levels.size(); ++v) {
+    all_levels[v] = static_cast<std::uint32_t>(v);
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  ShipReport report;
+  report.epoch = ++epoch_;
+  report.file_bytes = dir.info.file_bytes;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& peer = peers_[i];
+    ReplicaShip ship;
+    ship.endpoint = peer.endpoint;
+    c_ships_total_.fetch_add(1, std::memory_order_relaxed);
+    if (!peer.up && !connect_peer(peer)) {
+      ship.error = "replica down";
+      c_ship_failures_.fetch_add(1, std::memory_order_relaxed);
+      report.replicas.push_back(std::move(ship));
+      continue;
+    }
+    const std::optional<std::vector<std::uint32_t>> plan = plan_delta(
+        dir, peer.acked_epoch, peer.acked_num_vars, peer.acked_crc_row);
+    const ShipMode mode = plan ? ShipMode::kDelta : ShipMode::kFull;
+    const std::vector<std::uint32_t>& dirty = plan ? *plan : all_levels;
+    try {
+      std::optional<std::string> nak = ship_attempt(
+          peer, fd.fd, dir, meta, roots, dirty, mode, report.epoch, ship);
+      if (nak && mode == ShipMode::kDelta) {
+        // Divergence: the replica's applied file does not match its acked
+        // row. One full resend re-bases it.
+        c_naks_.fetch_add(1, std::memory_order_relaxed);
+        ship.retried_full = true;
+        nak = ship_attempt(peer, fd.fd, dir, meta, roots, all_levels,
+                           ShipMode::kFull, report.epoch, ship);
+      }
+      if (nak) {
+        c_naks_.fetch_add(1, std::memory_order_relaxed);
+        ship.error = "nak: " + *nak;
+      } else {
+        ship.ok = true;
+      }
+    } catch (const std::exception& e) {
+      ship.error = e.what();
+      peer.sock.close();
+      peer.up = false;
+    }
+    if (ship.ok) {
+      (mode == ShipMode::kDelta && !ship.retried_full ? c_delta_ships_
+                                                      : c_full_ships_)
+          .fetch_add(1, std::memory_order_relaxed);
+      c_bytes_sent_.fetch_add(ship.bytes_sent, std::memory_order_relaxed);
+      PBDD_TRACE_INSTANT(kReplShip, ship.bytes_sent, i);
+    } else {
+      c_ship_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    report.replicas.push_back(std::move(ship));
+  }
+  return report;
+}
+
+std::vector<std::optional<std::uint64_t>> ReplicationWriter::heartbeat() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::optional<std::uint64_t>> epochs;
+  epochs.reserve(peers_.size());
+  std::uint64_t nonce = 0;
+  for (Peer& peer : peers_) {
+    ++nonce;
+    if (!peer.up) {
+      epochs.push_back(std::nullopt);
+      continue;
+    }
+    try {
+      Ping ping;
+      ping.nonce = nonce;
+      net::send_frame(peer.sock, kPing, encode(ping));
+      std::optional<net::Frame> f = net::recv_frame(peer.sock,
+                                                    opts_.max_payload);
+      if (!f || f->type != kPong) {
+        throw std::runtime_error("repl: bad pong");
+      }
+      const Pong pong = decode_pong(f->payload);
+      if (pong.nonce != nonce) throw std::runtime_error("repl: pong nonce");
+      epochs.push_back(pong.epoch);
+    } catch (const std::exception&) {
+      peer.sock.close();
+      peer.up = false;
+      epochs.push_back(std::nullopt);
+    }
+  }
+  return epochs;
+}
+
+void ReplicationWriter::start_heartbeats() {
+  if (opts_.heartbeat_interval.count() == 0) return;
+  std::lock_guard<std::mutex> lk(hb_mutex_);
+  if (hb_running_) return;
+  hb_running_ = true;
+  heartbeat_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(hb_mutex_);
+    while (!hb_stop_) {
+      lk.unlock();
+      (void)heartbeat();
+      lk.lock();
+      hb_cv_.wait_for(lk, opts_.heartbeat_interval, [this] { return hb_stop_; });
+    }
+  });
+}
+
+std::uint64_t ReplicationWriter::epoch() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return epoch_;
+}
+
+std::size_t ReplicationWriter::up_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::size_t up = 0;
+  for (const Peer& peer : peers_) up += peer.up ? 1 : 0;
+  return up;
+}
+
+ReplicationWriter::Counters ReplicationWriter::counters() const {
+  Counters c;
+  c.ships_total = c_ships_total_.load(std::memory_order_relaxed);
+  c.ship_failures = c_ship_failures_.load(std::memory_order_relaxed);
+  c.delta_ships = c_delta_ships_.load(std::memory_order_relaxed);
+  c.full_ships = c_full_ships_.load(std::memory_order_relaxed);
+  c.naks = c_naks_.load(std::memory_order_relaxed);
+  c.bytes_sent = c_bytes_sent_.load(std::memory_order_relaxed);
+  c.reconnects = c_reconnects_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string ReplicationWriter::metrics_text() const {
+  const Counters c = counters();
+  obs::Registry reg;
+  reg.gauge("pbdd_repl_writer_epoch", "Last epoch shipped (0 = none yet)")
+      .set(static_cast<double>(epoch()));
+  reg.gauge("pbdd_repl_writer_replicas_up",
+            "Replicas currently connected and acking")
+      .set(static_cast<double>(up_count()));
+  reg.counter("pbdd_repl_writer_ships_total",
+              "Per-replica ship attempts")
+      .add(c.ships_total);
+  reg.counter("pbdd_repl_writer_ship_failures_total",
+              "Ship attempts that failed (down replica, transport error, "
+              "unrecovered nak)")
+      .add(c.ship_failures);
+  reg.counter("pbdd_repl_writer_delta_ships_total",
+              "Ships that went out as level deltas")
+      .add(c.delta_ships);
+  reg.counter("pbdd_repl_writer_full_ships_total",
+              "Ships that went out as full snapshots")
+      .add(c.full_ships);
+  reg.counter("pbdd_repl_writer_naks_total",
+              "ShipNak responses received")
+      .add(c.naks);
+  reg.counter("pbdd_repl_writer_bytes_sent_total",
+              "Ship payload bytes sent (acked ships only)")
+      .add(c.bytes_sent);
+  reg.counter("pbdd_repl_writer_reconnects_total",
+              "Successful replica handshakes")
+      .add(c.reconnects);
+  return reg.prometheus_text();
+}
+
+}  // namespace pbdd::repl

@@ -1,0 +1,151 @@
+// Writer-side shipping: pushes export-snapshot epochs to the replica fleet
+// (docs/REPLICATION.md).
+//
+// The writer owns one shipping connection per replica. Each ship compares
+// the new snapshot's per-level CRC column against the replica's acked row
+// (HelloAck on connect, updated on every ShipAck) and sends only the levels
+// that changed; a replica that Naks a delta — divergence, validation
+// failure — is retried once with a full ship before being marked down. Down
+// replicas are reconnected at the next ship, recovering delta capability
+// from the fresh HelloAck.
+//
+// All shipping and heartbeating serializes on one mutex: the protocol is
+// strictly request/response per peer and the fleet is small, so sequential
+// peer-at-a-time shipping keeps the failure handling trivial.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "replica/wire.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace pbdd::repl {
+
+struct WriterOptions {
+  std::vector<std::string> endpoints;  ///< "host:port" per replica
+  std::uint32_t max_payload = net::kDefaultMaxPayload;
+  /// Receive timeout on shipping links: a replica that stops draining or
+  /// acking is marked down instead of wedging the writer.
+  std::chrono::milliseconds io_timeout{5000};
+  /// Background heartbeat period for start_heartbeats() (0 = manual only).
+  std::chrono::milliseconds heartbeat_interval{1000};
+};
+
+/// Outcome of shipping one epoch to one replica.
+struct ReplicaShip {
+  std::string endpoint;
+  bool ok = false;
+  ShipMode mode = ShipMode::kFull;
+  std::uint32_t levels_shipped = 0;
+  std::uint64_t bytes_sent = 0;  ///< frame payload bytes for this ship
+  std::uint64_t acked_nodes = 0;
+  bool retried_full = false;  ///< delta Nak'd, succeeded as full
+  std::string error;
+};
+
+struct ShipReport {
+  std::uint64_t epoch = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<ReplicaShip> replicas;
+  [[nodiscard]] std::size_t ok_count() const noexcept {
+    std::size_t n = 0;
+    for (const ReplicaShip& r : replicas) n += r.ok ? 1 : 0;
+    return n;
+  }
+};
+
+class ReplicationWriter {
+ public:
+  explicit ReplicationWriter(WriterOptions opts);
+  ~ReplicationWriter();
+  ReplicationWriter(const ReplicationWriter&) = delete;
+  ReplicationWriter& operator=(const ReplicationWriter&) = delete;
+
+  /// Dial every endpoint (Hello/HelloAck). Unreachable replicas are marked
+  /// down and re-dialed on the next ship. Returns how many are up.
+  std::size_t connect();
+
+  /// Ship the export snapshot at `path` as the next epoch. Reads the file
+  /// once per dirty level (pread; nothing buffered whole).
+  [[nodiscard]] ShipReport ship_file(const std::string& path);
+
+  /// Ping every up replica; element i is its applied epoch, or nullopt when
+  /// the replica is down / just failed (which also marks it down).
+  [[nodiscard]] std::vector<std::optional<std::uint64_t>> heartbeat();
+
+  /// Start the background heartbeat thread (no-op when
+  /// heartbeat_interval == 0 or already running). Stopped by the dtor.
+  void start_heartbeats();
+
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return opts_.endpoints.size();
+  }
+  [[nodiscard]] std::size_t up_count() const;
+
+  struct Counters {
+    std::uint64_t ships_total = 0;       ///< per-replica ship attempts
+    std::uint64_t ship_failures = 0;
+    std::uint64_t delta_ships = 0;
+    std::uint64_t full_ships = 0;
+    std::uint64_t naks = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t reconnects = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+  /// pbdd_repl_writer_* families in Prometheus text format.
+  [[nodiscard]] std::string metrics_text() const;
+
+ private:
+  struct Peer {
+    std::string endpoint;
+    net::Socket sock;
+    bool up = false;
+    std::uint64_t acked_epoch = 0;
+    std::uint32_t acked_num_vars = 0;
+    std::vector<std::uint32_t> acked_crc_row;
+  };
+
+  /// Dial + handshake one peer (mutex held). Returns success.
+  bool connect_peer(Peer& peer);
+  /// One ship attempt in `mode`; throws on transport error, returns the
+  /// Nak reason on rejection, nullopt on Ack (mutex held).
+  std::optional<std::string> ship_attempt(
+      Peer& peer, int fd, const snapshot::LevelDirectory& dir,
+      const std::vector<std::uint8_t>& meta,
+      const std::vector<std::uint8_t>& roots,
+      const std::vector<std::uint32_t>& dirty, ShipMode mode,
+      std::uint64_t epoch, ReplicaShip& out);
+
+  const WriterOptions opts_;
+
+  mutable std::mutex mutex_;  ///< peers + epoch
+  std::vector<Peer> peers_;
+  std::uint64_t epoch_ = 0;
+
+  std::thread heartbeat_thread_;
+  std::mutex hb_mutex_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+  bool hb_running_ = false;
+
+  std::atomic<std::uint64_t> c_ships_total_{0};
+  std::atomic<std::uint64_t> c_ship_failures_{0};
+  std::atomic<std::uint64_t> c_delta_ships_{0};
+  std::atomic<std::uint64_t> c_full_ships_{0};
+  std::atomic<std::uint64_t> c_naks_{0};
+  std::atomic<std::uint64_t> c_bytes_sent_{0};
+  std::atomic<std::uint64_t> c_reconnects_{0};
+};
+
+}  // namespace pbdd::repl

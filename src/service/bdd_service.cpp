@@ -302,6 +302,98 @@ std::future<RequestResult> BddService::restore_session(SessionId session,
                          std::move(path), options);
 }
 
+std::future<RequestResult> BddService::save_all(std::string path,
+                                                SubmitOptions options) {
+  m_submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request req;
+  req.kind = Request::Kind::kSaveSnapshot;
+  req.snapshot_path = std::move(path);
+  req.session = kInvalidSession;  // the internal-checkpoint save path
+  req.priority = options.priority;
+  req.deadline = options.deadline;
+  req.enqueued = Clock::now();
+  std::future<RequestResult> fut = req.promise.get_future();
+  if (req.snapshot_path.empty()) {
+    RequestResult r;
+    r.status = RequestStatus::kFailed;
+    r.error = "empty snapshot path";
+    req.promise.set_value(std::move(r));
+    return fut;
+  }
+  return enqueue(std::move(req), options, std::move(fut));
+}
+
+BddService::ReadAnswer BddService::read_root(
+    const std::string& name, ReadKind kind,
+    const std::vector<bool>& assignment) {
+  ReadAnswer ans;
+  // Parse the checkpoint convention "s<sid>/r<i>".
+  SessionId sid = 0;
+  std::size_t idx = 0;
+  {
+    std::size_t pos = 0;
+    const auto digits = [&](auto& out) {
+      if (pos >= name.size() || name[pos] < '0' || name[pos] > '9') {
+        return false;
+      }
+      std::uint64_t v = 0;
+      while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(name[pos] - '0');
+        ++pos;
+      }
+      out = v;
+      return true;
+    };
+    bool good = pos < name.size() && name[pos] == 's';
+    ++pos;
+    good = good && digits(sid);
+    good = good && pos + 1 < name.size() && name[pos] == '/' &&
+           name[pos + 1] == 'r';
+    pos += 2;
+    good = good && digits(idx) && pos == name.size();
+    if (!good) {
+      ans.error = "malformed root name (expected s<sid>/r<i>): " + name;
+      return ans;
+    }
+  }
+  core::Bdd root;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mutex_);
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) {
+      ans.error = "unknown session in root name " + name;
+      return ans;
+    }
+    if (idx >= it->second.roots.size()) {
+      ans.error = "root index out of range in " + name;
+      return ans;
+    }
+    root = it->second.roots[idx];
+  }
+  try {
+    std::lock_guard<std::mutex> mlk(manager_mutex_);
+    switch (kind) {
+      case ReadKind::kEval:
+        if (assignment.size() != mgr_.num_vars()) {
+          ans.error = "assignment size mismatch";
+          return ans;
+        }
+        ans.value = mgr_.eval(root, assignment) ? 1 : 0;
+        break;
+      case ReadKind::kSatCount:
+        ans.sat = mgr_.sat_count(root);
+        break;
+      case ReadKind::kRootInfo:
+        ans.value = mgr_.node_count(root);
+        break;
+    }
+    ans.ok = true;
+  } catch (const std::exception& e) {
+    ans.error = e.what();
+  }
+  return ans;
+}
+
 RequestResult BddService::execute(SessionId session,
                                   std::vector<core::BatchOp> ops,
                                   SubmitOptions options) {
@@ -1117,6 +1209,12 @@ std::string BddService::metrics_text() {
   // A fresh registry per exposition: every source counter is cumulative
   // already, so publishing into a long-lived registry would double-count.
   obs::Registry reg;
+
+  // The conventional liveness gauge: a scrape that reaches this process at
+  // all reports 1, so dashboards can distinguish "service down" from "no
+  // traffic" without a separate probe.
+  reg.gauge("pbdd_service_up", "1 while the service dispatcher is running")
+      .set(1.0);
 
   const char* kReqHelp = "Requests by lifecycle event";
   reg.counter("pbdd_service_requests_total", kReqHelp,

@@ -291,6 +291,30 @@ class BddService {
   [[nodiscard]] std::future<RequestResult> restore_session(
       SessionId session, std::string path, SubmitOptions options = {});
 
+  /// Queue an export snapshot of EVERY session's registered roots — the
+  /// request the periodic internal checkpoint enqueues, triggered
+  /// externally. Root names follow the checkpoint convention "s<sid>/r<i>"
+  /// (sessions ascending). The replication writer ships these files to the
+  /// read replicas (src/replica/writer.hpp).
+  [[nodiscard]] std::future<RequestResult> save_all(std::string path,
+                                                    SubmitOptions options = {});
+
+  // ---- Writer-local reads ---------------------------------------------------
+  /// Read ops the replication router can fail over to the writer
+  /// (src/replica/router.hpp). Mirrors repl::ReadOp.
+  enum class ReadKind : std::uint8_t { kEval, kSatCount, kRootInfo };
+  struct ReadAnswer {
+    bool ok = false;
+    std::uint64_t value = 0;  ///< eval: 0/1; root_info: node count
+    double sat = 0.0;         ///< sat_count
+    std::string error;
+  };
+  /// Resolve a checkpoint-convention root name ("s<sid>/r<i>") and run one
+  /// read against the live store. Serializes with batch execution on the
+  /// manager mutex — the failover path, not a bulk-read path.
+  [[nodiscard]] ReadAnswer read_root(const std::string& name, ReadKind kind,
+                                     const std::vector<bool>& assignment = {});
+
   // ---- Introspection --------------------------------------------------------
   /// Run `fn` on the quiesced manager: no batch in flight, dispatcher held
   /// off. For metrics, validation, and invariant checks. `fn` must not call

@@ -834,4 +834,95 @@ SnapshotInfo inspect(const std::string& path) {
   return meta.info;
 }
 
+std::uint64_t LevelDirectory::meta_bytes() const noexcept {
+  return kHeaderBytes + dir_bytes(info.num_vars, info.workers);
+}
+
+LevelDirectory inspect_levels(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.fd < 0) fail_errno("open " + path);
+  const std::uint64_t file_size = file_size_of(fd.fd);
+  const FileMeta meta = read_meta(fd.fd, file_size);
+  LevelDirectory out;
+  out.info = meta.info;
+  out.levels.reserve(meta.dir.size());
+  for (const DirEntry& e : meta.dir) {
+    out.levels.push_back({e.offset, e.byte_size, e.node_count, e.crc});
+  }
+  // Recover the root-table window from the (already CRC-validated) header.
+  std::uint8_t raw[kHeaderBytes];
+  pread_all(fd.fd, raw, sizeof(raw), 0);
+  ByteReader hr(raw, sizeof(raw));
+  char magic[8];
+  hr.bytes(magic, 8);
+  for (int i = 0; i < 6; ++i) (void)hr.u32();
+  (void)hr.u64();  // total_nodes
+  out.root_table_offset = hr.u64();
+  out.root_table_bytes = hr.u64();
+  return out;
+}
+
+LevelDirectory parse_meta_blob(const std::uint8_t* data, std::size_t size,
+                               std::uint64_t file_bytes) {
+  if (size < kHeaderBytes) fail("truncated header");
+  if (util::crc32(data, kHeaderBytes - 4) !=
+      read_u32_at(data, kHeaderBytes - 4)) {
+    fail("header checksum mismatch");
+  }
+  ByteReader rd(data, kHeaderBytes);
+  char magic[8];
+  rd.bytes(magic, 8);
+  if (std::memcmp(magic, kMagic, 8) != 0) fail("not a snapshot meta blob");
+  LevelDirectory out;
+  SnapshotInfo& info = out.info;
+  info.version = rd.u32();
+  if (info.version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(info.version));
+  }
+  info.flags = rd.u32();
+  if ((info.flags & ~kKnownFlags) != 0) fail("unknown format flags");
+  info.num_vars = rd.u32();
+  info.workers = rd.u32();
+  const std::uint32_t discipline = rd.u32();
+  if (discipline > static_cast<std::uint32_t>(TableDiscipline::kLockFree)) {
+    fail("unknown table discipline tag");
+  }
+  info.discipline = static_cast<TableDiscipline>(discipline);
+  info.table_shards = rd.u32();
+  info.total_nodes = rd.u64();
+  out.root_table_offset = rd.u64();
+  out.root_table_bytes = rd.u64();
+  if (info.num_vars == 0 || info.num_vars >= core::kTermLevel) {
+    fail("bad variable count");
+  }
+  if (info.workers == 0 || info.workers > 0x3FFFu) fail("bad worker count");
+  if (out.root_table_offset > file_bytes ||
+      out.root_table_bytes > file_bytes - out.root_table_offset) {
+    fail("root table out of bounds");
+  }
+  info.file_bytes = file_bytes;
+
+  const std::size_t dsize = dir_bytes(info.num_vars, info.workers);
+  if (size < kHeaderBytes + dsize) fail("truncated level directory");
+  const std::uint8_t* dbuf = data + kHeaderBytes;
+  if (util::crc32(dbuf, dsize - 4) != read_u32_at(dbuf, dsize - 4)) {
+    fail("level directory checksum mismatch");
+  }
+  ByteReader dr(dbuf, dsize);
+  out.levels.resize(info.num_vars);
+  std::uint64_t total = 0;
+  for (LevelDirEntry& e : out.levels) {
+    e.offset = dr.u64();
+    e.byte_size = dr.u64();
+    e.node_count = dr.u32();
+    e.crc = dr.u32();
+    if (e.offset > file_bytes || e.byte_size > file_bytes - e.offset) {
+      fail("level section out of bounds");
+    }
+    total += e.node_count;
+  }
+  if (total != info.total_nodes) fail("node count mismatch");
+  return out;
+}
+
 }  // namespace pbdd::snapshot

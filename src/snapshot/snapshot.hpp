@@ -125,4 +125,39 @@ struct SnapshotInfo {
 };
 SnapshotInfo inspect(const std::string& path);
 
+/// One validated level-directory row (docs/FORMAT.md, "Level directory").
+/// The per-level CRC column is what makes delta shipping possible: a level
+/// whose encoded bytes did not change between two export saves keeps its
+/// CRC, so only changed levels need to travel (src/replica/, ROADMAP item 5).
+struct LevelDirEntry {
+  std::uint64_t offset = 0;     ///< absolute file offset of the section
+  std::uint64_t byte_size = 0;  ///< section size in bytes
+  std::uint32_t node_count = 0;
+  std::uint32_t crc = 0;        ///< CRC-32 of the entire section
+};
+
+struct LevelDirectory {
+  SnapshotInfo info;
+  std::vector<LevelDirEntry> levels;  ///< one per variable, in order
+  std::uint64_t root_table_offset = 0;
+  std::uint64_t root_table_bytes = 0;
+  /// Byte size of header + level directory (the "meta" prefix a delta ship
+  /// sends verbatim: everything before the first level section).
+  [[nodiscard]] std::uint64_t meta_bytes() const noexcept;
+};
+
+/// Parse and CRC-validate the header + level directory + root-table window
+/// of a snapshot (no node data touched). The delta shipper's and
+/// `pbdd_cli --inspect`'s view of a file.
+LevelDirectory inspect_levels(const std::string& path);
+
+/// Same parse, but over an in-memory meta prefix (the first
+/// `meta_bytes()` of a file) as shipped by the replication tier before the
+/// receiving side has any file to open. `file_bytes` is the size the
+/// complete file will have; section and root-table windows are
+/// bounds-checked against it. The root table itself is not present in the
+/// blob, so `info.root_count` stays 0.
+LevelDirectory parse_meta_blob(const std::uint8_t* data, std::size_t size,
+                               std::uint64_t file_bytes);
+
 }  // namespace pbdd::snapshot

@@ -149,6 +149,59 @@ TEST(Snapshot, CrossConfigRestore) {
   std::remove(path.c_str());
 }
 
+// Export-roots snapshots cross table disciplines in both directions — the
+// replication tier's exact traffic pattern: a kLockFree writer ships to a
+// kSharded replica, and a snapshot the replica re-exports restores back
+// under the writer's discipline. Both restore (fresh manager) and
+// import_into (merge into a live manager) must preserve every function.
+TEST(Snapshot, ExportCrossesDisciplinesBothWays) {
+  const std::pair<core::Config, core::Config> pairings[] = {
+      {cfg(4, TableDiscipline::kLockFree), cfg(2, TableDiscipline::kSharded, 4)},
+      {cfg(2, TableDiscipline::kSharded, 4), cfg(4, TableDiscipline::kLockFree)},
+      {cfg(1, TableDiscipline::kPassLock), cfg(3, TableDiscipline::kLockFree)},
+  };
+  snapshot::SaveOptions opts;
+  opts.mode = snapshot::SaveMode::kExportRoots;
+  for (const auto& [writer_cfg, replica_cfg] : pairings) {
+    core::BddManager writer(10, writer_cfg);
+    const std::vector<snapshot::NamedRoot> roots = build_roots(writer);
+    const std::vector<std::string> before = dumps_of(writer, roots);
+    const std::string fwd = tmp_path("xdisc_fwd");
+    const std::string back = tmp_path("xdisc_back");
+    snapshot::save(writer, fwd, roots, opts);
+
+    // Writer discipline -> replica discipline.
+    snapshot::RestoreResult res = snapshot::restore(fwd, replica_cfg);
+    ASSERT_EQ(res.roots.size(), roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_EQ(core::dump_function(*res.manager, res.roots[i].bdd),
+                before[i]);
+    }
+
+    // Replica's re-export restores back under the writer's discipline.
+    snapshot::save(*res.manager, back, res.roots, opts);
+    snapshot::RestoreResult round = snapshot::restore(back, writer_cfg);
+    ASSERT_EQ(round.roots.size(), roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_EQ(core::dump_function(*round.manager, round.roots[i].bdd),
+                before[i]);
+    }
+
+    // And the merge path: import the replica-made snapshot into a live
+    // manager of the writer's discipline holding the same functions.
+    snapshot::RestoreStats rs;
+    const std::vector<snapshot::NamedRoot> imported =
+        snapshot::import_into(writer, back, &rs);
+    ASSERT_EQ(imported.size(), roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_TRUE(imported[i].bdd == roots[i].bdd)
+          << "cross-discipline import must dedupe to the canonical handle";
+    }
+    std::remove(fwd.c_str());
+    std::remove(back.c_str());
+  }
+}
+
 // CRC guard: truncation anywhere and a bit flip anywhere must be rejected
 // (every byte of the file is covered by the header, directory, section, or
 // root-table checksum).

@@ -29,11 +29,18 @@
 //                        and --threads/--save work (restore under a
 //                        different worker count, re-save, ...)
 //
+//   pbdd_cli --inspect FILE
+//                        print a snapshot's header and per-level CRC table
+//                        (the column the replication tier diffs; two saves
+//                        of the same function produce equal rows exactly on
+//                        the levels that did not change)
+//
 // Examples:
 //   pbdd_cli mult-12 --threads 8 --stats
 //   pbdd_cli /path/C2670.bench --order dfs --counts
 //   pbdd_cli mult-12 --threads 8 --save mult12.snap
 //   pbdd_cli --load mult12.snap --threads 4 --counts
+//   pbdd_cli --inspect mult12.snap
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,8 +70,9 @@ using namespace pbdd;
                "[--counts] [--sat] [--save FILE] [--trace FILE]\n"
                "          [--mem-budget N --spill-dir DIR]\n"
                "       %s --load FILE [--threads N] [--stats] [--dot FILE] "
-               "[--counts] [--sat] [--save FILE] [--trace FILE]\n",
-               argv0, argv0);
+               "[--counts] [--sat] [--save FILE] [--trace FILE]\n"
+               "       %s --inspect FILE\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -136,6 +144,43 @@ void report(core::BddManager& mgr, const std::vector<core::Bdd>& outputs,
   }
 }
 
+const char* discipline_name(core::TableDiscipline d) {
+  switch (d) {
+    case core::TableDiscipline::kPassLock: return "pass-lock";
+    case core::TableDiscipline::kSharded: return "sharded";
+    case core::TableDiscipline::kLockFree: return "lock-free";
+  }
+  return "?";
+}
+
+int run_inspect(const std::string& path) {
+  const snapshot::LevelDirectory dir = snapshot::inspect_levels(path);
+  const snapshot::SnapshotInfo& info = dir.info;
+  std::printf("%s: PBDDSNAP v%u, %s%s\n", path.c_str(), info.version,
+              info.export_mode() ? "export-roots" : "full-store",
+              info.has_chains() ? " (+chains)" : "");
+  std::printf(
+      "  %u vars, %u workers, %s discipline, %u shards\n"
+      "  %llu nodes, %u roots, %llu file bytes "
+      "(meta %llu, root table %llu @ %llu)\n",
+      info.num_vars, info.workers, discipline_name(info.discipline),
+      info.table_shards, static_cast<unsigned long long>(info.total_nodes),
+      info.root_count, static_cast<unsigned long long>(info.file_bytes),
+      static_cast<unsigned long long>(dir.meta_bytes()),
+      static_cast<unsigned long long>(dir.root_table_bytes),
+      static_cast<unsigned long long>(dir.root_table_offset));
+  std::printf("  %-5s %-12s %-12s %-10s %s\n", "level", "offset", "bytes",
+              "nodes", "crc32");
+  for (std::size_t v = 0; v < dir.levels.size(); ++v) {
+    const snapshot::LevelDirEntry& e = dir.levels[v];
+    std::printf("  %-5zu %-12llu %-12llu %-10u %08x\n", v,
+                static_cast<unsigned long long>(e.offset),
+                static_cast<unsigned long long>(e.byte_size), e.node_count,
+                e.crc);
+  }
+  return 0;
+}
+
 int run_load(const std::string& path, const core::Config& config,
              const Report& rep) {
   util::WallTimer timer;
@@ -175,6 +220,14 @@ int main(int argc, char** argv) {
     if (argc < 3) usage(argv[0]);
     load_path = argv[2];
     first_opt = 3;
+  } else if (spec == "--inspect") {
+    if (argc != 3) usage(argv[0]);
+    try {
+      return run_inspect(argv[2]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   for (int i = first_opt; i < argc; ++i) {

@@ -13,8 +13,19 @@
 //
 //   pbdd_loadgen --sessions 8 --passes 3 --json BENCH_service_latency.json
 //
+// Replication mode (--read-ratio with --replica and/or --replicas): a
+// shipper thread periodically checkpoints the service (save_all) and ships
+// the snapshot to the replica fleet; clients interleave read-class requests
+// (eval / sat_count / root info on their own registered roots) with build
+// requests at the requested ratio, routed through the consistent-hash
+// SessionRouter. Latency is reported per class (build vs read), and after
+// the clients quiesce a final epoch is shipped and replica sat_count /
+// eval answers are cross-checked against the writer's — any mismatch is a
+// nonzero exit.
+//
 // Exit code 0 iff every session opened, every request resolved, nothing
-// came back kFailed, and every session completed at least one full pass.
+// came back kFailed, every session completed at least one full pass, and
+// (replication mode) the replica cross-check matched.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,11 +39,17 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "circuit/builder.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist.hpp"
 #include "fault/report.hpp"
 #include "obs/trace.hpp"
+#include "replica/replica_server.hpp"
+#include "replica/router.hpp"
+#include "replica/wire.hpp"
+#include "replica/writer.hpp"
 #include "service/bdd_service.hpp"
 
 namespace {
@@ -64,6 +81,19 @@ struct Cli {
   std::string spill_dir;
   std::size_t pager_budget = 0;
   bool estimate_demand = false;  ///< price batches with the max-cut model
+  /// Replication: fraction of requests that are read-class (routed to
+  /// replicas), replica endpoints (explicit and/or in-process), shipping
+  /// cadence, and the writer-side snapshot staging path.
+  double read_ratio = 0.0;
+  std::vector<std::string> replicas;  ///< --replica host:port (repeatable)
+  unsigned inproc_replicas = 0;       ///< --replicas N (spawned in-process)
+  std::string replica_dir = "pbdd_replicas";
+  std::string ship_path = "pbdd_ship.snap";
+  unsigned ship_every_ms = 400;
+
+  [[nodiscard]] bool replication() const {
+    return read_ratio > 0.0 || !replicas.empty() || inproc_replicas > 0;
+  }
 };
 
 [[noreturn]] void usage() {
@@ -76,7 +106,11 @@ struct Cli {
                "                    [--fault] [--fault-batch N] "
                "[--fault-max-nets N]\n"
                "                    [--spill-dir DIR] [--pager-budget NODES] "
-               "[--estimate-demand]\n");
+               "[--estimate-demand]\n"
+               "                    [--read-ratio R] [--replica HOST:PORT]... "
+               "[--replicas N]\n"
+               "                    [--replica-dir DIR] [--ship-path PATH] "
+               "[--ship-every-ms MS]\n");
   std::exit(2);
 }
 
@@ -104,9 +138,17 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--spill-dir") cli.spill_dir = next();
     else if (a == "--pager-budget") cli.pager_budget = std::stoull(next());
     else if (a == "--estimate-demand") cli.estimate_demand = true;
+    else if (a == "--read-ratio") cli.read_ratio = std::stod(next());
+    else if (a == "--replica") cli.replicas.push_back(next());
+    else if (a == "--replicas") cli.inproc_replicas = std::stoul(next());
+    else if (a == "--replica-dir") cli.replica_dir = next();
+    else if (a == "--ship-path") cli.ship_path = next();
+    else if (a == "--ship-every-ms") cli.ship_every_ms = std::stoul(next());
     else usage();
   }
   if (cli.sessions == 0 || cli.passes == 0) usage();
+  if (cli.read_ratio < 0.0 || cli.read_ratio >= 1.0) usage();
+  if (cli.replication() && cli.fault) usage();  // one traffic shape at a time
   return cli;
 }
 
@@ -123,19 +165,109 @@ std::vector<circuit::Circuit> make_pool() {
 }
 
 struct ClientStats {
-  std::vector<std::uint64_t> latencies_ns;
+  std::vector<std::uint64_t> latencies_ns;       ///< build-class requests
+  std::vector<std::uint64_t> read_latencies_ns;  ///< read-class requests
   std::uint64_t ok = 0;
   std::uint64_t non_ok = 0;
   std::uint64_t ops = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t reads_unknown = 0;  ///< root not shipped yet (expected race)
+  std::uint64_t reads_error = 0;
   unsigned passes_completed = 0;
   std::string error;
 };
 
-/// Build `circ` through the service, one request per level. Returns false
-/// if the pass had to be abandoned (a request failed twice).
+// ---- Replication-mode client state ------------------------------------------
+
+struct ReplCtx {
+  repl::SessionRouter* router = nullptr;
+  repl::ReplicationWriter* writer = nullptr;
+  double read_ratio = 0.0;
+  unsigned num_vars = 0;
+};
+
+/// Per-client read-mix state. `readable` is the registered-root count as of
+/// the last observed ship epoch: the save for epoch E completed before the
+/// epoch advanced, so most of those roots are on every healthy replica.
+/// Roots registered between the save and the observation race the ship —
+/// replicas answer kUnknownRoot for them, which is counted, not failed.
+struct ReadState {
+  std::uint64_t seen_epoch = 0;
+  std::size_t readable = 0;
+  std::size_t registered = 0;
+  double debt = 0.0;  ///< fractional reads owed (ratio accumulator)
+  std::uint64_t req_id = 0;
+  std::uint64_t rng = 1;
+};
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Issue the read-class requests owed after one build request: ratio r
+/// means r/(1-r) reads per build in expectation, paid down via the debt
+/// accumulator. Reads target the client's own session key (stable routing)
+/// and its own shipped roots, cycling eval / sat_count / root-info.
+void issue_reads(service::SessionId sid, unsigned session, ReplCtx& ctx,
+                 ReadState& rs, ClientStats& stats) {
+  const std::uint64_t epoch = ctx.writer ? ctx.writer->epoch() : 0;
+  if (epoch != rs.seen_epoch) {
+    rs.seen_epoch = epoch;
+    rs.readable = rs.registered;
+  }
+  rs.debt += ctx.read_ratio / (1.0 - ctx.read_ratio);
+  for (; rs.debt >= 1.0; rs.debt -= 1.0) {
+    if (rs.readable == 0) continue;  // nothing shipped yet
+    repl::ReadReq req;
+    req.req_id = ++rs.req_id;
+    req.root = "s" + std::to_string(sid) + "/r" +
+               std::to_string(xorshift(rs.rng) % rs.readable);
+    switch (rs.req_id % 3) {
+      case 0:
+        req.op = repl::ReadOp::kEval;
+        req.assignment.resize(ctx.num_vars);
+        for (unsigned v = 0; v < ctx.num_vars; ++v) {
+          req.assignment[v] = (xorshift(rs.rng) & 1) != 0;
+        }
+        break;
+      case 1:
+        req.op = repl::ReadOp::kSatCount;
+        break;
+      default:
+        req.op = repl::ReadOp::kRootInfo;
+        break;
+    }
+    const Clock::time_point t0 = Clock::now();
+    const repl::ReadResp resp = ctx.router->read(sid, req);
+    stats.read_latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+    switch (resp.status) {
+      case repl::ReadStatus::kOk:
+        stats.reads_ok += 1;
+        break;
+      case repl::ReadStatus::kUnknownRoot:
+        stats.reads_unknown += 1;
+        break;
+      default:
+        stats.reads_error += 1;
+        break;
+    }
+    (void)session;
+  }
+}
+
+/// Build `circ` through the service, one request per level, interleaving
+/// read-class requests when replication is on. Returns false if the pass
+/// had to be abandoned (a request failed twice).
 bool run_pass(service::BddService& svc, service::SessionId sid,
               const circuit::Circuit& circ, unsigned pass, unsigned session,
-              const Cli& cli, ClientStats& stats) {
+              const Cli& cli, ClientStats& stats, ReplCtx* repl,
+              ReadState* rs) {
   const unsigned num_vars = svc.config().num_vars;
   const std::vector<std::uint32_t> levels = circ.levels();
   std::uint32_t max_level = 0;
@@ -192,7 +324,9 @@ bool run_pass(service::BddService& svc, service::SessionId sid,
     // The client's own handles pin the values; roots are registered only
     // when checkpointing so the periodic snapshot has something to persist
     // (release_session_roots at end of pass keeps the accounting bounded).
-    opts.register_roots = cli.checkpoint_every > 0;
+    // Replication registers too: registered roots are what ships, and what
+    // the read mix targets.
+    opts.register_roots = cli.checkpoint_every > 0 || repl != nullptr;
     const bool with_deadline =
         cli.deadline_ms != 0 && (request_index % 4) == 3;
     for (int attempt = 0;; ++attempt) {
@@ -213,6 +347,12 @@ bool run_pass(service::BddService& svc, service::SessionId sid,
         stats.ops += ops.size();
         for (std::size_t k = 0; k < targets.size(); ++k) {
           value[targets[k]] = res.roots[k];
+        }
+        if (repl != nullptr) {
+          rs->registered += targets.size();
+          if (repl->read_ratio > 0.0) {
+            issue_reads(sid, session, *repl, *rs, stats);
+          }
         }
         break;
       }
@@ -327,6 +467,85 @@ int main(int argc, char** argv) {
   }
   service::BddService svc(cfg);
 
+  // ---- Replication tier -----------------------------------------------------
+  // In-process replicas (ephemeral ports) plus any --replica endpoints; one
+  // writer shipping save_all snapshots on a cadence; one consistent-hash
+  // router whose local fallback is the writer's own read path.
+  std::vector<std::unique_ptr<repl::ReplicaServer>> inproc_replicas;
+  std::unique_ptr<repl::ReplicationWriter> writer;
+  std::unique_ptr<repl::SessionRouter> router;
+  ReplCtx repl_ctx;
+  std::thread shipper;
+  std::atomic<bool> ship_stop{false};
+  std::atomic<std::uint64_t> ship_failures{0};
+  if (cli.replication()) {
+    std::vector<std::string> endpoints = cli.replicas;
+    if (cli.inproc_replicas > 0) {
+      ::mkdir(cli.replica_dir.c_str(), 0755);
+      for (unsigned r = 0; r < cli.inproc_replicas; ++r) {
+        repl::ReplicaOptions ro;
+        ro.port = 0;
+        ro.dir = cli.replica_dir + "/r" + std::to_string(r);
+        ::mkdir(ro.dir.c_str(), 0755);
+        ro.config.workers = 2;
+        ro.replica_id = r;
+        auto server = std::make_unique<repl::ReplicaServer>(ro);
+        server->start();
+        endpoints.push_back("127.0.0.1:" + std::to_string(server->port()));
+        inproc_replicas.push_back(std::move(server));
+      }
+    }
+    repl::WriterOptions wo;
+    wo.endpoints = endpoints;
+    writer = std::make_unique<repl::ReplicationWriter>(wo);
+    writer->connect();
+    writer->start_heartbeats();
+    repl::RouterOptions rto;
+    rto.endpoints = endpoints;
+    router = std::make_unique<repl::SessionRouter>(
+        rto, [&svc, &writer](const repl::ReadReq& rq) {
+          repl::ReadResp resp;
+          resp.req_id = rq.req_id;
+          resp.epoch = writer->epoch();
+          service::BddService::ReadKind kind =
+              rq.op == repl::ReadOp::kEval
+                  ? service::BddService::ReadKind::kEval
+                  : rq.op == repl::ReadOp::kSatCount
+                        ? service::BddService::ReadKind::kSatCount
+                        : service::BddService::ReadKind::kRootInfo;
+          const service::BddService::ReadAnswer ans =
+              svc.read_root(rq.root, kind, rq.assignment);
+          resp.status =
+              ans.ok ? repl::ReadStatus::kOk : repl::ReadStatus::kError;
+          resp.value = ans.value;
+          resp.sat = ans.sat;
+          resp.error = ans.error;
+          return resp;
+        });
+    repl_ctx.router = router.get();
+    repl_ctx.writer = writer.get();
+    repl_ctx.read_ratio = cli.read_ratio;
+    repl_ctx.num_vars = cfg.num_vars;
+    shipper = std::thread([&] {
+      while (!ship_stop.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cli.ship_every_ms));
+        if (ship_stop.load()) break;
+        const service::RequestResult res = svc.save_all(cli.ship_path).get();
+        if (res.status != service::RequestStatus::kOk) {
+          ship_failures.fetch_add(1);
+          continue;
+        }
+        const repl::ShipReport report = writer->ship_file(cli.ship_path);
+        if (report.ok_count() < report.replicas.size()) {
+          // Partial ship: replicas that missed this epoch are reconnected
+          // and re-shipped next round; the router fails their reads over
+          // to the writer meanwhile.
+        }
+      }
+    });
+  }
+
   // Fault mode shares the circuits across sessions via shared_ptr (queued
   // requests can outlive a client's scope) and pins per-circuit reports for
   // the cross-session determinism check.
@@ -340,6 +559,13 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ClientStats> stats(cli.sessions);
+  // Replication keeps sessions (and their registered roots) alive past the
+  // client threads so the quiescent cross-check can compare writer and
+  // replica answers on the same roots; sessions close after the check.
+  std::vector<service::SessionId> session_ids(cli.sessions,
+                                              service::kInvalidSession);
+  std::vector<ReadState> read_states(cli.sessions);
+  const bool repl_on = cli.replication();
   std::atomic<unsigned> sessions_opened{0};
   const Clock::time_point wall0 = Clock::now();
   {
@@ -353,6 +579,8 @@ int main(int argc, char** argv) {
           my.error = "session " + std::to_string(s) + ": open failed";
           return;
         }
+        session_ids[s] = sid;
+        read_states[s].rng = 0x9e3779b97f4a7c15ull ^ (s + 1);
         sessions_opened.fetch_add(1, std::memory_order_relaxed);
         const std::size_t pool_index = s % pool.size();
         const circuit::Circuit& circ = pool[pool_index];
@@ -361,18 +589,94 @@ int main(int argc, char** argv) {
               cli.fault ? run_fault_pass(svc, sid, shared_pool[pool_index],
                                          pool_index, s, cli, my,
                                          report_store)
-                        : run_pass(svc, sid, circ, pass, s, cli, my);
+                        : run_pass(svc, sid, circ, pass, s, cli, my,
+                                   repl_on ? &repl_ctx : nullptr,
+                                   repl_on ? &read_states[s] : nullptr);
           if (!pass_ok) break;
           ++my.passes_completed;
-          svc.release_session_roots(sid);
+          if (!repl_on) svc.release_session_roots(sid);
         }
-        svc.close_session(sid);
+        if (!repl_on) svc.close_session(sid);
       });
     }
     for (std::thread& t : clients) t.join();
   }
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - wall0).count();
+
+  // ---- Quiescent replication cross-check ------------------------------------
+  // Clients are done, so the writer's live answers equal the final
+  // snapshot's. Ship one last epoch, then compare replica sat_count / eval
+  // answers (routed reads) against the writer's read path on sampled roots.
+  std::uint64_t check_reads = 0, check_mismatches = 0, check_replica_reads = 0;
+  std::string check_error;
+  if (repl_on) {
+    ship_stop.store(true);
+    if (shipper.joinable()) shipper.join();
+    const service::RequestResult res = svc.save_all(cli.ship_path).get();
+    if (res.status != service::RequestStatus::kOk) {
+      check_error = "final save_all failed: " + res.error;
+    } else {
+      const repl::ShipReport report = writer->ship_file(cli.ship_path);
+      if (report.ok_count() == 0 && !report.replicas.empty()) {
+        check_error = "final ship reached no replica";
+      }
+      const repl::SessionRouter::Counters before = router->counters();
+      std::uint64_t req_id = 1u << 20;
+      std::uint64_t check_rng = 0xdeadbeefcafef00dull;
+      for (unsigned s = 0; s < cli.sessions; ++s) {
+        const service::SessionId sid = session_ids[s];
+        if (sid == service::kInvalidSession) continue;
+        const std::size_t roots = read_states[s].registered;
+        for (std::size_t j = 0; j < std::min<std::size_t>(roots, 4); ++j) {
+          const std::string name =
+              "s" + std::to_string(sid) + "/r" + std::to_string(j);
+          // sat_count
+          {
+            repl::ReadReq rq;
+            rq.req_id = ++req_id;
+            rq.op = repl::ReadOp::kSatCount;
+            rq.root = name;
+            const repl::ReadResp remote = router->read(sid, rq);
+            const service::BddService::ReadAnswer local = svc.read_root(
+                name, service::BddService::ReadKind::kSatCount);
+            ++check_reads;
+            if (remote.status != repl::ReadStatus::kOk || !local.ok ||
+                remote.sat != local.sat) {
+              ++check_mismatches;
+            }
+          }
+          // eval on a deterministic assignment
+          {
+            repl::ReadReq rq;
+            rq.req_id = ++req_id;
+            rq.op = repl::ReadOp::kEval;
+            rq.root = name;
+            rq.assignment.resize(cfg.num_vars);
+            for (unsigned v = 0; v < cfg.num_vars; ++v) {
+              rq.assignment[v] = (xorshift(check_rng) & 1) != 0;
+            }
+            const repl::ReadResp remote = router->read(sid, rq);
+            const service::BddService::ReadAnswer local =
+                svc.read_root(name, service::BddService::ReadKind::kEval,
+                              rq.assignment);
+            ++check_reads;
+            if (remote.status != repl::ReadStatus::kOk || !local.ok ||
+                remote.value != local.value) {
+              ++check_mismatches;
+            }
+          }
+        }
+      }
+      const repl::SessionRouter::Counters after = router->counters();
+      check_replica_reads = after.replica_reads - before.replica_reads;
+    }
+    for (unsigned s = 0; s < cli.sessions; ++s) {
+      if (session_ids[s] != service::kInvalidSession) {
+        svc.close_session(session_ids[s]);
+      }
+    }
+  }
 
   if (!cli.trace_path.empty()) {
     // The dispatcher still runs, but it is idle now (all clients joined),
@@ -385,27 +689,39 @@ int main(int argc, char** argv) {
                 events);
   }
 
-  // Aggregate.
+  // Aggregate. `lat` is the build class (every service request); reads are
+  // the separate read class so the two latency profiles stay comparable.
   std::vector<std::uint64_t> lat;
+  std::vector<std::uint64_t> read_lat;
   std::uint64_t ok = 0, non_ok = 0, ops = 0;
+  std::uint64_t reads_ok = 0, reads_unknown = 0, reads_error = 0;
   unsigned min_passes = cli.passes;
   std::string error;
   for (const ClientStats& s : stats) {
     lat.insert(lat.end(), s.latencies_ns.begin(), s.latencies_ns.end());
+    read_lat.insert(read_lat.end(), s.read_latencies_ns.begin(),
+                    s.read_latencies_ns.end());
     ok += s.ok;
     non_ok += s.non_ok;
     ops += s.ops;
+    reads_ok += s.reads_ok;
+    reads_unknown += s.reads_unknown;
+    reads_error += s.reads_error;
     min_passes = std::min(min_passes, s.passes_completed);
     if (error.empty() && !s.error.empty()) error = s.error;
   }
   std::sort(lat.begin(), lat.end());
-  const auto pct = [&](double p) -> double {
-    if (lat.empty()) return 0.0;
+  std::sort(read_lat.begin(), read_lat.end());
+  const auto pct_of = [](const std::vector<std::uint64_t>& v,
+                         double p) -> double {
+    if (v.empty()) return 0.0;
     const std::size_t idx = std::min(
-        lat.size() - 1,
-        static_cast<std::size_t>(p * static_cast<double>(lat.size())));
-    return static_cast<double>(lat[idx]) / 1000.0;  // us
+        v.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(v.size())));
+    return static_cast<double>(v[idx]) / 1000.0;  // us
   };
+  const auto pct = [&](double p) { return pct_of(lat, p); };
+  const auto read_pct = [&](double p) { return pct_of(read_lat, p); };
   double mean_us = 0.0;
   for (const std::uint64_t v : lat) {
     mean_us += static_cast<double>(v) / 1000.0;
@@ -449,6 +765,36 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.ooc_spilled_levels),
         static_cast<unsigned long long>(m.ooc_spilled_nodes),
         static_cast<unsigned long long>(m.shed));
+  }
+  if (repl_on) {
+    const repl::ReplicationWriter::Counters wc = writer->counters();
+    const repl::SessionRouter::Counters rc = router->counters();
+    std::printf(
+        "replication: epoch %llu, %llu delta + %llu full ships "
+        "(%llu naks, %llu failures), %llu bytes, %zu/%zu replicas up\n"
+        "reads: %zu total (ok %llu, unknown-root %llu, error %llu), "
+        "replica-served %llu, failovers %llu, stale %llu\n"
+        "read latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n"
+        "cross-check: %llu reads, %llu mismatches, %llu replica-served%s%s\n",
+        static_cast<unsigned long long>(writer->epoch()),
+        static_cast<unsigned long long>(wc.delta_ships),
+        static_cast<unsigned long long>(wc.full_ships),
+        static_cast<unsigned long long>(wc.naks),
+        static_cast<unsigned long long>(wc.ship_failures +
+                                        ship_failures.load()),
+        static_cast<unsigned long long>(wc.bytes_sent), writer->up_count(),
+        writer->replica_count(), read_lat.size(),
+        static_cast<unsigned long long>(reads_ok),
+        static_cast<unsigned long long>(reads_unknown),
+        static_cast<unsigned long long>(reads_error),
+        static_cast<unsigned long long>(rc.replica_reads),
+        static_cast<unsigned long long>(rc.failovers),
+        static_cast<unsigned long long>(rc.stale_fallbacks), read_pct(0.50),
+        read_pct(0.95), read_pct(0.99), read_pct(1.0),
+        static_cast<unsigned long long>(check_reads),
+        static_cast<unsigned long long>(check_mismatches),
+        static_cast<unsigned long long>(check_replica_reads),
+        check_error.empty() ? "" : ", error: ", check_error.c_str());
   }
   if (cli.checkpoint_every > 0) {
     std::printf(
@@ -497,8 +843,40 @@ int main(int argc, char** argv) {
         << ", \"max\": "
         << static_cast<double>(m.snapshot_pause_ns_max) / 1000.0
         << ", \"last\": "
-        << static_cast<double>(m.snapshot_pause_ns_last) / 1000.0 << "}},\n"
-        << "  \"service\": " << svc.metrics_json() << "\n}\n";
+        << static_cast<double>(m.snapshot_pause_ns_last) / 1000.0 << "}},\n";
+    if (repl_on) {
+      const repl::ReplicationWriter::Counters wc = writer->counters();
+      const repl::SessionRouter::Counters rc = router->counters();
+      out << "  \"replication\": {\"read_ratio\": " << cli.read_ratio
+          << ", \"replicas\": " << writer->replica_count()
+          << ", \"replicas_up\": " << writer->up_count()
+          << ", \"epoch\": " << writer->epoch()
+          << ", \"delta_ships\": " << wc.delta_ships
+          << ", \"full_ships\": " << wc.full_ships
+          << ", \"naks\": " << wc.naks
+          << ", \"ship_failures\": " << (wc.ship_failures +
+                                         ship_failures.load())
+          << ", \"bytes_sent\": " << wc.bytes_sent
+          << ", \"reconnects\": " << wc.reconnects
+          << ",\n    \"reads\": {\"total\": " << read_lat.size()
+          << ", \"ok\": " << reads_ok
+          << ", \"unknown_root\": " << reads_unknown
+          << ", \"error\": " << reads_error
+          << ", \"replica_served\": " << rc.replica_reads
+          << ", \"failovers\": " << rc.failovers
+          << ", \"stale_fallbacks\": " << rc.stale_fallbacks << "},\n"
+          << "    \"read_latency_us\": {\"p50\": " << read_pct(0.50)
+          << ", \"p95\": " << read_pct(0.95)
+          << ", \"p99\": " << read_pct(0.99)
+          << ", \"max\": " << read_pct(1.0) << "},\n"
+          << "    \"build_latency_us\": {\"p50\": " << pct(0.50)
+          << ", \"p95\": " << pct(0.95) << ", \"p99\": " << pct(0.99)
+          << ", \"max\": " << pct(1.0) << "},\n"
+          << "    \"crosscheck\": {\"reads\": " << check_reads
+          << ", \"mismatches\": " << check_mismatches
+          << ", \"replica_served\": " << check_replica_reads << "}},\n";
+    }
+    out << "  \"service\": " << svc.metrics_json() << "\n}\n";
     std::printf("wrote %s\n", cli.json_path.c_str());
   }
 
@@ -521,6 +899,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(m.snapshots_saved),
                  static_cast<unsigned long long>(m.snapshot_failures));
     return 1;
+  }
+  if (repl_on) {
+    if (!check_error.empty()) {
+      std::fprintf(stderr, "FAIL: replication cross-check: %s\n",
+                   check_error.c_str());
+      return 1;
+    }
+    if (check_mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu replica answers diverged from the writer\n",
+                   static_cast<unsigned long long>(check_mismatches));
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,129 @@
+// pbdd_replica — standalone read-replica process (docs/REPLICATION.md).
+//
+//   pbdd_replica --port N --dir DIR [--workers N] [--discipline D]
+//                [--shards N] [--metrics-every SECS]
+//
+//   --port N             listen port (0 = ephemeral; the bound port is
+//                        printed either way so scripts can scrape it)
+//   --dir DIR            working directory for applied.snap/incoming.snap
+//                        (must exist)
+//   --workers N          restore worker count (default 2) — may differ from
+//                        the writer's; restore rehashes if shapes mismatch
+//   --discipline D       passlock | sharded | lockfree (default sharded)
+//   --shards N           table shards for the sharded discipline
+//   --metrics-every S    dump pbdd_repl_* metrics to stdout every S seconds
+//                        (0 = only at exit)
+//
+// Runs until SIGINT/SIGTERM. The writer connects and ships snapshot epochs;
+// routers connect and issue reads. Everything arrives on the same port.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "replica/replica_server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N --dir DIR [--workers N]\n"
+               "          [--discipline passlock|sharded|lockfree] "
+               "[--shards N] [--metrics-every SECS]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pbdd;
+  repl::ReplicaOptions opts;
+  opts.config.workers = 2;
+  opts.config.table_discipline = core::TableDiscipline::kSharded;
+  unsigned metrics_every = 0;
+  bool have_port = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
+      have_port = true;
+    } else if (arg == "--dir") {
+      opts.dir = next();
+    } else if (arg == "--workers") {
+      opts.config.workers = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--discipline") {
+      const std::string d = next();
+      if (d == "passlock") {
+        opts.config.table_discipline = core::TableDiscipline::kPassLock;
+      } else if (d == "sharded") {
+        opts.config.table_discipline = core::TableDiscipline::kSharded;
+      } else if (d == "lockfree") {
+        opts.config.table_discipline = core::TableDiscipline::kLockFree;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--shards") {
+      opts.config.table_shards = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--metrics-every") {
+      metrics_every = std::strtoul(next().c_str(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!have_port) usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    repl::ReplicaServer server(opts);
+    server.start();
+    std::printf("pbdd_replica: listening on 127.0.0.1:%u, dir=%s\n",
+                server.port(), opts.dir.c_str());
+    std::fflush(stdout);
+
+    auto last_dump = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (metrics_every > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_dump >= std::chrono::seconds(metrics_every)) {
+          last_dump = now;
+          std::fputs(server.metrics_text().c_str(), stdout);
+          std::fflush(stdout);
+        }
+      }
+    }
+    server.stop();
+    const repl::ReplicaServer::Counters c = server.counters();
+    std::printf(
+        "pbdd_replica: exiting at epoch %llu — %llu ships applied, "
+        "%llu naks, %llu levels received, %llu spliced, %llu reads\n",
+        static_cast<unsigned long long>(server.applied_epoch()),
+        static_cast<unsigned long long>(c.ships_applied),
+        static_cast<unsigned long long>(c.ship_naks),
+        static_cast<unsigned long long>(c.levels_received),
+        static_cast<unsigned long long>(c.levels_spliced),
+        static_cast<unsigned long long>(c.reads_served));
+    std::fputs(server.metrics_text().c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
