@@ -1,0 +1,140 @@
+#include "net/http.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace pbdd::net {
+
+namespace {
+
+/// Request-header size cap: a GET for a telemetry path is a few hundred
+/// bytes; anything larger is a confused or hostile client.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "";
+  }
+}
+
+void send_response(Socket& client, const HttpResponse& resp) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) + "\r\n";
+  head += "Content-Type: " + resp.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  client.send_all(head.data(), head.size());
+  if (!resp.body.empty()) {
+    client.send_all(resp.body.data(), resp.body.size());
+  }
+}
+
+}  // namespace
+
+void HttpServer::handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+void HttpServer::start(std::uint16_t port, bool any) {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("http: server already started");
+  }
+  listener_ = Listener(port, any);
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Socket client = listener_.accept_client();
+    if (!client.valid()) break;  // listener closed: shutting down
+    try {
+      serve(std::move(client));
+    } catch (const std::exception&) {
+      // A torn request or a peer reset mid-response only kills this
+      // connection, never the accept loop.
+    }
+  }
+}
+
+void HttpServer::serve(Socket client) {
+  // A slow-loris client must not wedge the (serial) accept loop.
+  client.set_recv_timeout(std::chrono::milliseconds(2000));
+
+  // Read byte-wise until the header terminator; requests are tiny and the
+  // simplicity beats buffering a stream we close right after.
+  std::string request;
+  while (request.size() < kMaxRequestBytes) {
+    char c = 0;
+    if (!client.recv_all(&c, 1)) break;  // clean close before a full request
+    request += c;
+    if (request.size() >= 4 &&
+        request.compare(request.size() - 4, 4, "\r\n\r\n") == 0) {
+      break;
+    }
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    send_response(client, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_response(client, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+  if (method != "GET") {
+    send_response(client, {405, "text/plain; charset=utf-8",
+                           "only GET is supported\n"});
+    return;
+  }
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    send_response(client,
+                  {404, "text/plain; charset=utf-8", "no such endpoint\n"});
+    return;
+  }
+  HttpResponse resp;
+  try {
+    resp = handler();
+  } catch (const std::exception& e) {
+    resp = {500, "text/plain; charset=utf-8",
+            std::string("handler error: ") + e.what() + "\n"};
+  }
+  send_response(client, resp);
+}
+
+}  // namespace pbdd::net

@@ -1,0 +1,76 @@
+// Minimal HTTP/1.1 server for the telemetry endpoints (/metrics, /healthz,
+// /tracez — docs/OBSERVABILITY.md). GET-only, Connection: close, one
+// request per connection, served serially from a single accept thread: the
+// clients are Prometheus scrapes, CI curls, and humans, not a fleet.
+// Reuses the replication tier's Listener/Socket (src/net/socket.hpp), so it
+// inherits ephemeral-port support (port 0 + port()) and loopback binding.
+//
+// Handlers are registered per exact path and produce the body on each
+// request, so a /metrics handler can render a fresh Registry snapshot per
+// scrape. Unknown paths get 404, non-GET methods 405, and a handler that
+// throws turns into a 500 with the exception text — a scrape must never
+// take the process down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace pbdd::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Prometheus exposition content type for /metrics handlers.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a GET handler for an exact path (query strings are stripped
+  /// before lookup). Replaces any previous handler for the path; safe to
+  /// call before or after start().
+  void handle(const std::string& path, Handler handler);
+
+  /// Bind (port 0 = ephemeral) and spawn the accept thread.
+  /// Throws std::runtime_error if the port can't be bound.
+  void start(std::uint16_t port, bool any = false);
+
+  /// The bound port (valid after start()), 0 otherwise.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Close the listener and join the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(Socket client);
+
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace pbdd::net

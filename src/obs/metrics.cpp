@@ -96,6 +96,9 @@ Labels sorted(Labels labels) {
   return labels;
 }
 
+// Exposition-format escapes (text format 0.0.4): label values escape
+// backslash, double-quote, and line-feed; HELP text escapes backslash and
+// line-feed only (quotes are legal there).
 void append_label_value(std::string& out, const std::string& v) {
   for (char c : v) {
     if (c == '\\' || c == '"') out += '\\';
@@ -104,6 +107,52 @@ void append_label_value(std::string& out, const std::string& v) {
       continue;
     }
     out += c;
+  }
+}
+
+void append_help_text(std::string& out, const std::string& v) {
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// JSON needs its own escaper: the Prometheus rules above leave control
+// characters raw and don't cover tabs/returns, which breaks json() when a
+// label value contains them.
+void append_json_escaped(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
 }
 
@@ -215,7 +264,9 @@ std::string Registry::prometheus_text() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [name, fam] : families_) {
-    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# HELP " + name + " ";
+    append_help_text(out, fam.help);
+    out += "\n";
     out += "# TYPE " + name + " ";
     switch (fam.type) {
       case Type::kCounter:
@@ -287,8 +338,10 @@ std::string Registry::json() const {
       for (const auto& [k, v] : s->labels) {
         if (!first_label) out += ", ";
         first_label = false;
-        out += "\"" + k + "\": \"";
-        append_label_value(out, v);
+        out += "\"";
+        append_json_escaped(out, k);
+        out += "\": \"";
+        append_json_escaped(out, v);
         out += "\"";
       }
       out += "}, ";

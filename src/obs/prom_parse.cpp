@@ -1,0 +1,236 @@
+#include "obs/prom_parse.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace pbdd::obs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("prometheus parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+bool name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+std::string take_name(const std::string& line, std::size_t& pos,
+                      std::size_t line_no) {
+  const std::size_t start = pos;
+  while (pos < line.size() && name_char(line[pos], pos == start)) ++pos;
+  if (pos == start) fail(line_no, "expected a metric name");
+  return line.substr(start, pos - start);
+}
+
+void skip_spaces(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+}
+
+/// Undo HELP-text escapes: \\ and \n only.
+std::string unescape_help(const std::string& s, std::size_t line_no) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) fail(line_no, "dangling backslash in HELP text");
+    if (s[i] == '\\') {
+      out += '\\';
+    } else if (s[i] == 'n') {
+      out += '\n';
+    } else {
+      fail(line_no, "bad escape in HELP text");
+    }
+  }
+  return out;
+}
+
+/// Parse a quoted label value, undoing \\, \", and \n.
+std::string take_label_value(const std::string& line, std::size_t& pos,
+                             std::size_t line_no) {
+  if (pos >= line.size() || line[pos] != '"') {
+    fail(line_no, "expected '\"' to open a label value");
+  }
+  ++pos;
+  std::string out;
+  while (pos < line.size()) {
+    const char c = line[pos++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (pos >= line.size()) fail(line_no, "dangling backslash in label");
+      const char e = line[pos++];
+      if (e == '\\') {
+        out += '\\';
+      } else if (e == '"') {
+        out += '"';
+      } else if (e == 'n') {
+        out += '\n';
+      } else {
+        fail(line_no, "bad escape in label value");
+      }
+      continue;
+    }
+    out += c;
+  }
+  fail(line_no, "unterminated label value");
+}
+
+double parse_value(const std::string& s, std::size_t line_no) {
+  if (s == "+Inf" || s == "Inf") return std::numeric_limits<double>::infinity();
+  if (s == "-Inf") return -std::numeric_limits<double>::infinity();
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || end != begin + s.size()) {
+    fail(line_no, "non-numeric sample value \"" + s + "\"");
+  }
+  return v;
+}
+
+/// The family a sample belongs to: histogram samples carry a suffix.
+std::string base_family(const std::map<std::string, PromFamily>& families,
+                        const std::string& sample) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string suf = suffix;
+    if (sample.size() > suf.size() &&
+        sample.compare(sample.size() - suf.size(), suf.size(), suf) == 0) {
+      const std::string base = sample.substr(0, sample.size() - suf.size());
+      const auto it = families.find(base);
+      if (it != families.end() && it->second.type == "histogram") return base;
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+std::string PromSample::label(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+double PromDocument::value(
+    const std::string& sample_name,
+    const std::vector<std::pair<std::string, std::string>>& labels) const {
+  for (const auto& [fname, fam] : families) {
+    for (const PromSample& s : fam.samples) {
+      if (s.name != sample_name) continue;
+      bool match = true;
+      for (const auto& [k, v] : labels) {
+        if (s.label(k) != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match && s.labels.size() == labels.size()) return s.value;
+    }
+  }
+  return 0.0;
+}
+
+PromDocument parse_prometheus_text(const std::string& text) {
+  PromDocument doc;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t cur = 0;
+    skip_spaces(line, cur);
+    if (cur >= line.size()) continue;
+    if (line[cur] == '#') {
+      ++cur;
+      skip_spaces(line, cur);
+      const bool is_help = line.compare(cur, 5, "HELP ") == 0;
+      const bool is_type = line.compare(cur, 5, "TYPE ") == 0;
+      if (!is_help && !is_type) continue;  // plain comment
+      cur += 5;
+      skip_spaces(line, cur);
+      const std::string name = take_name(line, cur, line_no);
+      skip_spaces(line, cur);
+      PromFamily& fam = doc.families[name];
+      if (fam.name.empty()) {
+        fam.name = name;
+        fam.type = "untyped";
+      }
+      if (is_help) {
+        fam.help = unescape_help(line.substr(cur), line_no);
+      } else {
+        const std::string type = line.substr(cur);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail(line_no, "unknown metric type \"" + type + "\"");
+        }
+        if (fam.type != "untyped" && fam.type != type) {
+          fail(line_no, "family " + name + " re-typed from " + fam.type +
+                            " to " + type);
+        }
+        fam.type = type;
+      }
+      continue;
+    }
+    PromSample sample;
+    sample.name = take_name(line, cur, line_no);
+    if (cur < line.size() && line[cur] == '{') {
+      ++cur;
+      skip_spaces(line, cur);
+      if (cur < line.size() && line[cur] == '}') {
+        ++cur;
+      } else {
+        for (;;) {
+          skip_spaces(line, cur);
+          const std::string key = take_name(line, cur, line_no);
+          skip_spaces(line, cur);
+          if (cur >= line.size() || line[cur] != '=') {
+            fail(line_no, "expected '=' after label name");
+          }
+          ++cur;
+          skip_spaces(line, cur);
+          sample.labels.emplace_back(key,
+                                     take_label_value(line, cur, line_no));
+          skip_spaces(line, cur);
+          if (cur < line.size() && line[cur] == ',') {
+            ++cur;
+            continue;
+          }
+          if (cur < line.size() && line[cur] == '}') {
+            ++cur;
+            break;
+          }
+          fail(line_no, "expected ',' or '}' in label block");
+        }
+      }
+    }
+    skip_spaces(line, cur);
+    std::size_t vend = cur;
+    while (vend < line.size() && line[vend] != ' ' && line[vend] != '\t') {
+      ++vend;
+    }
+    if (vend == cur) fail(line_no, "sample line without a value");
+    sample.value = parse_value(line.substr(cur, vend - cur), line_no);
+    // Optional timestamp after the value is tolerated and ignored.
+    const std::string fam_name = base_family(doc.families, sample.name);
+    PromFamily& fam = doc.families[fam_name];
+    if (fam.name.empty()) {
+      fam.name = fam_name;
+      fam.type = "untyped";
+    }
+    fam.samples.push_back(std::move(sample));
+  }
+  return doc;
+}
+
+}  // namespace pbdd::obs

@@ -1,0 +1,49 @@
+// Parser for the Prometheus text exposition format (version 0.0.4) — the
+// inverse of Registry::prometheus_text(). Exists so the exposition side can
+// be round-trip tested (and so tools can assert on scraped /metrics bodies)
+// without regex guesswork: it undoes HELP and label-value escapes, groups
+// samples into families, and validates the # TYPE discipline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pbdd::obs {
+
+struct PromSample {
+  std::string name;  ///< full sample name, e.g. pbdd_foo_bucket
+  std::vector<std::pair<std::string, std::string>> labels;  ///< in file order
+  double value = 0.0;
+
+  /// Value of one label, "" when absent.
+  [[nodiscard]] std::string label(const std::string& key) const;
+};
+
+struct PromFamily {
+  std::string name;
+  std::string help;  ///< unescaped
+  std::string type;  ///< "counter" | "gauge" | "histogram" | "untyped"
+  std::vector<PromSample> samples;
+};
+
+struct PromDocument {
+  std::map<std::string, PromFamily> families;
+
+  [[nodiscard]] bool has_family(const std::string& name) const {
+    return families.count(name) != 0;
+  }
+  /// Folded value of one sample; 0.0 when absent.
+  [[nodiscard]] double value(
+      const std::string& sample_name,
+      const std::vector<std::pair<std::string, std::string>>& labels = {})
+      const;
+};
+
+/// Parse an exposition body. Histogram samples (_bucket/_sum/_count) are
+/// attached to their base family. Throws std::runtime_error with a line
+/// number on malformed input: bad escapes, unterminated label values,
+/// non-numeric sample values, or samples typed under a conflicting # TYPE.
+[[nodiscard]] PromDocument parse_prometheus_text(const std::string& text);
+
+}  // namespace pbdd::obs

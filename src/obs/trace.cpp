@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -55,6 +57,8 @@ constexpr EventInfo kEvents[] = {
     {"repl_ship", "repl", EventType::kInstant, "bytes", "replica"},
     {"repl_apply", "repl", EventType::kInstant, "nodes", "levels"},
     {"repl_failover", "repl", EventType::kInstant, nullptr, "replica"},
+    {"repl_route_read", "repl", EventType::kInstant, "op", "replica"},
+    {"repl_serve_read", "repl", EventType::kInstant, "op", "status"},
 };
 static_assert(sizeof(kEvents) / sizeof(kEvents[0]) ==
                   static_cast<std::size_t>(EventKind::kCount),
@@ -65,12 +69,24 @@ const EventInfo& info(EventKind k) noexcept {
 }
 
 thread_local std::uint16_t t_track = kTrackExternal;
+thread_local std::uint64_t t_trace_id = 0;
 
 struct TlsBufferRef {
   void* buffer = nullptr;  // Tracer::ThreadBuffer*, type-erased for the TLS
   std::uint64_t session = 0;
 };
 thread_local TlsBufferRef t_buffer;
+
+/// splitmix64 finalizer: a cheap bijective mixer, so sequential salted
+/// counters become well-spread 64-bit ids.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 
 }  // namespace
 
@@ -81,6 +97,7 @@ const char* event_arg0(EventKind k) noexcept { return info(k).arg0; }
 const char* event_arg1(EventKind k) noexcept { return info(k).arg1; }
 
 std::atomic<bool> Tracer::enabled_{false};
+std::atomic<std::uint64_t> Tracer::active_trace_id_{0};
 
 Tracer& Tracer::instance() noexcept {
   static Tracer tracer;
@@ -103,11 +120,14 @@ void Tracer::start(const TraceConfig& config) {
 void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
 
 std::uint64_t Tracer::now_ns() const noexcept {
-  const std::uint64_t now = static_cast<std::uint64_t>(
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-  return now - epoch_ns_.load(std::memory_order_relaxed);
 }
 
 void Tracer::set_thread_track(std::uint16_t track) noexcept {
@@ -115,6 +135,56 @@ void Tracer::set_thread_track(std::uint16_t track) noexcept {
 }
 
 std::uint16_t Tracer::thread_track() noexcept { return t_track; }
+
+std::uint64_t Tracer::mint_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t id =
+      mix64((static_cast<std::uint64_t>(::getpid()) << 40) ^ n);
+  return id != 0 ? id : 1;
+}
+
+std::uint64_t Tracer::mix_trace_id(std::uint64_t id,
+                                   std::uint64_t salt) noexcept {
+  const std::uint64_t mixed = mix64(id ^ (salt * 0x9e3779b97f4a7c15ULL));
+  return mixed != 0 ? mixed : 1;
+}
+
+void Tracer::set_thread_trace_id(std::uint64_t id) noexcept {
+  t_trace_id = id;
+}
+
+std::uint64_t Tracer::thread_trace_id() noexcept { return t_trace_id; }
+
+void Tracer::set_active_trace_id(std::uint64_t id) noexcept {
+  active_trace_id_.store(id, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::active_trace_id() noexcept {
+  return active_trace_id_.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_name_ = std::move(name);
+}
+
+std::string Tracer::process_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!process_name_.empty()) return process_name_;
+  return "pid" + std::to_string(::getpid());
+}
+
+void Tracer::set_clock_offset(const std::string& peer,
+                              std::int64_t offset_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_offsets_[peer] = offset_ns;
+}
+
+std::map<std::string, std::int64_t> Tracer::clock_offsets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_offsets_;
+}
 
 Tracer::ThreadBuffer* Tracer::local_buffer() {
   const std::uint64_t session = session_.load(std::memory_order_relaxed);
@@ -136,14 +206,33 @@ void Tracer::emit(EventKind kind, std::uint64_t start_ns, std::uint64_t dur_ns,
   const std::uint32_t n = buf->size.load(std::memory_order_relaxed);
   if (n >= buf->records.size()) {
     // Full: drop the new record (the retained prefix keeps the run's phase
-    // structure intact) and account for it. Tracing never blocks.
+    // structure intact) and account for it, under the track that was bound
+    // when the drop happened. Tracing never blocks. Only the owning thread
+    // writes the slots, so find-or-install needs no CAS.
     buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t key = static_cast<std::uint32_t>(t_track) + 1;
+    std::size_t slot = kDropSlots - 1;  // overflow folds into the last slot
+    for (std::size_t i = 0; i < kDropSlots; ++i) {
+      const std::uint32_t cur =
+          buf->drop_track[i].load(std::memory_order_relaxed);
+      if (cur == key || cur == 0) {
+        slot = i;
+        break;
+      }
+    }
+    if (buf->drop_track[slot].load(std::memory_order_relaxed) == 0) {
+      buf->drop_track[slot].store(key, std::memory_order_relaxed);
+    }
+    buf->drop_count[slot].fetch_add(1, std::memory_order_relaxed);
     return;
   }
   TraceRecord& r = buf->records[n];
   r.start_ns = start_ns;
   r.dur_ns = dur_ns;
   r.arg0 = arg0;
+  r.trace_id = t_trace_id != 0
+                   ? t_trace_id
+                   : active_trace_id_.load(std::memory_order_relaxed);
   r.arg1 = arg1;
   r.track = t_track;
   r.kind = static_cast<std::uint8_t>(kind);
@@ -158,6 +247,13 @@ Tracer::Snapshot Tracer::collect() const {
     const std::uint32_t n = buf->size.load(std::memory_order_acquire);
     if (n > 0) ++snap.threads;
     snap.dropped += buf->dropped.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kDropSlots; ++i) {
+      const std::uint32_t key =
+          buf->drop_track[i].load(std::memory_order_relaxed);
+      if (key == 0) continue;
+      snap.dropped_by_track[static_cast<std::uint16_t>(key - 1)] +=
+          buf->drop_count[i].load(std::memory_order_relaxed);
+    }
     snap.records.insert(snap.records.end(), buf->records.begin(),
                         buf->records.begin() + n);
   }
@@ -166,6 +262,48 @@ Tracer::Snapshot Tracer::collect() const {
                      return a.start_ns < b.start_ns;
                    });
   return snap;
+}
+
+Tracer::Status Tracer::status() const {
+  Status st;
+  st.compiled = trace_compiled();
+  st.enabled = enabled();
+  std::lock_guard<std::mutex> lock(mutex_);
+  st.session = session_.load(std::memory_order_relaxed);
+  st.buffer_capacity = capacity_;
+  st.threads = buffers_.size();
+  for (const auto& buf : buffers_) {
+    st.records += buf->size.load(std::memory_order_acquire);
+    st.dropped += buf->dropped.load(std::memory_order_relaxed);
+  }
+  st.process_name = process_name_.empty()
+                        ? "pid" + std::to_string(::getpid())
+                        : process_name_;
+  return st;
+}
+
+std::string Tracer::status_json() const {
+  const Status st = status();
+  std::string out = "{";
+  out += "\"process\": \"";
+  // Process names are identifiers we mint ("writer", "r0", "pid123") — only
+  // quote/backslash need escaping to stay valid JSON for arbitrary input.
+  for (const char c : st.process_name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  out += ", \"compiled\": ";
+  out += st.compiled ? "true" : "false";
+  out += ", \"enabled\": ";
+  out += st.enabled ? "true" : "false";
+  out += ", \"session\": " + std::to_string(st.session);
+  out += ", \"buffer_capacity\": " + std::to_string(st.buffer_capacity);
+  out += ", \"threads\": " + std::to_string(st.threads);
+  out += ", \"records\": " + std::to_string(st.records);
+  out += ", \"dropped\": " + std::to_string(st.dropped);
+  out += "}\n";
+  return out;
 }
 
 namespace {
@@ -192,18 +330,37 @@ std::string us_from_ns(std::uint64_t ns) {
   return s;
 }
 
+std::string hex_id(std::uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s = "0x";
+  bool emitting = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = static_cast<unsigned>((id >> shift) & 0xF);
+    if (nibble != 0) emitting = true;
+    if (emitting || shift == 0) s += kDigits[nibble];
+  }
+  return s;
+}
+
 }  // namespace
 
 std::size_t Tracer::write_chrome_trace(std::ostream& os) const {
   const Snapshot snap = collect();
   std::string out;
-  out.reserve(snap.records.size() * 96 + 1024);
+  out.reserve(snap.records.size() * 112 + 2048);
   out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
 
-  // Metadata: name + sort the tracks so workers come first in Perfetto.
+  // Metadata: name + sort the tracks so workers come first in Perfetto, and
+  // a process_name record so merged multi-process files stay attributable.
+  const std::string proc = process_name();
+  bool first = true;
+  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"";
+  append_escaped(out, proc.c_str());
+  out += "\"}}";
+  first = false;
   std::map<std::uint16_t, bool> tracks;
   for (const TraceRecord& r : snap.records) tracks[r.track] = true;
-  bool first = true;
   for (const auto& [track, unused] : tracks) {
     (void)unused;
     for (const char* meta : {"thread_name", "thread_sort_index"}) {
@@ -260,27 +417,86 @@ std::size_t Tracer::write_chrome_trace(std::ostream& os) const {
     }
     out += ", \"pid\": 1, \"tid\": ";
     out += std::to_string(r.track);
-    if (ev.arg0 != nullptr || ev.arg1 != nullptr) {
+    if (ev.arg0 != nullptr || ev.arg1 != nullptr || r.trace_id != 0) {
       out += ", \"args\": {";
+      bool comma = false;
       if (ev.arg0 != nullptr) {
         out += "\"";
         out += ev.arg0;
         out += "\": ";
         out += std::to_string(r.arg0);
+        comma = true;
       }
       if (ev.arg1 != nullptr) {
-        if (ev.arg0 != nullptr) out += ", ";
+        if (comma) out += ", ";
         out += "\"";
         out += ev.arg1;
         out += "\": ";
         out += std::to_string(r.arg1);
+        comma = true;
+      }
+      if (r.trace_id != 0) {
+        // Hex string, not a number: 64-bit ids do not survive a double.
+        if (comma) out += ", ";
+        out += "\"trace\": \"";
+        out += hex_id(r.trace_id);
+        out += "\"";
       }
       out += "}";
     }
     out += "}";
   }
+
+  // otherData: drop accounting (global + per-track), the process identity,
+  // clock anchors for cross-process alignment, and any peer clock offsets
+  // learned over the replication handshake.
   out += "\n], \"otherData\": {\"dropped_records\": ";
   out += std::to_string(snap.dropped);
+  out += ", \"dropped_by_track\": {";
+  {
+    bool comma = false;
+    for (const auto& [track, count] : snap.dropped_by_track) {
+      if (comma) out += ", ";
+      comma = true;
+      out += "\"";
+      append_escaped(out, track_name(track).c_str());
+      out += "\": ";
+      out += std::to_string(count);
+    }
+  }
+  out += "}, \"process\": {\"name\": \"";
+  append_escaped(out, proc.c_str());
+  out += "\", \"pid\": ";
+  out += std::to_string(::getpid());
+  out += "}, \"clock\": {\"steady_epoch_ns\": ";
+  out += std::to_string(epoch_ns_.load(std::memory_order_relaxed));
+  const auto steady_now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  const auto wall_now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  out += ", \"export_steady_ns\": ";
+  out += std::to_string(steady_now);
+  out += ", \"export_wall_us\": ";
+  out += std::to_string(wall_now);
+  out += "}";
+  const std::map<std::string, std::int64_t> offsets = clock_offsets();
+  if (!offsets.empty()) {
+    out += ", \"clock_offsets\": {";
+    bool comma = false;
+    for (const auto& [peer, offset] : offsets) {
+      if (comma) out += ", ";
+      comma = true;
+      out += "\"";
+      append_escaped(out, peer.c_str());
+      out += "\": ";
+      out += std::to_string(offset);
+    }
+    out += "}";
+  }
   out += "}}\n";
   os << out;
   return events;

@@ -1,12 +1,13 @@
 // Per-worker event tracer.
 //
-// One fixed-capacity ring of 32-byte binary records per thread, written with
+// One fixed-capacity ring of 40-byte binary records per thread, written with
 // zero synchronization on the hot path: each buffer has exactly one writer
 // (the owning thread), readers only run while the engine is quiescent, and
 // the only shared state a record append touches is the buffer's own size
 // field (a release store so a concurrent exporter never reads a half-written
-// record). A full buffer drops new records and counts them — tracing never
-// blocks the engine and never allocates after a thread's first event.
+// record). A full buffer drops new records and counts them (per logical
+// track, so a merged fleet trace can attribute loss) — tracing never blocks
+// the engine and never allocates after a thread's first event.
 //
 // Instrumentation points compile down to a single relaxed load of the global
 // enabled flag when tracing is compiled in but idle, and to nothing at all
@@ -19,11 +20,20 @@
 // id, set by the worker pool for the duration of a job, or one of the
 // special tracks below. The exporter writes Chrome-trace-event JSON (one
 // "thread" per track) loadable in ui.perfetto.dev / chrome://tracing.
+//
+// Distributed tracing: every record also carries a 64-bit *trace id*. The
+// service mints one per request at admission (mint_trace_id), binds it as
+// the process-wide active id while the request executes, and propagates it
+// over the replication wire so ship→apply and route→serve pairs in
+// different processes share an id. Exports stamp a process identity and
+// clock anchors into otherData so `pbdd_trace --merge` can stitch
+// per-process files into one fleet timeline (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,6 +94,8 @@ enum class EventKind : std::uint8_t {
   kReplShip,        ///< epoch shipped to a replica; arg0 = bytes, arg1 = replica
   kReplApply,       ///< replica applied an epoch; arg0 = nodes, arg1 = levels
   kReplFailover,    ///< read failed over to the writer; arg1 = replica
+  kReplRouteRead,   ///< router dispatched a read; arg0 = op, arg1 = replica
+  kReplServeRead,   ///< replica served a read; arg0 = op, arg1 = status
   kCount
 };
 
@@ -102,16 +114,18 @@ inline constexpr std::uint16_t kTrackService = 0x8000;   ///< dispatcher
 inline constexpr std::uint16_t kTrackExternal = 0x8001;  ///< other threads
 
 /// Fixed-size binary record; timestamps are ns since Tracer::start().
+/// trace_id is 0 when the record was emitted outside any request context.
 struct TraceRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;  ///< 0 for instants/counters
   std::uint64_t arg0 = 0;
+  std::uint64_t trace_id = 0;  ///< request/flow correlation id (0 = none)
   std::uint32_t arg1 = 0;
   std::uint16_t track = 0;
   std::uint8_t kind = 0;
   std::uint8_t reserved = 0;
 };
-static_assert(sizeof(TraceRecord) == 32, "records are packed 32-byte slots");
+static_assert(sizeof(TraceRecord) == 40, "records are packed 40-byte slots");
 
 /// Compute-cache probes are sampled: one kCacheSample per
 /// (kCacheSamplePeriod) lookups per worker, so the hot path stays one
@@ -119,8 +133,8 @@ static_assert(sizeof(TraceRecord) == 32, "records are packed 32-byte slots");
 inline constexpr std::uint64_t kCacheSamplePeriod = 8192;
 
 struct TraceConfig {
-  /// Records per thread buffer. At 32 bytes/record the default is 2 MiB per
-  /// participating thread.
+  /// Records per thread buffer. At 40 bytes/record the default is 2.5 MiB
+  /// per participating thread.
   std::size_t buffer_capacity = std::size_t{1} << 16;
 };
 
@@ -145,6 +159,11 @@ class Tracer {
   /// Nanoseconds since start() on the steady clock.
   [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
+  /// Absolute steady-clock nanoseconds (same clock as now_ns, unshifted by
+  /// the session epoch). This is what goes over the wire in the replication
+  /// clock-offset handshake — works in every build mode, traced or not.
+  [[nodiscard]] static std::uint64_t steady_now_ns() noexcept;
+
   /// Append one record to the calling thread's buffer (never blocks; drops
   /// and counts when the buffer is full; no-op when disabled).
   void emit(EventKind kind, std::uint64_t start_ns, std::uint64_t dur_ns,
@@ -154,14 +173,66 @@ class Tracer {
   static void set_thread_track(std::uint16_t track) noexcept;
   [[nodiscard]] static std::uint16_t thread_track() noexcept;
 
+  // ---- Trace context (distributed tracing) ----------------------------------
+
+  /// Mint a fresh, never-zero 64-bit trace id: a process-salted counter
+  /// pushed through a 64-bit mixer, so concurrent processes mint disjoint
+  /// ids without coordination. Works in every build mode.
+  [[nodiscard]] static std::uint64_t mint_trace_id() noexcept;
+  /// Derive a correlated-but-distinct id (e.g. one flow id per ship×peer
+  /// from one request id). Never returns 0.
+  [[nodiscard]] static std::uint64_t mix_trace_id(std::uint64_t id,
+                                                  std::uint64_t salt) noexcept;
+
+  /// Bind a trace id to the calling thread: records it emits carry the id
+  /// until cleared (0). Wins over the process-wide active id.
+  static void set_thread_trace_id(std::uint64_t id) noexcept;
+  [[nodiscard]] static std::uint64_t thread_trace_id() noexcept;
+
+  /// The process-wide "active request" id: the service dispatcher sets it
+  /// around each request so engine worker threads — which never see the
+  /// Request — still attribute their batch/GC/checkpoint records. A thread
+  /// id, when set, wins over this.
+  static void set_active_trace_id(std::uint64_t id) noexcept;
+  [[nodiscard]] static std::uint64_t active_trace_id() noexcept;
+
+  /// Process identity stamped into exports ("writer", "r0", ...). Defaults
+  /// to "pid<os pid>" until set.
+  void set_process_name(std::string name);
+  [[nodiscard]] std::string process_name() const;
+
+  /// Record a peer's steady-clock offset (peer_ns - local_ns at the same
+  /// wall instant, from the replication handshake). Exported in otherData
+  /// so the merge tool can align the peer's timeline to this process's.
+  void set_clock_offset(const std::string& peer, std::int64_t offset_ns);
+  [[nodiscard]] std::map<std::string, std::int64_t> clock_offsets() const;
+
   struct Snapshot {
     std::vector<TraceRecord> records;  ///< all threads, sorted by start_ns
     std::uint64_t dropped = 0;         ///< records lost to full buffers
     std::size_t threads = 0;           ///< buffers that saw at least a record
+    /// Drops attributed to the track that was bound when the drop happened.
+    std::map<std::uint16_t, std::uint64_t> dropped_by_track;
   };
   /// Copy out everything recorded so far. Safe while disabled or while the
   /// traced system is quiescent.
   [[nodiscard]] Snapshot collect() const;
+
+  /// Live session status (the /tracez endpoint renders this as JSON).
+  struct Status {
+    bool compiled = false;       ///< trace_compiled()
+    bool enabled = false;        ///< currently recording
+    std::uint64_t session = 0;   ///< start() count
+    std::size_t buffer_capacity = 0;
+    std::size_t threads = 0;     ///< registered thread buffers
+    std::uint64_t records = 0;   ///< records currently held
+    std::uint64_t dropped = 0;   ///< records lost to full buffers
+    std::string process_name;
+  };
+  [[nodiscard]] Status status() const;
+  /// Status rendered as a one-object JSON document — the /tracez endpoint
+  /// body, identical across writer, replica, and loadgen processes.
+  [[nodiscard]] std::string status_json() const;
 
   /// Chrome-trace-event JSON ({"traceEvents": [...]}) with one named thread
   /// per track. Returns the number of events written.
@@ -173,6 +244,11 @@ class Tracer {
  private:
   Tracer() = default;
 
+  /// Per-thread drop accounting: a handful of {track, count} slots is
+  /// plenty (a thread binds at most a few distinct tracks per session);
+  /// overflow folds into the last slot's track.
+  static constexpr std::size_t kDropSlots = 8;
+
   struct ThreadBuffer {
     explicit ThreadBuffer(std::size_t capacity) : records(capacity) {}
     std::vector<TraceRecord> records;
@@ -180,19 +256,41 @@ class Tracer {
     /// records only.
     std::atomic<std::uint32_t> size{0};
     std::atomic<std::uint64_t> dropped{0};
+    /// track+1 so 0 means "slot free"; owner-thread installed, collector
+    /// read.
+    std::atomic<std::uint32_t> drop_track[kDropSlots] = {};
+    std::atomic<std::uint64_t> drop_count[kDropSlots] = {};
   };
 
   [[nodiscard]] ThreadBuffer* local_buffer();
 
   static std::atomic<bool> enabled_;
+  static std::atomic<std::uint64_t> active_trace_id_;
 
-  mutable std::mutex mutex_;  ///< buffer registry + start/stop
+  mutable std::mutex mutex_;  ///< buffer registry + start/stop + identity
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::size_t capacity_ = TraceConfig{}.buffer_capacity;
+  std::string process_name_;
+  std::map<std::string, std::int64_t> clock_offsets_;
   /// Bumped by every start(); stale thread-local buffer pointers from a
   /// previous session re-register on first use.
   std::atomic<std::uint64_t> session_{0};
   std::atomic<std::uint64_t> epoch_ns_{0};  ///< steady-clock origin
+};
+
+/// RAII thread-trace-id binding for a request-scoped region.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id) noexcept
+      : prev_(Tracer::thread_trace_id()) {
+    Tracer::set_thread_trace_id(id);
+  }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+  ~TraceIdScope() { Tracer::set_thread_trace_id(prev_); }
+
+ private:
+  std::uint64_t prev_;
 };
 
 /// RAII span: captures the start time on construction (when enabled) and

@@ -270,6 +270,29 @@ std::string require_string(const JsonValue& ev, const char* key,
   return v->string;
 }
 
+std::uint64_t parse_hex_id(const std::string& s, std::size_t index) {
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X')) {
+    throw std::runtime_error("trace event " + std::to_string(index) +
+                             ": \"trace\" is not a 0x-prefixed hex id");
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char h = s[i];
+    id <<= 4;
+    if (h >= '0' && h <= '9') {
+      id |= static_cast<std::uint64_t>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      id |= static_cast<std::uint64_t>(h - 'a' + 10);
+    } else if (h >= 'A' && h <= 'F') {
+      id |= static_cast<std::uint64_t>(h - 'A' + 10);
+    } else {
+      throw std::runtime_error("trace event " + std::to_string(index) +
+                               ": bad hex digit in \"trace\" id");
+    }
+  }
+  return id;
+}
+
 }  // namespace
 
 ParsedTrace parse_chrome_trace(const std::string& json_text) {
@@ -296,25 +319,42 @@ ParsedTrace parse_chrome_trace(const std::string& json_text) {
       throw std::runtime_error("trace event " + std::to_string(i) +
                                ": bad \"ph\"");
     }
-    const int tid = static_cast<int>(require_number(ev, "tid", i));
     if (ph == "M") {
-      if (name == "thread_name") {
-        const JsonValue* args = ev.find("args");
-        const JsonValue* tn =
-            args != nullptr ? args->find("name") : nullptr;
-        if (tn != nullptr && tn->type == JsonValue::Type::kString) {
-          out.tracks[tid] = tn->string;
+      const JsonValue* args = ev.find("args");
+      const JsonValue* mn = args != nullptr ? args->find("name") : nullptr;
+      if (name == "process_name") {
+        // Process metadata is per-pid and carries no tid.
+        const int pid = static_cast<int>(require_number(ev, "pid", i));
+        if (mn != nullptr && mn->type == JsonValue::Type::kString) {
+          out.processes[pid] = mn->string;
         }
+        continue;
+      }
+      const int tid = static_cast<int>(require_number(ev, "tid", i));
+      if (name == "thread_name" && mn != nullptr &&
+          mn->type == JsonValue::Type::kString) {
+        out.tracks[tid] = mn->string;
       }
       continue;
     }
     TraceEvent parsed;
     parsed.name = name;
     parsed.ph = ph[0];
-    parsed.tid = tid;
+    parsed.tid = static_cast<int>(require_number(ev, "tid", i));
     parsed.pid = static_cast<int>(require_number(ev, "pid", i));
     parsed.ts_us = require_number(ev, "ts", i);
     if (parsed.ph == 'X') parsed.dur_us = require_number(ev, "dur", i);
+    if (parsed.ph == 's' || parsed.ph == 't' || parsed.ph == 'f') {
+      const JsonValue* id = ev.find("id");
+      if (id == nullptr) {
+        throw std::runtime_error("trace event " + std::to_string(i) +
+                                 ": flow event without \"id\"");
+      }
+      parsed.flow_id = id->type == JsonValue::Type::kString
+                           ? id->string
+                           : std::to_string(
+                                 static_cast<std::uint64_t>(id->number));
+    }
     if (const JsonValue* cat = ev.find("cat");
         cat != nullptr && cat->type == JsonValue::Type::kString) {
       parsed.cat = cat->string;
@@ -322,7 +362,11 @@ ParsedTrace parse_chrome_trace(const std::string& json_text) {
     if (const JsonValue* args = ev.find("args");
         args != nullptr && args->type == JsonValue::Type::kObject) {
       for (const auto& [k, v] : args->object) {
-        if (v.type == JsonValue::Type::kNumber) parsed.args[k] = v.number;
+        if (v.type == JsonValue::Type::kNumber) {
+          parsed.args[k] = v.number;
+        } else if (k == "trace" && v.type == JsonValue::Type::kString) {
+          parsed.trace_id = parse_hex_id(v.string, i);
+        }
       }
     }
     out.events.push_back(std::move(parsed));
@@ -332,6 +376,35 @@ ParsedTrace parse_chrome_trace(const std::string& json_text) {
     if (const JsonValue* dropped = other->find("dropped_records");
         dropped != nullptr && dropped->type == JsonValue::Type::kNumber) {
       out.dropped_records = static_cast<std::uint64_t>(dropped->number);
+    }
+    if (const JsonValue* by_track = other->find("dropped_by_track");
+        by_track != nullptr && by_track->type == JsonValue::Type::kObject) {
+      for (const auto& [track, count] : by_track->object) {
+        if (count.type == JsonValue::Type::kNumber) {
+          out.dropped_by_track[track] =
+              static_cast<std::uint64_t>(count.number);
+        }
+      }
+    }
+    if (const JsonValue* clock = other->find("clock");
+        clock != nullptr && clock->type == JsonValue::Type::kObject) {
+      const auto u64_field = [&](const char* key) -> std::uint64_t {
+        const JsonValue* v = clock->find(key);
+        return v != nullptr && v->type == JsonValue::Type::kNumber
+                   ? static_cast<std::uint64_t>(v->number)
+                   : 0;
+      };
+      out.clock_steady_epoch_ns = u64_field("steady_epoch_ns");
+      out.clock_export_steady_ns = u64_field("export_steady_ns");
+      out.clock_export_wall_us = u64_field("export_wall_us");
+    }
+    if (const JsonValue* offsets = other->find("clock_offsets");
+        offsets != nullptr && offsets->type == JsonValue::Type::kObject) {
+      for (const auto& [peer, off] : offsets->object) {
+        if (off.type == JsonValue::Type::kNumber) {
+          out.clock_offsets[peer] = static_cast<std::int64_t>(off.number);
+        }
+      }
     }
   }
   return out;
@@ -595,6 +668,327 @@ std::string summary_report(const ParsedTrace& trace) {
             static_cast<unsigned long long>(count));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet merge
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  // Counters round-trip exactly; only genuinely fractional values (none in
+  // the exporter today) fall back to %g.
+  if (std::floor(v) == v && std::fabs(v) < 9.0e15) {
+    appendf(out, "%lld", static_cast<long long>(v));
+  } else {
+    appendf(out, "%.9g", v);
+  }
+}
+
+std::string merged_hex_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// The display/process name of one input trace (from its process_name
+/// metadata record; positional fallback when absent).
+std::string input_process_name(const ParsedTrace& trace, std::size_t index) {
+  if (!trace.processes.empty()) return trace.processes.begin()->second;
+  return "proc" + std::to_string(index);
+}
+
+struct FlowAnchor {
+  std::size_t input = 0;  ///< which process the event came from
+  int tid = 0;
+  double ts_us = 0.0;  ///< already shifted onto the reference clock
+};
+
+void append_flow_pair(std::string& out, const char* name, std::uint64_t id,
+                      const FlowAnchor& src, const FlowAnchor& dst) {
+  appendf(out, "    {\"name\": \"%s\", \"cat\": \"flow\", \"ph\": \"s\", ",
+          name);
+  appendf(out, "\"id\": \"%s\", \"pid\": %zu, \"tid\": %d, \"ts\": %.3f},\n",
+          merged_hex_id(id).c_str(), src.input + 1, src.tid, src.ts_us);
+  appendf(out, "    {\"name\": \"%s\", \"cat\": \"flow\", \"ph\": \"f\", ",
+          name);
+  appendf(out,
+          "\"bp\": \"e\", \"id\": \"%s\", \"pid\": %zu, \"tid\": %d, "
+          "\"ts\": %.3f},\n",
+          merged_hex_id(id).c_str(), dst.input + 1, dst.tid, dst.ts_us);
+}
+
+}  // namespace
+
+MergeResult merge_traces(const std::vector<std::string>& texts) {
+  if (texts.empty()) {
+    throw std::runtime_error("merge: no input traces");
+  }
+  std::vector<ParsedTrace> inputs;
+  inputs.reserve(texts.size());
+  for (const std::string& text : texts) {
+    inputs.push_back(parse_chrome_trace(text));
+  }
+  const ParsedTrace& ref = inputs.front();
+
+  // Per-input timestamp shift onto the reference (writer) clock. A replica
+  // event at relative time t maps to t + epoch_k - O - epoch_ref, where O is
+  // the handshake offset (peer_ns - ref_ns) the writer recorded for that
+  // peer's process name. Without a handshake entry, fall back to aligning
+  // the wall-clock anchors both exports sampled at shutdown.
+  std::vector<std::string> names(inputs.size());
+  std::vector<double> shift_us(inputs.size(), 0.0);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    names[k] = input_process_name(inputs[k], k);
+    if (k == 0) continue;
+    const ParsedTrace& in = inputs[k];
+    double shift_ns = 0.0;
+    const auto off = ref.clock_offsets.find(names[k]);
+    if (off != ref.clock_offsets.end() && in.clock_steady_epoch_ns != 0 &&
+        ref.clock_steady_epoch_ns != 0) {
+      shift_ns = static_cast<double>(in.clock_steady_epoch_ns) -
+                 static_cast<double>(off->second) -
+                 static_cast<double>(ref.clock_steady_epoch_ns);
+    } else if (in.clock_export_wall_us != 0 && ref.clock_export_wall_us != 0) {
+      const double skew_ns =
+          static_cast<double>(ref.clock_export_steady_ns) -
+          static_cast<double>(in.clock_export_steady_ns) -
+          (static_cast<double>(ref.clock_export_wall_us) -
+           static_cast<double>(in.clock_export_wall_us)) *
+              1000.0;
+      shift_ns = static_cast<double>(in.clock_steady_epoch_ns) + skew_ns -
+                 static_cast<double>(ref.clock_steady_epoch_ns);
+    }
+    shift_us[k] = shift_ns * 1e-3;
+  }
+
+  // Normalize so the merged timeline starts at 0 even if a shifted replica
+  // event lands before the writer's first record.
+  double min_ts = 0.0;
+  bool any_event = false;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const TraceEvent& ev : inputs[k].events) {
+      const double ts = ev.ts_us + shift_us[k];
+      if (!any_event || ts < min_ts) min_ts = ts;
+      any_event = true;
+    }
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) shift_us[k] -= min_ts;
+
+  // Flow anchors: trace ids are unique per (request, peer), so each id pairs
+  // one source instant with one destination instant.
+  std::map<std::uint64_t, FlowAnchor> ships;
+  std::map<std::uint64_t, FlowAnchor> routes;
+  struct FlowEdge {
+    std::uint64_t id = 0;
+    FlowAnchor src;
+    FlowAnchor dst;
+  };
+  std::vector<FlowEdge> ship_apply;
+  std::vector<FlowEdge> route_serve;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const TraceEvent& ev : inputs[k].events) {
+      if (ev.trace_id == 0) continue;
+      const FlowAnchor anchor{k, ev.tid, ev.ts_us + shift_us[k]};
+      if (ev.name == "repl_ship") {
+        ships.emplace(ev.trace_id, anchor);
+      } else if (ev.name == "repl_route_read") {
+        routes.emplace(ev.trace_id, anchor);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const TraceEvent& ev : inputs[k].events) {
+      if (ev.trace_id == 0) continue;
+      const FlowAnchor anchor{k, ev.tid, ev.ts_us + shift_us[k]};
+      if (ev.name == "repl_apply") {
+        const auto it = ships.find(ev.trace_id);
+        if (it != ships.end()) {
+          ship_apply.push_back({ev.trace_id, it->second, anchor});
+        }
+      } else if (ev.name == "repl_serve_read") {
+        const auto it = routes.find(ev.trace_id);
+        if (it != routes.end()) {
+          route_serve.push_back({ev.trace_id, it->second, anchor});
+        }
+      }
+    }
+  }
+
+  MergeResult result;
+  std::string& out = result.json;
+  out += "{\n  \"traceEvents\": [\n";
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    appendf(out,
+            "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %zu, "
+            "\"args\": {\"name\": ",
+            k + 1);
+    append_json_string(out, names[k]);
+    out += "}},\n";
+    for (const auto& [tid, track] : inputs[k].tracks) {
+      appendf(out,
+              "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %zu, "
+              "\"tid\": %d, \"args\": {\"name\": ",
+              k + 1, tid);
+      append_json_string(out, track);
+      out += "}},\n";
+    }
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const TraceEvent& ev : inputs[k].events) {
+      out += "    {\"name\": ";
+      append_json_string(out, ev.name);
+      if (!ev.cat.empty()) {
+        out += ", \"cat\": ";
+        append_json_string(out, ev.cat);
+      }
+      appendf(out, ", \"ph\": \"%c\", \"pid\": %zu, \"tid\": %d", ev.ph,
+              k + 1, ev.tid);
+      appendf(out, ", \"ts\": %.3f", ev.ts_us + shift_us[k]);
+      if (ev.ph == 'X') appendf(out, ", \"dur\": %.3f", ev.dur_us);
+      if (ev.ph == 'i') out += ", \"s\": \"t\"";
+      if (!ev.flow_id.empty()) {
+        out += ", \"id\": ";
+        append_json_string(out, ev.flow_id);
+        if (ev.ph == 'f') out += ", \"bp\": \"e\"";
+      }
+      if (!ev.args.empty() || ev.trace_id != 0) {
+        out += ", \"args\": {";
+        bool first = true;
+        for (const auto& [key, value] : ev.args) {
+          if (!first) out += ", ";
+          first = false;
+          append_json_string(out, key);
+          out += ": ";
+          append_json_number(out, value);
+        }
+        if (ev.trace_id != 0) {
+          if (!first) out += ", ";
+          out += "\"trace\": ";
+          append_json_string(out, merged_hex_id(ev.trace_id));
+        }
+        out += '}';
+      }
+      out += "},\n";
+      ++result.events;
+    }
+  }
+  for (const FlowEdge& edge : ship_apply) {
+    append_flow_pair(out, "ship_apply", edge.id, edge.src, edge.dst);
+  }
+  for (const FlowEdge& edge : route_serve) {
+    append_flow_pair(out, "route_serve", edge.id, edge.src, edge.dst);
+  }
+  result.ship_apply_flows = ship_apply.size();
+  result.route_serve_flows = route_serve.size();
+  // Strip the trailing ",\n" so the array stays valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "  ],\n  \"otherData\": {\n";
+  std::uint64_t dropped = 0;
+  for (const ParsedTrace& in : inputs) dropped += in.dropped_records;
+  appendf(out, "    \"dropped_records\": %llu,\n",
+          static_cast<unsigned long long>(dropped));
+  out += "    \"dropped_by_track\": {";
+  bool first_drop = true;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const auto& [track, count] : inputs[k].dropped_by_track) {
+      if (!first_drop) out += ", ";
+      first_drop = false;
+      append_json_string(out, names[k] + "/" + track);
+      appendf(out, ": %llu", static_cast<unsigned long long>(count));
+    }
+  }
+  out += "},\n    \"processes\": [";
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    if (k != 0) out += ", ";
+    append_json_string(out, names[k]);
+  }
+  out += "]\n  }\n}\n";
+
+  // Fleet report: per-replica apply lag and routed-read fan-out.
+  std::string& report = result.report;
+  appendf(report, "Fleet merge: %zu processes, %zu events, %zu ship->apply "
+                  "flows, %zu route->serve flows\n",
+          inputs.size(), result.events, result.ship_apply_flows,
+          result.route_serve_flows);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    appendf(report, "  pid %zu = %s (%zu events, shift %+.1fus)\n", k + 1,
+            names[k].c_str(), inputs[k].events.size(),
+            shift_us[k] - shift_us[0]);
+  }
+  report += "Apply lag per replica (ship instant -> apply instant)\n";
+  std::map<std::size_t, std::vector<double>> lag_by_replica;
+  for (const FlowEdge& edge : ship_apply) {
+    lag_by_replica[edge.dst.input].push_back(edge.dst.ts_us - edge.src.ts_us);
+  }
+  if (lag_by_replica.empty()) {
+    report += "  (no matched ship->apply pairs)\n";
+  }
+  for (auto& [input, lags] : lag_by_replica) {
+    std::sort(lags.begin(), lags.end());
+    double sum = 0.0;
+    for (const double l : lags) sum += l;
+    appendf(report,
+            "  %-12s ships=%zu min=%.1fus mean=%.1fus max=%.1fus\n",
+            names[input].c_str(), lags.size(), lags.front(),
+            sum / static_cast<double>(lags.size()), lags.back());
+  }
+  report += "Routed-read fan-out\n";
+  std::map<std::size_t, std::uint64_t> serves_by_replica;
+  for (const FlowEdge& edge : route_serve) ++serves_by_replica[edge.dst.input];
+  std::uint64_t routed = 0;
+  std::uint64_t served_total = 0;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (const TraceEvent& ev : inputs[k].events) {
+      if (ev.name == "repl_route_read") ++routed;
+      if (ev.name == "repl_serve_read") ++served_total;
+    }
+  }
+  appendf(report, "  routed=%llu served=%llu matched_flows=%zu\n",
+          static_cast<unsigned long long>(routed),
+          static_cast<unsigned long long>(served_total), route_serve.size());
+  for (const auto& [input, count] : serves_by_replica) {
+    appendf(report, "  %-12s served=%llu\n", names[input].c_str(),
+            static_cast<unsigned long long>(count));
+  }
+  return result;
 }
 
 }  // namespace pbdd::obs

@@ -4,6 +4,14 @@
 // (Figs. 16/17), GC phase shares (Figs. 18/19), steal-latency histograms,
 // and load-imbalance summaries. Shared by tools/pbdd_trace and the obs test
 // suite, so the exporter and the parser are validated against each other.
+//
+// The same module also implements the fleet-side half of distributed
+// tracing: merge_traces() stitches per-process exports (writer + replicas)
+// into one Perfetto timeline — clock-aligned via the replication handshake
+// offsets (wall-clock anchors as a fallback), pids reassigned per process,
+// flow events synthesized between ship→apply and route→serve pairs that
+// share a trace id — plus a cross-process report (per-replica apply lag,
+// routed-read fan-out).
 #pragma once
 
 #include <cstdint>
@@ -23,19 +31,33 @@ struct TraceEvent {
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  std::uint64_t trace_id = 0;  ///< decoded from the "trace" hex arg (0=none)
+  std::string flow_id;         ///< flow events only (ph s/t/f): the "id"
   std::map<std::string, double> args;
 };
 
 struct ParsedTrace {
   std::vector<TraceEvent> events;        ///< metadata events excluded
   std::map<int, std::string> tracks;     ///< tid -> thread_name metadata
+  std::map<int, std::string> processes;  ///< pid -> process_name metadata
   std::uint64_t dropped_records = 0;     ///< from otherData, when present
+  /// Per-track drop attribution from otherData ("worker 0" -> count).
+  std::map<std::string, std::uint64_t> dropped_by_track;
+  /// Clock anchors from otherData (0 when absent): the tracer's absolute
+  /// steady-clock origin, plus a steady/wall pair sampled at export time.
+  std::uint64_t clock_steady_epoch_ns = 0;
+  std::uint64_t clock_export_steady_ns = 0;
+  std::uint64_t clock_export_wall_us = 0;
+  /// Peer steady-clock offsets (peer_ns - local_ns) from the replication
+  /// handshake, keyed by the peer's process name.
+  std::map<std::string, std::int64_t> clock_offsets;
 };
 
 /// Parse + schema-validate a Chrome trace JSON document. Requires a
 /// top-level object with a "traceEvents" array whose entries carry string
-/// "name"/"ph", numeric "ts", and numeric "pid"/"tid" ("X" events must also
-/// carry "dur"). Throws std::runtime_error with a position-annotated message
+/// "name"/"ph" and numeric "pid" ("X" events must also carry "dur", flow
+/// events ph s/t/f must carry an "id", non-metadata events numeric
+/// "ts"/"tid"). Throws std::runtime_error with a position-annotated message
 /// on malformed JSON or schema violations.
 [[nodiscard]] ParsedTrace parse_chrome_trace(const std::string& json_text);
 
@@ -61,5 +83,24 @@ struct PhaseBreakdown {
 [[nodiscard]] std::string imbalance_report(const ParsedTrace& trace);
 [[nodiscard]] std::string gc_report(const ParsedTrace& trace);
 [[nodiscard]] std::string summary_report(const ParsedTrace& trace);
+
+// ---------------------------------------------------------------------------
+// Fleet merge (pbdd_trace --merge)
+// ---------------------------------------------------------------------------
+
+struct MergeResult {
+  std::string json;  ///< merged Chrome trace (passes parse_chrome_trace)
+  std::size_t events = 0;            ///< non-flow events merged
+  std::size_t ship_apply_flows = 0;  ///< matched repl_ship -> repl_apply
+  std::size_t route_serve_flows = 0; ///< matched route_read -> serve_read
+  std::string report;                ///< fleet report (apply lag, fan-out)
+};
+
+/// Merge per-process trace documents into one timeline. texts[0] is the
+/// reference process (the writer/loadgen); every other input is shifted
+/// onto its clock using the reference's handshake clock_offsets when its
+/// process name has one, else the wall-clock anchor pair. Throws on parse
+/// or schema errors in any input.
+[[nodiscard]] MergeResult merge_traces(const std::vector<std::string>& texts);
 
 }  // namespace pbdd::obs

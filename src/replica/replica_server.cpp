@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_points.hpp"
 #include "replica/delta.hpp"
 #include "snapshot/snapshot.hpp"
@@ -122,6 +123,7 @@ void ReplicaServer::serve(net::Socket& sock) {
   std::unique_ptr<Assembler> assembler;
   std::string ship_error;
   std::uint64_t ship_epoch = 0;
+  std::uint64_t ship_trace_id = 0;  ///< flow id from ShipBegin
 
   for (;;) {
     std::optional<net::Frame> f = net::recv_frame(sock, opts_.max_payload);
@@ -136,6 +138,9 @@ void ReplicaServer::serve(net::Socket& sock) {
           ack.num_vars = num_vars_;
           ack.crc_row = crc_row_;
         }
+        // Identity + clock sample for the writer's offset handshake.
+        ack.process_name = obs::Tracer::instance().process_name();
+        ack.t_steady_ns = obs::Tracer::steady_now_ns();
         net::send_frame(sock, kHelloAck, encode(ack));
         break;
       }
@@ -144,6 +149,7 @@ void ReplicaServer::serve(net::Socket& sock) {
         c_bytes_received_.fetch_add(f->payload.size(),
                                     std::memory_order_relaxed);
         ship_epoch = begin.epoch;
+        ship_trace_id = begin.trace_id;
         ship_error.clear();
         assembler.reset();
         try {
@@ -195,8 +201,13 @@ void ReplicaServer::serve(net::Socket& sock) {
               crc_row_ = row;
             }
             c_ships_applied_.fetch_add(1, std::memory_order_relaxed);
-            PBDD_TRACE_INSTANT(kReplApply, rr.stats.nodes,
-                               assembler->levels_received());
+            {
+              // Carry the writer's flow id so the merged timeline connects
+              // this apply to its originating ship.
+              const obs::TraceIdScope flow(ship_trace_id);
+              PBDD_TRACE_INSTANT(kReplApply, rr.stats.nodes,
+                                 assembler->levels_received());
+            }
             ShipAck ack;
             ack.epoch = ship_epoch;
             ack.nodes = rr.stats.nodes;
@@ -218,11 +229,15 @@ void ReplicaServer::serve(net::Socket& sock) {
       }
       case kReadReq: {
         const ReadReq req = decode_read_req(f->payload);
+        const obs::TraceIdScope flow(req.trace_id);
         const ReadResp resp = handle_read(req);
         c_reads_served_.fetch_add(1, std::memory_order_relaxed);
         if (resp.status != ReadStatus::kOk) {
           c_read_errors_.fetch_add(1, std::memory_order_relaxed);
         }
+        PBDD_TRACE_INSTANT(kReplServeRead,
+                           static_cast<std::uint64_t>(req.op),
+                           static_cast<std::uint32_t>(resp.status));
         net::send_frame(sock, kReadResp, encode(resp));
         break;
       }
@@ -231,6 +246,7 @@ void ReplicaServer::serve(net::Socket& sock) {
         Pong pong;
         pong.nonce = ping.nonce;
         pong.epoch = applied_epoch();
+        pong.t_steady_ns = obs::Tracer::steady_now_ns();
         net::send_frame(sock, kPong, encode(pong));
         break;
       }

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "obs/trace_points.hpp"
 #include "util/hash.hpp"
 
@@ -77,6 +78,14 @@ ReadResp SessionRouter::read_endpoint(Endpoint& ep, const ReadReq& req) {
 
 ReadResp SessionRouter::read(std::uint64_t key, const ReadReq& req) {
   c_reads_.fetch_add(1, std::memory_order_relaxed);
+  // Trace context: reuse the caller's id when it stamped one, else inherit
+  // the thread's, else mint — so every routed read carries a flow id the
+  // serving replica echoes into its own trace.
+  ReadReq routed = req;
+  if (routed.trace_id == 0) {
+    routed.trace_id = obs::Tracer::thread_trace_id();
+    if (routed.trace_id == 0) routed.trace_id = obs::Tracer::mint_trace_id();
+  }
   const std::size_t idx = endpoint_of(key);
   if (idx != SIZE_MAX) {
     Endpoint& ep = *endpoints_[idx];
@@ -89,8 +98,13 @@ ReadResp SessionRouter::read(std::uint64_t key, const ReadReq& req) {
           kRetryEvery - 1;
     }
     if (attempt) {
+      {
+        const obs::TraceIdScope flow(routed.trace_id);
+        PBDD_TRACE_INSTANT(kReplRouteRead,
+                           static_cast<std::uint64_t>(routed.op), idx);
+      }
       try {
-        ReadResp resp = read_endpoint(ep, req);
+        ReadResp resp = read_endpoint(ep, routed);
         ep.down.store(false, std::memory_order_relaxed);
         if (resp.status == ReadStatus::kNotReady) {
           // Replica is alive but has no applied epoch; answer locally so
@@ -111,7 +125,7 @@ ReadResp SessionRouter::read(std::uint64_t key, const ReadReq& req) {
     }
   }
   c_failovers_.fetch_add(1, std::memory_order_relaxed);
-  return local_(req);
+  return local_(routed);
 }
 
 SessionRouter::Counters SessionRouter::counters() const {

@@ -73,8 +73,10 @@ std::vector<std::uint32_t> get_u32s(ByteReader& rd) {
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Hello& m) {
-  ByteWriter wr(4);
+  ByteWriter wr(14 + m.process_name.size());
   wr.u32(m.version);
+  put_string(wr, m.process_name);
+  wr.u64(m.t_steady_ns);
   return wr.data();
 }
 
@@ -82,16 +84,20 @@ Hello decode_hello(const std::vector<std::uint8_t>& p) {
   ByteReader rd = reader(p);
   Hello m;
   m.version = rd.u32();
+  m.process_name = get_string(rd);
+  m.t_steady_ns = rd.u64();
   done(rd, "Hello");
   return m;
 }
 
 std::vector<std::uint8_t> encode(const HelloAck& m) {
-  ByteWriter wr(20 + m.crc_row.size() * 4);
+  ByteWriter wr(30 + m.crc_row.size() * 4 + m.process_name.size());
   wr.u32(m.version);
   wr.u64(m.applied_epoch);
   wr.u32(m.num_vars);
   put_u32s(wr, m.crc_row);
+  put_string(wr, m.process_name);
+  wr.u64(m.t_steady_ns);
   return wr.data();
 }
 
@@ -102,6 +108,8 @@ HelloAck decode_hello_ack(const std::vector<std::uint8_t>& p) {
   m.applied_epoch = rd.u64();
   m.num_vars = rd.u32();
   m.crc_row = get_u32s(rd);
+  m.process_name = get_string(rd);
+  m.t_steady_ns = rd.u64();
   done(rd, "HelloAck");
   return m;
 }
@@ -114,6 +122,7 @@ std::vector<std::uint8_t> encode(const ShipBegin& m) {
   put_blob(wr, m.meta);
   put_blob(wr, m.roots);
   put_u32s(wr, m.dirty);
+  wr.u64(m.trace_id);
   return wr.data();
 }
 
@@ -128,6 +137,7 @@ ShipBegin decode_ship_begin(const std::vector<std::uint8_t>& p) {
   m.meta = get_blob(rd);
   m.roots = get_blob(rd);
   m.dirty = get_u32s(rd);
+  m.trace_id = rd.u64();
   done(rd, "ShipBegin");
   return m;
 }
@@ -212,6 +222,7 @@ std::vector<std::uint8_t> encode(const ReadReq& m) {
       acc = 0;
     }
   }
+  wr.u64(m.trace_id);
   return wr.data();
 }
 
@@ -233,6 +244,7 @@ ReadReq decode_read_req(const std::vector<std::uint8_t>& p) {
     if (i % 8 == 0) acc = get_u8(rd);
     m.assignment[i] = (acc >> (i % 8)) & 1u;
   }
+  m.trace_id = rd.u64();
   done(rd, "ReadReq");
   return m;
 }
@@ -268,8 +280,9 @@ ReadResp decode_read_resp(const std::vector<std::uint8_t>& p) {
 }
 
 std::vector<std::uint8_t> encode(const Ping& m) {
-  ByteWriter wr(8);
+  ByteWriter wr(16);
   wr.u64(m.nonce);
+  wr.u64(m.t_send_ns);
   return wr.data();
 }
 
@@ -277,14 +290,16 @@ Ping decode_ping(const std::vector<std::uint8_t>& p) {
   ByteReader rd = reader(p);
   Ping m;
   m.nonce = rd.u64();
+  m.t_send_ns = rd.u64();
   done(rd, "Ping");
   return m;
 }
 
 std::vector<std::uint8_t> encode(const Pong& m) {
-  ByteWriter wr(16);
+  ByteWriter wr(24);
   wr.u64(m.nonce);
   wr.u64(m.epoch);
+  wr.u64(m.t_steady_ns);
   return wr.data();
 }
 
@@ -293,6 +308,7 @@ Pong decode_pong(const std::vector<std::uint8_t>& p) {
   Pong m;
   m.nonce = rd.u64();
   m.epoch = rd.u64();
+  m.t_steady_ns = rd.u64();
   done(rd, "Pong");
   return m;
 }

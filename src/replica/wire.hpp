@@ -25,7 +25,10 @@
 
 namespace pbdd::repl {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 added distributed-tracing context: trace ids on ShipBegin/ReadReq,
+/// process names + steady-clock samples on Hello/HelloAck/Ping/Pong (the
+/// clock-offset handshake in docs/OBSERVABILITY.md).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum MsgType : std::uint16_t {
   kHello = 1,
@@ -54,6 +57,8 @@ enum class ReadStatus : std::uint8_t {
 
 struct Hello {
   std::uint32_t version = kProtocolVersion;
+  std::string process_name;      ///< writer's trace-export identity
+  std::uint64_t t_steady_ns = 0; ///< writer steady clock at send (handshake)
 };
 
 /// Replica's acked state: the writer computes deltas against crc_row. An
@@ -63,6 +68,8 @@ struct HelloAck {
   std::uint64_t applied_epoch = 0;
   std::uint32_t num_vars = 0;
   std::vector<std::uint32_t> crc_row;  ///< per-level section CRCs
+  std::string process_name;      ///< replica's trace-export identity
+  std::uint64_t t_steady_ns = 0; ///< replica steady clock at reply
 };
 
 /// Opens one epoch ship. `meta` is the new snapshot's header + level
@@ -76,6 +83,7 @@ struct ShipBegin {
   std::vector<std::uint8_t> meta;
   std::vector<std::uint8_t> roots;
   std::vector<std::uint32_t> dirty;  ///< vars shipped (all vars in full mode)
+  std::uint64_t trace_id = 0;  ///< flow id stamped on the replica's apply
 };
 
 struct ShipLevel {
@@ -106,6 +114,7 @@ struct ReadReq {
   ReadOp op = ReadOp::kEval;
   std::string root;                   ///< root-table name, e.g. "s3/r0"
   std::vector<bool> assignment;       ///< eval only
+  std::uint64_t trace_id = 0;  ///< flow id stamped on the replica's serve
 };
 
 struct ReadResp {
@@ -119,11 +128,13 @@ struct ReadResp {
 
 struct Ping {
   std::uint64_t nonce = 0;
+  std::uint64_t t_send_ns = 0;  ///< sender steady clock (offset refresh)
 };
 
 struct Pong {
   std::uint64_t nonce = 0;
   std::uint64_t epoch = 0;  ///< replica's applied epoch (staleness probe)
+  std::uint64_t t_steady_ns = 0;  ///< replica steady clock at pong
 };
 
 // ---- Codecs -----------------------------------------------------------------

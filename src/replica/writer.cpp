@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_points.hpp"
 #include "replica/delta.hpp"
 
@@ -72,9 +73,14 @@ bool ReplicationWriter::connect_peer(Peer& peer) {
     peer.sock = net::connect_to(host, port);
     peer.sock.set_nodelay();
     peer.sock.set_recv_timeout(opts_.io_timeout);
-    net::send_frame(peer.sock, kHello, encode(Hello{}));
+    Hello hello;
+    hello.process_name = obs::Tracer::instance().process_name();
+    const std::uint64_t t_send = obs::Tracer::steady_now_ns();
+    hello.t_steady_ns = t_send;
+    net::send_frame(peer.sock, kHello, encode(hello));
     std::optional<net::Frame> f = net::recv_frame(peer.sock,
                                                   opts_.max_payload);
+    const std::uint64_t t_recv = obs::Tracer::steady_now_ns();
     if (!f || f->type != kHelloAck) {
       throw std::runtime_error("repl: handshake failed");
     }
@@ -85,6 +91,15 @@ bool ReplicationWriter::connect_peer(Peer& peer) {
     peer.acked_epoch = ack.applied_epoch;
     peer.acked_num_vars = ack.num_vars;
     peer.acked_crc_row = ack.crc_row;
+    peer.process_name = ack.process_name;
+    if (!ack.process_name.empty() && ack.t_steady_ns != 0) {
+      // NTP-style midpoint estimate: the replica sampled its clock between
+      // our send and receive, so its offset is its sample minus our middle.
+      obs::Tracer::instance().set_clock_offset(
+          ack.process_name,
+          static_cast<std::int64_t>(ack.t_steady_ns) -
+              static_cast<std::int64_t>(t_send / 2 + t_recv / 2));
+    }
     peer.up = true;
     c_reconnects_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -109,7 +124,7 @@ std::optional<std::string> ReplicationWriter::ship_attempt(
     const std::vector<std::uint8_t>& meta,
     const std::vector<std::uint8_t>& roots,
     const std::vector<std::uint32_t>& dirty, ShipMode mode,
-    std::uint64_t epoch, ReplicaShip& out) {
+    std::uint64_t epoch, std::uint64_t trace_id, ReplicaShip& out) {
   ShipBegin begin;
   begin.epoch = epoch;
   begin.mode = mode;
@@ -117,6 +132,7 @@ std::optional<std::string> ReplicationWriter::ship_attempt(
   begin.meta = meta;
   begin.roots = roots;
   begin.dirty = dirty;
+  begin.trace_id = trace_id;
   {
     const std::vector<std::uint8_t> p = encode(begin);
     net::send_frame(peer.sock, kShipBegin, p);
@@ -182,10 +198,17 @@ ShipReport ReplicationWriter::ship_file(const std::string& path) {
   ShipReport report;
   report.epoch = ++epoch_;
   report.file_bytes = dir.info.file_bytes;
+  // Trace context: inherit the requesting thread's id (the service save
+  // that produced this snapshot), else mint one per ship. Each peer gets a
+  // derived flow id so its apply pairs with exactly one ship record.
+  std::uint64_t base_id = obs::Tracer::thread_trace_id();
+  if (base_id == 0) base_id = obs::Tracer::active_trace_id();
+  if (base_id == 0) base_id = obs::Tracer::mint_trace_id();
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     Peer& peer = peers_[i];
     ReplicaShip ship;
     ship.endpoint = peer.endpoint;
+    const std::uint64_t wire_id = obs::Tracer::mix_trace_id(base_id, i + 1);
     c_ships_total_.fetch_add(1, std::memory_order_relaxed);
     if (!peer.up && !connect_peer(peer)) {
       ship.error = "replica down";
@@ -198,15 +221,16 @@ ShipReport ReplicationWriter::ship_file(const std::string& path) {
     const ShipMode mode = plan ? ShipMode::kDelta : ShipMode::kFull;
     const std::vector<std::uint32_t>& dirty = plan ? *plan : all_levels;
     try {
-      std::optional<std::string> nak = ship_attempt(
-          peer, fd.fd, dir, meta, roots, dirty, mode, report.epoch, ship);
+      std::optional<std::string> nak =
+          ship_attempt(peer, fd.fd, dir, meta, roots, dirty, mode,
+                       report.epoch, wire_id, ship);
       if (nak && mode == ShipMode::kDelta) {
         // Divergence: the replica's applied file does not match its acked
         // row. One full resend re-bases it.
         c_naks_.fetch_add(1, std::memory_order_relaxed);
         ship.retried_full = true;
         nak = ship_attempt(peer, fd.fd, dir, meta, roots, all_levels,
-                           ShipMode::kFull, report.epoch, ship);
+                           ShipMode::kFull, report.epoch, wire_id, ship);
       }
       if (nak) {
         c_naks_.fetch_add(1, std::memory_order_relaxed);
@@ -224,6 +248,7 @@ ShipReport ReplicationWriter::ship_file(const std::string& path) {
                                                       : c_full_ships_)
           .fetch_add(1, std::memory_order_relaxed);
       c_bytes_sent_.fetch_add(ship.bytes_sent, std::memory_order_relaxed);
+      const obs::TraceIdScope flow(wire_id);
       PBDD_TRACE_INSTANT(kReplShip, ship.bytes_sent, i);
     } else {
       c_ship_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -247,14 +272,25 @@ std::vector<std::optional<std::uint64_t>> ReplicationWriter::heartbeat() {
     try {
       Ping ping;
       ping.nonce = nonce;
+      const std::uint64_t t_send = obs::Tracer::steady_now_ns();
+      ping.t_send_ns = t_send;
       net::send_frame(peer.sock, kPing, encode(ping));
       std::optional<net::Frame> f = net::recv_frame(peer.sock,
                                                     opts_.max_payload);
+      const std::uint64_t t_recv = obs::Tracer::steady_now_ns();
       if (!f || f->type != kPong) {
         throw std::runtime_error("repl: bad pong");
       }
       const Pong pong = decode_pong(f->payload);
       if (pong.nonce != nonce) throw std::runtime_error("repl: pong nonce");
+      if (!peer.process_name.empty() && pong.t_steady_ns != 0) {
+        // Every heartbeat refreshes the offset estimate; the latest one
+        // wins, which also tracks slow clock drift over long runs.
+        obs::Tracer::instance().set_clock_offset(
+            peer.process_name,
+            static_cast<std::int64_t>(pong.t_steady_ns) -
+                static_cast<std::int64_t>(t_send / 2 + t_recv / 2));
+      }
       epochs.push_back(pong.epoch);
     } catch (const std::exception&) {
       peer.sock.close();

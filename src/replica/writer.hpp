@@ -114,18 +114,23 @@ class ReplicationWriter {
     std::uint64_t acked_epoch = 0;
     std::uint32_t acked_num_vars = 0;
     std::vector<std::uint32_t> acked_crc_row;
+    std::string process_name;  ///< replica's trace identity (HelloAck)
   };
 
-  /// Dial + handshake one peer (mutex held). Returns success.
+  /// Dial + handshake one peer (mutex held). Returns success. The
+  /// Hello/HelloAck exchange doubles as the clock-offset handshake: the
+  /// replica's steady-clock sample, centered between our send/receive
+  /// times, is pushed into the Tracer's clock-offset table.
   bool connect_peer(Peer& peer);
   /// One ship attempt in `mode`; throws on transport error, returns the
-  /// Nak reason on rejection, nullopt on Ack (mutex held).
+  /// Nak reason on rejection, nullopt on Ack (mutex held). `trace_id` is
+  /// the flow id stamped on ShipBegin (and on our own ship record).
   std::optional<std::string> ship_attempt(
       Peer& peer, int fd, const snapshot::LevelDirectory& dir,
       const std::vector<std::uint8_t>& meta,
       const std::vector<std::uint8_t>& roots,
       const std::vector<std::uint32_t>& dirty, ShipMode mode,
-      std::uint64_t epoch, ReplicaShip& out);
+      std::uint64_t epoch, std::uint64_t trace_id, ReplicaShip& out);
 
   const WriterOptions opts_;
 

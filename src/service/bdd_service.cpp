@@ -9,6 +9,7 @@
 #include "core/stats_metrics.hpp"
 #include "fault/report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "obs/trace_points.hpp"
 #include "ooc/demand.hpp"
 #include "ooc/level_pager.hpp"
@@ -211,6 +212,9 @@ std::future<RequestResult> BddService::submit(SessionId session,
 std::future<RequestResult> BddService::enqueue(Request req,
                                                const SubmitOptions& options,
                                                std::future<RequestResult> fut) {
+  // Every admitted request gets a trace id here — the single funnel all
+  // submission paths (batch, snapshot, fault campaign) share.
+  req.trace_id = obs::Tracer::mint_trace_id();
   const auto fail = [&](RequestStatus status, std::string error,
                         std::chrono::milliseconds retry = {}) {
     RequestResult r;
@@ -477,7 +481,31 @@ void BddService::dispatcher_loop() {
   }
 }
 
+namespace {
+
+/// Binds a request's trace id for the duration of its execution: the
+/// dispatcher thread gets it thread-locally, and the process-wide active id
+/// lets engine worker threads (which the dispatcher fans out to) inherit it.
+/// Requests execute one at a time, so the active id never races another
+/// request.
+class RequestTraceScope {
+ public:
+  explicit RequestTraceScope(std::uint64_t id) noexcept {
+    obs::Tracer::set_thread_trace_id(id);
+    obs::Tracer::set_active_trace_id(id);
+  }
+  ~RequestTraceScope() {
+    obs::Tracer::set_thread_trace_id(0);
+    obs::Tracer::set_active_trace_id(0);
+  }
+  RequestTraceScope(const RequestTraceScope&) = delete;
+  RequestTraceScope& operator=(const RequestTraceScope&) = delete;
+};
+
+}  // namespace
+
 void BddService::process_request(Request req) {
+  const RequestTraceScope trace_scope(req.trace_id);
   const std::chrono::nanoseconds queue_ns = since(req.enqueued);
 
   // The session may have been closed or cancelled while this sat queued.

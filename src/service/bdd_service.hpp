@@ -356,6 +356,10 @@ class BddService {
     std::vector<core::BatchOp> ops;  // handles keep operand roots alive
     std::promise<RequestResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Trace context: minted at admission (enqueue); the dispatcher binds it
+    /// while executing so every record the request produces — admit, GC
+    /// attribution, checkpoint spans, downstream ships — carries the id.
+    std::uint64_t trace_id = 0;
   };
 
   struct SessionState {

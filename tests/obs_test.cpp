@@ -22,6 +22,7 @@
 #include "circuit/ordering.hpp"
 #include "core/bdd_manager.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom_parse.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "runtime/torture.hpp"
@@ -315,6 +316,220 @@ TEST(ObsService, MetricsTextCoversServiceAndEngineFamilies) {
   EXPECT_EQ(text.find("pbdd_service_requests_total{event=\"admitted\"} 0\n"),
             std::string::npos);
   EXPECT_EQ(text.find("pbdd_engine_ops_total 0\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition ↔ Prometheus parser round trip
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, ExpositionParserRoundTripOnHistograms) {
+  obs::Registry reg;
+  // Label values and help strings exercising every escape the exposition
+  // format defines: backslash and newline in HELP; backslash, quote, and
+  // newline in label values.
+  reg.counter("pbdd_widgets_total", "Made \\ sold\nacross lines",
+              {{"kind", "ro\"und\\slash\nnl"}})
+      .add(5);
+  reg.gauge("pbdd_depth", "Queue depth").set(7.5);
+  obs::Histogram& h =
+      reg.histogram("pbdd_wait_ns", "Wait time", {100, 1000});
+  h.observe(50);
+  h.observe(150);
+  h.observe(5000);
+  const std::string text = reg.prometheus_text();
+
+  obs::PromDocument doc;
+  ASSERT_NO_THROW(doc = obs::parse_prometheus_text(text)) << text;
+
+  ASSERT_TRUE(doc.has_family("pbdd_widgets_total"));
+  const obs::PromFamily& ctr = doc.families.at("pbdd_widgets_total");
+  EXPECT_EQ(ctr.type, "counter");
+  EXPECT_EQ(ctr.help, "Made \\ sold\nacross lines");
+  ASSERT_EQ(ctr.samples.size(), 1u);
+  EXPECT_EQ(ctr.samples[0].label("kind"), "ro\"und\\slash\nnl");
+  EXPECT_EQ(ctr.samples[0].value, 5.0);
+
+  // Histogram series fold back into one typed family: 3 buckets (two
+  // finite + +Inf), sum, count.
+  ASSERT_TRUE(doc.has_family("pbdd_wait_ns"));
+  const obs::PromFamily& hist = doc.families.at("pbdd_wait_ns");
+  EXPECT_EQ(hist.type, "histogram");
+  double le100 = -1, le1000 = -1, leinf = -1, sum = -1, count = -1;
+  for (const obs::PromSample& s : hist.samples) {
+    if (s.name == "pbdd_wait_ns_bucket") {
+      if (s.label("le") == "100") le100 = s.value;
+      if (s.label("le") == "1000") le1000 = s.value;
+      if (s.label("le") == "+Inf") leinf = s.value;
+    }
+    if (s.name == "pbdd_wait_ns_sum") sum = s.value;
+    if (s.name == "pbdd_wait_ns_count") count = s.value;
+  }
+  EXPECT_EQ(le100, 1.0);
+  EXPECT_EQ(le1000, 2.0);
+  EXPECT_EQ(leinf, 3.0);
+  EXPECT_EQ(sum, 5200.0);
+  EXPECT_EQ(count, 3.0);
+
+  EXPECT_EQ(doc.value("pbdd_depth"), 7.5);
+}
+
+TEST(ObsMetrics, ParserRejectsMalformedExposition) {
+  EXPECT_THROW((void)obs::parse_prometheus_text("pbdd_x{le=\"1\" 3\n"),
+               std::runtime_error);  // unterminated label block
+  EXPECT_THROW((void)obs::parse_prometheus_text("pbdd_x not_a_number\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)obs::parse_prometheus_text(
+                   "# TYPE pbdd_x counter\n# TYPE pbdd_x gauge\n"),
+               std::runtime_error);  // re-typed family
+}
+
+TEST(ObsMetrics, JsonEscapesControlCharacters) {
+  obs::Registry reg;
+  reg.counter("pbdd_odd_total", "h", {{"k", "a\"b\\c\nd\te"}}).add(1);
+  const std::string js = reg.json();
+  EXPECT_NE(js.find("a\\\"b\\\\c\\nd\\te"), std::string::npos) << js;
+}
+
+// ---------------------------------------------------------------------------
+// Per-track drop attribution
+// ---------------------------------------------------------------------------
+
+TEST(ObsTracerRing, DropsAreAttributedPerTrack) {
+  Tracer& tracer = Tracer::instance();
+  obs::TraceConfig config;
+  config.buffer_capacity = 16;
+  tracer.start(config);
+  // Fill the buffer on the service track, then overflow from two tracks:
+  // the attribution must split by the track bound at drop time.
+  Tracer::set_thread_track(obs::kTrackService);
+  for (std::uint64_t i = 0; i < 26; ++i) {
+    tracer.emit(EventKind::kGroupTake, tracer.now_ns(), 0, i, 0);
+  }
+  Tracer::set_thread_track(obs::kTrackExternal);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    tracer.emit(EventKind::kGroupTake, tracer.now_ns(), 0, i, 0);
+  }
+  tracer.stop();
+  const Tracer::Snapshot snap = tracer.collect();
+  EXPECT_EQ(snap.dropped, 14u);
+  ASSERT_TRUE(snap.dropped_by_track.count(obs::kTrackService));
+  ASSERT_TRUE(snap.dropped_by_track.count(obs::kTrackExternal));
+  EXPECT_EQ(snap.dropped_by_track.at(obs::kTrackService), 10u);
+  EXPECT_EQ(snap.dropped_by_track.at(obs::kTrackExternal), 4u);
+
+  // The export carries the split in otherData, keyed by track name, and the
+  // schema parser reads it back.
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const obs::ParsedTrace parsed = obs::parse_chrome_trace(os.str());
+  EXPECT_EQ(parsed.dropped_records, 14u);
+  ASSERT_TRUE(parsed.dropped_by_track.count("service"));
+  ASSERT_TRUE(parsed.dropped_by_track.count("driver"));
+  EXPECT_EQ(parsed.dropped_by_track.at("service"), 10u);
+  EXPECT_EQ(parsed.dropped_by_track.at("driver"), 4u);
+  Tracer::set_thread_track(0);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet merge: clock alignment, flow synthesis, schema validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hand-built per-process export in the exact shape write_chrome_trace
+/// emits; epoch/offset/wall values pick a deterministic clock geometry.
+std::string fleet_input(const std::string& proc, std::uint64_t epoch_ns,
+                        const std::string& offsets,
+                        const std::string& events) {
+  std::string s = "{\n\"traceEvents\": [\n";
+  s += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+       "\"args\": {\"name\": \"" + proc + "\"}},\n";
+  s += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+       "\"args\": {\"name\": \"worker 0\"}},\n";
+  s += events;
+  s += "\n],\n\"otherData\": {\"dropped_records\": 0, ";
+  s += "\"process\": {\"name\": \"" + proc + "\", \"pid\": 1}, ";
+  s += "\"clock\": {\"steady_epoch_ns\": " + std::to_string(epoch_ns) +
+       ", \"export_steady_ns\": 99000000, \"export_wall_us\": 500000}";
+  if (!offsets.empty()) s += ", \"clock_offsets\": {" + offsets + "}";
+  s += "}\n}\n";
+  return s;
+}
+
+}  // namespace
+
+TEST(ObsTraceMerge, StitchesFleetWithFlowsAndPassesSchema) {
+  // Writer at steady epoch 1ms holding handshake offsets for both replicas;
+  // replica clocks are ahead by exactly their offset, so the merged shift
+  // realigns their events onto the writer's axis.
+  const std::string writer = fleet_input(
+      "writer", 1000000, "\"r0\": 5000000, \"r1\": -2000000",
+      "{\"name\": \"repl_ship\", \"ph\": \"i\", \"pid\": 1, \"tid\": 1, "
+      "\"ts\": 100.0, \"s\": \"t\", \"args\": {\"trace\": \"0xa1\"}},\n"
+      "{\"name\": \"repl_ship\", \"ph\": \"i\", \"pid\": 1, \"tid\": 1, "
+      "\"ts\": 110.0, \"s\": \"t\", \"args\": {\"trace\": \"0xa2\"}},\n"
+      "{\"name\": \"repl_route_read\", \"ph\": \"i\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 200.0, \"s\": \"t\", "
+      "\"args\": {\"trace\": \"0xb1\"}}");
+  const std::string r0 = fleet_input(
+      "r0", 6000000, "",
+      "{\"name\": \"repl_apply\", \"ph\": \"i\", \"pid\": 1, \"tid\": 1, "
+      "\"ts\": 400.0, \"s\": \"t\", \"args\": {\"trace\": \"0xa1\"}},\n"
+      "{\"name\": \"repl_serve_read\", \"ph\": \"i\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 450.0, \"s\": \"t\", "
+      "\"args\": {\"trace\": \"0xb1\"}}");
+  // r1 exports no steady epoch, forcing the wall-anchor fallback path.
+  const std::string r1 = fleet_input(
+      "r1", 0, "",
+      "{\"name\": \"repl_apply\", \"ph\": \"i\", \"pid\": 1, \"tid\": 1, "
+      "\"ts\": 500.0, \"s\": \"t\", \"args\": {\"trace\": \"0xa2\"}}");
+
+  obs::MergeResult merged;
+  ASSERT_NO_THROW(merged = obs::merge_traces({writer, r0, r1}));
+
+  // Every ship found its apply and the routed read its serve.
+  EXPECT_EQ(merged.ship_apply_flows, 2u);
+  EXPECT_EQ(merged.route_serve_flows, 1u);
+
+  // The merged document passes the schema-validating parser: three
+  // processes, flow-event pairs present, ids preserved.
+  obs::ParsedTrace reparsed;
+  ASSERT_NO_THROW(reparsed = obs::parse_chrome_trace(merged.json))
+      << merged.json;
+  EXPECT_EQ(reparsed.processes.size(), 3u);
+  std::size_t flow_starts = 0, flow_ends = 0;
+  for (const obs::TraceEvent& ev : reparsed.events) {
+    if (ev.ph == 's') ++flow_starts;
+    if (ev.ph == 'f') ++flow_ends;
+    if (ev.ph == 's' || ev.ph == 'f') EXPECT_FALSE(ev.flow_id.empty());
+  }
+  EXPECT_EQ(flow_starts, 3u);
+  EXPECT_EQ(flow_ends, 3u);
+
+  // Handshake alignment: r0's epoch (6ms) minus its offset (5ms) lands 0ms
+  // from the writer's epoch (1ms), so its apply keeps its relative distance
+  // on the writer's axis rather than its raw ts.
+  EXPECT_NE(merged.report.find("Apply lag per replica"), std::string::npos);
+  EXPECT_NE(merged.report.find("r0"), std::string::npos);
+
+  // The cross-process report counts routed vs served reads.
+  EXPECT_NE(merged.report.find("Routed-read fan-out"), std::string::npos);
+  EXPECT_NE(merged.report.find("routed=1 served=1 matched_flows=1"),
+            std::string::npos)
+      << merged.report;
+}
+
+TEST(ObsTraceMerge, RejectsUnparsableInput) {
+  EXPECT_THROW((void)obs::merge_traces({"{not json"}), std::runtime_error);
+}
+
+TEST(ObsTraceStatus, StatusJsonIsSelfConsistent) {
+  Tracer& tracer = Tracer::instance();
+  tracer.stop();
+  const std::string js = tracer.status_json();
+  EXPECT_NE(js.find("\"process\": "), std::string::npos);
+  EXPECT_NE(js.find("\"enabled\": false"), std::string::npos);
+  EXPECT_NE(js.find("\"records\": "), std::string::npos);
 }
 
 }  // namespace

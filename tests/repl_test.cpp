@@ -9,19 +9,26 @@
 // without a request error.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/bdd_manager.hpp"
 #include "net/frame.hpp"
+#include "net/http.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "replica/delta.hpp"
 #include "replica/replica_server.hpp"
 #include "replica/router.hpp"
@@ -143,14 +150,27 @@ TEST(ReplFrame, PayloadCapEnforced) {
 
 TEST(ReplWire, RoundTrips) {
   {
+    repl::Hello m;
+    m.process_name = "writer";
+    m.t_steady_ns = 0x1122334455667788ull;
+    const repl::Hello d = repl::decode_hello(repl::encode(m));
+    EXPECT_EQ(d.version, repl::kProtocolVersion);
+    EXPECT_EQ(d.process_name, m.process_name);
+    EXPECT_EQ(d.t_steady_ns, m.t_steady_ns);
+  }
+  {
     repl::HelloAck m;
     m.applied_epoch = 42;
     m.num_vars = 10;
     m.crc_row = {1, 2, 3, 0xFFFFFFFFu};
+    m.process_name = "r0";
+    m.t_steady_ns = 987654321;
     const repl::HelloAck d = repl::decode_hello_ack(repl::encode(m));
     EXPECT_EQ(d.applied_epoch, m.applied_epoch);
     EXPECT_EQ(d.num_vars, m.num_vars);
     EXPECT_EQ(d.crc_row, m.crc_row);
+    EXPECT_EQ(d.process_name, m.process_name);
+    EXPECT_EQ(d.t_steady_ns, m.t_steady_ns);
   }
   {
     repl::ShipBegin m;
@@ -160,6 +180,7 @@ TEST(ReplWire, RoundTrips) {
     m.meta = {9, 8, 7};
     m.roots = {1, 2};
     m.dirty = {0, 3, 9};
+    m.trace_id = 0xCAFEBABEDEADBEEFull;
     const repl::ShipBegin d = repl::decode_ship_begin(repl::encode(m));
     EXPECT_EQ(d.epoch, m.epoch);
     EXPECT_EQ(d.mode, m.mode);
@@ -167,6 +188,7 @@ TEST(ReplWire, RoundTrips) {
     EXPECT_EQ(d.meta, m.meta);
     EXPECT_EQ(d.roots, m.roots);
     EXPECT_EQ(d.dirty, m.dirty);
+    EXPECT_EQ(d.trace_id, m.trace_id);
   }
   {
     repl::ShipLevel m;
@@ -192,11 +214,13 @@ TEST(ReplWire, RoundTrips) {
     m.op = repl::ReadOp::kEval;
     m.root = "s3/r7";
     m.assignment = {true, false, false, true, true, false, true, false, true};
+    m.trace_id = 0x0123456789ABCDEFull;
     const repl::ReadReq d = repl::decode_read_req(repl::encode(m));
     EXPECT_EQ(d.req_id, m.req_id);
     EXPECT_EQ(d.op, m.op);
     EXPECT_EQ(d.root, m.root);
     EXPECT_EQ(d.assignment, m.assignment);
+    EXPECT_EQ(d.trace_id, m.trace_id);
   }
   {
     repl::ReadResp m;
@@ -213,18 +237,30 @@ TEST(ReplWire, RoundTrips) {
     EXPECT_EQ(d.sat, m.sat);
   }
   {
+    repl::Ping m;
+    m.nonce = 76;
+    m.t_send_ns = 111222333;
+    const repl::Ping d = repl::decode_ping(repl::encode(m));
+    EXPECT_EQ(d.nonce, m.nonce);
+    EXPECT_EQ(d.t_send_ns, m.t_send_ns);
+  }
+  {
     repl::Pong m;
     m.nonce = 77;
     m.epoch = 5;
+    m.t_steady_ns = 444555666;
     const repl::Pong d = repl::decode_pong(repl::encode(m));
     EXPECT_EQ(d.nonce, m.nonce);
     EXPECT_EQ(d.epoch, m.epoch);
+    EXPECT_EQ(d.t_steady_ns, m.t_steady_ns);
   }
 }
 
 TEST(ReplWire, MalformedPayloadThrows) {
   repl::HelloAck m;
   m.crc_row = {1, 2, 3};
+  m.process_name = "r1";
+  m.t_steady_ns = 42;
   std::vector<std::uint8_t> good = repl::encode(m);
   // Truncation anywhere must throw, not read garbage.
   for (std::size_t keep = 0; keep < good.size(); ++keep) {
@@ -582,6 +618,105 @@ TEST(ReplFailover, KilledReplicaFailsOverWithoutError) {
     EXPECT_EQ(resp.sat, expected);
   }
   EXPECT_GE(router.counters().failovers, 3u);
+}
+
+// ---- HTTP telemetry endpoints -----------------------------------------------
+
+/// Raw request/response over one connection; the server closes after each
+/// response (Connection: close), so read-until-EOF captures the whole reply.
+std::string http_roundtrip(std::uint16_t port, const std::string& request) {
+  net::Socket s = net::connect_to("127.0.0.1", port);
+  s.send_all(request.data(), request.size());
+  std::string out;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(s.fd(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(ReplHttp, EndpointsServeMetricsAndRejectUnknown) {
+  net::HttpServer http;
+  http.handle("/metrics", [] {
+    net::HttpResponse r;
+    r.content_type = net::kPrometheusContentType;
+    obs::Registry reg;
+    reg.gauge("pbdd_http_test_up", "test gauge").set(1.0);
+    r.body = reg.prometheus_text();
+    return r;
+  });
+  http.handle("/healthz", [] {
+    net::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = "{\"status\": \"ok\"}\n";
+    return r;
+  });
+  http.handle("/boom", []() -> net::HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  http.start(0);  // ephemeral
+  ASSERT_GT(http.port(), 0);
+
+  const std::string ok = http_roundtrip(
+      http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("version=0.0.4"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("pbdd_http_test_up 1"), std::string::npos) << ok;
+
+  // Query strings resolve to the bare path.
+  const std::string q = http_roundtrip(
+      http.port(), "GET /healthz?verbose=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(q.find("HTTP/1.1 200 OK"), std::string::npos) << q;
+  EXPECT_NE(q.find("\"status\": \"ok\""), std::string::npos) << q;
+
+  const std::string missing = http_roundtrip(
+      http.port(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+
+  const std::string post = http_roundtrip(
+      http.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+
+  const std::string boom = http_roundtrip(
+      http.port(), "GET /boom HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(boom.find("HTTP/1.1 500"), std::string::npos) << boom;
+
+  http.stop();
+  // Stopped server refuses connections.
+  EXPECT_THROW((void)net::connect_to("127.0.0.1", http.port()),
+               std::runtime_error);
+}
+
+// ---- Clock-offset handshake -------------------------------------------------
+
+TEST(ReplClock, HandshakeRecordsPeerOffset) {
+  // Writer and replica share this process's Tracer, so the replica's
+  // HelloAck identity is the process name we set here and the measured
+  // steady-clock offset must be ~0 (same clock, loopback RTT).
+  obs::Tracer::instance().set_process_name("fleet-node");
+  const std::string dir = tmp_dir("clock");
+  repl::ReplicaOptions ro;
+  ro.port = 0;
+  ro.dir = dir;
+  ro.config = cfg(1, TableDiscipline::kSharded);
+  repl::ReplicaServer server(ro);
+  server.start();
+
+  repl::WriterOptions wo;
+  wo.endpoints = {"127.0.0.1:" + std::to_string(server.port())};
+  repl::ReplicationWriter writer(wo);
+  ASSERT_EQ(writer.connect(), 1u);
+
+  const std::map<std::string, std::int64_t> offsets =
+      obs::Tracer::instance().clock_offsets();
+  const auto it = offsets.find("fleet-node");
+  ASSERT_NE(it, offsets.end());
+  // Same physical clock: anything beyond scheduling noise means the
+  // midpoint math is wrong.
+  EXPECT_LT(std::llabs(it->second), 100'000'000ll) << it->second;
+  server.stop();
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +46,7 @@
 #include "circuit/generators.hpp"
 #include "circuit/netlist.hpp"
 #include "fault/report.hpp"
+#include "net/http.hpp"
 #include "obs/trace.hpp"
 #include "replica/replica_server.hpp"
 #include "replica/router.hpp"
@@ -56,6 +58,10 @@ namespace {
 
 using namespace pbdd;
 using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
 
 struct Cli {
   unsigned sessions = 8;
@@ -90,6 +96,14 @@ struct Cli {
   std::string replica_dir = "pbdd_replicas";
   std::string ship_path = "pbdd_ship.snap";
   unsigned ship_every_ms = 400;
+  /// Telemetry endpoints: --http-port serves /metrics, /healthz, /tracez
+  /// (0 = ephemeral; the bound port is printed). --linger-ms holds the
+  /// process (and its endpoints) alive after the report so external
+  /// scrapers get a guaranteed window; SIGINT/SIGTERM ends it early.
+  bool http = false;
+  std::uint16_t http_port = 0;
+  unsigned linger_ms = 0;
+  std::string name = "writer";  ///< trace process identity (--name)
 
   [[nodiscard]] bool replication() const {
     return read_ratio > 0.0 || !replicas.empty() || inproc_replicas > 0;
@@ -110,7 +124,9 @@ struct Cli {
                "                    [--read-ratio R] [--replica HOST:PORT]... "
                "[--replicas N]\n"
                "                    [--replica-dir DIR] [--ship-path PATH] "
-               "[--ship-every-ms MS]\n");
+               "[--ship-every-ms MS]\n"
+               "                    [--http-port N] [--linger-ms MS] "
+               "[--name NAME]\n");
   std::exit(2);
 }
 
@@ -144,6 +160,12 @@ Cli parse_cli(int argc, char** argv) {
     else if (a == "--replica-dir") cli.replica_dir = next();
     else if (a == "--ship-path") cli.ship_path = next();
     else if (a == "--ship-every-ms") cli.ship_every_ms = std::stoul(next());
+    else if (a == "--http-port") {
+      cli.http_port = static_cast<std::uint16_t>(std::stoul(next()));
+      cli.http = true;
+    }
+    else if (a == "--linger-ms") cli.linger_ms = std::stoul(next());
+    else if (a == "--name") cli.name = next();
     else usage();
   }
   if (cli.sessions == 0 || cli.passes == 0) usage();
@@ -457,6 +479,11 @@ int main(int argc, char** argv) {
   cfg.pager_node_budget = cli.pager_budget;
   cfg.use_demand_estimator = cli.estimate_demand;
 
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Identity before any replication handshake: Hello carries it to the
+  // replicas and every trace export stamps it.
+  obs::Tracer::instance().set_process_name(cli.name);
   if (!cli.trace_path.empty()) {
     if (!obs::trace_compiled()) {
       std::fprintf(stderr,
@@ -531,6 +558,9 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(cli.ship_every_ms));
         if (ship_stop.load()) break;
+        // One trace id per shipping round: ship_file picks up the thread's
+        // id, so the checkpoint and every per-replica ship/apply share it.
+        obs::Tracer::set_thread_trace_id(obs::Tracer::mint_trace_id());
         const service::RequestResult res = svc.save_all(cli.ship_path).get();
         if (res.status != service::RequestStatus::kOk) {
           ship_failures.fetch_add(1);
@@ -544,6 +574,36 @@ int main(int argc, char** argv) {
         }
       }
     });
+  }
+
+  // ---- Telemetry endpoints --------------------------------------------------
+  net::HttpServer http;
+  if (cli.http) {
+    http.handle("/metrics", [&svc, &writer] {
+      net::HttpResponse r;
+      r.content_type = net::kPrometheusContentType;
+      r.body = svc.metrics_text();
+      if (writer != nullptr) r.body += writer->metrics_text();
+      return r;
+    });
+    http.handle("/healthz", [&writer] {
+      net::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = "{\"status\": \"ok\", \"role\": \"writer\", "
+               "\"snapshot_epoch\": " +
+               std::to_string(writer != nullptr ? writer->epoch() : 0) +
+               "}\n";
+      return r;
+    });
+    http.handle("/tracez", [] {
+      net::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = obs::Tracer::instance().status_json();
+      return r;
+    });
+    http.start(cli.http_port);
+    std::printf("pbdd_loadgen: http on 127.0.0.1:%u\n", http.port());
+    std::fflush(stdout);
   }
 
   // Fault mode shares the circuits across sessions via shared_ptr (queued
@@ -879,6 +939,20 @@ int main(int argc, char** argv) {
     out << "  \"service\": " << svc.metrics_json() << "\n}\n";
     std::printf("wrote %s\n", cli.json_path.c_str());
   }
+
+  // Hold the endpoints up for external scrapers (CI curls /metrics and
+  // /healthz here); SIGINT/SIGTERM cuts the window short.
+  if (cli.http && cli.linger_ms > 0) {
+    std::printf("pbdd_loadgen: lingering %u ms on http port %u\n",
+                cli.linger_ms, http.port());
+    std::fflush(stdout);
+    const Clock::time_point until =
+        Clock::now() + std::chrono::milliseconds(cli.linger_ms);
+    while (!g_stop.load() && Clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  http.stop();
 
   if (!error.empty()) {
     std::fprintf(stderr, "FAIL: %s\n", error.c_str());

@@ -1,7 +1,8 @@
 // pbdd_replica — standalone read-replica process (docs/REPLICATION.md).
 //
 //   pbdd_replica --port N --dir DIR [--workers N] [--discipline D]
-//                [--shards N] [--metrics-every SECS]
+//                [--shards N] [--metrics-every SECS] [--http-port N]
+//                [--name NAME] [--trace FILE]
 //
 //   --port N             listen port (0 = ephemeral; the bound port is
 //                        printed either way so scripts can scrape it)
@@ -13,9 +14,17 @@
 //   --shards N           table shards for the sharded discipline
 //   --metrics-every S    dump pbdd_repl_* metrics to stdout every S seconds
 //                        (0 = only at exit)
+//   --http-port N        serve /metrics, /healthz, /tracez over HTTP
+//                        (0 = ephemeral; the bound port is printed)
+//   --name NAME          trace process identity sent to the writer in the
+//                        HelloAck handshake (default "r<pid>")
+//   --trace FILE         record a trace session and export FILE at exit
+//                        (needs a -DPBDD_TRACE=ON build)
 //
 // Runs until SIGINT/SIGTERM. The writer connects and ships snapshot epochs;
 // routers connect and issue reads. Everything arrives on the same port.
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +34,8 @@
 #include <string>
 #include <thread>
 
+#include "net/http.hpp"
+#include "obs/trace.hpp"
 #include "replica/replica_server.hpp"
 
 namespace {
@@ -37,7 +48,8 @@ void on_signal(int) { g_stop.store(true); }
   std::fprintf(stderr,
                "usage: %s --port N --dir DIR [--workers N]\n"
                "          [--discipline passlock|sharded|lockfree] "
-               "[--shards N] [--metrics-every SECS]\n",
+               "[--shards N] [--metrics-every SECS]\n"
+               "          [--http-port N] [--name NAME] [--trace FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -51,6 +63,10 @@ int main(int argc, char** argv) {
   opts.config.table_discipline = core::TableDiscipline::kSharded;
   unsigned metrics_every = 0;
   bool have_port = false;
+  bool have_http = false;
+  std::uint16_t http_port = 0;
+  std::string name = "r" + std::to_string(::getpid());
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +97,14 @@ int main(int argc, char** argv) {
       opts.config.table_shards = std::strtoul(next().c_str(), nullptr, 10);
     } else if (arg == "--metrics-every") {
       metrics_every = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--http-port") {
+      http_port = static_cast<std::uint16_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
+      have_http = true;
+    } else if (arg == "--name") {
+      name = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       usage(argv[0]);
     }
@@ -90,11 +114,47 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
+  obs::Tracer::instance().set_process_name(name);
+  if (!trace_path.empty()) {
+    if (!obs::trace_compiled()) {
+      std::fprintf(stderr,
+                   "error: --trace needs a build with -DPBDD_TRACE=ON\n");
+      return 2;
+    }
+    obs::Tracer::instance().start();
+  }
+
   try {
     repl::ReplicaServer server(opts);
     server.start();
     std::printf("pbdd_replica: listening on 127.0.0.1:%u, dir=%s\n",
                 server.port(), opts.dir.c_str());
+
+    net::HttpServer http;
+    if (have_http) {
+      http.handle("/metrics", [&server] {
+        net::HttpResponse r;
+        r.content_type = net::kPrometheusContentType;
+        r.body = server.metrics_text();
+        return r;
+      });
+      http.handle("/healthz", [&server] {
+        net::HttpResponse r;
+        r.content_type = "application/json";
+        r.body = "{\"status\": \"ok\", \"role\": \"replica\", "
+                 "\"applied_epoch\": " +
+                 std::to_string(server.applied_epoch()) + "}\n";
+        return r;
+      });
+      http.handle("/tracez", [] {
+        net::HttpResponse r;
+        r.content_type = "application/json";
+        r.body = obs::Tracer::instance().status_json();
+        return r;
+      });
+      http.start(http_port);
+      std::printf("pbdd_replica: http on 127.0.0.1:%u\n", http.port());
+    }
     std::fflush(stdout);
 
     auto last_dump = std::chrono::steady_clock::now();
@@ -109,7 +169,15 @@ int main(int argc, char** argv) {
         }
       }
     }
+    http.stop();
     server.stop();
+    if (!trace_path.empty()) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.stop();
+      const std::size_t events = tracer.write_chrome_trace_file(trace_path);
+      std::printf("pbdd_replica: wrote %s: %zu trace events\n",
+                  trace_path.c_str(), events);
+    }
     const repl::ReplicaServer::Counters c = server.counters();
     std::printf(
         "pbdd_replica: exiting at epoch %llu — %llu ships applied, "

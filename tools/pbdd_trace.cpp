@@ -1,6 +1,7 @@
 // pbdd_trace — offline analyzer for Tracer Chrome-trace-event exports.
 //
 //   pbdd_trace <trace.json> [--report all|phases|steal|locks|imbalance|gc|summary]
+//   pbdd_trace --merge writer.json r1.json [r2.json ...] [--out merged.json]
 //
 // Reads a trace written by `pbdd_cli --trace` / `pbdd_loadgen --trace` (or
 // any conforming Chrome trace) and prints the paper's evaluation views:
@@ -8,12 +9,21 @@
 // per-variable lock tables (Figs. 16/17), load imbalance, and GC phase
 // shares (Figs. 18/19).
 //
+// --merge stitches per-process exports (one writer + N replicas) into a
+// single Perfetto-loadable timeline: clocks are aligned (handshake offsets
+// when present, export wall anchors otherwise), pids are remapped, and flow
+// events connect each ship to its apply and each routed read to the replica
+// serve. The first file is the reference (writer) process. The fleet report
+// — per-replica apply lag, routed-read fan-out — prints to stdout; --out
+// writes the merged JSON.
+//
 // Exit codes: 0 on success, 1 on parse/schema errors, 2 on bad usage.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/trace_analysis.hpp"
 
@@ -22,15 +32,70 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.json> "
-               "[--report all|phases|steal|locks|imbalance|gc|summary]\n",
-               argv0);
+               "[--report all|phases|steal|locks|imbalance|gc|summary]\n"
+               "       %s --merge writer.json r1.json [r2.json ...] "
+               "[--out merged.json]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int run_merge(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) usage(argv[0]);
+
+  std::vector<std::string> texts(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!read_file(paths[i], texts[i])) {
+      std::fprintf(stderr, "error: cannot read %s\n", paths[i].c_str());
+      return 1;
+    }
+  }
+
+  pbdd::obs::MergeResult merged;
+  try {
+    merged = pbdd::obs::merge_traces(texts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: merge: %s\n", e.what());
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << merged.json;
+  }
+  std::fputs(merged.report.c_str(), stdout);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
+  if (std::strcmp(argv[1], "--merge") == 0) return run_merge(argc, argv);
+
   const std::string path = argv[1];
   std::string report = "all";
   for (int i = 2; i < argc; ++i) {
@@ -46,17 +111,15 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::string text;
+  if (!read_file(path, text)) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
     return 1;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
 
   pbdd::obs::ParsedTrace trace;
   try {
-    trace = pbdd::obs::parse_chrome_trace(buf.str());
+    trace = pbdd::obs::parse_chrome_trace(text);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
     return 1;

@@ -25,11 +25,26 @@ import sys
 
 
 def load_cells(paths):
-    """{(config, circuit): min elapsed_s} across the given artifacts."""
+    """{(config, circuit): min elapsed_s} across the given artifacts.
+
+    Two artifact shapes are accepted: fig07_08_elapsed files with a
+    results[] array of (config, circuit, elapsed_s) records, and
+    pbdd_loadgen --json files ("bench": "service_loadgen"), which
+    contribute one ("service", "loadgen") cell from their wall_s — that
+    cell gates the trace-context plumbing on the full service path
+    (admission, dispatch, checkpoint, ship), not just the engine.
+    """
     cells = {}
     for path in paths:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
+        if doc.get("bench") == "service_loadgen":
+            wall = float(doc.get("wall_s", 0.0))
+            if wall <= 0:
+                sys.exit(f"error: {path}: non-positive wall_s")
+            key = ("service", "loadgen")
+            cells[key] = min(cells.get(key, wall), wall)
+            continue
         results = doc.get("results")
         if not isinstance(results, list) or not results:
             sys.exit(f"error: {path}: no results[] array")
